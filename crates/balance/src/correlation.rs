@@ -1,0 +1,76 @@
+//! Demand-dynamics correlation (§5.1).
+
+/// Pearson correlation coefficient of two equal-length demand histories.
+///
+/// This is exactly the paper's `K(A, B)` formula. Returns 0.0 for empty or
+/// constant series (no co-movement information), and a value in `[-1, 1]`
+/// otherwise. Low (negative) correlation means *complementary* demand —
+/// the property the load balancer wants co-located functions to have.
+///
+/// # Panics
+///
+/// Panics when the series lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "demand histories must align");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_correlate_perfectly() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_series_anticorrelate() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_yield_zero() {
+        let a = [5.0; 4];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let a = [0.1, 5.0, 2.0, 8.0, 1.0];
+        let b = [2.0, 2.5, 9.0, 0.0, 4.0];
+        let r = pearson(&a, &b);
+        assert!((-1.0..=1.0).contains(&r));
+        assert!((pearson(&a, &b) - pearson(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! K-medoids clustering (PAM-style) over a precomputed distance matrix.
+//!
+//! Deterministic: greedy BUILD initialisation followed by alternating
+//! assignment/update (Voronoi) iterations until fixpoint. Works on any
+//! symmetric distance matrix — the load balancer feeds it the §5.1
+//! edit-distance + correlation metric.
+
+/// Result of a K-medoids run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KMedoidsResult {
+    /// Indices of the chosen medoid points, one per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster index of every point.
+    pub assignment: Vec<usize>,
+}
+
+/// Cluster `n` points into `k` clusters given an `n×n` distance matrix.
+///
+/// # Panics
+///
+/// Panics when the matrix is not square, `k == 0`, or `k > n`.
+pub fn kmedoids(dist: &[Vec<f64>], k: usize, max_iter: usize) -> KMedoidsResult {
+    let n = dist.len();
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "k={k} exceeds point count {n}");
+    for row in dist {
+        assert_eq!(row.len(), n, "distance matrix must be square");
+    }
+    // BUILD: first medoid minimises total distance; subsequent medoids
+    // greedily maximise cost reduction.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| dist[a][j]).sum();
+            let cb: f64 = (0..n).map(|j| dist[b][j]).sum();
+            ca.partial_cmp(&cb).expect("finite distances")
+        })
+        .expect("n >= k >= 1");
+    medoids.push(first);
+    while medoids.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for cand in 0..n {
+            if medoids.contains(&cand) {
+                continue;
+            }
+            // Cost with cand added.
+            let cost: f64 = (0..n)
+                .map(|j| {
+                    medoids
+                        .iter()
+                        .map(|&m| dist[m][j])
+                        .chain(std::iter::once(dist[cand][j]))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum();
+            if best.is_none_or(|(_, bc)| cost < bc) {
+                best = Some((cand, cost));
+            }
+        }
+        medoids.push(best.expect("candidates remain").0);
+    }
+    // Alternate: assign points to the nearest medoid, then re-pick each
+    // cluster's medoid as its cost-minimising member.
+    let mut assignment = assign(dist, &medoids);
+    for _ in 0..max_iter {
+        let mut new_medoids = medoids.clone();
+        for (c, nm) in new_medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&j| assignment[j] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            *nm = *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ca: f64 = members.iter().map(|&j| dist[a][j]).sum();
+                    let cb: f64 = members.iter().map(|&j| dist[b][j]).sum();
+                    ca.partial_cmp(&cb).expect("finite distances")
+                })
+                .expect("non-empty members");
+        }
+        let new_assignment = assign(dist, &new_medoids);
+        if new_medoids == medoids && new_assignment == assignment {
+            break;
+        }
+        medoids = new_medoids;
+        assignment = new_assignment;
+    }
+    KMedoidsResult {
+        medoids,
+        assignment,
+    }
+}
+
+fn assign(dist: &[Vec<f64>], medoids: &[usize]) -> Vec<usize> {
+    (0..dist.len())
+        .map(|j| {
+            medoids
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| dist[a][j].partial_cmp(&dist[b][j]).expect("finite"))
+                .map(|(c, _)| c)
+                .expect("at least one medoid")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_from_points(points: &[f64]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|a| points.iter().map(|b| (a - b).abs()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn separates_obvious_clusters() {
+        // Two tight groups on a line.
+        let points = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let r = kmedoids(&dist_from_points(&points), 2, 20);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_eq!(r.assignment[4], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+
+    #[test]
+    fn k_equals_n_is_identity() {
+        let points = [0.0, 1.0, 2.0];
+        let r = kmedoids(&dist_from_points(&points), 3, 10);
+        let mut clusters: Vec<usize> = r.assignment.clone();
+        clusters.sort_unstable();
+        clusters.dedup();
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let points = [0.0, 5.0, 9.0];
+        let r = kmedoids(&dist_from_points(&points), 1, 10);
+        assert!(r.assignment.iter().all(|&c| c == 0));
+        // Medoid of a line is the middle point.
+        assert_eq!(r.medoids, vec![1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let points = [3.0, 1.0, 7.5, 2.2, 9.9, 0.4, 6.1];
+        let d = dist_from_points(&points);
+        let a = kmedoids(&d, 3, 50);
+        let b = kmedoids(&d, 3, 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds point count")]
+    fn k_larger_than_n_panics() {
+        let _ = kmedoids(&dist_from_points(&[1.0]), 2, 5);
+    }
+
+    #[test]
+    fn medoids_are_cluster_members() {
+        let points = [0.0, 0.5, 4.0, 4.5, 8.0, 8.5];
+        let r = kmedoids(&dist_from_points(&points), 3, 20);
+        for (c, &m) in r.medoids.iter().enumerate() {
+            assert_eq!(r.assignment[m], c, "medoid {m} not in its own cluster");
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Function-to-node placement strategies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::correlation::pearson;
+use crate::kmedoids::kmedoids;
+
+/// One serverless function as a clustering point: its model name plus its
+/// historical demand (invocations per time slot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionPoint {
+    /// Function / model name (the registry key for edit distances).
+    pub name: String,
+    /// Invocation counts per time slot.
+    pub demand: Vec<f64>,
+}
+
+/// The §5.1 model-sharing-aware balancer.
+///
+/// `gamma_d` weighs the (normalised) model editing distance, `gamma_k` the
+/// demand correlation; both in `[0, 1]` as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharingAwareBalancer {
+    /// Weight of the model editing distance term.
+    pub gamma_d: f64,
+    /// Weight of the demand-correlation term.
+    pub gamma_k: f64,
+}
+
+impl Default for SharingAwareBalancer {
+    fn default() -> Self {
+        SharingAwareBalancer {
+            gamma_d: 0.7,
+            gamma_k: 0.3,
+        }
+    }
+}
+
+impl SharingAwareBalancer {
+    /// Pairwise distance matrix over functions.
+    ///
+    /// `edit_distance(a, b)` must return the transformation cost between
+    /// the models of functions `a` and `b` (e.g.
+    /// `ModelRepository::transform_latency`); it is normalised to `[0, 1]`
+    /// by the maximum observed value. Correlation is mapped from `[-1, 1]`
+    /// to `[0, 1]` so both terms share a scale.
+    pub fn distance_matrix(
+        &self,
+        functions: &[FunctionPoint],
+        edit_distance: &dyn Fn(&str, &str) -> f64,
+    ) -> Vec<Vec<f64>> {
+        let n = functions.len();
+        let mut edit = vec![vec![0.0; n]; n];
+        let mut max_edit: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    // Symmetrise: transformation latency is asymmetric
+                    // (§8.2), but a placement metric should not be.
+                    let d = 0.5
+                        * (edit_distance(&functions[i].name, &functions[j].name)
+                            + edit_distance(&functions[j].name, &functions[i].name));
+                    edit[i][j] = d;
+                    max_edit = max_edit.max(d);
+                }
+            }
+        }
+        let mut dist = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d_norm = if max_edit > 0.0 {
+                    edit[i][j] / max_edit
+                } else {
+                    0.0
+                };
+                let corr = pearson(&functions[i].demand, &functions[j].demand);
+                let k_norm = (corr + 1.0) / 2.0;
+                dist[i][j] = self.gamma_d * d_norm + self.gamma_k * k_norm;
+            }
+        }
+        dist
+    }
+
+    /// Place functions onto `nodes` nodes: K-medoids with `k = nodes`
+    /// clusters (capped by the function count), clusters mapped to nodes.
+    ///
+    /// Returns the node index of every function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes == 0` or `functions` is empty.
+    pub fn place(
+        &self,
+        functions: &[FunctionPoint],
+        edit_distance: &dyn Fn(&str, &str) -> f64,
+        nodes: usize,
+    ) -> Vec<usize> {
+        assert!(nodes > 0, "need at least one node");
+        assert!(!functions.is_empty(), "need at least one function");
+        let k = nodes.min(functions.len());
+        let dist = self.distance_matrix(functions, edit_distance);
+        let result = kmedoids(&dist, k, 50);
+        result.assignment
+    }
+}
+
+/// Hash-based placement: the routing existing serverless systems use
+/// (§5.1) — a deterministic hash of the function name modulo node count.
+pub fn hash_placement(functions: &[FunctionPoint], nodes: usize) -> Vec<usize> {
+    assert!(nodes > 0, "need at least one node");
+    functions
+        .iter()
+        .map(|f| {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in f.name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01B3);
+            }
+            (h % nodes as u64) as usize
+        })
+        .collect()
+}
+
+/// Resource-usage-based placement: greedily assign each function (heaviest
+/// total demand first) to the currently least-loaded node.
+pub fn least_loaded_placement(functions: &[FunctionPoint], nodes: usize) -> Vec<usize> {
+    assert!(nodes > 0, "need at least one node");
+    let mut order: Vec<usize> = (0..functions.len()).collect();
+    let total = |f: &FunctionPoint| f.demand.iter().sum::<f64>();
+    order.sort_by(|&a, &b| {
+        total(&functions[b])
+            .partial_cmp(&total(&functions[a]))
+            .expect("finite demand")
+            .then(functions[a].name.cmp(&functions[b].name))
+    });
+    let mut load = vec![0.0f64; nodes];
+    let mut placement = vec![0usize; functions.len()];
+    for idx in order {
+        let node = (0..nodes)
+            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).expect("finite"))
+            .expect("nodes > 0");
+        placement[idx] = node;
+        load[node] += total(&functions[idx]);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn func(name: &str, demand: &[f64]) -> FunctionPoint {
+        FunctionPoint {
+            name: name.into(),
+            demand: demand.to_vec(),
+        }
+    }
+
+    /// Edit distance that makes families {a*} and {b*} internally close.
+    fn family_edit(a: &str, b: &str) -> f64 {
+        if a.as_bytes()[0] == b.as_bytes()[0] {
+            0.1
+        } else {
+            10.0
+        }
+    }
+
+    #[test]
+    fn clusters_by_model_family() {
+        let funcs = vec![
+            func("a1", &[1.0, 0.0, 1.0, 0.0]),
+            func("a2", &[0.0, 1.0, 0.0, 1.0]),
+            func("b1", &[1.0, 0.0, 1.0, 0.0]),
+            func("b2", &[0.0, 1.0, 0.0, 1.0]),
+        ];
+        let balancer = SharingAwareBalancer::default();
+        let placement = balancer.place(&funcs, &family_edit, 2);
+        assert_eq!(placement[0], placement[1], "a-family co-located");
+        assert_eq!(placement[2], placement[3], "b-family co-located");
+        assert_ne!(placement[0], placement[2], "families separated");
+    }
+
+    #[test]
+    fn correlation_term_separates_synchronized_functions() {
+        // All same family; two demand phases. With gamma_d = 0 the balancer
+        // must split by demand phase (anti-correlated together).
+        let funcs = vec![
+            func("a1", &[9.0, 0.0, 8.0, 0.0, 9.0, 0.1]),
+            func("a2", &[9.5, 0.1, 8.2, 0.0, 9.1, 0.0]),
+            func("a3", &[0.0, 9.0, 0.1, 8.0, 0.0, 9.0]),
+            func("a4", &[0.1, 9.5, 0.0, 8.5, 0.0, 8.8]),
+        ];
+        let balancer = SharingAwareBalancer {
+            gamma_d: 0.0,
+            gamma_k: 1.0,
+        };
+        let dist = balancer.distance_matrix(&funcs, &|_, _| 1.0);
+        let result = crate::kmedoids::kmedoids(&dist, 2, 50);
+        // K-medoids minimises point-to-medoid distance; the chosen
+        // clustering must beat the pathological one that co-locates the
+        // synchronized pairs ({a1,a2} and {a3,a4} with medoids a1, a3).
+        let objective = |assignment: &[usize], medoids: &[usize]| -> f64 {
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(p, &c)| dist[medoids[c]][p])
+                .sum()
+        };
+        let got = objective(&result.assignment, &result.medoids);
+        let bad = objective(&[0, 0, 1, 1], &[0, 2]);
+        assert!(
+            got < bad,
+            "correlation-aware objective {got:.3} should beat synchronized \
+             co-location {bad:.3}"
+        );
+    }
+
+    #[test]
+    fn hash_placement_is_deterministic_and_in_range() {
+        let funcs = vec![func("x", &[1.0]), func("y", &[1.0]), func("z", &[1.0])];
+        let p1 = hash_placement(&funcs, 2);
+        let p2 = hash_placement(&funcs, 2);
+        assert_eq!(p1, p2);
+        assert!(p1.iter().all(|&n| n < 2));
+    }
+
+    #[test]
+    fn least_loaded_balances_total_demand() {
+        let funcs = vec![
+            func("heavy", &[100.0]),
+            func("mid", &[50.0]),
+            func("small1", &[30.0]),
+            func("small2", &[20.0]),
+        ];
+        let p = least_loaded_placement(&funcs, 2);
+        // heavy alone vs mid+small1+small2 = 100 vs 100.
+        let load0: f64 = funcs
+            .iter()
+            .zip(&p)
+            .filter(|(_, &n)| n == 0)
+            .map(|(f, _)| f.demand[0])
+            .sum();
+        let load1: f64 = 200.0 - load0;
+        assert!((load0 - load1).abs() <= 40.0, "loads {load0} vs {load1}");
+    }
+
+    #[test]
+    fn single_node_degenerates() {
+        let funcs = vec![func("a", &[1.0]), func("b", &[2.0])];
+        let balancer = SharingAwareBalancer::default();
+        assert!(balancer
+            .place(&funcs, &|_, _| 1.0, 1)
+            .iter()
+            .all(|&n| n == 0));
+        assert!(hash_placement(&funcs, 1).iter().all(|&n| n == 0));
+        assert!(least_loaded_placement(&funcs, 1).iter().all(|&n| n == 0));
+    }
+}

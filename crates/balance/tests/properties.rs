@@ -1,0 +1,111 @@
+//! Property-based tests of K-medoids and the placement strategies.
+
+use optimus_balance::{
+    hash_placement, kmedoids, least_loaded_placement, pearson, FunctionPoint, SharingAwareBalancer,
+};
+use proptest::prelude::*;
+
+fn arb_distance_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // Random points on a line → symmetric metric matrix.
+    prop::collection::vec(0.0f64..100.0, 3..20).prop_map(|points| {
+        points
+            .iter()
+            .map(|a| points.iter().map(|b| (a - b).abs()).collect())
+            .collect()
+    })
+}
+
+fn arb_functions() -> impl Strategy<Value = Vec<FunctionPoint>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..10.0, 6), 2..15).prop_map(|demands| {
+        demands
+            .into_iter()
+            .enumerate()
+            .map(|(i, demand)| FunctionPoint {
+                name: format!("f{i}"),
+                demand,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K-medoids always returns a valid clustering: every point assigned,
+    /// medoids are members of their own clusters, k clusters referenced.
+    #[test]
+    fn kmedoids_output_is_valid(dist in arb_distance_matrix(), kk in 1usize..5) {
+        let n = dist.len();
+        let k = kk.min(n);
+        let r = kmedoids(&dist, k, 30);
+        prop_assert_eq!(r.assignment.len(), n);
+        prop_assert_eq!(r.medoids.len(), k);
+        prop_assert!(r.assignment.iter().all(|&c| c < k));
+        for (c, &m) in r.medoids.iter().enumerate() {
+            prop_assert!(m < n);
+            prop_assert_eq!(r.assignment[m], c, "medoid outside its cluster");
+        }
+        // Every point sits with its nearest medoid.
+        for p in 0..n {
+            let assigned = dist[r.medoids[r.assignment[p]]][p];
+            for &m in &r.medoids {
+                prop_assert!(assigned <= dist[m][p] + 1e-9);
+            }
+        }
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_symmetric_bounded(
+        a in prop::collection::vec(-100.0f64..100.0, 2..50),
+        b_seed in any::<u64>(),
+    ) {
+        let b: Vec<f64> = a
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((b_seed >> (i % 60)) & 1) as f64 + i as f64)
+            .collect();
+        let r1 = pearson(&a, &b);
+        let r2 = pearson(&b, &a);
+        prop_assert!((r1 - r2).abs() < 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r1));
+    }
+
+    /// Every placement strategy assigns all functions to valid nodes and
+    /// is deterministic.
+    #[test]
+    fn placements_valid_and_deterministic(funcs in arb_functions(), nodes in 1usize..5) {
+        let edit = |a: &str, b: &str| (a.len() as f64 - b.len() as f64).abs() + 1.0;
+        let balancer = SharingAwareBalancer::default();
+        let p1 = balancer.place(&funcs, &edit, nodes);
+        let p2 = balancer.place(&funcs, &edit, nodes);
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(p1.len(), funcs.len());
+        prop_assert!(p1.iter().all(|&n| n < nodes));
+
+        let h = hash_placement(&funcs, nodes);
+        prop_assert!(h.iter().all(|&n| n < nodes));
+        let l = least_loaded_placement(&funcs, nodes);
+        prop_assert!(l.iter().all(|&n| n < nodes));
+    }
+
+    /// Least-loaded placement never leaves a node empty while another
+    /// holds two or more functions... unless there are fewer functions
+    /// than nodes (greedy balance property on total demand).
+    #[test]
+    fn least_loaded_spreads(funcs in arb_functions(), nodes in 1usize..4) {
+        let p = least_loaded_placement(&funcs, nodes);
+        if funcs.len() >= nodes {
+            let mut counts = vec![0usize; nodes];
+            for &n in &p {
+                counts[n] += 1;
+            }
+            prop_assert!(
+                counts.iter().all(|&c| c > 0),
+                "empty node with {} functions on {} nodes: {counts:?}",
+                funcs.len(),
+                nodes
+            );
+        }
+    }
+}

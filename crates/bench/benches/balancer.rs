@@ -1,0 +1,48 @@
+//! Criterion benches of the load balancer: K-medoids clustering, the
+//! distance matrix, and the Pearson correlation kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimus_balance::{kmedoids, pearson, FunctionPoint, SharingAwareBalancer};
+
+fn synthetic_points(n: usize) -> Vec<FunctionPoint> {
+    (0..n)
+        .map(|i| FunctionPoint {
+            name: format!("f{i}"),
+            demand: (0..48)
+                .map(|t| ((i * 7 + t) % 13) as f64 + if i % 2 == 0 { 5.0 } else { 0.0 })
+                .collect(),
+        })
+        .collect()
+}
+
+fn synthetic_distance(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| ((i as f64 - j as f64).abs() * 37.0) % 11.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn balancer_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balancer");
+    for &n in &[32usize, 128] {
+        let dist = synthetic_distance(n);
+        group.bench_with_input(BenchmarkId::new("kmedoids", n), &dist, |b, d| {
+            b.iter(|| kmedoids(d, 4, 50))
+        });
+        let points = synthetic_points(n);
+        let balancer = SharingAwareBalancer::default();
+        group.bench_with_input(BenchmarkId::new("distance-matrix", n), &points, |b, p| {
+            b.iter(|| balancer.distance_matrix(p, &|a, bn| (a.len() + bn.len()) as f64))
+        });
+    }
+    let a: Vec<f64> = (0..1440).map(|i| (i % 97) as f64).collect();
+    let bb: Vec<f64> = (0..1440).map(|i| (i % 31) as f64).collect();
+    group.bench_function("pearson/1440", |b| b.iter(|| pearson(&a, &bb)));
+    group.finish();
+}
+
+criterion_group!(benches, balancer_benches);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches of the forward-pass engine (the "inference
+//! computation" step's substrate) on small models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus_model::tensor::Tensor;
+use optimus_model::{infer, Activation, GraphBuilder, OpAttrs, PoolKind};
+
+fn tiny_cnn() -> optimus_model::ModelGraph {
+    let mut b = GraphBuilder::new("bench-cnn");
+    let mut x = b.input([1, 3, 32, 32]);
+    let mut ch = 3;
+    for c in [8usize, 16] {
+        x = b.conv2d_after(x, ch, c, (3, 3), (1, 1), 1);
+        x = b.batchnorm_after(x, c);
+        x = b.activation_after(x, Activation::Relu);
+        x = b.pool_after(x, PoolKind::Max, (2, 2), (2, 2));
+        ch = c;
+    }
+    let x = b.global_avg_pool_after(x);
+    let x = b.flatten_after(x);
+    let _ = b.dense_after(x, ch, 10);
+    b.finish().expect("valid bench model")
+}
+
+fn tiny_attention() -> optimus_model::ModelGraph {
+    let mut b = GraphBuilder::new("bench-attn");
+    let i = b.input([1, 16]);
+    let emb = b.after(
+        i,
+        "emb",
+        OpAttrs::Embedding {
+            vocab: 64,
+            hidden: 32,
+        },
+    );
+    let q = b.after(
+        emb,
+        "q",
+        OpAttrs::Query {
+            hidden: 32,
+            heads: 4,
+        },
+    );
+    let k = b.after(
+        emb,
+        "k",
+        OpAttrs::Key {
+            hidden: 32,
+            heads: 4,
+        },
+    );
+    let v = b.after(
+        emb,
+        "v",
+        OpAttrs::Value {
+            hidden: 32,
+            heads: 4,
+        },
+    );
+    let l = b.merge(&[q, k], "logit", OpAttrs::Logit { heads: 4 });
+    let sm = b.after(l, "softmax", OpAttrs::Softmax);
+    let at = b.merge(&[sm, v], "attend", OpAttrs::Attend { heads: 4 });
+    let _ = b.after(at, "out", OpAttrs::AttnOutput { hidden: 32 });
+    b.finish().expect("valid bench model")
+}
+
+fn inference_benches(c: &mut Criterion) {
+    let cnn = tiny_cnn();
+    c.bench_function("infer/tiny_cnn_32x32", |b| {
+        b.iter(|| infer::run(&cnn, Tensor::zeros([1, 3, 32, 32])).expect("runs"))
+    });
+    let attn = tiny_attention();
+    let ids = Tensor::new([1, 16], (0..16).map(|v| v as f32).collect());
+    c.bench_function("infer/tiny_attention_s16_h32", |b| {
+        b.iter(|| infer::run(&attn, ids.clone()).expect("runs"))
+    });
+    let nas = optimus_zoo::nasbench::nasbench_model_sized(7, 1, 0);
+    c.bench_function("infer/nasbench_1cell_32x32", |b| {
+        b.iter(|| infer::run(&nas, Tensor::zeros([1, 3, 32, 32])).expect("runs"))
+    });
+}
+
+criterion_group!(benches, inference_benches);
+criterion_main!(benches);

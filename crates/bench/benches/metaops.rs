@@ -1,0 +1,41 @@
+//! Criterion benches of meta-operator application: full plan execution and
+//! the Reshape weight crop/zero-pad.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus_core::{execute_plan, GroupPlanner, Planner};
+use optimus_model::WeightSpec;
+use optimus_profile::CostModel;
+
+fn metaop_benches(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let src = optimus_zoo::vgg::vgg16();
+    let dst = optimus_zoo::vgg::vgg19();
+    let plan = GroupPlanner.plan(&src, &dst, &cost);
+    c.bench_function("execute_plan/vgg16->vgg19", |b| {
+        b.iter(|| {
+            let mut g = src.clone();
+            execute_plan(&mut g, &plan, &dst).expect("plan executes");
+            g
+        })
+    });
+
+    let r50 = optimus_zoo::resnet::resnet50();
+    let r101 = optimus_zoo::resnet::resnet101();
+    let plan_up = GroupPlanner.plan(&r50, &r101, &cost);
+    c.bench_function("execute_plan/resnet50->resnet101", |b| {
+        b.iter(|| {
+            let mut g = r50.clone();
+            execute_plan(&mut g, &plan_up, &r101).expect("plan executes");
+            g
+        })
+    });
+
+    // Weight crop/pad materialisation (the Reshape semantics).
+    let src_w = WeightSpec::seeded([128, 64, 3, 3], 7);
+    c.bench_function("reshape/crop_pad_3x3_to_5x5", |b| {
+        b.iter(|| WeightSpec::crop_pad_of(src_w.clone(), [128, 64, 5, 5]).materialize())
+    });
+}
+
+criterion_group!(benches, metaop_benches);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches of the transformation planners (Table 1's hot path)
+//! and the ablation between Munkres / group / naive planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimus_core::{CostMatrix, GroupPlanner, MunkresPlanner, NaivePlanner, Planner};
+use optimus_profile::CostModel;
+
+fn planner_benches(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let cases = vec![
+        (
+            "vgg11->vgg13",
+            optimus_zoo::vgg::vgg11(),
+            optimus_zoo::vgg::vgg13(),
+        ),
+        (
+            "resnet18->resnet34",
+            optimus_zoo::resnet::resnet18(),
+            optimus_zoo::resnet::resnet34(),
+        ),
+        (
+            "vgg16->resnet50",
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::resnet::resnet50(),
+        ),
+    ];
+    let mut group = c.benchmark_group("planning");
+    for (name, src, dst) in &cases {
+        group.bench_with_input(BenchmarkId::new("group", name), &(), |b, ()| {
+            b.iter(|| GroupPlanner.plan(src, dst, &cost))
+        });
+        group.bench_with_input(BenchmarkId::new("munkres", name), &(), |b, ()| {
+            b.iter(|| MunkresPlanner.plan(src, dst, &cost))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &(), |b, ()| {
+            b.iter(|| NaivePlanner.plan(src, dst, &cost))
+        });
+        group.bench_with_input(BenchmarkId::new("cost-matrix", name), &(), |b, ()| {
+            b.iter(|| CostMatrix::build(src, dst, &cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, planner_benches);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench of the live serving engine: warm-path throughput and
+//! the real cost of an in-place transformation round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus_model::tensor::Tensor;
+use optimus_model::{Activation, GraphBuilder, ModelGraph};
+use optimus_serve::{Gateway, GatewayConfig};
+
+fn tiny(name: &str, channels: &[usize]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let mut x = b.input([1, 3, 8, 8]);
+    let mut ch = 3;
+    for &c in channels {
+        x = b.conv2d_after(x, ch, c, (3, 3), (1, 1), 1);
+        x = b.activation_after(x, Activation::Relu);
+        ch = c;
+    }
+    let x = b.global_avg_pool_after(x);
+    let x = b.flatten_after(x);
+    let _ = b.dense_after(x, ch, 4);
+    b.finish().expect("valid bench model")
+}
+
+fn serving_benches(c: &mut Criterion) {
+    // Warm path: repeated inferences on one model.
+    let gw = Gateway::builder(GatewayConfig {
+        nodes: 1,
+        capacity_per_node: 2,
+        idle_threshold: 1e9, // never transform: pure warm path
+        keep_alive: 1e9,
+    })
+    .register(tiny("warm", &[8]))
+    .spawn();
+    let input = Tensor::zeros([1, 3, 8, 8]);
+    c.bench_function("serve/warm_inference", |b| {
+        b.iter(|| gw.infer("warm", input.clone()).expect("serves"))
+    });
+    drop(gw);
+
+    // Transform path: alternating models on a single container forces a
+    // real meta-operator execution per request.
+    let gw = Gateway::builder(GatewayConfig {
+        nodes: 1,
+        capacity_per_node: 1,
+        idle_threshold: 0.0,
+        keep_alive: 1e9,
+    })
+    .register(tiny("a", &[8]))
+    .register(tiny("b", &[16, 16]))
+    .spawn();
+    c.bench_function("serve/transform_roundtrip", |b| {
+        b.iter(|| {
+            gw.infer("a", input.clone()).expect("serves");
+            gw.infer("b", input.clone()).expect("serves");
+        })
+    });
+    drop(gw);
+}
+
+criterion_group!(benches, serving_benches);
+criterion_main!(benches);

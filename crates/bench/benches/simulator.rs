@@ -1,0 +1,50 @@
+//! Criterion bench of simulator throughput: requests simulated per second
+//! of host time, per policy.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig};
+use optimus_workload::PoissonGenerator;
+
+fn simulator_benches(c: &mut Criterion) {
+    let repo = Arc::new({
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        for m in [
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::vgg::vgg19(),
+            optimus_zoo::resnet::resnet50(),
+            optimus_zoo::resnet::resnet101(),
+            optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+            optimus_zoo::mobilenet::mobilenet_v2(1.0, 0),
+        ] {
+            repo.register(m, &cost);
+        }
+        repo
+    });
+    let functions: Vec<String> = repo.model_names();
+    let trace = PoissonGenerator::new(0.01, 40_000.0, 5).generate(&functions);
+    let config = SimConfig {
+        nodes: 1,
+        capacity_per_node: 4,
+        placement: PlacementStrategy::Hash,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    for policy in Policy::ALL {
+        let platform = Platform::new(config.clone(), policy, repo.clone());
+        group.bench_with_input(
+            BenchmarkId::new("run", policy.name()),
+            &trace,
+            |b, trace| b.iter(|| platform.run(trace)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,279 @@
+//! Plan cache, model repository, and the safeguard (§4.4 Module 3).
+//!
+//! When a model registers in the global repository, Optimus computes and
+//! caches transformation plans against the already-registered models
+//! offline. At request time the scheduler *reads* the cache — no online
+//! planning — and the safeguard compares the cached plan's cost with the
+//! scratch-load cost, falling back to a plain load whenever transformation
+//! would not help, so worst-case performance equals a traditional platform.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optimus_model::ModelGraph;
+use optimus_profile::CostProvider;
+use parking_lot::RwLock;
+
+use crate::metaop::TransformPlan;
+use crate::planner::Planner;
+
+/// The scheduler's verdict for serving a model from a given container.
+#[derive(Debug, Clone)]
+pub enum TransformDecision {
+    /// Transform the container's current model via the cached plan.
+    Transform(Arc<TransformPlan>),
+    /// Load the destination model from scratch (safeguard, §4.4).
+    LoadScratch {
+        /// Scratch-load latency (s).
+        cost: f64,
+    },
+}
+
+impl TransformDecision {
+    /// Latency of taking this decision (plan cost or scratch load cost).
+    pub fn latency(&self) -> f64 {
+        match self {
+            TransformDecision::Transform(plan) => plan.cost.total(),
+            TransformDecision::LoadScratch { cost } => *cost,
+        }
+    }
+
+    /// Whether the decision is a transformation.
+    pub fn is_transform(&self) -> bool {
+        matches!(self, TransformDecision::Transform(_))
+    }
+}
+
+/// Global model repository with an offline-computed plan cache.
+///
+/// Thread-safe: the simulator's gateway registers models once and many
+/// simulated nodes read plans concurrently.
+pub struct ModelRepository {
+    planner: Box<dyn Planner + Send + Sync>,
+    inner: RwLock<Inner>,
+    /// Plans whose transformation latency exceeds `safeguard_ratio` × the
+    /// scratch-load cost are rejected in favour of loading (1.0 = paper's
+    /// behaviour; lower values make the safeguard more conservative).
+    safeguard_ratio: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    models: HashMap<String, Arc<ModelGraph>>,
+    load_costs: HashMap<String, f64>,
+    plans: HashMap<(String, String), Arc<TransformPlan>>,
+}
+
+impl ModelRepository {
+    /// Repository using the given planner (production: [`crate::GroupPlanner`]).
+    pub fn new(planner: Box<dyn Planner + Send + Sync>) -> Self {
+        ModelRepository {
+            planner,
+            inner: RwLock::new(Inner::default()),
+            safeguard_ratio: 1.0,
+        }
+    }
+
+    /// Override the safeguard threshold (ablation experiments; `f64::MAX`
+    /// effectively disables the safeguard).
+    pub fn with_safeguard_ratio(mut self, ratio: f64) -> Self {
+        self.safeguard_ratio = ratio;
+        self
+    }
+
+    /// Register a model: stores it, profiles its scratch-load cost, and
+    /// computes + caches plans to and from every existing model (the
+    /// paper's "planning strategy caching" — registration-time work).
+    ///
+    /// Registering the same name twice replaces the model and recomputes
+    /// its plans.
+    pub fn register(&self, model: ModelGraph, cost: &dyn CostProvider) {
+        let name = model.name().to_string();
+        let model = Arc::new(model);
+        let mut inner = self.inner.write();
+        inner
+            .load_costs
+            .insert(name.clone(), cost.model_load_cost(&model));
+        let existing: Vec<Arc<ModelGraph>> = inner
+            .models
+            .values()
+            .filter(|m| m.name() != name)
+            .cloned()
+            .collect();
+        for other in existing {
+            // CNN↔transformer plans always lose to scratch loading (§8.2);
+            // skip computing them at all and let the safeguard pick loading.
+            if other.family().is_transformer() != model.family().is_transformer() {
+                continue;
+            }
+            let to = self.planner.plan(&other, &model, cost);
+            inner
+                .plans
+                .insert((other.name().to_string(), name.clone()), Arc::new(to));
+            let from = self.planner.plan(&model, &other, cost);
+            inner
+                .plans
+                .insert((name.clone(), other.name().to_string()), Arc::new(from));
+        }
+        inner.models.insert(name, model);
+    }
+
+    /// Number of registered models.
+    pub fn model_count(&self) -> usize {
+        self.inner.read().models.len()
+    }
+
+    /// Look up a registered model.
+    pub fn model(&self, name: &str) -> Option<Arc<ModelGraph>> {
+        self.inner.read().models.get(name).cloned()
+    }
+
+    /// Profiled scratch-load cost of a registered model.
+    pub fn load_cost(&self, name: &str) -> Option<f64> {
+        self.inner.read().load_costs.get(name).copied()
+    }
+
+    /// Cached plan from `src` to `dst`, if both are registered and the pair
+    /// is plannable.
+    pub fn plan(&self, src: &str, dst: &str) -> Option<Arc<TransformPlan>> {
+        self.inner
+            .read()
+            .plans
+            .get(&(src.to_string(), dst.to_string()))
+            .cloned()
+    }
+
+    /// The §4.4 Module 3 decision: serve `dst` from a container currently
+    /// holding `src` — transform if the cached plan beats the scratch load
+    /// (safeguard), otherwise load from scratch.
+    ///
+    /// Returns `None` when `dst` is not registered.
+    pub fn decide(&self, src: &str, dst: &str) -> Option<TransformDecision> {
+        let inner = self.inner.read();
+        let load = *inner.load_costs.get(dst)?;
+        let plan = inner.plans.get(&(src.to_string(), dst.to_string()));
+        match plan {
+            Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
+                Some(TransformDecision::Transform(p.clone()))
+            }
+            _ => Some(TransformDecision::LoadScratch { cost: load }),
+        }
+    }
+
+    /// Transformation latency that `decide` would report, ignoring which
+    /// branch is taken (used by load balancers as an edit-distance metric).
+    pub fn transform_latency(&self, src: &str, dst: &str) -> Option<f64> {
+        self.decide(src, dst).map(|d| d.latency())
+    }
+
+    /// Names of all registered models, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().models.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Internal: snapshot the state for persistence (see `persist`).
+    pub(crate) fn snapshot_parts(&self) -> crate::persist::RepositorySnapshot {
+        let inner = self.inner.read();
+        let mut models: Vec<ModelGraph> = inner.models.values().map(|m| (**m).clone()).collect();
+        models.sort_by(|a, b| a.name().cmp(b.name()));
+        let mut plans: Vec<((String, String), crate::metaop::TransformPlan)> = inner
+            .plans
+            .iter()
+            .map(|(k, v)| (k.clone(), (**v).clone()))
+            .collect();
+        plans.sort_by(|a, b| a.0.cmp(&b.0));
+        crate::persist::RepositorySnapshot {
+            models,
+            load_costs: inner.load_costs.clone(),
+            plans,
+        }
+    }
+
+    /// Internal: rebuild from persisted state (see `persist`).
+    pub(crate) fn from_parts(
+        planner: Box<dyn Planner + Send + Sync>,
+        models: HashMap<String, Arc<ModelGraph>>,
+        load_costs: HashMap<String, f64>,
+        plans: HashMap<(String, String), Arc<TransformPlan>>,
+    ) -> ModelRepository {
+        ModelRepository {
+            planner,
+            inner: RwLock::new(Inner {
+                models,
+                load_costs,
+                plans,
+            }),
+            safeguard_ratio: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::GroupPlanner;
+    use optimus_profile::CostModel;
+
+    fn repo_with(models: Vec<ModelGraph>) -> ModelRepository {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        for m in models {
+            repo.register(m, &cost);
+        }
+        repo
+    }
+
+    #[test]
+    fn registration_precomputes_bidirectional_plans() {
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+        assert_eq!(repo.model_count(), 2);
+        assert!(repo.plan("vgg16", "vgg19").is_some());
+        assert!(repo.plan("vgg19", "vgg16").is_some());
+        assert!(repo.plan("vgg16", "vgg16").is_none());
+    }
+
+    #[test]
+    fn decide_transforms_within_family() {
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+        let d = repo.decide("vgg16", "vgg19").unwrap();
+        assert!(d.is_transform(), "vgg16→vgg19 should transform");
+        assert!(d.latency() < repo.load_cost("vgg19").unwrap());
+    }
+
+    #[test]
+    fn safeguard_rejects_cnn_to_transformer() {
+        let repo = repo_with(vec![
+            optimus_zoo::resnet::resnet50(),
+            optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Mini)),
+        ]);
+        let d = repo.decide("resnet50", "bert-mini-uncased").unwrap();
+        assert!(!d.is_transform(), "CNN→transformer must load from scratch");
+        assert_eq!(d.latency(), repo.load_cost("bert-mini-uncased").unwrap());
+    }
+
+    #[test]
+    fn unknown_destination_yields_none() {
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16()]);
+        assert!(repo.decide("vgg16", "missing").is_none());
+        assert!(repo.load_cost("missing").is_none());
+        assert!(repo.model("missing").is_none());
+    }
+
+    #[test]
+    fn safeguard_ratio_zero_disables_transformation() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner)).with_safeguard_ratio(0.0);
+        let cost = CostModel::default();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        repo.register(optimus_zoo::vgg::vgg19(), &cost);
+        let d = repo.decide("vgg16", "vgg19").unwrap();
+        assert!(!d.is_transform());
+    }
+
+    #[test]
+    fn model_names_sorted() {
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg19(), optimus_zoo::vgg::vgg11()]);
+        assert_eq!(repo.model_names(), vec!["vgg11", "vgg19"]);
+    }
+}

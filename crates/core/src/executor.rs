@@ -1,0 +1,319 @@
+//! Plan executor: applies meta-operators to the model inside a container.
+//!
+//! The executor is a deliberate dumb interpreter of [`TransformPlan`]
+//! steps — all intelligence lives in the planner — mirroring the paper's
+//! split between offline planning and online execution (§4.4 Module 3).
+
+use std::collections::HashMap;
+
+use optimus_model::{ModelError, ModelGraph, OpId, WeightSpec};
+
+use crate::metaop::{MetaOp, TransformPlan};
+
+/// Outcome of executing a plan inside a container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Number of meta-operator steps applied.
+    pub steps_applied: usize,
+    /// Whether the transformed graph matched the destination model
+    /// structurally and weight-wise.
+    pub verified: bool,
+}
+
+/// Apply `plan` to `graph` (the model currently loaded in the container),
+/// transforming it in place into `dst`.
+///
+/// On success the graph is renamed/re-tagged to the destination model and
+/// verified structurally equal to it.
+///
+/// # Contract
+///
+/// The plan's steps reference operation ids of the *specific* source and
+/// destination graphs it was computed from: `graph` must share the
+/// plan-source's id space (be that graph or a clone of it). A container
+/// whose graph was produced by a previous transformation has a different
+/// id history — canonicalise it (e.g. adopt a clone of the registered
+/// destination graph after verification) before applying further cached
+/// plans; `optimus-serve` does exactly this.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if a step references a missing operation or
+/// produces an invalid graph, or [`ModelError::Serde`] with a description
+/// when post-transformation verification fails (plan/destination mismatch).
+pub fn execute_plan(
+    graph: &mut ModelGraph,
+    plan: &TransformPlan,
+    dst: &ModelGraph,
+) -> Result<ExecutionReport, ModelError> {
+    // dst-id → live node id. Kept ops keep their source ids; Add creates
+    // fresh ids recorded here.
+    let mut dst_node: HashMap<OpId, OpId> = plan.mapping.iter().map(|(s, d)| (*d, *s)).collect();
+    let mut steps_applied = 0usize;
+    for step in &plan.steps {
+        match step {
+            MetaOp::Reshape { src, attrs } => {
+                let op = graph.op_mut(*src).ok_or(ModelError::UnknownOp(*src))?;
+                // Crop/zero-pad each weight tensor into the new shapes; the
+                // overlap region of the old values is preserved (§4.3 ②).
+                let new_shapes = attrs.weight_shapes();
+                let new_weights = match op.weights.take() {
+                    Some(old) if !new_shapes.is_empty() => {
+                        let mut tensors = Vec::with_capacity(new_shapes.len());
+                        for (i, shape) in new_shapes.iter().enumerate() {
+                            let spec = match old.tensors.get(i) {
+                                Some(prev) if &prev.shape == shape => prev.clone(),
+                                Some(prev) => WeightSpec::crop_pad_of(prev.clone(), shape.clone()),
+                                None => WeightSpec::zeros(shape.clone()),
+                            };
+                            tensors.push(spec);
+                        }
+                        Some(optimus_model::Weights::new(tensors))
+                    }
+                    _ if !new_shapes.is_empty() => Some(optimus_model::Weights::new(
+                        new_shapes
+                            .iter()
+                            .map(|s| WeightSpec::zeros(s.clone()))
+                            .collect(),
+                    )),
+                    _ => None,
+                };
+                op.attrs = attrs.clone();
+                op.weights = new_weights;
+            }
+            MetaOp::Replace { src, weights } => {
+                let op = graph.op_mut(*src).ok_or(ModelError::UnknownOp(*src))?;
+                op.weights = Some(weights.clone());
+            }
+            MetaOp::Reduce { src } => {
+                graph.remove_op(*src)?;
+            }
+            MetaOp::Add { op, dst: dst_id } => {
+                let id = graph.add_op(op.clone());
+                dst_node.insert(*dst_id, id);
+            }
+            MetaOp::EdgeRemove { from, to } => {
+                // Removing a non-existent edge is a plan bug.
+                if !graph.remove_edge(*from, *to) {
+                    return Err(ModelError::InvalidEdge {
+                        from: *from,
+                        to: *to,
+                        reason: "plan removes a non-existent edge",
+                    });
+                }
+            }
+            MetaOp::EdgeAdd { from, to } => {
+                let f = *dst_node.get(from).ok_or(ModelError::UnknownOp(*from))?;
+                let t = *dst_node.get(to).ok_or(ModelError::UnknownOp(*to))?;
+                graph.add_edge(f, t)?;
+            }
+        }
+        steps_applied += 1;
+    }
+    // Kept ops carry the destination function's operation names.
+    for (s, d) in &plan.mapping {
+        if let (Some(op), Some(dop)) = (graph.op_mut(*s), dst.op(*d)) {
+            op.name = dop.name.clone();
+        }
+    }
+    graph.set_name(dst.name());
+    graph.set_family(dst.family());
+    graph.validate()?;
+    let verified = graph.structurally_equal(dst);
+    if !verified {
+        return Err(ModelError::Serde(format!(
+            "transformed graph does not match destination model '{}'",
+            dst.name()
+        )));
+    }
+    Ok(ExecutionReport {
+        steps_applied,
+        verified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{GroupPlanner, MunkresPlanner, NaivePlanner, Planner};
+    use optimus_model::{Activation, GraphBuilder};
+    use optimus_profile::CostModel;
+
+    fn chain(name: &str, channels: &[usize], kernel: usize) -> ModelGraph {
+        let mut b = GraphBuilder::new(name);
+        let mut x = b.input([1, 3, 16, 16]);
+        let mut ch = 3;
+        for &c in channels {
+            x = b.conv2d_after(x, ch, c, (kernel, kernel), (1, 1), 1);
+            x = b.activation_after(x, Activation::Relu);
+            ch = c;
+        }
+        let _ = b.global_avg_pool_after(x);
+        b.finish().unwrap()
+    }
+
+    fn roundtrip(planner: &dyn Planner, src: &ModelGraph, dst: &ModelGraph) {
+        let cost = CostModel::default();
+        let plan = planner.plan(src, dst, &cost);
+        let mut g = src.clone();
+        let report = execute_plan(&mut g, &plan, dst)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", planner.name()));
+        assert!(report.verified);
+        assert!(g.structurally_equal(dst));
+        assert_eq!(g.name(), dst.name());
+    }
+
+    #[test]
+    fn group_plan_executes_same_depth_reshape() {
+        let src = chain("src", &[8, 16], 3);
+        let dst = chain("dst", &[16, 32], 5);
+        roundtrip(&GroupPlanner, &src, &dst);
+    }
+
+    #[test]
+    fn group_plan_executes_deepening() {
+        let src = chain("src", &[8], 3);
+        let dst = chain("dst", &[8, 16, 32], 3);
+        roundtrip(&GroupPlanner, &src, &dst);
+    }
+
+    #[test]
+    fn group_plan_executes_shrinking() {
+        let src = chain("src", &[8, 16, 32, 64], 3);
+        let dst = chain("dst", &[8], 3);
+        roundtrip(&GroupPlanner, &src, &dst);
+    }
+
+    #[test]
+    fn munkres_plan_executes() {
+        let src = chain("src", &[8, 16], 3);
+        let dst = chain("dst", &[4, 8, 12], 1);
+        roundtrip(&MunkresPlanner, &src, &dst);
+    }
+
+    #[test]
+    fn naive_plan_executes() {
+        let src = chain("src", &[8], 3);
+        let dst = chain("dst", &[16, 16], 3);
+        roundtrip(&NaivePlanner, &src, &dst);
+    }
+
+    #[test]
+    fn identity_plan_is_empty_and_executes() {
+        let m = chain("same", &[8, 16], 3);
+        let cost = CostModel::default();
+        let plan = GroupPlanner.plan(&m, &m, &cost);
+        assert!(plan.is_identity(), "steps: {:?}", plan.steps);
+        assert_eq!(plan.cost.total(), 0.0);
+        let mut g = m.clone();
+        execute_plan(&mut g, &plan, &m).unwrap();
+    }
+
+    #[test]
+    fn weight_variant_transform_is_replace_only() {
+        let a = {
+            let mut b = GraphBuilder::new("wv").weight_variant(0);
+            let i = b.input([1, 3, 8, 8]);
+            let _ = b.conv2d_after(i, 3, 8, (3, 3), (1, 1), 1);
+            b.finish().unwrap()
+        };
+        let bb = {
+            let mut b = GraphBuilder::new("wv").weight_variant(1);
+            let i = b.input([1, 3, 8, 8]);
+            let _ = b.conv2d_after(i, 3, 8, (3, 3), (1, 1), 1);
+            b.finish().unwrap()
+        };
+        let cost = CostModel::default();
+        let plan = GroupPlanner.plan(&a, &bb, &cost);
+        assert_eq!(plan.cost.n_replace, 1);
+        assert_eq!(plan.cost.n_reshape, 0);
+        assert_eq!(plan.cost.n_add, 0);
+        assert_eq!(plan.cost.n_reduce, 0);
+        let mut g = a.clone();
+        execute_plan(&mut g, &plan, &bb).unwrap();
+    }
+
+    #[test]
+    fn reshape_preserves_weight_overlap() {
+        // Transform a conv 3x3 into conv 5x5 and check the original kernel
+        // occupies the top-left corner of the reshaped weights (before the
+        // Replace step overwrites them — test a plan with reshape only by
+        // applying the Reshape step manually).
+        let src = chain("s", &[4], 3);
+        let dst = chain("d", &[4], 5);
+        let cost = CostModel::default();
+        let plan = GroupPlanner.plan(&src, &dst, &cost);
+        let reshape = plan
+            .steps
+            .iter()
+            .find(|s| matches!(s, MetaOp::Reshape { .. }))
+            .expect("plan must contain a reshape");
+        let MetaOp::Reshape { src: sid, attrs } = reshape else {
+            unreachable!()
+        };
+        let mut g = src.clone();
+        let before = g.op(*sid).unwrap().weights.as_ref().unwrap().tensors[0].materialize();
+        // Apply just the reshape.
+        let plan_one = TransformPlan {
+            steps: vec![MetaOp::Reshape {
+                src: *sid,
+                attrs: attrs.clone(),
+            }],
+            ..plan.clone()
+        };
+        // Executor verification would fail (not fully transformed); apply
+        // the step inline instead.
+        let _ = plan_one;
+        {
+            let op = g.op_mut(*sid).unwrap();
+            let new_shapes = attrs.weight_shapes();
+            let old = op.weights.take().unwrap();
+            let mut tensors = Vec::new();
+            for (i, shape) in new_shapes.iter().enumerate() {
+                tensors.push(WeightSpec::crop_pad_of(
+                    old.tensors[i].clone(),
+                    shape.clone(),
+                ));
+            }
+            op.weights = Some(optimus_model::Weights::new(tensors));
+            op.attrs = attrs.clone();
+        }
+        let after = g.op(*sid).unwrap().weights.as_ref().unwrap().tensors[0].materialize();
+        // before: [4,3,3,3]; after: [4,3,5,5] with old values at [.., :3, :3].
+        for oc in 0..4 {
+            for ic in 0..3 {
+                for y in 0..3 {
+                    for x in 0..3 {
+                        assert_eq!(before.at4(oc, ic, y, x), after.at4(oc, ic, y, x));
+                    }
+                }
+            }
+        }
+        assert_eq!(after.at4(0, 0, 4, 4), 0.0, "padding must be zero");
+    }
+
+    #[test]
+    fn executing_wrong_destination_fails_verification() {
+        let src = chain("s", &[8], 3);
+        let dst = chain("d", &[16], 3);
+        let other = chain("o", &[32, 32], 3);
+        let cost = CostModel::default();
+        let plan = GroupPlanner.plan(&src, &dst, &cost);
+        let mut g = src.clone();
+        let err = execute_plan(&mut g, &plan, &other).unwrap_err();
+        assert!(matches!(err, ModelError::Serde(_)));
+    }
+
+    #[test]
+    fn transformed_model_still_runs_inference() {
+        let src = chain("s", &[4, 8], 3);
+        let dst = chain("d", &[8, 8, 8], 3);
+        let cost = CostModel::default();
+        let plan = GroupPlanner.plan(&src, &dst, &cost);
+        let mut g = src.clone();
+        execute_plan(&mut g, &plan, &dst).unwrap();
+        let y = optimus_model::infer::run(&g, optimus_model::tensor::Tensor::zeros([1, 3, 16, 16]))
+            .unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

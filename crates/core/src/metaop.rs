@@ -1,0 +1,263 @@
+//! Meta-operators and transformation plans (§4.3, §4.4).
+
+use optimus_model::{OpAttrs, OpId, Operation, Weights};
+use serde::{Deserialize, Serialize};
+
+/// One in-container transformation meta-operator (§4.3).
+///
+/// Ids in `src` fields refer to operations of the *source* graph (the model
+/// currently loaded in the container); `Add` carries the full destination
+/// operation to create.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetaOp {
+    /// Overwrite an operation's weights in place (structure preserved).
+    Replace {
+        /// Source operation to rewrite.
+        src: OpId,
+        /// New weights (the destination operation's values).
+        weights: Weights,
+    },
+    /// Morph an operation's attributes (kernel size, channel count, …)
+    /// without recreating it; weights are crop/zero-padded into the new
+    /// shape.
+    Reshape {
+        /// Source operation to morph.
+        src: OpId,
+        /// New attributes (same kind as the source's).
+        attrs: OpAttrs,
+    },
+    /// Delete a source operation that matches nothing in the destination.
+    Reduce {
+        /// Source operation to delete.
+        src: OpId,
+    },
+    /// Create a destination operation from scratch.
+    Add {
+        /// The operation to create (attributes + weights).
+        op: Operation,
+        /// The destination-graph id this new op corresponds to (used by the
+        /// executor to wire edges).
+        dst: OpId,
+    },
+    /// Add one data-flow edge between (transformed) operations, addressed
+    /// by *destination-graph* ids.
+    EdgeAdd {
+        /// Edge source (destination-graph id).
+        from: OpId,
+        /// Edge target (destination-graph id).
+        to: OpId,
+    },
+    /// Remove one data-flow edge of the source graph.
+    EdgeRemove {
+        /// Edge source (source-graph id).
+        from: OpId,
+        /// Edge target (source-graph id).
+        to: OpId,
+    },
+}
+
+impl MetaOp {
+    /// Short kind name (for reports and Figure 15 breakdowns).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MetaOp::Replace { .. } => "replace",
+            MetaOp::Reshape { .. } => "reshape",
+            MetaOp::Reduce { .. } => "reduce",
+            MetaOp::Add { .. } => "add",
+            MetaOp::EdgeAdd { .. } | MetaOp::EdgeRemove { .. } => "edge",
+        }
+    }
+}
+
+/// Per-meta-operator-kind latency breakdown of a plan (Figure 15).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlanCost {
+    /// Total `Replace` latency (s).
+    pub replace: f64,
+    /// Total `Reshape` latency (s).
+    pub reshape: f64,
+    /// Total `Reduce` latency (s).
+    pub reduce: f64,
+    /// Total `Add` latency (s).
+    pub add: f64,
+    /// Total `Edge` latency (s).
+    pub edge: f64,
+    /// Number of `Replace` steps.
+    pub n_replace: usize,
+    /// Number of `Reshape` steps.
+    pub n_reshape: usize,
+    /// Number of `Reduce` steps.
+    pub n_reduce: usize,
+    /// Number of `Add` steps.
+    pub n_add: usize,
+    /// Number of `Edge` steps.
+    pub n_edge: usize,
+}
+
+impl PlanCost {
+    /// Total plan execution latency (s).
+    pub fn total(&self) -> f64 {
+        self.replace + self.reshape + self.reduce + self.add + self.edge
+    }
+
+    /// Total number of meta-operator steps.
+    pub fn step_count(&self) -> usize {
+        self.n_replace + self.n_reshape + self.n_reduce + self.n_add + self.n_edge
+    }
+}
+
+/// A complete transformation plan from a source model to a destination
+/// model: an executable sequence of meta-operators plus its estimated cost.
+///
+/// The order of meta-operators does not change the cost (§4.4); plans store
+/// op-level steps first and edge steps last, which is also a valid
+/// execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformPlan {
+    /// Source model name.
+    pub src_model: String,
+    /// Destination model name.
+    pub dst_model: String,
+    /// Executable meta-operator sequence.
+    pub steps: Vec<MetaOp>,
+    /// Kept-operation mapping: `(source id, destination id)` pairs that are
+    /// transformed in place (possibly with zero-cost identity matches).
+    pub mapping: Vec<(OpId, OpId)>,
+    /// Estimated cost breakdown from offline profiling.
+    pub cost: PlanCost,
+    /// Name of the planner that produced this plan.
+    pub planner: String,
+    /// Planning latency in seconds of *host* time (Table 1 measures the
+    /// planner itself, not simulated time).
+    pub planning_seconds: f64,
+}
+
+impl TransformPlan {
+    /// Whether this plan transforms a model into itself with no work.
+    pub fn is_identity(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Human-readable multi-line description of the plan (for CLIs and
+    /// logs): header, per-meta-operator totals, and the first few steps.
+    pub fn describe(&self) -> String {
+        let c = &self.cost;
+        let mut out = format!(
+            "plan {} -> {} ({} planner, {} steps, {:.3} s)\n",
+            self.src_model,
+            self.dst_model,
+            self.planner,
+            self.steps.len(),
+            c.total()
+        );
+        out.push_str(&format!(
+            "  replace x{} ({:.3} s)  reshape x{} ({:.3} s)  reduce x{} ({:.3} s)\n  add x{} ({:.3} s)  edge x{} ({:.4} s)\n",
+            c.n_replace, c.replace, c.n_reshape, c.reshape, c.n_reduce, c.reduce,
+            c.n_add, c.add, c.n_edge, c.edge
+        ));
+        for step in self.steps.iter().take(8) {
+            let line = match step {
+                MetaOp::Replace { src, .. } => format!("  Replace  {src}"),
+                MetaOp::Reshape { src, attrs } => {
+                    format!("  Reshape  {src} -> {:?}", attrs.kind())
+                }
+                MetaOp::Reduce { src } => format!("  Reduce   {src}"),
+                MetaOp::Add { op, dst } => {
+                    format!("  Add      {dst} ({} '{}')", op.kind(), op.name)
+                }
+                MetaOp::EdgeAdd { from, to } => format!("  Edge+    {from} -> {to}"),
+                MetaOp::EdgeRemove { from, to } => format!("  Edge-    {from} -> {to}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if self.steps.len() > 8 {
+            out.push_str(&format!("  ... {} more steps\n", self.steps.len() - 8));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_cost_totals() {
+        let c = PlanCost {
+            replace: 0.1,
+            reshape: 0.2,
+            reduce: 0.05,
+            add: 0.5,
+            edge: 0.01,
+            n_replace: 1,
+            n_reshape: 2,
+            n_reduce: 3,
+            n_add: 4,
+            n_edge: 5,
+        };
+        assert!((c.total() - 0.86).abs() < 1e-12);
+        assert_eq!(c.step_count(), 15);
+    }
+
+    #[test]
+    fn kind_names() {
+        let op = MetaOp::Reduce { src: OpId(1) };
+        assert_eq!(op.kind_name(), "reduce");
+        let e = MetaOp::EdgeAdd {
+            from: OpId(0),
+            to: OpId(1),
+        };
+        assert_eq!(e.kind_name(), "edge");
+    }
+}
+
+#[cfg(test)]
+mod describe_tests {
+    use super::*;
+
+    #[test]
+    fn describe_summarises_plan() {
+        let plan = TransformPlan {
+            src_model: "a".into(),
+            dst_model: "b".into(),
+            steps: vec![
+                MetaOp::Reduce { src: OpId(1) },
+                MetaOp::EdgeAdd {
+                    from: OpId(2),
+                    to: OpId(3),
+                },
+            ],
+            mapping: vec![],
+            cost: PlanCost {
+                reduce: 0.001,
+                edge: 0.00005,
+                n_reduce: 1,
+                n_edge: 1,
+                ..PlanCost::default()
+            },
+            planner: "group".into(),
+            planning_seconds: 0.0,
+        };
+        let d = plan.describe();
+        assert!(d.contains("plan a -> b"));
+        assert!(d.contains("Reduce   #1"));
+        assert!(d.contains("Edge+    #2 -> #3"));
+        assert!(d.contains("reduce x1"));
+    }
+
+    #[test]
+    fn describe_truncates_long_plans() {
+        let steps: Vec<MetaOp> = (0..20).map(|i| MetaOp::Reduce { src: OpId(i) }).collect();
+        let plan = TransformPlan {
+            src_model: "a".into(),
+            dst_model: "b".into(),
+            steps,
+            mapping: vec![],
+            cost: PlanCost::default(),
+            planner: "group".into(),
+            planning_seconds: 0.0,
+        };
+        assert!(plan.describe().contains("... 12 more steps"));
+    }
+}

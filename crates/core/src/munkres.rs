@@ -1,0 +1,197 @@
+//! Hungarian (Munkres) algorithm for the linear assignment problem.
+//!
+//! A from-scratch O(n³) implementation using the potentials/augmenting-path
+//! formulation. The basic planner (§4.4 Module 2) runs it on the
+//! Riesen–Bunke `(n+m)×(n+m)` edit-cost matrix, exactly as the paper's
+//! reference [31] prescribes.
+
+/// Solve the square assignment problem: `cost[i][j]` is the cost of
+/// assigning row `i` to column `j`; returns `assignment[i] = j` minimising
+/// the total cost.
+///
+/// Costs may include large "forbidden" sentinels; the solver only requires
+/// that at least one finite-total assignment exists (always true for edit
+/// matrices, where the diagonal delete/insert entries are finite).
+///
+/// # Panics
+///
+/// Panics when the matrix is not square or is empty rows-wise with
+/// inconsistent columns.
+pub fn solve_assignment(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "assignment matrix must be square");
+    }
+    // Potentials-based Hungarian algorithm, 1-indexed internally.
+    // u[i], v[j] potentials; p[j] = row matched to column j.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row assigned to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Total cost of an assignment under a cost matrix.
+#[cfg(test)]
+pub(crate) fn assignment_cost(cost: &[Vec<f64>], assignment: &[usize]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_min(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut perm, 0, &mut |p| {
+            let c: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            if c < best {
+                best = c;
+            }
+        });
+        best
+    }
+
+    fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn trivial_identity() {
+        let cost = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let a = solve_assignment(&cost);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(assignment_cost(&cost, &a), 2.0);
+    }
+
+    #[test]
+    fn off_diagonal_optimum() {
+        let cost = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
+        let a = solve_assignment(&cost);
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        // Deterministic pseudo-random matrices via a simple LCG.
+        let mut state: u64 = 0xDEADBEEF;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (1u64 << 31) as f64
+        };
+        for n in 2..=7 {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| next() * 10.0).collect())
+                    .collect();
+                let a = solve_assignment(&cost);
+                // Assignment is a permutation.
+                let mut seen = vec![false; n];
+                for &j in &a {
+                    assert!(!seen[j], "duplicate column");
+                    seen[j] = true;
+                }
+                let got = assignment_cost(&cost, &a);
+                let want = brute_force_min(&cost);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "n={n}: got {got}, optimal {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_forbidden_sentinels() {
+        const BIG: f64 = 1e12;
+        let cost = vec![
+            vec![BIG, 1.0, BIG],
+            vec![2.0, BIG, BIG],
+            vec![BIG, BIG, 3.0],
+        ];
+        let a = solve_assignment(&cost);
+        assert_eq!(a, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(solve_assignment(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(solve_assignment(&[vec![5.0]]), vec![0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Repository persistence (§7: "Models are deployed to the Docker volume…
+//! Model structure information and model-to-model transformation planning
+//! are stored with the models in JSON format").
+//!
+//! A [`RepositorySnapshot`] captures the registered models, their profiled
+//! load costs, and the entire cached plan set; it round-trips through JSON
+//! so a gateway restart (or a new node joining) skips the offline planning
+//! pass entirely.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optimus_model::ModelGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::ModelRepository;
+use crate::metaop::TransformPlan;
+use crate::planner::Planner;
+
+/// Serializable snapshot of a [`ModelRepository`]'s state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepositorySnapshot {
+    /// Registered models.
+    pub models: Vec<ModelGraph>,
+    /// Profiled scratch-load cost per model name.
+    pub load_costs: HashMap<String, f64>,
+    /// Cached plans keyed by `(source, destination)` names.
+    pub plans: Vec<((String, String), TransformPlan)>,
+}
+
+impl RepositorySnapshot {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<RepositorySnapshot, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+impl ModelRepository {
+    /// Capture the repository's full state for persistence.
+    pub fn snapshot(&self) -> RepositorySnapshot {
+        self.snapshot_parts()
+    }
+
+    /// Rebuild a repository from a snapshot without recomputing plans.
+    ///
+    /// The planner is still needed for models registered *after* the
+    /// restore.
+    ///
+    /// # Errors
+    ///
+    /// Rejects snapshots whose plans reference unknown models or whose
+    /// models fail validation.
+    pub fn restore(
+        snapshot: RepositorySnapshot,
+        planner: Box<dyn Planner + Send + Sync>,
+    ) -> Result<ModelRepository, String> {
+        let mut models = HashMap::new();
+        for m in snapshot.models {
+            m.validate()
+                .map_err(|e| format!("model '{}' invalid: {e}", m.name()))?;
+            models.insert(m.name().to_string(), Arc::new(m));
+        }
+        for ((src, dst), _) in &snapshot.plans {
+            if !models.contains_key(src) || !models.contains_key(dst) {
+                return Err(format!("plan {src}->{dst} references unknown models"));
+            }
+        }
+        for name in snapshot.load_costs.keys() {
+            if !models.contains_key(name) {
+                return Err(format!("load cost for unknown model '{name}'"));
+            }
+        }
+        let plans = snapshot
+            .plans
+            .into_iter()
+            .map(|(k, p)| (k, Arc::new(p)))
+            .collect();
+        Ok(ModelRepository::from_parts(
+            planner,
+            models,
+            snapshot.load_costs,
+            plans,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::GroupPlanner;
+    use optimus_profile::CostModel;
+
+    fn sample_repo() -> ModelRepository {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        repo.register(optimus_zoo::vgg::vgg19(), &cost);
+        repo.register(optimus_zoo::resnet::resnet18(), &cost);
+        repo
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let repo = sample_repo();
+        let snap = repo.snapshot();
+        assert_eq!(snap.models.len(), 3);
+        assert_eq!(snap.plans.len(), 6, "3 models: 6 directed pairs");
+        let json = snap.to_json();
+        let restored = ModelRepository::restore(
+            RepositorySnapshot::from_json(&json).unwrap(),
+            Box::new(GroupPlanner),
+        )
+        .unwrap();
+        assert_eq!(restored.model_names(), repo.model_names());
+        for src in repo.model_names() {
+            for dst in repo.model_names() {
+                if src == dst {
+                    continue;
+                }
+                let a = repo.plan(&src, &dst).unwrap();
+                let b = restored.plan(&src, &dst).unwrap();
+                assert_eq!(a.cost, b.cost, "{src}->{dst} plan cost mismatch");
+                assert_eq!(a.steps.len(), b.steps.len());
+            }
+        }
+        assert_eq!(
+            restored.load_cost("vgg16").unwrap(),
+            repo.load_cost("vgg16").unwrap()
+        );
+    }
+
+    #[test]
+    fn restored_repository_accepts_new_registrations() {
+        let repo = sample_repo();
+        let restored = ModelRepository::restore(repo.snapshot(), Box::new(GroupPlanner)).unwrap();
+        let cost = CostModel::default();
+        restored.register(optimus_zoo::vgg::vgg11(), &cost);
+        assert!(restored.plan("vgg11", "vgg16").is_some());
+        assert!(restored.plan("vgg16", "vgg11").is_some());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        assert!(RepositorySnapshot::from_json("{bad").is_err());
+        // Plan referencing a missing model.
+        let repo = sample_repo();
+        let mut snap = repo.snapshot();
+        snap.models.retain(|m| m.name() != "vgg19");
+        assert!(ModelRepository::restore(snap, Box::new(GroupPlanner)).is_err());
+    }
+
+    #[test]
+    fn restored_decisions_match_original() {
+        let repo = sample_repo();
+        let restored = ModelRepository::restore(repo.snapshot(), Box::new(GroupPlanner)).unwrap();
+        let a = repo.decide("vgg16", "vgg19").unwrap();
+        let b = restored.decide("vgg16", "vgg19").unwrap();
+        assert_eq!(a.is_transform(), b.is_transform());
+        assert!((a.latency() - b.latency()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,317 @@
+//! Transformation planners (§4.4 Modules 2 and 2⁺).
+//!
+//! All planners produce a [`TransformPlan`] through the same assembly path:
+//! they differ only in how they compute the kept-operation *mapping*
+//! between source and destination ops.
+//!
+//! - [`MunkresPlanner`] — Module 2: optimal bipartite graph-edit matching
+//!   via the Hungarian algorithm on the Riesen–Bunke matrix, O((n+m)³).
+//! - [`GroupPlanner`] — Module 2⁺: the paper's linear-time heuristic —
+//!   group ops by kind, match sequentially within groups, Reduce/Add the
+//!   leftovers. O(n+m).
+//! - [`BruteForcePlanner`] — the factorial oracle for tiny instances,
+//!   used to verify Munkres optimality in tests.
+//! - [`NaivePlanner`] — delete-everything / add-everything, i.e. what a
+//!   traditional platform effectively does; the ablation baseline.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use optimus_model::{ModelGraph, OpId};
+use optimus_profile::CostProvider;
+
+use crate::matrix::{CostMatrix, FORBIDDEN};
+use crate::metaop::{MetaOp, PlanCost, TransformPlan};
+use crate::munkres::solve_assignment;
+
+/// A strategy for computing transformation plans.
+pub trait Planner {
+    /// Compute a plan transforming `src` into `dst` under `cost`.
+    fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan;
+
+    /// Short planner name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Module 2: optimal planning via Munkres on the edit-cost matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MunkresPlanner;
+
+/// Module 2⁺: linear-time group-based planning.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupPlanner;
+
+/// Factorial brute-force oracle (tiny instances only).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForcePlanner;
+
+/// Delete-all + add-all ablation baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaivePlanner;
+
+impl Planner for MunkresPlanner {
+    fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan {
+        let start = Instant::now();
+        let matrix = CostMatrix::build(src, dst, &ByRef(cost));
+        let assignment = solve_assignment(&matrix.costs);
+        let n = matrix.n();
+        let m = matrix.m();
+        let mut mapping = Vec::new();
+        for (i, &j) in assignment.iter().enumerate().take(n) {
+            if j < m && matrix.costs[i][j] < FORBIDDEN {
+                mapping.push((matrix.src_ids[i], matrix.dst_ids[j]));
+            }
+        }
+        let planning = start.elapsed().as_secs_f64();
+        assemble_plan(src, dst, cost, mapping, self.name(), planning)
+    }
+
+    fn name(&self) -> &'static str {
+        "munkres"
+    }
+}
+
+impl Planner for GroupPlanner {
+    fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan {
+        let start = Instant::now();
+        // (1) Group by kind; id order approximates layer order, exploiting
+        // the paper's observation that operation shapes grow monotonically
+        // with depth within a model.
+        let src_groups = src.ops_by_kind();
+        let dst_groups = dst.ops_by_kind();
+        let mut mapping = Vec::new();
+        for (kind, src_ids) in &src_groups {
+            let Some(dst_ids) = dst_groups.get(kind) else {
+                continue;
+            };
+            // (2) Match sequentially, one by one.
+            for (&s, &d) in src_ids.iter().zip(dst_ids.iter()) {
+                let sop = src.op(s).expect("grouped id");
+                let dop = dst.op(d).expect("grouped id");
+                // Local safeguard: never match when Reduce+Add is cheaper
+                // (keeps the heuristic within the optimum's neighbourhood
+                // even for pathological shape pairs).
+                let sub = cost.substitute_cost(sop, dop);
+                let replace_path = cost.reduce_cost(&sop.attrs) + cost.add_cost(&dop.attrs);
+                match sub {
+                    Some(c) if c <= replace_path => mapping.push((s, d)),
+                    _ => {}
+                }
+            }
+        }
+        let planning = start.elapsed().as_secs_f64();
+        assemble_plan(src, dst, cost, mapping, self.name(), planning)
+    }
+
+    fn name(&self) -> &'static str {
+        "group"
+    }
+}
+
+impl Planner for BruteForcePlanner {
+    /// # Panics
+    ///
+    /// Panics when `n + m > 10` — the factorial search is an oracle for
+    /// verifying optimality on tiny instances, not a production planner.
+    fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan {
+        let start = Instant::now();
+        let matrix = CostMatrix::build(src, dst, &ByRef(cost));
+        let k = matrix.costs.len();
+        assert!(
+            k <= 10,
+            "brute-force planner is limited to n+m <= 10 (got {k})"
+        );
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        permute(&mut perm, 0, &mut |p| {
+            let c: f64 = p.iter().enumerate().map(|(i, &j)| matrix.costs[i][j]).sum();
+            if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                best = Some((c, p.to_vec()));
+            }
+        });
+        let (_, assignment) = best.expect("non-empty permutation space");
+        let n = matrix.n();
+        let m = matrix.m();
+        let mut mapping = Vec::new();
+        for (i, &j) in assignment.iter().enumerate().take(n) {
+            if j < m && matrix.costs[i][j] < FORBIDDEN {
+                mapping.push((matrix.src_ids[i], matrix.dst_ids[j]));
+            }
+        }
+        let planning = start.elapsed().as_secs_f64();
+        assemble_plan(src, dst, cost, mapping, self.name(), planning)
+    }
+
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+}
+
+impl Planner for NaivePlanner {
+    fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan {
+        let start = Instant::now();
+        let planning = start.elapsed().as_secs_f64();
+        assemble_plan(src, dst, cost, Vec::new(), self.name(), planning)
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == arr.len() {
+        f(arr);
+        return;
+    }
+    for i in k..arr.len() {
+        arr.swap(k, i);
+        permute(arr, k + 1, f);
+        arr.swap(k, i);
+    }
+}
+
+/// Adapter: `CostMatrix::build` takes `&impl CostProvider`; this lets a
+/// `&dyn CostProvider` flow through.
+struct ByRef<'a>(&'a dyn CostProvider);
+
+impl CostProvider for ByRef<'_> {
+    fn structure_cost(&self, attrs: &optimus_model::OpAttrs) -> f64 {
+        self.0.structure_cost(attrs)
+    }
+    fn assign_cost(&self, attrs: &optimus_model::OpAttrs) -> f64 {
+        self.0.assign_cost(attrs)
+    }
+    fn replace_cost(&self, dst: &optimus_model::OpAttrs) -> f64 {
+        self.0.replace_cost(dst)
+    }
+    fn reshape_cost(
+        &self,
+        src: &optimus_model::OpAttrs,
+        dst: &optimus_model::OpAttrs,
+    ) -> Option<f64> {
+        self.0.reshape_cost(src, dst)
+    }
+    fn reduce_cost(&self, src: &optimus_model::OpAttrs) -> f64 {
+        self.0.reduce_cost(src)
+    }
+    fn edge_cost(&self) -> f64 {
+        self.0.edge_cost()
+    }
+    fn deserialize_cost(&self, model: &ModelGraph) -> f64 {
+        self.0.deserialize_cost(model)
+    }
+}
+
+/// Assemble an executable plan from a kept-operation mapping.
+///
+/// Emits, in execution order: `Reshape`/`Replace` for kept pairs whose
+/// attributes/weights differ, `Reduce` for unmatched source ops, `Add` for
+/// unmatched destination ops, then the `Edge` steps that reconcile the
+/// data flows (§4.3's fifth meta-operator).
+pub(crate) fn assemble_plan(
+    src: &ModelGraph,
+    dst: &ModelGraph,
+    cost: &dyn CostProvider,
+    mapping: Vec<(OpId, OpId)>,
+    planner: &'static str,
+    planning_seconds: f64,
+) -> TransformPlan {
+    let mut steps = Vec::new();
+    let mut pc = PlanCost::default();
+    let mapped_src: BTreeSet<OpId> = mapping.iter().map(|(s, _)| *s).collect();
+    let mapped_dst: BTreeSet<OpId> = mapping.iter().map(|(_, d)| *d).collect();
+    // Kept pairs: reshape and/or replace.
+    for &(s, d) in &mapping {
+        let sop = src.op(s).expect("mapping src id");
+        let dop = dst.op(d).expect("mapping dst id");
+        debug_assert_eq!(sop.kind(), dop.kind(), "mapping must be kind-consistent");
+        let attrs_differ = sop.attrs != dop.attrs;
+        if attrs_differ {
+            let c = cost
+                .reshape_cost(&sop.attrs, &dop.attrs)
+                .expect("same-kind reshape always defined");
+            steps.push(MetaOp::Reshape {
+                src: s,
+                attrs: dop.attrs.clone(),
+            });
+            pc.reshape += c;
+            pc.n_reshape += 1;
+        }
+        let weights_differ = match (&sop.weights, &dop.weights) {
+            (None, None) => false,
+            (Some(a), Some(b)) => attrs_differ || a.id() != b.id(),
+            _ => true,
+        };
+        if weights_differ {
+            if let Some(w) = &dop.weights {
+                steps.push(MetaOp::Replace {
+                    src: s,
+                    weights: w.clone(),
+                });
+                pc.replace += cost.replace_cost(&dop.attrs);
+                pc.n_replace += 1;
+            }
+        }
+    }
+    // Unmatched source ops: reduce.
+    for (s, sop) in src.ops() {
+        if !mapped_src.contains(&s) {
+            steps.push(MetaOp::Reduce { src: s });
+            pc.reduce += cost.reduce_cost(&sop.attrs);
+            pc.n_reduce += 1;
+        }
+    }
+    // Unmatched destination ops: add.
+    for (d, dop) in dst.ops() {
+        if !mapped_dst.contains(&d) {
+            steps.push(MetaOp::Add {
+                op: dop.clone(),
+                dst: d,
+            });
+            pc.add += cost.add_cost(&dop.attrs);
+            pc.n_add += 1;
+        }
+    }
+    // Edge reconciliation. Kept src edges map into dst space; the diff
+    // against the dst edge set is executed by Edge meta-operators.
+    let src_to_dst: HashMap<OpId, OpId> = mapping.iter().copied().collect();
+    let mut persisting: BTreeSet<(OpId, OpId)> = BTreeSet::new();
+    for e in src.edges() {
+        if let (Some(&df), Some(&dt)) = (src_to_dst.get(&e.from), src_to_dst.get(&e.to)) {
+            if dst.has_edge(df, dt) {
+                persisting.insert((df, dt));
+            } else {
+                steps.push(MetaOp::EdgeRemove {
+                    from: e.from,
+                    to: e.to,
+                });
+                pc.edge += cost.edge_cost();
+                pc.n_edge += 1;
+            }
+        }
+        // Edges incident to reduced ops vanish with the Reduce itself.
+    }
+    for e in dst.edges() {
+        if !persisting.contains(&(e.from, e.to)) {
+            steps.push(MetaOp::EdgeAdd {
+                from: e.from,
+                to: e.to,
+            });
+            pc.edge += cost.edge_cost();
+            pc.n_edge += 1;
+        }
+    }
+    // Map ordering is deterministic (BTree-based graphs), so plans are too.
+    let mut mapping = mapping;
+    mapping.sort_unstable();
+    TransformPlan {
+        src_model: src.name().to_string(),
+        dst_model: dst.name().to_string(),
+        steps,
+        mapping,
+        cost: pc,
+        planner: planner.to_string(),
+        planning_seconds,
+    }
+}

@@ -1,0 +1,166 @@
+//! Inter-function container scheduling primitives (§4.2).
+//!
+//! A container is *idle* when no request has been routed to it for longer
+//! than a threshold (the paper uses 60 s, like Pagurus); idle containers
+//! are the donors for inter-function model transformation. Given the set
+//! of idle containers on a node and a destination model, the scheduler
+//! picks the donor whose cached plan is cheapest — or reports that a cold
+//! start is the best option.
+
+use std::sync::Arc;
+
+use crate::cache::{ModelRepository, TransformDecision};
+use crate::metaop::TransformPlan;
+
+/// Idle-container identification timer (§4.2): reset on every routed
+/// request, idle once `threshold` seconds elapse without one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleTimer {
+    last_request: f64,
+    threshold: f64,
+}
+
+impl IdleTimer {
+    /// Timer with the given idle threshold, last touched at `now`.
+    pub fn new(now: f64, threshold: f64) -> Self {
+        IdleTimer {
+            last_request: now,
+            threshold,
+        }
+    }
+
+    /// Reset: a request was routed to the container at `now`.
+    pub fn touch(&mut self, now: f64) {
+        self.last_request = now;
+    }
+
+    /// Whether the container counts as idle at `now`.
+    pub fn is_idle(&self, now: f64) -> bool {
+        now - self.last_request >= self.threshold
+    }
+
+    /// Seconds since the last routed request.
+    pub fn idle_for(&self, now: f64) -> f64 {
+        now - self.last_request
+    }
+
+    /// The configured idle threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+/// A transformation source chosen by [`choose_source`].
+#[derive(Debug, Clone)]
+pub struct SourceChoice<C> {
+    /// The chosen donor container handle.
+    pub container: C,
+    /// The cached plan from the donor's model to the destination.
+    pub plan: Arc<TransformPlan>,
+    /// The plan's execution latency (s).
+    pub latency: f64,
+}
+
+/// Pick the cheapest idle donor for serving `dst_model`, consulting the
+/// repository's cached plans and safeguard.
+///
+/// `idle` yields `(handle, model_name)` pairs for the node's idle
+/// containers. Returns `None` when no donor beats a scratch load — the
+/// caller should cold-start (or Pagurus-style repurpose) instead.
+pub fn choose_source<C>(
+    repo: &ModelRepository,
+    idle: impl IntoIterator<Item = (C, String)>,
+    dst_model: &str,
+) -> Option<SourceChoice<C>> {
+    let mut best: Option<SourceChoice<C>> = None;
+    for (handle, src_model) in idle {
+        if src_model == dst_model {
+            // A warm container already holding the model should have been
+            // used as a plain warm start before transformation is ever
+            // considered; skip it here.
+            continue;
+        }
+        match repo.decide(&src_model, dst_model) {
+            Some(TransformDecision::Transform(plan)) => {
+                let latency = plan.cost.total();
+                if best.as_ref().is_none_or(|b| latency < b.latency) {
+                    best = Some(SourceChoice {
+                        container: handle,
+                        plan,
+                        latency,
+                    });
+                }
+            }
+            _ => continue,
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::GroupPlanner;
+    use optimus_profile::CostModel;
+
+    #[test]
+    fn idle_timer_threshold() {
+        let mut t = IdleTimer::new(0.0, 60.0);
+        assert!(!t.is_idle(59.9));
+        assert!(t.is_idle(60.0));
+        t.touch(100.0);
+        assert!(!t.is_idle(120.0));
+        assert!(t.is_idle(160.0));
+        assert_eq!(t.idle_for(130.0), 30.0);
+        assert_eq!(t.threshold(), 60.0);
+    }
+
+    #[test]
+    fn choose_source_picks_cheapest_donor() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        repo.register(optimus_zoo::vgg::vgg19(), &cost);
+        repo.register(optimus_zoo::resnet::resnet50(), &cost);
+        // Donors: vgg16 (same family, cheap) and resnet50 (cross family,
+        // more expensive).
+        let choice = choose_source(
+            &repo,
+            vec![(1u32, "resnet50".to_string()), (2u32, "vgg16".to_string())],
+            "vgg19",
+        )
+        .expect("a donor must beat scratch load");
+        assert_eq!(choice.container, 2, "vgg16 should be the cheaper donor");
+        let vgg_latency = repo.transform_latency("vgg16", "vgg19").unwrap();
+        assert_eq!(choice.latency, vgg_latency);
+    }
+
+    #[test]
+    fn choose_source_skips_same_model_and_empty() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        assert!(choose_source(&repo, Vec::<(u32, String)>::new(), "vgg16").is_none());
+        assert!(
+            choose_source(&repo, vec![(1u32, "vgg16".to_string())], "vgg16").is_none(),
+            "same-model donors are warm starts, not transformations"
+        );
+    }
+
+    #[test]
+    fn choose_source_rejects_transformer_donors_for_cnn() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        repo.register(
+            optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Tiny)),
+            &cost,
+        );
+        assert!(choose_source(
+            &repo,
+            vec![(1u32, "bert-tiny-uncased".to_string())],
+            "vgg16"
+        )
+        .is_none());
+    }
+}

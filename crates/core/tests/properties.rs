@@ -1,0 +1,138 @@
+//! Property-based tests of the planning/execution invariants.
+
+use optimus_core::{execute_plan, GroupPlanner, MunkresPlanner, NaivePlanner, Planner};
+use optimus_model::{Activation, GraphBuilder, ModelGraph, PoolKind};
+use optimus_profile::{CostModel, CostProvider};
+use proptest::prelude::*;
+
+/// A random small CNN chain described by per-layer (channels, kernel,
+/// with_bn, with_pool) tuples.
+fn arb_chain_spec() -> impl Strategy<Value = Vec<(usize, usize, bool, bool)>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec![4usize, 8, 12, 16, 24, 32]),
+            prop::sample::select(vec![1usize, 3, 5]),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        1..6,
+    )
+}
+
+fn build_chain(name: &str, spec: &[(usize, usize, bool, bool)], variant: u64) -> ModelGraph {
+    let mut b = GraphBuilder::new(name).weight_variant(variant);
+    let mut x = b.input([1, 3, 64, 64]);
+    let mut ch = 3;
+    for &(c, k, bn, pool) in spec {
+        x = b.conv2d_after(x, ch, c, (k, k), (1, 1), 1);
+        if bn {
+            x = b.batchnorm_after(x, c);
+        }
+        x = b.activation_after(x, Activation::Relu);
+        if pool {
+            x = b.pool_after(x, PoolKind::Max, (2, 2), (2, 2));
+        }
+        ch = c;
+    }
+    let x = b.global_avg_pool_after(x);
+    let x = b.flatten_after(x);
+    let _ = b.dense_after(x, ch, 10);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every plan a planner produces executes successfully and yields a
+    /// graph structurally identical to the destination.
+    #[test]
+    fn plans_execute_and_verify(
+        src_spec in arb_chain_spec(),
+        dst_spec in arb_chain_spec(),
+    ) {
+        let cost = CostModel::default();
+        let src = build_chain("psrc", &src_spec, 0);
+        let dst = build_chain("pdst", &dst_spec, 1);
+        for planner in [&GroupPlanner as &dyn Planner, &MunkresPlanner, &NaivePlanner] {
+            let plan = planner.plan(&src, &dst, &cost);
+            let mut g = src.clone();
+            let report = execute_plan(&mut g, &plan, &dst)
+                .unwrap_or_else(|e| panic!("{}: {e}", planner.name()));
+            prop_assert!(report.verified);
+            prop_assert!(g.structurally_equal(&dst));
+        }
+    }
+
+    /// Plan cost is non-negative and the cost breakdown matches the steps.
+    #[test]
+    fn cost_breakdown_is_consistent(
+        src_spec in arb_chain_spec(),
+        dst_spec in arb_chain_spec(),
+    ) {
+        let cost = CostModel::default();
+        let src = build_chain("psrc", &src_spec, 0);
+        let dst = build_chain("pdst", &dst_spec, 1);
+        let plan = GroupPlanner.plan(&src, &dst, &cost);
+        prop_assert!(plan.cost.total() >= 0.0);
+        prop_assert_eq!(plan.cost.step_count(), plan.steps.len());
+        let n_replace = plan.steps.iter().filter(|s| s.kind_name() == "replace").count();
+        let n_add = plan.steps.iter().filter(|s| s.kind_name() == "add").count();
+        prop_assert_eq!(n_replace, plan.cost.n_replace);
+        prop_assert_eq!(n_add, plan.cost.n_add);
+    }
+
+    /// Munkres never produces a costlier plan than the group heuristic or
+    /// the naive baseline (it is optimal among mappings).
+    #[test]
+    fn munkres_lower_bounds_other_planners(
+        src_spec in arb_chain_spec(),
+        dst_spec in arb_chain_spec(),
+    ) {
+        let cost = CostModel::default();
+        let src = build_chain("psrc", &src_spec, 0);
+        let dst = build_chain("pdst", &dst_spec, 1);
+        // Compare op-level costs: the matrix formulation (like the paper's
+        // Eq. 1) excludes negligible Edge costs, so mappings of equal
+        // op-level cost may differ in edge-step counts.
+        let op_cost = |p: &optimus_core::TransformPlan| p.cost.total() - p.cost.edge;
+        let optimal = op_cost(&MunkresPlanner.plan(&src, &dst, &cost));
+        let group = op_cost(&GroupPlanner.plan(&src, &dst, &cost));
+        let naive = op_cost(&NaivePlanner.plan(&src, &dst, &cost));
+        prop_assert!(optimal <= group + 1e-9, "optimal {} > group {}", optimal, group);
+        prop_assert!(optimal <= naive + 1e-9, "optimal {} > naive {}", optimal, naive);
+    }
+
+    /// Transforming a model into itself is free; into a weight variant of
+    /// itself needs only Replace steps.
+    #[test]
+    fn identity_and_weight_variant_plans(spec in arb_chain_spec()) {
+        let cost = CostModel::default();
+        let a = build_chain("m", &spec, 0);
+        let ident = GroupPlanner.plan(&a, &a, &cost);
+        prop_assert!(ident.is_identity());
+        prop_assert_eq!(ident.cost.total(), 0.0);
+
+        let b = build_chain("m", &spec, 1);
+        let wv = GroupPlanner.plan(&a, &b, &cost);
+        prop_assert_eq!(wv.cost.n_reshape, 0);
+        prop_assert_eq!(wv.cost.n_add, 0);
+        prop_assert_eq!(wv.cost.n_reduce, 0);
+        prop_assert_eq!(wv.cost.n_edge, 0);
+    }
+
+    /// The safeguard invariant: min(plan, load) never exceeds the scratch
+    /// load cost — Optimus is never worse than a traditional platform.
+    #[test]
+    fn safeguard_never_worse_than_loading(
+        src_spec in arb_chain_spec(),
+        dst_spec in arb_chain_spec(),
+    ) {
+        let cost = CostModel::default();
+        let src = build_chain("psrc", &src_spec, 0);
+        let dst = build_chain("pdst", &dst_spec, 1);
+        let plan = GroupPlanner.plan(&src, &dst, &cost).cost.total();
+        let load = cost.model_load_cost(&dst);
+        let effective = plan.min(load);
+        prop_assert!(effective <= load + 1e-12);
+    }
+}

@@ -1,0 +1,383 @@
+//! Fluent builder for constructing model graphs.
+//!
+//! The zoo crates build hundreds of architectures; this builder keeps that
+//! code terse while guaranteeing well-formed graphs. Seeds for weight
+//! initialisation are derived deterministically from the model name and a
+//! per-op counter so the same builder program always yields the same model.
+
+use crate::error::ModelError;
+use crate::graph::{ModelGraph, OpId};
+use crate::op::{Activation, OpAttrs, Operation, Padding, PoolKind};
+use crate::shape::TensorShape;
+use crate::ModelFamily;
+
+/// Fluent graph builder.
+///
+/// ```
+/// use optimus_model::{GraphBuilder, Activation};
+/// let mut b = GraphBuilder::new("demo");
+/// let x = b.input([1, 3, 32, 32]);
+/// let x = b.conv2d_after(x, 3, 16, (3, 3), (1, 1), 1);
+/// let x = b.batchnorm_after(x, 16);
+/// let x = b.activation_after(x, Activation::Relu);
+/// let x = b.global_avg_pool_after(x);
+/// let x = b.flatten_after(x);
+/// let _ = b.dense_after(x, 16, 10);
+/// let model = b.finish().unwrap();
+/// assert_eq!(model.op_count(), 7);
+/// ```
+pub struct GraphBuilder {
+    graph: ModelGraph,
+    seed_base: u64,
+    op_counter: u64,
+    /// Optional weight-variant salt so two models can share structure but
+    /// differ in weights (Figure 11's diagonal case).
+    weight_variant: u64,
+}
+
+impl GraphBuilder {
+    /// Start building a model with the given name (family defaults to
+    /// [`ModelFamily::Custom`]; set it with [`GraphBuilder::family`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let seed_base = fnv1a(name.as_bytes());
+        GraphBuilder {
+            graph: ModelGraph::new(name, ModelFamily::Custom),
+            seed_base,
+            op_counter: 0,
+            weight_variant: 0,
+        }
+    }
+
+    /// Set the family tag.
+    pub fn family(mut self, family: ModelFamily) -> Self {
+        self.graph.set_family(family);
+        self
+    }
+
+    /// Set a weight-variant salt: same structure, different weights.
+    pub fn weight_variant(mut self, variant: u64) -> Self {
+        self.weight_variant = variant;
+        self
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.op_counter += 1;
+        self.seed_base
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(self.op_counter)
+            .wrapping_add(self.weight_variant.wrapping_mul(0x9E37_79B9))
+    }
+
+    fn auto_name(&self, prefix: &str) -> String {
+        format!("{prefix}_{}", self.op_counter)
+    }
+
+    /// Add a free-standing op (no edges) with seeded weights.
+    pub fn op(&mut self, name: impl Into<String>, attrs: OpAttrs) -> OpId {
+        let seed = self.next_seed();
+        self.graph
+            .add_op(Operation::with_seeded_weights(name, attrs, seed))
+    }
+
+    /// Add an op and connect it after `prev`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` is not a valid id from this builder (programming
+    /// error in architecture code).
+    pub fn after(&mut self, prev: OpId, name: impl Into<String>, attrs: OpAttrs) -> OpId {
+        let id = self.op(name, attrs);
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Add an op consuming several predecessors (merge points).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid predecessor ids.
+    pub fn merge(&mut self, prevs: &[OpId], name: impl Into<String>, attrs: OpAttrs) -> OpId {
+        let id = self.op(name, attrs);
+        for &p in prevs {
+            self.graph
+                .add_edge(p, id)
+                .expect("builder ids are always valid");
+        }
+        id
+    }
+
+    /// Add an `Input` op.
+    pub fn input(&mut self, shape: impl Into<TensorShape>) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("input");
+        self.graph.add_op(Operation::weightless(
+            name,
+            OpAttrs::Input {
+                shape: shape.into(),
+            },
+        ))
+    }
+
+    /// Conv2d with `Same` padding and bias, after `prev`.
+    pub fn conv2d_after(
+        &mut self,
+        prev: OpId,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        groups: usize,
+    ) -> OpId {
+        let seed = self.next_seed();
+        let name = self.auto_name("conv");
+        let id = self.graph.add_op(Operation::with_seeded_weights(
+            name,
+            OpAttrs::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding: Padding::Same,
+                groups,
+                bias: true,
+            },
+            seed,
+        ));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Dense layer after `prev`.
+    pub fn dense_after(&mut self, prev: OpId, in_features: usize, out_features: usize) -> OpId {
+        let seed = self.next_seed();
+        let name = self.auto_name("dense");
+        let id = self.graph.add_op(Operation::with_seeded_weights(
+            name,
+            OpAttrs::Dense {
+                in_features,
+                out_features,
+                bias: true,
+            },
+            seed,
+        ));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Batch-norm after `prev`.
+    pub fn batchnorm_after(&mut self, prev: OpId, features: usize) -> OpId {
+        let seed = self.next_seed();
+        let name = self.auto_name("bn");
+        let id = self.graph.add_op(Operation::with_seeded_weights(
+            name,
+            OpAttrs::BatchNorm { features },
+            seed,
+        ));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Layer-norm after `prev`.
+    pub fn layernorm_after(&mut self, prev: OpId, features: usize) -> OpId {
+        let seed = self.next_seed();
+        let name = self.auto_name("ln");
+        let id = self.graph.add_op(Operation::with_seeded_weights(
+            name,
+            OpAttrs::LayerNorm { features },
+            seed,
+        ));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Activation after `prev`.
+    pub fn activation_after(&mut self, prev: OpId, kind: Activation) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("act");
+        let id = self
+            .graph
+            .add_op(Operation::weightless(name, OpAttrs::Activation { kind }));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Windowed pooling after `prev` (valid padding).
+    pub fn pool_after(
+        &mut self,
+        prev: OpId,
+        kind: PoolKind,
+        size: (usize, usize),
+        stride: (usize, usize),
+    ) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("pool");
+        let id = self.graph.add_op(Operation::weightless(
+            name,
+            OpAttrs::Pool2d {
+                kind,
+                size,
+                stride,
+                padding: Padding::Valid,
+            },
+        ));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Global average pool after `prev`.
+    pub fn global_avg_pool_after(&mut self, prev: OpId) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("gap");
+        let id = self.graph.add_op(Operation::weightless(
+            name,
+            OpAttrs::GlobalPool {
+                kind: PoolKind::Avg,
+            },
+        ));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Flatten after `prev`.
+    pub fn flatten_after(&mut self, prev: OpId) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("flatten");
+        let id = self
+            .graph
+            .add_op(Operation::weightless(name, OpAttrs::Flatten));
+        self.graph
+            .add_edge(prev, id)
+            .expect("builder ids are always valid");
+        id
+    }
+
+    /// Element-wise add of several branches.
+    pub fn add_of(&mut self, branches: &[OpId]) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("add");
+        self.merge_weightless(branches, name, OpAttrs::Add)
+    }
+
+    /// Concat of several branches.
+    pub fn concat_of(&mut self, branches: &[OpId]) -> OpId {
+        self.op_counter += 1;
+        let name = self.auto_name("concat");
+        self.merge_weightless(branches, name, OpAttrs::Concat)
+    }
+
+    fn merge_weightless(&mut self, prevs: &[OpId], name: String, attrs: OpAttrs) -> OpId {
+        let id = self.graph.add_op(Operation::weightless(name, attrs));
+        for &p in prevs {
+            self.graph
+                .add_edge(p, id)
+                .expect("builder ids are always valid");
+        }
+        id
+    }
+
+    /// Finish and validate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures ([`ModelGraph::validate`]).
+    pub fn finish(self) -> Result<ModelGraph, ModelError> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+
+    /// Finish without validating (tests of invalid graphs).
+    pub fn finish_unchecked(self) -> ModelGraph {
+        self.graph
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_deterministic() {
+        let build = || {
+            let mut b = GraphBuilder::new("det");
+            let i = b.input([1, 3, 8, 8]);
+            let c = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+            let _ = b.activation_after(c, Activation::Relu);
+            b.finish().unwrap()
+        };
+        let g1 = build();
+        let g2 = build();
+        assert!(g1.structurally_equal(&g2));
+    }
+
+    #[test]
+    fn weight_variant_changes_weights_not_structure() {
+        let build = |v| {
+            let mut b = GraphBuilder::new("var").weight_variant(v);
+            let i = b.input([1, 3, 8, 8]);
+            let _ = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+            b.finish().unwrap()
+        };
+        let g1 = build(0);
+        let g2 = build(1);
+        assert!(!g1.structurally_equal(&g2));
+        // Same attrs, different weight ids.
+        let w1: Vec<_> = g1.ops().filter_map(|(_, o)| o.weights.clone()).collect();
+        let w2: Vec<_> = g2.ops().filter_map(|(_, o)| o.weights.clone()).collect();
+        assert_ne!(w1[0].id(), w2[0].id());
+    }
+
+    #[test]
+    fn branches_merge_correctly() {
+        let mut b = GraphBuilder::new("res");
+        let i = b.input([1, 4, 8, 8]);
+        let c1 = b.conv2d_after(i, 4, 4, (3, 3), (1, 1), 1);
+        let sum = b.add_of(&[i, c1]);
+        let _ = b.activation_after(sum, Activation::Relu);
+        let g = b.finish().unwrap();
+        assert_eq!(g.predecessors(sum).len(), 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn different_names_give_different_weights() {
+        let gw = |name: &str| {
+            let mut b = GraphBuilder::new(name);
+            let i = b.input([1, 3, 8, 8]);
+            let _ = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+            let g = b.finish().unwrap();
+            let id = g
+                .ops()
+                .filter_map(|(_, o)| o.weights.as_ref().map(|w| w.id()))
+                .next()
+                .unwrap();
+            id
+        };
+        assert_ne!(gw("model-a"), gw("model-b"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export for model graphs.
+//!
+//! Handy for inspecting zoo architectures and for eyeballing what a
+//! transformation did to a container's model:
+//!
+//! ```sh
+//! cargo run --bin optimus-cli -- inspect resnet18   # stats
+//! # …or render a graph:
+//! # optimus::model::dot::to_dot(&graph) | dot -Tsvg > model.svg
+//! ```
+
+use crate::graph::ModelGraph;
+use crate::op::OpKind;
+
+/// Render the graph as Graphviz DOT.
+///
+/// Weight-bearing operations are drawn as boxes with their parameter
+/// counts; weight-free operations as ellipses. The output is deterministic
+/// (stable id order).
+pub fn to_dot(graph: &ModelGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(graph.name())));
+    out.push_str("  rankdir=TB;\n  node [fontsize=10];\n");
+    for (id, op) in graph.ops() {
+        let (shape, extra) = if op.weights.is_some() {
+            ("box", format!("\\n{} params", op.weight_count()))
+        } else {
+            ("ellipse", String::new())
+        };
+        let color = match op.kind() {
+            OpKind::Conv2d => "lightblue",
+            OpKind::Dense => "lightsalmon",
+            OpKind::BatchNorm | OpKind::LayerNorm => "lightyellow",
+            OpKind::Input => "lightgreen",
+            k if k.is_attention() => "plum",
+            OpKind::Lstm | OpKind::Gru => "lightcyan",
+            _ => "white",
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\\n[{}]{}\", shape={}, style=filled, fillcolor={}];\n",
+            id.0,
+            escape(&op.name),
+            op.kind(),
+            extra,
+            shape,
+            color
+        ));
+    }
+    for e in graph.edges() {
+        out.push_str(&format!("  n{} -> n{};\n", e.from.0, e.to.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Activation;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new("dot-test");
+        let i = b.input([1, 3, 8, 8]);
+        let c = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+        let _ = b.activation_after(c, Activation::Relu);
+        let g = b.finish().unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph \"dot-test\""));
+        assert_eq!(dot.matches("label=").count(), g.op_count());
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        assert!(dot.contains("box"), "weighted ops are boxes");
+        assert!(dot.contains("ellipse"), "weight-free ops are ellipses");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = GraphBuilder::new("has\"quote");
+        let _ = b.input([1, 2]);
+        let g = b.finish_unchecked();
+        let dot = to_dot(&g);
+        assert!(dot.contains("has\\\"quote"));
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let g = {
+            let mut b = GraphBuilder::new("det");
+            let i = b.input([1, 3, 8, 8]);
+            let _ = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+            b.finish().unwrap()
+        };
+        assert_eq!(to_dot(&g), to_dot(&g));
+    }
+}

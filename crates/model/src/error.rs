@@ -1,0 +1,90 @@
+//! Error type for model construction, validation and execution.
+
+use crate::graph::OpId;
+
+/// Errors produced by graph construction, validation, serialization and the
+/// forward-pass engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An edge references an operation id that is not present in the graph.
+    UnknownOp(OpId),
+    /// An edge was added twice or connects an op to itself.
+    InvalidEdge {
+        /// Source operation.
+        from: OpId,
+        /// Destination operation.
+        to: OpId,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The graph contains a cycle, so it is not a valid computational DAG.
+    CycleDetected,
+    /// The graph has no `Input` operation.
+    MissingInput,
+    /// Shape mismatch detected during validation or inference.
+    ShapeMismatch {
+        /// Operation at which the mismatch was detected.
+        op: OpId,
+        /// Human-readable description of the expected/actual shapes.
+        detail: String,
+    },
+    /// The forward-pass engine does not implement this operation kind.
+    UnsupportedOp {
+        /// Operation that could not be executed.
+        op: OpId,
+        /// Kind name.
+        kind: &'static str,
+    },
+    /// An operation's weights do not match the shapes implied by its
+    /// attributes.
+    WeightShapeMismatch {
+        /// Offending operation.
+        op: OpId,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Serialization / deserialization failure.
+    Serde(String),
+    /// An operation received the wrong number of inputs at execution time.
+    ArityMismatch {
+        /// Offending operation.
+        op: OpId,
+        /// Number of inputs the op expects.
+        expected: usize,
+        /// Number of inputs the graph supplies.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::UnknownOp(id) => write!(f, "unknown operation id {id:?}"),
+            ModelError::InvalidEdge { from, to, reason } => {
+                write!(f, "invalid edge {from:?} -> {to:?}: {reason}")
+            }
+            ModelError::CycleDetected => write!(f, "graph contains a cycle"),
+            ModelError::MissingInput => write!(f, "graph has no Input operation"),
+            ModelError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch at {op:?}: {detail}")
+            }
+            ModelError::UnsupportedOp { op, kind } => {
+                write!(f, "operation {op:?} of kind {kind} is not executable")
+            }
+            ModelError::WeightShapeMismatch { op, detail } => {
+                write!(f, "weight shape mismatch at {op:?}: {detail}")
+            }
+            ModelError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            ModelError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "operation {op:?} expects {expected} input(s) but got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

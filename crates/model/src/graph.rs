@@ -1,0 +1,574 @@
+//! The computational graph: a mutable DAG of operations.
+//!
+//! `ModelGraph` is the object the meta-operators edit in place inside a
+//! (simulated) warm container. It therefore exposes full mutation APIs —
+//! add/remove operations, add/remove edges — in addition to read-only
+//! queries (topological order, predecessors, validation, structural
+//! equality).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::op::{OpAttrs, OpKind, Operation};
+use crate::ModelFamily;
+
+/// Canonical graph form: sorted op descriptors plus a canonical edge list.
+type CanonicalForm = (Vec<String>, Vec<(usize, usize)>);
+
+/// Stable operation identifier within one [`ModelGraph`].
+///
+/// Ids are never reused within a graph, so a plan referring to ids stays
+/// valid while the executor deletes and inserts operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A directed data-flow edge between two operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing operation.
+    pub from: OpId,
+    /// Consuming operation.
+    pub to: OpId,
+}
+
+/// A named computational graph: operations plus data-flow edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelGraph {
+    name: String,
+    family: ModelFamily,
+    ops: BTreeMap<OpId, Operation>,
+    edges: BTreeSet<Edge>,
+    next_id: u32,
+}
+
+impl ModelGraph {
+    /// Create an empty graph.
+    pub fn new(name: impl Into<String>, family: ModelFamily) -> Self {
+        ModelGraph {
+            name: name.into(),
+            family,
+            ops: BTreeMap::new(),
+            edges: BTreeSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Model name (unique within a zoo / registry by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the model (used when a transformation re-purposes a graph).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Model family tag.
+    pub fn family(&self) -> ModelFamily {
+        self.family
+    }
+
+    /// Re-tag the family (used when a transformation re-purposes a graph).
+    pub fn set_family(&mut self, family: ModelFamily) {
+        self.family = family;
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an operation, returning its fresh id.
+    pub fn add_op(&mut self, op: Operation) -> OpId {
+        let id = OpId(self.next_id);
+        self.next_id += 1;
+        self.ops.insert(id, op);
+        id
+    }
+
+    /// Remove an operation and all incident edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownOp`] if the id is not present.
+    pub fn remove_op(&mut self, id: OpId) -> Result<Operation, ModelError> {
+        let op = self.ops.remove(&id).ok_or(ModelError::UnknownOp(id))?;
+        self.edges.retain(|e| e.from != id && e.to != id);
+        Ok(op)
+    }
+
+    /// Look up an operation.
+    pub fn op(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(&id)
+    }
+
+    /// Mutable access to an operation (used by `Replace`/`Reshape`).
+    pub fn op_mut(&mut self, id: OpId) -> Option<&mut Operation> {
+        self.ops.get_mut(&id)
+    }
+
+    /// Iterate `(id, op)` in stable id order.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &Operation)> {
+        self.ops.iter().map(|(id, op)| (*id, op))
+    }
+
+    /// All op ids in stable order.
+    pub fn op_ids(&self) -> Vec<OpId> {
+        self.ops.keys().copied().collect()
+    }
+
+    /// Iterate edges in stable order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Add a data-flow edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownOp`] when either endpoint is missing and
+    /// [`ModelError::InvalidEdge`] for self-loops or duplicate edges.
+    pub fn add_edge(&mut self, from: OpId, to: OpId) -> Result<(), ModelError> {
+        if !self.ops.contains_key(&from) {
+            return Err(ModelError::UnknownOp(from));
+        }
+        if !self.ops.contains_key(&to) {
+            return Err(ModelError::UnknownOp(to));
+        }
+        if from == to {
+            return Err(ModelError::InvalidEdge {
+                from,
+                to,
+                reason: "self-loop",
+            });
+        }
+        if !self.edges.insert(Edge { from, to }) {
+            return Err(ModelError::InvalidEdge {
+                from,
+                to,
+                reason: "duplicate edge",
+            });
+        }
+        Ok(())
+    }
+
+    /// Remove a data-flow edge; returns whether it existed.
+    pub fn remove_edge(&mut self, from: OpId, to: OpId) -> bool {
+        self.edges.remove(&Edge { from, to })
+    }
+
+    /// Whether an edge exists.
+    pub fn has_edge(&self, from: OpId, to: OpId) -> bool {
+        self.edges.contains(&Edge { from, to })
+    }
+
+    /// Predecessors (inputs) of an op, in stable order.
+    pub fn predecessors(&self, id: OpId) -> Vec<OpId> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == id)
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// Successors (consumers) of an op, in stable order.
+    pub fn successors(&self, id: OpId) -> Vec<OpId> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == id)
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Ids of `Input` operations.
+    pub fn inputs(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|(_, op)| op.kind() == OpKind::Input)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Ids of sink operations (no successors).
+    pub fn outputs(&self) -> Vec<OpId> {
+        let with_succ: BTreeSet<OpId> = self.edges.iter().map(|e| e.from).collect();
+        self.ops
+            .keys()
+            .copied()
+            .filter(|id| !with_succ.contains(id))
+            .collect()
+    }
+
+    /// Topological order of all operations (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CycleDetected`] when the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<OpId>, ModelError> {
+        let mut indeg: BTreeMap<OpId, usize> = self.ops.keys().map(|id| (*id, 0)).collect();
+        for e in &self.edges {
+            *indeg.get_mut(&e.to).expect("edge endpoints validated") += 1;
+        }
+        let mut queue: VecDeque<OpId> = indeg
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut order = Vec::with_capacity(self.ops.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for succ in self.successors(id) {
+                let d = indeg.get_mut(&succ).expect("known op");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        if order.len() == self.ops.len() {
+            Ok(order)
+        } else {
+            Err(ModelError::CycleDetected)
+        }
+    }
+
+    /// Validate the graph: edges reference known ops, the graph is acyclic,
+    /// an input exists, and every op's weights match its attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for e in &self.edges {
+            if !self.ops.contains_key(&e.from) {
+                return Err(ModelError::UnknownOp(e.from));
+            }
+            if !self.ops.contains_key(&e.to) {
+                return Err(ModelError::UnknownOp(e.to));
+            }
+        }
+        if self.inputs().is_empty() {
+            return Err(ModelError::MissingInput);
+        }
+        self.topo_order()?;
+        for (id, op) in &self.ops {
+            if !op.weights_consistent() {
+                return Err(ModelError::WeightShapeMismatch {
+                    op: *id,
+                    detail: format!(
+                        "op '{}' weights do not match attrs {:?}",
+                        op.name,
+                        op.attrs.kind()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total scalar parameter count of the model.
+    pub fn param_count(&self) -> usize {
+        self.ops.values().map(Operation::weight_count).sum()
+    }
+
+    /// Serialized size in bytes at `f32` precision (parameters only),
+    /// matching the paper's Figure 2c "Size (MB)" metric.
+    pub fn byte_size(&self) -> usize {
+        self.param_count() * 4
+    }
+
+    /// Count operations that carry weights (the paper notes ResNet101 has
+    /// 347 operations of which only 101 carry weights).
+    pub fn weighted_op_count(&self) -> usize {
+        self.ops.values().filter(|op| op.weights.is_some()).count()
+    }
+
+    /// Structural-and-weight equality with another graph, ignoring op ids
+    /// and insertion order.
+    ///
+    /// Two graphs are *equivalent* when there is a bijection between their
+    /// ops that preserves attributes, weights (by content id) and edges.
+    /// The transformation executor uses this to assert that applying a plan
+    /// to the source model really produced the destination model.
+    ///
+    /// The check canonicalises each graph by topological order with
+    /// `(kind, attrs-fingerprint, name)` tie-breaking, which is exact for
+    /// the graph shapes produced by the zoo (chains with residual/branch
+    /// merges whose ops are name-distinguished).
+    pub fn structurally_equal(&self, other: &ModelGraph) -> bool {
+        if self.op_count() != other.op_count() || self.edge_count() != other.edge_count() {
+            return false;
+        }
+        let (Some(a), Some(b)) = (self.canonical_form(), other.canonical_form()) else {
+            return false;
+        };
+        a == b
+    }
+
+    /// Canonical representation: per-op descriptors plus canonical edge
+    /// list, or `None` for cyclic graphs.
+    fn canonical_form(&self) -> Option<CanonicalForm> {
+        let mut order = self.topo_order().ok()?;
+        // Stable-sort within topological levels by descriptor.
+        let desc = |id: OpId| -> String {
+            let op = self.ops.get(&id).expect("topo ids exist");
+            let wid = op.weights.as_ref().map(|w| w.id().0).unwrap_or(0);
+            format!("{:?}|{}|{:016x}", op.attrs, op.name, wid)
+        };
+        // Compute topological depth for level-wise sorting.
+        let mut depth: HashMap<OpId, usize> = HashMap::new();
+        for &id in &order {
+            let d = self
+                .predecessors(id)
+                .iter()
+                .map(|p| depth.get(p).copied().unwrap_or(0) + 1)
+                .max()
+                .unwrap_or(0);
+            depth.insert(id, d);
+        }
+        order.sort_by(|a, b| {
+            depth[a]
+                .cmp(&depth[b])
+                .then_with(|| desc(*a).cmp(&desc(*b)))
+        });
+        let index: HashMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let descriptors = order.iter().map(|id| desc(*id)).collect();
+        let mut edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|e| (index[&e.from], index[&e.to]))
+            .collect();
+        edges.sort_unstable();
+        Some((descriptors, edges))
+    }
+
+    /// Group op ids by kind, preserving id order within each group.
+    ///
+    /// This is step (1) of the paper's Module 2⁺ group-based planner.
+    pub fn ops_by_kind(&self) -> BTreeMap<OpKind, Vec<OpId>> {
+        let mut map: BTreeMap<OpKind, Vec<OpId>> = BTreeMap::new();
+        for (id, op) in &self.ops {
+            map.entry(op.kind()).or_default().push(*id);
+        }
+        map
+    }
+
+    /// Convenience: add an op built from attrs with seeded weights and wire
+    /// it after `prev`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `prev` is unknown.
+    pub fn append_after(
+        &mut self,
+        prev: OpId,
+        name: impl Into<String>,
+        attrs: OpAttrs,
+        seed: u64,
+    ) -> Result<OpId, ModelError> {
+        if !self.ops.contains_key(&prev) {
+            return Err(ModelError::UnknownOp(prev));
+        }
+        let id = self.add_op(Operation::with_seeded_weights(name, attrs, seed));
+        self.add_edge(prev, id)?;
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Activation;
+
+    fn input() -> Operation {
+        Operation::weightless(
+            "in",
+            OpAttrs::Input {
+                shape: crate::TensorShape::from([1, 3, 8, 8]),
+            },
+        )
+    }
+
+    fn relu(name: &str) -> Operation {
+        Operation::weightless(
+            name,
+            OpAttrs::Activation {
+                kind: Activation::Relu,
+            },
+        )
+    }
+
+    #[test]
+    fn build_and_query_chain() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let a = g.add_op(input());
+        let b = g.add_op(relu("r1"));
+        let c = g.add_op(relu("r2"));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(g.op_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.predecessors(c), vec![b]);
+        assert_eq!(g.successors(a), vec![b]);
+        assert_eq!(g.inputs(), vec![a]);
+        assert_eq!(g.outputs(), vec![c]);
+        assert_eq!(g.topo_order().unwrap(), vec![a, b, c]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let a = g.add_op(input());
+        let b = g.add_op(relu("r1"));
+        let c = g.add_op(relu("r2"));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, b).unwrap();
+        assert_eq!(g.topo_order(), Err(ModelError::CycleDetected));
+        assert_eq!(g.validate(), Err(ModelError::CycleDetected));
+    }
+
+    #[test]
+    fn self_loop_and_duplicate_edges_rejected() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let a = g.add_op(input());
+        let b = g.add_op(relu("r"));
+        assert!(matches!(
+            g.add_edge(a, a),
+            Err(ModelError::InvalidEdge { .. })
+        ));
+        g.add_edge(a, b).unwrap();
+        assert!(matches!(
+            g.add_edge(a, b),
+            Err(ModelError::InvalidEdge { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(a, OpId(99)),
+            Err(ModelError::UnknownOp(OpId(99)))
+        ));
+    }
+
+    #[test]
+    fn remove_op_drops_incident_edges() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let a = g.add_op(input());
+        let b = g.add_op(relu("r1"));
+        let c = g.add_op(relu("r2"));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.remove_op(b).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.op_count(), 2);
+        assert!(g.remove_op(b).is_err());
+    }
+
+    #[test]
+    fn ids_are_not_reused() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let a = g.add_op(input());
+        g.remove_op(a).unwrap();
+        let b = g.add_op(input());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn missing_input_fails_validation() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        g.add_op(relu("r"));
+        assert_eq!(g.validate(), Err(ModelError::MissingInput));
+    }
+
+    #[test]
+    fn structural_equality_ignores_insertion_order() {
+        let mut g1 = ModelGraph::new("a", ModelFamily::Custom);
+        let i1 = g1.add_op(input());
+        let r1 = g1.add_op(relu("r1"));
+        g1.add_edge(i1, r1).unwrap();
+
+        let mut g2 = ModelGraph::new("b", ModelFamily::Custom);
+        let r2 = g2.add_op(relu("r1"));
+        let i2 = g2.add_op(input());
+        g2.add_edge(i2, r2).unwrap();
+
+        assert!(g1.structurally_equal(&g2));
+    }
+
+    #[test]
+    fn structural_equality_detects_weight_difference() {
+        let conv = |seed| {
+            Operation::with_seeded_weights(
+                "c",
+                OpAttrs::Conv2d {
+                    in_channels: 3,
+                    out_channels: 4,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: crate::Padding::Same,
+                    groups: 1,
+                    bias: true,
+                },
+                seed,
+            )
+        };
+        let mut g1 = ModelGraph::new("a", ModelFamily::Custom);
+        let i = g1.add_op(input());
+        let c = g1.add_op(conv(1));
+        g1.add_edge(i, c).unwrap();
+        let mut g2 = g1.clone();
+        assert!(g1.structurally_equal(&g2));
+        g2.op_mut(c).unwrap().weights = conv(2).weights;
+        assert!(!g1.structurally_equal(&g2));
+    }
+
+    #[test]
+    fn group_by_kind() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let a = g.add_op(input());
+        let b = g.add_op(relu("r1"));
+        let c = g.add_op(relu("r2"));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let groups = g.ops_by_kind();
+        assert_eq!(groups[&OpKind::Activation], vec![b, c]);
+        assert_eq!(groups[&OpKind::Input], vec![a]);
+    }
+
+    #[test]
+    fn param_count_sums_ops() {
+        let mut g = ModelGraph::new("m", ModelFamily::Custom);
+        let i = g.add_op(input());
+        g.append_after(
+            i,
+            "c1",
+            OpAttrs::Conv2d {
+                in_channels: 3,
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: crate::Padding::Same,
+                groups: 1,
+                bias: true,
+            },
+            7,
+        )
+        .unwrap();
+        assert_eq!(g.param_count(), 8 * 3 * 9 + 8);
+        assert_eq!(g.byte_size(), g.param_count() * 4);
+        assert_eq!(g.weighted_op_count(), 1);
+    }
+}

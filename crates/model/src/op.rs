@@ -1,0 +1,687 @@
+//! Operation taxonomy: the node types of the computational graph.
+//!
+//! The taxonomy covers the CNN operations the paper profiles in §3.2
+//! (CONV, dense, batch-norm, pooling, activation, add, …) and the
+//! transformer operations of §5.2 (embedding, Q/K/V/O projections, the
+//! weight-free Logit and Attend operations, layer-norm).
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::TensorShape;
+use crate::weights::{WeightSpec, Weights};
+
+/// Activation function selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6 (MobileNet).
+    Relu6,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Gaussian error linear unit (BERT).
+    Gelu,
+    /// x·sigmoid(x) (EfficientNet-style).
+    Swish,
+    /// Softmax over the last axis.
+    Softmax,
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Spatial padding policy for convolutions and pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding; output shrinks by `kernel - 1`.
+    Valid,
+    /// Zero padding chosen so output size equals `ceil(input / stride)`.
+    Same,
+}
+
+/// Coarse operation kind.
+///
+/// This is the grouping key of the paper's Module 2⁺ planner ("group all
+/// operations of the source model by their type") and the first field of a
+/// Tetris sharing signature. It deliberately drops shape detail — two
+/// convolutions of different kernel sizes share a kind, which is exactly
+/// what makes a cheap `Reshape` between them possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Graph input placeholder.
+    Input,
+    /// 2-D convolution (`groups == in_channels` makes it depthwise).
+    Conv2d,
+    /// Fully connected layer.
+    Dense,
+    /// Batch normalisation (4 parameter vectors).
+    BatchNorm,
+    /// Layer normalisation (2 parameter vectors).
+    LayerNorm,
+    /// Parameter-free activation.
+    Activation,
+    /// Windowed spatial pooling.
+    Pool2d,
+    /// Global spatial pooling.
+    GlobalPool,
+    /// Element-wise addition (residual connections).
+    Add,
+    /// Channel concatenation (DenseNet, Inception).
+    Concat,
+    /// Flatten NCHW to NC.
+    Flatten,
+    /// Dropout (identity at inference; kept because it appears in graphs).
+    Dropout,
+    /// Explicit zero padding.
+    ZeroPad,
+    /// Token embedding lookup table.
+    Embedding,
+    /// Learned positional embedding.
+    PosEmbedding,
+    /// Attention query projection.
+    Query,
+    /// Attention key projection.
+    Key,
+    /// Attention value projection.
+    Value,
+    /// Attention output projection.
+    AttnOutput,
+    /// Scaled dot-product logits QKᵀ/√d (weight-free, §5.2).
+    Logit,
+    /// Attention-weighted value combination (weight-free, §5.2).
+    Attend,
+    /// Softmax as a standalone graph node.
+    Softmax,
+    /// Long short-term memory recurrent layer (§7 notes the meta-operator
+    /// interface covers RNN operations).
+    Lstm,
+    /// Gated recurrent unit layer.
+    Gru,
+}
+
+impl OpKind {
+    /// Whether operations of this kind carry weights.
+    ///
+    /// Matches the paper's observation (§3.2) that weight-bearing ops
+    /// (CONV, dense) load much more slowly than weight-free ones
+    /// (activation, pooling, add), and §4.4's "most operations in a model do
+    /// not contain weights".
+    pub fn has_weights(self) -> bool {
+        matches!(
+            self,
+            OpKind::Conv2d
+                | OpKind::Dense
+                | OpKind::BatchNorm
+                | OpKind::LayerNorm
+                | OpKind::Embedding
+                | OpKind::PosEmbedding
+                | OpKind::Query
+                | OpKind::Key
+                | OpKind::Value
+                | OpKind::AttnOutput
+                | OpKind::Lstm
+                | OpKind::Gru
+        )
+    }
+
+    /// Whether this kind belongs to the transformer-specific op set (§5.2).
+    pub fn is_attention(self) -> bool {
+        matches!(
+            self,
+            OpKind::Query
+                | OpKind::Key
+                | OpKind::Value
+                | OpKind::AttnOutput
+                | OpKind::Logit
+                | OpKind::Attend
+                | OpKind::Embedding
+                | OpKind::PosEmbedding
+        )
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Conv2d => "conv2d",
+            OpKind::Dense => "dense",
+            OpKind::BatchNorm => "batchnorm",
+            OpKind::LayerNorm => "layernorm",
+            OpKind::Activation => "activation",
+            OpKind::Pool2d => "pool2d",
+            OpKind::GlobalPool => "globalpool",
+            OpKind::Add => "add",
+            OpKind::Concat => "concat",
+            OpKind::Flatten => "flatten",
+            OpKind::Dropout => "dropout",
+            OpKind::ZeroPad => "zeropad",
+            OpKind::Embedding => "embedding",
+            OpKind::PosEmbedding => "pos_embedding",
+            OpKind::Query => "query",
+            OpKind::Key => "key",
+            OpKind::Value => "value",
+            OpKind::AttnOutput => "attn_output",
+            OpKind::Logit => "logit",
+            OpKind::Attend => "attend",
+            OpKind::Softmax => "softmax",
+            OpKind::Lstm => "lstm",
+            OpKind::Gru => "gru",
+        }
+    }
+
+    /// All kinds, in a stable order (used by profilers and histograms).
+    pub const ALL: [OpKind; 24] = [
+        OpKind::Input,
+        OpKind::Conv2d,
+        OpKind::Dense,
+        OpKind::BatchNorm,
+        OpKind::LayerNorm,
+        OpKind::Activation,
+        OpKind::Pool2d,
+        OpKind::GlobalPool,
+        OpKind::Add,
+        OpKind::Concat,
+        OpKind::Flatten,
+        OpKind::Dropout,
+        OpKind::ZeroPad,
+        OpKind::Embedding,
+        OpKind::PosEmbedding,
+        OpKind::Query,
+        OpKind::Key,
+        OpKind::Value,
+        OpKind::AttnOutput,
+        OpKind::Logit,
+        OpKind::Attend,
+        OpKind::Softmax,
+        OpKind::Lstm,
+        OpKind::Gru,
+    ];
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full attributes of an operation: the kind plus every shape parameter the
+/// cost model and the `Reshape` meta-operator need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpAttrs {
+    /// Graph input with a fixed activation shape.
+    Input {
+        /// Activation shape produced by this input.
+        shape: TensorShape,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels (number of kernels, `k` in the paper's figures).
+        out_channels: usize,
+        /// Kernel size `(h, w)` (`x × y` in the paper's figures).
+        kernel: (usize, usize),
+        /// Stride `(h, w)`.
+        stride: (usize, usize),
+        /// Padding policy.
+        padding: Padding,
+        /// Channel groups; `groups == in_channels` makes this depthwise.
+        groups: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Fully connected layer.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Whether a bias vector is present.
+        bias: bool,
+    },
+    /// Batch normalisation over `features` channels.
+    BatchNorm {
+        /// Normalised channel count.
+        features: usize,
+    },
+    /// Layer normalisation over `features` units.
+    LayerNorm {
+        /// Normalised feature count.
+        features: usize,
+    },
+    /// Parameter-free activation.
+    Activation {
+        /// Function selector.
+        kind: Activation,
+    },
+    /// Windowed spatial pooling.
+    Pool2d {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window size `(h, w)`.
+        size: (usize, usize),
+        /// Stride `(h, w)`.
+        stride: (usize, usize),
+        /// Padding policy.
+        padding: Padding,
+    },
+    /// Global spatial pooling to `1 × 1`.
+    GlobalPool {
+        /// Max or average.
+        kind: PoolKind,
+    },
+    /// Element-wise addition of all inputs.
+    Add,
+    /// Concatenation along the channel axis.
+    Concat,
+    /// Flatten to `[batch, features]`.
+    Flatten,
+    /// Dropout with the given rate (identity at inference).
+    Dropout {
+        /// Drop probability.
+        rate: f32,
+    },
+    /// Zero padding of the spatial dims.
+    ZeroPad {
+        /// Padding `(h, w)` added on each side.
+        pad: (usize, usize),
+    },
+    /// Token embedding table.
+    Embedding {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// Learned positional embedding.
+    PosEmbedding {
+        /// Maximum sequence length.
+        max_len: usize,
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// Attention query projection (`hidden → hidden`, multi-head).
+    Query {
+        /// Hidden width.
+        hidden: usize,
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Attention key projection.
+    Key {
+        /// Hidden width.
+        hidden: usize,
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Attention value projection.
+    Value {
+        /// Hidden width.
+        hidden: usize,
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Attention output projection.
+    AttnOutput {
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// Scaled dot-product logits (weight-free).
+    Logit {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Attention-weighted combination (weight-free).
+    Attend {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// Standalone softmax node.
+    Softmax,
+    /// LSTM recurrent layer over a `[B, S, in]` sequence.
+    Lstm {
+        /// Input feature width.
+        input: usize,
+        /// Hidden state width.
+        hidden: usize,
+    },
+    /// GRU recurrent layer over a `[B, S, in]` sequence.
+    Gru {
+        /// Input feature width.
+        input: usize,
+        /// Hidden state width.
+        hidden: usize,
+    },
+}
+
+impl OpAttrs {
+    /// The coarse kind of these attributes.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            OpAttrs::Input { .. } => OpKind::Input,
+            OpAttrs::Conv2d { .. } => OpKind::Conv2d,
+            OpAttrs::Dense { .. } => OpKind::Dense,
+            OpAttrs::BatchNorm { .. } => OpKind::BatchNorm,
+            OpAttrs::LayerNorm { .. } => OpKind::LayerNorm,
+            OpAttrs::Activation { .. } => OpKind::Activation,
+            OpAttrs::Pool2d { .. } => OpKind::Pool2d,
+            OpAttrs::GlobalPool { .. } => OpKind::GlobalPool,
+            OpAttrs::Add => OpKind::Add,
+            OpAttrs::Concat => OpKind::Concat,
+            OpAttrs::Flatten => OpKind::Flatten,
+            OpAttrs::Dropout { .. } => OpKind::Dropout,
+            OpAttrs::ZeroPad { .. } => OpKind::ZeroPad,
+            OpAttrs::Embedding { .. } => OpKind::Embedding,
+            OpAttrs::PosEmbedding { .. } => OpKind::PosEmbedding,
+            OpAttrs::Query { .. } => OpKind::Query,
+            OpAttrs::Key { .. } => OpKind::Key,
+            OpAttrs::Value { .. } => OpKind::Value,
+            OpAttrs::AttnOutput { .. } => OpKind::AttnOutput,
+            OpAttrs::Logit { .. } => OpKind::Logit,
+            OpAttrs::Attend { .. } => OpKind::Attend,
+            OpAttrs::Softmax => OpKind::Softmax,
+            OpAttrs::Lstm { .. } => OpKind::Lstm,
+            OpAttrs::Gru { .. } => OpKind::Gru,
+        }
+    }
+
+    /// Weight tensor shapes implied by these attributes, in canonical order.
+    ///
+    /// Convolutions yield `[out, in/groups, kh, kw]` (+ `[out]` bias), dense
+    /// layers `[out, in]` (+ `[out]`), batch-norm four `[features]` vectors
+    /// (γ, β, running mean, running var), layer-norm two, embeddings a
+    /// `[vocab, hidden]` table, attention projections `[hidden, hidden]`
+    /// (+ `[hidden]`). Weight-free kinds return an empty list.
+    pub fn weight_shapes(&self) -> Vec<TensorShape> {
+        match *self {
+            OpAttrs::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                groups,
+                bias,
+                ..
+            } => {
+                let mut v = vec![TensorShape::from(vec![
+                    out_channels,
+                    in_channels / groups.max(1),
+                    kernel.0,
+                    kernel.1,
+                ])];
+                if bias {
+                    v.push(TensorShape::from(vec![out_channels]));
+                }
+                v
+            }
+            OpAttrs::Dense {
+                in_features,
+                out_features,
+                bias,
+            } => {
+                let mut v = vec![TensorShape::from(vec![out_features, in_features])];
+                if bias {
+                    v.push(TensorShape::from(vec![out_features]));
+                }
+                v
+            }
+            OpAttrs::BatchNorm { features } => {
+                vec![TensorShape::from(vec![features]); 4]
+            }
+            OpAttrs::LayerNorm { features } => {
+                vec![TensorShape::from(vec![features]); 2]
+            }
+            OpAttrs::Embedding { vocab, hidden } => {
+                vec![TensorShape::from(vec![vocab, hidden])]
+            }
+            OpAttrs::PosEmbedding { max_len, hidden } => {
+                vec![TensorShape::from(vec![max_len, hidden])]
+            }
+            OpAttrs::Query { hidden, .. }
+            | OpAttrs::Key { hidden, .. }
+            | OpAttrs::Value { hidden, .. }
+            | OpAttrs::AttnOutput { hidden } => {
+                vec![
+                    TensorShape::from(vec![hidden, hidden]),
+                    TensorShape::from(vec![hidden]),
+                ]
+            }
+            // Gate-stacked recurrent weights: input kernel W, recurrent
+            // kernel U, bias b — 4 gates for LSTM, 3 for GRU.
+            OpAttrs::Lstm { input, hidden } => {
+                vec![
+                    TensorShape::from(vec![4 * hidden, input]),
+                    TensorShape::from(vec![4 * hidden, hidden]),
+                    TensorShape::from(vec![4 * hidden]),
+                ]
+            }
+            OpAttrs::Gru { input, hidden } => {
+                vec![
+                    TensorShape::from(vec![3 * hidden, input]),
+                    TensorShape::from(vec![3 * hidden, hidden]),
+                    TensorShape::from(vec![3 * hidden]),
+                ]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Total scalar parameter count implied by these attributes.
+    pub fn weight_count(&self) -> usize {
+        self.weight_shapes().iter().map(TensorShape::numel).sum()
+    }
+
+    /// A *shape magnitude* scalar used by the cost model to price `Reshape`
+    /// by "the magnitude of the destination operations' shape change"
+    /// (§4.4, Module 1, third observation).
+    pub fn shape_magnitude(&self) -> f64 {
+        let w = self.weight_count();
+        if w > 0 {
+            w as f64
+        } else {
+            // Weight-free ops get a small constant magnitude so reshaping
+            // between them is "a constant" (§4.4 third observation).
+            1.0
+        }
+    }
+}
+
+/// A single node of the computational graph: attributes plus (optionally)
+/// weights whose shapes must match [`OpAttrs::weight_shapes`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Human-readable name, unique within a model by convention
+    /// (e.g. `"conv2_1"`, `"block3.attn.query"`).
+    pub name: String,
+    /// Typed attributes.
+    pub attrs: OpAttrs,
+    /// Weight tensors, `None` for weight-free ops.
+    pub weights: Option<Weights>,
+}
+
+impl Operation {
+    /// Create an operation, deriving seeded weights from `seed` when the
+    /// kind carries weights.
+    pub fn with_seeded_weights(name: impl Into<String>, attrs: OpAttrs, seed: u64) -> Self {
+        let weights = if attrs.kind().has_weights() {
+            let tensors = attrs
+                .weight_shapes()
+                .into_iter()
+                .enumerate()
+                .map(|(i, shape)| WeightSpec::seeded(shape, seed.wrapping_add(i as u64)))
+                .collect();
+            Some(Weights::new(tensors))
+        } else {
+            None
+        };
+        Operation {
+            name: name.into(),
+            attrs,
+            weights,
+        }
+    }
+
+    /// Create a weight-free operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute kind carries weights — use
+    /// [`Operation::with_seeded_weights`] instead.
+    pub fn weightless(name: impl Into<String>, attrs: OpAttrs) -> Self {
+        assert!(
+            !attrs.kind().has_weights(),
+            "operation kind {} requires weights",
+            attrs.kind()
+        );
+        Operation {
+            name: name.into(),
+            attrs,
+            weights: None,
+        }
+    }
+
+    /// Coarse kind.
+    pub fn kind(&self) -> OpKind {
+        self.attrs.kind()
+    }
+
+    /// Scalar parameter count of this op (0 for weight-free ops).
+    pub fn weight_count(&self) -> usize {
+        self.weights.as_ref().map_or(0, Weights::count)
+    }
+
+    /// Verify the attached weights match the shapes the attributes imply.
+    pub fn weights_consistent(&self) -> bool {
+        let expected = self.attrs.weight_shapes();
+        match &self.weights {
+            None => expected.is_empty(),
+            Some(w) => {
+                w.tensors.len() == expected.len()
+                    && w.tensors
+                        .iter()
+                        .zip(&expected)
+                        .all(|(spec, shape)| &spec.shape == shape)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(inc: usize, outc: usize, k: usize) -> OpAttrs {
+        OpAttrs::Conv2d {
+            in_channels: inc,
+            out_channels: outc,
+            kernel: (k, k),
+            stride: (1, 1),
+            padding: Padding::Same,
+            groups: 1,
+            bias: true,
+        }
+    }
+
+    #[test]
+    fn conv_weight_shapes() {
+        let a = conv(64, 128, 3);
+        let shapes = a.weight_shapes();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes[0].dims(), &[128, 64, 3, 3]);
+        assert_eq!(shapes[1].dims(), &[128]);
+        assert_eq!(a.weight_count(), 128 * 64 * 9 + 128);
+    }
+
+    #[test]
+    fn depthwise_conv_weight_shapes() {
+        let a = OpAttrs::Conv2d {
+            in_channels: 32,
+            out_channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            groups: 32,
+            bias: false,
+        };
+        assert_eq!(a.weight_shapes()[0].dims(), &[32, 1, 3, 3]);
+    }
+
+    #[test]
+    fn batchnorm_has_four_vectors() {
+        let a = OpAttrs::BatchNorm { features: 64 };
+        assert_eq!(a.weight_shapes().len(), 4);
+        assert_eq!(a.weight_count(), 256);
+    }
+
+    #[test]
+    fn weightfree_kinds_report_no_weights() {
+        for attrs in [
+            OpAttrs::Add,
+            OpAttrs::Flatten,
+            OpAttrs::Activation {
+                kind: Activation::Relu,
+            },
+            OpAttrs::Logit { heads: 4 },
+            OpAttrs::Attend { heads: 4 },
+        ] {
+            assert!(!attrs.kind().has_weights());
+            assert!(attrs.weight_shapes().is_empty());
+            assert_eq!(attrs.weight_count(), 0);
+        }
+    }
+
+    #[test]
+    fn seeded_operation_is_consistent() {
+        let op = Operation::with_seeded_weights("c1", conv(3, 16, 3), 99);
+        assert!(op.weights_consistent());
+        assert_eq!(op.weight_count(), 16 * 3 * 9 + 16);
+        assert_eq!(op.kind(), OpKind::Conv2d);
+    }
+
+    #[test]
+    fn weightless_operation_is_consistent() {
+        let op = Operation::weightless(
+            "relu",
+            OpAttrs::Activation {
+                kind: Activation::Relu,
+            },
+        );
+        assert!(op.weights_consistent());
+        assert_eq!(op.weight_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires weights")]
+    fn weightless_constructor_rejects_weighted_kind() {
+        let _ = Operation::weightless("c", conv(3, 3, 3));
+    }
+
+    #[test]
+    fn attention_projection_shapes() {
+        let q = OpAttrs::Query {
+            hidden: 256,
+            heads: 4,
+        };
+        let shapes = q.weight_shapes();
+        assert_eq!(shapes[0].dims(), &[256, 256]);
+        assert_eq!(shapes[1].dims(), &[256]);
+        assert!(q.kind().is_attention());
+        assert!(!OpKind::Conv2d.is_attention());
+    }
+
+    #[test]
+    fn all_kinds_listed_once() {
+        let mut set = std::collections::HashSet::new();
+        for k in OpKind::ALL {
+            assert!(set.insert(k), "duplicate kind {k}");
+        }
+        assert_eq!(set.len(), OpKind::ALL.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! JSON (de)serialization of model graphs.
+//!
+//! The paper's prototype stores "model structure information and
+//! model-to-model transformation planning … in JSON format" (§7); this
+//! module provides the same capability for the IR. The byte length of the
+//! serialized form also feeds the cost model's (negligible) deserialization
+//! term.
+
+use crate::error::ModelError;
+use crate::graph::ModelGraph;
+
+/// Serialize a model graph to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Serde`] if serialization fails (it cannot for
+/// well-formed graphs; the error path exists for API completeness).
+pub fn to_json(graph: &ModelGraph) -> Result<String, ModelError> {
+    serde_json::to_string(graph).map_err(|e| ModelError::Serde(e.to_string()))
+}
+
+/// Deserialize a model graph from JSON and validate it.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Serde`] on malformed JSON and any
+/// [`ModelGraph::validate`] error on structurally invalid graphs.
+pub fn from_json(json: &str) -> Result<ModelGraph, ModelError> {
+    let graph: ModelGraph =
+        serde_json::from_str(json).map_err(|e| ModelError::Serde(e.to_string()))?;
+    graph.validate()?;
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Activation;
+
+    fn sample() -> ModelGraph {
+        let mut b = GraphBuilder::new("roundtrip");
+        let i = b.input([1, 3, 16, 16]);
+        let c = b.conv2d_after(i, 3, 8, (3, 3), (1, 1), 1);
+        let a = b.activation_after(c, Activation::Relu);
+        let g = b.global_avg_pool_after(a);
+        let f = b.flatten_after(g);
+        let _ = b.dense_after(f, 8, 10);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let g = sample();
+        let json = to_json(&g).unwrap();
+        let back = from_json(&json).unwrap();
+        assert!(g.structurally_equal(&back));
+        assert_eq!(g.name(), back.name());
+        assert_eq!(g.param_count(), back.param_count());
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(from_json("{not json"), Err(ModelError::Serde(_))));
+    }
+
+    #[test]
+    fn serialized_size_is_reasonable() {
+        let g = sample();
+        let json = to_json(&g).unwrap();
+        // Structure-only serialization stays small even for weighted models
+        // because weights are seeds, not data.
+        assert!(
+            json.len() < 10_000,
+            "json unexpectedly large: {}",
+            json.len()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Tensor shape helper.
+
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape: a small vector of dimension sizes.
+///
+/// Shapes follow the NCHW convention for image tensors
+/// (`[batch, channels, height, width]`) and `[batch, seq, hidden]` for
+/// transformer activations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct TensorShape(pub Vec<usize>);
+
+impl TensorShape {
+    /// Create a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        TensorShape(dims.into())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl From<Vec<usize>> for TensorShape {
+    fn from(v: Vec<usize>) -> Self {
+        TensorShape(v)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for TensorShape {
+    fn from(v: [usize; N]) -> Self {
+        TensorShape(v.to_vec())
+    }
+}
+
+impl std::fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = TensorShape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.to_string(), "[2x3x4]");
+    }
+
+    #[test]
+    fn empty_shape_is_scalar() {
+        let s = TensorShape::new(Vec::new());
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Operation signatures for Tetris-style tensor sharing.
+//!
+//! Tetris (ATC '22, §2.1 of the Optimus paper) shares an in-memory copy of
+//! an operation between containers when two models contain an operation of
+//! "the same type, size, and weight". An [`OpSignature`] captures exactly
+//! that triple, so the simulator's Tetris baseline can compute which ops of
+//! an incoming model are already resident on a node.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::ModelGraph;
+use crate::op::{OpKind, Operation};
+use crate::weights::WeightId;
+
+/// Identity triple for exact-sharing: kind, shape fingerprint, weight id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpSignature {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Fingerprint of the full attributes (shape, stride, …).
+    pub attr_fingerprint: u64,
+    /// Weight content id (0 for weight-free ops).
+    pub weight_id: WeightId,
+}
+
+impl OpSignature {
+    /// Signature of one operation.
+    pub fn of(op: &Operation) -> Self {
+        OpSignature {
+            kind: op.kind(),
+            attr_fingerprint: fingerprint(&format!("{:?}", op.attrs)),
+            weight_id: op.weights.as_ref().map_or(WeightId(0), |w| w.id()),
+        }
+    }
+}
+
+/// The set of op signatures in a model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SignatureSet {
+    sigs: HashSet<OpSignature>,
+}
+
+impl SignatureSet {
+    /// Collect the signature set of a model.
+    pub fn of(graph: &ModelGraph) -> Self {
+        SignatureSet {
+            sigs: graph.ops().map(|(_, op)| OpSignature::of(op)).collect(),
+        }
+    }
+
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Whether a signature is present.
+    pub fn contains(&self, sig: &OpSignature) -> bool {
+        self.sigs.contains(sig)
+    }
+
+    /// Merge another model's signatures into this set (a node accumulating
+    /// resident tensors).
+    pub fn absorb(&mut self, graph: &ModelGraph) {
+        for (_, op) in graph.ops() {
+            self.sigs.insert(OpSignature::of(op));
+        }
+    }
+
+    /// Fraction of `graph`'s ops whose signature is already in this set —
+    /// the share of loading Tetris can skip.
+    pub fn coverage_of(&self, graph: &ModelGraph) -> f64 {
+        let total = graph.op_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let hit = graph
+            .ops()
+            .filter(|(_, op)| self.sigs.contains(&OpSignature::of(op)))
+            .count();
+        hit as f64 / total as f64
+    }
+
+    /// Weighted coverage: fraction of `graph`'s *parameters* residing in
+    /// already-shared ops (weight assignment can also be skipped for them).
+    pub fn param_coverage_of(&self, graph: &ModelGraph) -> f64 {
+        let total = graph.param_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let hit: usize = graph
+            .ops()
+            .filter(|(_, op)| self.sigs.contains(&OpSignature::of(op)))
+            .map(|(_, op)| op.weight_count())
+            .sum();
+        hit as f64 / total as f64
+    }
+}
+
+fn fingerprint(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Activation;
+
+    fn model(name: &str, out_channels: usize) -> ModelGraph {
+        let mut b = GraphBuilder::new(name);
+        let i = b.input([1, 3, 8, 8]);
+        let c = b.conv2d_after(i, 3, out_channels, (3, 3), (1, 1), 1);
+        let _ = b.activation_after(c, Activation::Relu);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn identical_model_has_full_coverage() {
+        let g = model("a", 4);
+        let set = SignatureSet::of(&g);
+        assert_eq!(set.coverage_of(&g), 1.0);
+        assert_eq!(set.param_coverage_of(&g), 1.0);
+    }
+
+    #[test]
+    fn different_weights_break_sharing() {
+        let a = model("a", 4);
+        let b = model("b", 4); // same shapes, different seeds
+        let set = SignatureSet::of(&a);
+        // Input + activation (weight-free, same attrs) match; conv does not.
+        let cov = set.coverage_of(&b);
+        assert!(cov > 0.0 && cov < 1.0, "coverage {cov}");
+        assert_eq!(set.param_coverage_of(&b), 0.0);
+    }
+
+    #[test]
+    fn different_shapes_break_sharing() {
+        let a = model("a", 4);
+        let c = model("a", 8);
+        let set = SignatureSet::of(&a);
+        assert!(set.param_coverage_of(&c) < 1.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let a = model("a", 4);
+        let b = model("b", 8);
+        let mut set = SignatureSet::new();
+        assert!(set.is_empty());
+        set.absorb(&a);
+        set.absorb(&b);
+        assert_eq!(set.coverage_of(&a), 1.0);
+        assert_eq!(set.coverage_of(&b), 1.0);
+        assert!(set.len() >= 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Model statistics: parameter counts, op histograms, family summaries.
+//!
+//! These back the paper's Figure 2c table (params / size per model) and the
+//! §4.4 observation that most operations carry no weights.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::ModelGraph;
+use crate::op::OpKind;
+
+/// Histogram of operation kinds within a model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct OpHistogram {
+    /// Count per kind (kinds with zero count are omitted).
+    pub counts: BTreeMap<OpKind, usize>,
+}
+
+impl OpHistogram {
+    /// Build from a graph.
+    pub fn of(graph: &ModelGraph) -> Self {
+        let mut counts = BTreeMap::new();
+        for (_, op) in graph.ops() {
+            *counts.entry(op.kind()).or_insert(0) += 1;
+        }
+        OpHistogram { counts }
+    }
+
+    /// Count for one kind.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total ops.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// L1 distance to another histogram — a quick structural-similarity
+    /// proxy used by the load balancer's coarse pre-filter.
+    pub fn l1_distance(&self, other: &OpHistogram) -> usize {
+        let mut dist = 0usize;
+        for kind in OpKind::ALL {
+            let a = self.count(kind);
+            let b = other.count(kind);
+            dist += a.abs_diff(b);
+        }
+        dist
+    }
+}
+
+/// Summary statistics of one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Operation count.
+    pub ops: usize,
+    /// Operations carrying weights.
+    pub weighted_ops: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Scalar parameter count.
+    pub params: usize,
+    /// Serialized size in bytes (f32).
+    pub bytes: usize,
+    /// Op-kind histogram.
+    pub histogram: OpHistogram,
+}
+
+impl ModelStats {
+    /// Compute stats for a graph.
+    pub fn of(graph: &ModelGraph) -> Self {
+        ModelStats {
+            name: graph.name().to_string(),
+            ops: graph.op_count(),
+            weighted_ops: graph.weighted_op_count(),
+            edges: graph.edge_count(),
+            params: graph.param_count(),
+            bytes: graph.byte_size(),
+            histogram: OpHistogram::of(graph),
+        }
+    }
+
+    /// Parameters in millions (the paper's "Params" row, e.g. 138.4M).
+    pub fn params_millions(&self) -> f64 {
+        self.params as f64 / 1.0e6
+    }
+
+    /// Size in MiB (the paper's "Size (MB)" row).
+    pub fn size_mib(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Activation;
+
+    fn sample() -> ModelGraph {
+        let mut b = GraphBuilder::new("s");
+        let i = b.input([1, 3, 8, 8]);
+        let c = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+        let a = b.activation_after(c, Activation::Relu);
+        let c2 = b.conv2d_after(a, 4, 4, (3, 3), (1, 1), 1);
+        let _ = b.activation_after(c2, Activation::Relu);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let h = OpHistogram::of(&sample());
+        assert_eq!(h.count(OpKind::Conv2d), 2);
+        assert_eq!(h.count(OpKind::Activation), 2);
+        assert_eq!(h.count(OpKind::Input), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric_and_zero_on_self() {
+        let h1 = OpHistogram::of(&sample());
+        let mut b = GraphBuilder::new("t");
+        let i = b.input([1, 3, 8, 8]);
+        let _ = b.conv2d_after(i, 3, 4, (3, 3), (1, 1), 1);
+        let h2 = OpHistogram::of(&b.finish().unwrap());
+        assert_eq!(h1.l1_distance(&h1), 0);
+        assert_eq!(h1.l1_distance(&h2), h2.l1_distance(&h1));
+        assert_eq!(h1.l1_distance(&h2), 3); // conv+act+act missing... 1 conv + 2 act
+    }
+
+    #[test]
+    fn stats_fields_consistent() {
+        let g = sample();
+        let s = ModelStats::of(&g);
+        assert_eq!(s.ops, g.op_count());
+        assert_eq!(s.params, g.param_count());
+        assert_eq!(s.bytes, s.params * 4);
+        assert_eq!(s.weighted_ops, 2);
+        assert!((s.params_millions() - s.params as f64 / 1e6).abs() < 1e-12);
+    }
+}

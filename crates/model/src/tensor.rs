@@ -1,0 +1,143 @@
+//! A minimal dense `f32` tensor used by the forward-pass engine and by
+//! weight materialisation.
+
+use crate::shape::TensorShape;
+
+/// Dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: TensorShape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Create a tensor from shape and data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not equal the shape's element count.
+    pub fn new(shape: impl Into<TensorShape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "tensor data length must match shape"
+        );
+        Tensor { shape, data }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: impl Into<TensorShape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into raw data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when element counts differ.
+    pub fn reshaped(mut self, shape: impl Into<TensorShape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape must preserve numel"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Element at a 4-D NCHW index (convolution helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-4-D tensors or out-of-range indices.
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        let d = self.shape.dims();
+        assert_eq!(d.len(), 4, "at4 requires a 4-D tensor");
+        self.data[((n * d[1] + c) * d[2] + h) * d[3] + w]
+    }
+
+    /// Mutable element at a 4-D NCHW index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-4-D tensors or out-of-range indices.
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let d = self.shape.dims();
+        assert_eq!(d.len(), 4, "at4_mut requires a 4-D tensor");
+        let idx = ((n * d[1] + c) * d[2] + h) * d[3] + w;
+        &mut self.data[idx]
+    }
+
+    /// Maximum absolute difference to another tensor of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::new([1, 2, 2, 2], (0..8).map(|v| v as f32).collect());
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at4(0, 0, 1, 1), 3.0);
+        assert_eq!(t.at4(0, 1, 0, 1), 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new([2, 3], vec![1.0; 6]).reshaped([3, 2]);
+        assert_eq!(t.shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match shape")]
+    fn bad_length_panics() {
+        let _ = Tensor::new([2, 2], vec![0.0; 5]);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Tensor::new([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::new([3], vec![1.0, 2.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Deterministic, lazily materialisable weight tensors.
+//!
+//! Zoo models can have hundreds of millions of parameters (VGG16 has
+//! 138.4 M), so the IR does not eagerly store every float. Instead each
+//! weight tensor is a [`WeightSpec`]: a shape plus a deterministic
+//! initialiser. Tests and the forward-pass engine can *materialise* a spec
+//! into real `f32` data on demand; everything else (cost models, planners,
+//! Tetris-style sharing) works off shapes and content ids.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::TensorShape;
+use crate::tensor::Tensor;
+
+/// Content identity of a weight set.
+///
+/// Two weight sets with the same `WeightId` hold identical values. This is
+/// what Tetris-style tensor sharing compares ("operations of the same type,
+/// size, and weight" — §2.1), and what the `Replace` meta-operator checks to
+/// decide whether weights actually need rewriting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WeightId(pub u64);
+
+/// How a weight tensor's values are produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WeightInit {
+    /// All zeros (used for padding regions created by `Reshape`).
+    Zeros,
+    /// Deterministic pseudo-random values derived from a seed.
+    ///
+    /// The same seed and shape always produce the same values, so models are
+    /// reproducible across runs without storing data.
+    Seeded(u64),
+    /// Explicitly materialised values (small tests and transformed weights).
+    Dense(Vec<f32>),
+    /// A crop-and-zero-pad view of another weight tensor — the semantics of
+    /// the `Reshape` meta-operator: the overlapping hyper-rectangle of the
+    /// source is preserved, new positions are zero.
+    ///
+    /// The target shape lives in the enclosing [`WeightSpec::shape`]; the
+    /// boxed spec carries the source shape and values. Materialisation is
+    /// lazy, so reshaping a 100 M-parameter operation costs nothing until a
+    /// test or the forward-pass engine actually reads the values.
+    CropPad(Box<WeightSpec>),
+}
+
+/// One weight tensor of an operation (e.g. a convolution kernel or a bias).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightSpec {
+    /// Tensor shape.
+    pub shape: TensorShape,
+    /// Value initialiser.
+    pub init: WeightInit,
+}
+
+impl WeightSpec {
+    /// A seeded spec with the given shape.
+    pub fn seeded(shape: impl Into<TensorShape>, seed: u64) -> Self {
+        WeightSpec {
+            shape: shape.into(),
+            init: WeightInit::Seeded(seed),
+        }
+    }
+
+    /// An all-zeros spec with the given shape.
+    pub fn zeros(shape: impl Into<TensorShape>) -> Self {
+        WeightSpec {
+            shape: shape.into(),
+            init: WeightInit::Zeros,
+        }
+    }
+
+    /// A spec with explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn dense(shape: impl Into<TensorShape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "dense weight data must match shape"
+        );
+        WeightSpec {
+            shape,
+            init: WeightInit::Dense(data),
+        }
+    }
+
+    /// Number of scalar parameters in this tensor.
+    pub fn count(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// A crop-and-zero-pad spec reshaping `src` into `shape` (the `Reshape`
+    /// meta-operator's weight semantics).
+    pub fn crop_pad_of(src: WeightSpec, shape: impl Into<TensorShape>) -> Self {
+        WeightSpec {
+            shape: shape.into(),
+            init: WeightInit::CropPad(Box::new(src)),
+        }
+    }
+
+    /// Materialise the tensor values.
+    ///
+    /// Seeded values come from a splitmix64 stream mapped to roughly
+    /// `N(0, 0.05)` via a cheap triangular approximation — good enough for
+    /// forward-pass smoke tests, deterministic by construction.
+    pub fn materialize(&self) -> Tensor {
+        let n = self.count();
+        let data = match &self.init {
+            WeightInit::Zeros => vec![0.0; n],
+            WeightInit::Dense(d) => d.clone(),
+            WeightInit::CropPad(src) => {
+                return crop_pad(&src.materialize(), &self.shape);
+            }
+            WeightInit::Seeded(seed) => {
+                let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                (0..n)
+                    .map(|_| {
+                        let a = splitmix64(&mut state);
+                        let b = splitmix64(&mut state);
+                        let u = (a >> 40) as f32 / (1u64 << 24) as f32;
+                        let v = (b >> 40) as f32 / (1u64 << 24) as f32;
+                        (u + v - 1.0) * 0.1
+                    })
+                    .collect()
+            }
+        };
+        Tensor::new(self.shape.clone(), data)
+    }
+
+    /// Stable content hash of this tensor (shape + initialiser).
+    fn content_hash(&self, acc: &mut u64) {
+        mix(acc, 0x5348_4150); // "SHAP"
+        for &d in self.shape.dims() {
+            mix(acc, d as u64);
+        }
+        match &self.init {
+            WeightInit::Zeros => mix(acc, 0x5A45_524F), // "ZERO"
+            WeightInit::Seeded(s) => {
+                mix(acc, 0x5345_4544); // "SEED"
+                mix(acc, *s);
+            }
+            WeightInit::Dense(d) => {
+                mix(acc, 0x4445_4E53); // "DENS"
+                for v in d {
+                    mix(acc, v.to_bits() as u64);
+                }
+            }
+            WeightInit::CropPad(src) => {
+                mix(acc, 0x4352_4F50); // "CROP"
+                src.content_hash(acc);
+            }
+        }
+    }
+}
+
+/// Crop-and-zero-pad `src` into `target` shape: positions present in both
+/// shapes keep the source value, new positions are zero. Ranks may differ;
+/// the shorter rank is right-aligned is *not* attempted — extra leading
+/// dimensions are treated as size-1 on the shorter side.
+fn crop_pad(src: &Tensor, target: &TensorShape) -> Tensor {
+    let rank = src.shape().rank().max(target.rank());
+    let pad_dims = |s: &TensorShape| -> Vec<usize> {
+        let mut d = vec![1; rank - s.rank()];
+        d.extend_from_slice(s.dims());
+        d
+    };
+    let sd = pad_dims(src.shape());
+    let td = pad_dims(target);
+    let mut out = Tensor::zeros(target.clone());
+    // Iterate the overlap region in row-major order.
+    let overlap: Vec<usize> = sd.iter().zip(&td).map(|(a, b)| *a.min(b)).collect();
+    if overlap.contains(&0) {
+        return out;
+    }
+    let mut idx = vec![0usize; rank];
+    loop {
+        // Compute flat offsets in src and target.
+        let (mut so, mut to) = (0usize, 0usize);
+        for k in 0..rank {
+            so = so * sd[k] + idx[k];
+            to = to * td[k] + idx[k];
+        }
+        out.data_mut()[to] = src.data()[so];
+        // Odometer increment over the overlap region.
+        let mut k = rank;
+        loop {
+            if k == 0 {
+                return out;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < overlap[k] {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// The complete weight set of one operation (kernel + bias + norm stats…).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Weights {
+    /// Individual tensors, in a fixed per-kind order (e.g. `[kernel, bias]`).
+    pub tensors: Vec<WeightSpec>,
+}
+
+impl Weights {
+    /// Weight set from tensors.
+    pub fn new(tensors: Vec<WeightSpec>) -> Self {
+        Weights { tensors }
+    }
+
+    /// Total scalar parameter count.
+    pub fn count(&self) -> usize {
+        self.tensors.iter().map(WeightSpec::count).sum()
+    }
+
+    /// Total size in bytes at `f32` precision.
+    pub fn byte_size(&self) -> usize {
+        self.count() * 4
+    }
+
+    /// Deterministic content identity (see [`WeightId`]).
+    pub fn id(&self) -> WeightId {
+        let mut acc: u64 = 0xCBF2_9CE4_8422_2325;
+        for t in &self.tensors {
+            t.content_hash(&mut acc);
+        }
+        WeightId(acc)
+    }
+
+    /// `true` when this set holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(acc: &mut u64, v: u64) {
+    // FNV-1a style mixing with an avalanche step.
+    *acc ^= v;
+    *acc = acc.wrapping_mul(0x1000_0000_01B3);
+    *acc ^= *acc >> 29;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_materialization_is_deterministic() {
+        let a = WeightSpec::seeded([2, 3], 42).materialize();
+        let b = WeightSpec::seeded([2, 3], 42).materialize();
+        assert_eq!(a.data(), b.data());
+        let c = WeightSpec::seeded([2, 3], 43).materialize();
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn seeded_values_are_small_and_centered() {
+        let t = WeightSpec::seeded([64, 64], 7).materialize();
+        let mean: f32 = t.data().iter().sum::<f32>() / t.data().len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean} should be near zero");
+        assert!(t.data().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn weight_id_reflects_content() {
+        let w1 = Weights::new(vec![WeightSpec::seeded([3, 3], 1)]);
+        let w2 = Weights::new(vec![WeightSpec::seeded([3, 3], 1)]);
+        let w3 = Weights::new(vec![WeightSpec::seeded([3, 3], 2)]);
+        let w4 = Weights::new(vec![WeightSpec::seeded([3, 4], 1)]);
+        assert_eq!(w1.id(), w2.id());
+        assert_ne!(w1.id(), w3.id());
+        assert_ne!(w1.id(), w4.id());
+    }
+
+    #[test]
+    fn counts_and_bytes() {
+        let w = Weights::new(vec![
+            WeightSpec::seeded([16, 8, 3, 3], 0),
+            WeightSpec::zeros([16]),
+        ]);
+        assert_eq!(w.count(), 16 * 8 * 9 + 16);
+        assert_eq!(w.byte_size(), w.count() * 4);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense weight data must match shape")]
+    fn dense_mismatch_panics() {
+        let _ = WeightSpec::dense([2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn zeros_materialize_to_zero() {
+        let t = WeightSpec::zeros([4]).materialize();
+        assert_eq!(t.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn crop_pad_grows_with_zero_padding() {
+        // 2x2 kernel -> 3x3: original values in the top-left corner.
+        let src = WeightSpec::dense([2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let grown = WeightSpec::crop_pad_of(src, [3, 3]).materialize();
+        assert_eq!(grown.data(), &[1.0, 2.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn crop_pad_shrinks_by_cropping() {
+        let src = WeightSpec::dense([3, 3], (1..=9).map(|v| v as f32).collect());
+        let cropped = WeightSpec::crop_pad_of(src, [2, 2]).materialize();
+        assert_eq!(cropped.data(), &[1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn crop_pad_handles_rank_change() {
+        // [4] -> [2, 3]: the vector is treated as [1, 4].
+        let src = WeightSpec::dense([4], vec![1.0, 2.0, 3.0, 4.0]);
+        let t = WeightSpec::crop_pad_of(src, [2, 3]).materialize();
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn crop_pad_identity_preserves_values() {
+        let src = WeightSpec::seeded([4, 3, 3, 3], 5);
+        let orig = src.materialize();
+        let same = WeightSpec::crop_pad_of(src, [4, 3, 3, 3]).materialize();
+        assert_eq!(orig.data(), same.data());
+    }
+
+    #[test]
+    fn crop_pad_ids_differ_from_source() {
+        let src = WeightSpec::seeded([3, 3], 5);
+        let w1 = Weights::new(vec![src.clone()]);
+        let w2 = Weights::new(vec![WeightSpec::crop_pad_of(src, [3, 3])]);
+        assert_ne!(w1.id(), w2.id(), "CropPad is a distinct content identity");
+    }
+}

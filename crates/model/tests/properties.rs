@@ -1,0 +1,127 @@
+//! Property-based tests of the model IR: serialization, weight
+//! reshaping, graph invariants, and the forward-pass engine.
+
+use optimus_model::{
+    infer, serialize, tensor::Tensor, Activation, GraphBuilder, ModelGraph, PoolKind, WeightSpec,
+};
+use proptest::prelude::*;
+
+fn arb_chain() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec![2usize, 4, 8, 12]),
+            prop::sample::select(vec![1usize, 3, 5]),
+            any::<bool>(),
+        ),
+        1..5,
+    )
+}
+
+fn build(name: &str, spec: &[(usize, usize, bool)]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let mut x = b.input([1, 3, 16, 16]);
+    let mut ch = 3;
+    for &(c, k, pool) in spec {
+        x = b.conv2d_after(x, ch, c, (k, k), (1, 1), 1);
+        x = b.activation_after(x, Activation::Relu);
+        if pool {
+            x = b.pool_after(x, PoolKind::Max, (2, 2), (2, 2));
+        }
+        ch = c;
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JSON serialization round-trips structure, weights and metadata.
+    #[test]
+    fn serialization_roundtrip(spec in arb_chain()) {
+        let g = build("prop", &spec);
+        let json = serialize::to_json(&g).unwrap();
+        let back = serialize::from_json(&json).unwrap();
+        prop_assert!(g.structurally_equal(&back));
+        prop_assert_eq!(g.name(), back.name());
+        prop_assert_eq!(g.param_count(), back.param_count());
+        prop_assert_eq!(g.edge_count(), back.edge_count());
+    }
+
+    /// Crop/zero-pad preserves exactly the overlap region for arbitrary
+    /// source/target kernel shapes.
+    #[test]
+    fn crop_pad_preserves_overlap(
+        sh in 1usize..6, sw in 1usize..6,
+        th in 1usize..6, tw in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let src = WeightSpec::seeded([2, 3, sh, sw], seed);
+        let orig = src.materialize();
+        let padded = WeightSpec::crop_pad_of(src, [2, 3, th, tw]).materialize();
+        for oc in 0..2 {
+            for ic in 0..3 {
+                for y in 0..th {
+                    for x in 0..tw {
+                        let got = padded.at4(oc, ic, y, x);
+                        if y < sh && x < sw {
+                            prop_assert_eq!(got, orig.at4(oc, ic, y, x));
+                        } else {
+                            prop_assert_eq!(got, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Topological order is a valid linearisation: every edge goes
+    /// forward, every op appears exactly once.
+    #[test]
+    fn topological_order_is_valid(spec in arb_chain()) {
+        let g = build("topo", &spec);
+        let order = g.topo_order().unwrap();
+        prop_assert_eq!(order.len(), g.op_count());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for e in g.edges() {
+            prop_assert!(pos[&e.from] < pos[&e.to], "edge goes backwards");
+        }
+    }
+
+    /// The forward pass of any generated chain produces finite outputs of
+    /// positive size.
+    #[test]
+    fn forward_pass_is_finite(spec in arb_chain()) {
+        let g = build("fwd", &spec);
+        let y = infer::run(&g, Tensor::zeros([1, 3, 16, 16])).unwrap();
+        prop_assert!(y.shape().numel() > 0);
+        prop_assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// Structural equality is reflexive and survives op-insertion-order
+    /// permutation via the serialize/deserialize path.
+    #[test]
+    fn structural_equality_reflexive(spec in arb_chain()) {
+        let g = build("eq", &spec);
+        prop_assert!(g.structurally_equal(&g.clone()));
+        // A genuinely different graph compares unequal.
+        let mut other_spec = spec.clone();
+        other_spec[0].0 += 2;
+        let h = build("eq", &other_spec);
+        prop_assert!(!g.structurally_equal(&h));
+    }
+
+    /// Removing any single non-input op keeps the graph valid except for
+    /// op-count bookkeeping (edges to/from it disappear).
+    #[test]
+    fn remove_op_cleans_edges(spec in arb_chain(), pick in any::<prop::sample::Index>()) {
+        let mut g = build("rm", &spec);
+        let ids = g.op_ids();
+        let victim = ids[pick.index(ids.len())];
+        let before_edges = g.edge_count();
+        let incident = g.predecessors(victim).len() + g.successors(victim).len();
+        g.remove_op(victim).unwrap();
+        prop_assert_eq!(g.edge_count(), before_edges - incident);
+        prop_assert!(g.op(victim).is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Execution environments and platform-level latency profiles.
+
+use optimus_model::ModelGraph;
+use serde::{Deserialize, Serialize};
+
+/// Hardware environment of a worker node (§8.1 / §8.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// CPU-only server.
+    Cpu,
+    /// GPU-enabled server (NVIDIA Container Toolkit in the paper).
+    ///
+    /// Figure 16's finding: end-to-end latency is *longer* than CPU because
+    /// of the high overhead of GPU runtime initialization and model loading
+    /// onto the device, even though inference compute itself is faster.
+    Gpu,
+}
+
+impl Environment {
+    /// Multiplier on structure-loading costs (device placement overhead).
+    pub fn load_multiplier(self) -> f64 {
+        match self {
+            Environment::Cpu => 1.0,
+            Environment::Gpu => 1.35,
+        }
+    }
+
+    /// Multiplier on weight-assignment costs (device memcpy bandwidth).
+    pub fn assign_multiplier(self) -> f64 {
+        match self {
+            Environment::Cpu => 1.0,
+            Environment::Gpu => 0.8,
+        }
+    }
+
+    /// Multiplier on inference compute.
+    pub fn compute_multiplier(self) -> f64 {
+        match self {
+            Environment::Cpu => 1.0,
+            Environment::Gpu => 0.22,
+        }
+    }
+}
+
+/// Platform-level latencies that are not per-operation: container and
+/// runtime initialization, and the inference-computation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformProfile {
+    /// Environment these latencies describe.
+    pub env: Environment,
+    /// Creating a container sandbox from scratch (cold start, step 1 of
+    /// Figure 1).
+    pub sandbox_init: f64,
+    /// Initializing the ML runtime inside the sandbox (framework import,
+    /// and CUDA context creation on GPU).
+    pub runtime_init: f64,
+    /// Re-purposing a warm idle container for another function (Pagurus /
+    /// Optimus path): no sandbox creation, only function-code swap.
+    pub repurpose_overhead: f64,
+    /// Base inference latency per request (request handling, batching=1).
+    pub compute_base: f64,
+    /// Inference latency per model parameter (a throughput proxy).
+    pub compute_per_param: f64,
+}
+
+impl PlatformProfile {
+    /// Calibrated profile for an environment.
+    ///
+    /// CPU: sandbox ≈ 0.5 s, runtime ≈ 0.55 s — so a VGG16 cold start is
+    /// ≈ 1.05 s init + ≈ 2.6 s model load, putting model loading above 70 %
+    /// of startup (Figure 1/2). GPU adds CUDA context creation to runtime
+    /// init, making GPU cold starts slower end-to-end (Figure 16).
+    pub fn new(env: Environment) -> Self {
+        match env {
+            Environment::Cpu => PlatformProfile {
+                env,
+                sandbox_init: 0.5,
+                runtime_init: 0.55,
+                repurpose_overhead: 0.12,
+                compute_base: 0.02,
+                compute_per_param: 1.6e-9,
+            },
+            Environment::Gpu => PlatformProfile {
+                env,
+                sandbox_init: 0.5,
+                runtime_init: 3.2,
+                repurpose_overhead: 0.12,
+                compute_base: 0.01,
+                compute_per_param: 1.6e-9 * Environment::Gpu.compute_multiplier(),
+            },
+        }
+    }
+
+    /// Full cold-start initialization latency (sandbox + runtime).
+    pub fn cold_init(&self) -> f64 {
+        self.sandbox_init + self.runtime_init
+    }
+
+    /// Inference-computation latency of one request on a model.
+    pub fn compute_cost(&self, model: &ModelGraph) -> f64 {
+        self.compute_base + self.compute_per_param * model.param_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_runtime_init_dominates() {
+        let cpu = PlatformProfile::new(Environment::Cpu);
+        let gpu = PlatformProfile::new(Environment::Gpu);
+        assert!(gpu.cold_init() > 2.0 * cpu.cold_init());
+    }
+
+    #[test]
+    fn repurpose_is_much_cheaper_than_cold_init() {
+        let p = PlatformProfile::new(Environment::Cpu);
+        assert!(p.repurpose_overhead < p.cold_init() / 5.0);
+    }
+
+    #[test]
+    fn gpu_compute_is_faster() {
+        let cpu = PlatformProfile::new(Environment::Cpu);
+        let gpu = PlatformProfile::new(Environment::Gpu);
+        // Any model: per-param rate is strictly smaller on GPU.
+        assert!(gpu.compute_per_param < cpu.compute_per_param);
+    }
+}

@@ -1,0 +1,234 @@
+//! Online profiling (§6 "Online Profiling" — the paper's future work).
+//!
+//! Offline profiles go stale when container load or resource allocation
+//! changes: "transformation plans generated based on outdated offline
+//! profiling may be inefficient". [`OnlineCostModel`] wraps any base
+//! [`CostProvider`] and continuously corrects it from observed execution
+//! times: each observation of a meta-operator or loading step updates an
+//! exponentially-weighted per-kind multiplier, so predictions track the
+//! environment while staying smooth under noise.
+
+use std::collections::HashMap;
+
+use optimus_model::{ModelGraph, OpAttrs, OpKind};
+use parking_lot::RwLock;
+
+use crate::cost::CostProvider;
+
+/// Which latency family an observation corrects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObservationKind {
+    /// Structure-loading latency of an op kind.
+    Structure(OpKind),
+    /// Weight-assignment latency of an op kind.
+    Assign(OpKind),
+    /// `Replace` meta-operator latency of an op kind.
+    Replace(OpKind),
+    /// `Reshape` meta-operator latency of an op kind.
+    Reshape(OpKind),
+}
+
+/// A [`CostProvider`] that learns per-kind correction multipliers online.
+///
+/// Thread-safe: the simulator can feed observations from many nodes while
+/// planners read predictions.
+pub struct OnlineCostModel<C: CostProvider> {
+    base: C,
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest sample.
+    alpha: f64,
+    multipliers: RwLock<HashMap<ObservationKind, f64>>,
+}
+
+impl<C: CostProvider> OnlineCostModel<C> {
+    /// Wrap a base model with the given EWMA smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1]`.
+    pub fn new(base: C, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        OnlineCostModel {
+            base,
+            alpha,
+            multipliers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Record an observed latency for a predicted one; updates the
+    /// correction multiplier for that observation kind.
+    ///
+    /// Observations with non-positive predictions are ignored (nothing to
+    /// scale).
+    pub fn observe(&self, kind: ObservationKind, predicted: f64, observed: f64) {
+        if predicted <= 0.0 || !observed.is_finite() || observed < 0.0 {
+            return;
+        }
+        let sample = observed / predicted;
+        let mut mult = self.multipliers.write();
+        let m = mult.entry(kind).or_insert(1.0);
+        *m = (1.0 - self.alpha) * *m + self.alpha * sample;
+    }
+
+    /// Current correction multiplier for an observation kind (1.0 when no
+    /// observation has arrived yet).
+    pub fn multiplier(&self, kind: ObservationKind) -> f64 {
+        self.multipliers.read().get(&kind).copied().unwrap_or(1.0)
+    }
+
+    /// Number of observation kinds with learned corrections.
+    pub fn learned_kinds(&self) -> usize {
+        self.multipliers.read().len()
+    }
+
+    fn scaled(&self, kind: ObservationKind, value: f64) -> f64 {
+        value * self.multiplier(kind)
+    }
+}
+
+impl<C: CostProvider> CostProvider for OnlineCostModel<C> {
+    fn structure_cost(&self, attrs: &OpAttrs) -> f64 {
+        self.scaled(
+            ObservationKind::Structure(attrs.kind()),
+            self.base.structure_cost(attrs),
+        )
+    }
+
+    fn assign_cost(&self, attrs: &OpAttrs) -> f64 {
+        self.scaled(
+            ObservationKind::Assign(attrs.kind()),
+            self.base.assign_cost(attrs),
+        )
+    }
+
+    fn replace_cost(&self, dst: &OpAttrs) -> f64 {
+        self.scaled(
+            ObservationKind::Replace(dst.kind()),
+            self.base.replace_cost(dst),
+        )
+    }
+
+    fn reshape_cost(&self, src: &OpAttrs, dst: &OpAttrs) -> Option<f64> {
+        self.base
+            .reshape_cost(src, dst)
+            .map(|v| self.scaled(ObservationKind::Reshape(dst.kind()), v))
+    }
+
+    fn reduce_cost(&self, src: &OpAttrs) -> f64 {
+        self.base.reduce_cost(src)
+    }
+
+    fn edge_cost(&self) -> f64 {
+        self.base.edge_cost()
+    }
+
+    fn deserialize_cost(&self, model: &ModelGraph) -> f64 {
+        self.base.deserialize_cost(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use optimus_model::Padding;
+
+    fn conv() -> OpAttrs {
+        OpAttrs::Conv2d {
+            in_channels: 64,
+            out_channels: 64,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            groups: 1,
+            bias: true,
+        }
+    }
+
+    #[test]
+    fn no_observations_means_base_predictions() {
+        let online = OnlineCostModel::new(CostModel::default(), 0.3);
+        let base = CostModel::default();
+        assert_eq!(online.structure_cost(&conv()), base.structure_cost(&conv()));
+        assert_eq!(online.learned_kinds(), 0);
+    }
+
+    #[test]
+    fn converges_to_injected_drift() {
+        // The environment becomes 2x slower for conv structure loading;
+        // after enough observations the prediction tracks it.
+        let online = OnlineCostModel::new(CostModel::default(), 0.3);
+        let base = CostModel::default();
+        let truth = 2.0 * base.structure_cost(&conv());
+        for _ in 0..40 {
+            let predicted = base.structure_cost(&conv());
+            online.observe(ObservationKind::Structure(OpKind::Conv2d), predicted, truth);
+        }
+        let corrected = online.structure_cost(&conv());
+        assert!(
+            (corrected - truth).abs() / truth < 0.02,
+            "corrected {corrected} vs truth {truth}"
+        );
+        // Other kinds are untouched.
+        let act = OpAttrs::Activation {
+            kind: optimus_model::Activation::Relu,
+        };
+        assert_eq!(online.structure_cost(&act), base.structure_cost(&act));
+    }
+
+    #[test]
+    fn ewma_is_smooth_under_noise() {
+        let online = OnlineCostModel::new(CostModel::default(), 0.1);
+        let base = CostModel::default();
+        let predicted = base.replace_cost(&conv());
+        // Alternating 0.5x / 1.5x noise around the true 1.0x.
+        for i in 0..100 {
+            let noise = if i % 2 == 0 { 0.5 } else { 1.5 };
+            online.observe(
+                ObservationKind::Replace(OpKind::Conv2d),
+                predicted,
+                predicted * noise,
+            );
+        }
+        let m = online.multiplier(ObservationKind::Replace(OpKind::Conv2d));
+        assert!((m - 1.0).abs() < 0.15, "multiplier drifted to {m}");
+    }
+
+    #[test]
+    fn invalid_observations_are_ignored() {
+        let online = OnlineCostModel::new(CostModel::default(), 0.5);
+        online.observe(ObservationKind::Assign(OpKind::Dense), 0.0, 1.0);
+        online.observe(ObservationKind::Assign(OpKind::Dense), 1.0, f64::NAN);
+        online.observe(ObservationKind::Assign(OpKind::Dense), 1.0, -1.0);
+        assert_eq!(online.learned_kinds(), 0);
+    }
+
+    #[test]
+    fn reshape_correction_applies() {
+        let online = OnlineCostModel::new(CostModel::default(), 1.0);
+        let base = CostModel::default();
+        let small = conv();
+        let large = OpAttrs::Conv2d {
+            in_channels: 64,
+            out_channels: 128,
+            kernel: (5, 5),
+            stride: (1, 1),
+            padding: Padding::Same,
+            groups: 1,
+            bias: true,
+        };
+        let predicted = base.reshape_cost(&small, &large).unwrap();
+        online.observe(
+            ObservationKind::Reshape(OpKind::Conv2d),
+            predicted,
+            3.0 * predicted,
+        );
+        let corrected = online.reshape_cost(&small, &large).unwrap();
+        assert!((corrected - 3.0 * predicted).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_panics() {
+        let _ = OnlineCostModel::new(CostModel::default(), 0.0);
+    }
+}

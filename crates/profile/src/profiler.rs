@@ -1,0 +1,189 @@
+//! Offline profiling of operations and meta-operators (§4.4 Module 1).
+//!
+//! The profiler sweeps a model population and tabulates, per operation
+//! kind, the loading and meta-operator execution latencies the cost model
+//! predicts — exactly the tables the paper's Figures 4 and 8 report and the
+//! planner consumes. Keeping profiling as an explicit step (rather than
+//! querying [`CostModel`] inline everywhere) mirrors the paper's separation
+//! of offline profiling from online execution and gives experiments a
+//! single artifact to print.
+
+use std::collections::BTreeMap;
+
+use optimus_model::{ModelGraph, OpKind};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::CostProvider;
+
+/// Profiled statistics for one operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct OpKindProfile {
+    /// Number of operations sampled.
+    pub samples: usize,
+    /// Mean structure-loading latency (s).
+    pub mean_structure: f64,
+    /// Mean weight-assignment latency (s).
+    pub mean_assign: f64,
+    /// Min/max structure-loading latency (s).
+    pub min_structure: f64,
+    /// Max structure-loading latency (s).
+    pub max_structure: f64,
+}
+
+/// Profiled statistics for the meta-operators over one op kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetaOpProfile {
+    /// Mean `Replace` latency (s).
+    pub replace: f64,
+    /// Mean same-kind `Reshape` latency (s), if any pair was sampled.
+    pub reshape: f64,
+    /// Mean `Reduce` latency (s).
+    pub reduce: f64,
+    /// Mean `Add` latency (s).
+    pub add: f64,
+    /// `Edge` latency (s).
+    pub edge: f64,
+}
+
+/// Offline profiler: sweeps models and produces per-kind tables.
+pub struct Profiler<'a, C: CostProvider> {
+    cost: &'a C,
+}
+
+impl<'a, C: CostProvider> Profiler<'a, C> {
+    /// Profiler over a cost provider.
+    pub fn new(cost: &'a C) -> Self {
+        Profiler { cost }
+    }
+
+    /// Profile operation-loading latency per kind over the given models
+    /// (the paper's Figure 4, generalised to a model population).
+    pub fn profile_ops(&self, models: &[&ModelGraph]) -> BTreeMap<OpKind, OpKindProfile> {
+        let mut out: BTreeMap<OpKind, OpKindProfile> = BTreeMap::new();
+        for model in models {
+            for (_, op) in model.ops() {
+                let s = self.cost.structure_cost(&op.attrs);
+                let a = self.cost.assign_cost(&op.attrs);
+                let e = out.entry(op.kind()).or_insert(OpKindProfile {
+                    samples: 0,
+                    mean_structure: 0.0,
+                    mean_assign: 0.0,
+                    min_structure: f64::INFINITY,
+                    max_structure: 0.0,
+                });
+                e.samples += 1;
+                e.mean_structure += s;
+                e.mean_assign += a;
+                e.min_structure = e.min_structure.min(s);
+                e.max_structure = e.max_structure.max(s);
+            }
+        }
+        for p in out.values_mut() {
+            if p.samples > 0 {
+                p.mean_structure /= p.samples as f64;
+                p.mean_assign /= p.samples as f64;
+            }
+        }
+        out
+    }
+
+    /// Profile meta-operator latency per kind over the given models (the
+    /// paper's Figure 8): `Replace`/`Reduce`/`Add` averaged over every op
+    /// of the kind, `Reshape` averaged over every same-kind op pair drawn
+    /// from different models.
+    pub fn profile_meta_ops(&self, models: &[&ModelGraph]) -> BTreeMap<OpKind, MetaOpProfile> {
+        let mut per_kind: BTreeMap<OpKind, (MetaOpProfile, usize, usize)> = BTreeMap::new();
+        for model in models {
+            for (_, op) in model.ops() {
+                let e = per_kind
+                    .entry(op.kind())
+                    .or_insert((MetaOpProfile::default(), 0, 0));
+                e.0.replace += self.cost.replace_cost(&op.attrs);
+                e.0.reduce += self.cost.reduce_cost(&op.attrs);
+                e.0.add += self.cost.add_cost(&op.attrs);
+                e.1 += 1;
+            }
+        }
+        // Reshape pairs: first op of each kind in each model, all ordered
+        // cross-model pairs (a bounded, deterministic sample).
+        for (i, a) in models.iter().enumerate() {
+            for (j, b) in models.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut seen_kind: BTreeMap<OpKind, ()> = BTreeMap::new();
+                for (_, src) in a.ops() {
+                    if seen_kind.contains_key(&src.kind()) {
+                        continue;
+                    }
+                    if let Some((_, dst)) = b.ops().find(|(_, o)| o.kind() == src.kind()) {
+                        if let Some(c) = self.cost.reshape_cost(&src.attrs, &dst.attrs) {
+                            let e = per_kind.entry(src.kind()).or_insert((
+                                MetaOpProfile::default(),
+                                0,
+                                0,
+                            ));
+                            e.0.reshape += c;
+                            e.2 += 1;
+                            seen_kind.insert(src.kind(), ());
+                        }
+                    }
+                }
+            }
+        }
+        per_kind
+            .into_iter()
+            .map(|(k, (mut p, n, r))| {
+                if n > 0 {
+                    p.replace /= n as f64;
+                    p.reduce /= n as f64;
+                    p.add /= n as f64;
+                }
+                if r > 0 {
+                    p.reshape /= r as f64;
+                }
+                p.edge = self.cost.edge_cost();
+                (k, p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn profiles_resnet50_op_kinds() {
+        let model = optimus_zoo::resnet::resnet50();
+        let cost = CostModel::default();
+        let prof = Profiler::new(&cost).profile_ops(&[&model]);
+        // Figure 4's headline facts reproduced on the profiled table.
+        let conv = prof[&OpKind::Conv2d];
+        let act = prof[&OpKind::Activation];
+        assert!(conv.mean_structure > 8.0 * act.mean_structure);
+        assert!(conv.mean_assign > 0.0);
+        assert_eq!(act.mean_assign, 0.0);
+        assert!(conv.max_structure > conv.min_structure);
+    }
+
+    #[test]
+    fn meta_op_profile_ordering_matches_figure8() {
+        let a = optimus_zoo::resnet::resnet50();
+        let b = optimus_zoo::resnet::resnet101();
+        let cost = CostModel::default();
+        let prof = Profiler::new(&cost).profile_meta_ops(&[&a, &b]);
+        let conv = prof[&OpKind::Conv2d];
+        // Add (scratch) > Reshape > Replace path ordering for heavy kinds;
+        // Reduce constant; Edge negligible.
+        assert!(
+            conv.add > conv.reshape,
+            "add {} reshape {}",
+            conv.add,
+            conv.reshape
+        );
+        assert!(conv.add > conv.replace);
+        assert!(conv.edge < conv.reduce);
+    }
+}

@@ -1,0 +1,137 @@
+//! Calibration integration tests: the cost model must reproduce the
+//! paper's measured invariants over real zoo models (Insights 1–2,
+//! Figures 2–4).
+
+use optimus_profile::{CostModel, CostProvider, Environment, PlatformProfile};
+use optimus_zoo::{resnet, vgg};
+
+#[test]
+fn insight1_model_loading_dominates_request_latency() {
+    // Figure 2: model loading accounts for more than half the total request
+    // time for both families; for VGG16 more than 74% of *startup*
+    // (init + load) is model loading (Figure 1).
+    let cost = CostModel::default();
+    let plat = PlatformProfile::new(Environment::Cpu);
+    for model in [vgg::vgg16(), resnet::resnet50(), resnet::resnet152()] {
+        let load = cost.model_load_cost(&model);
+        let init = plat.cold_init();
+        let compute = plat.compute_cost(&model);
+        let total = init + load + compute;
+        assert!(
+            load / total > 0.5,
+            "{}: load fraction {:.2}",
+            model.name(),
+            load / total
+        );
+    }
+    let vgg16 = vgg::vgg16();
+    let load = cost.model_load_cost(&vgg16);
+    let startup = plat.cold_init() + load;
+    assert!(
+        load / startup > 0.67,
+        "VGG16 load is {:.0}% of startup, paper says >74%",
+        100.0 * load / startup
+    );
+}
+
+#[test]
+fn insight1_loading_scales_with_layers_not_params() {
+    // ResNet101 has ~2x the layers of ResNet50 and loads ~2x slower;
+    // ResNet family loads about as slowly as VGG despite 5x fewer params.
+    let cost = CostModel::default();
+    let r50 = cost.model_load_cost(&resnet::resnet50());
+    let r101 = cost.model_load_cost(&resnet::resnet101());
+    let ratio = r101 / r50;
+    assert!(
+        (1.5..=2.5).contains(&ratio),
+        "r101/r50 load ratio {ratio:.2}"
+    );
+
+    let v16 = cost.model_load_cost(&vgg::vgg16());
+    let family_ratio = r50 / v16;
+    assert!(
+        (0.5..=2.0).contains(&family_ratio),
+        "resnet50/vgg16 load ratio {family_ratio:.2} — families should load comparably"
+    );
+}
+
+#[test]
+fn insight2_structure_loading_dominates_model_loading() {
+    // Figure 3: structure ≈ 89.66% of loading on average over the zoo;
+    // weights ≈ 10.28%; deserialization negligible.
+    let cost = CostModel::default();
+    let models = [
+        vgg::vgg11(),
+        vgg::vgg16(),
+        resnet::resnet18(),
+        resnet::resnet50(),
+        resnet::resnet101(),
+        optimus_zoo::densenet::densenet121(),
+        optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+        optimus_zoo::mobilenet::mobilenet_v2(1.0, 0),
+        optimus_zoo::inception::inception_v1(),
+        optimus_zoo::xception::xception(),
+    ];
+    let mut structure_frac = 0.0;
+    let mut deser_frac = 0.0;
+    for m in &models {
+        let b = cost.load_breakdown(m);
+        structure_frac += b.structure_fraction();
+        deser_frac += b.deserialize / b.total();
+    }
+    structure_frac /= models.len() as f64;
+    deser_frac /= models.len() as f64;
+    assert!(
+        (0.80..=0.97).contains(&structure_frac),
+        "mean structure fraction {structure_frac:.3}, paper: 0.8966"
+    );
+    assert!(deser_frac < 0.02, "deserialize fraction {deser_frac:.4}");
+}
+
+#[test]
+fn gpu_requests_are_slower_end_to_end_but_compute_faster() {
+    // Figure 16: GPU cold requests are slower than CPU cold requests
+    // because of runtime init + load overhead, despite faster compute.
+    let model = resnet::resnet50();
+    let (mut totals, mut computes) = (Vec::new(), Vec::new());
+    for env in [Environment::Cpu, Environment::Gpu] {
+        let cost = CostModel::new(env);
+        let plat = PlatformProfile::new(env);
+        let compute = plat.compute_cost(&model);
+        totals.push(plat.cold_init() + cost.model_load_cost(&model) + compute);
+        computes.push(compute);
+    }
+    assert!(
+        totals[1] > totals[0],
+        "GPU total {} !> CPU {}",
+        totals[1],
+        totals[0]
+    );
+    assert!(computes[1] < computes[0]);
+}
+
+#[test]
+fn same_structure_weight_swap_saves_about_80_percent() {
+    // Figure 5a: replacing only the weights of an identical structure cuts
+    // serving latency by ~79.83% versus a cold start.
+    let cost = CostModel::default();
+    let plat = PlatformProfile::new(Environment::Cpu);
+    let mut savings = Vec::new();
+    for m in [vgg::vgg16(), resnet::resnet50(), resnet::resnet101()] {
+        let cold = plat.cold_init() + cost.model_load_cost(&m) + plat.compute_cost(&m);
+        // Weight swap: replace every weighted op's weights in a warm
+        // container; no init, no structure loading.
+        let swap: f64 = m
+            .ops()
+            .filter(|(_, op)| op.weights.is_some())
+            .map(|(_, op)| cost.replace_cost(&op.attrs))
+            .sum();
+        let warm_serve = plat.repurpose_overhead + swap + plat.compute_cost(&m);
+        savings.push(1.0 - warm_serve / cold);
+    }
+    let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(
+        (0.65..=0.95).contains(&mean),
+        "mean saving {mean:.3}, paper reports 0.7983"
+    );
+}

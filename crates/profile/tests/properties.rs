@@ -1,0 +1,129 @@
+//! Property-based tests of the cost model: monotonicity, positivity, and
+//! the relations the planner relies on.
+
+use optimus_model::{OpAttrs, Padding};
+use optimus_profile::{CostModel, CostProvider, Environment};
+use proptest::prelude::*;
+
+fn conv(out: usize, k: usize) -> OpAttrs {
+    OpAttrs::Conv2d {
+        in_channels: 64,
+        out_channels: out,
+        kernel: (k, k),
+        stride: (1, 1),
+        padding: Padding::Same,
+        groups: 1,
+        bias: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structure cost grows with weight size within a kind.
+    #[test]
+    fn structure_cost_monotone_in_weights(
+        a in 8usize..512, b in 8usize..512, k in 1usize..8,
+    ) {
+        let m = CostModel::default();
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assume!(small < large);
+        prop_assert!(m.structure_cost(&conv(small, k)) < m.structure_cost(&conv(large, k)));
+    }
+
+    /// All cost components are strictly positive and finite.
+    #[test]
+    fn costs_are_positive_and_finite(out in 1usize..1024, k in 1usize..8) {
+        for env in [Environment::Cpu, Environment::Gpu] {
+            let m = CostModel::new(env);
+            let attrs = conv(out, k);
+            for v in [
+                m.structure_cost(&attrs),
+                m.assign_cost(&attrs),
+                m.replace_cost(&attrs),
+                m.reduce_cost(&attrs),
+                m.add_cost(&attrs),
+                m.edge_cost(),
+            ] {
+                prop_assert!(v.is_finite() && v >= 0.0, "cost {v}");
+            }
+            prop_assert!(m.structure_cost(&attrs) > 0.0);
+        }
+    }
+
+    /// Reshape is always defined within a kind, never across kinds, and
+    /// never beats a free identity: reshape(x, x) > 0.
+    #[test]
+    fn reshape_domain(out1 in 8usize..256, out2 in 8usize..256, k in 1usize..6) {
+        let m = CostModel::default();
+        let a = conv(out1, k);
+        let b = conv(out2, k);
+        prop_assert!(m.reshape_cost(&a, &b).is_some());
+        prop_assert!(m.reshape_cost(&a, &a).unwrap() > 0.0);
+        let dense = OpAttrs::Dense {
+            in_features: out1,
+            out_features: out2,
+            bias: true,
+        };
+        prop_assert!(m.reshape_cost(&a, &dense).is_none());
+    }
+
+    /// Add always costs at least as much as Reshape+Replace to the same
+    /// destination — otherwise the substitution path would be pointless.
+    #[test]
+    fn add_dominates_substitution(
+        src_out in 8usize..256, dst_out in 8usize..256, k in 1usize..6,
+    ) {
+        let m = CostModel::default();
+        let src = conv(src_out, k);
+        let dst = conv(dst_out, k);
+        let substitution = m.reshape_cost(&src, &dst).unwrap() + m.replace_cost(&dst);
+        // Not universally true for tiny dst with huge src shrink? Verify:
+        // substitution must at least be cheaper than add for same-or-larger
+        // destinations, the paper's reuse case.
+        if dst_out >= src_out {
+            prop_assert!(
+                substitution < m.add_cost(&dst),
+                "substitute {substitution} !< add {}",
+                m.add_cost(&dst)
+            );
+        }
+    }
+
+    /// GPU uniformly scales structure costs up and assign costs down
+    /// relative to CPU.
+    #[test]
+    fn gpu_scaling_is_uniform(out in 8usize..512, k in 1usize..8) {
+        let cpu = CostModel::new(Environment::Cpu);
+        let gpu = CostModel::new(Environment::Gpu);
+        let attrs = conv(out, k);
+        let s_ratio = gpu.structure_cost(&attrs) / cpu.structure_cost(&attrs);
+        prop_assert!((s_ratio - Environment::Gpu.load_multiplier()).abs() < 1e-9);
+        let a_ratio = gpu.assign_cost(&attrs) / cpu.assign_cost(&attrs);
+        prop_assert!((a_ratio - Environment::Gpu.assign_multiplier()).abs() < 1e-9);
+    }
+
+    /// Model load cost decomposes exactly into the breakdown parts.
+    #[test]
+    fn load_breakdown_sums(channels in prop::collection::vec(4usize..32, 1..5)) {
+        let m = CostModel::default();
+        let mut b = optimus_model::GraphBuilder::new("prop");
+        let mut x = b.input([1, 3, 16, 16]);
+        let mut ch = 3;
+        for &c in &channels {
+            x = b.conv2d_after(x, ch, c, (3, 3), (1, 1), 1);
+            ch = c;
+        }
+        let _ = x;
+        let g = b.finish().unwrap();
+        let breakdown = m.load_breakdown(&g);
+        prop_assert!((breakdown.total() - m.model_load_cost(&g)).abs() < 1e-12);
+        prop_assert!(
+            (breakdown.structure_fraction() + breakdown.assign_fraction()
+                + breakdown.deserialize / breakdown.total()
+                - 1.0)
+                .abs()
+                < 1e-9
+        );
+    }
+}

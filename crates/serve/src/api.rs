@@ -1,0 +1,84 @@
+//! Public request/response types of the serving engine.
+
+use optimus_model::tensor::Tensor;
+
+/// How the serving container was obtained (live analogue of the
+/// simulator's start kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedStart {
+    /// Container already held the model.
+    Warm,
+    /// A new container was created and the model instantiated.
+    Cold,
+    /// An idle container's model was transformed in place via the cached
+    /// meta-operator plan.
+    Transformed,
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    /// Model that served the request.
+    pub model: String,
+    /// Output tensor of the forward pass.
+    pub output: Tensor,
+    /// How the container was obtained.
+    pub start: ServedStart,
+    /// Measured wall-clock spent obtaining the container (transformation
+    /// or instantiation), in seconds.
+    pub startup_seconds: f64,
+    /// Measured wall-clock of the forward pass, in seconds.
+    pub compute_seconds: f64,
+    /// Id of the worker node that served the request.
+    pub node: usize,
+    /// Number of meta-operator steps executed (0 unless transformed).
+    pub transform_steps: usize,
+}
+
+/// Serving errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The requested model is not registered.
+    UnknownModel(String),
+    /// The forward pass failed (shape mismatch with the supplied input).
+    Inference(String),
+    /// The gateway is shutting down.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model '{m}'"),
+            ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::Shutdown => write!(f, "gateway is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Gateway configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Number of worker nodes (threads).
+    pub nodes: usize,
+    /// Maximum live containers per node.
+    pub capacity_per_node: usize,
+    /// Seconds without a request before a container becomes a
+    /// transformation donor (§4.2; scaled down for in-process use).
+    pub idle_threshold: f64,
+    /// Seconds without use before a container is evicted.
+    pub keep_alive: f64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            nodes: 2,
+            capacity_per_node: 4,
+            idle_threshold: 0.05,
+            keep_alive: 30.0,
+        }
+    }
+}

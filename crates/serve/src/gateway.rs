@@ -1,0 +1,137 @@
+//! The gateway: request entry point and worker lifecycle management.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_model::tensor::Tensor;
+use optimus_model::ModelGraph;
+use optimus_profile::CostModel;
+
+use crate::api::{GatewayConfig, InferenceResponse, ServeError};
+use crate::worker::{run_worker, WorkItem};
+
+/// Builder: register models, then [`GatewayBuilder::spawn`].
+pub struct GatewayBuilder {
+    config: GatewayConfig,
+    repo: ModelRepository,
+    cost: CostModel,
+    names: Vec<String>,
+}
+
+impl GatewayBuilder {
+    /// Register a model; plans against previously registered models are
+    /// computed and cached immediately (§4.4 Module 3).
+    pub fn register(self, model: ModelGraph) -> Self {
+        let mut names = self.names;
+        names.push(model.name().to_string());
+        self.repo.register(model, &self.cost);
+        GatewayBuilder { names, ..self }
+    }
+
+    /// Start the worker threads and return the gateway handle.
+    ///
+    /// Functions are placed onto nodes round-robin in registration order;
+    /// a production deployment would use `optimus-balance` here, which is
+    /// exercised by the simulator instead.
+    pub fn spawn(self) -> Gateway {
+        let repo = Arc::new(self.repo);
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for node_id in 0..self.config.nodes {
+            let (tx, rx) = unbounded::<WorkItem>();
+            let repo = repo.clone();
+            let config = self.config;
+            handles.push(std::thread::spawn(move || {
+                run_worker(node_id, config, repo, rx)
+            }));
+            senders.push(tx);
+        }
+        let placement = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i % self.config.nodes))
+            .collect();
+        Gateway {
+            senders,
+            handles,
+            placement,
+        }
+    }
+}
+
+/// Handle to a running serving engine.
+///
+/// Cloning requests through the gateway is thread-safe; `shutdown` (or
+/// drop) stops the workers.
+pub struct Gateway {
+    senders: Vec<Sender<WorkItem>>,
+    handles: Vec<JoinHandle<()>>,
+    placement: HashMap<String, usize>,
+}
+
+impl Gateway {
+    /// Start building a gateway with the given configuration. Plans are
+    /// computed with the linear-time group planner.
+    pub fn builder(config: GatewayConfig) -> GatewayBuilder {
+        assert!(config.nodes > 0, "need at least one node");
+        assert!(config.capacity_per_node > 0, "need container capacity");
+        GatewayBuilder {
+            config,
+            repo: ModelRepository::new(Box::new(GroupPlanner)),
+            cost: CostModel::default(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Run one inference synchronously.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for unregistered models,
+    /// [`ServeError::Inference`] when the input does not fit the model,
+    /// [`ServeError::Shutdown`] when the engine is stopping.
+    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferenceResponse, ServeError> {
+        let node = *self
+            .placement
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let (reply_tx, reply_rx) = bounded(1);
+        let item = WorkItem {
+            model: model.to_string(),
+            input,
+            reply: reply_tx,
+        };
+        self.senders[node]
+            .send(item)
+            .map_err(|_| ServeError::Shutdown)?;
+        reply_rx.recv().map_err(|_| ServeError::Shutdown)?
+    }
+
+    /// Registered model names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.placement.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Stop the workers and wait for them to finish outstanding requests.
+    pub fn shutdown(mut self) {
+        self.senders.clear(); // closes the channels
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

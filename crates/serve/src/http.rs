@@ -1,0 +1,215 @@
+//! Minimal HTTP/1.1 front end for the gateway (§7: "Optimus API and
+//! communication between clients and the gateway are implemented in REST
+//! API format … a Flask HTTP server that accepts client requests").
+//!
+//! Dependency-free: a small hand-rolled HTTP server over
+//! `std::net::TcpListener`, good for the prototype's request shapes.
+//!
+//! Endpoints:
+//!
+//! - `GET /models` — JSON array of registered model names.
+//! - `POST /infer` — body `{"model": "<name>", "shape": [..], "data": [..]}`
+//!   (`data` optional; zeros are used when omitted). Responds
+//!   `{"model", "start", "startup_seconds", "compute_seconds", "node",
+//!   "transform_steps", "output_shape", "output": [..first 16 values..]}`.
+//!
+//! One OS thread per connection; connections are `Connection: close`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use optimus_model::tensor::Tensor;
+
+use crate::api::ServedStart;
+use crate::gateway::Gateway;
+
+/// A running HTTP front end.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Serve `gateway` on `127.0.0.1:port` (`port` 0 picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error message when the port is unavailable.
+    pub fn serve(gateway: Arc<Gateway>, port: u16) -> Result<HttpServer, String> {
+        let listener = TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let gw = gateway.clone();
+                        workers.push(std::thread::spawn(move || handle_connection(stream, &gw)));
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the acceptor thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, gateway: &Gateway) {
+    let peer = stream.try_clone();
+    let Ok(mut writer) = peer else { return };
+    let mut reader = BufReader::new(stream);
+    // Request line.
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    // Headers (we only need Content-Length).
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some(v) = line
+                    .to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::trim)
+                    .and_then(|v| v.parse::<usize>().ok())
+                {
+                    content_length = v;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return;
+    }
+    let (status, payload) = route(gateway, &method, &path, &body);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    let _ = writer.write_all(response.as_bytes());
+}
+
+fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> (&'static str, String) {
+    match (method, path) {
+        ("GET", "/models") => {
+            let names = gateway.models();
+            (
+                "200 OK",
+                serde_json::to_string(&names).expect("string array serializes"),
+            )
+        }
+        ("POST", "/infer") => match infer_request(gateway, body) {
+            Ok(json) => ("200 OK", json),
+            Err((status, msg)) => (status, format!("{{\"error\":\"{msg}\"}}")),
+        },
+        _ => (
+            "404 Not Found",
+            "{\"error\":\"unknown endpoint (GET /models, POST /infer)\"}".to_string(),
+        ),
+    }
+}
+
+fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str, String)> {
+    let parsed: serde_json::Value = serde_json::from_slice(body)
+        .map_err(|e| ("400 Bad Request", format!("malformed JSON: {e}")))?;
+    let model = parsed["model"]
+        .as_str()
+        .ok_or(("400 Bad Request", "missing 'model'".to_string()))?;
+    let shape: Vec<usize> = parsed["shape"]
+        .as_array()
+        .ok_or(("400 Bad Request", "missing 'shape'".to_string()))?
+        .iter()
+        .map(|v| v.as_u64().unwrap_or(0) as usize)
+        .collect();
+    let numel: usize = shape.iter().product();
+    if numel == 0 || numel > 4_000_000 {
+        return Err(("400 Bad Request", format!("bad tensor shape {shape:?}")));
+    }
+    let data: Vec<f32> = match parsed.get("data").and_then(|d| d.as_array()) {
+        Some(values) => {
+            if values.len() != numel {
+                return Err((
+                    "400 Bad Request",
+                    format!("data length {} != shape numel {numel}", values.len()),
+                ));
+            }
+            values
+                .iter()
+                .map(|v| v.as_f64().unwrap_or(0.0) as f32)
+                .collect()
+        }
+        None => vec![0.0; numel],
+    };
+    let input = Tensor::new(shape, data);
+    let resp = gateway
+        .infer(model, input)
+        .map_err(|e| ("422 Unprocessable Entity", e.to_string()))?;
+    let start = match resp.start {
+        ServedStart::Warm => "warm",
+        ServedStart::Cold => "cold",
+        ServedStart::Transformed => "transformed",
+    };
+    let preview: Vec<f32> = resp.output.data().iter().copied().take(16).collect();
+    Ok(serde_json::json!({
+        "model": resp.model,
+        "start": start,
+        "startup_seconds": resp.startup_seconds,
+        "compute_seconds": resp.compute_seconds,
+        "node": resp.node,
+        "transform_steps": resp.transform_steps,
+        "output_shape": resp.output.shape().dims(),
+        "output": preview,
+    })
+    .to_string())
+}

@@ -1,0 +1,137 @@
+//! Worker node: a thread owning live containers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+use optimus_core::{execute_plan, ModelRepository, TransformDecision};
+use optimus_model::tensor::Tensor;
+use optimus_model::{infer, ModelGraph};
+
+use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
+
+/// A request as delivered to a worker.
+pub(crate) struct WorkItem {
+    pub model: String,
+    pub input: Tensor,
+    pub reply: Sender<Result<InferenceResponse, ServeError>>,
+}
+
+/// A live container: a real model graph plus usage timestamps.
+struct LiveContainer {
+    model: ModelGraph,
+    last_used: Instant,
+}
+
+/// Worker main loop: owns its containers; processes items until the
+/// channel closes.
+pub(crate) fn run_worker(
+    node_id: usize,
+    config: GatewayConfig,
+    repo: Arc<ModelRepository>,
+    rx: Receiver<WorkItem>,
+) {
+    let mut containers: Vec<LiveContainer> = Vec::new();
+    while let Ok(item) = rx.recv() {
+        let result = serve(node_id, &config, &repo, &mut containers, &item);
+        // The client may have given up; a dead reply channel is fine.
+        let _ = item.reply.send(result);
+    }
+}
+
+fn serve(
+    node_id: usize,
+    config: &GatewayConfig,
+    repo: &ModelRepository,
+    containers: &mut Vec<LiveContainer>,
+    item: &WorkItem,
+) -> Result<InferenceResponse, ServeError> {
+    let now = Instant::now();
+    // Keep-alive eviction.
+    containers.retain(|c| now.duration_since(c.last_used).as_secs_f64() <= config.keep_alive);
+
+    let (slot, start, startup_seconds, transform_steps) =
+        obtain_container(config, repo, containers, &item.model)?;
+    let t0 = Instant::now();
+    let output = infer::run(&containers[slot].model, item.input.clone())
+        .map_err(|e| ServeError::Inference(e.to_string()))?;
+    let compute_seconds = t0.elapsed().as_secs_f64();
+    containers[slot].last_used = Instant::now();
+    Ok(InferenceResponse {
+        model: item.model.clone(),
+        output,
+        start,
+        startup_seconds,
+        compute_seconds,
+        node: node_id,
+        transform_steps,
+    })
+}
+
+/// Get a container holding `model`, preferring warm, then transformation
+/// of an idle donor, then cold instantiation. Returns
+/// `(index, start kind, startup seconds, transform steps)`.
+fn obtain_container(
+    config: &GatewayConfig,
+    repo: &ModelRepository,
+    containers: &mut Vec<LiveContainer>,
+    model: &str,
+) -> Result<(usize, ServedStart, f64, usize), ServeError> {
+    // Warm hit.
+    if let Some(i) = containers.iter().position(|c| c.model.name() == model) {
+        return Ok((i, ServedStart::Warm, 0.0, 0));
+    }
+    let target = repo
+        .model(model)
+        .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+    let now = Instant::now();
+    // Idle donors, longest-idle first (§4.2).
+    let mut donors: Vec<usize> = containers
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| now.duration_since(c.last_used).as_secs_f64() >= config.idle_threshold)
+        .map(|(i, _)| i)
+        .collect();
+    donors.sort_by(|&a, &b| containers[a].last_used.cmp(&containers[b].last_used));
+    for i in donors {
+        let src_name = containers[i].model.name().to_string();
+        match repo.decide(&src_name, model) {
+            Some(TransformDecision::Transform(plan)) => {
+                let t0 = Instant::now();
+                let report = execute_plan(&mut containers[i].model, &plan, &target)
+                    .map_err(|e| ServeError::Inference(format!("transform failed: {e}")))?;
+                // Cached plans reference the op-id space of the *registered*
+                // graphs (see `execute_plan`'s contract). The transformed
+                // graph is verified structurally identical to the target, so
+                // canonicalise its id space by adopting the registered graph
+                // — this keeps future cached plans applicable to this
+                // container.
+                containers[i].model = (*target).clone();
+                let startup = t0.elapsed().as_secs_f64();
+                containers[i].last_used = Instant::now();
+                return Ok((i, ServedStart::Transformed, startup, report.steps_applied));
+            }
+            // Safeguard picked loading, or the pair is unknown: try the
+            // next donor — a cold start may still be cheaper overall.
+            _ => continue,
+        }
+    }
+    // Cold start: instantiate the model; evict LRU if at capacity.
+    let t0 = Instant::now();
+    if containers.len() >= config.capacity_per_node {
+        if let Some(victim) = containers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(i, _)| i)
+        {
+            containers.swap_remove(victim);
+        }
+    }
+    containers.push(LiveContainer {
+        model: (*target).clone(),
+        last_used: Instant::now(),
+    });
+    let startup = t0.elapsed().as_secs_f64();
+    Ok((containers.len() - 1, ServedStart::Cold, startup, 0))
+}

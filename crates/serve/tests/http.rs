@@ -1,0 +1,151 @@
+//! HTTP front-end tests: a real TCP client against the real server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use optimus_model::{Activation, GraphBuilder, ModelGraph};
+use optimus_serve::{Gateway, GatewayConfig, HttpServer};
+
+fn tiny(name: &str, ch: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let i = b.input([1, 3, 8, 8]);
+    let c = b.conv2d_after(i, 3, ch, (3, 3), (1, 1), 1);
+    let a = b.activation_after(c, Activation::Relu);
+    let g = b.global_avg_pool_after(a);
+    let f = b.flatten_after(g);
+    let _ = b.dense_after(f, ch, 4);
+    b.finish().unwrap()
+}
+
+fn start_server() -> (HttpServer, std::net::SocketAddr) {
+    let gw = Arc::new(
+        Gateway::builder(GatewayConfig {
+            nodes: 1,
+            capacity_per_node: 2,
+            idle_threshold: 0.0,
+            keep_alive: 60.0,
+        })
+        .register(tiny("m1", 4))
+        .register(tiny("m2", 8))
+        .spawn(),
+    );
+    let server = HttpServer::serve(gw, 0).expect("binds an ephemeral port");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("valid response");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, payload.to_string())
+}
+
+#[test]
+fn get_models_lists_registered_names() {
+    let (server, addr) = start_server();
+    let (status, body) = request(addr, "GET", "/models", "");
+    assert!(status.contains("200"), "{status}");
+    let names: Vec<String> = serde_json::from_str(&body).expect("json array");
+    assert_eq!(names, vec!["m1", "m2"]);
+    server.shutdown();
+}
+
+#[test]
+fn post_infer_serves_and_reports_start_kind() {
+    let (server, addr) = start_server();
+    let body = r#"{"model":"m1","shape":[1,3,8,8]}"#;
+    let (status, payload) = request(addr, "POST", "/infer", body);
+    assert!(status.contains("200"), "{status}: {payload}");
+    let v: serde_json::Value = serde_json::from_str(&payload).expect("json");
+    assert_eq!(v["model"], "m1");
+    assert_eq!(v["start"], "cold");
+    assert_eq!(v["output_shape"].as_array().unwrap().len(), 2);
+    // Second request is warm.
+    let (_, payload) = request(addr, "POST", "/infer", body);
+    let v: serde_json::Value = serde_json::from_str(&payload).expect("json");
+    assert_eq!(v["start"], "warm");
+    // m2 transforms the idle m1 container.
+    let (_, payload) = request(
+        addr,
+        "POST",
+        "/infer",
+        r#"{"model":"m2","shape":[1,3,8,8]}"#,
+    );
+    let v: serde_json::Value = serde_json::from_str(&payload).expect("json");
+    assert_eq!(v["start"], "transformed", "{payload}");
+    assert!(v["transform_steps"].as_u64().unwrap() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_4xx() {
+    let (server, addr) = start_server();
+    let (status, _) = request(addr, "POST", "/infer", "{not json");
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = request(addr, "POST", "/infer", r#"{"shape":[1]}"#);
+    assert!(status.contains("400"), "{status}");
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/infer",
+        r#"{"model":"nope","shape":[1,3,8,8]}"#,
+    );
+    assert!(status.contains("422"), "{status}");
+    let (status, _) = request(addr, "GET", "/missing", "");
+    assert!(status.contains("404"), "{status}");
+    server.shutdown();
+}
+
+#[test]
+fn explicit_input_data_is_used() {
+    let (server, addr) = start_server();
+    // 1x3x8x8 = 192 values of 1.0.
+    let data: Vec<String> = (0..192).map(|_| "1.0".to_string()).collect();
+    let body = format!(
+        r#"{{"model":"m1","shape":[1,3,8,8],"data":[{}]}}"#,
+        data.join(",")
+    );
+    let (status, payload) = request(addr, "POST", "/infer", &body);
+    assert!(status.contains("200"), "{status}: {payload}");
+    let v: serde_json::Value = serde_json::from_str(&payload).expect("json");
+    let zeros = request(
+        addr,
+        "POST",
+        "/infer",
+        r#"{"model":"m1","shape":[1,3,8,8]}"#,
+    )
+    .1;
+    let vz: serde_json::Value = serde_json::from_str(&zeros).expect("json");
+    assert_ne!(
+        v["output"], vz["output"],
+        "non-zero input must change the output"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_http_clients() {
+    let (server, addr) = start_server();
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        handles.push(std::thread::spawn(move || {
+            let model = if i % 2 == 0 { "m1" } else { "m2" };
+            let body = format!(r#"{{"model":"{model}","shape":[1,3,8,8]}}"#);
+            let (status, payload) = request(addr, "POST", "/infer", &body);
+            assert!(status.contains("200"), "{status}: {payload}");
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown();
+}

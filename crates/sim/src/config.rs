@@ -1,0 +1,151 @@
+//! Simulation configuration.
+
+use optimus_profile::Environment;
+use serde::{Deserialize, Serialize};
+
+/// How the gateway assigns functions to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// The §5.1 model-sharing-aware K-medoids balancer.
+    SharingAware {
+        /// Weight of the model editing distance.
+        gamma_d: f64,
+        /// Weight of the demand correlation.
+        gamma_k: f64,
+    },
+    /// Hash of the function name (existing systems' default).
+    Hash,
+    /// Greedy least-total-demand placement.
+    LeastLoaded,
+}
+
+impl Default for PlacementStrategy {
+    fn default() -> Self {
+        PlacementStrategy::SharingAware {
+            gamma_d: 0.7,
+            gamma_k: 0.3,
+        }
+    }
+}
+
+/// Memory-aware capacity limit (§6 "Fine-grained Resource Allocation").
+///
+/// When set, a node additionally enforces a byte budget: each container
+/// occupies its model's parameter bytes plus a fixed runtime overhead, so
+/// small models pack more containers per node than the homogeneous slot
+/// count alone would allow (and very large models fewer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLimit {
+    /// Total container memory per node, in bytes.
+    pub node_bytes: u64,
+    /// Fixed per-container runtime overhead, in bytes.
+    pub container_overhead: u64,
+}
+
+impl MemoryLimit {
+    /// A limit of `gib` GiB per node with a 384 MiB per-container runtime
+    /// overhead (a typical ML runtime resident set).
+    pub fn gib(gib: u64) -> Self {
+        MemoryLimit {
+            node_bytes: gib * 1024 * 1024 * 1024,
+            container_overhead: 384 * 1024 * 1024,
+        }
+    }
+}
+
+/// Predictive prewarming (§2.2's first class of cold-start mitigation,
+/// which the paper notes Optimus is *complementary* to).
+///
+/// After each request of a function, the platform predicts the next
+/// arrival from the observed mean inter-arrival gap and schedules a
+/// proactive transformation `lead` seconds before it: if at that moment
+/// the function has no warm container but an idle donor exists, the donor
+/// is transformed ahead of time, so the predicted request warm-starts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrewarmConfig {
+    /// Seconds of lead before the predicted arrival.
+    pub lead: f64,
+    /// Minimum observed arrivals before predictions are trusted.
+    pub min_history: usize,
+}
+
+impl Default for PrewarmConfig {
+    fn default() -> Self {
+        PrewarmConfig {
+            lead: 5.0,
+            min_history: 3,
+        }
+    }
+}
+
+/// Platform-level simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Maximum containers per node.
+    pub capacity_per_node: usize,
+    /// Keep-alive: a non-busy container is evicted after this many seconds
+    /// without use (§8.1 fixes 10 minutes for all systems).
+    pub keep_alive: f64,
+    /// Idle threshold: a container is a transformation donor after this
+    /// many seconds without a routed request (§4.2; 60 s like Pagurus).
+    pub idle_threshold: f64,
+    /// Hardware environment of every node.
+    pub env: Environment,
+    /// Function-to-node placement.
+    pub placement: PlacementStrategy,
+    /// Demand-histogram slot length for the balancer (s).
+    pub demand_slot: f64,
+    /// Tetris-specific: latency of creating a container by mapping the
+    /// shared runtime address space (replaces full sandbox+runtime init).
+    pub tetris_init: f64,
+    /// Tetris-specific: per-shared-operation address-mapping latency (s).
+    pub tetris_map_per_op: f64,
+    /// Optional memory-aware capacity limit (in addition to the slot
+    /// count); `None` reproduces the paper's homogeneous allocation.
+    pub memory: Option<MemoryLimit>,
+    /// Optional predictive prewarming layered on top of the policy
+    /// (meaningful for Optimus/Pagurus which can transform donors).
+    pub prewarm: Option<PrewarmConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 2,
+            capacity_per_node: 12,
+            keep_alive: 600.0,
+            idle_threshold: 60.0,
+            env: Environment::Cpu,
+            placement: PlacementStrategy::default(),
+            demand_slot: 300.0,
+            tetris_init: 0.30,
+            tetris_map_per_op: 0.0002,
+            memory: None,
+            prewarm: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.nodes, 2, "paper uses two servers");
+        assert_eq!(c.keep_alive, 600.0, "10-minute keep-alive for all systems");
+        assert_eq!(c.idle_threshold, 60.0, "60 s idle threshold like Pagurus");
+        assert_eq!(c.env, Environment::Cpu);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = SimConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,107 @@
+//! Container lifecycle state.
+
+use serde::{Deserialize, Serialize};
+
+/// Observable container state at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerState {
+    /// Currently serving a request (or still starting up).
+    Busy,
+    /// Warm and recently used: a warm-start target for its own function.
+    Warm,
+    /// Warm and idle past the idle threshold: a transformation donor.
+    Idle,
+}
+
+/// One container on a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Container {
+    /// Unique id within the simulation.
+    pub id: u64,
+    /// Function (model name) currently served.
+    pub function: String,
+    /// Virtual time until which the container is busy.
+    pub busy_until: f64,
+    /// Last time a request was routed to this container (idle-timer reset,
+    /// §4.2).
+    pub last_routed: f64,
+    /// Resident memory footprint in bytes (model + runtime overhead).
+    ///
+    /// Used by the memory-aware capacity mode (§6 "Fine-grained Resource
+    /// Allocation"): heterogeneous container sizes instead of homogeneous
+    /// slots.
+    pub mem_bytes: u64,
+}
+
+impl Container {
+    /// New container created at `now` for `function`, busy until
+    /// `busy_until` (its first request's completion).
+    pub fn new(id: u64, function: impl Into<String>, now: f64, busy_until: f64) -> Self {
+        Container {
+            id,
+            function: function.into(),
+            busy_until,
+            last_routed: now,
+            mem_bytes: 0,
+        }
+    }
+
+    /// State at time `now` under the given idle threshold.
+    pub fn state(&self, now: f64, idle_threshold: f64) -> ContainerState {
+        if self.busy_until > now {
+            ContainerState::Busy
+        } else if now - self.last_routed >= idle_threshold {
+            ContainerState::Idle
+        } else {
+            ContainerState::Warm
+        }
+    }
+
+    /// Time the container last finished work (for keep-alive eviction).
+    pub fn free_since(&self) -> f64 {
+        self.busy_until
+    }
+
+    /// Whether keep-alive expired at `now`.
+    pub fn expired(&self, now: f64, keep_alive: f64) -> bool {
+        self.busy_until <= now && now - self.busy_until.max(self.last_routed) > keep_alive
+    }
+
+    /// Route a request: mark busy until `until` and reset the idle timer.
+    pub fn route(&mut self, now: f64, until: f64) {
+        self.last_routed = now;
+        self.busy_until = until;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_transitions_over_time() {
+        let c = Container::new(1, "f", 0.0, 2.0);
+        assert_eq!(c.state(1.0, 60.0), ContainerState::Busy);
+        assert_eq!(c.state(2.0, 60.0), ContainerState::Warm);
+        assert_eq!(c.state(59.9, 60.0), ContainerState::Warm);
+        assert_eq!(c.state(60.0, 60.0), ContainerState::Idle);
+    }
+
+    #[test]
+    fn routing_resets_idle_timer() {
+        let mut c = Container::new(1, "f", 0.0, 1.0);
+        c.route(100.0, 101.0);
+        assert_eq!(c.state(120.0, 60.0), ContainerState::Warm);
+        assert_eq!(c.state(160.0, 60.0), ContainerState::Idle);
+    }
+
+    #[test]
+    fn keep_alive_expiry() {
+        let c = Container::new(1, "f", 0.0, 2.0);
+        assert!(!c.expired(600.0, 600.0));
+        assert!(c.expired(603.0, 600.0));
+        // Busy containers never expire.
+        let busy = Container::new(2, "f", 0.0, 1e9);
+        assert!(!busy.expired(1e6, 600.0));
+    }
+}

@@ -1,0 +1,38 @@
+//! # optimus-sim — the serverless ML inference platform simulator
+//!
+//! A deterministic simulator of the testbed the paper evaluates on (§8.1):
+//! worker nodes hosting containers, a gateway routing requests to nodes,
+//! per-container keep-alive and idle timers, and the latency composition
+//! of Figure 1 — sandbox/runtime initialization, model loading (or
+//! transformation), inference computation, plus queueing.
+//!
+//! Four systems are implemented on the same substrate ([`Policy`]):
+//!
+//! - **OpenWhisk** — every miss is a full cold start.
+//! - **Pagurus** (ATC '22) — inter-function container *sharing*: an idle
+//!   container of another function is re-purposed, skipping sandbox and
+//!   runtime init, but the model still loads from scratch.
+//! - **Tetris** (ATC '22) — tensor sharing: operations identical
+//!   (type + shape + weights) to operations resident on the node are
+//!   mapped into the new container; everything else loads from scratch.
+//! - **Optimus** — inter-function *model transformation*: the §4 pipeline
+//!   (cached plans, safeguard, cheapest idle donor) served by
+//!   `optimus-core`.
+//!
+//! Time is virtual (seconds as `f64`); requests are processed in arrival
+//! order with full state tracking, which is an exact discrete-event
+//! execution for this system because container state only changes at
+//! request arrivals and completions, and completions are computable at
+//! dispatch time (run-to-completion, no preemption).
+
+mod config;
+mod container;
+mod metrics;
+mod platform;
+mod policy;
+
+pub use config::{MemoryLimit, PlacementStrategy, PrewarmConfig, SimConfig};
+pub use container::{Container, ContainerState};
+pub use metrics::{FunctionSummary, RequestRecord, SimReport, StartKind};
+pub use platform::Platform;
+pub use policy::Policy;

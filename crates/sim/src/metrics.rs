@@ -1,0 +1,367 @@
+//! Per-request records and run-level reports.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// How a request's container was obtained (Figure 14's categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StartKind {
+    /// Served by a warm container already holding the model.
+    Warm,
+    /// A brand-new container was created and the model loaded from scratch.
+    Cold,
+    /// An existing container was transformed/re-purposed for the function
+    /// (Pagurus repurpose, Tetris tensor-mapping, Optimus model
+    /// transformation).
+    Transform,
+}
+
+/// Latency breakdown of one served request (all seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Function name.
+    pub function: String,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Queueing delay before a container was available.
+    pub wait: f64,
+    /// Sandbox/runtime initialization (0 for warm starts).
+    pub init: f64,
+    /// Model loading or transformation latency (0 for warm starts).
+    pub load: f64,
+    /// Inference computation.
+    pub compute: f64,
+    /// Start category.
+    pub kind: StartKind,
+}
+
+impl RequestRecord {
+    /// End-to-end service latency: wait + init + load + compute (the
+    /// paper's §8.3 metric).
+    pub fn service_time(&self) -> f64 {
+        self.wait + self.init + self.load + self.compute
+    }
+}
+
+/// Per-function aggregate of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSummary {
+    /// Function name.
+    pub function: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Sum of service times (s); divide by `requests` for the mean.
+    pub total_service: f64,
+    /// Cold starts.
+    pub cold: usize,
+    /// Container/model transformations.
+    pub transform: usize,
+    /// Warm starts.
+    pub warm: usize,
+}
+
+impl FunctionSummary {
+    /// Mean service time of this function's requests.
+    pub fn avg_service_time(&self) -> f64 {
+        self.total_service / self.requests.max(1) as f64
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimReport {
+    /// System name (policy).
+    pub system: String,
+    /// All per-request records, in completion order of dispatch.
+    pub records: Vec<RequestRecord>,
+    /// Proactive transformations executed by the prewarming extension
+    /// (0 unless `SimConfig::prewarm` is set).
+    pub prewarms: usize,
+}
+
+impl SimReport {
+    /// Number of requests served.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no requests were served.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean end-to-end service time (Figure 13's metric).
+    pub fn avg_service_time(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(RequestRecord::service_time)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+
+    /// p-th percentile service time (`p` in `[0, 100]`).
+    pub fn percentile_service_time(&self, p: f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let mut times: Vec<f64> = self
+            .records
+            .iter()
+            .map(RequestRecord::service_time)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((p / 100.0) * (times.len() - 1) as f64).round() as usize;
+        times[idx.min(times.len() - 1)]
+    }
+
+    /// Fraction of requests per start kind (Figure 14).
+    pub fn start_fractions(&self) -> BTreeMap<StartKind, f64> {
+        let mut counts: BTreeMap<StartKind, usize> = BTreeMap::new();
+        for r in &self.records {
+            *counts.entry(r.kind).or_insert(0) += 1;
+        }
+        let total = self.records.len().max(1) as f64;
+        counts
+            .into_iter()
+            .map(|(k, c)| (k, c as f64 / total))
+            .collect()
+    }
+
+    /// Fraction of requests served within `threshold` seconds (SLO
+    /// attainment).
+    pub fn slo_attainment(&self, threshold: f64) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .records
+            .iter()
+            .filter(|r| r.service_time() <= threshold)
+            .count();
+        ok as f64 / self.records.len() as f64
+    }
+
+    /// Per-function aggregation, sorted by descending request count.
+    pub fn per_function(&self) -> Vec<FunctionSummary> {
+        let mut map: BTreeMap<&str, FunctionSummary> = BTreeMap::new();
+        for r in &self.records {
+            let e = map
+                .entry(r.function.as_str())
+                .or_insert_with(|| FunctionSummary {
+                    function: r.function.clone(),
+                    requests: 0,
+                    total_service: 0.0,
+                    cold: 0,
+                    transform: 0,
+                    warm: 0,
+                });
+            e.requests += 1;
+            e.total_service += r.service_time();
+            match r.kind {
+                StartKind::Cold => e.cold += 1,
+                StartKind::Transform => e.transform += 1,
+                StartKind::Warm => e.warm += 1,
+            }
+        }
+        let mut v: Vec<FunctionSummary> = map.into_values().collect();
+        v.sort_by(|a, b| {
+            b.requests
+                .cmp(&a.requests)
+                .then_with(|| a.function.cmp(&b.function))
+        });
+        v
+    }
+
+    /// Export all records as CSV (header + one line per request).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("function,arrival,wait,init,load,compute,service_time,kind\n");
+        for r in &self.records {
+            let kind = match r.kind {
+                StartKind::Warm => "warm",
+                StartKind::Cold => "cold",
+                StartKind::Transform => "transform",
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                r.function,
+                r.arrival,
+                r.wait,
+                r.init,
+                r.load,
+                r.compute,
+                r.service_time(),
+                kind
+            ));
+        }
+        out
+    }
+
+    /// Mean latency of each breakdown component `(wait, init, load,
+    /// compute)`.
+    pub fn mean_breakdown(&self) -> (f64, f64, f64, f64) {
+        let n = self.records.len().max(1) as f64;
+        let sum = self.records.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, r| {
+            (
+                acc.0 + r.wait,
+                acc.1 + r.init,
+                acc.2 + r.load,
+                acc.3 + r.compute,
+            )
+        });
+        (sum.0 / n, sum.1 / n, sum.2 / n, sum.3 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: StartKind, wait: f64, init: f64, load: f64, compute: f64) -> RequestRecord {
+        RequestRecord {
+            function: "f".into(),
+            arrival: 0.0,
+            wait,
+            init,
+            load,
+            compute,
+            kind,
+        }
+    }
+
+    #[test]
+    fn service_time_sums_components() {
+        let r = rec(StartKind::Cold, 1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.service_time(), 10.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = SimReport {
+            system: "test".into(),
+            prewarms: 0,
+            records: vec![
+                rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
+                rec(StartKind::Cold, 0.0, 1.0, 2.0, 1.0),
+                rec(StartKind::Transform, 0.0, 0.1, 0.4, 1.0),
+                rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
+            ],
+        };
+        assert_eq!(report.len(), 4);
+        assert!((report.avg_service_time() - (1.0 + 4.0 + 1.5 + 1.0) / 4.0).abs() < 1e-12);
+        let frac = report.start_fractions();
+        assert_eq!(frac[&StartKind::Warm], 0.5);
+        assert_eq!(frac[&StartKind::Cold], 0.25);
+        assert_eq!(frac[&StartKind::Transform], 0.25);
+        let (w, i, l, c) = report.mean_breakdown();
+        assert_eq!(w, 0.0);
+        assert!((i - 0.275).abs() < 1e-12);
+        assert!((l - 0.6).abs() < 1e-12);
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let report = SimReport {
+            system: "t".into(),
+            prewarms: 0,
+            records: (1..=100)
+                .map(|i| rec(StartKind::Warm, 0.0, 0.0, 0.0, i as f64))
+                .collect(),
+        };
+        assert!(report.percentile_service_time(50.0) <= report.percentile_service_time(99.0));
+        assert_eq!(report.percentile_service_time(100.0), 100.0);
+    }
+
+    #[test]
+    fn empty_report_is_sane() {
+        let r = SimReport::default();
+        assert!(r.is_empty());
+        assert_eq!(r.avg_service_time(), 0.0);
+        assert_eq!(r.percentile_service_time(99.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+
+    fn rec(f: &str, kind: StartKind, service: f64) -> RequestRecord {
+        RequestRecord {
+            function: f.into(),
+            arrival: 0.0,
+            wait: 0.0,
+            init: 0.0,
+            load: 0.0,
+            compute: service,
+            kind,
+        }
+    }
+
+    #[test]
+    fn per_function_aggregates_and_sorts() {
+        let report = SimReport {
+            system: "t".into(),
+            prewarms: 0,
+            records: vec![
+                rec("a", StartKind::Cold, 2.0),
+                rec("b", StartKind::Warm, 1.0),
+                rec("b", StartKind::Transform, 3.0),
+                rec("b", StartKind::Warm, 1.0),
+            ],
+        };
+        let per = report.per_function();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].function, "b");
+        assert_eq!(per[0].requests, 3);
+        assert_eq!(per[0].warm, 2);
+        assert_eq!(per[0].transform, 1);
+        assert!((per[0].avg_service_time() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(per[1].cold, 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let report = SimReport {
+            system: "t".into(),
+            prewarms: 0,
+            records: vec![rec("f", StartKind::Cold, 1.5)],
+        };
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("function,arrival"));
+        assert!(lines[1].starts_with("f,0,"));
+        assert!(lines[1].ends_with(",cold"));
+    }
+}
+
+#[cfg(test)]
+mod slo_tests {
+    use super::*;
+
+    #[test]
+    fn slo_attainment_counts_threshold() {
+        let rec = |s: f64| RequestRecord {
+            function: "f".into(),
+            arrival: 0.0,
+            wait: 0.0,
+            init: 0.0,
+            load: 0.0,
+            compute: s,
+            kind: StartKind::Warm,
+        };
+        let report = SimReport {
+            system: "t".into(),
+            records: vec![rec(0.5), rec(1.5), rec(2.5), rec(0.9)],
+            prewarms: 0,
+        };
+        assert!((report.slo_attainment(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(report.slo_attainment(10.0), 1.0);
+        assert_eq!(report.slo_attainment(0.1), 0.0);
+        assert_eq!(SimReport::default().slo_attainment(1.0), 1.0);
+    }
+}

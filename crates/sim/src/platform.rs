@@ -1,0 +1,594 @@
+//! The platform simulator: gateway, nodes, containers, and the four
+//! container-management policies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optimus_core::{scheduler::choose_source, ModelRepository};
+use optimus_model::signature::OpSignature;
+use optimus_profile::{CostModel, CostProvider, PlatformProfile};
+use optimus_workload::{demand_histogram, Trace};
+
+use crate::config::{MemoryLimit, PlacementStrategy, SimConfig};
+use crate::container::{Container, ContainerState};
+use crate::metrics::{RequestRecord, SimReport, StartKind};
+use crate::policy::Policy;
+
+/// Per-function precomputed data.
+struct FunctionData {
+    load_cost: f64,
+    compute_cost: f64,
+    deserialize_cost: f64,
+    /// Container memory footprint: model bytes + per-container overhead
+    /// (added when a memory limit is configured).
+    model_bytes: u64,
+    /// `(signature, structure+assign cost)` per op — Tetris sharing input.
+    op_costs: Vec<(OpSignature, f64)>,
+}
+
+/// The simulated serverless ML inference platform.
+pub struct Platform {
+    config: SimConfig,
+    policy: Policy,
+    repo: Arc<ModelRepository>,
+    profile: PlatformProfile,
+    functions: HashMap<String, FunctionData>,
+}
+
+impl Platform {
+    /// Build a platform running `policy` over the models registered in
+    /// `repo`.
+    ///
+    /// Every function that later appears in a trace must already be
+    /// registered in the repository (its model defines load and compute
+    /// costs).
+    pub fn new(config: SimConfig, policy: Policy, repo: Arc<ModelRepository>) -> Self {
+        assert!(config.nodes > 0, "need at least one node");
+        assert!(config.capacity_per_node > 0, "need container capacity");
+        let cost = CostModel::new(config.env);
+        let profile = PlatformProfile::new(config.env);
+        let mut functions = HashMap::new();
+        for name in repo.model_names() {
+            let model = repo.model(&name).expect("listed model exists");
+            let op_costs = model
+                .ops()
+                .map(|(_, op)| {
+                    (
+                        OpSignature::of(op),
+                        cost.structure_cost(&op.attrs) + cost.assign_cost(&op.attrs),
+                    )
+                })
+                .collect();
+            functions.insert(
+                name.clone(),
+                FunctionData {
+                    load_cost: cost.model_load_cost(&model),
+                    compute_cost: profile.compute_cost(&model),
+                    deserialize_cost: cost.deserialize_cost(&model),
+                    model_bytes: model.byte_size() as u64,
+                    op_costs,
+                },
+            );
+        }
+        Platform {
+            config,
+            policy,
+            repo,
+            profile,
+            functions,
+        }
+    }
+
+    /// The policy this platform runs.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Compute the function→node placement for a trace.
+    pub fn placement(&self, trace: &Trace) -> HashMap<String, usize> {
+        let names = trace.functions();
+        let points: Vec<optimus_balance::FunctionPoint> = names
+            .iter()
+            .map(|n| optimus_balance::FunctionPoint {
+                name: n.clone(),
+                demand: demand_histogram(trace, n, self.config.demand_slot),
+            })
+            .collect();
+        let assignment = match self.config.placement {
+            PlacementStrategy::SharingAware { gamma_d, gamma_k } => {
+                let balancer = optimus_balance::SharingAwareBalancer { gamma_d, gamma_k };
+                let repo = self.repo.clone();
+                let edit =
+                    move |a: &str, b: &str| repo.transform_latency(a, b).unwrap_or(f64::MAX / 4.0);
+                balancer.place(&points, &edit, self.config.nodes)
+            }
+            PlacementStrategy::Hash => optimus_balance::hash_placement(&points, self.config.nodes),
+            PlacementStrategy::LeastLoaded => {
+                optimus_balance::least_loaded_placement(&points, self.config.nodes)
+            }
+        };
+        names.into_iter().zip(assignment).collect()
+    }
+
+    /// Run a trace to completion and report per-request latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace invokes a function not registered in the
+    /// repository.
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        let placement = self.placement(trace);
+        let mut nodes: Vec<NodeState> = (0..self.config.nodes)
+            .map(|_| NodeState::default())
+            .collect();
+        let mut next_id: u64 = 0;
+        let mut records = Vec::with_capacity(trace.len());
+        // Prewarming state: per-function arrival history and the pending
+        // proactive-transform schedule, kept time-ordered.
+        let mut history: HashMap<String, (usize, f64)> = HashMap::new(); // (count, last arrival)
+        let mut mean_gap: HashMap<String, f64> = HashMap::new();
+        let mut schedule: std::collections::BTreeMap<(u64, String), f64> =
+            std::collections::BTreeMap::new();
+        let mut prewarms = 0usize;
+        let mut seq: u64 = 0;
+        for inv in &trace.invocations {
+            // Execute due proactive transforms before this arrival.
+            if self.config.prewarm.is_some() {
+                let due: Vec<(u64, String)> = schedule
+                    .iter()
+                    .filter(|(_, &t)| t <= inv.time)
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for key in due {
+                    let at = schedule.remove(&key).expect("key present");
+                    let f = &key.1;
+                    let node_idx = *placement.get(f).expect("placed function");
+                    if self.prewarm(&mut nodes[node_idx], at, f) {
+                        prewarms += 1;
+                    }
+                }
+            }
+            let node_idx = *placement.get(&inv.function).expect("placed function");
+            let record = self.serve(&mut nodes[node_idx], &mut next_id, inv.time, &inv.function);
+            records.push(record);
+            // Update the predictor and schedule the next prewarm.
+            if let Some(cfg) = self.config.prewarm {
+                let (count, last) = history.get(&inv.function).copied().unwrap_or((0, inv.time));
+                if count > 0 {
+                    let gap = inv.time - last;
+                    let m = mean_gap.entry(inv.function.clone()).or_insert(gap);
+                    *m = 0.7 * *m + 0.3 * gap;
+                }
+                history.insert(inv.function.clone(), (count + 1, inv.time));
+                if count + 1 >= cfg.min_history {
+                    if let Some(&m) = mean_gap.get(&inv.function) {
+                        let at = (inv.time + m - cfg.lead).max(inv.time);
+                        seq += 1;
+                        schedule.insert((seq, inv.function.clone()), at);
+                    }
+                }
+            }
+        }
+        SimReport {
+            system: self.policy.name().to_string(),
+            records,
+            prewarms,
+        }
+    }
+
+    /// Proactively transform an idle donor into `f` at time `at` so the
+    /// predicted next request warm-starts. Returns whether a transformation
+    /// was performed. Only donors past the idle threshold are used, and the
+    /// safeguard still applies — prewarming never loads from scratch
+    /// speculatively.
+    fn prewarm(&self, node: &mut NodeState, at: f64, f: &str) -> bool {
+        node.evict_expired(at, self.config.keep_alive);
+        if node.warm_free(f, at).is_some() {
+            return false; // already warm
+        }
+        let donors: Vec<(usize, String)> = node
+            .containers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.function != f && c.state(at, self.config.idle_threshold) == ContainerState::Idle
+            })
+            .map(|(i, c)| (i, c.function.clone()))
+            .collect();
+        let need = self.footprint(f);
+        let donors: Vec<(usize, String)> = donors
+            .into_iter()
+            .filter(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory))
+            .collect();
+        if let Some(choice) = choose_source(&self.repo, donors, f) {
+            let ci = choice.container;
+            let c = &mut node.containers[ci];
+            c.function = f.into();
+            c.mem_bytes = need;
+            // The container is busy while the proactive transform runs;
+            // last_routed stays untouched so the container still reads as
+            // idle-donatable if the prediction was wrong.
+            c.busy_until = at + self.profile.repurpose_overhead + choice.latency;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Container footprint of a function under the configured memory limit.
+    fn footprint(&self, f: &str) -> u64 {
+        let model = self.fdata(f).model_bytes;
+        match &self.config.memory {
+            Some(m) => model + m.container_overhead,
+            None => 0,
+        }
+    }
+
+    fn fdata(&self, f: &str) -> &FunctionData {
+        self.functions
+            .get(f)
+            .unwrap_or_else(|| panic!("function '{f}' not registered in the repository"))
+    }
+
+    fn serve(
+        &self,
+        node: &mut NodeState,
+        next_id: &mut u64,
+        arrival: f64,
+        f: &str,
+    ) -> RequestRecord {
+        node.evict_expired(arrival, self.config.keep_alive);
+        let compute = self.fdata(f).compute_cost;
+        let mut now = arrival;
+        loop {
+            // 1. Warm start: a free container already holds the model.
+            if let Some(ci) = node.warm_free(f, now) {
+                let c = &mut node.containers[ci];
+                c.route(now, now + compute);
+                return RequestRecord {
+                    function: f.into(),
+                    arrival,
+                    wait: now - arrival,
+                    init: 0.0,
+                    load: 0.0,
+                    compute,
+                    kind: StartKind::Warm,
+                };
+            }
+            // 2. Obtain a container by the policy.
+            if let Some((ci, init, load, kind)) = self.try_start(node, next_id, now, f) {
+                let total = init + load + compute;
+                // try_start created/re-purposed the container at index
+                // `ci`; set its busy window.
+                node.containers[ci].busy_until = now + total;
+                return RequestRecord {
+                    function: f.into(),
+                    arrival,
+                    wait: now - arrival,
+                    init,
+                    load,
+                    compute,
+                    kind,
+                };
+            }
+            // 3. Everything is busy: advance to the next completion.
+            let tmin = node
+                .containers
+                .iter()
+                .map(|c| c.busy_until)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(tmin.is_finite(), "full node must have busy containers");
+            now = tmin.max(now + 1e-9);
+        }
+    }
+
+    /// Try to obtain a container for `f` at `now`. On success the
+    /// container exists in `node` with `function == f` and
+    /// `last_routed == now`; returns `(container index, init, load, kind)`.
+    fn try_start(
+        &self,
+        node: &mut NodeState,
+        next_id: &mut u64,
+        now: f64,
+        f: &str,
+    ) -> Option<(usize, f64, f64, StartKind)> {
+        let data = self.fdata(f);
+        let idle_thr = self.config.idle_threshold;
+        match self.policy {
+            Policy::OpenWhisk => {
+                let need = self.footprint(f);
+                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                let ci = node.spawn(next_id, f, now, need);
+                Some((
+                    ci,
+                    self.profile.cold_init(),
+                    data.load_cost,
+                    StartKind::Cold,
+                ))
+            }
+            Policy::Pagurus => {
+                // Prefer an idle donor of another function: skip sandbox
+                // and runtime init, reload the model from scratch. "Help
+                // rather than recycle": when the node is full, the
+                // container a cold start would evict is re-purposed
+                // directly instead of being destroyed.
+                let need = self.footprint(f);
+                let donor = node
+                    .idle_donor(f, now, idle_thr)
+                    .or_else(|| {
+                        node.eviction_victim(
+                            self.config.capacity_per_node,
+                            self.config.memory,
+                            need,
+                            now,
+                        )
+                    })
+                    .filter(|&ci| node.repurpose_fits(ci, need, self.config.memory));
+                if let Some(ci) = donor {
+                    let c = &mut node.containers[ci];
+                    c.function = f.into();
+                    c.mem_bytes = need;
+                    c.route(now, now); // busy window set by caller
+                    return Some((
+                        ci,
+                        self.profile.repurpose_overhead,
+                        data.load_cost,
+                        StartKind::Transform,
+                    ));
+                }
+                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                let ci = node.spawn(next_id, f, now, need);
+                Some((
+                    ci,
+                    self.profile.cold_init(),
+                    data.load_cost,
+                    StartKind::Cold,
+                ))
+            }
+            Policy::Tetris => {
+                // Tensor sharing: resident ops on the node are mapped, the
+                // rest load from scratch; the runtime address space maps
+                // from any existing container.
+                let need = self.footprint(f);
+                let had_containers = !node.containers.is_empty();
+                let resident = node.resident_signatures(&self.functions);
+                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                let mut load = data.deserialize_cost;
+                let mut shared = 0usize;
+                for (sig, cost) in &data.op_costs {
+                    if resident.contains(sig) {
+                        load += self.config.tetris_map_per_op;
+                        shared += 1;
+                    } else {
+                        load += cost;
+                    }
+                }
+                let (init, kind) = if had_containers {
+                    (
+                        self.config.tetris_init,
+                        if shared > 0 {
+                            StartKind::Transform
+                        } else {
+                            StartKind::Cold
+                        },
+                    )
+                } else {
+                    (self.profile.cold_init(), StartKind::Cold)
+                };
+                let ci = node.spawn(next_id, f, now, need);
+                Some((ci, init, load, kind))
+            }
+            Policy::Optimus => {
+                // Cheapest idle donor via the cached plans + safeguard.
+                // When the node is full, the container a cold start would
+                // evict is also a donor candidate ("help rather than
+                // recycle"): transforming it strictly dominates destroying
+                // it and paying init + scratch load.
+                let mut donors: Vec<(usize, String)> = node
+                    .containers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| {
+                        c.function != f && c.state(now, idle_thr) == ContainerState::Idle
+                    })
+                    .map(|(i, c)| (i, c.function.clone()))
+                    .collect();
+                let need = self.footprint(f);
+                if donors.is_empty() {
+                    if let Some(ci) = node.eviction_victim(
+                        self.config.capacity_per_node,
+                        self.config.memory,
+                        need,
+                        now,
+                    ) {
+                        donors.push((ci, node.containers[ci].function.clone()));
+                    }
+                }
+                donors.retain(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory));
+                if let Some(choice) = choose_source(&self.repo, donors.clone(), f) {
+                    let ci = choice.container;
+                    let c = &mut node.containers[ci];
+                    c.function = f.into();
+                    c.mem_bytes = need;
+                    c.route(now, now);
+                    return Some((
+                        ci,
+                        self.profile.repurpose_overhead,
+                        choice.latency,
+                        StartKind::Transform,
+                    ));
+                }
+                // Safeguard path: an idle donor exists but no plan beats a
+                // scratch load — re-purpose Pagurus-style.
+                if let Some((ci, _)) = donors.first().cloned() {
+                    let c = &mut node.containers[ci];
+                    c.function = f.into();
+                    c.mem_bytes = need;
+                    c.route(now, now);
+                    return Some((
+                        ci,
+                        self.profile.repurpose_overhead,
+                        data.load_cost,
+                        StartKind::Transform,
+                    ));
+                }
+                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                let ci = node.spawn(next_id, f, now, need);
+                Some((
+                    ci,
+                    self.profile.cold_init(),
+                    data.load_cost,
+                    StartKind::Cold,
+                ))
+            }
+        }
+    }
+}
+
+/// Containers of one node.
+#[derive(Default)]
+struct NodeState {
+    containers: Vec<Container>,
+}
+
+impl NodeState {
+    fn evict_expired(&mut self, now: f64, keep_alive: f64) {
+        self.containers.retain(|c| !c.expired(now, keep_alive));
+    }
+
+    /// Index of a free container already holding `f`, preferring the most
+    /// recently used (deterministic tie-break by id).
+    fn warm_free(&self, f: &str, now: f64) -> Option<usize> {
+        self.containers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.function == f && c.busy_until <= now)
+            .max_by(|(_, a), (_, b)| {
+                a.last_routed
+                    .partial_cmp(&b.last_routed)
+                    .expect("finite")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Longest-idle donor container of another function.
+    fn idle_donor(&self, f: &str, now: f64, idle_threshold: f64) -> Option<usize> {
+        self.containers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.function != f && c.state(now, idle_threshold) == ContainerState::Idle
+            })
+            .max_by(|(_, a), (_, b)| {
+                (now - a.last_routed)
+                    .partial_cmp(&(now - b.last_routed))
+                    .expect("finite")
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Total container memory currently resident on this node.
+    fn mem_used(&self) -> u64 {
+        self.containers.iter().map(|c| c.mem_bytes).sum()
+    }
+
+    /// Whether a new container of `needed` bytes fits within both the slot
+    /// count and the optional memory budget.
+    fn fits(&self, capacity: usize, memory: Option<MemoryLimit>, needed: u64) -> bool {
+        if self.containers.len() >= capacity {
+            return false;
+        }
+        match memory {
+            Some(m) => self.mem_used() + needed <= m.node_bytes,
+            None => true,
+        }
+    }
+
+    /// Whether re-purposing container `ci` for a model of `needed` bytes
+    /// stays within the memory budget (§6: "container resources may be
+    /// insufficient" — a small container cannot always host a large model).
+    fn repurpose_fits(&self, ci: usize, needed: u64, memory: Option<MemoryLimit>) -> bool {
+        match memory {
+            Some(m) => self.mem_used() - self.containers[ci].mem_bytes + needed <= m.node_bytes,
+            None => true,
+        }
+    }
+
+    fn lru_free(&self, now: f64) -> Option<usize> {
+        self.containers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.busy_until <= now)
+            .min_by(|(_, a), (_, b)| {
+                a.last_routed
+                    .partial_cmp(&b.last_routed)
+                    .expect("finite")
+                    .then(a.id.cmp(&b.id))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// The container a cold start would evict: the least-recently-routed
+    /// non-busy container, but only when the node cannot fit a new
+    /// container. Donor candidate for the "help rather than recycle" path.
+    fn eviction_victim(
+        &self,
+        capacity: usize,
+        memory: Option<MemoryLimit>,
+        needed: u64,
+        now: f64,
+    ) -> Option<usize> {
+        if self.fits(capacity, memory, needed) {
+            return None;
+        }
+        self.lru_free(now)
+    }
+
+    /// Ensure a new container of `needed` bytes fits: free capacity, or
+    /// evict least-recently-routed non-busy containers until it does.
+    /// `None` when the remaining containers are all busy and it still does
+    /// not fit.
+    fn free_slot(
+        &mut self,
+        capacity: usize,
+        memory: Option<MemoryLimit>,
+        needed: u64,
+        now: f64,
+    ) -> Option<()> {
+        while !self.fits(capacity, memory, needed) {
+            let victim = self.lru_free(now)?;
+            self.containers.swap_remove(victim);
+        }
+        Some(())
+    }
+
+    /// Create a new container for `f` with the given memory footprint;
+    /// returns its index. `busy_until` is patched by the caller once
+    /// init+load+compute are known.
+    fn spawn(&mut self, next_id: &mut u64, f: &str, now: f64, mem_bytes: u64) -> usize {
+        let id = *next_id;
+        *next_id += 1;
+        let mut c = Container::new(id, f, now, now);
+        c.mem_bytes = mem_bytes;
+        self.containers.push(c);
+        self.containers.len() - 1
+    }
+
+    /// All op signatures resident in this node's containers (Tetris).
+    fn resident_signatures(
+        &self,
+        functions: &HashMap<String, FunctionData>,
+    ) -> std::collections::HashSet<OpSignature> {
+        let mut set = std::collections::HashSet::new();
+        for c in &self.containers {
+            if let Some(data) = functions.get(&c.function) {
+                for (sig, _) in &data.op_costs {
+                    set.insert(sig.clone());
+                }
+            }
+        }
+        set
+    }
+}

@@ -1,0 +1,56 @@
+//! The four compared systems (§8.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Container-management policy of the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Full cold start on every miss (the OpenWhisk baseline).
+    OpenWhisk,
+    /// Inter-function container sharing: re-purpose an idle container
+    /// (skip sandbox/runtime init) but load the model from scratch.
+    Pagurus,
+    /// Tensor sharing: map node-resident identical operations into the new
+    /// container; load the remainder from scratch.
+    Tetris,
+    /// Inter-function model transformation (this paper).
+    Optimus,
+}
+
+impl Policy {
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::OpenWhisk => "OpenWhisk",
+            Policy::Pagurus => "Pagurus",
+            Policy::Tetris => "Tetris",
+            Policy::Optimus => "Optimus",
+        }
+    }
+
+    /// All policies in the paper's presentation order.
+    pub const ALL: [Policy; 4] = [
+        Policy::OpenWhisk,
+        Policy::Pagurus,
+        Policy::Tetris,
+        Policy::Optimus,
+    ];
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = Policy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(Policy::Optimus.to_string(), "Optimus");
+    }
+}

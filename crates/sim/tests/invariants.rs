@@ -1,0 +1,117 @@
+//! Randomized invariant tests of the platform simulator: for any policy,
+//! workload and configuration, the simulation must uphold the latency
+//! accounting and container-lifecycle rules.
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig, StartKind};
+use optimus_workload::PoissonGenerator;
+use proptest::prelude::*;
+
+fn shared_repo() -> Arc<ModelRepository> {
+    // Built once: registration computes the pairwise plan cache.
+    static REPO: std::sync::OnceLock<Arc<ModelRepository>> = std::sync::OnceLock::new();
+    REPO.get_or_init(|| {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        for m in [
+            optimus_zoo::vgg::vgg11(),
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::resnet::resnet18(),
+            optimus_zoo::resnet::resnet50(),
+            optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+        ] {
+            repo.register(m, &cost);
+        }
+        Arc::new(repo)
+    })
+    .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulation_invariants_hold(
+        policy_idx in 0usize..4,
+        lambda in 0.001f64..0.02,
+        capacity in 1usize..6,
+        nodes in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let repo = shared_repo();
+        let functions = repo.model_names();
+        let trace = PoissonGenerator::new(lambda, 20_000.0, seed).generate(&functions);
+        let config = SimConfig {
+            nodes,
+            capacity_per_node: capacity,
+            placement: PlacementStrategy::Hash,
+            ..SimConfig::default()
+        };
+        let report = Platform::new(config, policy, repo.clone()).run(&trace);
+
+        // 1. Conservation: every request is served exactly once, in order.
+        prop_assert_eq!(report.len(), trace.len());
+        for (r, inv) in report.records.iter().zip(&trace.invocations) {
+            prop_assert_eq!(&r.function, &inv.function);
+            prop_assert_eq!(r.arrival, inv.time);
+        }
+
+        for r in &report.records {
+            // 2. All components non-negative and finite.
+            prop_assert!(r.wait >= 0.0 && r.wait.is_finite());
+            prop_assert!(r.init >= 0.0 && r.load >= 0.0 && r.compute > 0.0);
+
+            // 3. Warm starts pay neither init nor load.
+            if r.kind == StartKind::Warm {
+                prop_assert_eq!(r.init, 0.0);
+                prop_assert_eq!(r.load, 0.0);
+            }
+
+            // 4. Cold starts pay the full init and the full scratch load.
+            if r.kind == StartKind::Cold {
+                prop_assert!(r.init > 0.0, "{policy}: cold start without init");
+                let scratch = repo.load_cost(&r.function).unwrap();
+                prop_assert!(
+                    r.load <= scratch + 1e-9,
+                    "{policy}: cold load {} exceeds scratch {}",
+                    r.load,
+                    scratch
+                );
+            }
+
+            // 5. Transform loads never exceed the scratch load by more than
+            //    rounding (the safeguard guarantee), for every policy.
+            if r.kind == StartKind::Transform {
+                let scratch = repo.load_cost(&r.function).unwrap();
+                prop_assert!(
+                    r.load <= scratch + 1e-9,
+                    "{policy}: transform load {} exceeds scratch {}",
+                    r.load,
+                    scratch
+                );
+            }
+        }
+
+        // 6. OpenWhisk never transforms.
+        if policy == Policy::OpenWhisk {
+            prop_assert!(report
+                .records
+                .iter()
+                .all(|r| r.kind != StartKind::Transform));
+        }
+
+        // 7. Determinism.
+        let config2 = SimConfig {
+            nodes,
+            capacity_per_node: capacity,
+            placement: PlacementStrategy::Hash,
+            ..SimConfig::default()
+        };
+        let report2 = Platform::new(config2, policy, repo).run(&trace);
+        prop_assert_eq!(report, report2);
+    }
+}

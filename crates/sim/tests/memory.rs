@@ -1,0 +1,163 @@
+//! Tests of the memory-aware capacity mode (§6 "Fine-grained Resource
+//! Allocation").
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{MemoryLimit, PlacementStrategy, Platform, Policy, SimConfig, StartKind};
+use optimus_workload::{Invocation, Trace};
+
+fn repo_with(models: Vec<optimus_model::ModelGraph>) -> Arc<ModelRepository> {
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    let cost = CostModel::default();
+    for m in models {
+        repo.register(m, &cost);
+    }
+    Arc::new(repo)
+}
+
+fn trace_of(duration: f64, arrivals: &[(f64, &str)]) -> Trace {
+    Trace::new(
+        duration,
+        arrivals
+            .iter()
+            .map(|(t, f)| Invocation {
+                time: *t,
+                function: (*f).to_string(),
+            })
+            .collect(),
+    )
+}
+
+fn config(memory: Option<MemoryLimit>) -> SimConfig {
+    SimConfig {
+        nodes: 1,
+        capacity_per_node: 64, // slots never bind in these tests
+        placement: PlacementStrategy::Hash,
+        memory,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn memory_limit_bounds_concurrent_large_models() {
+    // VGG16 is ~528 MB + 384 MiB overhead ≈ 0.9 GiB per container; a
+    // 2 GiB node fits two VGG containers, not three.
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16()]);
+    let platform = Platform::new(config(Some(MemoryLimit::gib(2))), Policy::OpenWhisk, repo);
+    // Three simultaneous requests: only two containers can exist, so the
+    // third must queue despite free slot capacity.
+    let trace = trace_of(100.0, &[(0.0, "vgg16"), (0.0, "vgg16"), (0.0, "vgg16")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[0].wait, 0.0);
+    assert_eq!(report.records[1].wait, 0.0);
+    assert!(
+        report.records[2].wait > 0.0,
+        "third request must wait for memory"
+    );
+}
+
+#[test]
+fn small_models_pack_more_containers() {
+    // MobileNet (~17 MB) + overhead ≈ 0.4 GiB: a 2 GiB node fits five.
+    let repo = repo_with(vec![optimus_zoo::mobilenet::mobilenet_v1(1.0, 0)]);
+    let platform = Platform::new(config(Some(MemoryLimit::gib(2))), Policy::OpenWhisk, repo);
+    let arrivals: Vec<(f64, &str)> = (0..5).map(|_| (0.0, "mobilenet_v1")).collect();
+    let trace = trace_of(100.0, &arrivals);
+    let report = platform.run(&trace);
+    assert!(
+        report.records.iter().all(|r| r.wait == 0.0),
+        "five small containers fit where two large ones would"
+    );
+}
+
+#[test]
+fn memory_pressure_evicts_lru_containers() {
+    let repo = repo_with(vec![
+        optimus_zoo::vgg::vgg16(),
+        optimus_zoo::vgg::vgg19(),
+        optimus_zoo::resnet::resnet50(),
+    ]);
+    let platform = Platform::new(config(Some(MemoryLimit::gib(2))), Policy::OpenWhisk, repo);
+    // Sequential requests: each new large model evicts the LRU container.
+    let trace = trace_of(
+        400.0,
+        &[
+            (0.0, "vgg16"),
+            (50.0, "vgg19"),
+            (100.0, "resnet50"),
+            // vgg16's container was evicted for resnet50 → cold again.
+            (150.0, "vgg16"),
+        ],
+    );
+    let report = platform.run(&trace);
+    assert_eq!(report.records[3].kind, StartKind::Cold);
+}
+
+#[test]
+fn optimus_transforms_within_memory_budget() {
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+    let platform = Platform::new(config(Some(MemoryLimit::gib(4))), Policy::Optimus, repo);
+    let trace = trace_of(500.0, &[(0.0, "vgg16"), (200.0, "vgg19")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[1].kind, StartKind::Transform);
+}
+
+#[test]
+fn repurpose_swap_fits_because_donor_memory_is_released() {
+    // Node: 1 GiB. One idle MobileNet container (~0.4 GiB); a VGG16
+    // request (~0.9 GiB) arrives. Re-purposing releases the donor's
+    // memory, so the swap fits and Optimus transforms.
+    let repo = repo_with(vec![
+        optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+        optimus_zoo::vgg::vgg16(),
+    ]);
+    let platform = Platform::new(config(Some(MemoryLimit::gib(1))), Policy::Optimus, repo);
+    let trace = trace_of(500.0, &[(0.0, "mobilenet_v1"), (200.0, "vgg16")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[1].kind, StartKind::Transform);
+}
+
+#[test]
+fn repurpose_rejected_when_destination_does_not_fit() {
+    // Node: 1 GiB holding two MobileNet containers (~0.84 GiB total). A
+    // VGG16 request (~0.9 GiB) arrives: re-purposing either donor still
+    // leaves the other resident (0.42 + 0.9 > 1 GiB), so the swap is
+    // rejected and free_slot must evict both before a cold start.
+    let repo = repo_with(vec![
+        optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+        optimus_zoo::vgg::vgg16(),
+    ]);
+    let platform = Platform::new(config(Some(MemoryLimit::gib(1))), Policy::Optimus, repo);
+    let trace = trace_of(
+        500.0,
+        &[
+            (0.0, "mobilenet_v1"),
+            (0.0, "mobilenet_v1"),
+            (200.0, "vgg16"),
+        ],
+    );
+    let report = platform.run(&trace);
+    assert_eq!(report.records[2].kind, StartKind::Cold);
+    assert!(report.records[2].service_time().is_finite());
+}
+
+#[test]
+fn no_memory_limit_reproduces_slot_behaviour() {
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16()]);
+    let with_mem = Platform::new(
+        config(Some(MemoryLimit::gib(1024))), // effectively unlimited
+        Policy::OpenWhisk,
+        repo.clone(),
+    );
+    let without = Platform::new(config(None), Policy::OpenWhisk, repo);
+    let trace = trace_of(100.0, &[(0.0, "vgg16"), (30.0, "vgg16")]);
+    let a = with_mem.run(&trace);
+    let b = without.run(&trace);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.kind, y.kind);
+        assert!((x.service_time() - y.service_time()).abs() < 1e-12);
+    }
+}

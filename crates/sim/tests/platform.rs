@@ -1,0 +1,319 @@
+//! End-to-end simulator tests: lifecycle correctness and the paper's
+//! qualitative system ordering.
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig, StartKind};
+use optimus_workload::{Invocation, Trace};
+
+fn repo_with(models: Vec<optimus_model::ModelGraph>) -> Arc<ModelRepository> {
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    let cost = CostModel::default();
+    for m in models {
+        repo.register(m, &cost);
+    }
+    Arc::new(repo)
+}
+
+fn trace_of(duration: f64, arrivals: &[(f64, &str)]) -> Trace {
+    Trace::new(
+        duration,
+        arrivals
+            .iter()
+            .map(|(t, f)| Invocation {
+                time: *t,
+                function: (*f).to_string(),
+            })
+            .collect(),
+    )
+}
+
+fn single_node_config() -> SimConfig {
+    SimConfig {
+        nodes: 1,
+        capacity_per_node: 8,
+        placement: PlacementStrategy::Hash,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn first_request_cold_second_warm() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let platform = Platform::new(single_node_config(), Policy::OpenWhisk, repo);
+    let trace = trace_of(100.0, &[(0.0, "resnet18"), (30.0, "resnet18")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[0].kind, StartKind::Cold);
+    assert_eq!(report.records[1].kind, StartKind::Warm);
+    assert!(report.records[1].service_time() < report.records[0].service_time() / 3.0);
+    assert_eq!(report.records[1].load, 0.0);
+    assert_eq!(report.records[1].init, 0.0);
+}
+
+#[test]
+fn keep_alive_expiry_forces_cold_start() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let platform = Platform::new(single_node_config(), Policy::OpenWhisk, repo);
+    // Second request 11 minutes later: keep-alive (10 min) expired.
+    let trace = trace_of(2_000.0, &[(0.0, "resnet18"), (660.0, "resnet18")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[1].kind, StartKind::Cold);
+}
+
+#[test]
+fn within_keep_alive_stays_warm() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let platform = Platform::new(single_node_config(), Policy::OpenWhisk, repo);
+    let trace = trace_of(2_000.0, &[(0.0, "resnet18"), (500.0, "resnet18")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[1].kind, StartKind::Warm);
+}
+
+#[test]
+fn optimus_transforms_idle_container() {
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+    let platform = Platform::new(single_node_config(), Policy::Optimus, repo.clone());
+    // vgg16 runs once, goes idle (>60 s), then vgg19 arrives: its container
+    // should be transformed rather than cold-started.
+    let trace = trace_of(500.0, &[(0.0, "vgg16"), (200.0, "vgg19")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[0].kind, StartKind::Cold);
+    assert_eq!(report.records[1].kind, StartKind::Transform);
+    // Transformation latency equals the cached plan cost.
+    let plan_cost = repo.plan("vgg16", "vgg19").unwrap().cost.total();
+    assert!((report.records[1].load - plan_cost).abs() < 1e-9);
+    assert!(report.records[1].service_time() < report.records[0].service_time());
+}
+
+#[test]
+fn optimus_does_not_steal_busy_or_warm_containers() {
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+    let platform = Platform::new(single_node_config(), Policy::Optimus, repo);
+    // vgg16 used at t=180 (still within the 60 s idle threshold at t=200),
+    // so vgg19 must cold-start instead of stealing the warm container.
+    let trace = trace_of(500.0, &[(0.0, "vgg16"), (180.0, "vgg16"), (200.0, "vgg19")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[2].kind, StartKind::Cold);
+}
+
+#[test]
+fn pagurus_repurposes_but_reloads_model() {
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+    let platform = Platform::new(single_node_config(), Policy::Pagurus, repo.clone());
+    let trace = trace_of(500.0, &[(0.0, "vgg16"), (200.0, "vgg19")]);
+    let report = platform.run(&trace);
+    assert_eq!(report.records[1].kind, StartKind::Transform);
+    // Pagurus still pays the full model load.
+    let load = repo.load_cost("vgg19").unwrap();
+    assert!((report.records[1].load - load).abs() < 1e-9);
+    // But skips sandbox/runtime init.
+    assert!(report.records[1].init < report.records[0].init / 3.0);
+}
+
+#[test]
+fn tetris_shares_identical_operations() {
+    // Two weight variants share nothing; same model twice shares all ops.
+    let a = optimus_zoo::vgg::vgg_scaled(16, 1.0, 0);
+    let repo = repo_with(vec![a, optimus_zoo::vgg::vgg19()]);
+    let platform = Platform::new(single_node_config(), Policy::Tetris, repo.clone());
+    // vgg16 cold, then vgg19 while vgg16 container is alive: weight-free
+    // ops (activations, pools) are identical across VGGs and get mapped.
+    let trace = trace_of(500.0, &[(0.0, "vgg16"), (200.0, "vgg19")]);
+    let report = platform.run(&trace);
+    let full_load = repo.load_cost("vgg19").unwrap();
+    assert!(
+        report.records[1].load < full_load,
+        "tetris load {} !< full {}",
+        report.records[1].load,
+        full_load
+    );
+    // But weighted ops differ, so most of the load remains (Tetris's
+    // strict-identity limitation, §2.1).
+    assert!(report.records[1].load > 0.5 * full_load);
+}
+
+#[test]
+fn systems_order_matches_figure13() {
+    // The paper's regime: far more functions than container slots ("the
+    // system cannot provide enough warm containers for every model type",
+    // §4.1), so most arrivals miss. OpenWhisk pays full cold starts,
+    // Pagurus saves init by re-purposing idle containers, Optimus saves
+    // init + most of the load via model transformation.
+    let mut models = Vec::new();
+    for w in [0.5, 0.75, 1.0] {
+        models.push(optimus_zoo::vgg::vgg_scaled(16, w, 0));
+        models.push(optimus_zoo::vgg::vgg_scaled(19, w, 0));
+        models.push(optimus_zoo::resnet::resnet_scaled(50, w, 0));
+        models.push(optimus_zoo::resnet::resnet_scaled(101, w, 0));
+    }
+    let names: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
+    let repo = repo_with(models);
+    // Round-robin over 12 functions every 30 s on a 4-slot node: every
+    // function recurs after 360 s but at most 4 containers survive, so
+    // warm hits are rare for every system.
+    let arrivals: Vec<(f64, &str)> = (0..120)
+        .map(|i| (30.0 * i as f64, names[i % names.len()].as_str()))
+        .collect();
+    let trace = trace_of(4_000.0, &arrivals);
+    let config = SimConfig {
+        nodes: 1,
+        capacity_per_node: 4,
+        placement: PlacementStrategy::Hash,
+        ..SimConfig::default()
+    };
+    let mut avg = std::collections::HashMap::new();
+    for policy in Policy::ALL {
+        let platform = Platform::new(config.clone(), policy, repo.clone());
+        let report = platform.run(&trace);
+        avg.insert(policy, report.avg_service_time());
+    }
+    assert!(
+        avg[&Policy::Optimus] < avg[&Policy::Pagurus],
+        "optimus {:.3} !< pagurus {:.3}",
+        avg[&Policy::Optimus],
+        avg[&Policy::Pagurus]
+    );
+    assert!(
+        avg[&Policy::Pagurus] < avg[&Policy::OpenWhisk],
+        "pagurus {:.3} !< openwhisk {:.3}",
+        avg[&Policy::Pagurus],
+        avg[&Policy::OpenWhisk]
+    );
+    assert!(
+        avg[&Policy::Optimus] < avg[&Policy::Tetris],
+        "optimus {:.3} !< tetris {:.3}",
+        avg[&Policy::Optimus],
+        avg[&Policy::Tetris]
+    );
+    // Headline claim: 24.00%–47.56% latency reduction vs the best baseline.
+    let best_baseline = avg[&Policy::Pagurus]
+        .min(avg[&Policy::OpenWhisk])
+        .min(avg[&Policy::Tetris]);
+    let reduction = 1.0 - avg[&Policy::Optimus] / best_baseline;
+    assert!(
+        reduction > 0.10,
+        "optimus reduction vs best baseline only {:.1}%",
+        100.0 * reduction
+    );
+}
+
+#[test]
+fn deterministic_runs() {
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+    let trace = trace_of(
+        2_000.0,
+        &[
+            (0.0, "vgg16"),
+            (100.0, "vgg19"),
+            (500.0, "vgg16"),
+            (900.0, "vgg19"),
+        ],
+    );
+    let r1 = Platform::new(single_node_config(), Policy::Optimus, repo.clone()).run(&trace);
+    let r2 = Platform::new(single_node_config(), Policy::Optimus, repo).run(&trace);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn capacity_pressure_queues_requests() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let config = SimConfig {
+        nodes: 1,
+        capacity_per_node: 1,
+        placement: PlacementStrategy::Hash,
+        ..SimConfig::default()
+    };
+    let platform = Platform::new(config, Policy::OpenWhisk, repo);
+    // Three simultaneous requests on one slot: the later ones must queue.
+    let trace = trace_of(
+        100.0,
+        &[(0.0, "resnet18"), (0.0, "resnet18"), (0.0, "resnet18")],
+    );
+    let report = platform.run(&trace);
+    assert_eq!(report.len(), 3);
+    assert_eq!(report.records[0].wait, 0.0);
+    assert!(report.records[1].wait > 0.0);
+    assert!(report.records[2].wait > report.records[1].wait);
+    // Queued requests become warm starts once the container frees.
+    assert_eq!(report.records[1].kind, StartKind::Warm);
+}
+
+#[test]
+fn full_node_evicts_lru_for_new_function() {
+    let repo = repo_with(vec![
+        optimus_zoo::resnet::resnet18(),
+        optimus_zoo::vgg::vgg11(),
+        optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+    ]);
+    let config = SimConfig {
+        nodes: 1,
+        capacity_per_node: 2,
+        placement: PlacementStrategy::Hash,
+        ..SimConfig::default()
+    };
+    let platform = Platform::new(config, Policy::OpenWhisk, repo);
+    // Fill both slots, then a third function arrives while both are free:
+    // the LRU container is evicted and a cold start happens.
+    let trace = trace_of(
+        300.0,
+        &[(0.0, "resnet18"), (20.0, "vgg11"), (100.0, "mobilenet_v1")],
+    );
+    let report = platform.run(&trace);
+    assert_eq!(report.records[2].kind, StartKind::Cold);
+    assert_eq!(report.records[2].wait, 0.0);
+}
+
+#[test]
+fn gpu_environment_increases_cold_latency() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet50()]);
+    let trace = trace_of(100.0, &[(0.0, "resnet50")]);
+    let cpu = Platform::new(single_node_config(), Policy::OpenWhisk, repo.clone()).run(&trace);
+    let gpu_config = SimConfig {
+        env: optimus_profile::Environment::Gpu,
+        ..single_node_config()
+    };
+    // Note: repo cost model is CPU-profiled; the platform re-profiles load
+    // costs with its own environment at construction.
+    let gpu = Platform::new(gpu_config, Policy::OpenWhisk, repo).run(&trace);
+    assert!(
+        gpu.records[0].service_time() > cpu.records[0].service_time(),
+        "gpu {:.2}s !> cpu {:.2}s",
+        gpu.records[0].service_time(),
+        cpu.records[0].service_time()
+    );
+    assert!(gpu.records[0].compute < cpu.records[0].compute);
+}
+
+#[test]
+fn sharing_aware_placement_colocates_families() {
+    let repo = repo_with(vec![
+        optimus_zoo::vgg::vgg16(),
+        optimus_zoo::vgg::vgg19(),
+        optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Tiny)),
+        optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Mini)),
+    ]);
+    let config = SimConfig {
+        nodes: 2,
+        ..SimConfig::default()
+    };
+    let platform = Platform::new(config, Policy::Optimus, repo);
+    let arrivals: Vec<(f64, &str)> = vec![
+        (0.0, "vgg16"),
+        (10.0, "vgg19"),
+        (20.0, "bert-tiny-uncased"),
+        (30.0, "bert-mini-uncased"),
+    ];
+    let trace = trace_of(100.0, &arrivals);
+    let placement = platform.placement(&trace);
+    assert_eq!(placement["vgg16"], placement["vgg19"], "VGGs co-located");
+    assert_eq!(
+        placement["bert-tiny-uncased"], placement["bert-mini-uncased"],
+        "BERTs co-located"
+    );
+    assert_ne!(
+        placement["vgg16"], placement["bert-tiny-uncased"],
+        "families separated"
+    );
+}

@@ -1,0 +1,139 @@
+//! Tests of the predictive-prewarming extension (layering the §2.2
+//! prewarming class on top of Optimus, as the paper suggests).
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, PrewarmConfig, SimConfig, StartKind};
+use optimus_workload::{Invocation, Trace};
+
+fn repo_with(models: Vec<optimus_model::ModelGraph>) -> Arc<ModelRepository> {
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    let cost = CostModel::default();
+    for m in models {
+        repo.register(m, &cost);
+    }
+    Arc::new(repo)
+}
+
+fn periodic_trace(period: f64, n: usize, f: &str) -> Vec<(f64, String)> {
+    (0..n)
+        .map(|i| (period * (i + 1) as f64, f.to_string()))
+        .collect()
+}
+
+fn config(prewarm: Option<PrewarmConfig>) -> SimConfig {
+    SimConfig {
+        nodes: 1,
+        capacity_per_node: 4,
+        placement: PlacementStrategy::Hash,
+        prewarm,
+        ..SimConfig::default()
+    }
+}
+
+fn run(
+    prewarm: Option<PrewarmConfig>,
+    arrivals: &[(f64, String)],
+    duration: f64,
+) -> optimus_sim::SimReport {
+    let repo = repo_with(vec![
+        optimus_zoo::vgg::vgg16(),
+        optimus_zoo::vgg::vgg19(),
+        optimus_zoo::resnet::resnet18(),
+    ]);
+    let trace = Trace::new(
+        duration,
+        arrivals
+            .iter()
+            .map(|(t, f)| Invocation {
+                time: *t,
+                function: f.clone(),
+            })
+            .collect(),
+    );
+    Platform::new(config(prewarm), Policy::Optimus, repo).run(&trace)
+}
+
+#[test]
+fn prewarming_converts_transforms_into_warm_starts() {
+    // Two periodic functions alternate, each recurring every 700 s — past
+    // the keep-alive horizon's comfort but predictable. Without
+    // prewarming every arrival needs a reactive transform (or cold start);
+    // with prewarming the donor is transformed ahead of time.
+    let mut arrivals = Vec::new();
+    for i in 0..12 {
+        let t = 350.0 * (i + 1) as f64;
+        let f = if i % 2 == 0 { "vgg16" } else { "vgg19" };
+        arrivals.push((t, f.to_string()));
+    }
+    let base = run(None, &arrivals, 6_000.0);
+    let pre = run(Some(PrewarmConfig::default()), &arrivals, 6_000.0);
+    assert_eq!(base.prewarms, 0);
+    assert!(pre.prewarms > 0, "prewarms executed: {}", pre.prewarms);
+    let warm = |r: &optimus_sim::SimReport| {
+        r.records
+            .iter()
+            .filter(|x| x.kind == StartKind::Warm)
+            .count()
+    };
+    assert!(
+        warm(&pre) > warm(&base),
+        "prewarmed warm starts {} !> baseline {}",
+        warm(&pre),
+        warm(&base)
+    );
+    assert!(
+        pre.avg_service_time() < base.avg_service_time(),
+        "prewarmed avg {:.3} !< baseline {:.3}",
+        pre.avg_service_time(),
+        base.avg_service_time()
+    );
+}
+
+#[test]
+fn prewarming_needs_history_before_predicting() {
+    // A single periodic function: the first min_history arrivals must not
+    // trigger prewarms.
+    let arrivals = periodic_trace(300.0, 3, "vgg16");
+    let report = run(
+        Some(PrewarmConfig {
+            lead: 5.0,
+            min_history: 10,
+        }),
+        &arrivals,
+        2_000.0,
+    );
+    assert_eq!(report.prewarms, 0, "insufficient history must not prewarm");
+}
+
+#[test]
+fn prewarming_is_deterministic() {
+    let mut arrivals = Vec::new();
+    for i in 0..10 {
+        arrivals.push((200.0 * (i + 1) as f64, "vgg16".to_string()));
+        arrivals.push((200.0 * (i + 1) as f64 + 90.0, "resnet18".to_string()));
+    }
+    let a = run(Some(PrewarmConfig::default()), &arrivals, 4_000.0);
+    let b = run(Some(PrewarmConfig::default()), &arrivals, 4_000.0);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn prewarming_never_costs_requests_anything() {
+    // Requests in the prewarmed run must never be slower than the
+    // corresponding baseline request by more than the queueing noise a
+    // busy proactive transform can add — and the mean must improve or tie.
+    let arrivals = periodic_trace(400.0, 10, "vgg16")
+        .into_iter()
+        .chain(
+            periodic_trace(400.0, 10, "vgg19")
+                .into_iter()
+                .map(|(t, f)| (t + 150.0, f)),
+        )
+        .collect::<Vec<_>>();
+    let base = run(None, &arrivals, 5_000.0);
+    let pre = run(Some(PrewarmConfig::default()), &arrivals, 5_000.0);
+    assert!(pre.avg_service_time() <= base.avg_service_time() + 1e-9);
+}

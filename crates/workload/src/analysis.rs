@@ -1,0 +1,226 @@
+//! Trace analysis: per-function arrival statistics and temporal-pattern
+//! classification.
+//!
+//! The §5.1 balancer and capacity planning both depend on understanding
+//! each function's demand dynamics ("highly dynamic and sporadic, periodic
+//! and bursty", §4.1). This module recovers those characteristics from raw
+//! traces: inter-arrival statistics, burstiness, peak-to-mean ratios, and
+//! a steady / periodic / bursty classification that inverts the
+//! [`crate::AzureTraceGenerator`] mixture.
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{demand_histogram, Trace};
+
+/// Temporal pattern classes (the published Azure mixture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PatternClass {
+    /// Poisson-like arrivals: inter-arrival CV ≈ 1.
+    Steady,
+    /// Timer-like arrivals: inter-arrival CV ≪ 1.
+    Periodic,
+    /// On/off episodes: inter-arrival CV ≫ 1.
+    Bursty,
+    /// Too few invocations to classify.
+    Unknown,
+}
+
+/// Arrival statistics of one function within a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionStats {
+    /// Function name.
+    pub function: String,
+    /// Invocation count.
+    pub count: usize,
+    /// Mean arrival rate (requests/second over the trace duration).
+    pub rate: f64,
+    /// Mean inter-arrival gap (s); 0 when fewer than 2 invocations.
+    pub mean_gap: f64,
+    /// Coefficient of variation of inter-arrival gaps.
+    pub cv_gap: f64,
+    /// Burstiness index `B = (cv − 1) / (cv + 1)` (Goh & Barabási):
+    /// −1 = perfectly periodic, 0 = Poisson, → 1 = extremely bursty.
+    pub burstiness: f64,
+    /// Peak-to-mean ratio of the per-slot demand histogram.
+    pub peak_to_mean: f64,
+}
+
+impl FunctionStats {
+    /// Compute statistics for `function` over `trace`, bucketing demand
+    /// into `slot_seconds` slots for the peak-to-mean ratio.
+    pub fn of(trace: &Trace, function: &str, slot_seconds: f64) -> FunctionStats {
+        let times: Vec<f64> = trace
+            .invocations
+            .iter()
+            .filter(|i| i.function == function)
+            .map(|i| i.time)
+            .collect();
+        let count = times.len();
+        let rate = count as f64 / trace.duration.max(f64::MIN_POSITIVE);
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let (mean_gap, cv_gap) = if gaps.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            (mean, cv)
+        };
+        let burstiness = if cv_gap + 1.0 > 0.0 {
+            (cv_gap - 1.0) / (cv_gap + 1.0)
+        } else {
+            0.0
+        };
+        let hist = demand_histogram(trace, function, slot_seconds);
+        let mean_slot = hist.iter().sum::<f64>() / hist.len().max(1) as f64;
+        let peak = hist.iter().copied().fold(0.0, f64::max);
+        let peak_to_mean = if mean_slot > 0.0 {
+            peak / mean_slot
+        } else {
+            0.0
+        };
+        FunctionStats {
+            function: function.to_string(),
+            count,
+            rate,
+            mean_gap,
+            cv_gap,
+            burstiness,
+            peak_to_mean,
+        }
+    }
+
+    /// Classify the temporal pattern from the inter-arrival CV.
+    pub fn classify(&self) -> PatternClass {
+        if self.count < 5 {
+            return PatternClass::Unknown;
+        }
+        if self.cv_gap < 0.35 {
+            PatternClass::Periodic
+        } else if self.cv_gap <= 1.6 {
+            PatternClass::Steady
+        } else {
+            PatternClass::Bursty
+        }
+    }
+}
+
+/// Statistics for every function in a trace, sorted by descending rate.
+pub fn analyze_trace(trace: &Trace, slot_seconds: f64) -> Vec<FunctionStats> {
+    let mut stats: Vec<FunctionStats> = trace
+        .functions()
+        .iter()
+        .map(|f| FunctionStats::of(trace, f, slot_seconds))
+        .collect();
+    stats.sort_by(|a, b| {
+        b.rate
+            .partial_cmp(&a.rate)
+            .expect("finite rates")
+            .then_with(|| a.function.cmp(&b.function))
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::azure::{AzureTraceGenerator, FunctionPattern};
+    use crate::poisson::PoissonGenerator;
+    use crate::trace::Invocation;
+
+    #[test]
+    fn poisson_classified_as_steady() {
+        let trace = PoissonGenerator::new(0.02, 100_000.0, 5).generate(&["f".to_string()]);
+        let s = FunctionStats::of(&trace, "f", 300.0);
+        assert_eq!(s.classify(), PatternClass::Steady, "cv {}", s.cv_gap);
+        assert!((s.cv_gap - 1.0).abs() < 0.25, "Poisson cv {}", s.cv_gap);
+        assert!(s.burstiness.abs() < 0.15);
+    }
+
+    #[test]
+    fn timer_classified_as_periodic() {
+        let inv: Vec<Invocation> = (0..100)
+            .map(|i| Invocation {
+                time: 60.0 * i as f64,
+                function: "cron".into(),
+            })
+            .collect();
+        let trace = Trace::new(6_000.0, inv);
+        let s = FunctionStats::of(&trace, "cron", 300.0);
+        assert_eq!(s.classify(), PatternClass::Periodic);
+        assert!(s.burstiness < -0.9, "burstiness {}", s.burstiness);
+        assert!((s.mean_gap - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onoff_classified_as_bursty() {
+        // 10 bursts of 20 closely spaced requests separated by long gaps.
+        let mut inv = Vec::new();
+        for burst in 0..10 {
+            let start = burst as f64 * 5_000.0;
+            for k in 0..20 {
+                inv.push(Invocation {
+                    time: start + k as f64,
+                    function: "spiky".into(),
+                });
+            }
+        }
+        let trace = Trace::new(50_000.0, inv);
+        let s = FunctionStats::of(&trace, "spiky", 300.0);
+        assert_eq!(s.classify(), PatternClass::Bursty, "cv {}", s.cv_gap);
+        assert!(s.peak_to_mean > 3.0);
+    }
+
+    #[test]
+    fn classifier_inverts_the_azure_generator() {
+        // Sample many generator functions; the classifier must recover the
+        // generator's own pattern label for a clear majority of them.
+        let g = AzureTraceGenerator::new(200_000.0, 17);
+        let names: Vec<String> = (0..60).map(|i| format!("f{i}")).collect();
+        let trace = g.generate(&names);
+        let mut agree = 0usize;
+        let mut judged = 0usize;
+        for (fi, name) in names.iter().enumerate() {
+            let truth = match g.pattern_for(fi) {
+                FunctionPattern::Steady { .. } => PatternClass::Steady,
+                FunctionPattern::Periodic { .. } => PatternClass::Periodic,
+                FunctionPattern::Bursty { .. } => PatternClass::Bursty,
+            };
+            let got = FunctionStats::of(&trace, name, 300.0).classify();
+            if got == PatternClass::Unknown {
+                continue;
+            }
+            judged += 1;
+            if got == truth {
+                agree += 1;
+            }
+        }
+        assert!(judged >= 30, "only {judged} functions had enough data");
+        let accuracy = agree as f64 / judged as f64;
+        assert!(
+            accuracy > 0.7,
+            "classifier agrees with generator on only {:.0}% of {judged}",
+            100.0 * accuracy
+        );
+    }
+
+    #[test]
+    fn analyze_trace_sorts_by_rate() {
+        let mut inv = Vec::new();
+        for i in 0..50 {
+            inv.push(Invocation {
+                time: i as f64 * 10.0,
+                function: "hot".into(),
+            });
+        }
+        inv.push(Invocation {
+            time: 5.0,
+            function: "cold".into(),
+        });
+        let trace = Trace::new(1_000.0, inv);
+        let stats = analyze_trace(&trace, 100.0);
+        assert_eq!(stats[0].function, "hot");
+        assert_eq!(stats[1].function, "cold");
+        assert_eq!(stats[1].classify(), PatternClass::Unknown);
+    }
+}

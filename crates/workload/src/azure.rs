@@ -1,0 +1,300 @@
+//! Azure-Functions-style synthetic trace generation.
+//!
+//! The paper replays a two-week production trace collected from Microsoft
+//! Azure Functions in 2021 (the paper's reference \[44\]). The raw data
+//! set is not available here,
+//! so this module synthesises traces with the *published characteristics*
+//! of that workload family (Shahrad et al., ATC '20; Zhang et al.,
+//! SOSP '21):
+//!
+//! - per-function average rates are **heavy-tailed** (log-normal): most
+//!   functions are invoked rarely, a few are very hot;
+//! - functions follow a **mixture of temporal patterns** — steady
+//!   (HTTP-like Poisson), periodic (timer triggers at fixed intervals),
+//!   and bursty (on/off episodes with high in-burst rates);
+//! - aggregate load has **diurnal modulation**.
+//!
+//! The §4.1 requirement this feeds is qualitative: "the workload of every
+//! function may be highly dynamic and sporadic, periodic and bursty".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::poisson::exponential_inter_arrival;
+use crate::trace::{Invocation, Trace};
+
+/// Temporal pattern class of one function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FunctionPattern {
+    /// Poisson arrivals at a steady base rate.
+    Steady {
+        /// Requests per second.
+        rate: f64,
+    },
+    /// Timer-triggered: one invocation every `period` seconds with small
+    /// jitter (a large share of production functions are timers).
+    Periodic {
+        /// Trigger period in seconds.
+        period: f64,
+        /// Phase offset in seconds.
+        phase: f64,
+    },
+    /// On/off bursts: Poisson at `burst_rate` during bursts of mean length
+    /// `burst_len`, silent for mean gaps of `gap_len`.
+    Bursty {
+        /// In-burst request rate (req/s).
+        burst_rate: f64,
+        /// Mean burst duration (s).
+        burst_len: f64,
+        /// Mean inter-burst gap (s).
+        gap_len: f64,
+    },
+}
+
+/// Synthetic Azure-style trace generator.
+#[derive(Debug, Clone)]
+pub struct AzureTraceGenerator {
+    /// Trace duration in seconds.
+    pub duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Strength of the diurnal modulation in `[0, 1)` (0 = flat).
+    pub diurnal_amplitude: f64,
+}
+
+impl AzureTraceGenerator {
+    /// Generator with the paper-scale defaults (diurnal amplitude 0.5).
+    pub fn new(duration: f64, seed: u64) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        AzureTraceGenerator {
+            duration,
+            seed,
+            diurnal_amplitude: 0.5,
+        }
+    }
+
+    /// Draw a pattern for function index `fi` — the published mixture:
+    /// ~45 % steady, ~30 % periodic, ~25 % bursty, with a log-normal rate
+    /// distribution across functions.
+    pub fn pattern_for(&self, fi: usize) -> FunctionPattern {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(fi as u64),
+        );
+        // Log-normal base rate: exp(N(mu, sigma)); median ≈ 1 / 500 s.
+        let z = normal(&mut rng);
+        let base_rate = (z * 1.5 - 6.2f64).exp(); // median e^-6.2 ≈ 0.002/s
+        let class: f64 = rng.gen();
+        if class < 0.45 {
+            FunctionPattern::Steady { rate: base_rate }
+        } else if class < 0.75 {
+            // Periods cluster on human-friendly values.
+            let periods = [60.0, 300.0, 600.0, 900.0, 1800.0, 3600.0];
+            let period = periods[rng.gen_range(0..periods.len())];
+            FunctionPattern::Periodic {
+                period,
+                phase: rng.gen_range(0.0..period),
+            }
+        } else {
+            FunctionPattern::Bursty {
+                burst_rate: (base_rate * 100.0).clamp(0.02, 2.0),
+                burst_len: rng.gen_range(30.0..300.0),
+                gap_len: rng.gen_range(600.0..7200.0),
+            }
+        }
+    }
+
+    /// Generate a trace over the given functions.
+    pub fn generate(&self, functions: &[String]) -> Trace {
+        let mut invocations = Vec::new();
+        for (fi, f) in functions.iter().enumerate() {
+            let pattern = self.pattern_for(fi);
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (fi as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let times = self.arrival_times(pattern, &mut rng);
+            for t in times {
+                invocations.push(Invocation {
+                    time: t,
+                    function: f.clone(),
+                });
+            }
+        }
+        Trace::new(self.duration, invocations)
+    }
+
+    /// Diurnal intensity multiplier at time `t` (24 h sine, peak at noon).
+    pub fn diurnal(&self, t: f64) -> f64 {
+        let day = 86_400.0;
+        1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * (t / day - 0.25)).sin()
+    }
+
+    fn arrival_times(&self, pattern: FunctionPattern, rng: &mut StdRng) -> Vec<f64> {
+        let mut out = Vec::new();
+        match pattern {
+            FunctionPattern::Steady { rate } => {
+                // Thinned non-homogeneous Poisson for diurnal modulation.
+                let peak = rate * (1.0 + self.diurnal_amplitude);
+                let mut t = 0.0;
+                loop {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                    t += exponential_inter_arrival(peak, u);
+                    if t >= self.duration {
+                        break;
+                    }
+                    let accept: f64 = rng.gen();
+                    if accept * (1.0 + self.diurnal_amplitude) <= self.diurnal(t) {
+                        out.push(t);
+                    }
+                }
+            }
+            FunctionPattern::Periodic { period, phase } => {
+                let mut t = phase;
+                while t < self.duration {
+                    // Small trigger jitter (±1 % of period). Jittered
+                    // triggers landing outside [0, duration) are dropped —
+                    // (duration - ε) is not representable for large
+                    // durations, so clamping cannot keep them in range.
+                    let jitter = (rng.gen::<f64>() - 0.5) * 0.02 * period;
+                    let ts = t + jitter;
+                    if (0.0..self.duration).contains(&ts) {
+                        out.push(ts);
+                    }
+                    t += period;
+                }
+            }
+            FunctionPattern::Bursty {
+                burst_rate,
+                burst_len,
+                gap_len,
+            } => {
+                let mut t = {
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                    exponential_inter_arrival(1.0 / gap_len, u)
+                };
+                while t < self.duration {
+                    // One burst of exponential length.
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                    let len = exponential_inter_arrival(1.0 / burst_len, u);
+                    let end = (t + len).min(self.duration);
+                    while t < end {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                        t += exponential_inter_arrival(burst_rate, u);
+                        if t < end {
+                            out.push(t);
+                        }
+                    }
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                    t = end + exponential_inter_arrival(1.0 / gap_len, u);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Standard normal draw via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = AzureTraceGenerator::new(50_000.0, 11);
+        assert_eq!(g.generate(&names(10)), g.generate(&names(10)));
+    }
+
+    #[test]
+    fn mixture_contains_all_pattern_classes() {
+        let g = AzureTraceGenerator::new(1_000.0, 5);
+        let mut steady = 0;
+        let mut periodic = 0;
+        let mut bursty = 0;
+        for fi in 0..200 {
+            match g.pattern_for(fi) {
+                FunctionPattern::Steady { .. } => steady += 1,
+                FunctionPattern::Periodic { .. } => periodic += 1,
+                FunctionPattern::Bursty { .. } => bursty += 1,
+            }
+        }
+        assert!(steady > 50, "steady {steady}");
+        assert!(periodic > 30, "periodic {periodic}");
+        assert!(bursty > 20, "bursty {bursty}");
+    }
+
+    #[test]
+    fn rates_are_heavy_tailed() {
+        // Max steady rate should dwarf the median (log-normal tail).
+        let g = AzureTraceGenerator::new(1_000.0, 23);
+        let mut rates: Vec<f64> = (0..500)
+            .filter_map(|fi| match g.pattern_for(fi) {
+                FunctionPattern::Steady { rate } => Some(rate),
+                _ => None,
+            })
+            .collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = rates[rates.len() / 2];
+        let max = *rates.last().unwrap();
+        assert!(
+            max / median > 20.0,
+            "max/median rate ratio {:.1} not heavy-tailed",
+            max / median
+        );
+    }
+
+    #[test]
+    fn periodic_functions_fire_on_schedule() {
+        let g = AzureTraceGenerator::new(7_200.0, 5);
+        // Find a periodic function index.
+        let (fi, period) = (0..100)
+            .find_map(|fi| match g.pattern_for(fi) {
+                FunctionPattern::Periodic { period, .. } => Some((fi, period)),
+                _ => None,
+            })
+            .expect("mixture contains periodic functions");
+        let names: Vec<String> = (0..=fi).map(|i| format!("f{i}")).collect();
+        let trace = g.generate(&names);
+        let count = trace
+            .invocations
+            .iter()
+            .filter(|i| i.function == format!("f{fi}"))
+            .count();
+        let expected = (7_200.0 / period) as usize;
+        assert!(
+            count.abs_diff(expected) <= 1,
+            "periodic count {count} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn diurnal_multiplier_bounds() {
+        let g = AzureTraceGenerator::new(86_400.0, 1);
+        for i in 0..24 {
+            let m = g.diurnal(i as f64 * 3600.0);
+            assert!((0.49..=1.51).contains(&m), "diurnal {m} at hour {i}");
+        }
+        // Peak at noon exceeds trough at midnight.
+        assert!(g.diurnal(43_200.0) > g.diurnal(0.0));
+    }
+
+    #[test]
+    fn invocations_sorted_and_bounded() {
+        let g = AzureTraceGenerator::new(20_000.0, 77);
+        let t = g.generate(&names(30));
+        assert!(t.invocations.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(t.invocations.iter().all(|i| i.time < 20_000.0));
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Poisson arrival generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{Invocation, Trace};
+
+/// Sample an exponential inter-arrival gap with rate `lambda` (requests per
+/// second) from a uniform draw `u ∈ (0, 1]`.
+pub fn exponential_inter_arrival(lambda: f64, u: f64) -> f64 {
+    -u.ln() / lambda
+}
+
+/// Independent Poisson arrival processes, one per function.
+#[derive(Debug, Clone)]
+pub struct PoissonGenerator {
+    /// Arrival rate in requests/second applied to every function.
+    pub lambda: f64,
+    /// Trace duration in seconds.
+    pub duration: f64,
+    /// RNG seed (same seed ⇒ same trace).
+    pub seed: u64,
+}
+
+impl PoissonGenerator {
+    /// Generator with the given per-function rate and duration.
+    pub fn new(lambda: f64, duration: f64, seed: u64) -> Self {
+        assert!(lambda > 0.0, "lambda must be positive");
+        assert!(duration > 0.0, "duration must be positive");
+        PoissonGenerator {
+            lambda,
+            duration,
+            seed,
+        }
+    }
+
+    /// Generate a trace over the given function names.
+    pub fn generate(&self, functions: &[String]) -> Trace {
+        let mut invocations = Vec::new();
+        for (fi, f) in functions.iter().enumerate() {
+            // Independent stream per function, derived from the base seed
+            // so adding functions does not perturb existing streams.
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                t += exponential_inter_arrival(self.lambda, u);
+                if t >= self.duration {
+                    break;
+                }
+                invocations.push(Invocation {
+                    time: t,
+                    function: f.clone(),
+                });
+            }
+        }
+        Trace::new(self.duration, invocations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn mean_rate_approximates_lambda() {
+        let lambda = 0.05;
+        let duration = 100_000.0;
+        let trace = PoissonGenerator::new(lambda, duration, 7).generate(&names(1));
+        let empirical = trace.len() as f64 / duration;
+        let rel = (empirical - lambda).abs() / lambda;
+        assert!(
+            rel < 0.1,
+            "empirical rate {empirical:.4} vs lambda {lambda}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = PoissonGenerator::new(0.01, 10_000.0, 42);
+        assert_eq!(g.generate(&names(3)), g.generate(&names(3)));
+        let other = PoissonGenerator::new(0.01, 10_000.0, 43).generate(&names(3));
+        assert_ne!(g.generate(&names(3)), other);
+    }
+
+    #[test]
+    fn adding_functions_preserves_existing_streams() {
+        let g = PoissonGenerator::new(0.01, 50_000.0, 9);
+        let t3 = g.generate(&names(3));
+        let t4 = g.generate(&names(4));
+        let only_f0 = |t: &Trace| -> Vec<f64> {
+            t.invocations
+                .iter()
+                .filter(|i| i.function == "f0")
+                .map(|i| i.time)
+                .collect()
+        };
+        assert_eq!(only_f0(&t3), only_f0(&t4));
+    }
+
+    #[test]
+    fn inter_arrival_gaps_are_exponential_scale() {
+        // Mean of -ln(U)/λ is 1/λ.
+        let lambda = 2.0;
+        let mut acc = 0.0;
+        let n = 10_000;
+        for i in 1..=n {
+            let u = i as f64 / (n as f64 + 1.0);
+            acc += exponential_inter_arrival(lambda, u);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn paper_rates_have_expected_ordering() {
+        use crate::rates::{FREQUENT, INFREQUENT, MIDDLE};
+        let rates = [INFREQUENT, MIDDLE, FREQUENT];
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+        // λ=10^-2 → one request per 100 s on average.
+        let mean_gap = 1.0 / FREQUENT;
+        assert!((mean_gap - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invocations_within_duration() {
+        let trace = PoissonGenerator::new(0.1, 1_000.0, 3).generate(&names(5));
+        assert!(trace.invocations.iter().all(|i| i.time < 1_000.0));
+        assert!(trace.invocations.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

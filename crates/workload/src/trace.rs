@@ -1,0 +1,159 @@
+//! Trace data model.
+
+use serde::{Deserialize, Serialize};
+
+/// One function invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Arrival time (seconds from trace start).
+    pub time: f64,
+    /// Invoked function / model name.
+    pub function: String,
+}
+
+/// A workload trace: invocations sorted by arrival time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// Trace duration in seconds.
+    pub duration: f64,
+    /// Time-ordered invocations.
+    pub invocations: Vec<Invocation>,
+}
+
+impl Trace {
+    /// Build a trace from unsorted invocations.
+    pub fn new(duration: f64, mut invocations: Vec<Invocation>) -> Self {
+        invocations.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("finite times")
+                .then_with(|| a.function.cmp(&b.function))
+        });
+        Trace {
+            duration,
+            invocations,
+        }
+    }
+
+    /// Number of invocations.
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Distinct function names, sorted.
+    pub fn functions(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .invocations
+            .iter()
+            .map(|i| i.function.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Merge two traces (e.g. per-function sub-traces) preserving order.
+    pub fn merge(self, other: Trace) -> Trace {
+        let duration = self.duration.max(other.duration);
+        let mut inv = self.invocations;
+        inv.extend(other.invocations);
+        Trace::new(duration, inv)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message on malformed input.
+    pub fn from_json(json: &str) -> Result<Trace, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Per-function demand histogram: invocation counts per time slot of
+/// `slot_seconds` — the demand-history input of the §5.1 balancer.
+pub fn demand_histogram(trace: &Trace, function: &str, slot_seconds: f64) -> Vec<f64> {
+    assert!(slot_seconds > 0.0, "slot length must be positive");
+    let slots = (trace.duration / slot_seconds).ceil().max(1.0) as usize;
+    let mut hist = vec![0.0; slots];
+    for inv in &trace.invocations {
+        if inv.function == function {
+            let slot = ((inv.time / slot_seconds) as usize).min(slots - 1);
+            hist[slot] += 1.0;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(t: f64, f: &str) -> Invocation {
+        Invocation {
+            time: t,
+            function: f.into(),
+        }
+    }
+
+    #[test]
+    fn new_sorts_by_time() {
+        let t = Trace::new(10.0, vec![inv(5.0, "b"), inv(1.0, "a"), inv(3.0, "c")]);
+        let times: Vec<f64> = t.invocations.iter().map(|i| i.time).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn functions_deduplicated_sorted() {
+        let t = Trace::new(10.0, vec![inv(1.0, "b"), inv(2.0, "a"), inv(3.0, "b")]);
+        assert_eq!(t.functions(), vec!["a", "b"]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_order_and_duration() {
+        let a = Trace::new(10.0, vec![inv(2.0, "a")]);
+        let b = Trace::new(20.0, vec![inv(1.0, "b")]);
+        let m = a.merge(b);
+        assert_eq!(m.duration, 20.0);
+        assert_eq!(m.invocations[0].function, "b");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = Trace::new(5.0, vec![inv(1.0, "x")]);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+        assert!(Trace::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn demand_histogram_buckets_correctly() {
+        let t = Trace::new(
+            30.0,
+            vec![
+                inv(1.0, "a"),
+                inv(11.0, "a"),
+                inv(12.0, "a"),
+                inv(29.9, "a"),
+                inv(5.0, "b"),
+            ],
+        );
+        let h = demand_histogram(&t, "a", 10.0);
+        assert_eq!(h, vec![1.0, 2.0, 1.0]);
+        let hb = demand_histogram(&t, "b", 10.0);
+        assert_eq!(hb, vec![1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the workload generators.
+
+use optimus_workload::{demand_histogram, AzureTraceGenerator, PoissonGenerator, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Poisson traces are sorted, bounded, and deterministic per seed.
+    #[test]
+    fn poisson_traces_well_formed(
+        lambda in 0.001f64..0.1,
+        duration in 1_000.0f64..50_000.0,
+        seed in any::<u64>(),
+        nfns in 1usize..8,
+    ) {
+        let fns: Vec<String> = (0..nfns).map(|i| format!("f{i}")).collect();
+        let g = PoissonGenerator::new(lambda, duration, seed);
+        let t = g.generate(&fns);
+        prop_assert!(t.invocations.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(t.invocations.iter().all(|i| (0.0..duration).contains(&i.time)));
+        prop_assert_eq!(t.clone(), g.generate(&fns));
+    }
+
+    /// Azure traces are sorted, bounded, and deterministic per seed.
+    #[test]
+    fn azure_traces_well_formed(
+        duration in 5_000.0f64..100_000.0,
+        seed in any::<u64>(),
+        nfns in 1usize..12,
+    ) {
+        let fns: Vec<String> = (0..nfns).map(|i| format!("f{i}")).collect();
+        let g = AzureTraceGenerator::new(duration, seed);
+        let t = g.generate(&fns);
+        prop_assert!(t.invocations.windows(2).all(|w| w[0].time <= w[1].time));
+        prop_assert!(t.invocations.iter().all(|i| (0.0..duration).contains(&i.time)));
+        prop_assert_eq!(t.clone(), g.generate(&fns));
+    }
+
+    /// The demand histogram partitions a function's invocations: slot sums
+    /// equal the invocation count.
+    #[test]
+    fn demand_histogram_partitions(
+        lambda in 0.005f64..0.05,
+        seed in any::<u64>(),
+        slot in prop::sample::select(vec![60.0, 300.0, 900.0]),
+    ) {
+        let fns = vec!["a".to_string(), "b".to_string()];
+        let t = PoissonGenerator::new(lambda, 20_000.0, seed).generate(&fns);
+        for f in &fns {
+            let hist = demand_histogram(&t, f, slot);
+            let total: f64 = hist.iter().sum();
+            let count = t.invocations.iter().filter(|i| &i.function == f).count();
+            prop_assert_eq!(total as usize, count);
+        }
+    }
+
+    /// Trace merge preserves every invocation and global ordering.
+    #[test]
+    fn merge_preserves_invocations(
+        l1 in 0.005f64..0.03,
+        l2 in 0.005f64..0.03,
+        seed in any::<u64>(),
+    ) {
+        let a = PoissonGenerator::new(l1, 10_000.0, seed).generate(&["x".to_string()]);
+        let b = PoissonGenerator::new(l2, 12_000.0, seed ^ 1).generate(&["y".to_string()]);
+        let (na, nb) = (a.len(), b.len());
+        let m = a.merge(b);
+        prop_assert_eq!(m.len(), na + nb);
+        prop_assert_eq!(m.duration, 12_000.0);
+        prop_assert!(m.invocations.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    /// JSON round-trip for arbitrary traces.
+    #[test]
+    fn trace_json_roundtrip(lambda in 0.001f64..0.02, seed in any::<u64>()) {
+        let t = PoissonGenerator::new(lambda, 5_000.0, seed)
+            .generate(&["f".to_string()]);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,334 @@
+//! BERT transformer encoders (Devlin et al., NAACL '19).
+//!
+//! The ten variants the paper's §8.1 workload uses: sizes Tiny / Mini /
+//! Small / Medium / Base (the published compact-BERT grid), Cased and
+//! Uncased vocabularies, and the five downstream-task heads — sequence
+//! classification (SC), token classification (TC), question answering (QA),
+//! next-sentence prediction (NSP) and multiple choice (MC).
+//!
+//! The graph follows §5.2's decomposition: an embedding block, then per
+//! attention block the weighted Q/K/V/O projections, the weight-free Logit
+//! and Attend operations, layer-norms, and two fully connected layers.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpAttrs, OpId};
+
+use serde::{Deserialize, Serialize};
+
+/// Published compact-BERT sizes: (layers, hidden, heads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BertSize {
+    /// 2 layers, 128 hidden, 2 heads.
+    Tiny,
+    /// 4 layers, 256 hidden, 4 heads.
+    Mini,
+    /// 4 layers, 512 hidden, 8 heads.
+    Small,
+    /// 8 layers, 512 hidden, 8 heads.
+    Medium,
+    /// 12 layers, 768 hidden, 12 heads.
+    Base,
+}
+
+impl BertSize {
+    /// `(layers, hidden, heads)` of this size.
+    pub fn dims(self) -> (usize, usize, usize) {
+        match self {
+            BertSize::Tiny => (2, 128, 2),
+            BertSize::Mini => (4, 256, 4),
+            BertSize::Small => (4, 512, 8),
+            BertSize::Medium => (8, 512, 8),
+            BertSize::Base => (12, 768, 12),
+        }
+    }
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BertSize::Tiny => "tiny",
+            BertSize::Mini => "mini",
+            BertSize::Small => "small",
+            BertSize::Medium => "medium",
+            BertSize::Base => "base",
+        }
+    }
+}
+
+/// Vocabulary choice (the paper's BERT-Cased / BERT-Uncased pair —
+/// embedding blocks of different sizes, §5.2 Case 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BertVocab {
+    /// WordPiece cased vocabulary (28,996 tokens).
+    Cased,
+    /// WordPiece uncased vocabulary (30,522 tokens).
+    Uncased,
+}
+
+impl BertVocab {
+    /// Token count.
+    pub fn size(self) -> usize {
+        match self {
+            BertVocab::Cased => 28_996,
+            BertVocab::Uncased => 30_522,
+        }
+    }
+}
+
+/// Downstream-task head (§5.2 Case 4 / Example 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BertTask {
+    /// Bare encoder, no head.
+    None,
+    /// Sequence classification: one FC on top (paper, §5.2 Example 2).
+    SequenceClassification,
+    /// Token classification: per-token FC.
+    TokenClassification,
+    /// Question answering: two FCs on top (paper, §5.2 Example 2).
+    QuestionAnswering,
+    /// Next-sentence prediction: pooler + binary FC.
+    NextSentencePrediction,
+    /// Multiple choice: pooler + scalar FC.
+    MultipleChoice,
+}
+
+impl BertTask {
+    /// Suffix used in model names (e.g. `bert-base-uncased-sc`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            BertTask::None => "",
+            BertTask::SequenceClassification => "-sc",
+            BertTask::TokenClassification => "-tc",
+            BertTask::QuestionAnswering => "-qa",
+            BertTask::NextSentencePrediction => "-nsp",
+            BertTask::MultipleChoice => "-mc",
+        }
+    }
+}
+
+/// Full BERT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BertConfig {
+    /// Model size.
+    pub size: BertSize,
+    /// Vocabulary.
+    pub vocab: BertVocab,
+    /// Downstream head.
+    pub task: BertTask,
+    /// Maximum sequence length (input uses this length).
+    pub max_len: usize,
+    /// Weight-variant salt (same structure, different weights).
+    pub variant: u64,
+}
+
+impl BertConfig {
+    /// Standard config: given size, uncased, no head, 128-token input.
+    pub fn new(size: BertSize) -> Self {
+        BertConfig {
+            size,
+            vocab: BertVocab::Uncased,
+            task: BertTask::None,
+            max_len: 128,
+            variant: 0,
+        }
+    }
+
+    /// Set the vocabulary.
+    pub fn vocab(mut self, vocab: BertVocab) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Set the downstream task head.
+    pub fn task(mut self, task: BertTask) -> Self {
+        self.task = task;
+        self
+    }
+
+    /// Set the weight variant salt.
+    pub fn variant(mut self, variant: u64) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Canonical model name, e.g. `bert-mini-uncased-qa`.
+    pub fn name(&self) -> String {
+        let casing = match self.vocab {
+            BertVocab::Cased => "cased",
+            BertVocab::Uncased => "uncased",
+        };
+        let mut n = format!("bert-{}-{}{}", self.size.name(), casing, self.task.suffix());
+        if self.variant != 0 {
+            n.push_str(&format!("-v{}", self.variant));
+        }
+        n
+    }
+}
+
+fn attention_block(b: &mut GraphBuilder, x: OpId, hidden: usize, heads: usize, i: usize) -> OpId {
+    let q = b.after(x, format!("blk{i}.q"), OpAttrs::Query { hidden, heads });
+    let k = b.after(x, format!("blk{i}.k"), OpAttrs::Key { hidden, heads });
+    let v = b.after(x, format!("blk{i}.v"), OpAttrs::Value { hidden, heads });
+    let l = b.merge(&[q, k], format!("blk{i}.logit"), OpAttrs::Logit { heads });
+    let sm = b.after(l, format!("blk{i}.softmax"), OpAttrs::Softmax);
+    let at = b.merge(
+        &[sm, v],
+        format!("blk{i}.attend"),
+        OpAttrs::Attend { heads },
+    );
+    let o = b.after(at, format!("blk{i}.out"), OpAttrs::AttnOutput { hidden });
+    let res1 = b.add_of(&[x, o]);
+    let ln1 = b.layernorm_after(res1, hidden);
+    // Feed-forward: two fully connected layers (hidden → 4·hidden → hidden).
+    let ff1 = b.dense_after(ln1, hidden, 4 * hidden);
+    let gelu = b.activation_after(ff1, Activation::Gelu);
+    let ff2 = b.dense_after(gelu, 4 * hidden, hidden);
+    let res2 = b.add_of(&[ln1, ff2]);
+    b.layernorm_after(res2, hidden)
+}
+
+/// Build a BERT model from a configuration.
+pub fn bert(config: BertConfig) -> ModelGraph {
+    let (layers, hidden, heads) = config.size.dims();
+    let mut b = GraphBuilder::new(config.name())
+        .family(ModelFamily::Bert)
+        .weight_variant(config.variant);
+    let ids = b.input([1, config.max_len]);
+    let emb = b.after(
+        ids,
+        "embedding",
+        OpAttrs::Embedding {
+            vocab: config.vocab.size(),
+            hidden,
+        },
+    );
+    let pos = b.after(
+        emb,
+        "pos_embedding",
+        OpAttrs::PosEmbedding {
+            max_len: config.max_len.max(512),
+            hidden,
+        },
+    );
+    let mut x = b.layernorm_after(pos, hidden);
+    for i in 0..layers {
+        x = attention_block(&mut b, x, hidden, heads, i);
+    }
+    // Downstream heads (§5.2 Case 4).
+    match config.task {
+        BertTask::None => {}
+        BertTask::SequenceClassification => {
+            // One fully connected layer on top (paper, §5.2 Example 2).
+            let d = b.dense_after(x, hidden, 2);
+            let _ = b.activation_after(d, Activation::Softmax);
+        }
+        BertTask::TokenClassification => {
+            let d = b.dense_after(x, hidden, 9);
+            let _ = b.activation_after(d, Activation::Softmax);
+        }
+        BertTask::QuestionAnswering => {
+            // Two fully connected layers on top (paper, §5.2 Example 2).
+            let d1 = b.dense_after(x, hidden, hidden);
+            let t = b.activation_after(d1, Activation::Tanh);
+            let _ = b.dense_after(t, hidden, 2);
+        }
+        BertTask::NextSentencePrediction => {
+            let pool = b.dense_after(x, hidden, hidden);
+            let t = b.activation_after(pool, Activation::Tanh);
+            let d = b.dense_after(t, hidden, 2);
+            let _ = b.activation_after(d, Activation::Softmax);
+        }
+        BertTask::MultipleChoice => {
+            let pool = b.dense_after(x, hidden, hidden);
+            let t = b.activation_after(pool, Activation::Tanh);
+            let _ = b.dense_after(t, hidden, 1);
+        }
+    }
+    b.finish().expect("bert builder produces valid graphs")
+}
+
+/// The paper's ten-variant BERT model zoo (§8.1).
+pub fn bert_zoo() -> Vec<ModelGraph> {
+    vec![
+        bert(BertConfig::new(BertSize::Tiny)),
+        bert(BertConfig::new(BertSize::Mini)),
+        bert(BertConfig::new(BertSize::Small)),
+        bert(BertConfig::new(BertSize::Base).vocab(BertVocab::Cased)),
+        bert(BertConfig::new(BertSize::Base).vocab(BertVocab::Uncased)),
+        bert(BertConfig::new(BertSize::Base).task(BertTask::SequenceClassification)),
+        bert(BertConfig::new(BertSize::Base).task(BertTask::TokenClassification)),
+        bert(BertConfig::new(BertSize::Base).task(BertTask::QuestionAnswering)),
+        bert(BertConfig::new(BertSize::Base).task(BertTask::NextSentencePrediction)),
+        bert(BertConfig::new(BertSize::Base).task(BertTask::MultipleChoice)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_params_match_published() {
+        // BERT-Base uncased: ~110M parameters.
+        let p = bert(BertConfig::new(BertSize::Base)).param_count() as f64 / 1e6;
+        assert!((p - 110.0).abs() / 110.0 < 0.02, "params {p:.1}M");
+    }
+
+    #[test]
+    fn tiny_params_match_published() {
+        // BERT-Tiny: ~4.4M parameters.
+        let p = bert(BertConfig::new(BertSize::Tiny)).param_count() as f64 / 1e6;
+        assert!((p - 4.4).abs() / 4.4 < 0.05, "params {p:.2}M");
+    }
+
+    #[test]
+    fn zoo_has_ten_distinct_models() {
+        let zoo = bert_zoo();
+        assert_eq!(zoo.len(), 10);
+        let names: std::collections::HashSet<_> =
+            zoo.iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names.len(), 10);
+        for m in &zoo {
+            assert!(m.validate().is_ok(), "{} invalid", m.name());
+            assert_eq!(m.family(), ModelFamily::Bert);
+            assert!(m.family().is_transformer());
+        }
+    }
+
+    #[test]
+    fn cased_and_uncased_differ_only_in_embedding() {
+        let c = bert(BertConfig::new(BertSize::Base).vocab(BertVocab::Cased));
+        let u = bert(BertConfig::new(BertSize::Base).vocab(BertVocab::Uncased));
+        assert_eq!(c.op_count(), u.op_count());
+        let diff = u.param_count() - c.param_count();
+        assert_eq!(diff, (30_522 - 28_996) * 768);
+    }
+
+    #[test]
+    fn qa_has_one_more_dense_than_sc() {
+        // §5.2 Example 2: SC has one FC on top, QA has two.
+        let sc = bert(BertConfig::new(BertSize::Base).task(BertTask::SequenceClassification));
+        let qa = bert(BertConfig::new(BertSize::Base).task(BertTask::QuestionAnswering));
+        let dense =
+            |g: &ModelGraph| optimus_model::OpHistogram::of(g).count(optimus_model::OpKind::Dense);
+        assert_eq!(dense(&qa), dense(&sc) + 1);
+    }
+
+    #[test]
+    fn attention_ops_counted_per_block() {
+        let (layers, _, _) = BertSize::Mini.dims();
+        let g = bert(BertConfig::new(BertSize::Mini));
+        let hist = optimus_model::OpHistogram::of(&g);
+        assert_eq!(hist.count(optimus_model::OpKind::Query), layers);
+        assert_eq!(hist.count(optimus_model::OpKind::Logit), layers);
+        assert_eq!(hist.count(optimus_model::OpKind::Attend), layers);
+        assert_eq!(hist.count(optimus_model::OpKind::LayerNorm), 2 * layers + 1);
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        let cfg = BertConfig::new(BertSize::Mini)
+            .vocab(BertVocab::Cased)
+            .task(BertTask::QuestionAnswering);
+        assert_eq!(cfg.name(), "bert-mini-cased-qa");
+        assert_eq!(bert(cfg).name(), "bert-mini-cased-qa");
+    }
+}

@@ -1,0 +1,131 @@
+//! Densely connected convolutional networks (Huang et al., CVPR '17).
+//!
+//! DenseNet-121/161/169/201 in their published configurations
+//! (growth rate 32, or 48 for DenseNet-161; BN-ReLU-1×1 then BN-ReLU-3×3
+//! composite layers; 0.5-compression transitions).
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+/// Per-depth configuration: block sizes, growth rate, stem channels.
+fn config(depth: usize) -> ([usize; 4], usize, usize) {
+    match depth {
+        121 => ([6, 12, 24, 16], 32, 64),
+        161 => ([6, 12, 36, 24], 48, 96),
+        169 => ([6, 12, 32, 32], 32, 64),
+        201 => ([6, 12, 48, 32], 32, 64),
+        _ => panic!("unsupported DenseNet depth {depth}"),
+    }
+}
+
+fn dense_layer(b: &mut GraphBuilder, x: OpId, in_ch: usize, growth: usize) -> OpId {
+    // BN - ReLU - 1x1 conv (4*growth) - BN - ReLU - 3x3 conv (growth)
+    let mut y = b.batchnorm_after(x, in_ch);
+    y = b.activation_after(y, Activation::Relu);
+    y = b.conv2d_after(y, in_ch, 4 * growth, (1, 1), (1, 1), 1);
+    y = b.batchnorm_after(y, 4 * growth);
+    y = b.activation_after(y, Activation::Relu);
+    y = b.conv2d_after(y, 4 * growth, growth, (3, 3), (1, 1), 1);
+    b.concat_of(&[x, y])
+}
+
+/// Build a DenseNet of the given depth with a weight variant.
+///
+/// # Panics
+///
+/// Panics on unsupported depths (121, 161, 169, 201).
+pub fn densenet_variant(depth: usize, variant: u64) -> ModelGraph {
+    let (blocks, growth, stem) = config(depth);
+    let name = if variant == 0 {
+        format!("densenet{depth}")
+    } else {
+        format!("densenet{depth}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::DenseNet)
+        .weight_variant(variant);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = b.conv2d_after(x, 3, stem, (7, 7), (2, 2), 1);
+    x = b.batchnorm_after(x, stem);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    let mut ch = stem;
+    for (i, &layers) in blocks.iter().enumerate() {
+        for _ in 0..layers {
+            x = dense_layer(&mut b, x, ch, growth);
+            ch += growth;
+        }
+        if i + 1 < blocks.len() {
+            // Transition: BN-ReLU-1x1 conv (0.5 compression) + 2x2 avg pool.
+            let out = ch / 2;
+            x = b.batchnorm_after(x, ch);
+            x = b.activation_after(x, Activation::Relu);
+            x = b.conv2d_after(x, ch, out, (1, 1), (1, 1), 1);
+            x = b.pool_after(x, PoolKind::Avg, (2, 2), (2, 2));
+            ch = out;
+        }
+    }
+    x = b.batchnorm_after(x, ch);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, ch, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("densenet builder produces valid graphs")
+}
+
+/// DenseNet of the given depth.
+pub fn densenet(depth: usize) -> ModelGraph {
+    densenet_variant(depth, 0)
+}
+
+/// DenseNet-121.
+pub fn densenet121() -> ModelGraph {
+    densenet(121)
+}
+
+/// DenseNet-169.
+pub fn densenet169() -> ModelGraph {
+    densenet(169)
+}
+
+/// DenseNet-201.
+pub fn densenet201() -> ModelGraph {
+    densenet(201)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densenet121_params_match_published() {
+        // torchvision DenseNet-121: 7.98M parameters.
+        let p = densenet121().param_count() as f64 / 1e6;
+        assert!((p - 7.98).abs() / 7.98 < 0.02, "params {p:.2}M");
+    }
+
+    #[test]
+    fn all_depths_validate() {
+        for d in [121, 161, 169, 201] {
+            let g = densenet(d);
+            assert!(g.validate().is_ok(), "densenet{d} invalid");
+            assert_eq!(g.family(), ModelFamily::DenseNet);
+        }
+    }
+
+    #[test]
+    fn concat_fanin_grows_within_block() {
+        let g = densenet121();
+        let hist = optimus_model::OpHistogram::of(&g);
+        // One concat per dense layer: 6+12+24+16 = 58.
+        assert_eq!(hist.count(optimus_model::OpKind::Concat), 58);
+    }
+
+    #[test]
+    fn deeper_densenets_have_more_params() {
+        assert!(densenet169().param_count() > densenet121().param_count());
+        assert!(densenet201().param_count() > densenet169().param_count());
+    }
+}

@@ -1,0 +1,145 @@
+//! EfficientNet-Lite (Tan & Le '19, Lite variants '20): MBConv inverted
+//! bottlenecks without squeeze-excitation, ReLU6 activations — the
+//! published EfficientNet-Lite0 configuration plus compound-scaled
+//! variants.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+fn round_ch(c: f64) -> usize {
+    let c = (c / 8.0).round() as usize * 8;
+    c.max(8)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn_act(
+    b: &mut GraphBuilder,
+    x: OpId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    groups: usize,
+    act: bool,
+) -> OpId {
+    let mut x = b.conv2d_after(x, in_ch, out_ch, kernel, stride, groups);
+    x = b.batchnorm_after(x, out_ch);
+    if act {
+        x = b.activation_after(x, Activation::Relu6);
+    }
+    x
+}
+
+/// Build EfficientNet-Lite with width multiplier `width` and depth
+/// multiplier `depth_mult` (Lite0 = 1.0/1.0, Lite1 = 1.0/1.1,
+/// Lite2 = 1.1/1.2, …).
+pub fn efficientnet_lite(width: f64, depth_mult: f64, variant: u64) -> ModelGraph {
+    let name = if (width - 1.0).abs() < f64::EPSILON
+        && (depth_mult - 1.0).abs() < f64::EPSILON
+        && variant == 0
+    {
+        "efficientnet-lite0".to_string()
+    } else {
+        format!("efficientnet-lite-w{width:.2}-d{depth_mult:.2}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::MobileNet)
+        .weight_variant(variant);
+    let ch = |c: usize| round_ch(c as f64 * width);
+    let reps = |r: usize| ((r as f64 * depth_mult).ceil() as usize).max(1);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = conv_bn_act(&mut b, x, 3, 32, (3, 3), (2, 2), 1, true);
+    let mut in_ch = 32usize; // Lite keeps the stem/head unscaled.
+                             // (expansion, channels, repeats, stride, kernel) per stage — B0 table.
+    let stages: [(usize, usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    for (si, &(t, c, r, s, k)) in stages.iter().enumerate() {
+        let out = ch(c);
+        // Lite rule: first and last stage keep repeats unscaled.
+        let n = if si == 0 || si == stages.len() - 1 {
+            r
+        } else {
+            reps(r)
+        };
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            let hidden = in_ch * t;
+            let shortcut = x;
+            let mut y = x;
+            if t != 1 {
+                y = conv_bn_act(&mut b, y, in_ch, hidden, (1, 1), (1, 1), 1, true);
+            }
+            y = conv_bn_act(
+                &mut b,
+                y,
+                hidden,
+                hidden,
+                (k, k),
+                (stride, stride),
+                hidden,
+                true,
+            );
+            y = conv_bn_act(&mut b, y, hidden, out, (1, 1), (1, 1), 1, false);
+            x = if stride == 1 && in_ch == out {
+                b.add_of(&[shortcut, y])
+            } else {
+                y
+            };
+            in_ch = out;
+        }
+    }
+    x = conv_bn_act(&mut b, x, in_ch, 1280, (1, 1), (1, 1), 1, true);
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, 1280, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish()
+        .expect("efficientnet builder produces valid graphs")
+}
+
+/// EfficientNet-Lite0.
+pub fn efficientnet_lite0() -> ModelGraph {
+    efficientnet_lite(1.0, 1.0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published() {
+        // EfficientNet-Lite0: ~4.65M parameters.
+        let p = efficientnet_lite0().param_count() as f64 / 1e6;
+        assert!((p - 4.65).abs() / 4.65 < 0.06, "params {p:.2}M");
+    }
+
+    #[test]
+    fn compound_scaling_grows_model() {
+        let lite0 = efficientnet_lite0();
+        let lite2 = efficientnet_lite(1.1, 1.2, 0);
+        assert!(lite2.param_count() > lite0.param_count());
+        assert!(lite2.op_count() > lite0.op_count());
+        assert!(lite2.validate().is_ok());
+    }
+
+    #[test]
+    fn mixed_kernel_sizes_present() {
+        // EfficientNet uses both 3x3 and 5x5 depthwise kernels.
+        let g = efficientnet_lite0();
+        let has = |k: usize| {
+            g.ops().any(|(_, op)| {
+                matches!(op.attrs, optimus_model::OpAttrs::Conv2d { kernel, groups, .. }
+                    if kernel == (k, k) && groups > 1)
+            })
+        };
+        assert!(has(3) && has(5));
+    }
+}

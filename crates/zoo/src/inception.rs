@@ -1,0 +1,138 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., CVPR '15).
+//!
+//! The published 22-layer configuration with nine inception modules
+//! (four parallel branches concatenated: 1×1, 1×1→3×3, 1×1→5×5,
+//! maxpool→1×1), without the auxiliary training heads, which do not exist
+//! at inference time.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+fn conv_relu(
+    b: &mut GraphBuilder,
+    x: OpId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+) -> OpId {
+    let x = b.conv2d_after(x, in_ch, out_ch, kernel, stride, 1);
+    b.activation_after(x, Activation::Relu)
+}
+
+/// One inception module: `(c1, c3r, c3, c5r, c5, pp)` branch widths.
+#[allow(clippy::too_many_arguments)]
+fn inception_module(
+    b: &mut GraphBuilder,
+    x: OpId,
+    in_ch: usize,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pp: usize,
+) -> (OpId, usize) {
+    let b1 = conv_relu(b, x, in_ch, c1, (1, 1), (1, 1));
+    let b3 = conv_relu(b, x, in_ch, c3r, (1, 1), (1, 1));
+    let b3 = conv_relu(b, b3, c3r, c3, (3, 3), (1, 1));
+    let b5 = conv_relu(b, x, in_ch, c5r, (1, 1), (1, 1));
+    let b5 = conv_relu(b, b5, c5r, c5, (5, 5), (1, 1));
+    let bp = {
+        // Same-padded 3x3 stride-1 max pool keeps spatial dims for concat.
+        let p = b.after(
+            x,
+            format!("incpool_{in_ch}_{pp}"),
+            optimus_model::OpAttrs::Pool2d {
+                kind: PoolKind::Max,
+                size: (3, 3),
+                stride: (1, 1),
+                padding: optimus_model::Padding::Same,
+            },
+        );
+        conv_relu(b, p, in_ch, pp, (1, 1), (1, 1))
+    };
+    (b.concat_of(&[b1, b3, b5, bp]), c1 + c3 + c5 + pp)
+}
+
+/// Build GoogLeNet/Inception-v1 with a weight variant salt.
+pub fn inception_variant(variant: u64) -> ModelGraph {
+    let name = if variant == 0 {
+        "inception_v1".to_string()
+    } else {
+        format!("inception_v1-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::Inception)
+        .weight_variant(variant);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = conv_relu(&mut b, x, 3, 64, (7, 7), (2, 2));
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    x = conv_relu(&mut b, x, 64, 64, (1, 1), (1, 1));
+    x = conv_relu(&mut b, x, 64, 192, (3, 3), (1, 1));
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    // Published module table (3a..5b).
+    let table: [(usize, usize, usize, usize, usize, usize); 9] = [
+        (64, 96, 128, 16, 32, 32),     // 3a
+        (128, 128, 192, 32, 96, 64),   // 3b
+        (192, 96, 208, 16, 48, 64),    // 4a
+        (160, 112, 224, 24, 64, 64),   // 4b
+        (128, 128, 256, 24, 64, 64),   // 4c
+        (112, 144, 288, 32, 64, 64),   // 4d
+        (256, 160, 320, 32, 128, 128), // 4e
+        (256, 160, 320, 32, 128, 128), // 5a
+        (384, 192, 384, 48, 128, 128), // 5b
+    ];
+    let mut in_ch = 192;
+    for (i, &(c1, c3r, c3, c5r, c5, pp)) in table.iter().enumerate() {
+        let (nx, out) = inception_module(&mut b, x, in_ch, c1, c3r, c3, c5r, c5, pp);
+        x = nx;
+        in_ch = out;
+        // Max-pool after 3b (i == 1) and 4e (i == 6).
+        if i == 1 || i == 6 {
+            x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+        }
+    }
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, in_ch, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("inception builder produces valid graphs")
+}
+
+/// GoogLeNet/Inception-v1 at published configuration.
+pub fn inception_v1() -> ModelGraph {
+    inception_variant(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published() {
+        // GoogLeNet is widely quoted at ~7M parameters (Szegedy et al.
+        // report "about 6.8M" for the 22-layer network without aux heads).
+        let p = inception_v1().param_count() as f64 / 1e6;
+        assert!((p - 7.0).abs() / 7.0 < 0.05, "params {p:.2}M");
+    }
+
+    #[test]
+    fn nine_inception_modules() {
+        let g = inception_v1();
+        let hist = optimus_model::OpHistogram::of(&g);
+        assert_eq!(hist.count(optimus_model::OpKind::Concat), 9);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn branches_have_correct_fanin() {
+        let g = inception_v1();
+        for (id, op) in g.ops() {
+            if op.kind() == optimus_model::OpKind::Concat {
+                assert_eq!(g.predecessors(id).len(), 4, "concat {id} fan-in");
+            }
+        }
+    }
+}

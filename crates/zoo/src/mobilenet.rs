@@ -1,0 +1,277 @@
+//! MobileNet efficient CNNs (Howard et al. '17; Sandler et al., CVPR '18).
+//!
+//! MobileNetV1 (depthwise-separable stacks) and MobileNetV2 (inverted
+//! residual bottlenecks) with the published layer configurations and a
+//! width multiplier α, matching the α ∈ {0.25, 0.5, 0.75, 1.0} variants
+//! that Imgclsmob ships.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+fn round_ch(c: f64) -> usize {
+    // MobileNet rounds channels to multiples of 8 (minimum 8).
+    let c = (c / 8.0).round() as usize * 8;
+    c.max(8)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn(
+    b: &mut GraphBuilder,
+    x: OpId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    groups: usize,
+    act: Option<Activation>,
+) -> OpId {
+    let mut x = b.conv2d_after(x, in_ch, out_ch, kernel, stride, groups);
+    x = b.batchnorm_after(x, out_ch);
+    if let Some(a) = act {
+        x = b.activation_after(x, a);
+    }
+    x
+}
+
+/// Build MobileNetV1 with width multiplier `alpha` and weight variant.
+pub fn mobilenet_v1(alpha: f64, variant: u64) -> ModelGraph {
+    let name = if (alpha - 1.0).abs() < f64::EPSILON && variant == 0 {
+        "mobilenet_v1".to_string()
+    } else {
+        format!("mobilenet_v1-a{alpha:.2}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::MobileNet)
+        .weight_variant(variant);
+    let ch = |c: usize| round_ch(c as f64 * alpha);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = conv_bn(
+        &mut b,
+        x,
+        3,
+        ch(32),
+        (3, 3),
+        (2, 2),
+        1,
+        Some(Activation::Relu6),
+    );
+    // (out_channels, stride) of each depthwise-separable block.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    let mut in_ch = ch(32);
+    for &(out, stride) in &blocks {
+        let out = ch(out);
+        // Depthwise 3x3.
+        x = conv_bn(
+            &mut b,
+            x,
+            in_ch,
+            in_ch,
+            (3, 3),
+            (stride, stride),
+            in_ch,
+            Some(Activation::Relu6),
+        );
+        // Pointwise 1x1.
+        x = conv_bn(
+            &mut b,
+            x,
+            in_ch,
+            out,
+            (1, 1),
+            (1, 1),
+            1,
+            Some(Activation::Relu6),
+        );
+        in_ch = out;
+    }
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, in_ch, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish()
+        .expect("mobilenet v1 builder produces valid graphs")
+}
+
+/// Build MobileNetV2 with width multiplier `alpha` and weight variant.
+pub fn mobilenet_v2(alpha: f64, variant: u64) -> ModelGraph {
+    let name = if (alpha - 1.0).abs() < f64::EPSILON && variant == 0 {
+        "mobilenet_v2".to_string()
+    } else {
+        format!("mobilenet_v2-a{alpha:.2}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::MobileNet)
+        .weight_variant(variant);
+    let ch = |c: usize| round_ch(c as f64 * alpha);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = conv_bn(
+        &mut b,
+        x,
+        3,
+        ch(32),
+        (3, 3),
+        (2, 2),
+        1,
+        Some(Activation::Relu6),
+    );
+    let mut in_ch = ch(32);
+    // (expansion t, out channels c, repeats n, first stride s) per stage.
+    let stages: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for &(t, c, n, s) in &stages {
+        let out = ch(c);
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            let hidden = in_ch * t;
+            let shortcut = x;
+            let mut y = x;
+            if t != 1 {
+                y = conv_bn(
+                    &mut b,
+                    y,
+                    in_ch,
+                    hidden,
+                    (1, 1),
+                    (1, 1),
+                    1,
+                    Some(Activation::Relu6),
+                );
+            }
+            y = conv_bn(
+                &mut b,
+                y,
+                hidden,
+                hidden,
+                (3, 3),
+                (stride, stride),
+                hidden,
+                Some(Activation::Relu6),
+            );
+            y = conv_bn(&mut b, y, hidden, out, (1, 1), (1, 1), 1, None);
+            x = if stride == 1 && in_ch == out {
+                b.add_of(&[shortcut, y])
+            } else {
+                y
+            };
+            in_ch = out;
+        }
+    }
+    // The final 1x1 conv keeps 1280 channels unless alpha > 1 widens it.
+    let last = if alpha > 1.0 { ch(1280) } else { 1280 };
+    let x2 = conv_bn(
+        &mut b,
+        x,
+        in_ch,
+        last,
+        (1, 1),
+        (1, 1),
+        1,
+        Some(Activation::Relu6),
+    );
+    let mut x = b.global_avg_pool_after(x2);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, last, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish()
+        .expect("mobilenet v2 builder produces valid graphs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_params_match_published() {
+        // MobileNetV1 α=1.0: ~4.23M parameters.
+        let p = mobilenet_v1(1.0, 0).param_count() as f64 / 1e6;
+        assert!((p - 4.23).abs() / 4.23 < 0.03, "params {p:.2}M");
+    }
+
+    #[test]
+    fn v2_params_match_published() {
+        // MobileNetV2 α=1.0: ~3.5M parameters.
+        let p = mobilenet_v2(1.0, 0).param_count() as f64 / 1e6;
+        assert!((p - 3.5).abs() / 3.5 < 0.05, "params {p:.2}M");
+    }
+
+    #[test]
+    fn alpha_scales_params_down() {
+        let full = mobilenet_v1(1.0, 0).param_count();
+        let half = mobilenet_v1(0.5, 0).param_count();
+        let quarter = mobilenet_v1(0.25, 0).param_count();
+        assert!(half < full && quarter < half);
+    }
+
+    #[test]
+    fn v2_has_residual_adds() {
+        let g = mobilenet_v2(1.0, 0);
+        let hist = optimus_model::OpHistogram::of(&g);
+        assert!(hist.count(optimus_model::OpKind::Add) >= 10);
+    }
+
+    #[test]
+    fn all_variants_validate() {
+        for a in [0.25, 0.5, 0.75, 1.0] {
+            assert!(mobilenet_v1(a, 0).validate().is_ok());
+            assert!(mobilenet_v2(a, 0).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn depthwise_convs_present() {
+        let g = mobilenet_v1(1.0, 0);
+        let depthwise = g
+            .ops()
+            .filter(|(_, op)| {
+                matches!(
+                    op.attrs,
+                    optimus_model::OpAttrs::Conv2d { groups, in_channels, .. }
+                    if groups > 1 && groups == in_channels
+                )
+            })
+            .count();
+        assert_eq!(depthwise, 13);
+    }
+}
+
+#[cfg(test)]
+mod forward_tests {
+    use super::*;
+
+    #[test]
+    fn quarter_width_v1_runs_forward_end_to_end() {
+        // The real architecture (all 13 depthwise-separable blocks) at
+        // quarter width on a small input: Same-padded convolutions are
+        // resolution-agnostic, so the published 224x224 model runs at
+        // 32x32 for an end-to-end engine check.
+        let g = mobilenet_v1(0.25, 0);
+        let y = optimus_model::infer::run(&g, optimus_model::tensor::Tensor::zeros([1, 3, 32, 32]))
+            .unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1000]);
+        let sum: f32 = y.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "softmax sums to {sum}");
+        assert!(y.data().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}

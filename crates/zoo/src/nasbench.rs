@@ -1,0 +1,290 @@
+//! NAS-Bench-201 search space (Dong & Yang, ICLR '20).
+//!
+//! The real 15,625-architecture space the paper samples from (§8.1): each
+//! cell is a DAG over 4 nodes whose 6 edges each carry one of 5 candidate
+//! operations; the macro skeleton is a 3-stage CIFAR-style network with
+//! 5 cells per stage and residual reduction blocks between stages.
+//!
+//! Architectures are deterministic functions of an index in
+//! `0..`[`NASBENCH_SPACE_SIZE`], so experiments can sample the space
+//! reproducibly.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+/// Number of architectures in the space: 5 ops on 6 edges = 5⁶.
+pub const NASBENCH_SPACE_SIZE: u64 = 15_625;
+
+/// Candidate operation on a cell edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CellOp {
+    /// Zeroize: the edge contributes nothing.
+    None,
+    /// Identity skip connection.
+    Skip,
+    /// ReLU → 1×1 conv → BN.
+    Conv1x1,
+    /// ReLU → 3×3 conv → BN.
+    Conv3x3,
+    /// 3×3 average pooling, stride 1.
+    AvgPool3x3,
+}
+
+impl CellOp {
+    /// Decode from a base-5 digit.
+    fn from_digit(d: u64) -> CellOp {
+        match d {
+            0 => CellOp::None,
+            1 => CellOp::Skip,
+            2 => CellOp::Conv1x1,
+            3 => CellOp::Conv3x3,
+            _ => CellOp::AvgPool3x3,
+        }
+    }
+}
+
+/// A cell topology: the operation on each of the 6 edges
+/// `(0→1, 0→2, 1→2, 0→3, 1→3, 2→3)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CellSpec {
+    /// Edge operations in canonical order.
+    pub edges: [CellOp; 6],
+}
+
+impl CellSpec {
+    /// Decode an architecture index into a cell spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= NASBENCH_SPACE_SIZE`.
+    pub fn from_index(index: u64) -> CellSpec {
+        assert!(
+            index < NASBENCH_SPACE_SIZE,
+            "index {index} out of the {NASBENCH_SPACE_SIZE}-architecture space"
+        );
+        let mut edges = [CellOp::None; 6];
+        let mut rem = index;
+        for e in edges.iter_mut() {
+            *e = CellOp::from_digit(rem % 5);
+            rem /= 5;
+        }
+        CellSpec { edges }
+    }
+
+    /// Canonical edge list: `(src, dst, op)` for the 6 edges.
+    pub fn edge_list(&self) -> [(usize, usize, CellOp); 6] {
+        [
+            (0, 1, self.edges[0]),
+            (0, 2, self.edges[1]),
+            (1, 2, self.edges[2]),
+            (0, 3, self.edges[3]),
+            (1, 3, self.edges[4]),
+            (2, 3, self.edges[5]),
+        ]
+    }
+}
+
+/// Append one edge operation transforming `src` (with `ch` channels) and
+/// return the id feeding the destination node's accumulator, or `None` for
+/// zeroize edges.
+fn edge_op(b: &mut GraphBuilder, src: OpId, ch: usize, op: CellOp) -> Option<OpId> {
+    match op {
+        CellOp::None => None,
+        CellOp::Skip => Some(src),
+        CellOp::Conv1x1 | CellOp::Conv3x3 => {
+            let k = if op == CellOp::Conv1x1 { 1 } else { 3 };
+            let x = b.activation_after(src, Activation::Relu);
+            let x = b.conv2d_after(x, ch, ch, (k, k), (1, 1), 1);
+            Some(b.batchnorm_after(x, ch))
+        }
+        CellOp::AvgPool3x3 => {
+            let x = b.after(
+                src,
+                format!("cellpool_{}", src.0),
+                optimus_model::OpAttrs::Pool2d {
+                    kind: PoolKind::Avg,
+                    size: (3, 3),
+                    stride: (1, 1),
+                    padding: optimus_model::Padding::Same,
+                },
+            );
+            Some(x)
+        }
+    }
+}
+
+/// Instantiate one cell after `input`; returns the cell's output op.
+///
+/// Cell nodes that cannot reach the output through non-zeroize edges are
+/// pruned (their operations would be dead code in the computational graph);
+/// a cell whose output node is unreachable degenerates to the identity.
+fn cell(b: &mut GraphBuilder, input: OpId, ch: usize, spec: &CellSpec) -> OpId {
+    let edge_list = spec.edge_list();
+    // Backward liveness: a node is live when a non-zeroize edge leads from
+    // it to a live node (node 3 is live by definition).
+    let mut live = [false, false, false, true];
+    for _ in 0..3 {
+        for &(src, dst, op) in &edge_list {
+            if op != CellOp::None && live[dst] {
+                live[src] = true;
+            }
+        }
+    }
+    let mut nodes: [Option<OpId>; 4] = [Some(input), None, None, None];
+    for node in 1..4 {
+        if !live[node] {
+            continue;
+        }
+        let mut feeds = Vec::new();
+        for &(src, dst, op) in &edge_list {
+            if dst != node || op == CellOp::None {
+                continue;
+            }
+            if let Some(src_id) = nodes[src] {
+                if let Some(feed) = edge_op(b, src_id, ch, op) {
+                    feeds.push(feed);
+                }
+            }
+        }
+        // Two skip edges can deliver the same producer twice (e.g. via a
+        // dead intermediate node); the sum of x+x is structurally just one
+        // feed for our purposes, and duplicate edges are illegal in the IR.
+        feeds.sort_unstable();
+        feeds.dedup();
+        nodes[node] = match feeds.len() {
+            0 => None,
+            1 => Some(feeds[0]),
+            _ => Some(b.add_of(&feeds)),
+        };
+    }
+    nodes[3].unwrap_or(input)
+}
+
+/// Residual reduction block between stages (stride-2 basic block, doubling
+/// channels), as in the NAS-Bench-201 macro skeleton.
+fn reduction(b: &mut GraphBuilder, x: OpId, in_ch: usize) -> (OpId, usize) {
+    let out = in_ch * 2;
+    let mut y = b.activation_after(x, Activation::Relu);
+    y = b.conv2d_after(y, in_ch, out, (3, 3), (2, 2), 1);
+    y = b.batchnorm_after(y, out);
+    y = b.activation_after(y, Activation::Relu);
+    y = b.conv2d_after(y, out, out, (3, 3), (1, 1), 1);
+    y = b.batchnorm_after(y, out);
+    let mut s = b.pool_after(x, PoolKind::Avg, (2, 2), (2, 2));
+    s = b.conv2d_after(s, in_ch, out, (1, 1), (1, 1), 1);
+    (b.add_of(&[y, s]), out)
+}
+
+/// Build the NAS-Bench-201 architecture at `index` with `cells_per_stage`
+/// cells (the benchmark uses 5) and a weight-variant salt.
+///
+/// # Panics
+///
+/// Panics when `index >= NASBENCH_SPACE_SIZE`.
+pub fn nasbench_model_sized(index: u64, cells_per_stage: usize, variant: u64) -> ModelGraph {
+    let spec = CellSpec::from_index(index);
+    let name = if variant == 0 {
+        format!("nasbench-{index:05}")
+    } else {
+        format!("nasbench-{index:05}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::NasBench)
+        .weight_variant(variant);
+    // CIFAR-style 32x32 input, 16-channel stem.
+    let x = b.input([1, 3, 32, 32]);
+    let mut x = b.conv2d_after(x, 3, 16, (3, 3), (1, 1), 1);
+    x = b.batchnorm_after(x, 16);
+    let mut ch = 16usize;
+    for stage in 0..3 {
+        for _ in 0..cells_per_stage {
+            x = cell(&mut b, x, ch, &spec);
+        }
+        if stage < 2 {
+            let (nx, nch) = reduction(&mut b, x, ch);
+            x = nx;
+            ch = nch;
+        }
+    }
+    x = b.batchnorm_after(x, ch);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, ch, 10);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("nasbench builder produces valid graphs")
+}
+
+/// Build the NAS-Bench-201 architecture at `index` with the benchmark's
+/// standard 5 cells per stage.
+///
+/// # Panics
+///
+/// Panics when `index >= NASBENCH_SPACE_SIZE`.
+pub fn nasbench_model(index: u64) -> ModelGraph {
+    nasbench_model_sized(index, 5, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip_base5() {
+        let spec = CellSpec::from_index(0);
+        assert!(spec.edges.iter().all(|e| *e == CellOp::None));
+        let spec = CellSpec::from_index(NASBENCH_SPACE_SIZE - 1);
+        assert!(spec.edges.iter().all(|e| *e == CellOp::AvgPool3x3));
+        let spec = CellSpec::from_index(3); // digit0 = 3
+        assert_eq!(spec.edges[0], CellOp::Conv3x3);
+        assert_eq!(spec.edges[1], CellOp::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the")]
+    fn out_of_space_panics() {
+        let _ = CellSpec::from_index(NASBENCH_SPACE_SIZE);
+    }
+
+    #[test]
+    fn sampled_architectures_validate() {
+        for idx in [0, 1, 777, 5_000, 15_624] {
+            let g = nasbench_model(idx);
+            assert!(g.validate().is_ok(), "arch {idx} invalid");
+            assert_eq!(g.family(), ModelFamily::NasBench);
+        }
+    }
+
+    #[test]
+    fn all_none_cell_degenerates_to_skeleton() {
+        // Arch 0 has all-none cells: just stem + reductions + head.
+        let g = nasbench_model(0);
+        let all_conv = nasbench_model(NASBENCH_SPACE_SIZE / 2);
+        assert!(g.op_count() < all_conv.op_count());
+    }
+
+    #[test]
+    fn deterministic_by_index() {
+        let a = nasbench_model(4242);
+        let b = nasbench_model(4242);
+        assert!(a.structurally_equal(&b));
+        let c = nasbench_model(4243);
+        assert!(!a.structurally_equal(&c));
+    }
+
+    #[test]
+    fn models_are_lightweight() {
+        // NAS-Bench-201 models are small (≤ ~1.5M params at C=16,N=5).
+        let g = nasbench_model(12_345);
+        assert!(g.param_count() < 2_000_000, "params {}", g.param_count());
+    }
+
+    #[test]
+    fn tiny_variant_runs_forward() {
+        // A 1-cell-per-stage variant is small enough for the naive engine.
+        let g = nasbench_model_sized(7, 1, 0);
+        let y = optimus_model::infer::run(&g, optimus_model::tensor::Tensor::zeros([1, 3, 32, 32]))
+            .unwrap();
+        assert_eq!(y.shape().dims(), &[1, 10]);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,210 @@
+//! Residual networks (He et al., CVPR '16).
+//!
+//! Basic-block ResNet-18/34 and bottleneck ResNet-50/101/152 in their
+//! published configurations; parameter counts match the originals
+//! (25.6 M / 44.7 M / 60.4 M for the bottleneck trio of the paper's
+//! Figure 2c). Additional shallow depths (10, 14, 26) mirror the reduced
+//! variants Imgclsmob ships.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+/// Stage block counts plus block type for each supported depth.
+fn config(depth: usize) -> ([usize; 4], bool) {
+    // (blocks per stage, bottleneck?)
+    match depth {
+        10 => ([1, 1, 1, 1], false),
+        14 => ([1, 1, 2, 2], false),
+        18 => ([2, 2, 2, 2], false),
+        26 => ([2, 3, 4, 3], false),
+        34 => ([3, 4, 6, 3], false),
+        50 => ([3, 4, 6, 3], true),
+        101 => ([3, 4, 23, 3], true),
+        152 => ([3, 8, 36, 3], true),
+        _ => panic!("unsupported ResNet depth {depth}"),
+    }
+}
+
+struct ResNetBuilder {
+    b: GraphBuilder,
+    width: f64,
+}
+
+impl ResNetBuilder {
+    fn ch(&self, c: usize) -> usize {
+        ((c as f64 * self.width).round() as usize).max(1)
+    }
+
+    fn conv_bn_relu(
+        &mut self,
+        x: OpId,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        relu: bool,
+    ) -> OpId {
+        let mut x = self.b.conv2d_after(x, in_ch, out_ch, kernel, stride, 1);
+        x = self.b.batchnorm_after(x, out_ch);
+        if relu {
+            x = self.b.activation_after(x, Activation::Relu);
+        }
+        x
+    }
+
+    fn basic_block(&mut self, x: OpId, in_ch: usize, out_ch: usize, stride: usize) -> OpId {
+        let main = self.conv_bn_relu(x, in_ch, out_ch, (3, 3), (stride, stride), true);
+        let main = self.conv_bn_relu(main, out_ch, out_ch, (3, 3), (1, 1), false);
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            self.conv_bn_relu(x, in_ch, out_ch, (1, 1), (stride, stride), false)
+        } else {
+            x
+        };
+        let sum = self.b.add_of(&[main, shortcut]);
+        self.b.activation_after(sum, Activation::Relu)
+    }
+
+    fn bottleneck_block(&mut self, x: OpId, in_ch: usize, mid_ch: usize, stride: usize) -> OpId {
+        let out_ch = mid_ch * 4;
+        let main = self.conv_bn_relu(x, in_ch, mid_ch, (1, 1), (1, 1), true);
+        let main = self.conv_bn_relu(main, mid_ch, mid_ch, (3, 3), (stride, stride), true);
+        let main = self.conv_bn_relu(main, mid_ch, out_ch, (1, 1), (1, 1), false);
+        let shortcut = if stride != 1 || in_ch != out_ch {
+            self.conv_bn_relu(x, in_ch, out_ch, (1, 1), (stride, stride), false)
+        } else {
+            x
+        };
+        let sum = self.b.add_of(&[main, shortcut]);
+        self.b.activation_after(sum, Activation::Relu)
+    }
+}
+
+/// Build a ResNet of the given depth with width multiplier and weight
+/// variant.
+///
+/// # Panics
+///
+/// Panics on unsupported depths (10, 14, 18, 26, 34, 50, 101, 152).
+pub fn resnet_scaled(depth: usize, width: f64, variant: u64) -> ModelGraph {
+    let (stages, bottleneck) = config(depth);
+    let name = if (width - 1.0).abs() < f64::EPSILON && variant == 0 {
+        format!("resnet{depth}")
+    } else {
+        format!("resnet{depth}-w{width:.2}-v{variant}")
+    };
+    let builder = GraphBuilder::new(name)
+        .family(ModelFamily::ResNet)
+        .weight_variant(variant);
+    let mut rb = ResNetBuilder { b: builder, width };
+    let x = rb.b.input(IMAGE_INPUT);
+    let stem_ch = rb.ch(64);
+    let mut x = rb.conv_bn_relu(x, 3, stem_ch, (7, 7), (2, 2), true);
+    x = rb.b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    let mut in_ch = stem_ch;
+    let stage_widths = [64usize, 128, 256, 512];
+    for (stage, &blocks) in stages.iter().enumerate() {
+        let base = rb.ch(stage_widths[stage]);
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            if bottleneck {
+                x = rb.bottleneck_block(x, in_ch, base, stride);
+                in_ch = base * 4;
+            } else {
+                x = rb.basic_block(x, in_ch, base, stride);
+                in_ch = base;
+            }
+        }
+    }
+    x = rb.b.global_avg_pool_after(x);
+    x = rb.b.flatten_after(x);
+    x = rb.b.dense_after(x, in_ch, NUM_CLASSES);
+    let _ = rb.b.activation_after(x, Activation::Softmax);
+    rb.b.finish().expect("resnet builder produces valid graphs")
+}
+
+/// ResNet of the given depth at published width.
+pub fn resnet(depth: usize) -> ModelGraph {
+    resnet_scaled(depth, 1.0, 0)
+}
+
+/// ResNet-18 (basic blocks).
+pub fn resnet18() -> ModelGraph {
+    resnet(18)
+}
+
+/// ResNet-34 (basic blocks).
+pub fn resnet34() -> ModelGraph {
+    resnet(34)
+}
+
+/// ResNet-50 (bottleneck blocks).
+pub fn resnet50() -> ModelGraph {
+    resnet(50)
+}
+
+/// ResNet-101 (bottleneck blocks).
+pub fn resnet101() -> ModelGraph {
+    resnet(101)
+}
+
+/// ResNet-152 (bottleneck blocks).
+pub fn resnet152() -> ModelGraph {
+    resnet(152)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_model::OpKind;
+
+    #[test]
+    fn resnet50_has_53_convs() {
+        // 1 stem + 3 stages×(3+4+6+3 blocks)×3 convs + 4 downsample convs.
+        let g = resnet50();
+        let hist = optimus_model::OpHistogram::of(&g);
+        assert_eq!(hist.count(OpKind::Conv2d), 1 + 16 * 3 + 4);
+        assert_eq!(hist.count(OpKind::Dense), 1);
+    }
+
+    #[test]
+    fn resnet101_has_roughly_twice_resnet50_layers() {
+        // The paper cites this ratio as the reason ResNet101 loads ~2× slower.
+        let r50 = resnet50().op_count() as f64;
+        let r101 = resnet101().op_count() as f64;
+        assert!(r101 / r50 > 1.7 && r101 / r50 < 2.3, "ratio {}", r101 / r50);
+    }
+
+    #[test]
+    fn paper_weighted_op_observation_roughly_holds() {
+        // §4.4: "347 operations in ResNet101, of which only 101 have weights"
+        // (TensorFlow counts BN as one op; our IR models BN as one op too).
+        let g = resnet101();
+        assert!(g.op_count() > 300, "op count {}", g.op_count());
+        let frac = g.weighted_op_count() as f64 / g.op_count() as f64;
+        assert!(frac < 0.65, "weighted fraction {frac}");
+    }
+
+    #[test]
+    fn all_depths_validate() {
+        for d in [10, 14, 18, 26, 34, 50, 101, 152] {
+            assert!(resnet(d).validate().is_ok(), "resnet{d} invalid");
+        }
+    }
+
+    #[test]
+    fn deeper_means_more_ops_and_params() {
+        let mut prev_ops = 0;
+        for d in [18, 34, 50, 101, 152] {
+            let g = resnet(d);
+            assert!(g.op_count() > prev_ops, "resnet{d} not deeper");
+            prev_ops = g.op_count();
+        }
+    }
+
+    #[test]
+    fn resnet_family_has_far_fewer_params_than_vgg() {
+        // Figure 2c: ResNet50 25.6M vs VGG16 138.4M.
+        assert!(resnet50().param_count() * 4 < crate::vgg::vgg16().param_count());
+    }
+}

@@ -1,0 +1,129 @@
+//! ResNeXt (Xie et al., CVPR '17): ResNet bottlenecks with grouped 3×3
+//! convolutions ("cardinality"), in the published 32×4d configurations.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+fn config(depth: usize) -> [usize; 4] {
+    match depth {
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        _ => panic!("unsupported ResNeXt depth {depth} (50 or 101)"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    x: OpId,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: (usize, usize),
+    stride: (usize, usize),
+    groups: usize,
+    relu: bool,
+) -> OpId {
+    let mut x = b.conv2d_after(x, in_ch, out_ch, kernel, stride, groups);
+    x = b.batchnorm_after(x, out_ch);
+    if relu {
+        x = b.activation_after(x, Activation::Relu);
+    }
+    x
+}
+
+/// Build a ResNeXt-`depth` (32×4d) with a weight-variant salt.
+///
+/// # Panics
+///
+/// Panics on unsupported depths (50, 101).
+pub fn resnext_variant(depth: usize, variant: u64) -> ModelGraph {
+    let stages = config(depth);
+    let cardinality = 32usize;
+    let name = if variant == 0 {
+        format!("resnext{depth}_32x4d")
+    } else {
+        format!("resnext{depth}_32x4d-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::ResNet)
+        .weight_variant(variant);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = conv_bn_relu(&mut b, x, 3, 64, (7, 7), (2, 2), 1, true);
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    let mut in_ch = 64usize;
+    // 32x4d: stage widths 128/256/512/1024 for the grouped 3x3, out 4x base.
+    let widths = [128usize, 256, 512, 1024];
+    for (stage, &blocks) in stages.iter().enumerate() {
+        let mid = widths[stage];
+        let out = mid * 2;
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let main = conv_bn_relu(&mut b, x, in_ch, mid, (1, 1), (1, 1), 1, true);
+            let main = conv_bn_relu(
+                &mut b,
+                main,
+                mid,
+                mid,
+                (3, 3),
+                (stride, stride),
+                cardinality,
+                true,
+            );
+            let main = conv_bn_relu(&mut b, main, mid, out, (1, 1), (1, 1), 1, false);
+            let shortcut = if stride != 1 || in_ch != out {
+                conv_bn_relu(&mut b, x, in_ch, out, (1, 1), (stride, stride), 1, false)
+            } else {
+                x
+            };
+            let sum = b.add_of(&[main, shortcut]);
+            x = b.activation_after(sum, Activation::Relu);
+            in_ch = out;
+        }
+    }
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, in_ch, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("resnext builder produces valid graphs")
+}
+
+/// ResNeXt-50 32×4d.
+pub fn resnext50() -> ModelGraph {
+    resnext_variant(50, 0)
+}
+
+/// ResNeXt-101 32×4d.
+pub fn resnext101() -> ModelGraph {
+    resnext_variant(101, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published() {
+        // torchvision ResNeXt-50 32x4d: 25.0M parameters.
+        let p = resnext50().param_count() as f64 / 1e6;
+        assert!((p - 25.0).abs() / 25.0 < 0.03, "params {p:.2}M");
+    }
+
+    #[test]
+    fn grouped_convs_present() {
+        let g = resnext50();
+        let grouped = g
+            .ops()
+            .filter(|(_, op)| matches!(op.attrs, optimus_model::OpAttrs::Conv2d { groups: 32, .. }))
+            .count();
+        assert_eq!(grouped, 16, "one grouped conv per bottleneck");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn resnext_transforms_cheaply_from_resnet() {
+        // Same family tag + similar structure: transformation-friendly.
+        assert_eq!(resnext50().family(), ModelFamily::ResNet);
+        assert!(resnext101().param_count() > resnext50().param_count());
+    }
+}

@@ -1,0 +1,83 @@
+//! SqueezeNet (Iandola et al. '16): Fire modules — a 1×1 "squeeze" layer
+//! feeding parallel 1×1 and 3×3 "expand" layers whose outputs concatenate.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+fn fire(b: &mut GraphBuilder, x: OpId, in_ch: usize, squeeze: usize, expand: usize) -> OpId {
+    let s = b.conv2d_after(x, in_ch, squeeze, (1, 1), (1, 1), 1);
+    let s = b.activation_after(s, Activation::Relu);
+    let e1 = b.conv2d_after(s, squeeze, expand, (1, 1), (1, 1), 1);
+    let e1 = b.activation_after(e1, Activation::Relu);
+    let e3 = b.conv2d_after(s, squeeze, expand, (3, 3), (1, 1), 1);
+    let e3 = b.activation_after(e3, Activation::Relu);
+    b.concat_of(&[e1, e3])
+}
+
+/// SqueezeNet v1.1 with a weight-variant salt.
+pub fn squeezenet_variant(variant: u64) -> ModelGraph {
+    let name = if variant == 0 {
+        "squeezenet1.1".to_string()
+    } else {
+        format!("squeezenet1.1-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::Custom)
+        .weight_variant(variant);
+    let x = b.input(IMAGE_INPUT);
+    let mut x = b.conv2d_after(x, 3, 64, (3, 3), (2, 2), 1);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    // Fire modules with v1.1's (squeeze, expand) schedule.
+    x = fire(&mut b, x, 64, 16, 64);
+    x = fire(&mut b, x, 128, 16, 64);
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    x = fire(&mut b, x, 128, 32, 128);
+    x = fire(&mut b, x, 256, 32, 128);
+    x = b.pool_after(x, PoolKind::Max, (3, 3), (2, 2));
+    x = fire(&mut b, x, 256, 48, 192);
+    x = fire(&mut b, x, 384, 48, 192);
+    x = fire(&mut b, x, 384, 64, 256);
+    x = fire(&mut b, x, 512, 64, 256);
+    // Classifier: 1x1 conv to classes then GAP (no dense layer).
+    x = b.conv2d_after(x, 512, NUM_CLASSES, (1, 1), (1, 1), 1);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish()
+        .expect("squeezenet builder produces valid graphs")
+}
+
+/// SqueezeNet v1.1 at published configuration.
+pub fn squeezenet() -> ModelGraph {
+    squeezenet_variant(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published() {
+        // SqueezeNet v1.1: ~1.24M parameters.
+        let p = squeezenet().param_count() as f64 / 1e6;
+        assert!((p - 1.24).abs() / 1.24 < 0.05, "params {p:.2}M");
+    }
+
+    #[test]
+    fn eight_fire_modules() {
+        let g = squeezenet();
+        let hist = optimus_model::OpHistogram::of(&g);
+        assert_eq!(hist.count(optimus_model::OpKind::Concat), 8);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn no_dense_layers() {
+        // SqueezeNet's defining property: fully convolutional classifier.
+        let hist = optimus_model::OpHistogram::of(&squeezenet());
+        assert_eq!(hist.count(optimus_model::OpKind::Dense), 0);
+    }
+}

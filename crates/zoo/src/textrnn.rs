@@ -1,0 +1,113 @@
+//! Text-classification RNNs: embedding → stacked LSTM/GRU → classifier.
+//!
+//! §7 notes the meta-operator interface "is compatible with ML operations
+//! in most models, including CNN, RNN, and transformer"; this family
+//! exercises the RNN leg — structurally similar recurrent classifiers at
+//! several hidden widths and depths, transformation-friendly exactly like
+//! the CNN families.
+
+use optimus_model::{GraphBuilder, ModelFamily, ModelGraph, OpAttrs};
+
+/// Recurrent cell flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RnnCell {
+    /// Long short-term memory.
+    Lstm,
+    /// Gated recurrent unit.
+    Gru,
+}
+
+impl RnnCell {
+    fn name(self) -> &'static str {
+        match self {
+            RnnCell::Lstm => "lstm",
+            RnnCell::Gru => "gru",
+        }
+    }
+}
+
+/// Build a text classifier: embedding, `layers` stacked recurrent layers
+/// of width `hidden`, and a dense head over the final features.
+///
+/// # Panics
+///
+/// Panics when `layers == 0` or `hidden == 0`.
+pub fn text_rnn(cell: RnnCell, layers: usize, hidden: usize, variant: u64) -> ModelGraph {
+    assert!(layers > 0, "need at least one recurrent layer");
+    assert!(hidden > 0, "hidden width must be positive");
+    let name = if variant == 0 {
+        format!("text{}-{layers}x{hidden}", cell.name())
+    } else {
+        format!("text{}-{layers}x{hidden}-v{variant}", cell.name())
+    };
+    let vocab = 30_000usize;
+    let seq = 128usize;
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::Custom)
+        .weight_variant(variant);
+    let i = b.input([1, seq]);
+    let mut x = b.after(i, "embedding", OpAttrs::Embedding { vocab, hidden });
+    let mut input = hidden;
+    for l in 0..layers {
+        let attrs = match cell {
+            RnnCell::Lstm => OpAttrs::Lstm { input, hidden },
+            RnnCell::Gru => OpAttrs::Gru { input, hidden },
+        };
+        x = b.after(x, format!("{}_{l}", cell.name()), attrs);
+        input = hidden;
+    }
+    let d = b.dense_after(x, hidden, 4);
+    let _ = b.activation_after(d, optimus_model::Activation::Softmax);
+    b.finish().expect("text rnn builder produces valid graphs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_validate_and_scale() {
+        for cell in [RnnCell::Lstm, RnnCell::Gru] {
+            let small = text_rnn(cell, 1, 128, 0);
+            let large = text_rnn(cell, 2, 256, 0);
+            assert!(small.validate().is_ok());
+            assert!(large.param_count() > small.param_count());
+        }
+    }
+
+    #[test]
+    fn lstm_params_match_formula() {
+        // embedding 30000x256 + LSTM(256,256): 4h(in+h+1) + head 256*4+4.
+        let g = text_rnn(RnnCell::Lstm, 1, 256, 0);
+        let expected = 30_000 * 256 + 4 * 256 * (256 + 256 + 1) + 256 * 4 + 4;
+        assert_eq!(g.param_count(), expected);
+    }
+
+    #[test]
+    fn rnn_transformations_are_cheap_within_family() {
+        use optimus_core::{GroupPlanner, Planner};
+        use optimus_profile::{CostModel, CostProvider};
+        let cost = CostModel::default();
+        let a = text_rnn(RnnCell::Lstm, 1, 128, 0);
+        let b = text_rnn(RnnCell::Lstm, 2, 256, 0);
+        let plan = GroupPlanner.plan(&a, &b, &cost);
+        assert!(plan.cost.n_reshape >= 1, "widening reshapes the LSTM");
+        assert!(plan.cost.n_add >= 1, "deepening adds a layer");
+        assert!(plan.cost.total() < cost.model_load_cost(&b));
+        // Execute and run inference on the transformed graph.
+        let mut g = a.clone();
+        optimus_core::execute_plan(&mut g, &plan, &b).unwrap();
+    }
+
+    #[test]
+    fn lstm_and_gru_do_not_substitute() {
+        // Different op kinds: the planner must Reduce+Add, not Reshape.
+        use optimus_core::{GroupPlanner, Planner};
+        use optimus_profile::CostModel;
+        let cost = CostModel::default();
+        let a = text_rnn(RnnCell::Lstm, 1, 128, 0);
+        let b = text_rnn(RnnCell::Gru, 1, 128, 0);
+        let plan = GroupPlanner.plan(&a, &b, &cost);
+        assert!(plan.cost.n_reduce >= 1 && plan.cost.n_add >= 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! VGG image classifiers (Simonyan & Zisserman, ICLR '15).
+//!
+//! Configurations A (VGG11), B (VGG13), D (VGG16) and E (VGG19), with the
+//! original three fully connected layers (4096-4096-1000). Parameter counts
+//! match the published models: 132.9 M / 133.0 M / 138.4 M / 143.7 M.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+/// Per-stage convolution counts of each VGG configuration.
+fn config(depth: usize) -> [usize; 5] {
+    match depth {
+        11 => [1, 1, 2, 2, 2],
+        13 => [2, 2, 2, 2, 2],
+        16 => [2, 2, 3, 3, 3],
+        19 => [2, 2, 4, 4, 4],
+        _ => panic!("unsupported VGG depth {depth} (use 11, 13, 16 or 19)"),
+    }
+}
+
+/// Build a VGG model of the given depth with a custom width multiplier and
+/// weight variant (for "same structure, different weights" cases).
+///
+/// `width` scales channel counts (1.0 = the published model); the classifier
+/// keeps the standard 4096-unit FC layers.
+///
+/// # Panics
+///
+/// Panics on unsupported depths (only 11, 13, 16, 19 exist).
+pub fn vgg_scaled(depth: usize, width: f64, variant: u64) -> ModelGraph {
+    let stages = config(depth);
+    let name = if (width - 1.0).abs() < f64::EPSILON && variant == 0 {
+        format!("vgg{depth}")
+    } else {
+        format!("vgg{depth}-w{width:.2}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::Vgg)
+        .weight_variant(variant);
+    let ch = |c: usize| ((c as f64 * width).round() as usize).max(1);
+    let mut x = b.input(IMAGE_INPUT);
+    let mut in_ch = 3usize;
+    let mut spatial = IMAGE_INPUT[2];
+    let widths = [64, 128, 256, 512, 512];
+    for (stage, &convs) in stages.iter().enumerate() {
+        let out_ch = ch(widths[stage]);
+        for _ in 0..convs {
+            x = b.conv2d_after(x, in_ch, out_ch, (3, 3), (1, 1), 1);
+            x = b.activation_after(x, Activation::Relu);
+            in_ch = out_ch;
+        }
+        x = b.pool_after(x, PoolKind::Max, (2, 2), (2, 2));
+        spatial /= 2;
+    }
+    x = b.flatten_after(x);
+    let flat = in_ch * spatial * spatial;
+    x = b.dense_after(x, flat, 4096);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.dense_after(x, 4096, 4096);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.dense_after(x, 4096, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("vgg builder produces valid graphs")
+}
+
+/// VGG of the given depth at published width.
+pub fn vgg(depth: usize) -> ModelGraph {
+    vgg_scaled(depth, 1.0, 0)
+}
+
+/// VGG11 (configuration A).
+pub fn vgg11() -> ModelGraph {
+    vgg(11)
+}
+
+/// VGG13 (configuration B).
+pub fn vgg13() -> ModelGraph {
+    vgg(13)
+}
+
+/// VGG16 (configuration D).
+pub fn vgg16() -> ModelGraph {
+    vgg(16)
+}
+
+/// VGG19 (configuration E).
+pub fn vgg19() -> ModelGraph {
+    vgg(19)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_model::OpKind;
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_dense() {
+        let g = vgg16();
+        let hist = optimus_model::OpHistogram::of(&g);
+        assert_eq!(hist.count(OpKind::Conv2d), 13);
+        assert_eq!(hist.count(OpKind::Dense), 3);
+        assert_eq!(hist.count(OpKind::Pool2d), 5);
+    }
+
+    #[test]
+    fn vgg19_is_deeper_than_vgg16() {
+        assert!(vgg19().op_count() > vgg16().op_count());
+        assert!(vgg19().param_count() > vgg16().param_count());
+    }
+
+    #[test]
+    fn all_depths_validate() {
+        for d in [11, 13, 16, 19] {
+            let g = vgg(d);
+            assert!(g.validate().is_ok(), "vgg{d} invalid");
+            assert_eq!(g.family(), ModelFamily::Vgg);
+        }
+    }
+
+    #[test]
+    fn width_scaling_shrinks_model() {
+        let half = vgg_scaled(16, 0.5, 0);
+        assert!(half.param_count() < vgg16().param_count());
+        assert_eq!(half.op_count(), vgg16().op_count());
+    }
+
+    #[test]
+    fn variant_changes_weights_only() {
+        let a = vgg_scaled(11, 1.0, 0);
+        let c = vgg_scaled(11, 1.0, 1);
+        assert_eq!(a.op_count(), c.op_count());
+        assert!(!a.structurally_equal(&c), "weights must differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported VGG depth")]
+    fn bad_depth_panics() {
+        let _ = vgg(12);
+    }
+}

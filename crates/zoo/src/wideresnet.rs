@@ -1,0 +1,114 @@
+//! Wide residual networks (Zagoruyko & Komodakis, BMVC '16): CIFAR-style
+//! pre-activation ResNets widened by a factor `k` — the canonical example
+//! of "same structure design but wider layers" the paper's Insight 3 cites.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId};
+
+/// Build WRN-`depth`-`k` (depth = 6n+4) with a weight-variant salt.
+///
+/// # Panics
+///
+/// Panics when `depth` is not of the form `6n + 4` or `k == 0`.
+pub fn wide_resnet_variant(depth: usize, k: usize, variant: u64) -> ModelGraph {
+    assert!(
+        depth >= 10 && (depth - 4).is_multiple_of(6),
+        "depth must be 6n+4"
+    );
+    assert!(k > 0, "widening factor must be positive");
+    let n = (depth - 4) / 6;
+    let name = if variant == 0 {
+        format!("wrn{depth}-{k}")
+    } else {
+        format!("wrn{depth}-{k}-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::ResNet)
+        .weight_variant(variant);
+    let x = b.input([1, 3, 32, 32]);
+    let mut x = b.conv2d_after(x, 3, 16, (3, 3), (1, 1), 1);
+    let mut in_ch = 16usize;
+    for (stage, base) in [16usize, 32, 64].into_iter().enumerate() {
+        let out = base * k;
+        for blk in 0..n {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            x = wide_block(&mut b, x, in_ch, out, stride);
+            in_ch = out;
+        }
+    }
+    x = b.batchnorm_after(x, in_ch);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, in_ch, 10);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("wrn builder produces valid graphs")
+}
+
+/// Pre-activation basic block: BN-ReLU-conv3x3-BN-ReLU-conv3x3 + shortcut.
+fn wide_block(b: &mut GraphBuilder, x: OpId, in_ch: usize, out: usize, stride: usize) -> OpId {
+    let mut y = b.batchnorm_after(x, in_ch);
+    y = b.activation_after(y, Activation::Relu);
+    // Pre-activation shortcut branches off after the first BN-ReLU when
+    // dimensions change.
+    let shortcut_src = if stride != 1 || in_ch != out { y } else { x };
+    y = b.conv2d_after(y, in_ch, out, (3, 3), (stride, stride), 1);
+    y = b.batchnorm_after(y, out);
+    y = b.activation_after(y, Activation::Relu);
+    y = b.conv2d_after(y, out, out, (3, 3), (1, 1), 1);
+    let shortcut = if stride != 1 || in_ch != out {
+        b.conv2d_after(shortcut_src, in_ch, out, (1, 1), (stride, stride), 1)
+    } else {
+        shortcut_src
+    };
+    b.add_of(&[y, shortcut])
+}
+
+/// WRN-28-10, the flagship configuration.
+pub fn wrn28_10() -> ModelGraph {
+    wide_resnet_variant(28, 10, 0)
+}
+
+/// WRN-16-8.
+pub fn wrn16_8() -> ModelGraph {
+    wide_resnet_variant(16, 8, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published() {
+        // WRN-28-10: 36.5M parameters.
+        let p = wrn28_10().param_count() as f64 / 1e6;
+        assert!((p - 36.5).abs() / 36.5 < 0.03, "params {p:.1}M");
+        // WRN-16-8: 11.0M parameters.
+        let p = wrn16_8().param_count() as f64 / 1e6;
+        assert!((p - 11.0).abs() / 11.0 < 0.05, "params {p:.1}M");
+    }
+
+    #[test]
+    fn widening_preserves_structure() {
+        // Insight 3: same structure, wider layers — identical op counts.
+        // (k = 1 would drop the very first projection conv since
+        // in == out there, so compare k = 2 against k = 10.)
+        let narrow = wide_resnet_variant(28, 2, 0);
+        let wide = wrn28_10();
+        assert_eq!(narrow.op_count(), wide.op_count());
+        assert!(wide.param_count() > 20 * narrow.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "6n+4")]
+    fn bad_depth_panics() {
+        let _ = wide_resnet_variant(27, 10, 0);
+    }
+
+    #[test]
+    fn pool_free_until_head() {
+        // CIFAR WRNs downsample by stride, not pooling.
+        let hist = optimus_model::OpHistogram::of(&wrn28_10());
+        assert_eq!(hist.count(optimus_model::OpKind::Pool2d), 0);
+        assert_eq!(hist.count(optimus_model::OpKind::GlobalPool), 1);
+    }
+}

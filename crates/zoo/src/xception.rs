@@ -1,0 +1,114 @@
+//! Xception (Chollet, CVPR '17): depthwise-separable convolutions with
+//! residual connections, in the published entry/middle/exit-flow layout.
+
+use optimus_model::{Activation, GraphBuilder, ModelFamily, ModelGraph, OpId, PoolKind};
+
+use crate::{IMAGE_INPUT, NUM_CLASSES};
+
+fn sep_conv(b: &mut GraphBuilder, x: OpId, in_ch: usize, out_ch: usize) -> OpId {
+    // Depthwise 3x3 then pointwise 1x1, each followed by BN.
+    let mut x = b.conv2d_after(x, in_ch, in_ch, (3, 3), (1, 1), in_ch);
+    x = b.conv2d_after(x, in_ch, out_ch, (1, 1), (1, 1), 1);
+    b.batchnorm_after(x, out_ch)
+}
+
+fn entry_block(
+    b: &mut GraphBuilder,
+    x: OpId,
+    in_ch: usize,
+    out_ch: usize,
+    relu_first: bool,
+) -> OpId {
+    let mut y = x;
+    if relu_first {
+        y = b.activation_after(y, Activation::Relu);
+    }
+    y = sep_conv(b, y, in_ch, out_ch);
+    y = b.activation_after(y, Activation::Relu);
+    y = sep_conv(b, y, out_ch, out_ch);
+    y = b.pool_after(y, PoolKind::Max, (3, 3), (2, 2));
+    // 1x1 strided shortcut.
+    let mut s = b.conv2d_after(x, in_ch, out_ch, (1, 1), (2, 2), 1);
+    s = b.batchnorm_after(s, out_ch);
+    b.add_of(&[y, s])
+}
+
+/// Build Xception with a weight variant salt.
+pub fn xception_variant(variant: u64) -> ModelGraph {
+    let name = if variant == 0 {
+        "xception".to_string()
+    } else {
+        format!("xception-v{variant}")
+    };
+    let mut b = GraphBuilder::new(name)
+        .family(ModelFamily::Xception)
+        .weight_variant(variant);
+    let x = b.input(IMAGE_INPUT);
+    // Entry flow stem.
+    let mut x = b.conv2d_after(x, 3, 32, (3, 3), (2, 2), 1);
+    x = b.batchnorm_after(x, 32);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.conv2d_after(x, 32, 64, (3, 3), (1, 1), 1);
+    x = b.batchnorm_after(x, 64);
+    x = b.activation_after(x, Activation::Relu);
+    // Entry-flow residual blocks: 128, 256, 728.
+    x = entry_block(&mut b, x, 64, 128, false);
+    x = entry_block(&mut b, x, 128, 256, true);
+    x = entry_block(&mut b, x, 256, 728, true);
+    // Middle flow: 8 blocks of three 728-channel separable convs.
+    for _ in 0..8 {
+        let shortcut = x;
+        let mut y = x;
+        for _ in 0..3 {
+            y = b.activation_after(y, Activation::Relu);
+            y = sep_conv(&mut b, y, 728, 728);
+        }
+        x = b.add_of(&[shortcut, y]);
+    }
+    // Exit flow.
+    let shortcut = x;
+    let mut y = b.activation_after(x, Activation::Relu);
+    y = sep_conv(&mut b, y, 728, 728);
+    y = b.activation_after(y, Activation::Relu);
+    y = sep_conv(&mut b, y, 728, 1024);
+    y = b.pool_after(y, PoolKind::Max, (3, 3), (2, 2));
+    let mut s = b.conv2d_after(shortcut, 728, 1024, (1, 1), (2, 2), 1);
+    s = b.batchnorm_after(s, 1024);
+    x = b.add_of(&[y, s]);
+    x = sep_conv(&mut b, x, 1024, 1536);
+    x = b.activation_after(x, Activation::Relu);
+    x = sep_conv(&mut b, x, 1536, 2048);
+    x = b.activation_after(x, Activation::Relu);
+    x = b.global_avg_pool_after(x);
+    x = b.flatten_after(x);
+    x = b.dense_after(x, 2048, NUM_CLASSES);
+    let _ = b.activation_after(x, Activation::Softmax);
+    b.finish().expect("xception builder produces valid graphs")
+}
+
+/// Xception at published configuration.
+pub fn xception() -> ModelGraph {
+    xception_variant(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_published() {
+        // Keras Xception: ~22.9M parameters.
+        let p = xception().param_count() as f64 / 1e6;
+        assert!((p - 22.9).abs() / 22.9 < 0.05, "params {p:.2}M");
+    }
+
+    #[test]
+    fn validates_and_has_residuals() {
+        let g = xception();
+        assert!(g.validate().is_ok());
+        let hist = optimus_model::OpHistogram::of(&g);
+        // 3 entry + 8 middle + 1 exit residual adds.
+        assert_eq!(hist.count(optimus_model::OpKind::Add), 12);
+        assert_eq!(g.family(), ModelFamily::Xception);
+    }
+}

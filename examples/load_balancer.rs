@@ -1,0 +1,99 @@
+//! The §5.1 model-sharing-aware load balancer in isolation.
+//!
+//! ```sh
+//! cargo run --release --example load_balancer
+//! ```
+//!
+//! Builds a function population with two model families and two demand
+//! phases, then compares the placements produced by the sharing-aware
+//! K-medoids balancer, hash routing, and least-loaded routing, scoring
+//! each by the intra-node transformation affinity it creates.
+
+use std::sync::Arc;
+
+use optimus::balance::{
+    hash_placement, least_loaded_placement, FunctionPoint, SharingAwareBalancer,
+};
+use optimus::core::{GroupPlanner, ModelRepository};
+use optimus::profile::CostModel;
+
+fn main() {
+    // Model population: a VGG family and a BERT family.
+    let repo = Arc::new(ModelRepository::new(Box::new(GroupPlanner)));
+    let cost = CostModel::default();
+    for m in [
+        optimus::zoo::vgg::vgg11(),
+        optimus::zoo::vgg::vgg13(),
+        optimus::zoo::vgg::vgg16(),
+        optimus::zoo::vgg::vgg19(),
+    ] {
+        repo.register(m, &cost);
+    }
+    for cfg in [
+        optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Tiny),
+        optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Mini),
+        optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Small),
+        optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Base),
+    ] {
+        repo.register(optimus::zoo::bert(cfg), &cost);
+    }
+
+    // Demand histories: half the functions peak in the morning, half in
+    // the evening — complementary pairs are good co-location candidates.
+    let functions: Vec<FunctionPoint> = repo
+        .model_names()
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let morning = i % 2 == 0;
+            let demand: Vec<f64> = (0..24)
+                .map(|h| {
+                    let peak = if morning { 9.0 } else { 20.0 };
+                    (10.0 - (h as f64 - peak).abs()).max(0.0)
+                })
+                .collect();
+            FunctionPoint { name, demand }
+        })
+        .collect();
+
+    let edit = {
+        let repo = repo.clone();
+        move |a: &str, b: &str| repo.transform_latency(a, b).unwrap_or(f64::MAX / 4.0)
+    };
+
+    let nodes = 2;
+    let sharing = SharingAwareBalancer::default().place(&functions, &edit, nodes);
+    let hash = hash_placement(&functions, nodes);
+    let least = least_loaded_placement(&functions, nodes);
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "function", "sharing", "hash", "least"
+    );
+    for (i, f) in functions.iter().enumerate() {
+        println!(
+            "{:<22} {:>8} {:>8} {:>8}",
+            f.name, sharing[i], hash[i], least[i]
+        );
+    }
+
+    // Score: mean intra-node pairwise transformation latency (lower =
+    // cheaper donors on the same node).
+    let score = |placement: &[usize]| -> f64 {
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..functions.len() {
+            for j in 0..functions.len() {
+                if i != j && placement[i] == placement[j] {
+                    total += edit(&functions[i].name, &functions[j].name);
+                    pairs += 1;
+                }
+            }
+        }
+        total / pairs.max(1) as f64
+    };
+    println!("\nmean intra-node transformation latency (lower is better):");
+    println!("  sharing-aware: {:.3} s", score(&sharing));
+    println!("  hash         : {:.3} s", score(&hash));
+    println!("  least-loaded : {:.3} s", score(&least));
+}

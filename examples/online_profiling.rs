@@ -1,0 +1,114 @@
+//! Online profiling (§6 future work): keeping the planner's cost estimates
+//! fresh when the environment drifts.
+//!
+//! ```sh
+//! cargo run --release --example online_profiling
+//! ```
+//!
+//! Scenario: the node becomes memory-bandwidth-starved, tripling the real
+//! cost of weight-heavy `Replace` operations. Plans computed from the
+//! stale offline profile mis-rank transformation against loading; the
+//! [`OnlineCostModel`] observes executions, corrects its multipliers, and
+//! the safeguard decision flips back to the truth.
+
+use optimus::core::{GroupPlanner, Planner};
+use optimus::model::OpKind;
+use optimus::profile::{CostModel, CostProvider, ObservationKind, OnlineCostModel};
+
+fn main() {
+    let offline = CostModel::default();
+    let online = OnlineCostModel::new(CostModel::default(), 0.25);
+
+    // Ground truth after the drift: Replace is 3x slower than profiled
+    // (e.g. the node is swapping), making weight-heavy transformations
+    // less attractive than the offline profile believes.
+    let drift = 3.0;
+
+    let src = optimus::zoo::vgg::vgg_scaled(16, 1.0, 0);
+    let dst = optimus::zoo::vgg::vgg_scaled(16, 1.0, 1); // weight variant: Replace-heavy plan
+
+    let plan_offline = GroupPlanner.plan(&src, &dst, &offline);
+    let true_cost = |replace_s: f64, rest: f64| drift * replace_s + rest;
+    println!("offline profile:");
+    println!(
+        "  predicted transform {:.3} s, scratch load {:.3} s -> {}",
+        plan_offline.cost.total(),
+        offline.model_load_cost(&dst),
+        verdict(plan_offline.cost.total(), offline.model_load_cost(&dst)),
+    );
+    let actual = true_cost(
+        plan_offline.cost.replace,
+        plan_offline.cost.total() - plan_offline.cost.replace,
+    );
+    println!(
+        "  ACTUAL transform {:.3} s (Replace is {drift}x slower than profiled)",
+        actual
+    );
+
+    // The system executes transformations and reports observed latencies.
+    println!("\nfeeding 30 observations into the online profiler...");
+    for _ in 0..30 {
+        for kind in [OpKind::Conv2d, OpKind::Dense] {
+            // Observed per-kind Replace latency = drift x prediction.
+            let attrs_pred = match kind {
+                OpKind::Conv2d => offline.replace_cost(&conv_attrs()),
+                _ => offline.replace_cost(&dense_attrs()),
+            };
+            online.observe(
+                ObservationKind::Replace(kind),
+                attrs_pred,
+                drift * attrs_pred,
+            );
+        }
+    }
+    println!(
+        "  learned multipliers: Replace(conv2d) = {:.2}, Replace(dense) = {:.2}",
+        online.multiplier(ObservationKind::Replace(OpKind::Conv2d)),
+        online.multiplier(ObservationKind::Replace(OpKind::Dense)),
+    );
+
+    let plan_online = GroupPlanner.plan(&src, &dst, &online);
+    println!("\nonline-corrected profile:");
+    println!(
+        "  predicted transform {:.3} s, scratch load {:.3} s -> {}",
+        plan_online.cost.total(),
+        online.model_load_cost(&dst),
+        verdict(plan_online.cost.total(), online.model_load_cost(&dst)),
+    );
+    let err_offline = (plan_offline.cost.total() - actual).abs() / actual;
+    let err_online = (plan_online.cost.total() - actual).abs() / actual;
+    println!(
+        "\nprediction error vs actual: offline {:.1}%, online {:.1}%",
+        100.0 * err_offline,
+        100.0 * err_online
+    );
+    assert!(err_online < err_offline);
+}
+
+fn verdict(transform: f64, load: f64) -> &'static str {
+    if transform <= load {
+        "TRANSFORM"
+    } else {
+        "LOAD (safeguard)"
+    }
+}
+
+fn conv_attrs() -> optimus::model::OpAttrs {
+    optimus::model::OpAttrs::Conv2d {
+        in_channels: 256,
+        out_channels: 256,
+        kernel: (3, 3),
+        stride: (1, 1),
+        padding: optimus::model::Padding::Same,
+        groups: 1,
+        bias: true,
+    }
+}
+
+fn dense_attrs() -> optimus::model::OpAttrs {
+    optimus::model::OpAttrs::Dense {
+        in_features: 4096,
+        out_features: 4096,
+        bias: true,
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: transform the model inside a warm container instead of
+//! loading the new model from scratch.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full §4 pipeline on one request: a warm-but-idle container
+//! holds VGG16; a request for VGG19 arrives; Optimus plans the
+//! transformation offline, the safeguard compares it with a scratch load,
+//! and the executor applies the meta-operators in place.
+
+use optimus::core::{execute_plan, GroupPlanner, Planner};
+use optimus::profile::{CostModel, CostProvider, Environment, PlatformProfile};
+
+fn main() {
+    let cost = CostModel::default();
+    let plat = PlatformProfile::new(Environment::Cpu);
+
+    // The model a warm container currently holds, and the model the next
+    // request needs.
+    let src = optimus::zoo::vgg::vgg16();
+    let dst = optimus::zoo::vgg::vgg19();
+    println!("container holds : {} ({} ops)", src.name(), src.op_count());
+    println!(
+        "request needs   : {} ({} ops)\n",
+        dst.name(),
+        dst.op_count()
+    );
+
+    // Offline planning (Module 2+: linear-time group-based planner).
+    let plan = GroupPlanner.plan(&src, &dst, &cost);
+    println!("plan: {} meta-operator steps", plan.steps.len());
+    println!(
+        "  replace x{:<3} reshape x{:<3} reduce x{:<3} add x{:<3} edge x{}",
+        plan.cost.n_replace,
+        plan.cost.n_reshape,
+        plan.cost.n_reduce,
+        plan.cost.n_add,
+        plan.cost.n_edge
+    );
+    println!(
+        "  planning took {:.3} ms (host time)\n",
+        1e3 * plan.planning_seconds
+    );
+
+    // The §4.4 safeguard: transform only when cheaper than loading.
+    let transform_latency = plan.cost.total();
+    let scratch_latency = cost.model_load_cost(&dst);
+    let cold_latency = plat.cold_init() + scratch_latency;
+    println!("transformation  : {transform_latency:.3} s");
+    println!("scratch load    : {scratch_latency:.3} s");
+    println!("full cold start : {cold_latency:.3} s");
+    assert!(
+        transform_latency < scratch_latency,
+        "safeguard would reject"
+    );
+    println!(
+        "\n=> transformation saves {:.1}% vs a cold start\n",
+        100.0 * (1.0 - (plat.repurpose_overhead + transform_latency) / cold_latency)
+    );
+
+    // Online execution: apply the meta-operators inside the container.
+    let mut in_container = src.clone();
+    let report = execute_plan(&mut in_container, &plan, &dst).expect("plan executes");
+    assert!(in_container.structurally_equal(&dst));
+    println!(
+        "executed {} steps; container now serves '{}' (verified: {})",
+        report.steps_applied,
+        in_container.name(),
+        report.verified
+    );
+}
