@@ -5,6 +5,23 @@ use serde::{Deserialize, Serialize};
 use crate::correlation::pearson;
 use crate::kmedoids::kmedoids;
 
+/// Count one placement run in the global registry
+/// (`optimus_placement_total{strategy=...}`), with the number of
+/// functions placed as a second counter so dashboards can distinguish
+/// "ran once over 500 functions" from "ran 500 times".
+fn count_placement(strategy: &str, functions: usize) {
+    let registry = optimus_telemetry::global();
+    registry
+        .counter("optimus_placement_total", &[("strategy", strategy)])
+        .inc();
+    registry
+        .counter(
+            "optimus_placement_functions_total",
+            &[("strategy", strategy)],
+        )
+        .add(functions as u64);
+}
+
 /// One serverless function as a clustering point: its model name plus its
 /// historical demand (invocations per time slot).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,6 +120,7 @@ impl SharingAwareBalancer {
         let k = nodes.min(functions.len());
         let dist = self.distance_matrix(functions, edit_distance);
         let result = kmedoids(&dist, k, 50);
+        count_placement("sharing_aware", functions.len());
         result.assignment
     }
 }
@@ -111,6 +129,7 @@ impl SharingAwareBalancer {
 /// (§5.1) — a deterministic hash of the function name modulo node count.
 pub fn hash_placement(functions: &[FunctionPoint], nodes: usize) -> Vec<usize> {
     assert!(nodes > 0, "need at least one node");
+    count_placement("hash", functions.len());
     functions
         .iter()
         .map(|f| {
@@ -128,6 +147,7 @@ pub fn hash_placement(functions: &[FunctionPoint], nodes: usize) -> Vec<usize> {
 /// total demand first) to the currently least-loaded node.
 pub fn least_loaded_placement(functions: &[FunctionPoint], nodes: usize) -> Vec<usize> {
     assert!(nodes > 0, "need at least one node");
+    count_placement("least_loaded", functions.len());
     let mut order: Vec<usize> = (0..functions.len()).collect();
     let total = |f: &FunctionPoint| f.demand.iter().sum::<f64>();
     order.sort_by(|&a, &b| {

@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness with criterion's calling surface:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! No statistics, plots, or baselines — each benchmark is warmed up
+//! briefly, then timed for a fixed budget and reported as mean
+//! time-per-iteration on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Identifier for a parameterised benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Work-per-iteration declaration; recorded but only echoed in output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE {
+            // Batch iterations to amortise the clock reads.
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iters;
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iterations == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.0} elem/s)", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.0} B/s)", n as f64 / per_iter)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label}: {} per iter ({} iters){extra}",
+        format_duration(per_iter),
+        b.iterations
+    );
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(&label, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.throughput, routine);
+        self
+    }
+
+    /// End the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a plain closure.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_one(name, None, routine);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_and_duration_formatting() {
+        let id = BenchmarkId::new("plan", 42);
+        assert_eq!(id.full, "plan/42");
+        assert_eq!(format_duration(2.0), "2.000 s");
+        assert_eq!(format_duration(0.0025), "2.500 ms");
+        assert_eq!(format_duration(2.5e-6), "2.500 µs");
+        assert_eq!(format_duration(3.2e-8), "32.0 ns");
+    }
+}

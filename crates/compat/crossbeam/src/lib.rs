@@ -1,0 +1,145 @@
+//! Offline stand-in for the `crossbeam` facade.
+//!
+//! Provides the `crossbeam::channel` subset this workspace uses
+//! (`unbounded`, `bounded`, `Sender`, `Receiver`), implemented over
+//! `std::sync::mpsc`. Semantics relevant here are preserved: cloneable
+//! senders, blocking `recv`, and channel closure when every sender drops.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when sending on a channel with no live receiver.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when receiving on a channel with no live sender.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel; cloneable across threads.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking on a full bounded channel.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message when the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every sender
+        /// has dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Receive without blocking, `None` when empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    /// Channel with unlimited buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    /// Channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_roundtrip_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            tx2.send(41).unwrap();
+            tx.send(1).unwrap();
+        });
+        let sum = rx.recv().unwrap() + rx.recv().unwrap();
+        h.join().unwrap();
+        assert_eq!(sum, 42);
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn bounded_capacity_one() {
+        let (tx, rx) = channel::bounded::<&'static str>(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv().unwrap(), "reply");
+        drop(rx);
+        assert!(tx.send("nobody").is_err());
+    }
+}

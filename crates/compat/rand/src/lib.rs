@@ -1,0 +1,239 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset this workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen`], [`Rng::gen_range`] over
+//! integer and float ranges, and [`Rng::gen_bool`] — on top of
+//! xoshiro256++ seeded via SplitMix64. Deterministic per seed, which is
+//! all the workload generators require (they fix seeds explicitly).
+
+/// Low-level generator interface: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling of a `T` from the "standard" distribution (uniform bits;
+/// floats in `[0, 1)`).
+pub trait StandardSample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// A range a value can be uniformly drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift rejection-free mapping; bias is negligible
+                // for the spans used here (≪ 2^32).
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + v as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end - start) as u64 + 1;
+                let v = if span == 0 {
+                    rng.next_u64()
+                } else {
+                    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+                };
+                start + v as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u: f64 = StandardSample::sample(rng);
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                // Guard against rounding up to the excluded endpoint.
+                let v = v.min((self.end as f64).next_down());
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start() as f64, *self.end() as f64);
+                assert!(start <= end, "empty range");
+                let u: f64 = StandardSample::sample(rng);
+                (start + u * (end - start)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f64, f32);
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = StandardSample::sample(self);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per the xoshiro reference seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let u = r.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f = r.gen_range(0.5f64..2.5);
+            assert!((0.5..2.5).contains(&f));
+            let fi = r.gen_range(f64::MIN_POSITIVE..=1.0);
+            assert!(fi > 0.0 && fi <= 1.0);
+            let unit: f64 = r.gen();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let u: f64 = r.gen();
+            lo |= u < 0.1;
+            hi |= u > 0.9;
+        }
+        assert!(lo && hi, "samples should spread across [0, 1)");
+    }
+}

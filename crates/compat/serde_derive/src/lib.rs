@@ -1,0 +1,403 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Parses the struct/enum definition straight from the token stream (no
+//! `syn`/`quote` — the build environment has no crates.io access) and emits
+//! impls of the simplified `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported shapes (everything this workspace derives):
+//! named-field structs, newtype structs, tuple structs, and enums whose
+//! variants are unit, tuple, or struct-like. Generic type parameters are
+//! not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One field of a struct or struct-like enum variant.
+struct NamedField {
+    name: String,
+}
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<NamedField>),
+    /// Tuple struct with this many fields (1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<NamedField>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected 'struct' or 'enum', got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic types ({name})");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for '{other}'"),
+    };
+    Parsed { name, shape }
+}
+
+/// Parse `name: Type, ...` skipping attributes, visibility, and the type
+/// tokens themselves (types never appear in the generated code — trait
+/// method calls are resolved by inference).
+fn parse_named_fields(stream: TokenStream) -> Vec<NamedField> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes / visibility before a field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        fields.push(NamedField {
+            name: id.to_string(),
+        });
+        // Expect ':' then consume the type until a top-level ','.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Count comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = iter.next() else {
+            break;
+        };
+        let name = id.to_string();
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume up to and including the next top-level comma.
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let members: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::serde::Map::from(vec![{}]))",
+                members.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(::serde::Map::from(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(f0))])),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::serde::Map::from(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))])),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let members: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::serde::Map::from(vec![(\"{vn}\".to_string(), ::serde::Value::Object(::serde::Map::from(vec![{members}])))])),",
+                                binds = binds.join(", "),
+                                members = members.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => named_fields_ctor(name, fields, "v"),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return Err(::serde::Error::msg(\"wrong arity for {name}\")); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let a = inner.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{vn}\"))?;\n\
+                                     if a.len() != {n} {{ return Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                                     Ok({name}::{vn}({items}))\n\
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let ctor = named_fields_ctor(&format!("{name}::{vn}"), fields, "inner");
+                            Some(format!("\"{vn}\" => {{ {ctor} }}"))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{ {unit_arms} _ => {{}} }}\n\
+                     return Err(::serde::Error::msg(format!(\"unknown {name} variant '{{s}}'\")));\n\
+                 }}\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::Error::msg(\"expected object for enum {name}\"))?;\n\
+                 let (tag, inner) = obj.first().ok_or_else(|| ::serde::Error::msg(\"empty object for enum {name}\"))?;\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(::serde::Error::msg(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+/// `Ok(Ctor { field: from_value(src.get("field"))?, ... })` — `src` must be
+/// an expression of type `&Value` in scope.
+fn named_fields_ctor(ctor: &str, fields: &[NamedField], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: ::serde::Deserialize::from_value({src}.get(\"{n}\").unwrap_or(&::serde::Value::Null))\n\
+                     .map_err(|e| ::serde::Error::msg(format!(\"{ctor}.{n}: {{e}}\")))?,",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "if {src}.as_object().is_none() {{\n\
+             return Err(::serde::Error::msg(\"expected object for {ctor}\"));\n\
+         }}\n\
+         Ok({ctor} {{ {inits} }})",
+        inits = inits.join("\n")
+    )
+}

@@ -12,10 +12,37 @@ use std::sync::Arc;
 
 use optimus_model::ModelGraph;
 use optimus_profile::CostProvider;
+use optimus_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::metaop::TransformPlan;
 use crate::planner::Planner;
+
+/// Pre-resolved telemetry handles of one repository.
+///
+/// `optimus_plan_cache_total{result=...}` counts the §4.4 Module 3
+/// outcomes (`hit` = cached plan applied, `reject` = plan exists but the
+/// safeguard chose loading, `miss` = no plan cached);
+/// `optimus_planning_seconds` is the registration-time planning latency.
+struct RepoTelemetry {
+    plan_hit: Counter,
+    plan_reject: Counter,
+    plan_miss: Counter,
+    planning: Histogram,
+}
+
+impl RepoTelemetry {
+    fn resolve(registry: &MetricsRegistry) -> RepoTelemetry {
+        let outcome =
+            |result: &str| registry.counter("optimus_plan_cache_total", &[("result", result)]);
+        RepoTelemetry {
+            plan_hit: outcome("hit"),
+            plan_reject: outcome("reject"),
+            plan_miss: outcome("miss"),
+            planning: registry.histogram("optimus_planning_seconds", &[]),
+        }
+    }
+}
 
 /// The scheduler's verdict for serving a model from a given container.
 #[derive(Debug, Clone)]
@@ -55,6 +82,7 @@ pub struct ModelRepository {
     /// scratch-load cost are rejected in favour of loading (1.0 = paper's
     /// behaviour; lower values make the safeguard more conservative).
     safeguard_ratio: f64,
+    telemetry: RwLock<RepoTelemetry>,
 }
 
 #[derive(Default)]
@@ -71,7 +99,16 @@ impl ModelRepository {
             planner,
             inner: RwLock::new(Inner::default()),
             safeguard_ratio: 1.0,
+            telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
         }
+    }
+
+    /// Re-resolve telemetry handles against `registry` (the default is the
+    /// process-wide [`optimus_telemetry::global`] registry). The live
+    /// gateway points its repository at the registry backing its
+    /// `/metrics` endpoint; hermetic tests use a private one.
+    pub fn set_metrics_registry(&self, registry: &MetricsRegistry) {
+        *self.telemetry.write() = RepoTelemetry::resolve(registry);
     }
 
     /// Override the safeguard threshold (ablation experiments; `f64::MAX`
@@ -100,17 +137,22 @@ impl ModelRepository {
             .filter(|m| m.name() != name)
             .cloned()
             .collect();
+        let planning = self.telemetry.read().planning.clone();
         for other in existing {
             // CNN↔transformer plans always lose to scratch loading (§8.2);
             // skip computing them at all and let the safeguard pick loading.
             if other.family().is_transformer() != model.family().is_transformer() {
                 continue;
             }
+            let t0 = std::time::Instant::now();
             let to = self.planner.plan(&other, &model, cost);
+            planning.observe(t0.elapsed().as_secs_f64());
+            let t1 = std::time::Instant::now();
+            let from = self.planner.plan(&model, &other, cost);
+            planning.observe(t1.elapsed().as_secs_f64());
             inner
                 .plans
                 .insert((other.name().to_string(), name.clone()), Arc::new(to));
-            let from = self.planner.plan(&model, &other, cost);
             inner
                 .plans
                 .insert((name.clone(), other.name().to_string()), Arc::new(from));
@@ -149,21 +191,37 @@ impl ModelRepository {
     ///
     /// Returns `None` when `dst` is not registered.
     pub fn decide(&self, src: &str, dst: &str) -> Option<TransformDecision> {
+        let (decision, cached) = self.decide_uncounted(src, dst)?;
+        let telemetry = self.telemetry.read();
+        match (&decision, cached) {
+            (TransformDecision::Transform(_), _) => telemetry.plan_hit.inc(),
+            (TransformDecision::LoadScratch { .. }, true) => telemetry.plan_reject.inc(),
+            (TransformDecision::LoadScratch { .. }, false) => telemetry.plan_miss.inc(),
+        }
+        Some(decision)
+    }
+
+    /// The decision plus whether a plan was cached for the pair, without
+    /// touching the plan-cache counters.
+    fn decide_uncounted(&self, src: &str, dst: &str) -> Option<(TransformDecision, bool)> {
         let inner = self.inner.read();
         let load = *inner.load_costs.get(dst)?;
         let plan = inner.plans.get(&(src.to_string(), dst.to_string()));
-        match plan {
+        Some(match plan {
             Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
-                Some(TransformDecision::Transform(p.clone()))
+                (TransformDecision::Transform(p.clone()), true)
             }
-            _ => Some(TransformDecision::LoadScratch { cost: load }),
-        }
+            Some(_) => (TransformDecision::LoadScratch { cost: load }, true),
+            None => (TransformDecision::LoadScratch { cost: load }, false),
+        })
     }
 
     /// Transformation latency that `decide` would report, ignoring which
     /// branch is taken (used by load balancers as an edit-distance metric).
+    /// Deliberately bypasses the plan-cache hit/miss counters — placement
+    /// probes are not request-time cache lookups.
     pub fn transform_latency(&self, src: &str, dst: &str) -> Option<f64> {
-        self.decide(src, dst).map(|d| d.latency())
+        self.decide_uncounted(src, dst).map(|(d, _)| d.latency())
     }
 
     /// Names of all registered models, sorted.
@@ -206,6 +264,7 @@ impl ModelRepository {
                 plans,
             }),
             safeguard_ratio: 1.0,
+            telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
         }
     }
 }
@@ -269,6 +328,32 @@ mod tests {
         repo.register(optimus_zoo::vgg::vgg19(), &cost);
         let d = repo.decide("vgg16", "vgg19").unwrap();
         assert!(!d.is_transform());
+    }
+
+    #[test]
+    fn decide_counts_plan_cache_outcomes() {
+        let registry = optimus_telemetry::MetricsRegistry::new();
+        let repo = repo_with(vec![
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::vgg::vgg19(),
+            optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Mini)),
+        ]);
+        repo.set_metrics_registry(&registry);
+        let hit = registry.counter("optimus_plan_cache_total", &[("result", "hit")]);
+        let miss = registry.counter("optimus_plan_cache_total", &[("result", "miss")]);
+        repo.decide("vgg16", "vgg19").unwrap(); // cached plan applies
+        repo.decide("vgg16", "vgg19").unwrap();
+        repo.decide("vgg16", "bert-mini-uncased").unwrap(); // never planned
+        assert_eq!(hit.get(), 2);
+        assert_eq!(miss.get(), 1);
+        // Placement probes must not count as request-time lookups.
+        repo.transform_latency("vgg16", "vgg19").unwrap();
+        assert_eq!(hit.get(), 2);
+        // Registration in `repo_with` ran before the registry swap, so its
+        // planning latency landed in the global registry: vgg16↔vgg19 is
+        // the one planned pair (both BERT directions are family-skipped).
+        let planning = optimus_telemetry::global().histogram("optimus_planning_seconds", &[]);
+        assert!(planning.count() >= 2, "two plan directions observed");
     }
 
     #[test]

@@ -15,6 +15,27 @@ pub enum ServedStart {
     Transformed,
 }
 
+impl ServedStart {
+    /// The label used in HTTP responses ("warm" / "cold" / "transformed").
+    pub fn as_label(self) -> &'static str {
+        match self {
+            ServedStart::Warm => "warm",
+            ServedStart::Cold => "cold",
+            ServedStart::Transformed => "transformed",
+        }
+    }
+}
+
+impl From<ServedStart> for optimus_telemetry::StartKind {
+    fn from(start: ServedStart) -> Self {
+        match start {
+            ServedStart::Warm => optimus_telemetry::StartKind::Warm,
+            ServedStart::Cold => optimus_telemetry::StartKind::Cold,
+            ServedStart::Transformed => optimus_telemetry::StartKind::Transform,
+        }
+    }
+}
+
 /// A completed inference.
 #[derive(Debug, Clone)]
 pub struct InferenceResponse {
@@ -24,6 +45,9 @@ pub struct InferenceResponse {
     pub output: Tensor,
     /// How the container was obtained.
     pub start: ServedStart,
+    /// Measured queueing delay between the gateway accepting the request
+    /// and a worker picking it up, in seconds.
+    pub wait_seconds: f64,
     /// Measured wall-clock spent obtaining the container (transformation
     /// or instantiation), in seconds.
     pub startup_seconds: f64,

@@ -3,12 +3,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use optimus_core::{GroupPlanner, ModelRepository};
 use optimus_model::tensor::Tensor;
 use optimus_model::ModelGraph;
 use optimus_profile::CostModel;
+use optimus_telemetry::{FanoutSink, MetricsRegistry, MetricsSink, TelemetrySink};
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError};
 use crate::worker::{run_worker, WorkItem};
@@ -19,6 +21,8 @@ pub struct GatewayBuilder {
     repo: ModelRepository,
     cost: CostModel,
     names: Vec<String>,
+    metrics: Arc<MetricsRegistry>,
+    extra_sinks: Vec<Arc<dyn TelemetrySink>>,
 }
 
 impl GatewayBuilder {
@@ -31,12 +35,36 @@ impl GatewayBuilder {
         GatewayBuilder { names, ..self }
     }
 
+    /// Record all telemetry (request counters, phase histograms, plan-cache
+    /// counters) into `registry` instead of the process-wide
+    /// [`optimus_telemetry::global`] registry. The gateway's `/metrics`
+    /// and `/stats` endpoints render this registry. Call before
+    /// [`GatewayBuilder::register`] so planning latency recorded during
+    /// registration lands in the same registry.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.repo.set_metrics_registry(&registry);
+        self.metrics = registry;
+        self
+    }
+
+    /// Additionally send every finished request trace to `sink` (e.g. an
+    /// [`optimus_telemetry::JsonlSink`] for per-request trace lines).
+    pub fn sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.extra_sinks.push(sink);
+        self
+    }
+
     /// Start the worker threads and return the gateway handle.
     ///
     /// Functions are placed onto nodes round-robin in registration order;
     /// a production deployment would use `optimus-balance` here, which is
     /// exercised by the simulator instead.
     pub fn spawn(self) -> Gateway {
+        self.repo.set_metrics_registry(&self.metrics);
+        let mut sinks: Vec<Arc<dyn TelemetrySink>> =
+            vec![Arc::new(MetricsSink::new(self.metrics.clone()))];
+        sinks.extend(self.extra_sinks);
+        let sink: Arc<dyn TelemetrySink> = Arc::new(FanoutSink::new(sinks));
         let repo = Arc::new(self.repo);
         let mut senders = Vec::new();
         let mut handles = Vec::new();
@@ -44,8 +72,12 @@ impl GatewayBuilder {
             let (tx, rx) = unbounded::<WorkItem>();
             let repo = repo.clone();
             let config = self.config;
+            let sink = sink.clone();
+            let gauge = self
+                .metrics
+                .gauge("optimus_containers", &[("node", &node_id.to_string())]);
             handles.push(std::thread::spawn(move || {
-                run_worker(node_id, config, repo, rx)
+                run_worker(node_id, config, repo, rx, sink, gauge)
             }));
             senders.push(tx);
         }
@@ -59,6 +91,8 @@ impl GatewayBuilder {
             senders,
             handles,
             placement,
+            metrics: self.metrics,
+            sink,
         }
     }
 }
@@ -71,11 +105,15 @@ pub struct Gateway {
     senders: Vec<Sender<WorkItem>>,
     handles: Vec<JoinHandle<()>>,
     placement: HashMap<String, usize>,
+    metrics: Arc<MetricsRegistry>,
+    sink: Arc<dyn TelemetrySink>,
 }
 
 impl Gateway {
     /// Start building a gateway with the given configuration. Plans are
-    /// computed with the linear-time group planner.
+    /// computed with the linear-time group planner. Telemetry lands in the
+    /// process-wide registry unless [`GatewayBuilder::metrics`] overrides
+    /// it.
     pub fn builder(config: GatewayConfig) -> GatewayBuilder {
         assert!(config.nodes > 0, "need at least one node");
         assert!(config.capacity_per_node > 0, "need container capacity");
@@ -84,6 +122,8 @@ impl Gateway {
             repo: ModelRepository::new(Box::new(GroupPlanner)),
             cost: CostModel::default(),
             names: Vec::new(),
+            metrics: optimus_telemetry::global(),
+            extra_sinks: Vec::new(),
         }
     }
 
@@ -103,6 +143,7 @@ impl Gateway {
         let item = WorkItem {
             model: model.to_string(),
             input,
+            enqueued: Instant::now(),
             reply: reply_tx,
         };
         self.senders[node]
@@ -118,12 +159,19 @@ impl Gateway {
         v
     }
 
+    /// The registry backing this gateway's telemetry (and its `/metrics`
+    /// endpoint).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Stop the workers and wait for them to finish outstanding requests.
     pub fn shutdown(mut self) {
         self.senders.clear(); // closes the channels
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        self.sink.flush();
     }
 }
 
@@ -133,5 +181,6 @@ impl Drop for Gateway {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        self.sink.flush();
     }
 }

@@ -10,8 +10,17 @@
 //! - `GET /models` — JSON array of registered model names.
 //! - `POST /infer` — body `{"model": "<name>", "shape": [..], "data": [..]}`
 //!   (`data` optional; zeros are used when omitted). Responds
-//!   `{"model", "start", "startup_seconds", "compute_seconds", "node",
-//!   "transform_steps", "output_shape", "output": [..first 16 values..]}`.
+//!   `{"model", "start", "wait_seconds", "startup_seconds",
+//!   "compute_seconds", "node", "transform_steps", "output_shape",
+//!   "output": [..first 16 values..]}`. Malformed payloads get a `400`
+//!   with a JSON error body — never a dropped connection.
+//! - `GET /metrics` — Prometheus text exposition of the gateway's
+//!   registry (request counters by start kind, phase histograms,
+//!   plan-cache counters, container gauges).
+//! - `GET /stats` — the same registry as one JSON object (histograms as
+//!   `{count, sum, mean, p50, p95, p99}`).
+//! - `GET /healthz` — liveness probe for load balancers; always
+//!   `{"status":"ok"}` while the server is accepting.
 //!
 //! One OS thread per connection; connections are `Connection: close`.
 
@@ -23,7 +32,6 @@ use std::thread::JoinHandle;
 
 use optimus_model::tensor::Tensor;
 
-use crate::api::ServedStart;
 use crate::gateway::Gateway;
 
 /// A running HTTP front end.
@@ -93,18 +101,64 @@ impl Drop for HttpServer {
     }
 }
 
+/// One response: status line suffix, content type, body.
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: &'static str, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn error(status: &'static str, message: &str) -> Response {
+        Response::json(status, serde_json::json!({ "error": message }).to_string())
+    }
+
+    fn code(&self) -> &str {
+        self.status.split_whitespace().next().unwrap_or("")
+    }
+}
+
 fn handle_connection(stream: TcpStream, gateway: &Gateway) {
     let peer = stream.try_clone();
     let Ok(mut writer) = peer else { return };
+    let response = read_and_route(stream, gateway);
+    gateway
+        .metrics()
+        .counter("optimus_http_requests_total", &[("code", response.code())])
+        .inc();
+    let payload = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.content_type,
+        response.body.len(),
+        response.body
+    );
+    let _ = writer.write_all(payload.as_bytes());
+}
+
+/// Parse the request and dispatch. Malformed requests produce a `400`
+/// response instead of a silently dropped connection.
+fn read_and_route(stream: TcpStream, gateway: &Gateway) -> Response {
     let mut reader = BufReader::new(stream);
     // Request line.
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
+    if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
+        return Response::error("400 Bad Request", "empty or unreadable request line");
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Response::error("400 Bad Request", "malformed request line");
+    }
     // Headers (we only need Content-Length).
     let mut content_length = 0usize;
     loop {
@@ -125,37 +179,41 @@ fn handle_connection(stream: TcpStream, gateway: &Gateway) {
                     content_length = v;
                 }
             }
-            Err(_) => return,
+            Err(_) => return Response::error("400 Bad Request", "unreadable headers"),
         }
     }
     let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
     if content_length > 0 && reader.read_exact(&mut body).is_err() {
-        return;
+        return Response::error("400 Bad Request", "body shorter than content-length");
     }
-    let (status, payload) = route(gateway, &method, &path, &body);
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
-        payload.len()
-    );
-    let _ = writer.write_all(response.as_bytes());
+    route(gateway, &method, &path, &body)
 }
 
-fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> (&'static str, String) {
+fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
     match (method, path) {
         ("GET", "/models") => {
             let names = gateway.models();
-            (
+            Response::json(
                 "200 OK",
                 serde_json::to_string(&names).expect("string array serializes"),
             )
         }
         ("POST", "/infer") => match infer_request(gateway, body) {
-            Ok(json) => ("200 OK", json),
-            Err((status, msg)) => (status, format!("{{\"error\":\"{msg}\"}}")),
+            Ok(json) => Response::json("200 OK", json),
+            Err((status, msg)) => Response::error(status, &msg),
         },
-        _ => (
+        ("GET", "/metrics") => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4",
+            body: gateway.metrics().render_prometheus(),
+        },
+        ("GET", "/stats") => {
+            Response::json("200 OK", gateway.metrics().snapshot_json().to_string())
+        }
+        ("GET", "/healthz") => Response::json("200 OK", "{\"status\":\"ok\"}".to_string()),
+        _ => Response::error(
             "404 Not Found",
-            "{\"error\":\"unknown endpoint (GET /models, POST /infer)\"}".to_string(),
+            "unknown endpoint (GET /models, /metrics, /stats, /healthz; POST /infer)",
         ),
     }
 }
@@ -195,15 +253,11 @@ fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str
     let resp = gateway
         .infer(model, input)
         .map_err(|e| ("422 Unprocessable Entity", e.to_string()))?;
-    let start = match resp.start {
-        ServedStart::Warm => "warm",
-        ServedStart::Cold => "cold",
-        ServedStart::Transformed => "transformed",
-    };
     let preview: Vec<f32> = resp.output.data().iter().copied().take(16).collect();
     Ok(serde_json::json!({
         "model": resp.model,
-        "start": start,
+        "start": resp.start.as_label(),
+        "wait_seconds": resp.wait_seconds,
         "startup_seconds": resp.startup_seconds,
         "compute_seconds": resp.compute_seconds,
         "node": resp.node,

@@ -7,6 +7,7 @@ use crossbeam::channel::{Receiver, Sender};
 use optimus_core::{execute_plan, ModelRepository, TransformDecision};
 use optimus_model::tensor::Tensor;
 use optimus_model::{infer, ModelGraph};
+use optimus_telemetry::{Gauge, Phase, Span, TelemetrySink};
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
 
@@ -14,6 +15,8 @@ use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
 pub(crate) struct WorkItem {
     pub model: String,
     pub input: Tensor,
+    /// When the gateway accepted the request (queue-wait measurement).
+    pub enqueued: Instant,
     pub reply: Sender<Result<InferenceResponse, ServeError>>,
 }
 
@@ -24,16 +27,35 @@ struct LiveContainer {
 }
 
 /// Worker main loop: owns its containers; processes items until the
-/// channel closes.
+/// channel closes. Every served request is measured by a telemetry
+/// [`Span`] and exported through `sink`; `containers_gauge` tracks pool
+/// occupancy.
 pub(crate) fn run_worker(
     node_id: usize,
     config: GatewayConfig,
     repo: Arc<ModelRepository>,
     rx: Receiver<WorkItem>,
+    sink: Arc<dyn TelemetrySink>,
+    containers_gauge: Gauge,
 ) {
     let mut containers: Vec<LiveContainer> = Vec::new();
     while let Ok(item) = rx.recv() {
-        let result = serve(node_id, &config, &repo, &mut containers, &item);
+        let wait = item.enqueued.elapsed().as_secs_f64();
+        let mut span = Span::begin(item.model.clone(), node_id);
+        span.add(Phase::Wait, wait);
+        let result = serve(
+            node_id,
+            &config,
+            &repo,
+            &mut containers,
+            &item,
+            wait,
+            &mut span,
+        );
+        if result.is_ok() {
+            sink.record(&span.finish());
+        }
+        containers_gauge.set(containers.len() as f64);
         // The client may have given up; a dead reply channel is fine.
         let _ = item.reply.send(result);
     }
@@ -45,41 +67,71 @@ fn serve(
     repo: &ModelRepository,
     containers: &mut Vec<LiveContainer>,
     item: &WorkItem,
+    wait_seconds: f64,
+    span: &mut Span,
 ) -> Result<InferenceResponse, ServeError> {
     let now = Instant::now();
     // Keep-alive eviction.
     containers.retain(|c| now.duration_since(c.last_used).as_secs_f64() <= config.keep_alive);
 
-    let (slot, start, startup_seconds, transform_steps) =
-        obtain_container(config, repo, containers, &item.model)?;
+    let obtained = obtain_container(config, repo, containers, &item.model)?;
+    span.set_kind(obtained.start.into());
+    span.add(Phase::Load, obtained.startup_seconds);
+    span.set_transform_steps(obtained.transform_steps);
+    if let Some(hit) = obtained.plan_cache_hit {
+        span.set_plan_cache_hit(hit);
+    }
+    let slot = obtained.slot;
     let t0 = Instant::now();
     let output = infer::run(&containers[slot].model, item.input.clone())
         .map_err(|e| ServeError::Inference(e.to_string()))?;
     let compute_seconds = t0.elapsed().as_secs_f64();
+    span.add(Phase::Compute, compute_seconds);
     containers[slot].last_used = Instant::now();
     Ok(InferenceResponse {
         model: item.model.clone(),
         output,
-        start,
-        startup_seconds,
+        start: obtained.start,
+        wait_seconds,
+        startup_seconds: obtained.startup_seconds,
         compute_seconds,
         node: node_id,
-        transform_steps,
+        transform_steps: obtained.transform_steps,
     })
 }
 
+/// How a container was obtained for one request.
+struct Obtained {
+    /// Index into the worker's container pool.
+    slot: usize,
+    start: ServedStart,
+    /// Wall-clock spent transforming or instantiating (0 for warm).
+    startup_seconds: f64,
+    /// Meta-operator steps executed (0 unless transformed).
+    transform_steps: usize,
+    /// `Some(true)` when a cached plan was applied, `Some(false)` when
+    /// donors existed but every decision fell back to loading, `None`
+    /// when no donor was consulted (warm hit or empty node).
+    plan_cache_hit: Option<bool>,
+}
+
 /// Get a container holding `model`, preferring warm, then transformation
-/// of an idle donor, then cold instantiation. Returns
-/// `(index, start kind, startup seconds, transform steps)`.
+/// of an idle donor, then cold instantiation.
 fn obtain_container(
     config: &GatewayConfig,
     repo: &ModelRepository,
     containers: &mut Vec<LiveContainer>,
     model: &str,
-) -> Result<(usize, ServedStart, f64, usize), ServeError> {
+) -> Result<Obtained, ServeError> {
     // Warm hit.
     if let Some(i) = containers.iter().position(|c| c.model.name() == model) {
-        return Ok((i, ServedStart::Warm, 0.0, 0));
+        return Ok(Obtained {
+            slot: i,
+            start: ServedStart::Warm,
+            startup_seconds: 0.0,
+            transform_steps: 0,
+            plan_cache_hit: None,
+        });
     }
     let target = repo
         .model(model)
@@ -93,6 +145,7 @@ fn obtain_container(
         .map(|(i, _)| i)
         .collect();
     donors.sort_by(|&a, &b| containers[a].last_used.cmp(&containers[b].last_used));
+    let consulted_donors = !donors.is_empty();
     for i in donors {
         let src_name = containers[i].model.name().to_string();
         match repo.decide(&src_name, model) {
@@ -109,7 +162,13 @@ fn obtain_container(
                 containers[i].model = (*target).clone();
                 let startup = t0.elapsed().as_secs_f64();
                 containers[i].last_used = Instant::now();
-                return Ok((i, ServedStart::Transformed, startup, report.steps_applied));
+                return Ok(Obtained {
+                    slot: i,
+                    start: ServedStart::Transformed,
+                    startup_seconds: startup,
+                    transform_steps: report.steps_applied,
+                    plan_cache_hit: Some(true),
+                });
             }
             // Safeguard picked loading, or the pair is unknown: try the
             // next donor — a cold start may still be cheaper overall.
@@ -133,5 +192,11 @@ fn obtain_container(
         last_used: Instant::now(),
     });
     let startup = t0.elapsed().as_secs_f64();
-    Ok((containers.len() - 1, ServedStart::Cold, startup, 0))
+    Ok(Obtained {
+        slot: containers.len() - 1,
+        start: ServedStart::Cold,
+        startup_seconds: startup,
+        transform_steps: 0,
+        plan_cache_hit: if consulted_donors { Some(false) } else { None },
+    })
 }

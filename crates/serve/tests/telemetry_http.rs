@@ -1,0 +1,212 @@
+//! Observability integration tests: drive a scripted request sequence
+//! through the real HTTP server and check that `GET /metrics` exposes
+//! exactly the counters the sequence implies.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use optimus_model::{Activation, GraphBuilder, ModelGraph};
+use optimus_serve::{Gateway, GatewayConfig, HttpServer};
+use optimus_telemetry::MetricsRegistry;
+
+fn tiny(name: &str, ch: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let i = b.input([1, 3, 8, 8]);
+    let c = b.conv2d_after(i, 3, ch, (3, 3), (1, 1), 1);
+    let a = b.activation_after(c, Activation::Relu);
+    let g = b.global_avg_pool_after(a);
+    let f = b.flatten_after(g);
+    let _ = b.dense_after(f, ch, 4);
+    b.finish().unwrap()
+}
+
+/// Single-node server over a hermetic registry so counter assertions are
+/// exact (the process-wide global registry would see other tests).
+fn start_server(registry: Arc<MetricsRegistry>) -> (HttpServer, std::net::SocketAddr) {
+    let gw = Arc::new(
+        Gateway::builder(GatewayConfig {
+            nodes: 1,
+            capacity_per_node: 2,
+            idle_threshold: 0.0,
+            keep_alive: 60.0,
+        })
+        .metrics(registry)
+        .register(tiny("m1", 4))
+        .register(tiny("m2", 8))
+        .spawn(),
+    );
+    let server = HttpServer::serve(gw, 0).expect("binds an ephemeral port");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    let (head, payload) = response.split_once("\r\n\r\n").expect("valid response");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, payload.to_string())
+}
+
+/// Parse Prometheus text exposition into `(sample_name, value)` pairs,
+/// failing the test on any line that is neither a comment nor a sample.
+fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable sample line: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric value in: {line:?}"));
+        samples.push((name.to_string(), value));
+    }
+    samples
+}
+
+fn sample(samples: &[(String, f64)], name: &str) -> f64 {
+    samples
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("missing sample {name}"))
+        .1
+}
+
+#[test]
+fn metrics_endpoint_matches_scripted_sequence() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let (server, addr) = start_server(registry);
+
+    // Scripted sequence on one node: cold m1, warm m1, transform m1→m2.
+    let infer = |model: &str| {
+        let body = format!(r#"{{"model":"{model}","shape":[1,3,8,8]}}"#);
+        let (status, payload) = request(addr, "POST", "/infer", &body);
+        assert!(status.contains("200"), "{status}: {payload}");
+        let v: serde_json::Value = serde_json::from_str(&payload).expect("json");
+        v["start"].as_str().expect("start label").to_string()
+    };
+    assert_eq!(infer("m1"), "cold");
+    assert_eq!(infer("m1"), "warm");
+    assert_eq!(infer("m2"), "transformed");
+
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert!(status.contains("200"), "{status}");
+    let samples = parse_prometheus(&text);
+
+    // Start-kind counters match the script exactly (paper Fig. 14 split).
+    assert_eq!(
+        sample(&samples, r#"optimus_requests_total{kind="cold"}"#),
+        1.0
+    );
+    assert_eq!(
+        sample(&samples, r#"optimus_requests_total{kind="warm"}"#),
+        1.0
+    );
+    assert_eq!(
+        sample(&samples, r#"optimus_requests_total{kind="transform"}"#),
+        1.0
+    );
+    // Every phase histogram observed all three requests.
+    for phase in ["wait", "init", "load", "compute"] {
+        assert_eq!(
+            sample(
+                &samples,
+                &format!(r#"optimus_phase_seconds_count{{phase="{phase}"}}"#)
+            ),
+            3.0,
+            "phase {phase}"
+        );
+    }
+    assert_eq!(sample(&samples, "optimus_request_seconds_count"), 3.0);
+    // The m1→m2 transform applied at least one cached meta-operator step.
+    assert!(sample(&samples, "optimus_transform_steps_total") >= 1.0);
+    // Plan cache: registration planned m1↔m2 both ways; the transform
+    // request hit the cache once.
+    assert_eq!(
+        sample(&samples, r#"optimus_plan_cache_total{result="hit"}"#),
+        1.0
+    );
+    assert_eq!(sample(&samples, "optimus_planning_seconds_count"), 2.0);
+    // One node, at most capacity 2 containers live.
+    let containers = sample(&samples, r#"optimus_containers{node="0"}"#);
+    assert!((1.0..=2.0).contains(&containers), "{containers}");
+    // The three inference POSTs were counted by the HTTP layer (this
+    // /metrics GET is still in flight, so it is not included yet).
+    assert_eq!(
+        sample(&samples, r#"optimus_http_requests_total{code="200"}"#),
+        3.0
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_stats_endpoints() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let (server, addr) = start_server(registry);
+
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert!(status.contains("200"), "{status}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("json body");
+    assert_eq!(v["status"], "ok");
+
+    let body = r#"{"model":"m1","shape":[1,3,8,8]}"#;
+    let (status, _) = request(addr, "POST", "/infer", body);
+    assert!(status.contains("200"), "{status}");
+
+    let (status, body) = request(addr, "GET", "/stats", "");
+    assert!(status.contains("200"), "{status}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("stats is json");
+    assert_eq!(v[r#"optimus_requests_total{kind="cold"}"#], 1);
+    let phase = &v[r#"optimus_phase_seconds{phase="compute"}"#];
+    assert_eq!(phase["count"], 1);
+    assert!(phase["p50"].as_f64().expect("quantile") >= 0.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_json_400_not_dropped_connection() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let (server, addr) = start_server(registry);
+
+    // Body shorter than the declared Content-Length: the server must still
+    // answer with a 400 JSON body rather than dropping the connection.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .write_all(b"POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: 999\r\nConnection: close\r\n\r\n{}")
+        .expect("writes");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    let (_, payload) = response.split_once("\r\n\r\n").expect("has body");
+    let v: serde_json::Value = serde_json::from_str(payload).expect("json error body");
+    assert!(v["error"].as_str().is_some(), "{payload}");
+
+    // Garbage request line.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.write_all(b"\r\n\r\n").expect("writes");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // Malformed JSON payload gets a structured error.
+    let (status, payload) = request(addr, "POST", "/infer", "{not json");
+    assert!(status.contains("400"), "{status}");
+    let v: serde_json::Value = serde_json::from_str(&payload).expect("json error body");
+    assert!(v["error"].as_str().unwrap().contains("JSON"), "{payload}");
+
+    server.shutdown();
+}

@@ -33,6 +33,8 @@ mod policy;
 
 pub use config::{MemoryLimit, PlacementStrategy, PrewarmConfig, SimConfig};
 pub use container::{Container, ContainerState};
-pub use metrics::{FunctionSummary, RequestRecord, SimReport, StartKind};
+pub use metrics::{
+    FunctionSummary, PhaseBreakdown, PhasePercentiles, RequestRecord, SimReport, StartKind,
+};
 pub use platform::Platform;
 pub use policy::Policy;

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use optimus_telemetry::{exact_percentile, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// How a request's container was obtained (Figure 14's categories).
@@ -44,6 +45,40 @@ impl RequestRecord {
     }
 }
 
+/// p50/p95/p99 of one latency phase, estimated through the shared
+/// `optimus-telemetry` histograms (the same quantile estimator the live
+/// gateway's `/metrics` endpoint reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhasePercentiles {
+    /// Median (s).
+    pub p50: f64,
+    /// 95th percentile (s).
+    pub p95: f64,
+    /// 99th percentile (s).
+    pub p99: f64,
+}
+
+impl PhasePercentiles {
+    fn of(histogram: &Histogram) -> PhasePercentiles {
+        let (p50, p95, p99) = histogram.percentiles();
+        PhasePercentiles { p50, p95, p99 }
+    }
+}
+
+/// Per-phase percentile breakdown of one function's requests
+/// (wait / init / load / compute — the §8.3 composition).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Queueing delay percentiles.
+    pub wait: PhasePercentiles,
+    /// Sandbox init percentiles.
+    pub init: PhasePercentiles,
+    /// Model load/transform percentiles.
+    pub load: PhasePercentiles,
+    /// Inference compute percentiles.
+    pub compute: PhasePercentiles,
+}
+
 /// Per-function aggregate of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FunctionSummary {
@@ -59,6 +94,8 @@ pub struct FunctionSummary {
     pub transform: usize,
     /// Warm starts.
     pub warm: usize,
+    /// Per-phase latency percentiles of this function's requests.
+    pub phases: PhaseBreakdown,
 }
 
 impl FunctionSummary {
@@ -103,19 +140,15 @@ impl SimReport {
             / self.records.len() as f64
     }
 
-    /// p-th percentile service time (`p` in `[0, 100]`).
+    /// p-th percentile service time (`p` in `[0, 100]`): the telemetry
+    /// crate's nearest-rank percentile over the exact per-request values.
     pub fn percentile_service_time(&self, p: f64) -> f64 {
-        if self.records.is_empty() {
-            return 0.0;
-        }
-        let mut times: Vec<f64> = self
+        let times: Vec<f64> = self
             .records
             .iter()
             .map(RequestRecord::service_time)
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let idx = ((p / 100.0) * (times.len() - 1) as f64).round() as usize;
-        times[idx.min(times.len() - 1)]
+        exact_percentile(&times, p)
     }
 
     /// Fraction of requests per start kind (Figure 14).
@@ -146,19 +179,37 @@ impl SimReport {
     }
 
     /// Per-function aggregation, sorted by descending request count.
+    ///
+    /// Phase percentiles come from the shared telemetry histograms
+    /// (log-spaced buckets, interpolated quantiles) rather than a bespoke
+    /// sort per function and phase.
     pub fn per_function(&self) -> Vec<FunctionSummary> {
-        let mut map: BTreeMap<&str, FunctionSummary> = BTreeMap::new();
+        let mut map: BTreeMap<&str, (FunctionSummary, [Histogram; 4])> = BTreeMap::new();
         for r in &self.records {
-            let e = map
-                .entry(r.function.as_str())
-                .or_insert_with(|| FunctionSummary {
-                    function: r.function.clone(),
-                    requests: 0,
-                    total_service: 0.0,
-                    cold: 0,
-                    transform: 0,
-                    warm: 0,
-                });
+            let (e, phases) = map.entry(r.function.as_str()).or_insert_with(|| {
+                let empty = PhasePercentiles {
+                    p50: 0.0,
+                    p95: 0.0,
+                    p99: 0.0,
+                };
+                (
+                    FunctionSummary {
+                        function: r.function.clone(),
+                        requests: 0,
+                        total_service: 0.0,
+                        cold: 0,
+                        transform: 0,
+                        warm: 0,
+                        phases: PhaseBreakdown {
+                            wait: empty,
+                            init: empty,
+                            load: empty,
+                            compute: empty,
+                        },
+                    },
+                    std::array::from_fn(|_| Histogram::new()),
+                )
+            });
             e.requests += 1;
             e.total_service += r.service_time();
             match r.kind {
@@ -166,8 +217,22 @@ impl SimReport {
                 StartKind::Transform => e.transform += 1,
                 StartKind::Warm => e.warm += 1,
             }
+            for (h, v) in phases.iter().zip([r.wait, r.init, r.load, r.compute]) {
+                h.observe(v);
+            }
         }
-        let mut v: Vec<FunctionSummary> = map.into_values().collect();
+        let mut v: Vec<FunctionSummary> = map
+            .into_values()
+            .map(|(mut summary, phases)| {
+                summary.phases = PhaseBreakdown {
+                    wait: PhasePercentiles::of(&phases[0]),
+                    init: PhasePercentiles::of(&phases[1]),
+                    load: PhasePercentiles::of(&phases[2]),
+                    compute: PhasePercentiles::of(&phases[3]),
+                };
+                summary
+            })
+            .collect();
         v.sort_by(|a, b| {
             b.requests
                 .cmp(&a.requests)
@@ -321,6 +386,40 @@ mod summary_tests {
         assert_eq!(per[0].transform, 1);
         assert!((per[0].avg_service_time() - 5.0 / 3.0).abs() < 1e-12);
         assert_eq!(per[1].cold, 1);
+    }
+
+    #[test]
+    fn per_function_phase_percentiles_track_constant_phases() {
+        // Constant per-phase latencies: the histogram estimator clamps to
+        // the observed min/max, so every percentile is exact.
+        let records: Vec<RequestRecord> = (0..100)
+            .map(|_| RequestRecord {
+                function: "f".into(),
+                arrival: 0.0,
+                wait: 0.5,
+                init: 0.25,
+                load: 2.0,
+                compute: 0.125,
+                kind: StartKind::Cold,
+            })
+            .collect();
+        let report = SimReport {
+            system: "t".into(),
+            prewarms: 0,
+            records,
+        };
+        let per = report.per_function();
+        let phases = per[0].phases;
+        for (got, want) in [
+            (phases.wait, 0.5),
+            (phases.init, 0.25),
+            (phases.load, 2.0),
+            (phases.compute, 0.125),
+        ] {
+            assert_eq!(got.p50, want);
+            assert_eq!(got.p95, want);
+            assert_eq!(got.p99, want);
+        }
     }
 
     #[test]

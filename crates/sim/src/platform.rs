@@ -7,6 +7,7 @@ use std::sync::Arc;
 use optimus_core::{scheduler::choose_source, ModelRepository};
 use optimus_model::signature::OpSignature;
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
+use optimus_telemetry::{RequestTrace, TelemetrySink};
 use optimus_workload::{demand_histogram, Trace};
 
 use crate::config::{MemoryLimit, PlacementStrategy, SimConfig};
@@ -33,6 +34,11 @@ pub struct Platform {
     repo: Arc<ModelRepository>,
     profile: PlatformProfile,
     functions: HashMap<String, FunctionData>,
+    /// Optional telemetry sink: every simulated request is exported as a
+    /// [`RequestTrace`], the same schema and metric names the live
+    /// gateway produces, so simulator runs and live serving are directly
+    /// comparable.
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl Platform {
@@ -76,7 +82,17 @@ impl Platform {
             repo,
             profile,
             functions,
+            sink: None,
         }
+    }
+
+    /// Export every simulated request through `sink` (e.g. an
+    /// [`optimus_telemetry::MetricsSink`], so a run fills the same
+    /// counter/histogram families as the live gateway, or a
+    /// [`optimus_telemetry::JsonlSink`] for per-request traces).
+    pub fn with_sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The policy this platform runs.
@@ -150,6 +166,9 @@ impl Platform {
             }
             let node_idx = *placement.get(&inv.function).expect("placed function");
             let record = self.serve(&mut nodes[node_idx], &mut next_id, inv.time, &inv.function);
+            if let Some(sink) = &self.sink {
+                sink.record(&trace_of(&record, node_idx));
+            }
             records.push(record);
             // Update the predictor and schedule the next prewarm.
             if let Some(cfg) = self.config.prewarm {
@@ -168,6 +187,9 @@ impl Platform {
                     }
                 }
             }
+        }
+        if let Some(sink) = &self.sink {
+            sink.flush();
         }
         SimReport {
             system: self.policy.name().to_string(),
@@ -442,6 +464,32 @@ impl Platform {
                 ))
             }
         }
+    }
+}
+
+/// A simulated [`RequestRecord`] as the shared telemetry schema.
+///
+/// Simulated durations stand in for measured ones; `total` equals the
+/// service time because simulated requests have no unattributed
+/// wall-clock. Plan-cache outcomes are counted inside
+/// `ModelRepository::decide`, which the simulator shares with the live
+/// path, so they are not duplicated per trace here.
+fn trace_of(record: &RequestRecord, node: usize) -> RequestTrace {
+    RequestTrace {
+        function: record.function.clone(),
+        node,
+        kind: match record.kind {
+            StartKind::Warm => optimus_telemetry::StartKind::Warm,
+            StartKind::Cold => optimus_telemetry::StartKind::Cold,
+            StartKind::Transform => optimus_telemetry::StartKind::Transform,
+        },
+        wait: record.wait,
+        init: record.init,
+        load: record.load,
+        compute: record.compute,
+        total: record.service_time(),
+        transform_steps: 0,
+        plan_cache_hit: None,
     }
 }
 

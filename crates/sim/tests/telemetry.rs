@@ -1,0 +1,108 @@
+//! Simulator ↔ telemetry integration: a run exports the same metric
+//! families as the live gateway, through the shared `TelemetrySink`.
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig, StartKind};
+use optimus_telemetry::{MetricsRegistry, MetricsSink, TelemetrySink};
+use optimus_workload::{Invocation, Trace};
+
+fn repo_with(models: Vec<optimus_model::ModelGraph>) -> Arc<ModelRepository> {
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    let cost = CostModel::default();
+    for m in models {
+        repo.register(m, &cost);
+    }
+    Arc::new(repo)
+}
+
+fn trace_of(duration: f64, arrivals: &[(f64, &str)]) -> Trace {
+    Trace::new(
+        duration,
+        arrivals
+            .iter()
+            .map(|(t, f)| Invocation {
+                time: *t,
+                function: (*f).to_string(),
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn simulator_run_exports_canonical_metric_names() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let repo = repo_with(vec![
+        optimus_zoo::resnet::resnet18(),
+        optimus_zoo::resnet::resnet34(),
+    ]);
+    repo.set_metrics_registry(&registry);
+    let config = SimConfig {
+        nodes: 1,
+        capacity_per_node: 8,
+        placement: PlacementStrategy::Hash,
+        idle_threshold: 10.0,
+        ..SimConfig::default()
+    };
+    let sink: Arc<dyn TelemetrySink> = Arc::new(MetricsSink::new(registry.clone()));
+    let platform = Platform::new(config, Policy::Optimus, repo).with_sink(sink);
+    // Scripted: cold resnet18; warm resnet18 once the first completes
+    // (30 s later); then resnet34 transforms the by-then-idle resnet18
+    // container (idle threshold is 10 s, gap is 70 s).
+    let trace = trace_of(
+        1000.0,
+        &[(0.0, "resnet18"), (30.0, "resnet18"), (101.0, "resnet34")],
+    );
+    let report = platform.run(&trace);
+    assert_eq!(report.records[0].kind, StartKind::Cold);
+    assert_eq!(report.records[1].kind, StartKind::Warm);
+    assert_eq!(report.records[2].kind, StartKind::Transform);
+
+    // The registry now holds exactly the counters the live gateway's
+    // /metrics endpoint would export for the same request sequence.
+    let kind = |k: &str| {
+        registry
+            .counter("optimus_requests_total", &[("kind", k)])
+            .get()
+    };
+    assert_eq!(kind("cold"), 1);
+    assert_eq!(kind("warm"), 1);
+    assert_eq!(kind("transform"), 1);
+    assert_eq!(
+        registry.histogram("optimus_request_seconds", &[]).count(),
+        3
+    );
+    for phase in ["wait", "init", "load", "compute"] {
+        assert_eq!(
+            registry
+                .histogram("optimus_phase_seconds", &[("phase", phase)])
+                .count(),
+            3,
+            "phase {phase}"
+        );
+    }
+    // The simulated transform consulted the shared plan cache.
+    assert_eq!(
+        registry
+            .counter("optimus_plan_cache_total", &[("result", "hit")])
+            .get(),
+        1
+    );
+    // Load histogram saw the scratch load (cold) and the plan cost
+    // (transform); the warm request contributed a zero.
+    let load = registry.histogram("optimus_phase_seconds", &[("phase", "load")]);
+    assert!(load.sum() > 0.0);
+
+    // Prometheus text exposition carries every family.
+    let text = registry.render_prometheus();
+    for family in [
+        "optimus_requests_total",
+        "optimus_request_seconds",
+        "optimus_phase_seconds",
+        "optimus_plan_cache_total",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+}

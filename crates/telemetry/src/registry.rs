@@ -1,0 +1,672 @@
+//! Lock-free metric primitives and the keyed registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! resolved once through [`MetricsRegistry`]; after resolution the hot
+//! path touches only atomics — no map lookups, no locks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Fresh unregistered counter (mostly for tests).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-written floating-point value (e.g. pool occupancy).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Fresh unregistered gauge (mostly for tests).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (atomic read-modify-write).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default latency bucket upper bounds (seconds): three per decade from
+/// 1 µs to 100 s, covering sub-millisecond warm hits through multi-second
+/// cold starts.
+pub fn default_latency_bounds() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(25);
+    for decade in -6..2i32 {
+        for mantissa in [1.0, 2.0, 5.0] {
+            bounds.push(mantissa * 10f64.powi(decade));
+        }
+    }
+    bounds.push(100.0);
+    bounds
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Strictly increasing bucket upper bounds; one extra overflow bucket
+    /// follows the last bound.
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64` bits and updated via CAS.
+    sum_bits: AtomicU64,
+    /// Min/max observed, as orderable `f64` bits, for quantile clamping.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram with quantile estimation.
+///
+/// Observations are counted into log-spaced buckets; quantiles are
+/// estimated by linear interpolation inside the target bucket and clamped
+/// to the observed min/max, so a constant distribution reports its exact
+/// value at every quantile.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_bounds(default_latency_bounds())
+    }
+}
+
+/// Total order over `f64` bit patterns for non-negative values.
+fn orderable_bits(v: f64) -> u64 {
+    // Latencies are non-negative, so the IEEE-754 bit pattern is already
+    // monotone; negative inputs are clamped to zero first.
+    v.max(0.0).to_bits()
+}
+
+impl Histogram {
+    /// Histogram with the default log-spaced latency bounds.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Histogram with custom strictly-increasing upper bounds.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1; // plus overflow bucket
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Index of the bucket holding `v` (first bound ≥ v; overflow last).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.inner.bounds.partition_point(|b| *b < v)
+    }
+
+    /// Record one observation (seconds).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let inner = &*self.inner;
+        let idx = inner.bounds.partition_point(|b| *b < v);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        inner
+            .min_bits
+            .fetch_min(orderable_bits(v), Ordering::Relaxed);
+        inner
+            .max_bits
+            .fetch_max(orderable_bits(v), Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), or 0 when empty.
+    ///
+    /// Linear interpolation inside the target bucket, clamped to the
+    /// observed min/max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let inner = &*self.inner;
+        let total = inner.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        let min = f64::from_bits(inner.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(inner.max_bits.load(Ordering::Relaxed));
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cum = 0u64;
+        for (idx, c) in inner.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= rank {
+                let lower = if idx == 0 { min } else { inner.bounds[idx - 1] };
+                let upper = if idx < inner.bounds.len() {
+                    inner.bounds[idx]
+                } else {
+                    max
+                };
+                let frac = (rank - cum as f64) / c as f64;
+                let est = lower + frac * (upper - lower);
+                return est.clamp(min, max);
+            }
+            cum += c;
+        }
+        max
+    }
+
+    /// Estimated p50/p95/p99 in one pass-friendly call.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+
+    /// `(upper_bound, cumulative_count)` per bucket, Prometheus-style;
+    /// the final entry is `(+Inf, total)`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let inner = &*self.inner;
+        let mut cum = 0u64;
+        let mut out = Vec::with_capacity(inner.counts.len());
+        for (idx, c) in inner.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            let bound = if idx < inner.bounds.len() {
+                inner.bounds[idx]
+            } else {
+                f64::INFINITY
+            };
+            out.push((bound, cum));
+        }
+        out
+    }
+}
+
+/// A registered metric: name plus sorted `key="value"` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric family name (`optimus_requests_total`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Render as `name` or `name{k="v",...}`.
+    pub fn render(&self) -> String {
+        render_with_extra(&self.name, &self.labels, None)
+    }
+}
+
+fn render_with_extra(
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", pairs.join(","))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Keyed collection of metrics with get-or-create handle resolution.
+///
+/// Resolution takes a write lock once per `(name, labels)` pair; returned
+/// handles are lock-free afterwards. Rendering walks a sorted snapshot,
+/// so exposition output is deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(&key) {
+            return c.clone();
+        }
+        let mut map = self.metrics.write();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' already registered with another type"),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(&key) {
+            return g.clone();
+        }
+        let mut map = self.metrics.write();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' already registered with another type"),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}` with default latency
+    /// bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram_with_bounds(name, labels, default_latency_bounds)
+    }
+
+    /// Get or create a histogram with caller-chosen bounds (used only on
+    /// first registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already registered as a different metric type.
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: impl FnOnce() -> Vec<f64>,
+    ) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(&key) {
+            return h.clone();
+        }
+        let mut map = self.metrics.write();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' already registered with another type"),
+        }
+    }
+
+    /// Render every metric in Prometheus text exposition format.
+    ///
+    /// Histograms expand to `_bucket{le=...}` / `_sum` / `_count` series;
+    /// output is sorted by key, so it is stable across calls.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.metrics.read();
+        let mut out = String::new();
+        let mut last_family = "";
+        for (key, metric) in map.iter() {
+            if key.name != last_family {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {kind}\n", key.name));
+                last_family = &key.name;
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{} {}\n", key.render(), c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{} {}\n", key.render(), g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let bucket_name = format!("{}_bucket", key.name);
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = if bound.is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            format!("{bound}")
+                        };
+                        out.push_str(&format!(
+                            "{} {}\n",
+                            render_with_extra(&bucket_name, &key.labels, Some(("le", &le))),
+                            cum
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        render_with_extra(&format!("{}_sum", key.name), &key.labels, None),
+                        h.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        render_with_extra(&format!("{}_count", key.name), &key.labels, None),
+                        h.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshot every metric as a JSON object (for `/stats`): counters and
+    /// gauges as numbers, histograms as `{count, sum, mean, p50, p95, p99}`.
+    pub fn snapshot_json(&self) -> serde_json::Value {
+        let map = self.metrics.read();
+        let mut root = serde_json::Map::new();
+        for (key, metric) in map.iter() {
+            let rendered = key.render();
+            let value = match metric {
+                Metric::Counter(c) => serde_json::json!(c.get()),
+                Metric::Gauge(g) => serde_json::json!(g.get()),
+                Metric::Histogram(h) => {
+                    let (p50, p95, p99) = h.percentiles();
+                    serde_json::json!({
+                        "count": h.count(),
+                        "sum": h.sum(),
+                        "mean": h.mean(),
+                        "p50": p50,
+                        "p95": p95,
+                        "p99": p99,
+                    })
+                }
+            };
+            root.insert(rendered, value);
+        }
+        serde_json::Value::Object(root)
+    }
+}
+
+/// Exact percentile of `values` (`p` in `[0, 100]`): nearest-rank on the
+/// sorted data, the convention the simulator reports (Figure 13/15).
+///
+/// Returns 0 for an empty slice.
+pub fn exact_percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0, 5.0]);
+        // partition_point(|b| b < v): v == bound lands in that bound's
+        // bucket (le semantics).
+        assert_eq!(h.bucket_index(0.5), 0);
+        assert_eq!(h.bucket_index(1.0), 0);
+        assert_eq!(h.bucket_index(1.0001), 1);
+        assert_eq!(h.bucket_index(2.0), 1);
+        assert_eq!(h.bucket_index(5.0), 2);
+        assert_eq!(h.bucket_index(50.0), 3); // overflow bucket
+    }
+
+    #[test]
+    fn default_bounds_are_increasing_and_cover_latencies() {
+        let b = default_latency_bounds();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(b[0] <= 1e-6);
+        assert!(*b.last().unwrap() >= 100.0);
+    }
+
+    #[test]
+    fn constant_distribution_quantiles_are_exact() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.observe(0.25);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.25);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_distribution_quantiles_interpolate() {
+        // 1000 samples uniform over (0, 1]: with buckets at 1,2,5 per
+        // decade the interpolation error is bounded by one bucket width.
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 1000.0);
+        }
+        let (p50, p95, p99) = h.percentiles();
+        assert!((p50 - 0.5).abs() < 0.15, "p50 {p50}");
+        assert!((p95 - 0.95).abs() < 0.15, "p95 {p95}");
+        assert!((p99 - 0.99).abs() < 0.15, "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        // Quantiles never escape the observed range.
+        assert!(h.quantile(1.0) <= 1.0);
+        assert!(h.quantile(0.0) >= 1.0 / 1000.0);
+    }
+
+    #[test]
+    fn exact_percentile_matches_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(exact_percentile(&values, 100.0), 100.0);
+        assert_eq!(exact_percentile(&values, 0.0), 1.0);
+        assert_eq!(exact_percentile(&values, 50.0), 51.0); // round(0.5*99)=50 → values[50]
+        assert_eq!(exact_percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = registry.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("optimus_requests_total", &[("kind", "warm")]);
+                let h = r.histogram("optimus_request_seconds", &[]);
+                for i in 0..10_000 {
+                    c.inc();
+                    h.observe(i as f64 * 1e-6);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let c = registry.counter("optimus_requests_total", &[("kind", "warm")]);
+        assert_eq!(c.get(), 80_000);
+        let h = registry.histogram("optimus_request_seconds", &[]);
+        assert_eq!(h.count(), 80_000);
+        // Sum is CAS-accumulated, so it must be exact too.
+        let expect: f64 = (0..10_000).map(|i| i as f64 * 1e-6).sum::<f64>() * 8.0;
+        assert!((h.sum() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_type_lines_and_le_buckets() {
+        let r = MetricsRegistry::new();
+        r.counter("optimus_requests_total", &[("kind", "cold")])
+            .add(3);
+        r.counter("optimus_requests_total", &[("kind", "warm")])
+            .add(5);
+        r.gauge("optimus_pool_size", &[]).set(7.0);
+        let h = r.histogram_with_bounds("optimus_request_seconds", &[], || vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE optimus_requests_total counter"));
+        assert!(text.contains("optimus_requests_total{kind=\"cold\"} 3"));
+        assert!(text.contains("optimus_requests_total{kind=\"warm\"} 5"));
+        assert!(text.contains("optimus_pool_size 7"));
+        assert!(text.contains("optimus_request_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("optimus_request_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("optimus_request_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("optimus_request_seconds_count 3"));
+        // Deterministic output.
+        assert_eq!(text, r.render_prometheus());
+    }
+
+    #[test]
+    fn gauge_add_is_atomic() {
+        let g = Gauge::new();
+        g.set(10.0);
+        g.add(-2.5);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn hot_path_overhead_stays_under_a_microsecond() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("optimus_requests_total", &[("kind", "warm")]);
+        let h = r.histogram("optimus_request_seconds", &[]);
+        // Warm up.
+        for _ in 0..1_000 {
+            c.inc();
+            h.observe(0.001);
+        }
+        let n = 100_000u32;
+        let start = std::time::Instant::now();
+        for i in 0..n {
+            c.inc();
+            h.observe(i as f64 * 1e-7);
+        }
+        let per_op = start.elapsed().as_secs_f64() / n as f64;
+        assert!(
+            per_op < 1e-6,
+            "hot path took {:.0} ns per counter+histogram update",
+            per_op * 1e9
+        );
+    }
+}

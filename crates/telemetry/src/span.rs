@@ -1,0 +1,289 @@
+//! Per-request spans and the finished [`RequestTrace`].
+//!
+//! A [`Span`] is opened when a request enters the system and closed when
+//! the response is ready; it accumulates the Optimus latency phases with
+//! monotonic ([`Instant`]) timing. The simulator constructs
+//! [`RequestTrace`]s directly from simulated durations — both paths feed
+//! the same [`crate::TelemetrySink`]s.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// The latency phases of one request (§8.3's service-time composition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Queueing delay before a container was available.
+    Wait,
+    /// Sandbox / runtime initialization (0 for warm starts; 0 on the
+    /// in-process live path, which has no sandbox).
+    Init,
+    /// Model loading *or* transformation latency.
+    Load,
+    /// The forward pass.
+    Compute,
+}
+
+impl Phase {
+    /// All phases, in service-time order.
+    pub const ALL: [Phase; 4] = [Phase::Wait, Phase::Init, Phase::Load, Phase::Compute];
+
+    /// The `phase` label value used in metric names.
+    pub fn as_label(self) -> &'static str {
+        match self {
+            Phase::Wait => "wait",
+            Phase::Init => "init",
+            Phase::Load => "load",
+            Phase::Compute => "compute",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Wait => 0,
+            Phase::Init => 1,
+            Phase::Load => 2,
+            Phase::Compute => 3,
+        }
+    }
+}
+
+/// How the serving container was obtained (Fig. 14's categories). The
+/// telemetry-level kind that `optimus-serve`'s and `optimus-sim`'s own
+/// start enums map into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartKind {
+    /// A container already holding the model served the request.
+    Warm,
+    /// A new container was created and the model loaded from scratch.
+    Cold,
+    /// An idle container's model was transformed via a cached plan.
+    Transform,
+}
+
+impl StartKind {
+    /// The `kind` label value used in metric names.
+    pub fn as_label(self) -> &'static str {
+        match self {
+            StartKind::Warm => "warm",
+            StartKind::Cold => "cold",
+            StartKind::Transform => "transform",
+        }
+    }
+}
+
+/// The finished record of one request: phase breakdown plus Optimus
+/// decision metadata. This is the unit every [`crate::TelemetrySink`]
+/// consumes and the schema of one JSONL trace line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// Function / model name.
+    pub function: String,
+    /// Serving node id.
+    pub node: usize,
+    /// How the container was obtained.
+    pub kind: StartKind,
+    /// Queueing delay (s).
+    pub wait: f64,
+    /// Sandbox/runtime init (s).
+    pub init: f64,
+    /// Model load or transformation (s).
+    pub load: f64,
+    /// Forward pass (s).
+    pub compute: f64,
+    /// Wall-clock from span open to close (s); equals the phase sum for
+    /// simulated traces.
+    pub total: f64,
+    /// Meta-operator steps executed (0 unless transformed).
+    pub transform_steps: usize,
+    /// Plan-cache outcome when a donor was considered: `Some(true)` when a
+    /// cached plan was applied, `Some(false)` when the safeguard or a
+    /// cache miss forced a scratch load, `None` when no donor existed
+    /// (warm hits, cold starts on empty nodes).
+    pub plan_cache_hit: Option<bool>,
+}
+
+impl RequestTrace {
+    /// End-to-end service latency: wait + init + load + compute.
+    pub fn service_time(&self) -> f64 {
+        self.wait + self.init + self.load + self.compute
+    }
+
+    /// Duration of one phase.
+    pub fn phase(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Wait => self.wait,
+            Phase::Init => self.init,
+            Phase::Load => self.load,
+            Phase::Compute => self.compute,
+        }
+    }
+
+    /// One JSONL line (no trailing newline): the trace schema documented
+    /// in the README's Observability section.
+    pub fn to_json_line(&self) -> String {
+        serde_json::json!({
+            "function": self.function,
+            "node": self.node,
+            "kind": self.kind.as_label(),
+            "wait": self.wait,
+            "init": self.init,
+            "load": self.load,
+            "compute": self.compute,
+            "total": self.total,
+            "service_time": self.service_time(),
+            "transform_steps": self.transform_steps,
+            "plan_cache_hit": self.plan_cache_hit,
+        })
+        .to_string()
+    }
+}
+
+/// An in-flight request measurement.
+///
+/// Phases accumulate either by timing a closure ([`Span::time`]) or by
+/// adding externally measured durations ([`Span::add`]); both may be
+/// called repeatedly per phase. [`Span::finish`] seals the span into a
+/// [`RequestTrace`], stamping the total wall-clock from the monotonic
+/// clock captured at [`Span::begin`].
+#[derive(Debug)]
+pub struct Span {
+    function: String,
+    node: usize,
+    started: Instant,
+    phases: [f64; 4],
+    kind: StartKind,
+    transform_steps: usize,
+    plan_cache_hit: Option<bool>,
+}
+
+impl Span {
+    /// Open a span for `function` served on `node`. Defaults to a warm
+    /// start with empty phases.
+    pub fn begin(function: impl Into<String>, node: usize) -> Span {
+        Span {
+            function: function.into(),
+            node,
+            started: Instant::now(),
+            phases: [0.0; 4],
+            kind: StartKind::Warm,
+            transform_steps: 0,
+            plan_cache_hit: None,
+        }
+    }
+
+    /// Run `f`, attributing its wall-clock to `phase`.
+    #[inline]
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.phases[phase.index()] += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Attribute `seconds` of externally measured time to `phase`.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        self.phases[phase.index()] += seconds;
+    }
+
+    /// Record how the container was obtained.
+    pub fn set_kind(&mut self, kind: StartKind) {
+        self.kind = kind;
+    }
+
+    /// Record the number of meta-operator steps executed.
+    pub fn set_transform_steps(&mut self, steps: usize) {
+        self.transform_steps = steps;
+    }
+
+    /// Record the plan-cache outcome (see [`RequestTrace::plan_cache_hit`]).
+    pub fn set_plan_cache_hit(&mut self, hit: bool) {
+        self.plan_cache_hit = Some(hit);
+    }
+
+    /// Seal the span: total wall-clock is measured monotonically from
+    /// [`Span::begin`].
+    pub fn finish(self) -> RequestTrace {
+        RequestTrace {
+            function: self.function,
+            node: self.node,
+            kind: self.kind,
+            wait: self.phases[0],
+            init: self.phases[1],
+            load: self.phases[2],
+            compute: self.phases[3],
+            total: self.started.elapsed().as_secs_f64(),
+            transform_steps: self.transform_steps,
+            plan_cache_hit: self.plan_cache_hit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accumulates_phases_and_metadata() {
+        let mut span = Span::begin("f", 2);
+        span.add(Phase::Wait, 0.25);
+        span.add(Phase::Load, 1.0);
+        span.add(Phase::Load, 0.5);
+        let v = span.time(Phase::Compute, || 41 + 1);
+        span.set_kind(StartKind::Transform);
+        span.set_transform_steps(7);
+        span.set_plan_cache_hit(true);
+        let trace = span.finish();
+        assert_eq!(v, 42);
+        assert_eq!(trace.function, "f");
+        assert_eq!(trace.node, 2);
+        assert_eq!(trace.kind, StartKind::Transform);
+        assert_eq!(trace.wait, 0.25);
+        assert_eq!(trace.load, 1.5);
+        assert_eq!(trace.init, 0.0);
+        assert!(trace.compute >= 0.0);
+        assert_eq!(trace.transform_steps, 7);
+        assert_eq!(trace.plan_cache_hit, Some(true));
+        assert!((trace.service_time() - (0.25 + 1.5 + trace.compute)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_closures_measure_monotonic_time() {
+        let mut span = Span::begin("f", 0);
+        span.time(Phase::Compute, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        let trace = span.finish();
+        assert!(trace.compute >= 0.004, "compute {}", trace.compute);
+        assert!(trace.total >= trace.compute);
+    }
+
+    #[test]
+    fn json_line_round_trips_through_serde() {
+        let trace = RequestTrace {
+            function: "resnet50".into(),
+            node: 1,
+            kind: StartKind::Cold,
+            wait: 0.1,
+            init: 0.2,
+            load: 0.3,
+            compute: 0.4,
+            total: 1.0,
+            transform_steps: 0,
+            plan_cache_hit: None,
+        };
+        let line = trace.to_json_line();
+        let v: serde_json::Value = serde_json::from_str(&line).expect("valid json");
+        assert_eq!(v["function"], "resnet50");
+        assert_eq!(v["kind"], "cold");
+        assert!((v["service_time"].as_f64().unwrap() - 1.0).abs() < 1e-12);
+        assert!(v["plan_cache_hit"].is_null());
+    }
+
+    #[test]
+    fn phase_labels_cover_all_phases() {
+        let labels: Vec<&str> = Phase::ALL.iter().map(|p| p.as_label()).collect();
+        assert_eq!(labels, vec!["wait", "init", "load", "compute"]);
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the full test suite.
+# Run locally before pushing; .github/workflows/ci.yml runs the same steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "all checks passed"

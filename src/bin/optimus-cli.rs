@@ -446,6 +446,9 @@ fn cmd_serve(models_csv: &str, opts: &[String]) -> Result<(), String> {
     println!("Optimus gateway listening on http://{}", server.addr());
     println!("  GET  /models");
     println!("  POST /infer  {{\"model\": \"<name>\", \"shape\": [..], \"data\": [..]}}");
+    println!("  GET  /metrics   Prometheus text exposition");
+    println!("  GET  /stats     metrics snapshot as JSON");
+    println!("  GET  /healthz   liveness probe");
     println!("press Ctrl-C to stop");
     // Serve until the process is killed.
     loop {

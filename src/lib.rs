@@ -21,7 +21,11 @@
 //!   systems (OpenWhisk, Pagurus, Tetris, Optimus);
 //! - [`serve`] — a live in-process serving engine (threads as containers)
 //!   that really executes transformations and inference, mirroring the
-//!   paper's §7 prototype.
+//!   paper's §7 prototype;
+//! - [`telemetry`] — the shared metrics + request-tracing substrate:
+//!   lock-free counters/gauges/histograms, per-request phase spans, a
+//!   Prometheus text renderer, and JSONL trace sinks, wired through the
+//!   gateway, the simulator, the plan cache, and the balancer.
 //!
 //! ## Quickstart
 //!
@@ -49,5 +53,6 @@ pub use optimus_model as model;
 pub use optimus_profile as profile;
 pub use optimus_serve as serve;
 pub use optimus_sim as sim;
+pub use optimus_telemetry as telemetry;
 pub use optimus_workload as workload;
 pub use optimus_zoo as zoo;
