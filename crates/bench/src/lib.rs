@@ -93,16 +93,17 @@ pub fn figure13_models() -> Vec<ModelGraph> {
 }
 
 /// Register models into a repository with the group planner and the given
-/// environment's cost model.
+/// environment's cost model. The offline pairwise planning sweep fans out
+/// across a worker pool sized to the machine
+/// ([`ModelRepository::register_all`]); the plan cache is identical to
+/// sequential registration.
 pub fn build_repo(
     models: Vec<ModelGraph>,
     env: optimus_profile::Environment,
 ) -> Arc<ModelRepository> {
     let repo = ModelRepository::new(Box::new(GroupPlanner));
     let cost = CostModel::new(env);
-    for m in models {
-        repo.register(m, &cost);
-    }
+    repo.register_all(models, &cost);
     Arc::new(repo)
 }
 

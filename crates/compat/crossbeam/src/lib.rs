@@ -2,8 +2,83 @@
 //!
 //! Provides the `crossbeam::channel` subset this workspace uses
 //! (`unbounded`, `bounded`, `Sender`, `Receiver`), implemented over
-//! `std::sync::mpsc`. Semantics relevant here are preserved: cloneable
-//! senders, blocking `recv`, and channel closure when every sender drops.
+//! `std::sync::mpsc`, plus the `crossbeam::thread::scope` scoped-spawn
+//! API over `std::thread::scope`. Semantics relevant here are preserved:
+//! cloneable senders, blocking `recv`, channel closure when every sender
+//! drops, and scoped threads that may borrow from the enclosing stack
+//! frame and are joined before `scope` returns.
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+    //!
+    //! `scope(|s| { s.spawn(|_| ...); ... })` spawns threads that can
+    //! borrow non-`'static` data; every spawned thread is joined when the
+    //! closure returns. Implemented over `std::thread::scope`; upstream's
+    //! `Result`-wrapping signature is preserved (`Err` when a spawned
+    //! thread panicked and the panic payload is not otherwise observed
+    //! through `ScopedJoinHandle::join`).
+
+    use std::any::Any;
+
+    /// Handle to one scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish and return its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope in which borrowing threads can be spawned.
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// itself (crossbeam's signature) so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope handle; all threads spawned through the scope
+    /// are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first panic payload of a scoped thread whose handle was
+    /// not explicitly joined (matching upstream crossbeam's contract that
+    /// unobserved child panics surface here rather than aborting).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        // `std::thread::scope` re-raises unobserved child panics as a
+        // panic in the parent; catch it to present crossbeam's Result API.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }));
+        result.map_err(|payload| payload as Box<dyn Any + Send + 'static>)
+    }
+}
+
+/// Top-level re-export, matching `crossbeam::scope`.
+pub use thread::scope;
 
 pub mod channel {
     use std::sync::mpsc;
@@ -141,5 +216,35 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), "reply");
         drop(rx);
         assert!(tx.send("nobody").is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(chunk.iter().sum(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn scoped_join_returns_value() {
+        let n = 21;
+        let doubled = super::scope(|s| s.spawn(|_| n * 2).join().unwrap()).unwrap();
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn scoped_panic_surfaces_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("child failed"));
+        });
+        assert!(r.is_err(), "unobserved child panic must surface");
     }
 }

@@ -6,13 +6,34 @@
 //! planning — and the safeguard compares the cached plan's cost with the
 //! scratch-load cost, falling back to a plain load whenever transformation
 //! would not help, so worst-case performance equals a traditional platform.
+//!
+//! # Registration concurrency
+//!
+//! The O(N²) pairwise planning sweep never runs under the repository lock.
+//! Every registration — single [`ModelRepository::register`] or bulk
+//! [`ModelRepository::register_all`] — follows a snapshot → fan-out →
+//! install pipeline:
+//!
+//! 1. **Snapshot**: a brief read lock captures the existing models (Arc
+//!    clones) together with their *generation* counters.
+//! 2. **Fan-out**: all pairwise plans are computed lock-free, optionally
+//!    across a scoped worker pool (`crossbeam::thread::scope`).
+//! 3. **Install**: a short write lock re-checks every snapshotted
+//!    generation; if any model was re-registered (or a new one appeared)
+//!    in the meantime, the batch is re-planned from a fresh snapshot so a
+//!    stale plan is never published. Models, load costs, and the entire
+//!    plan batch are installed in one critical section, so concurrent
+//!    `decide()` readers observe either the old or the new plan set —
+//!    never a partial one.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use optimus_model::ModelGraph;
 use optimus_profile::CostProvider;
-use optimus_telemetry::{Counter, Histogram, MetricsRegistry};
+use optimus_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::metaop::TransformPlan;
@@ -23,12 +44,18 @@ use crate::planner::Planner;
 /// `optimus_plan_cache_total{result=...}` counts the §4.4 Module 3
 /// outcomes (`hit` = cached plan applied, `reject` = plan exists but the
 /// safeguard chose loading, `miss` = no plan cached);
-/// `optimus_planning_seconds` is the registration-time planning latency.
+/// `optimus_planning_seconds` is the per-plan planning latency;
+/// `optimus_plan_warmup_seconds` is the wall-clock of one whole
+/// registration batch (snapshot → fan-out → install);
+/// `optimus_plan_warmup_threads` is the worker-pool width of the most
+/// recent batch.
 struct RepoTelemetry {
     plan_hit: Counter,
     plan_reject: Counter,
     plan_miss: Counter,
     planning: Histogram,
+    warmup: Histogram,
+    warmup_threads: Gauge,
 }
 
 impl RepoTelemetry {
@@ -40,6 +67,8 @@ impl RepoTelemetry {
             plan_reject: outcome("reject"),
             plan_miss: outcome("miss"),
             planning: registry.histogram("optimus_planning_seconds", &[]),
+            warmup: registry.histogram("optimus_plan_warmup_seconds", &[]),
+            warmup_threads: registry.gauge("optimus_plan_warmup_threads", &[]),
         }
     }
 }
@@ -85,11 +114,27 @@ pub struct ModelRepository {
     telemetry: RwLock<RepoTelemetry>,
 }
 
+/// Repository state behind the lock.
+///
+/// Plans are a two-level map `src → dst → plan` keyed by `Arc<str>`, so
+/// the request-hot `decide()` path looks plans up with plain `&str`
+/// borrows — no per-request `String` allocations — while inserts share
+/// the interned name Arcs.
 #[derive(Default)]
 struct Inner {
-    models: HashMap<String, Arc<ModelGraph>>,
-    load_costs: HashMap<String, f64>,
-    plans: HashMap<(String, String), Arc<TransformPlan>>,
+    models: HashMap<Arc<str>, Arc<ModelGraph>>,
+    load_costs: HashMap<Arc<str>, f64>,
+    plans: HashMap<Arc<str>, HashMap<Arc<str>, Arc<TransformPlan>>>,
+    /// Per-model registration generation: bumped every time a name is
+    /// (re-)registered. The install phase uses it to detect that a model
+    /// snapshotted for planning was re-registered concurrently.
+    generations: HashMap<Arc<str>, u64>,
+}
+
+/// One directed planning job of a registration batch.
+struct PlanTask {
+    src: Arc<ModelGraph>,
+    dst: Arc<ModelGraph>,
 }
 
 impl ModelRepository {
@@ -122,42 +167,187 @@ impl ModelRepository {
     /// computes + caches plans to and from every existing model (the
     /// paper's "planning strategy caching" — registration-time work).
     ///
+    /// Planning runs outside the repository lock (see the module docs);
+    /// `decide()` readers are never blocked for the duration of the sweep.
+    ///
     /// Registering the same name twice replaces the model and recomputes
     /// its plans.
-    pub fn register(&self, model: ModelGraph, cost: &dyn CostProvider) {
-        let name = model.name().to_string();
-        let model = Arc::new(model);
-        let mut inner = self.inner.write();
-        inner
-            .load_costs
-            .insert(name.clone(), cost.model_load_cost(&model));
-        let existing: Vec<Arc<ModelGraph>> = inner
-            .models
-            .values()
-            .filter(|m| m.name() != name)
-            .cloned()
-            .collect();
-        let planning = self.telemetry.read().planning.clone();
-        for other in existing {
-            // CNN↔transformer plans always lose to scratch loading (§8.2);
-            // skip computing them at all and let the safeguard pick loading.
-            if other.family().is_transformer() != model.family().is_transformer() {
+    pub fn register(&self, model: ModelGraph, cost: &(dyn CostProvider + Sync)) {
+        self.register_batch(vec![model], cost, 1);
+    }
+
+    /// Bulk-register a whole catalog, fanning the O(N²) pairwise planning
+    /// sweep across a scoped worker pool sized to the machine
+    /// ([`std::thread::available_parallelism`]).
+    ///
+    /// The resulting plan set is identical to registering the models one
+    /// by one with [`ModelRepository::register`]; only the wall-clock (and
+    /// the lock-hold time) differs. When `models` contains duplicates of a
+    /// name the last one wins, matching sequential re-registration.
+    pub fn register_all(&self, models: Vec<ModelGraph>, cost: &(dyn CostProvider + Sync)) {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        self.register_batch(models, cost, threads);
+    }
+
+    /// [`ModelRepository::register_all`] with an explicit worker count
+    /// (`1` = plan inline on the calling thread; used by the warmup
+    /// scaling experiment).
+    pub fn register_all_with_threads(
+        &self,
+        models: Vec<ModelGraph>,
+        cost: &(dyn CostProvider + Sync),
+        threads: usize,
+    ) {
+        self.register_batch(models, cost, threads.max(1));
+    }
+
+    /// The snapshot → fan-out → install pipeline shared by all
+    /// registration entry points.
+    fn register_batch(
+        &self,
+        models: Vec<ModelGraph>,
+        cost: &(dyn CostProvider + Sync),
+        threads: usize,
+    ) {
+        if models.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        // Dedupe by name, last occurrence wins (sequential semantics).
+        let mut new: Vec<(Arc<str>, Arc<ModelGraph>)> = Vec::with_capacity(models.len());
+        for model in models {
+            let name: Arc<str> = Arc::from(model.name());
+            new.retain(|(n, _)| *n != name);
+            new.push((name, Arc::new(model)));
+        }
+        let new_names: HashSet<Arc<str>> = new.iter().map(|(n, _)| n.clone()).collect();
+        let new_load_costs: Vec<f64> = new.iter().map(|(_, m)| cost.model_load_cost(m)).collect();
+        loop {
+            // 1. Snapshot the existing catalog under a brief read lock.
+            let existing: Vec<(Arc<str>, Arc<ModelGraph>, u64)> = {
+                let inner = self.inner.read();
+                inner
+                    .models
+                    .iter()
+                    .filter(|(name, _)| !new_names.contains(*name))
+                    .map(|(name, model)| {
+                        let gen = inner.generations.get(name).copied().unwrap_or(0);
+                        (name.clone(), model.clone(), gen)
+                    })
+                    .collect()
+            };
+            // 2. Fan the pairwise sweep out, lock-free.
+            let tasks = self.build_tasks(&new, &existing);
+            let planned = self.execute_tasks(&tasks, cost, threads);
+            // 3. Install everything in one short write-lock critical
+            //    section, re-checking the snapshot generations first.
+            let mut inner = self.inner.write();
+            let snapshot_names: HashSet<&Arc<str>> =
+                existing.iter().map(|(name, _, _)| name).collect();
+            let stale = existing
+                .iter()
+                .any(|(name, _, gen)| inner.generations.get(name).copied().unwrap_or(0) != *gen)
+                || inner
+                    .models
+                    .keys()
+                    .any(|name| !new_names.contains(name) && !snapshot_names.contains(name));
+            if stale {
+                // A concurrent registration changed the catalog while we
+                // planned; our batch may reference stale graphs or miss
+                // pairs. Discard and re-plan against a fresh snapshot.
+                drop(inner);
                 continue;
             }
-            let t0 = std::time::Instant::now();
-            let to = self.planner.plan(&other, &model, cost);
-            planning.observe(t0.elapsed().as_secs_f64());
-            let t1 = std::time::Instant::now();
-            let from = self.planner.plan(&model, &other, cost);
-            planning.observe(t1.elapsed().as_secs_f64());
-            inner
-                .plans
-                .insert((other.name().to_string(), name.clone()), Arc::new(to));
-            inner
-                .plans
-                .insert((name.clone(), other.name().to_string()), Arc::new(from));
+            for ((name, model), load) in new.iter().zip(&new_load_costs) {
+                inner.models.insert(name.clone(), model.clone());
+                inner.load_costs.insert(name.clone(), *load);
+                *inner.generations.entry(name.clone()).or_insert(0) += 1;
+            }
+            for (task, plan) in tasks.iter().zip(planned) {
+                let src: Arc<str> = Arc::from(task.src.name());
+                let dst: Arc<str> = Arc::from(task.dst.name());
+                inner.plans.entry(src).or_default().insert(dst, plan);
+            }
+            break;
         }
-        inner.models.insert(name, model);
+        let telemetry = self.telemetry.read();
+        telemetry.warmup.observe(t0.elapsed().as_secs_f64());
+        telemetry.warmup_threads.set(threads as f64);
+    }
+
+    /// All directed planning jobs of a batch: new↔existing pairs plus
+    /// new↔new pairs, skipping cross-paradigm pairs (CNN↔transformer plans
+    /// always lose to scratch loading, §8.2 — the safeguard picks loading
+    /// without a cached plan).
+    fn build_tasks(
+        &self,
+        new: &[(Arc<str>, Arc<ModelGraph>)],
+        existing: &[(Arc<str>, Arc<ModelGraph>, u64)],
+    ) -> Vec<PlanTask> {
+        let mut tasks = Vec::new();
+        let mut push_pair = |a: &Arc<ModelGraph>, b: &Arc<ModelGraph>| {
+            if a.family().is_transformer() != b.family().is_transformer() {
+                return;
+            }
+            tasks.push(PlanTask {
+                src: a.clone(),
+                dst: b.clone(),
+            });
+            tasks.push(PlanTask {
+                src: b.clone(),
+                dst: a.clone(),
+            });
+        };
+        for (_, model) in new {
+            for (_, other, _) in existing {
+                push_pair(other, model);
+            }
+        }
+        for (i, (_, a)) in new.iter().enumerate() {
+            for (_, b) in new.iter().skip(i + 1) {
+                push_pair(a, b);
+            }
+        }
+        tasks
+    }
+
+    /// Compute every task's plan: inline for a single worker, otherwise on
+    /// a scoped pool pulling tasks off a shared atomic cursor (dynamic
+    /// load balancing — plan sizes vary wildly across model pairs).
+    fn execute_tasks(
+        &self,
+        tasks: &[PlanTask],
+        cost: &(dyn CostProvider + Sync),
+        threads: usize,
+    ) -> Vec<Arc<TransformPlan>> {
+        let planning = self.telemetry.read().planning.clone();
+        let plan_one = |task: &PlanTask| -> Arc<TransformPlan> {
+            let t = Instant::now();
+            let plan = self.planner.plan(&task.src, &task.dst, cost);
+            planning.observe(t.elapsed().as_secs_f64());
+            Arc::new(plan)
+        };
+        let workers = threads.min(tasks.len());
+        if workers <= 1 {
+            return tasks.iter().map(plan_one).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Arc<TransformPlan>>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    *results[i].lock().expect("unshared slot") = Some(plan_one(task));
+                });
+            }
+        })
+        .expect("planning worker panicked");
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("slot lock").expect("slot filled"))
+            .collect()
     }
 
     /// Number of registered models.
@@ -178,11 +368,8 @@ impl ModelRepository {
     /// Cached plan from `src` to `dst`, if both are registered and the pair
     /// is plannable.
     pub fn plan(&self, src: &str, dst: &str) -> Option<Arc<TransformPlan>> {
-        self.inner
-            .read()
-            .plans
-            .get(&(src.to_string(), dst.to_string()))
-            .cloned()
+        let inner = self.inner.read();
+        inner.plans.get(src)?.get(dst).cloned()
     }
 
     /// The §4.4 Module 3 decision: serve `dst` from a container currently
@@ -202,11 +389,12 @@ impl ModelRepository {
     }
 
     /// The decision plus whether a plan was cached for the pair, without
-    /// touching the plan-cache counters.
+    /// touching the plan-cache counters. Allocation-free: the plan map is
+    /// probed with the borrowed `&str` keys directly.
     fn decide_uncounted(&self, src: &str, dst: &str) -> Option<(TransformDecision, bool)> {
         let inner = self.inner.read();
         let load = *inner.load_costs.get(dst)?;
-        let plan = inner.plans.get(&(src.to_string(), dst.to_string()));
+        let plan = inner.plans.get(src).and_then(|per_src| per_src.get(dst));
         Some(match plan {
             Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
                 (TransformDecision::Transform(p.clone()), true)
@@ -226,7 +414,13 @@ impl ModelRepository {
 
     /// Names of all registered models, sorted.
     pub fn model_names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().models.keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .inner
+            .read()
+            .models
+            .keys()
+            .map(|k| k.to_string())
+            .collect();
         v.sort();
         v
     }
@@ -239,12 +433,20 @@ impl ModelRepository {
         let mut plans: Vec<((String, String), crate::metaop::TransformPlan)> = inner
             .plans
             .iter()
-            .map(|(k, v)| (k.clone(), (**v).clone()))
+            .flat_map(|(src, per_src)| {
+                per_src
+                    .iter()
+                    .map(|(dst, plan)| ((src.to_string(), dst.to_string()), (**plan).clone()))
+            })
             .collect();
         plans.sort_by(|a, b| a.0.cmp(&b.0));
         crate::persist::RepositorySnapshot {
             models,
-            load_costs: inner.load_costs.clone(),
+            load_costs: inner
+                .load_costs
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
             plans,
         }
     }
@@ -256,13 +458,25 @@ impl ModelRepository {
         load_costs: HashMap<String, f64>,
         plans: HashMap<(String, String), Arc<TransformPlan>>,
     ) -> ModelRepository {
+        let mut inner = Inner::default();
+        for (name, model) in models {
+            let name: Arc<str> = Arc::from(name.as_str());
+            inner.generations.insert(name.clone(), 1);
+            inner.models.insert(name, model);
+        }
+        for (name, cost) in load_costs {
+            inner.load_costs.insert(Arc::from(name.as_str()), cost);
+        }
+        for ((src, dst), plan) in plans {
+            inner
+                .plans
+                .entry(Arc::from(src.as_str()))
+                .or_default()
+                .insert(Arc::from(dst.as_str()), plan);
+        }
         ModelRepository {
             planner,
-            inner: RwLock::new(Inner {
-                models,
-                load_costs,
-                plans,
-            }),
+            inner: RwLock::new(inner),
             safeguard_ratio: 1.0,
             telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
         }
@@ -360,5 +574,67 @@ mod tests {
     fn model_names_sorted() {
         let repo = repo_with(vec![optimus_zoo::vgg::vgg19(), optimus_zoo::vgg::vgg11()]);
         assert_eq!(repo.model_names(), vec!["vgg11", "vgg19"]);
+    }
+
+    #[test]
+    fn register_all_matches_sequential_registration() {
+        let models = || {
+            vec![
+                optimus_zoo::vgg::vgg11(),
+                optimus_zoo::vgg::vgg16(),
+                optimus_zoo::resnet::resnet18(),
+                optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Tiny)),
+            ]
+        };
+        let cost = CostModel::default();
+        let sequential = repo_with(models());
+        let bulk = ModelRepository::new(Box::new(GroupPlanner));
+        bulk.register_all_with_threads(models(), &cost, 4);
+        assert_eq!(bulk.model_names(), sequential.model_names());
+        let a = sequential.snapshot().canonicalized().to_json();
+        let b = bulk.snapshot().canonicalized().to_json();
+        assert_eq!(a, b, "bulk and sequential registration must agree");
+    }
+
+    #[test]
+    fn register_all_records_warmup_telemetry() {
+        let registry = optimus_telemetry::MetricsRegistry::new();
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        repo.set_metrics_registry(&registry);
+        let cost = CostModel::default();
+        repo.register_all_with_threads(
+            vec![optimus_zoo::vgg::vgg11(), optimus_zoo::vgg::vgg16()],
+            &cost,
+            2,
+        );
+        let warmup = registry.histogram("optimus_plan_warmup_seconds", &[]);
+        assert_eq!(warmup.count(), 1, "one batch observed");
+        let threads = registry.gauge("optimus_plan_warmup_threads", &[]);
+        assert_eq!(threads.get(), 2.0);
+    }
+
+    #[test]
+    fn register_all_dedupes_names_last_wins() {
+        let cost = CostModel::default();
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        // Same name twice in one batch: the later graph must win, exactly
+        // like sequential re-registration.
+        let first = optimus_zoo::vgg::vgg11();
+        let second = optimus_zoo::vgg::vgg11();
+        repo.register_all_with_threads(vec![first, second, optimus_zoo::vgg::vgg16()], &cost, 2);
+        assert_eq!(repo.model_count(), 2);
+        assert!(repo.plan("vgg11", "vgg16").is_some());
+        assert!(repo.plan("vgg16", "vgg11").is_some());
+    }
+
+    #[test]
+    fn reregistration_replaces_plans() {
+        let cost = CostModel::default();
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+        let before = repo.plan("vgg16", "vgg19").unwrap();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        let after = repo.plan("vgg16", "vgg19").unwrap();
+        assert_eq!(before.cost, after.cost, "same graph, same plan");
+        assert_eq!(repo.model_count(), 2);
     }
 }

@@ -23,7 +23,10 @@
 //! - **Plan cache & safeguard** ([`ModelRepository`], §4.4 Module 3): plans
 //!   are computed offline when a model registers and cached; at request
 //!   time the scheduler only reads the cache, and falls back to a scratch
-//!   load whenever transformation would be slower.
+//!   load whenever transformation would be slower. Bulk registration
+//!   ([`ModelRepository::register_all`]) fans the O(N²) pairwise sweep
+//!   across a scoped worker pool, holding the repository lock only to
+//!   snapshot the catalog and to install the finished batch.
 //! - **Container scheduling** ([`scheduler`], §4.2): idle-container
 //!   identification by per-container timers and min-cost source selection.
 //!
@@ -64,6 +67,6 @@ pub use cache::{ModelRepository, TransformDecision};
 pub use executor::{execute_plan, ExecutionReport};
 pub use matrix::CostMatrix;
 pub use metaop::{MetaOp, PlanCost, TransformPlan};
-pub use munkres::solve_assignment;
+pub use munkres::{solve_assignment, solve_assignment_flat, MunkresScratch};
 pub use persist::RepositorySnapshot;
 pub use planner::{BruteForcePlanner, GroupPlanner, MunkresPlanner, NaivePlanner, Planner};

@@ -18,6 +18,10 @@
 //! `Reduce`, and insertion is `Add`. Impossible substitutions (different
 //! operation kinds) and off-diagonal delete/insert cells carry a large
 //! finite sentinel so the Hungarian solver never picks them.
+//!
+//! The costs live in a single flat row-major buffer (`costs[i * dim + j]`)
+//! so the Hungarian kernel walks contiguous rows with no pointer chasing
+//! and the whole matrix is one allocation.
 
 use optimus_model::{ModelGraph, OpId};
 use optimus_profile::CostProvider;
@@ -29,8 +33,11 @@ pub(crate) const FORBIDDEN: f64 = 1.0e9;
 /// The edit-cost matrix plus the op-id orderings it was built from.
 #[derive(Debug, Clone)]
 pub struct CostMatrix {
-    /// `(n+m)×(n+m)` costs.
-    pub costs: Vec<Vec<f64>>,
+    /// `(n+m)×(n+m)` costs, flat row-major: entry `(i, j)` is
+    /// `costs[i * dim + j]` (see [`CostMatrix::at`]).
+    pub costs: Vec<f64>,
+    /// Side length `n + m`.
+    dim: usize,
     /// Source op ids in row order (first `n` rows).
     pub src_ids: Vec<OpId>,
     /// Destination op ids in column order (first `m` columns).
@@ -45,35 +52,46 @@ impl CostMatrix {
         let n = src_ids.len();
         let m = dst_ids.len();
         let k = n + m;
-        let mut costs = vec![vec![FORBIDDEN; k]; k];
+        let mut costs = vec![FORBIDDEN; k * k];
         for (i, &sid) in src_ids.iter().enumerate() {
             let sop = src.op(sid).expect("src id");
+            let row = &mut costs[i * k..(i + 1) * k];
             // Substitution block.
             for (j, &did) in dst_ids.iter().enumerate() {
                 let dop = dst.op(did).expect("dst id");
                 if let Some(c) = cost.substitute_cost(sop, dop) {
-                    costs[i][j] = c;
+                    row[j] = c;
                 }
             }
             // Deletion block: row i may map to column m+i only.
-            costs[i][m + i] = cost.reduce_cost(&sop.attrs);
+            row[m + i] = cost.reduce_cost(&sop.attrs);
         }
         for (j, &did) in dst_ids.iter().enumerate() {
             let dop = dst.op(did).expect("dst id");
             // Insertion block: row n+j may map to column j only.
-            costs[n + j][j] = cost.add_cost(&dop.attrs);
+            costs[(n + j) * k + j] = cost.add_cost(&dop.attrs);
         }
         // Bottom-right block: ε→ε is free.
-        for j in 0..n {
-            for i in 0..m {
-                costs[n + i][m + j] = 0.0;
-            }
+        for i in 0..m {
+            costs[(n + i) * k + m..(n + i) * k + k].fill(0.0);
         }
         CostMatrix {
             costs,
+            dim: k,
             src_ids,
             dst_ids,
         }
+    }
+
+    /// Cost entry `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.costs[i * self.dim + j]
+    }
+
+    /// Side length of the square matrix (`n + m`).
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// Number of source operations `n`.
@@ -84,6 +102,12 @@ impl CostMatrix {
     /// Number of destination operations `m`.
     pub fn m(&self) -> usize {
         self.dst_ids.len()
+    }
+
+    /// Copy out the nested `Vec<Vec<f64>>` representation (test oracle
+    /// bridge to [`crate::solve_assignment`]).
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        self.costs.chunks(self.dim).map(<[f64]>::to_vec).collect()
     }
 }
 
@@ -112,8 +136,11 @@ mod tests {
         let m = CostMatrix::build(&a, &b, &CostModel::default());
         assert_eq!(m.n(), 3);
         assert_eq!(m.m(), 5);
-        assert_eq!(m.costs.len(), 8);
-        assert!(m.costs.iter().all(|r| r.len() == 8));
+        assert_eq!(m.dim(), 8);
+        assert_eq!(m.costs.len(), 64, "flat buffer holds dim² entries");
+        let nested = m.to_nested();
+        assert_eq!(nested.len(), 8);
+        assert!(nested.iter().all(|r| r.len() == 8));
     }
 
     #[test]
@@ -126,20 +153,33 @@ mod tests {
         for i in 0..n {
             for j in 0..n {
                 if i == j {
-                    assert!(cm.costs[i][m + j] < FORBIDDEN);
+                    assert!(cm.at(i, m + j) < FORBIDDEN);
                 } else {
-                    assert_eq!(cm.costs[i][m + j], FORBIDDEN);
+                    assert_eq!(cm.at(i, m + j), FORBIDDEN);
                 }
             }
         }
         // Insertion block: diagonal finite.
         for j in 0..m {
-            assert!(cm.costs[n + j][j] < FORBIDDEN);
+            assert!(cm.at(n + j, j) < FORBIDDEN);
         }
         // Bottom-right block all zeros.
         for i in 0..m {
             for j in 0..n {
-                assert_eq!(cm.costs[n + i][m + j], 0.0);
+                assert_eq!(cm.at(n + i, m + j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_and_nested_views_agree() {
+        let a = tiny("a", 2);
+        let b = tiny("b", 3);
+        let cm = CostMatrix::build(&a, &b, &CostModel::default());
+        let nested = cm.to_nested();
+        for (i, row) in nested.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cm.at(i, j), cell);
             }
         }
     }
@@ -160,6 +200,6 @@ mod tests {
             .iter()
             .position(|id| b.op(*id).unwrap().kind() == optimus_model::OpKind::Activation)
             .unwrap();
-        assert_eq!(cm.costs[conv_row][act_col], FORBIDDEN);
+        assert_eq!(cm.at(conv_row, act_col), FORBIDDEN);
     }
 }

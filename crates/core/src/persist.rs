@@ -34,6 +34,19 @@ impl RepositorySnapshot {
         serde_json::to_string(self).expect("snapshot serialization cannot fail")
     }
 
+    /// The snapshot with volatile host-timing fields zeroed
+    /// (`planning_seconds` is wall-clock measured during planning, so two
+    /// registrations of identical catalogs differ only there). Two
+    /// repositories hold the same plan set iff their canonicalized
+    /// snapshots serialize to identical bytes — the warmup experiment's
+    /// parallel-vs-sequential equivalence check.
+    pub fn canonicalized(mut self) -> RepositorySnapshot {
+        for (_, plan) in &mut self.plans {
+            plan.planning_seconds = 0.0;
+        }
+        self
+    }
+
     /// Deserialize from JSON.
     ///
     /// # Errors

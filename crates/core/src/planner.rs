@@ -14,6 +14,7 @@
 //! - [`NaivePlanner`] — delete-everything / add-everything, i.e. what a
 //!   traditional platform effectively does; the ablation baseline.
 
+use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -22,7 +23,14 @@ use optimus_profile::CostProvider;
 
 use crate::matrix::{CostMatrix, FORBIDDEN};
 use crate::metaop::{MetaOp, PlanCost, TransformPlan};
-use crate::munkres::solve_assignment;
+use crate::munkres::{solve_assignment_flat, MunkresScratch};
+
+thread_local! {
+    /// Per-thread Hungarian scratch: repeated plans on the same thread (the
+    /// plan cache's O(N²) registration sweep, sequential or one worker of
+    /// the parallel pool) reuse one set of working buffers.
+    static SCRATCH: RefCell<MunkresScratch> = RefCell::new(MunkresScratch::new());
+}
 
 /// A strategy for computing transformation plans.
 pub trait Planner {
@@ -53,15 +61,19 @@ impl Planner for MunkresPlanner {
     fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan {
         let start = Instant::now();
         let matrix = CostMatrix::build(src, dst, &ByRef(cost));
-        let assignment = solve_assignment(&matrix.costs);
         let n = matrix.n();
         let m = matrix.m();
-        let mut mapping = Vec::new();
-        for (i, &j) in assignment.iter().enumerate().take(n) {
-            if j < m && matrix.costs[i][j] < FORBIDDEN {
-                mapping.push((matrix.src_ids[i], matrix.dst_ids[j]));
+        let mapping = SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let assignment = solve_assignment_flat(&matrix.costs, matrix.dim(), &mut scratch);
+            let mut mapping = Vec::new();
+            for (i, &j) in assignment.iter().enumerate().take(n) {
+                if j < m && matrix.at(i, j) < FORBIDDEN {
+                    mapping.push((matrix.src_ids[i], matrix.dst_ids[j]));
+                }
             }
-        }
+            mapping
+        });
         let planning = start.elapsed().as_secs_f64();
         assemble_plan(src, dst, cost, mapping, self.name(), planning)
     }
@@ -116,7 +128,7 @@ impl Planner for BruteForcePlanner {
     fn plan(&self, src: &ModelGraph, dst: &ModelGraph, cost: &dyn CostProvider) -> TransformPlan {
         let start = Instant::now();
         let matrix = CostMatrix::build(src, dst, &ByRef(cost));
-        let k = matrix.costs.len();
+        let k = matrix.dim();
         assert!(
             k <= 10,
             "brute-force planner is limited to n+m <= 10 (got {k})"
@@ -124,7 +136,7 @@ impl Planner for BruteForcePlanner {
         let mut perm: Vec<usize> = (0..k).collect();
         let mut best: Option<(f64, Vec<usize>)> = None;
         permute(&mut perm, 0, &mut |p| {
-            let c: f64 = p.iter().enumerate().map(|(i, &j)| matrix.costs[i][j]).sum();
+            let c: f64 = p.iter().enumerate().map(|(i, &j)| matrix.at(i, j)).sum();
             if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
                 best = Some((c, p.to_vec()));
             }
@@ -134,7 +146,7 @@ impl Planner for BruteForcePlanner {
         let m = matrix.m();
         let mut mapping = Vec::new();
         for (i, &j) in assignment.iter().enumerate().take(n) {
-            if j < m && matrix.costs[i][j] < FORBIDDEN {
+            if j < m && matrix.at(i, j) < FORBIDDEN {
                 mapping.push((matrix.src_ids[i], matrix.dst_ids[j]));
             }
         }

@@ -1,0 +1,147 @@
+//! Concurrency contract of the snapshot → fan-out → install registration
+//! pipeline: `decide()` readers racing a bulk `register_all` must observe
+//! either the pre-registration plan set or the complete post-registration
+//! one — never a partially installed batch — and pre-registered pairs must
+//! stay decidable throughout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+
+#[test]
+fn readers_never_observe_partial_plan_sets() {
+    let cost = CostModel::default();
+    let repo = Arc::new(ModelRepository::new(Box::new(GroupPlanner)));
+    repo.register_all(
+        vec![optimus_zoo::vgg::vgg11(), optimus_zoo::vgg::vgg16()],
+        &cost,
+    );
+    assert!(repo.decide("vgg11", "vgg16").unwrap().is_transform());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..2 {
+        let repo = repo.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut saw_new = false;
+            while !stop.load(Ordering::Acquire) {
+                // The pre-registered pair must stay decidable (old plans
+                // are never unpublished during a registration).
+                let d = repo
+                    .decide("vgg11", "vgg16")
+                    .expect("pre-registered pair always decidable");
+                assert!(d.is_transform(), "vgg11→vgg16 plan must stay cached");
+                // Atomic install: the moment a new model is visible, its
+                // entire plan set (both directions, against every
+                // same-paradigm model) must be visible with it.
+                if repo.model("vgg19").is_some() {
+                    saw_new = true;
+                    for (src, dst) in [
+                        ("vgg19", "vgg11"),
+                        ("vgg11", "vgg19"),
+                        ("vgg19", "vgg16"),
+                        ("vgg16", "vgg19"),
+                        ("vgg19", "resnet18"),
+                        ("resnet18", "vgg19"),
+                    ] {
+                        assert!(
+                            repo.plan(src, dst).is_some(),
+                            "model visible but plan {src}->{dst} missing: partial install"
+                        );
+                    }
+                    assert!(
+                        repo.load_cost("vgg19").is_some(),
+                        "model visible but load cost missing"
+                    );
+                }
+            }
+            saw_new
+        }));
+    }
+
+    // Bulk-register two more CNNs on a worker pool while readers hammer
+    // the cache.
+    repo.register_all_with_threads(
+        vec![optimus_zoo::vgg::vgg19(), optimus_zoo::resnet::resnet18()],
+        &cost,
+        2,
+    );
+    // Give readers a window to observe the installed state, then stop.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+    while std::time::Instant::now() < deadline && repo.model("vgg19").is_none() {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        r.join()
+            .expect("reader panicked (partial plan set observed)");
+    }
+
+    // Final state: the full 4-model CNN clique is planned.
+    assert_eq!(repo.model_count(), 4);
+    let names = ["vgg11", "vgg16", "vgg19", "resnet18"];
+    for src in names {
+        for dst in names {
+            if src != dst {
+                assert!(repo.plan(src, dst).is_some(), "missing {src}->{dst}");
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_reregistration_never_publishes_stale_plans() {
+    // Two threads race to (re-)register overlapping catalogs; the
+    // generation check forces the loser to re-plan against the winner's
+    // graphs, so the final cache must be exactly what sequential
+    // registration of the final model set produces.
+    let cost = CostModel::default();
+    let repo = Arc::new(ModelRepository::new(Box::new(GroupPlanner)));
+    repo.register(optimus_zoo::vgg::vgg11(), &cost);
+
+    let a = {
+        let repo = repo.clone();
+        std::thread::spawn(move || {
+            let cost = CostModel::default();
+            repo.register_all_with_threads(
+                vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()],
+                &cost,
+                2,
+            );
+        })
+    };
+    let b = {
+        let repo = repo.clone();
+        std::thread::spawn(move || {
+            let cost = CostModel::default();
+            repo.register_all_with_threads(
+                vec![optimus_zoo::resnet::resnet18(), optimus_zoo::vgg::vgg19()],
+                &cost,
+                2,
+            );
+        })
+    };
+    a.join().unwrap();
+    b.join().unwrap();
+
+    let expected = {
+        let seq = ModelRepository::new(Box::new(GroupPlanner));
+        for m in [
+            optimus_zoo::vgg::vgg11(),
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::vgg::vgg19(),
+            optimus_zoo::resnet::resnet18(),
+        ] {
+            seq.register(m, &cost);
+        }
+        seq.snapshot().canonicalized().to_json()
+    };
+    assert_eq!(
+        repo.snapshot().canonicalized().to_json(),
+        expected,
+        "racing registrations must converge to the sequential plan cache"
+    );
+}

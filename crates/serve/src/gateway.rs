@@ -35,6 +35,19 @@ impl GatewayBuilder {
         GatewayBuilder { names, ..self }
     }
 
+    /// Register a whole catalog at once, fanning the offline pairwise
+    /// planning sweep across a worker pool sized to the machine
+    /// ([`ModelRepository::register_all`]). Produces exactly the same plan
+    /// cache as chained [`GatewayBuilder::register`] calls, but the
+    /// full-catalog warmup scales with available cores and the repository
+    /// lock is held only to snapshot and install.
+    pub fn register_all(self, models: Vec<ModelGraph>) -> Self {
+        let mut names = self.names;
+        names.extend(models.iter().map(|m| m.name().to_string()));
+        self.repo.register_all(models, &self.cost);
+        GatewayBuilder { names, ..self }
+    }
+
     /// Record all telemetry (request counters, phase histograms, plan-cache
     /// counters) into `registry` instead of the process-wide
     /// [`optimus_telemetry::global`] registry. The gateway's `/metrics`

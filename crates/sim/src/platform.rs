@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use optimus_core::{scheduler::choose_source, ModelRepository};
 use optimus_model::signature::OpSignature;
+use optimus_model::ModelGraph;
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
 use optimus_telemetry::{RequestTrace, TelemetrySink};
 use optimus_workload::{demand_histogram, Trace};
@@ -84,6 +85,17 @@ impl Platform {
             functions,
             sink: None,
         }
+    }
+
+    /// Build a platform directly from a model catalog: constructs a
+    /// repository with the linear-time group planner, bulk-registers the
+    /// catalog (parallel offline planning via
+    /// [`ModelRepository::register_all`]), and wraps it in a platform.
+    pub fn with_catalog(config: SimConfig, policy: Policy, models: Vec<ModelGraph>) -> Self {
+        let repo = ModelRepository::new(Box::new(optimus_core::GroupPlanner));
+        let cost = CostModel::new(config.env);
+        repo.register_all(models, &cost);
+        Platform::new(config, policy, Arc::new(repo))
     }
 
     /// Export every simulated request through `sink` (e.g. an

@@ -41,10 +41,12 @@ fn main() {
         keep_alive: 60.0,
     };
     let gateway = Gateway::builder(config)
-        .register(small_cnn("cnn-narrow", &[8, 16]))
-        .register(small_cnn("cnn-wide", &[16, 32]))
-        .register(small_cnn("cnn-deep", &[8, 16, 24]))
-        .register(small_cnn("cnn-tiny", &[4]))
+        .register_all(vec![
+            small_cnn("cnn-narrow", &[8, 16]),
+            small_cnn("cnn-wide", &[16, 32]),
+            small_cnn("cnn-deep", &[8, 16, 24]),
+            small_cnn("cnn-tiny", &[4]),
+        ])
         .spawn();
 
     println!("registered models: {:?}\n", gateway.models());

@@ -21,22 +21,21 @@ fn main() {
     // Model population: a VGG family and a BERT family.
     let repo = Arc::new(ModelRepository::new(Box::new(GroupPlanner)));
     let cost = CostModel::default();
-    for m in [
+    let mut models = vec![
         optimus::zoo::vgg::vgg11(),
         optimus::zoo::vgg::vgg13(),
         optimus::zoo::vgg::vgg16(),
         optimus::zoo::vgg::vgg19(),
-    ] {
-        repo.register(m, &cost);
-    }
+    ];
     for cfg in [
         optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Tiny),
         optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Mini),
         optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Small),
         optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Base),
     ] {
-        repo.register(optimus::zoo::bert(cfg), &cost);
+        models.push(optimus::zoo::bert(cfg));
     }
+    repo.register_all(models, &cost);
 
     // Demand histories: half the functions peak in the morning, half in
     // the evening — complementary pairs are good co-location candidates.

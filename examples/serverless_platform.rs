@@ -35,12 +35,10 @@ fn main() {
         optimus::zoo::bert::bert(optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Mini)),
     ];
     println!(
-        "registering {} models (computes the plan cache)...",
+        "registering {} models (computes the plan cache on a worker pool)...",
         models.len()
     );
-    for m in models {
-        repo.register(m, &cost);
-    }
+    repo.register_all(models, &cost);
     let functions = repo.model_names();
 
     // 2. A production-like trace: 6 hours of Azure-style arrivals.

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== exp_plan_warmup (small CI config) =="
+cargo run --release -q -p optimus-bench --bin exp_plan_warmup -- --small
+
 echo "all checks passed"

@@ -259,9 +259,11 @@ fn cmd_analyze(opts: &[String]) -> Result<(), String> {
 fn cmd_snapshot(models_csv: &str, path: &str) -> Result<(), String> {
     let repo = ModelRepository::new(Box::new(GroupPlanner));
     let cost = CostModel::default();
-    for name in models_csv.split(',') {
-        repo.register(build(name.trim())?, &cost);
-    }
+    let models = models_csv
+        .split(',')
+        .map(|name| build(name.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    repo.register_all(models, &cost);
     let snap = repo.snapshot();
     let json = snap.to_json();
     std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -371,12 +373,12 @@ fn cmd_simulate(models_csv: &str, opts: &[String]) -> Result<(), String> {
 
     let repo = ModelRepository::new(Box::new(GroupPlanner));
     let cost = CostModel::default();
-    let mut functions = Vec::new();
+    let mut models = Vec::new();
     for name in models_csv.split(',') {
-        let model = build(name.trim())?;
-        functions.push(model.name().to_string());
-        repo.register(model, &cost);
+        models.push(build(name.trim())?);
     }
+    let functions: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
+    repo.register_all(models, &cost);
     let repo = Arc::new(repo);
     let trace: Trace = match get("--workload").unwrap_or("azure") {
         "poisson" => PoissonGenerator::new(rate, duration, 7).generate(&functions),
@@ -437,11 +439,12 @@ fn cmd_serve(models_csv: &str, opts: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --port: {e}")))
         .transpose()?
         .unwrap_or(8080);
-    let mut builder = optimus::serve::Gateway::builder(optimus::serve::GatewayConfig::default());
-    for name in models_csv.split(',') {
-        builder = builder.register(build(name.trim())?);
-    }
-    let gateway = std::sync::Arc::new(builder.spawn());
+    let builder = optimus::serve::Gateway::builder(optimus::serve::GatewayConfig::default());
+    let models = models_csv
+        .split(',')
+        .map(|name| build(name.trim()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let gateway = std::sync::Arc::new(builder.register_all(models).spawn());
     let server = optimus::serve::HttpServer::serve(gateway, port).map_err(|e| e.to_string())?;
     println!("Optimus gateway listening on http://{}", server.addr());
     println!("  GET  /models");

@@ -12,16 +12,17 @@ use optimus::workload::{AzureTraceGenerator, PoissonGenerator};
 fn small_repo() -> Arc<ModelRepository> {
     let repo = ModelRepository::new(Box::new(GroupPlanner));
     let cost = CostModel::default();
-    for m in [
-        optimus::zoo::vgg::vgg11(),
-        optimus::zoo::vgg::vgg16(),
-        optimus::zoo::resnet::resnet18(),
-        optimus::zoo::resnet::resnet50(),
-        optimus::zoo::mobilenet::mobilenet_v1(1.0, 0),
-        optimus::zoo::mobilenet::mobilenet_v1(0.5, 0),
-    ] {
-        repo.register(m, &cost);
-    }
+    repo.register_all(
+        vec![
+            optimus::zoo::vgg::vgg11(),
+            optimus::zoo::vgg::vgg16(),
+            optimus::zoo::resnet::resnet18(),
+            optimus::zoo::resnet::resnet50(),
+            optimus::zoo::mobilenet::mobilenet_v1(1.0, 0),
+            optimus::zoo::mobilenet::mobilenet_v1(0.5, 0),
+        ],
+        &cost,
+    );
     Arc::new(repo)
 }
 
@@ -146,22 +147,21 @@ fn sharing_aware_balancer_beats_hash_for_optimus() {
     let repo = {
         let repo = ModelRepository::new(Box::new(GroupPlanner));
         let cost = CostModel::default();
-        for m in [
+        let mut models = vec![
             optimus::zoo::vgg::vgg11(),
             optimus::zoo::vgg::vgg13(),
             optimus::zoo::vgg::vgg16(),
             optimus::zoo::vgg::vgg19(),
-        ] {
-            repo.register(m, &cost);
-        }
+        ];
         for cfg in [
             optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Tiny),
             optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Mini),
             optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Small),
             optimus::zoo::BertConfig::new(optimus::zoo::BertSize::Medium),
         ] {
-            repo.register(optimus::zoo::bert(cfg), &cost);
+            models.push(optimus::zoo::bert(cfg));
         }
+        repo.register_all(models, &cost);
         Arc::new(repo)
     };
     let functions = repo.model_names();
