@@ -28,6 +28,7 @@ fn serving_benches(c: &mut Criterion) {
         capacity_per_node: 2,
         idle_threshold: 1e9, // never transform: pure warm path
         keep_alive: 1e9,
+        store: None,
     })
     .register(tiny("warm", &[8]))
     .spawn();
@@ -44,6 +45,7 @@ fn serving_benches(c: &mut Criterion) {
         capacity_per_node: 1,
         idle_threshold: 0.0,
         keep_alive: 1e9,
+        store: None,
     })
     .register(tiny("a", &[8]))
     .register(tiny("b", &[16, 16]))

@@ -412,6 +412,41 @@ impl ModelRepository {
         self.decide_uncounted(src, dst).map(|(d, _)| d.latency())
     }
 
+    /// Chunk split of the cached `src → dst` plan (see
+    /// [`crate::plan_chunks`]): the payload chunks a store must fetch vs.
+    /// the destination chunks reused from the source in place. `None`
+    /// when either model is unregistered or no plan is cached.
+    pub fn plan_chunks(
+        &self,
+        src: &str,
+        dst: &str,
+        chunk_bytes: u64,
+    ) -> Option<crate::chunks::PlanChunks> {
+        let (plan, model) = {
+            let inner = self.inner.read();
+            let plan = inner.plans.get(src)?.get(dst)?.clone();
+            let model = inner.models.get(dst)?.clone();
+            (plan, model)
+        };
+        Some(crate::chunks::plan_chunks(&plan, &model, chunk_bytes))
+    }
+
+    /// Deduplicated union of every cached plan's payload chunks, sorted
+    /// by id. Nodes pin this working set in their weight store so LRU
+    /// pressure never evicts bytes a cached transformation is about to
+    /// write.
+    pub fn plan_referenced_chunks(&self, chunk_bytes: u64) -> Vec<optimus_store::ChunkRef> {
+        let plans: Vec<Arc<TransformPlan>> = {
+            let inner = self.inner.read();
+            inner
+                .plans
+                .values()
+                .flat_map(|per_src| per_src.values().cloned())
+                .collect()
+        };
+        crate::chunks::plans_referenced_chunks(plans.iter().map(|p| p.as_ref()), chunk_bytes)
+    }
+
     /// Names of all registered models, sorted.
     pub fn model_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self
@@ -441,6 +476,7 @@ impl ModelRepository {
             .collect();
         plans.sort_by(|a, b| a.0.cmp(&b.0));
         crate::persist::RepositorySnapshot {
+            version: crate::persist::SNAPSHOT_VERSION,
             models,
             load_costs: inner
                 .load_costs

@@ -18,6 +18,15 @@ pub struct ExecutionReport {
     /// Whether the transformed graph matched the destination model
     /// structurally and weight-wise.
     pub verified: bool,
+    /// Weight bytes written by `Replace`/`Add` steps — the *delta* a
+    /// content-addressed store must actually fetch for this
+    /// transformation.
+    pub fetched_bytes: u64,
+    /// Destination weight bytes *not* rewritten by the plan: source
+    /// content carried over in place (kept or reshaped ops). Together
+    /// with `fetched_bytes` this is the §6.1 "transform moves only the
+    /// difference" accounting, at byte granularity.
+    pub reused_bytes: u64,
 }
 
 /// Apply `plan` to `graph` (the model currently loaded in the container),
@@ -50,6 +59,7 @@ pub fn execute_plan(
     // fresh ids recorded here.
     let mut dst_node: HashMap<OpId, OpId> = plan.mapping.iter().map(|(s, d)| (*d, *s)).collect();
     let mut steps_applied = 0usize;
+    let mut fetched_bytes = 0u64;
     for step in &plan.steps {
         match step {
             MetaOp::Reshape { src, attrs } => {
@@ -83,12 +93,14 @@ pub fn execute_plan(
             }
             MetaOp::Replace { src, weights } => {
                 let op = graph.op_mut(*src).ok_or(ModelError::UnknownOp(*src))?;
+                fetched_bytes += weights.byte_size() as u64;
                 op.weights = Some(weights.clone());
             }
             MetaOp::Reduce { src } => {
                 graph.remove_op(*src)?;
             }
             MetaOp::Add { op, dst: dst_id } => {
+                fetched_bytes += op.weights.as_ref().map_or(0, |w| w.byte_size() as u64);
                 let id = graph.add_op(op.clone());
                 dst_node.insert(*dst_id, id);
             }
@@ -129,6 +141,8 @@ pub fn execute_plan(
     Ok(ExecutionReport {
         steps_applied,
         verified,
+        fetched_bytes,
+        reused_bytes: (dst.byte_size() as u64).saturating_sub(fetched_bytes),
     })
 }
 
@@ -161,6 +175,11 @@ mod tests {
         assert!(report.verified);
         assert!(g.structurally_equal(dst));
         assert_eq!(g.name(), dst.name());
+        assert_eq!(
+            report.fetched_bytes + report.reused_bytes,
+            dst.byte_size() as u64,
+            "delta accounting must partition the destination's bytes"
+        );
     }
 
     #[test]
@@ -230,7 +249,11 @@ mod tests {
         assert_eq!(plan.cost.n_add, 0);
         assert_eq!(plan.cost.n_reduce, 0);
         let mut g = a.clone();
-        execute_plan(&mut g, &plan, &bb).unwrap();
+        let report = execute_plan(&mut g, &plan, &bb).unwrap();
+        // A replace-only plan rewrites every destination byte: the store
+        // fetches the full weight set and reuses nothing.
+        assert_eq!(report.fetched_bytes, bb.byte_size() as u64);
+        assert_eq!(report.reused_bytes, 0);
     }
 
     #[test]

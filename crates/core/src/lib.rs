@@ -55,6 +55,7 @@
 //! ```
 
 mod cache;
+mod chunks;
 mod executor;
 mod matrix;
 mod metaop;
@@ -64,9 +65,10 @@ mod planner;
 pub mod scheduler;
 
 pub use cache::{ModelRepository, TransformDecision};
+pub use chunks::{plan_chunks, plans_referenced_chunks, PlanChunks};
 pub use executor::{execute_plan, ExecutionReport};
 pub use matrix::CostMatrix;
 pub use metaop::{MetaOp, PlanCost, TransformPlan};
 pub use munkres::{solve_assignment, solve_assignment_flat, MunkresScratch};
-pub use persist::RepositorySnapshot;
+pub use persist::{RepositorySnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use planner::{BruteForcePlanner, GroupPlanner, MunkresPlanner, NaivePlanner, Planner};

@@ -6,8 +6,15 @@
 //! load costs, and the entire cached plan set; it round-trips through JSON
 //! so a gateway restart (or a new node joining) skips the offline planning
 //! pass entirely.
+//!
+//! Snapshots are **version-stamped** ([`SNAPSHOT_VERSION`]): the format
+//! version is checked *before* the full structure is deserialized, so a
+//! snapshot written by an incompatible build is rejected with a typed
+//! [`SnapshotError::UnsupportedVersion`] instead of a confusing field-level
+//! parse failure (or a panic deep inside graph validation).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use optimus_model::ModelGraph;
@@ -17,9 +24,50 @@ use crate::cache::ModelRepository;
 use crate::metaop::TransformPlan;
 use crate::planner::Planner;
 
+/// Current snapshot schema version. Bump on any incompatible change to
+/// [`RepositorySnapshot`] (or to the serialized form of the types it
+/// embeds).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a persisted snapshot could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input is not valid JSON, or not a snapshot-shaped object.
+    Malformed(String),
+    /// The snapshot was written with a different schema version.
+    /// `found == 0` means the input predates version stamping.
+    UnsupportedVersion {
+        /// Version recorded in the snapshot (0 if absent).
+        found: u64,
+        /// Version this build reads ([`SNAPSHOT_VERSION`]).
+        expected: u32,
+    },
+    /// The snapshot parsed but its contents are inconsistent (invalid
+    /// model, plan or load cost referencing an unknown model, …).
+    Invalid(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Malformed(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {expected})"
+            ),
+            SnapshotError::Invalid(e) => write!(f, "invalid snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// Serializable snapshot of a [`ModelRepository`]'s state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RepositorySnapshot {
+    /// Schema version of this snapshot ([`SNAPSHOT_VERSION`] when written
+    /// by this build).
+    pub version: u32,
     /// Registered models.
     pub models: Vec<ModelGraph>,
     /// Profiled scratch-load cost per model name.
@@ -47,13 +95,32 @@ impl RepositorySnapshot {
         self
     }
 
-    /// Deserialize from JSON.
+    /// Deserialize from JSON, checking the schema version first.
     ///
     /// # Errors
     ///
-    /// Returns the serde error message on malformed input.
-    pub fn from_json(json: &str) -> Result<RepositorySnapshot, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    /// [`SnapshotError::Malformed`] on invalid JSON or a non-object root;
+    /// [`SnapshotError::UnsupportedVersion`] when the `version` stamp is
+    /// missing or differs from [`SNAPSHOT_VERSION`].
+    pub fn from_json(json: &str) -> Result<RepositorySnapshot, SnapshotError> {
+        // Probe the version on the raw value tree before committing to the
+        // struct layout: a v2 snapshot must fail with "unsupported
+        // version", not with whatever field happens to differ first.
+        let value: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if value.as_object().is_none() {
+            return Err(SnapshotError::Malformed(
+                "snapshot root is not an object".to_string(),
+            ));
+        }
+        let found = value.get("version").and_then(|v| v.as_u64()).unwrap_or(0);
+        if found != u64::from(SNAPSHOT_VERSION) {
+            return Err(SnapshotError::UnsupportedVersion {
+                found,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        serde_json::from_str(json).map_err(|e| SnapshotError::Malformed(e.to_string()))
     }
 }
 
@@ -70,26 +137,39 @@ impl ModelRepository {
     ///
     /// # Errors
     ///
-    /// Rejects snapshots whose plans reference unknown models or whose
-    /// models fail validation.
+    /// [`SnapshotError::UnsupportedVersion`] on a version mismatch (a
+    /// programmatically built snapshot can carry any stamp);
+    /// [`SnapshotError::Invalid`] when plans or load costs reference
+    /// unknown models or a model fails validation.
     pub fn restore(
         snapshot: RepositorySnapshot,
         planner: Box<dyn Planner + Send + Sync>,
-    ) -> Result<ModelRepository, String> {
+    ) -> Result<ModelRepository, SnapshotError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: u64::from(snapshot.version),
+                expected: SNAPSHOT_VERSION,
+            });
+        }
         let mut models = HashMap::new();
         for m in snapshot.models {
-            m.validate()
-                .map_err(|e| format!("model '{}' invalid: {e}", m.name()))?;
+            m.validate().map_err(|e| {
+                SnapshotError::Invalid(format!("model '{}' invalid: {e}", m.name()))
+            })?;
             models.insert(m.name().to_string(), Arc::new(m));
         }
         for ((src, dst), _) in &snapshot.plans {
             if !models.contains_key(src) || !models.contains_key(dst) {
-                return Err(format!("plan {src}->{dst} references unknown models"));
+                return Err(SnapshotError::Invalid(format!(
+                    "plan {src}->{dst} references unknown models"
+                )));
             }
         }
         for name in snapshot.load_costs.keys() {
             if !models.contains_key(name) {
-                return Err(format!("load cost for unknown model '{name}'"));
+                return Err(SnapshotError::Invalid(format!(
+                    "load cost for unknown model '{name}'"
+                )));
             }
         }
         let plans = snapshot
@@ -125,6 +205,7 @@ mod tests {
     fn snapshot_roundtrip_preserves_everything() {
         let repo = sample_repo();
         let snap = repo.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
         assert_eq!(snap.models.len(), 3);
         assert_eq!(snap.plans.len(), 6, "3 models: 6 directed pairs");
         let json = snap.to_json();
@@ -163,12 +244,51 @@ mod tests {
 
     #[test]
     fn corrupt_snapshots_are_rejected() {
-        assert!(RepositorySnapshot::from_json("{bad").is_err());
+        assert!(matches!(
+            RepositorySnapshot::from_json("{bad"),
+            Err(SnapshotError::Malformed(_))
+        ));
+        assert!(matches!(
+            RepositorySnapshot::from_json("[1, 2]"),
+            Err(SnapshotError::Malformed(_))
+        ));
         // Plan referencing a missing model.
         let repo = sample_repo();
         let mut snap = repo.snapshot();
         snap.models.retain(|m| m.name() != "vgg19");
-        assert!(ModelRepository::restore(snap, Box::new(GroupPlanner)).is_err());
+        assert!(matches!(
+            ModelRepository::restore(snap, Box::new(GroupPlanner)),
+            Err(SnapshotError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let repo = sample_repo();
+        // A future (or past) on-disk version is rejected before the struct
+        // parse ever runs, even though the rest of the payload matches the
+        // current layout exactly.
+        let mut future = repo.snapshot();
+        future.version = SNAPSHOT_VERSION + 1;
+        match RepositorySnapshot::from_json(&future.to_json()) {
+            Err(SnapshotError::UnsupportedVersion { found, expected }) => {
+                assert_eq!(found, u64::from(SNAPSHOT_VERSION) + 1);
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // Pre-stamping snapshots (no `version` member at all) report 0.
+        match RepositorySnapshot::from_json("{\"models\":[]}") {
+            Err(SnapshotError::UnsupportedVersion { found, .. }) => assert_eq!(found, 0),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // `restore` itself re-checks the stamp for in-memory snapshots.
+        let mut snap = repo.snapshot();
+        snap.version = 99;
+        assert!(matches!(
+            ModelRepository::restore(snap, Box::new(GroupPlanner)),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
     }
 
     #[test]

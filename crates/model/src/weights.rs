@@ -131,6 +131,19 @@ impl WeightSpec {
         Tensor::new(self.shape.clone(), data)
     }
 
+    /// Stable content fingerprint of this tensor (shape + initialiser).
+    ///
+    /// Two specs with the same fingerprint materialise to identical values
+    /// — the per-tensor analogue of [`Weights::id`], and the basis of
+    /// `optimus-store`'s content-addressed chunk ids. The hash is a pure
+    /// function of the spec (never of host state), so it is stable across
+    /// processes and across a serialize/deserialize round trip.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc: u64 = 0xCBF2_9CE4_8422_2325;
+        self.content_hash(&mut acc);
+        acc
+    }
+
     /// Stable content hash of this tensor (shape + initialiser).
     fn content_hash(&self, acc: &mut u64) {
         mix(acc, 0x5348_4150); // "SHAP"
@@ -237,6 +250,11 @@ impl Weights {
     pub fn is_empty(&self) -> bool {
         self.tensors.is_empty()
     }
+
+    /// Per-tensor content fingerprints (see [`WeightSpec::fingerprint`]).
+    pub fn tensor_fingerprints(&self) -> Vec<u64> {
+        self.tensors.iter().map(WeightSpec::fingerprint).collect()
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -284,6 +302,22 @@ mod tests {
         assert_eq!(w1.id(), w2.id());
         assert_ne!(w1.id(), w3.id());
         assert_ne!(w1.id(), w4.id());
+    }
+
+    #[test]
+    fn fingerprint_reflects_content_and_matches_id_semantics() {
+        let a = WeightSpec::seeded([3, 3], 1);
+        let b = WeightSpec::seeded([3, 3], 1);
+        let c = WeightSpec::seeded([3, 3], 2);
+        let d = WeightSpec::seeded([3, 4], 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        // A single-tensor weight set's id equals the tensor fingerprint
+        // (both start from the same FNV offset basis).
+        assert_eq!(Weights::new(vec![a.clone()]).id().0, a.fingerprint());
+        let w = Weights::new(vec![a, c]);
+        assert_eq!(w.tensor_fingerprints().len(), 2);
     }
 
     #[test]

@@ -47,6 +47,31 @@ proptest! {
         prop_assert_eq!(g.edge_count(), back.edge_count());
     }
 
+    /// Save/load preserves weight *content identity*: every operation's
+    /// `WeightId` and every tensor's content fingerprint survive the JSON
+    /// round trip — the prerequisite for content-addressed chunk storage
+    /// (`optimus-store` derives chunk ids from these fingerprints).
+    #[test]
+    fn serialization_preserves_weight_identity(spec in arb_chain()) {
+        let g = build("wid", &spec);
+        let back = serialize::from_json(&serialize::to_json(&g).unwrap()).unwrap();
+        for (id, op) in g.ops() {
+            let round = back.op(id).expect("op ids survive the round trip");
+            match (&op.weights, &round.weights) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.id(), b.id(), "WeightId changed for {}", id);
+                    prop_assert_eq!(
+                        a.tensor_fingerprints(),
+                        b.tensor_fingerprints(),
+                        "tensor fingerprint changed for {}", id
+                    );
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "weight presence changed for {}", id),
+            }
+        }
+    }
+
     /// Crop/zero-pad preserves exactly the overlap region for arbitrary
     /// source/target kernel shapes.
     #[test]

@@ -94,6 +94,15 @@ pub struct GatewayConfig {
     pub idle_threshold: f64,
     /// Seconds without use before a container is evicted.
     pub keep_alive: f64,
+    /// Per-node content-addressed weight store (`optimus-store`). In the
+    /// live engine the store is a *residency accountant*, not a latency
+    /// injector: admissions and releases mirror the container lifecycle
+    /// (cold start admits the model's chunks, transformation admits only
+    /// the cached plan's payload, eviction demotes instead of forgetting)
+    /// and the resulting tier occupancy, hit/miss counts and dedup ratio
+    /// are exported at `GET /metrics` and `GET /store`. `None` disables
+    /// the accounting entirely.
+    pub store: Option<optimus_store::StoreConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -103,6 +112,7 @@ impl Default for GatewayConfig {
             capacity_per_node: 4,
             idle_threshold: 0.05,
             keep_alive: 30.0,
+            store: Some(optimus_store::StoreConfig::default()),
         }
     }
 }

@@ -10,7 +10,9 @@ use optimus_core::{GroupPlanner, ModelRepository};
 use optimus_model::tensor::Tensor;
 use optimus_model::ModelGraph;
 use optimus_profile::CostModel;
+use optimus_store::StoreStats;
 use optimus_telemetry::{FanoutSink, MetricsRegistry, MetricsSink, TelemetrySink};
+use parking_lot::Mutex;
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError};
 use crate::worker::{run_worker, WorkItem};
@@ -79,6 +81,8 @@ impl GatewayBuilder {
         sinks.extend(self.extra_sinks);
         let sink: Arc<dyn TelemetrySink> = Arc::new(FanoutSink::new(sinks));
         let repo = Arc::new(self.repo);
+        let store_stats: Arc<Mutex<HashMap<usize, StoreStats>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for node_id in 0..self.config.nodes {
@@ -86,11 +90,10 @@ impl GatewayBuilder {
             let repo = repo.clone();
             let config = self.config;
             let sink = sink.clone();
-            let gauge = self
-                .metrics
-                .gauge("optimus_containers", &[("node", &node_id.to_string())]);
+            let metrics = self.metrics.clone();
+            let stats = store_stats.clone();
             handles.push(std::thread::spawn(move || {
-                run_worker(node_id, config, repo, rx, sink, gauge)
+                run_worker(node_id, config, repo, rx, sink, metrics, stats)
             }));
             senders.push(tx);
         }
@@ -106,6 +109,7 @@ impl GatewayBuilder {
             placement,
             metrics: self.metrics,
             sink,
+            store_stats,
         }
     }
 }
@@ -120,6 +124,9 @@ pub struct Gateway {
     placement: HashMap<String, usize>,
     metrics: Arc<MetricsRegistry>,
     sink: Arc<dyn TelemetrySink>,
+    /// Latest weight-store snapshot per node, published by workers after
+    /// every request (empty when the store is disabled).
+    store_stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
 }
 
 impl Gateway {
@@ -176,6 +183,33 @@ impl Gateway {
     /// endpoint).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// Per-node weight-store snapshots, sorted by node id. Empty when
+    /// [`GatewayConfig::store`] is `None`.
+    pub fn store_stats_by_node(&self) -> Vec<(usize, StoreStats)> {
+        let mut v: Vec<(usize, StoreStats)> = self
+            .store_stats
+            .lock()
+            .iter()
+            .map(|(node, stats)| (*node, *stats))
+            .collect();
+        v.sort_by_key(|(node, _)| *node);
+        v
+    }
+
+    /// Fleet-wide weight-store statistics (all nodes merged), or `None`
+    /// when the store is disabled.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        let per_node = self.store_stats.lock();
+        if per_node.is_empty() {
+            return None;
+        }
+        let mut total = StoreStats::default();
+        for stats in per_node.values() {
+            total.merge(stats);
+        }
+        Some(total)
     }
 
     /// Stop the workers and wait for them to finish outstanding requests.

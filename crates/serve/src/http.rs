@@ -19,6 +19,10 @@
 //!   plan-cache counters, container gauges).
 //! - `GET /stats` — the same registry as one JSON object (histograms as
 //!   `{count, sum, mean, p50, p95, p99}`).
+//! - `GET /store` — weight-store residency: `{"enabled", "total",
+//!   "nodes": [{"node", "stats"}..]}` with per-tier resident bytes, chunk
+//!   hit/miss counts and the dedup ratio (`{"enabled": false}` when the
+//!   gateway runs without a store).
 //! - `GET /healthz` — liveness probe for load balancers; always
 //!   `{"status":"ok"}` while the server is accepting.
 //!
@@ -210,12 +214,35 @@ fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
         ("GET", "/stats") => {
             Response::json("200 OK", gateway.metrics().snapshot_json().to_string())
         }
+        ("GET", "/store") => Response::json("200 OK", store_response(gateway)),
         ("GET", "/healthz") => Response::json("200 OK", "{\"status\":\"ok\"}".to_string()),
         _ => Response::error(
             "404 Not Found",
-            "unknown endpoint (GET /models, /metrics, /stats, /healthz; POST /infer)",
+            "unknown endpoint (GET /models, /metrics, /stats, /store, /healthz; POST /infer)",
         ),
     }
+}
+
+/// Body of `GET /store`: fleet total plus per-node weight-store stats.
+fn store_response(gateway: &Gateway) -> String {
+    let Some(total) = gateway.store_stats() else {
+        return "{\"enabled\":false}".to_string();
+    };
+    let nodes: Vec<String> = gateway
+        .store_stats_by_node()
+        .iter()
+        .map(|(node, stats)| {
+            format!(
+                "{{\"node\":{node},\"stats\":{}}}",
+                serde_json::to_string(stats).expect("store stats serialize")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"enabled\":true,\"total\":{},\"nodes\":[{}]}}",
+        serde_json::to_string(&total).expect("store stats serialize"),
+        nodes.join(",")
+    )
 }
 
 fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str, String)> {

@@ -52,3 +52,7 @@ mod worker;
 pub use api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
 pub use gateway::{Gateway, GatewayBuilder};
 pub use http::HttpServer;
+
+// Re-exported so serving deployments can configure and read the weight
+// store without depending on `optimus-store` directly.
+pub use optimus_store::{StoreConfig, StoreStats};

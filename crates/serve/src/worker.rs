@@ -1,5 +1,6 @@
 //! Worker node: a thread owning live containers.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -7,7 +8,9 @@ use crossbeam::channel::{Receiver, Sender};
 use optimus_core::{execute_plan, ModelRepository, TransformDecision};
 use optimus_model::tensor::Tensor;
 use optimus_model::{infer, ModelGraph};
-use optimus_telemetry::{Gauge, Phase, Span, TelemetrySink};
+use optimus_store::{model_chunks, ChunkRef, NodeStore, StoreConfig, StoreStats, Tier};
+use optimus_telemetry::{Counter, Gauge, MetricsRegistry, Phase, Span, TelemetrySink};
+use parking_lot::Mutex;
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
 
@@ -26,18 +29,142 @@ struct LiveContainer {
     last_used: Instant,
 }
 
+/// Per-node weight-store accounting plus its telemetry handles.
+///
+/// The live engine measures real wall-clock, so the store never injects
+/// latency here; it tracks which chunks each container lifecycle event
+/// would move between tiers and exports residency/dedup metrics.
+pub(crate) struct WorkerStore {
+    node_id: usize,
+    store: NodeStore,
+    chunk_bytes: u64,
+    /// Chunk lists are deterministic per registered model: compute once.
+    model_chunks: HashMap<String, Vec<ChunkRef>>,
+    /// Resident-byte gauges for the three local tiers, warmest first:
+    /// container, node memory, node disk.
+    resident: [Gauge; 3],
+    dedup: Gauge,
+    hits: Counter,
+    misses: Counter,
+    reported_hits: u64,
+    reported_misses: u64,
+    shared: Arc<Mutex<HashMap<usize, StoreStats>>>,
+}
+
+impl WorkerStore {
+    fn new(
+        node_id: usize,
+        config: StoreConfig,
+        repo: &ModelRepository,
+        metrics: &MetricsRegistry,
+        shared: Arc<Mutex<HashMap<usize, StoreStats>>>,
+    ) -> WorkerStore {
+        let mut store = NodeStore::new(config);
+        // Pin every cached plan's payload so LRU pressure cannot evict
+        // the transformation working set (§4.4's cached plans stay hot).
+        store.pin(&repo.plan_referenced_chunks(config.chunk_bytes));
+        let node = node_id.to_string();
+        let resident = [Tier::Container, Tier::NodeMemory, Tier::NodeDisk].map(|tier| {
+            metrics.gauge(
+                "optimus_store_resident_bytes",
+                &[("node", &node), ("tier", tier.name())],
+            )
+        });
+        WorkerStore {
+            node_id,
+            store,
+            chunk_bytes: config.chunk_bytes,
+            model_chunks: HashMap::new(),
+            resident,
+            dedup: metrics.gauge("optimus_store_dedup_ratio", &[("node", &node)]),
+            hits: metrics.counter("optimus_store_chunk_hits_total", &[("node", &node)]),
+            misses: metrics.counter("optimus_store_chunk_misses_total", &[("node", &node)]),
+            reported_hits: 0,
+            reported_misses: 0,
+            shared,
+        }
+    }
+
+    fn chunks_of(&mut self, repo: &ModelRepository, name: &str) -> Vec<ChunkRef> {
+        if let Some(chunks) = self.model_chunks.get(name) {
+            return chunks.clone();
+        }
+        let chunks = repo
+            .model(name)
+            .map(|m| model_chunks(&m, self.chunk_bytes))
+            .unwrap_or_default();
+        self.model_chunks.insert(name.to_string(), chunks.clone());
+        chunks
+    }
+
+    /// A cold start admits the full model.
+    fn admit_model(&mut self, repo: &ModelRepository, name: &str) {
+        let chunks = self.chunks_of(repo, name);
+        self.store.admit(&chunks);
+    }
+
+    /// A transformation fetches only the cached plan's payload delta; the
+    /// rest of the destination is synthesized in place from the donor.
+    fn transform(&mut self, repo: &ModelRepository, src: &str, dst: &str) {
+        match repo.plan_chunks(src, dst, self.chunk_bytes) {
+            Some(pc) => {
+                self.store.admit(&pc.fetched);
+                self.store.produce(&pc.reused);
+            }
+            // No cached plan chunks (shouldn't happen when a plan was just
+            // applied): account a full admission.
+            None => self.admit_model(repo, dst),
+        }
+        let src_chunks = self.chunks_of(repo, src);
+        self.store.release(&src_chunks);
+    }
+
+    /// Container eviction demotes its chunks instead of forgetting them.
+    fn release_model(&mut self, repo: &ModelRepository, name: &str) {
+        let chunks = self.chunks_of(repo, name);
+        self.store.release(&chunks);
+    }
+
+    /// Push current stats into the metrics registry and the shared
+    /// per-node snapshot map read by `Gateway::store_stats`.
+    fn publish(&mut self) {
+        let stats = self.store.stats();
+        self.resident[0].set(stats.container_bytes as f64);
+        self.resident[1].set(stats.memory_bytes as f64);
+        self.resident[2].set(stats.disk_bytes as f64);
+        self.dedup.set(stats.dedup_ratio);
+        self.hits.add(stats.hits - self.reported_hits);
+        self.misses.add(stats.misses - self.reported_misses);
+        self.reported_hits = stats.hits;
+        self.reported_misses = stats.misses;
+        self.shared.lock().insert(self.node_id, stats);
+    }
+}
+
 /// Worker main loop: owns its containers; processes items until the
 /// channel closes. Every served request is measured by a telemetry
-/// [`Span`] and exported through `sink`; `containers_gauge` tracks pool
-/// occupancy.
+/// [`Span`] and exported through `sink`; an `optimus_containers` gauge
+/// tracks pool occupancy and, when the store is enabled, per-tier
+/// residency gauges plus chunk hit/miss counters track the weight store.
 pub(crate) fn run_worker(
     node_id: usize,
     config: GatewayConfig,
     repo: Arc<ModelRepository>,
     rx: Receiver<WorkItem>,
     sink: Arc<dyn TelemetrySink>,
-    containers_gauge: Gauge,
+    metrics: Arc<MetricsRegistry>,
+    store_stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
 ) {
+    let node = node_id.to_string();
+    let containers_gauge = metrics.gauge("optimus_containers", &[("node", &node)]);
+    let mut store = config
+        .store
+        .map(|sc| WorkerStore::new(node_id, sc, &repo, &metrics, store_stats));
+    // Publish the empty-store baseline so `/store` reports every node
+    // from the first request onward.
+    if let Some(ws) = store.as_mut() {
+        ws.publish();
+    }
     let mut containers: Vec<LiveContainer> = Vec::new();
     while let Ok(item) = rx.recv() {
         let wait = item.enqueued.elapsed().as_secs_f64();
@@ -48,6 +175,7 @@ pub(crate) fn run_worker(
             &config,
             &repo,
             &mut containers,
+            store.as_mut(),
             &item,
             wait,
             &mut span,
@@ -56,25 +184,43 @@ pub(crate) fn run_worker(
             sink.record(&span.finish());
         }
         containers_gauge.set(containers.len() as f64);
+        if let Some(ws) = store.as_mut() {
+            ws.publish();
+        }
         // The client may have given up; a dead reply channel is fine.
         let _ = item.reply.send(result);
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve(
     node_id: usize,
     config: &GatewayConfig,
     repo: &ModelRepository,
     containers: &mut Vec<LiveContainer>,
+    mut store: Option<&mut WorkerStore>,
     item: &WorkItem,
     wait_seconds: f64,
     span: &mut Span,
 ) -> Result<InferenceResponse, ServeError> {
     let now = Instant::now();
-    // Keep-alive eviction.
-    containers.retain(|c| now.duration_since(c.last_used).as_secs_f64() <= config.keep_alive);
+    // Keep-alive eviction: expired containers release their chunks, which
+    // demotes them to node memory rather than forgetting them.
+    let mut expired = Vec::new();
+    containers.retain(|c| {
+        let keep = now.duration_since(c.last_used).as_secs_f64() <= config.keep_alive;
+        if !keep {
+            expired.push(c.model.name().to_string());
+        }
+        keep
+    });
+    if let Some(ws) = store.as_deref_mut() {
+        for name in &expired {
+            ws.release_model(repo, name);
+        }
+    }
 
-    let obtained = obtain_container(config, repo, containers, &item.model)?;
+    let obtained = obtain_container(config, repo, containers, store, &item.model)?;
     span.set_kind(obtained.start.into());
     span.add(Phase::Load, obtained.startup_seconds);
     span.set_transform_steps(obtained.transform_steps);
@@ -121,6 +267,7 @@ fn obtain_container(
     config: &GatewayConfig,
     repo: &ModelRepository,
     containers: &mut Vec<LiveContainer>,
+    mut store: Option<&mut WorkerStore>,
     model: &str,
 ) -> Result<Obtained, ServeError> {
     // Warm hit.
@@ -162,6 +309,12 @@ fn obtain_container(
                 containers[i].model = (*target).clone();
                 let startup = t0.elapsed().as_secs_f64();
                 containers[i].last_used = Instant::now();
+                if let Some(ws) = store.as_deref_mut() {
+                    // Admit the plan's fetched payload (only the delta
+                    // crosses a tier), synthesize the reused remainder in
+                    // place, release the donor's chunks.
+                    ws.transform(repo, &src_name, model);
+                }
                 return Ok(Obtained {
                     slot: i,
                     start: ServedStart::Transformed,
@@ -184,13 +337,20 @@ fn obtain_container(
             .min_by_key(|(_, c)| c.last_used)
             .map(|(i, _)| i)
         {
+            let evicted = containers[victim].model.name().to_string();
             containers.swap_remove(victim);
+            if let Some(ws) = store.as_deref_mut() {
+                ws.release_model(repo, &evicted);
+            }
         }
     }
     containers.push(LiveContainer {
         model: (*target).clone(),
         last_used: Instant::now(),
     });
+    if let Some(ws) = store {
+        ws.admit_model(repo, model);
+    }
     let startup = t0.elapsed().as_secs_f64();
     Ok(Obtained {
         slot: containers.len() - 1,

@@ -25,6 +25,7 @@ fn start_server() -> (HttpServer, std::net::SocketAddr) {
             capacity_per_node: 2,
             idle_threshold: 0.0,
             keep_alive: 60.0,
+            store: Some(optimus_store::StoreConfig::default()),
         })
         .register(tiny("m1", 4))
         .register(tiny("m2", 8))
@@ -147,5 +148,34 @@ fn concurrent_http_clients() {
     for h in handles {
         h.join().unwrap();
     }
+    server.shutdown();
+}
+
+#[test]
+fn get_store_reports_residency_and_dedup() {
+    let (server, addr) = start_server();
+    // Cold-start m1 so the store has admitted chunks.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/infer",
+        r#"{"model":"m1","shape":[1,3,8,8]}"#,
+    );
+    assert!(status.contains("200"), "{status}");
+    let (status, payload) = request(addr, "GET", "/store", "");
+    assert!(status.contains("200"), "{status}");
+    let v: serde_json::Value = serde_json::from_str(&payload).unwrap();
+    assert_eq!(v["enabled"], true);
+    assert!(v["total"]["container_bytes"].as_u64().unwrap() > 0);
+    assert!(v["total"]["misses"].as_u64().unwrap() > 0);
+    assert!(!v["nodes"].as_array().unwrap().is_empty(), "{payload}");
+    // The weight-store gauges are part of the Prometheus exposition.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(status.contains("200"), "{status}");
+    assert!(
+        metrics.contains("optimus_store_resident_bytes"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("optimus_store_dedup_ratio"), "{metrics}");
     server.shutdown();
 }

@@ -27,6 +27,7 @@ fn single_node() -> GatewayConfig {
         capacity_per_node: 3,
         idle_threshold: 0.0, // everything idles instantly (tests)
         keep_alive: 60.0,
+        store: Some(optimus_store::StoreConfig::default()),
     }
 }
 
@@ -100,6 +101,7 @@ fn concurrent_clients_are_all_served() {
         capacity_per_node: 2,
         idle_threshold: 0.0,
         keep_alive: 60.0,
+        store: Some(optimus_store::StoreConfig::default()),
     };
     let gw = std::sync::Arc::new(
         Gateway::builder(config)
@@ -140,6 +142,7 @@ fn capacity_is_respected_via_lru_eviction() {
         capacity_per_node: 1,
         idle_threshold: 1e9, // never idle: forces the eviction path
         keep_alive: 1e9,
+        store: Some(optimus_store::StoreConfig::default()),
     };
     let gw = Gateway::builder(config)
         .register(tiny("x", &[4]))
@@ -234,5 +237,63 @@ fn live_rnn_transformation() {
     let r2 = gw.infer("rnn-large", ids).unwrap();
     assert_eq!(r2.start, ServedStart::Transformed);
     assert_eq!(r2.output.shape().dims(), &[1, 5, 2]);
+    gw.shutdown();
+}
+
+#[test]
+fn store_accounts_the_container_lifecycle() {
+    // With the weight store enabled, cold starts admit chunks (misses),
+    // warm hits leave the store untouched, and a transformation admits
+    // only the cached plan's payload delta.
+    let gw = Gateway::builder(single_node())
+        .register(tiny("a", &[4]))
+        .register(tiny("b", &[8]))
+        .spawn();
+    let input = Tensor::zeros([1, 3, 8, 8]);
+
+    let r = gw.infer("a", input.clone()).unwrap();
+    assert_eq!(r.start, ServedStart::Cold);
+    let after_cold = gw.store_stats().expect("store enabled by config");
+    assert!(after_cold.misses > 0, "cold start fetches from remote");
+    assert!(after_cold.container_bytes > 0, "model chunks are resident");
+
+    let r = gw.infer("a", input.clone()).unwrap();
+    assert_eq!(r.start, ServedStart::Warm);
+    let after_warm = gw.store_stats().unwrap();
+    assert_eq!(
+        after_warm.admitted_bytes, after_cold.admitted_bytes,
+        "warm hits admit nothing"
+    );
+
+    let r = gw.infer("b", input).unwrap();
+    assert_eq!(r.start, ServedStart::Transformed);
+    let after_transform = gw.store_stats().unwrap();
+    let delta_fetched = after_transform.fetched_bytes - after_cold.fetched_bytes;
+    let delta_admitted = after_transform.admitted_bytes - after_cold.admitted_bytes;
+    assert!(
+        delta_fetched <= delta_admitted,
+        "the transform fetches at most the plan payload"
+    );
+    assert!(
+        after_transform.container_bytes > 0,
+        "the transformed model's chunks are resident"
+    );
+
+    let per_node = gw.store_stats_by_node();
+    assert_eq!(per_node.len(), 1, "single node publishes one snapshot");
+    gw.shutdown();
+}
+
+#[test]
+fn store_disabled_reports_nothing() {
+    let config = GatewayConfig {
+        store: None,
+        ..single_node()
+    };
+    let gw = Gateway::builder(config).register(tiny("a", &[4])).spawn();
+    let r = gw.infer("a", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.start, ServedStart::Cold);
+    assert!(gw.store_stats().is_none(), "no store, no stats");
+    assert!(gw.store_stats_by_node().is_empty());
     gw.shutdown();
 }

@@ -30,6 +30,7 @@ fn start_server(registry: Arc<MetricsRegistry>) -> (HttpServer, std::net::Socket
             capacity_per_node: 2,
             idle_threshold: 0.0,
             keep_alive: 60.0,
+            store: Some(optimus_store::StoreConfig::default()),
         })
         .metrics(registry)
         .register(tiny("m1", 4))

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use optimus_profile::Environment;
+use optimus_store::StoreConfig;
 use serde::{Deserialize, Serialize};
 
 /// How the gateway assigns functions to nodes.
@@ -108,6 +109,12 @@ pub struct SimConfig {
     /// Optional predictive prewarming layered on top of the policy
     /// (meaningful for Optimus/Pagurus which can transform donors).
     pub prewarm: Option<PrewarmConfig>,
+    /// Optional content-addressed weight store (`optimus-store`): each node
+    /// tracks chunk residency across Remote/NodeDisk/NodeMemory/Container
+    /// tiers and every non-warm start pays transport for the bytes missing
+    /// at each tier. `None` (the default) reproduces the byte-agnostic
+    /// load model exactly.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for SimConfig {
@@ -124,6 +131,7 @@ impl Default for SimConfig {
             tetris_map_per_op: 0.0002,
             memory: None,
             prewarm: None,
+            store: None,
         }
     }
 }
@@ -139,6 +147,7 @@ mod tests {
         assert_eq!(c.keep_alive, 600.0, "10-minute keep-alive for all systems");
         assert_eq!(c.idle_threshold, 60.0, "60 s idle threshold like Pagurus");
         assert_eq!(c.env, Environment::Cpu);
+        assert!(c.store.is_none(), "store off by default: legacy load model");
     }
 
     #[test]

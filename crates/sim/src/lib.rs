@@ -38,3 +38,7 @@ pub use metrics::{
 };
 pub use platform::Platform;
 pub use policy::Policy;
+
+// Re-exported so simulation drivers can configure and read the weight
+// store without depending on `optimus-store` directly.
+pub use optimus_store::{StoreConfig, StoreStats, TierParams};

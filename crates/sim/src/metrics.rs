@@ -115,6 +115,10 @@ pub struct SimReport {
     /// Proactive transformations executed by the prewarming extension
     /// (0 unless `SimConfig::prewarm` is set).
     pub prewarms: usize,
+    /// Fleet-aggregated weight-store statistics (`None` unless
+    /// `SimConfig::store` is set): per-tier resident bytes, chunk
+    /// hit/miss counts, and the dedup ratio content addressing achieved.
+    pub store: Option<optimus_store::StoreStats>,
 }
 
 impl SimReport {
@@ -307,6 +311,7 @@ mod tests {
     fn report_aggregates() {
         let report = SimReport {
             system: "test".into(),
+            store: None,
             prewarms: 0,
             records: vec![
                 rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
@@ -332,6 +337,7 @@ mod tests {
     fn percentiles_ordered() {
         let report = SimReport {
             system: "t".into(),
+            store: None,
             prewarms: 0,
             records: (1..=100)
                 .map(|i| rec(StartKind::Warm, 0.0, 0.0, 0.0, i as f64))
@@ -370,6 +376,7 @@ mod summary_tests {
     fn per_function_aggregates_and_sorts() {
         let report = SimReport {
             system: "t".into(),
+            store: None,
             prewarms: 0,
             records: vec![
                 rec("a", StartKind::Cold, 2.0),
@@ -405,6 +412,7 @@ mod summary_tests {
             .collect();
         let report = SimReport {
             system: "t".into(),
+            store: None,
             prewarms: 0,
             records,
         };
@@ -426,6 +434,7 @@ mod summary_tests {
     fn csv_has_header_and_rows() {
         let report = SimReport {
             system: "t".into(),
+            store: None,
             prewarms: 0,
             records: vec![rec("f", StartKind::Cold, 1.5)],
         };
@@ -455,6 +464,7 @@ mod slo_tests {
         };
         let report = SimReport {
             system: "t".into(),
+            store: None,
             records: vec![rec(0.5), rec(1.5), rec(2.5), rec(0.9)],
             prewarms: 0,
         };

@@ -4,10 +4,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use optimus_core::{scheduler::choose_source, ModelRepository};
+use optimus_core::{scheduler::choose_source, ModelRepository, PlanChunks};
 use optimus_model::signature::OpSignature;
 use optimus_model::ModelGraph;
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
+use optimus_store::{ChunkRef, NodeStore, StoreStats};
 use optimus_telemetry::{RequestTrace, TelemetrySink};
 use optimus_workload::{demand_histogram, Trace};
 
@@ -28,6 +29,21 @@ struct FunctionData {
     op_costs: Vec<(OpSignature, f64)>,
 }
 
+/// Precomputed chunkings shared by every node's store (only built when
+/// `SimConfig::store` is set).
+struct StoreState {
+    config: optimus_store::StoreConfig,
+    /// Full chunk list per model — what a scratch load admits.
+    model_chunks: HashMap<String, Vec<ChunkRef>>,
+    /// `src → dst → plan split` for every cached plan: the payload chunks
+    /// a transformation fetches vs. the destination chunks it reuses or
+    /// synthesizes in place.
+    plan_chunks: HashMap<String, HashMap<String, PlanChunks>>,
+    /// Union of all cached plans' payload chunks, pinned on every node so
+    /// LRU pressure never evicts the bytes cached plans write.
+    pinned: Vec<ChunkRef>,
+}
+
 /// The simulated serverless ML inference platform.
 pub struct Platform {
     config: SimConfig,
@@ -40,6 +56,8 @@ pub struct Platform {
     /// gateway produces, so simulator runs and live serving are directly
     /// comparable.
     sink: Option<Arc<dyn TelemetrySink>>,
+    /// Content-addressed store chunkings (when `SimConfig::store` is set).
+    store: Option<StoreState>,
 }
 
 impl Platform {
@@ -77,6 +95,33 @@ impl Platform {
                 },
             );
         }
+        let store = config.store.map(|sc| {
+            sc.validate().expect("store config must be valid");
+            let mut model_chunks = HashMap::new();
+            let mut plan_chunks: HashMap<String, HashMap<String, PlanChunks>> = HashMap::new();
+            let names = repo.model_names();
+            for src in &names {
+                let model = repo.model(src).expect("listed model exists");
+                model_chunks.insert(
+                    src.clone(),
+                    optimus_store::model_chunks(&model, sc.chunk_bytes),
+                );
+                for dst in &names {
+                    if let Some(pc) = repo.plan_chunks(src, dst, sc.chunk_bytes) {
+                        plan_chunks
+                            .entry(src.clone())
+                            .or_default()
+                            .insert(dst.clone(), pc);
+                    }
+                }
+            }
+            StoreState {
+                config: sc,
+                model_chunks,
+                plan_chunks,
+                pinned: repo.plan_referenced_chunks(sc.chunk_bytes),
+            }
+        });
         Platform {
             config,
             policy,
@@ -84,6 +129,7 @@ impl Platform {
             profile,
             functions,
             sink: None,
+            store,
         }
     }
 
@@ -147,7 +193,15 @@ impl Platform {
     pub fn run(&self, trace: &Trace) -> SimReport {
         let placement = self.placement(trace);
         let mut nodes: Vec<NodeState> = (0..self.config.nodes)
-            .map(|_| NodeState::default())
+            .map(|_| {
+                let mut node = NodeState::default();
+                if let Some(ss) = &self.store {
+                    let mut store = NodeStore::new(ss.config);
+                    store.pin(&ss.pinned);
+                    node.store = Some(store);
+                }
+                node
+            })
             .collect();
         let mut next_id: u64 = 0;
         let mut records = Vec::with_capacity(trace.len());
@@ -203,11 +257,95 @@ impl Platform {
         if let Some(sink) = &self.sink {
             sink.flush();
         }
+        let store = self.store.as_ref().map(|_| {
+            let mut agg = StoreStats::default();
+            for node in &nodes {
+                if let Some(store) = &node.store {
+                    agg.merge(&store.stats());
+                }
+            }
+            agg
+        });
         SimReport {
             system: self.policy.name().to_string(),
             records,
             prewarms,
+            store,
         }
+    }
+
+    /// Release the chunk references of containers that stopped holding the
+    /// named functions' models (keep-alive expiry or slot eviction).
+    fn store_release(&self, node: &mut NodeState, evicted: &[String]) {
+        let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
+            return;
+        };
+        for f in evicted {
+            if let Some(chunks) = ss.model_chunks.get(f) {
+                store.release(chunks);
+            }
+        }
+    }
+
+    /// Evict keep-alive-expired containers, releasing their chunks.
+    fn evict_expired(&self, node: &mut NodeState, now: f64) {
+        let evicted = node.evict_expired(now, self.config.keep_alive);
+        self.store_release(node, &evicted);
+    }
+
+    /// [`NodeState::free_slot`] plus chunk release for every container it
+    /// destroyed (even when it ultimately fails for lack of a free victim).
+    fn free_slot(&self, node: &mut NodeState, needed: u64, now: f64) -> Option<()> {
+        let (ok, evicted) = node.free_slot(
+            self.config.capacity_per_node,
+            self.config.memory,
+            needed,
+            now,
+        );
+        self.store_release(node, &evicted);
+        ok.then_some(())
+    }
+
+    /// A container starts holding `f` via a scratch load: admit the
+    /// model's full chunk list and return the transport seconds for the
+    /// bytes missing at each tier (0 without a store).
+    fn store_admit(&self, node: &mut NodeState, f: &str) -> f64 {
+        let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
+            return 0.0;
+        };
+        ss.model_chunks
+            .get(f)
+            .map_or(0.0, |chunks| store.admit(chunks).seconds)
+    }
+
+    /// A donor holding `src` is repurposed into `dst`. With a cached plan
+    /// (`transform == true`) only the plan's payload chunks are admitted
+    /// (priced) while the reused remainder is synthesized in place from
+    /// source content; a scratch repurpose admits the full model. The
+    /// destination is admitted *before* the source is released, so chunks
+    /// the two models share stay at container tier and cost nothing.
+    fn store_repurpose(&self, node: &mut NodeState, src: &str, dst: &str, transform: bool) -> f64 {
+        let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
+            return 0.0;
+        };
+        let split = transform
+            .then(|| ss.plan_chunks.get(src).and_then(|per| per.get(dst)))
+            .flatten();
+        let seconds = match split {
+            Some(pc) => {
+                let cost = store.admit(&pc.fetched);
+                store.produce(&pc.reused);
+                cost.seconds
+            }
+            None => ss
+                .model_chunks
+                .get(dst)
+                .map_or(0.0, |chunks| store.admit(chunks).seconds),
+        };
+        if let Some(chunks) = ss.model_chunks.get(src) {
+            store.release(chunks);
+        }
+        seconds
     }
 
     /// Proactively transform an idle donor into `f` at time `at` so the
@@ -216,7 +354,7 @@ impl Platform {
     /// safeguard still applies — prewarming never loads from scratch
     /// speculatively.
     fn prewarm(&self, node: &mut NodeState, at: f64, f: &str) -> bool {
-        node.evict_expired(at, self.config.keep_alive);
+        self.evict_expired(node, at);
         if node.warm_free(f, at).is_some() {
             return false; // already warm
         }
@@ -236,13 +374,15 @@ impl Platform {
             .collect();
         if let Some(choice) = choose_source(&self.repo, donors, f) {
             let ci = choice.container;
+            let src = node.containers[ci].function.clone();
+            let transport = self.store_repurpose(node, &src, f, true);
             let c = &mut node.containers[ci];
             c.function = f.into();
             c.mem_bytes = need;
             // The container is busy while the proactive transform runs;
             // last_routed stays untouched so the container still reads as
             // idle-donatable if the prediction was wrong.
-            c.busy_until = at + self.profile.repurpose_overhead + choice.latency;
+            c.busy_until = at + self.profile.repurpose_overhead + choice.latency + transport;
             true
         } else {
             false
@@ -271,7 +411,7 @@ impl Platform {
         arrival: f64,
         f: &str,
     ) -> RequestRecord {
-        node.evict_expired(arrival, self.config.keep_alive);
+        self.evict_expired(node, arrival);
         let compute = self.fdata(f).compute_cost;
         let mut now = arrival;
         loop {
@@ -331,12 +471,13 @@ impl Platform {
         match self.policy {
             Policy::OpenWhisk => {
                 let need = self.footprint(f);
-                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                self.free_slot(node, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
+                let transport = self.store_admit(node, f);
                 Some((
                     ci,
                     self.profile.cold_init(),
-                    data.load_cost,
+                    data.load_cost + transport,
                     StartKind::Cold,
                 ))
             }
@@ -359,6 +500,8 @@ impl Platform {
                     })
                     .filter(|&ci| node.repurpose_fits(ci, need, self.config.memory));
                 if let Some(ci) = donor {
+                    let src = node.containers[ci].function.clone();
+                    let transport = self.store_repurpose(node, &src, f, false);
                     let c = &mut node.containers[ci];
                     c.function = f.into();
                     c.mem_bytes = need;
@@ -366,16 +509,17 @@ impl Platform {
                     return Some((
                         ci,
                         self.profile.repurpose_overhead,
-                        data.load_cost,
+                        data.load_cost + transport,
                         StartKind::Transform,
                     ));
                 }
-                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                self.free_slot(node, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
+                let transport = self.store_admit(node, f);
                 Some((
                     ci,
                     self.profile.cold_init(),
-                    data.load_cost,
+                    data.load_cost + transport,
                     StartKind::Cold,
                 ))
             }
@@ -386,7 +530,7 @@ impl Platform {
                 let need = self.footprint(f);
                 let had_containers = !node.containers.is_empty();
                 let resident = node.resident_signatures(&self.functions);
-                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                self.free_slot(node, need, now)?;
                 let mut load = data.deserialize_cost;
                 let mut shared = 0usize;
                 for (sig, cost) in &data.op_costs {
@@ -410,7 +554,8 @@ impl Platform {
                     (self.profile.cold_init(), StartKind::Cold)
                 };
                 let ci = node.spawn(next_id, f, now, need);
-                Some((ci, init, load, kind))
+                let transport = self.store_admit(node, f);
+                Some((ci, init, load + transport, kind))
             }
             Policy::Optimus => {
                 // Cheapest idle donor via the cached plans + safeguard.
@@ -441,6 +586,8 @@ impl Platform {
                 donors.retain(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory));
                 if let Some(choice) = choose_source(&self.repo, donors.clone(), f) {
                     let ci = choice.container;
+                    let src = node.containers[ci].function.clone();
+                    let transport = self.store_repurpose(node, &src, f, true);
                     let c = &mut node.containers[ci];
                     c.function = f.into();
                     c.mem_bytes = need;
@@ -448,13 +595,15 @@ impl Platform {
                     return Some((
                         ci,
                         self.profile.repurpose_overhead,
-                        choice.latency,
+                        choice.latency + transport,
                         StartKind::Transform,
                     ));
                 }
                 // Safeguard path: an idle donor exists but no plan beats a
                 // scratch load — re-purpose Pagurus-style.
                 if let Some((ci, _)) = donors.first().cloned() {
+                    let src = node.containers[ci].function.clone();
+                    let transport = self.store_repurpose(node, &src, f, false);
                     let c = &mut node.containers[ci];
                     c.function = f.into();
                     c.mem_bytes = need;
@@ -462,16 +611,17 @@ impl Platform {
                     return Some((
                         ci,
                         self.profile.repurpose_overhead,
-                        data.load_cost,
+                        data.load_cost + transport,
                         StartKind::Transform,
                     ));
                 }
-                node.free_slot(self.config.capacity_per_node, self.config.memory, need, now)?;
+                self.free_slot(node, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
+                let transport = self.store_admit(node, f);
                 Some((
                     ci,
                     self.profile.cold_init(),
-                    data.load_cost,
+                    data.load_cost + transport,
                     StartKind::Cold,
                 ))
             }
@@ -509,11 +659,25 @@ fn trace_of(record: &RequestRecord, node: usize) -> RequestTrace {
 #[derive(Default)]
 struct NodeState {
     containers: Vec<Container>,
+    /// Content-addressed chunk residency of this node (when the sim runs
+    /// with a store).
+    store: Option<NodeStore>,
 }
 
 impl NodeState {
-    fn evict_expired(&mut self, now: f64, keep_alive: f64) {
-        self.containers.retain(|c| !c.expired(now, keep_alive));
+    /// Drop keep-alive-expired containers; returns the functions whose
+    /// models they held so the caller can release their chunks.
+    fn evict_expired(&mut self, now: f64, keep_alive: f64) -> Vec<String> {
+        let mut evicted = Vec::new();
+        self.containers.retain(|c| {
+            if c.expired(now, keep_alive) {
+                evicted.push(c.function.clone());
+                false
+            } else {
+                true
+            }
+        });
+        evicted
     }
 
     /// Index of a free container already holding `f`, preferring the most
@@ -608,20 +772,25 @@ impl NodeState {
 
     /// Ensure a new container of `needed` bytes fits: free capacity, or
     /// evict least-recently-routed non-busy containers until it does.
-    /// `None` when the remaining containers are all busy and it still does
-    /// not fit.
+    /// Returns whether it now fits (false when the remaining containers
+    /// are all busy), plus the functions of every container destroyed —
+    /// even on failure, so the caller can release their chunks.
     fn free_slot(
         &mut self,
         capacity: usize,
         memory: Option<MemoryLimit>,
         needed: u64,
         now: f64,
-    ) -> Option<()> {
+    ) -> (bool, Vec<String>) {
+        let mut evicted = Vec::new();
         while !self.fits(capacity, memory, needed) {
-            let victim = self.lru_free(now)?;
+            let Some(victim) = self.lru_free(now) else {
+                return (false, evicted);
+            };
+            evicted.push(self.containers[victim].function.clone());
             self.containers.swap_remove(victim);
         }
-        Some(())
+        (true, evicted)
     }
 
     /// Create a new container for `f` with the given memory footprint;

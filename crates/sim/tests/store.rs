@@ -1,0 +1,170 @@
+//! Tests of the content-addressed weight-store integration: byte-accurate
+//! load pricing by tier residency, keep-alive demotion instead of
+//! forgetting, chunk sharing across containers, and the guarantee that
+//! `store: None` reproduces the legacy load model exactly.
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig, StartKind, StoreConfig};
+use optimus_workload::{Invocation, Trace};
+
+fn repo_with(models: Vec<optimus_model::ModelGraph>) -> Arc<ModelRepository> {
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    let cost = CostModel::default();
+    for m in models {
+        repo.register(m, &cost);
+    }
+    Arc::new(repo)
+}
+
+fn trace_of(duration: f64, arrivals: &[(f64, &str)]) -> Trace {
+    Trace::new(
+        duration,
+        arrivals
+            .iter()
+            .map(|(t, f)| Invocation {
+                time: *t,
+                function: (*f).to_string(),
+            })
+            .collect(),
+    )
+}
+
+fn config(store: Option<StoreConfig>) -> SimConfig {
+    SimConfig {
+        nodes: 1,
+        capacity_per_node: 8,
+        placement: PlacementStrategy::Hash,
+        store,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn no_store_reproduces_legacy_path() {
+    let trace = trace_of(2_000.0, &[(0.0, "resnet18"), (660.0, "resnet18")]);
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let legacy = Platform::new(config(None), Policy::OpenWhisk, repo.clone()).run(&trace);
+    let stored = Platform::new(
+        config(Some(StoreConfig::default())),
+        Policy::OpenWhisk,
+        repo,
+    )
+    .run(&trace);
+    assert!(legacy.store.is_none(), "no store, no stats");
+    assert!(stored.store.is_some(), "store configured, stats reported");
+    // Same container lifecycle either way; the store only *adds* transport
+    // to non-warm loads.
+    for (a, b) in legacy.records.iter().zip(&stored.records) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.init, b.init);
+        assert!(b.load > a.load, "every cold start pays transport on top");
+    }
+}
+
+#[test]
+fn warmer_residency_loads_strictly_faster() {
+    // Two cold starts separated by a keep-alive expiry. Without a store the
+    // second cold start costs exactly the first; with one, eviction demotes
+    // the chunks instead of dropping them, so the second start pays for a
+    // warmer tier: remote > disk > memory, strictly.
+    let trace = trace_of(2_000.0, &[(0.0, "resnet18"), (660.0, "resnet18")]);
+    let run = |store: Option<StoreConfig>| {
+        let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+        let report = Platform::new(config(store), Policy::OpenWhisk, repo).run(&trace);
+        assert_eq!(report.records[0].kind, StartKind::Cold);
+        assert_eq!(report.records[1].kind, StartKind::Cold);
+        (report.records[0].load, report.records[1].load)
+    };
+    let (legacy_first, legacy_second) = run(None);
+    assert_eq!(legacy_first, legacy_second, "legacy model is byte-agnostic");
+    let (remote_first, memory_second) = run(Some(StoreConfig::default()));
+    // Memory budget 0: released chunks spill straight to the disk tier.
+    let disk_cfg = StoreConfig {
+        node_memory_bytes: 0,
+        ..StoreConfig::default()
+    };
+    let (_, disk_second) = run(Some(disk_cfg));
+    assert!(
+        remote_first > disk_second && disk_second > memory_second,
+        "remote {remote_first} > disk {disk_second} > memory {memory_second}"
+    );
+    assert!(
+        memory_second > legacy_second,
+        "memory transport is not free"
+    );
+}
+
+#[test]
+fn second_container_of_same_model_shares_every_chunk() {
+    // Two overlapping requests of one function: the second container's
+    // chunks are all already mapped at container tier — zero transport —
+    // and the node-level dedup ratio reflects the double residency.
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let trace = trace_of(100.0, &[(0.0, "resnet18"), (0.5, "resnet18")]);
+    let legacy = Platform::new(config(None), Policy::OpenWhisk, repo.clone()).run(&trace);
+    let stored = Platform::new(
+        config(Some(StoreConfig::default())),
+        Policy::OpenWhisk,
+        repo,
+    )
+    .run(&trace);
+    assert_eq!(stored.records[1].kind, StartKind::Cold);
+    assert!(
+        stored.records[0].load > legacy.records[0].load,
+        "first container fetches from remote"
+    );
+    assert_eq!(
+        stored.records[1].load, legacy.records[1].load,
+        "second container finds every chunk at container tier: no transport"
+    );
+    let stats = stored.store.unwrap();
+    assert!(
+        (stats.dedup_ratio - 2.0).abs() < 1e-12,
+        "two references per chunk"
+    );
+    assert!(stats.hits > 0 && stats.fetched_bytes < stats.admitted_bytes);
+}
+
+#[test]
+fn plan_payload_pinning_makes_repeat_transforms_cheaper() {
+    // Optimus transforms vgg16 → vgg19 twice, with a keep-alive expiry in
+    // between. The first transform fetches the plan payload from remote;
+    // eviction demotes everything to node memory (the payload is pinned, so
+    // LRU pressure cannot forget it), and the second transform finds its
+    // delta a tier warmer.
+    let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+    let trace = trace_of(
+        3_000.0,
+        &[
+            (0.0, "vgg16"),
+            (200.0, "vgg19"),
+            (900.0, "vgg16"),
+            (1_100.0, "vgg19"),
+        ],
+    );
+    let report =
+        Platform::new(config(Some(StoreConfig::default())), Policy::Optimus, repo).run(&trace);
+    let kinds: Vec<StartKind> = report.records.iter().map(|r| r.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            StartKind::Cold,
+            StartKind::Transform,
+            StartKind::Cold,
+            StartKind::Transform
+        ]
+    );
+    assert!(
+        report.records[2].load < report.records[0].load,
+        "second vgg16 cold start reads node memory, not remote"
+    );
+    assert!(
+        report.records[3].load < report.records[1].load,
+        "second transform finds the plan payload resident"
+    );
+    let stats = report.store.unwrap();
+    assert!(stats.pinned > 0, "plan working set is pinned");
+}

@@ -1,0 +1,207 @@
+//! Residency tiers and their transport parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a chunk currently lives, coldest to warmest.
+///
+/// The ordering is meaningful: `Remote < NodeDisk < NodeMemory <
+/// Container`, and transport cost is strictly decreasing along it under
+/// any [`StoreConfig`] that passes [`StoreConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Only in the remote model repository (object store / registry).
+    Remote,
+    /// On the node's local disk cache.
+    NodeDisk,
+    /// In the node's page cache / shared memory segment.
+    NodeMemory,
+    /// Mapped into a live container's address space.
+    Container,
+}
+
+impl Tier {
+    /// All tiers, coldest first.
+    pub const ALL: [Tier; 4] = [
+        Tier::Remote,
+        Tier::NodeDisk,
+        Tier::NodeMemory,
+        Tier::Container,
+    ];
+
+    /// Lower-case label (metrics and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Remote => "remote",
+            Tier::NodeDisk => "node_disk",
+            Tier::NodeMemory => "node_memory",
+            Tier::Container => "container",
+        }
+    }
+}
+
+/// Transport parameters of one tier: moving `B` bytes from this tier into
+/// a container costs `B / bandwidth + latency` seconds (latency paid once
+/// per fetch that touches the tier).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierParams {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed per-fetch latency in seconds (request setup, seek, TTFB).
+    pub latency_s: f64,
+}
+
+impl TierParams {
+    /// Seconds to move `bytes` from this tier (0 for an empty fetch).
+    pub fn transport_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            bytes as f64 / self.bandwidth_bytes_per_s + self.latency_s
+        }
+    }
+}
+
+/// Store configuration: chunk size, per-tier node capacities, and
+/// per-tier transport parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Chunk size in bytes.
+    pub chunk_bytes: u64,
+    /// Node-memory cache capacity in bytes (demoted container state lands
+    /// here; LRU overflow demotes to disk). Soft for pinned chunks.
+    pub node_memory_bytes: u64,
+    /// Node-disk cache capacity in bytes (LRU overflow forgets chunks back
+    /// to [`Tier::Remote`]). Soft for pinned chunks.
+    pub node_disk_bytes: u64,
+    /// Remote repository transport (object store over the network).
+    pub remote: TierParams,
+    /// Local-disk transport.
+    pub disk: TierParams,
+    /// Node-memory transport (shared-memory mapping / page-cache copy).
+    pub memory: TierParams,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            chunk_bytes: crate::chunk::DEFAULT_CHUNK_BYTES,
+            node_memory_bytes: 8 * 1024 * 1024 * 1024,
+            node_disk_bytes: 64 * 1024 * 1024 * 1024,
+            // S3-class remote, NVMe-class disk, memcpy-class memory: each
+            // warmer tier is strictly faster at every transfer size.
+            remote: TierParams {
+                bandwidth_bytes_per_s: 100.0e6,
+                latency_s: 0.05,
+            },
+            disk: TierParams {
+                bandwidth_bytes_per_s: 1.0e9,
+                latency_s: 0.002,
+            },
+            memory: TierParams {
+                bandwidth_bytes_per_s: 10.0e9,
+                latency_s: 0.0001,
+            },
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Transport parameters of `tier`; `None` for [`Tier::Container`],
+    /// which is free to read.
+    pub fn tier_params(&self, tier: Tier) -> Option<TierParams> {
+        match tier {
+            Tier::Remote => Some(self.remote),
+            Tier::NodeDisk => Some(self.disk),
+            Tier::NodeMemory => Some(self.memory),
+            Tier::Container => None,
+        }
+    }
+
+    /// Seconds to move `bytes` from `tier` into a container.
+    pub fn transport_seconds(&self, tier: Tier, bytes: u64) -> f64 {
+        self.tier_params(tier)
+            .map_or(0.0, |p| p.transport_seconds(bytes))
+    }
+
+    /// Check the tier ordering invariant: each warmer tier must have
+    /// bandwidth ≥ and latency ≤ the colder one (so load latency decreases
+    /// monotonically with warmer residency).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated ordering.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_bytes == 0 {
+            return Err("chunk_bytes must be positive".into());
+        }
+        let chain = [
+            ("remote", self.remote),
+            ("disk", self.disk),
+            ("memory", self.memory),
+        ];
+        for pair in chain.windows(2) {
+            let (cold_name, cold) = pair[0];
+            let (warm_name, warm) = pair[1];
+            if warm.bandwidth_bytes_per_s < cold.bandwidth_bytes_per_s
+                || warm.latency_s > cold.latency_s
+            {
+                return Err(format!(
+                    "{warm_name} tier must dominate {cold_name} tier (bandwidth up, latency down)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_monotone() {
+        let c = StoreConfig::default();
+        c.validate().unwrap();
+        let bytes = 100 * 1024 * 1024;
+        let mut prev = f64::INFINITY;
+        for tier in Tier::ALL {
+            let s = c.transport_seconds(tier, bytes);
+            assert!(
+                s < prev,
+                "{} must be strictly cheaper than the colder tier",
+                tier.name()
+            );
+            prev = s;
+        }
+        assert_eq!(c.transport_seconds(Tier::Container, bytes), 0.0);
+        assert_eq!(c.transport_seconds(Tier::Remote, 0), 0.0);
+    }
+
+    #[test]
+    fn invalid_orderings_are_rejected() {
+        let mut c = StoreConfig::default();
+        c.disk.bandwidth_bytes_per_s = 1.0; // slower than remote
+        assert!(c.validate().is_err());
+        let z = StoreConfig {
+            chunk_bytes: 0,
+            ..StoreConfig::default()
+        };
+        assert!(z.validate().is_err());
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = StoreConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: StoreConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn tier_names_are_stable_labels() {
+        assert_eq!(Tier::Remote.name(), "remote");
+        assert_eq!(Tier::Container.name(), "container");
+        assert!(Tier::Remote < Tier::NodeDisk);
+        assert!(Tier::NodeMemory < Tier::Container);
+    }
+}

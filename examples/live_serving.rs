@@ -39,6 +39,7 @@ fn main() {
         capacity_per_node: 2,
         idle_threshold: 0.0, // demo: containers idle immediately
         keep_alive: 60.0,
+        ..GatewayConfig::default()
     };
     let gateway = Gateway::builder(config)
         .register_all(vec![

@@ -16,4 +16,7 @@ cargo test -q --workspace
 echo "== exp_plan_warmup (small CI config) =="
 cargo run --release -q -p optimus-bench --bin exp_plan_warmup -- --small
 
+echo "== exp_store (small CI config) =="
+cargo run --release -q -p optimus-bench --bin exp_store -- --small
+
 echo "all checks passed"

@@ -278,8 +278,8 @@ fn cmd_snapshot(models_csv: &str, path: &str) -> Result<(), String> {
 
 fn cmd_snapshot_info(path: &str) -> Result<(), String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let snap = optimus::core::RepositorySnapshot::from_json(&json)?;
-    let repo = ModelRepository::restore(snap, Box::new(GroupPlanner))?;
+    let snap = optimus::core::RepositorySnapshot::from_json(&json).map_err(|e| e.to_string())?;
+    let repo = ModelRepository::restore(snap, Box::new(GroupPlanner)).map_err(|e| e.to_string())?;
     println!("snapshot {path}:");
     for name in repo.model_names() {
         println!(
