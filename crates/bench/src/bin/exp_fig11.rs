@@ -4,28 +4,37 @@
 //! Cell (i, j) = latency of transforming model i into model j; the
 //! diagonal uses a weight variant of the same structure; the final row is
 //! loading model j from scratch.
+//!
+//! `--threads <n>` plans the 21×21 matrix cells in parallel; the matrix
+//! is assembled in index order, so the output is byte-identical at any
+//! thread count.
 
+use optimus_bench::sweep::{run_grid, threads_arg};
 use optimus_bench::{figure11_models, print_table, save_results, transform_latency};
 use optimus_profile::{CostModel, CostProvider};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = threads_arg(&args);
     let cost = CostModel::default();
     let models = figure11_models();
     let n = models.len();
     println!("Figure 11: transformation latency (s) between {n} representative models\n");
 
-    let mut matrix = vec![vec![0.0f64; n]; n + 1];
-    for (i, src) in models.iter().enumerate() {
-        for (j, dst) in models.iter().enumerate() {
-            matrix[i][j] = if i == j {
-                // Same structure, different weights (the Figure 11
-                // diagonal): transform to a weight variant.
-                let variant = variant_of(dst);
-                transform_latency(src, &variant, &cost)
-            } else {
-                transform_latency(src, dst, &cost)
-            };
+    let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+    let values = run_grid(&cells, threads, |&(i, j)| {
+        if i == j {
+            // Same structure, different weights (the Figure 11
+            // diagonal): transform to a weight variant.
+            let variant = variant_of(&models[j]);
+            transform_latency(&models[i], &variant, &cost)
+        } else {
+            transform_latency(&models[i], &models[j], &cost)
         }
+    });
+    let mut matrix = vec![vec![0.0f64; n]; n + 1];
+    for (&(i, j), v) in cells.iter().zip(values) {
+        matrix[i][j] = v;
     }
     for (j, dst) in models.iter().enumerate() {
         matrix[n][j] = cost.model_load_cost(dst);

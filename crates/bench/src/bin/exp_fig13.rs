@@ -3,14 +3,16 @@
 //! OpenWhisk, Pagurus, Tetris and Optimus.
 //!
 //! Optional args: `--balancer <sharing|hash|least>` (default sharing) for
-//! the load-balancer ablation, `--duration <seconds>` (default 86400).
+//! the load-balancer ablation, `--duration <seconds>` (default 86400),
+//! `--threads <n>` to run the workload × policy grid in parallel (the
+//! output is byte-identical at any thread count).
 
+use optimus_bench::sweep::{run_grid, threads_arg};
 use optimus_bench::{
-    build_repo, figure13_models, fmt_pct, fmt_s, print_table, run_all_policies, save_results,
-    workloads,
+    build_repo, figure13_models, fmt_pct, fmt_s, print_table, save_results, workloads,
 };
 use optimus_profile::Environment;
-use optimus_sim::{PlacementStrategy, Policy, SimConfig};
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,6 +32,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(86_400.0);
+    let threads = threads_arg(&args);
 
     let models = figure13_models();
     let names: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
@@ -50,11 +53,25 @@ fn main() {
         config.capacity_per_node,
         duration / 3600.0
     );
+    // One grid cell per workload × policy; results come back in input
+    // order, so the table and JSON below are identical at any --threads.
+    let runs = workloads(&names, duration, 7);
+    let cells: Vec<(usize, Policy)> = (0..runs.len())
+        .flat_map(|w| Policy::ALL.iter().map(move |&p| (w, p)))
+        .collect();
+    let reports = run_grid(&cells, threads, |&(w, policy)| {
+        let platform = Platform::new(config.clone(), policy, repo.clone());
+        platform.run(&runs[w].1)
+    });
+
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
-    for (wname, trace) in workloads(&names, duration, 7) {
-        eprintln!("running {wname} ({} requests)...", trace.len());
-        let results = run_all_policies(&config, &repo, &trace);
+    for (w, (wname, trace)) in runs.iter().enumerate() {
+        let results: Vec<(Policy, &optimus_sim::SimReport)> = Policy::ALL
+            .iter()
+            .enumerate()
+            .map(|(p, &policy)| (policy, &reports[w * Policy::ALL.len() + p]))
+            .collect();
         let mut row = vec![format!("{wname} ({})", trace.len())];
         let mut per_system = serde_json::Map::new();
         let optimus = results
@@ -80,7 +97,7 @@ fn main() {
             );
         }
         rows.push(row);
-        json.insert(wname, serde_json::Value::Object(per_system));
+        json.insert(wname.clone(), serde_json::Value::Object(per_system));
     }
     print_table(
         &[

@@ -17,8 +17,11 @@
 //!    against the byte-agnostic baseline (`store: None`), reporting
 //!    load-latency percentiles and the fleet dedup ratio.
 //!
-//! Run with `--small` for the CI configuration.
+//! Run with `--small` for the CI configuration; `--threads <n>` runs the
+//! bandwidth sweep cells in parallel (byte-identical output at any
+//! thread count).
 
+use optimus_bench::sweep::{run_grid, threads_arg};
 use optimus_bench::{figure11_models, fmt_s, print_table, save_results};
 use optimus_model::ModelGraph;
 use optimus_profile::Environment;
@@ -61,7 +64,9 @@ fn tier_chain(chunks: &[ChunkRef]) -> Vec<(&'static str, f64)> {
 }
 
 fn main() {
-    let small = std::env::args().any(|a| a == "--small");
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let threads = threads_arg(&args);
     let all = figure11_models();
     let (catalog_size, duration, bandwidths) = if small {
         (4usize, 1_200.0, vec![100.0e6])
@@ -149,14 +154,27 @@ fn main() {
     // ── 3. Remote-bandwidth sweep under the Optimus policy ──────────────
     let functions: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
     let trace = PoissonGenerator::new(rates::MIDDLE, duration, 42).generate(&functions);
-    let run = |store: Option<StoreConfig>| {
+    // Cell 0 is the byte-agnostic baseline, then one cell per remote
+    // bandwidth; results return in input order at any thread count.
+    let mut sweep_cells: Vec<Option<StoreConfig>> = vec![None];
+    sweep_cells.extend(bandwidths.iter().map(|&bw| {
+        Some(StoreConfig {
+            remote: TierParams {
+                bandwidth_bytes_per_s: bw,
+                latency_s: StoreConfig::default().remote.latency_s,
+            },
+            ..StoreConfig::default()
+        })
+    }));
+    let mut reports = run_grid(&sweep_cells, threads, |store: &Option<StoreConfig>| {
         let config = SimConfig {
-            store,
+            store: *store,
             ..SimConfig::default()
         };
         Platform::new(config, Policy::Optimus, repo.clone()).run(&trace)
-    };
-    let baseline = run(None);
+    })
+    .into_iter();
+    let baseline = reports.next().expect("baseline cell ran");
     let mut baseline_loads: Vec<f64> = baseline.records.iter().map(|r| r.load).collect();
     baseline_loads.sort_by(f64::total_cmp);
     println!(
@@ -173,14 +191,7 @@ fn main() {
     ]];
     let mut sweep_json = Vec::new();
     for &bw in &bandwidths {
-        let config = StoreConfig {
-            remote: TierParams {
-                bandwidth_bytes_per_s: bw,
-                latency_s: StoreConfig::default().remote.latency_s,
-            },
-            ..StoreConfig::default()
-        };
-        let report = run(Some(config));
+        let report = reports.next().expect("bandwidth cell ran");
         let mut loads: Vec<f64> = report.records.iter().map(|r| r.load).collect();
         loads.sort_by(f64::total_cmp);
         let stats = report.store.expect("store enabled");

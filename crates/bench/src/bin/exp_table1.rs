@@ -4,12 +4,19 @@
 //!
 //! Planning latency is real wall-clock time of the planner; execution
 //! latency is the plan's (simulated) meta-operator cost.
+//!
+//! `--threads <n>` plans the case × planner grid in parallel. Execution
+//! costs are deterministic at any thread count; `planning_seconds` is
+//! wall clock and naturally varies run to run.
 
+use optimus_bench::sweep::{run_grid, threads_arg};
 use optimus_bench::{print_table, save_results};
 use optimus_core::{GroupPlanner, MunkresPlanner, Planner};
 use optimus_profile::CostModel;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = threads_arg(&args);
     let cost = CostModel::default();
     let cases = [
         (optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()),
@@ -17,11 +24,23 @@ fn main() {
         (optimus_zoo::resnet::resnet50(), optimus_zoo::vgg::vgg19()),
     ];
     println!("Table 1: planning and execution latency, basic vs improved\n");
+    // case × planner grid: even-indexed cells run Munkres, odd run Group.
+    let cells: Vec<(usize, bool)> = (0..cases.len())
+        .flat_map(|i| [(i, false), (i, true)])
+        .collect();
+    let plans = run_grid(&cells, threads, |&(i, improved)| {
+        let (src, dst) = &cases[i];
+        if improved {
+            GroupPlanner.plan(src, dst, &cost)
+        } else {
+            MunkresPlanner.plan(src, dst, &cost)
+        }
+    });
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for (src, dst) in &cases {
-        let basic = MunkresPlanner.plan(src, dst, &cost);
-        let improved = GroupPlanner.plan(src, dst, &cost);
+    for (i, (src, dst)) in cases.iter().enumerate() {
+        let basic = &plans[2 * i];
+        let improved = &plans[2 * i + 1];
         rows.push(vec![
             format!("{} to {}", src.name(), dst.name()),
             format!("{:.1} ms", 1e3 * basic.planning_seconds),

@@ -23,6 +23,8 @@
 //! paper-style table to stdout and appends machine-readable JSON to
 //! `results/<exp>.json` when a `results/` directory exists.
 
+pub mod sweep;
+
 use std::sync::Arc;
 
 use optimus_core::{GroupPlanner, ModelRepository, Planner};

@@ -1,0 +1,61 @@
+//! The sweep runner's core guarantee: the serialized simulation output
+//! is byte-identical at any thread count, and across consecutive runs.
+//!
+//! This is what lets experiment binaries take `--threads` without any
+//! risk to reproducibility — the whole grid is pure (seeded traces,
+//! per-cell `Platform`s) and [`run_grid`] returns results in input
+//! order regardless of scheduling. `scripts/check.sh` and CI run this
+//! test explicitly.
+
+use optimus_bench::build_repo;
+use optimus_bench::sweep::run_grid;
+use optimus_profile::Environment;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig};
+use optimus_workload::PoissonGenerator;
+
+fn catalog() -> Vec<optimus_model::ModelGraph> {
+    vec![
+        optimus_zoo::vgg::vgg11(),
+        optimus_zoo::vgg::vgg16(),
+        optimus_zoo::resnet::resnet18(),
+        optimus_zoo::mobilenet::mobilenet_v1(1.0, 0),
+    ]
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_across_thread_counts() {
+    let models = catalog();
+    let names: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
+    let repo = build_repo(models, Environment::Cpu);
+    // Policy × seed grid — the same shape the experiment binaries sweep.
+    let cells: Vec<(Policy, u64)> = Policy::ALL
+        .iter()
+        .flat_map(|&p| [(p, 5u64), (p, 9u64)])
+        .collect();
+    let sweep = |threads: usize| -> Vec<String> {
+        run_grid(&cells, threads, |&(policy, seed)| {
+            let trace = PoissonGenerator::new(0.003, 30_000.0, seed).generate(&names);
+            let config = SimConfig {
+                nodes: 2,
+                capacity_per_node: 3,
+                placement: PlacementStrategy::Hash,
+                ..SimConfig::default()
+            };
+            let report = Platform::new(config, policy, repo.clone()).run(&trace);
+            serde_json::to_string(&report).expect("report serializes")
+        })
+    };
+    let sequential = sweep(1);
+    assert_eq!(sequential.len(), cells.len());
+    assert!(
+        sequential.iter().any(|s| s.contains("\"Warm\"")),
+        "the grid should exercise warm starts"
+    );
+    for threads in [2, 8] {
+        assert_eq!(sweep(threads), sequential, "threads={threads} diverged");
+    }
+    // Two consecutive runs at the same thread count are also identical:
+    // nothing (allocator state, scheduling, shared caches) leaks into the
+    // output between runs.
+    assert_eq!(sweep(8), sweep(8), "consecutive runs diverged");
+}

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use optimus_model::ModelGraph;
+use optimus_model::{InternKey, Interner, ModelGraph, ModelId};
 use optimus_profile::CostProvider;
 use optimus_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use parking_lot::RwLock;
@@ -129,6 +129,48 @@ struct Inner {
     /// (re-)registered. The install phase uses it to detect that a model
     /// snapshotted for planning was re-registered concurrently.
     generations: HashMap<Arc<str>, u64>,
+    /// Interned-id fast-path index over the string-keyed maps above:
+    /// append-only name↔[`ModelId`] table plus dense per-id load costs and
+    /// an id×id plan matrix, rebuilt inside every install critical section
+    /// so it is always consistent with the maps. Ids are stable across
+    /// re-registrations (the interner never forgets a name) but are only
+    /// meaningful within this repository instance.
+    ids: Interner<ModelId>,
+    /// Scratch-load cost per [`ModelId`] (`NAN` = not registered).
+    load_costs_by_id: Vec<f64>,
+    /// Dense plan matrix `[src.index() * n + dst.index()]`, `n = ids.len()`.
+    plans_by_id: Vec<Option<Arc<TransformPlan>>>,
+}
+
+impl Inner {
+    /// Rebuild the id-keyed index from the string-keyed maps. Called with
+    /// the write lock held, immediately after any mutation of
+    /// `models`/`load_costs`/`plans`.
+    fn rebuild_id_index(&mut self) {
+        let mut names: Vec<&Arc<str>> = self.models.keys().collect();
+        names.sort();
+        for name in names {
+            self.ids.resolve(name);
+        }
+        let n = self.ids.len();
+        self.load_costs_by_id = vec![f64::NAN; n];
+        self.plans_by_id = vec![None; n * n];
+        for (name, &cost) in &self.load_costs {
+            if let Some(id) = self.ids.get(name) {
+                self.load_costs_by_id[id.index()] = cost;
+            }
+        }
+        for (src, per_src) in &self.plans {
+            let Some(si) = self.ids.get(src) else {
+                continue;
+            };
+            for (dst, plan) in per_src {
+                if let Some(di) = self.ids.get(dst) {
+                    self.plans_by_id[si.index() * n + di.index()] = Some(plan.clone());
+                }
+            }
+        }
+    }
 }
 
 /// One directed planning job of a registration batch.
@@ -268,6 +310,7 @@ impl ModelRepository {
                 let dst: Arc<str> = Arc::from(task.dst.name());
                 inner.plans.entry(src).or_default().insert(dst, plan);
             }
+            inner.rebuild_id_index();
             break;
         }
         let telemetry = self.telemetry.read();
@@ -404,6 +447,70 @@ impl ModelRepository {
         })
     }
 
+    /// Interned id of a registered model (`None` if the name is unknown).
+    ///
+    /// Ids are dense, stable across re-registrations, and valid only
+    /// against this repository instance; they feed the `*_by_id` fast
+    /// paths the simulator's per-event loop runs on.
+    pub fn model_id(&self, name: &str) -> Option<ModelId> {
+        self.inner.read().ids.get(name)
+    }
+
+    /// Name behind an interned id (`None` for an id this repository never
+    /// handed out).
+    pub fn model_name_of(&self, id: ModelId) -> Option<String> {
+        let inner = self.inner.read();
+        (id.index() < inner.ids.len()).then(|| inner.ids.name(id).to_string())
+    }
+
+    /// Id-keyed [`ModelRepository::decide`]: same decision and the same
+    /// plan-cache telemetry, but the lookup is two dense-array probes
+    /// instead of two string hashes — the per-donor cost of the
+    /// simulator's donor scan.
+    pub fn decide_by_id(&self, src: ModelId, dst: ModelId) -> Option<TransformDecision> {
+        let (decision, cached) = self.decide_uncounted_by_id(src, dst)?;
+        let telemetry = self.telemetry.read();
+        match (&decision, cached) {
+            (TransformDecision::Transform(_), _) => telemetry.plan_hit.inc(),
+            (TransformDecision::LoadScratch { .. }, true) => telemetry.plan_reject.inc(),
+            (TransformDecision::LoadScratch { .. }, false) => telemetry.plan_miss.inc(),
+        }
+        Some(decision)
+    }
+
+    /// Id-keyed [`ModelRepository::transform_latency`] (placement probes;
+    /// bypasses the plan-cache counters).
+    pub fn transform_latency_by_id(&self, src: ModelId, dst: ModelId) -> Option<f64> {
+        self.decide_uncounted_by_id(src, dst)
+            .map(|(d, _)| d.latency())
+    }
+
+    fn decide_uncounted_by_id(
+        &self,
+        src: ModelId,
+        dst: ModelId,
+    ) -> Option<(TransformDecision, bool)> {
+        let inner = self.inner.read();
+        let n = inner.ids.len();
+        if dst.index() >= n {
+            return None;
+        }
+        let load = inner.load_costs_by_id[dst.index()];
+        if load.is_nan() {
+            return None;
+        }
+        let plan = (src.index() < n)
+            .then(|| inner.plans_by_id[src.index() * n + dst.index()].as_ref())
+            .flatten();
+        Some(match plan {
+            Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
+                (TransformDecision::Transform(p.clone()), true)
+            }
+            Some(_) => (TransformDecision::LoadScratch { cost: load }, true),
+            None => (TransformDecision::LoadScratch { cost: load }, false),
+        })
+    }
+
     /// Transformation latency that `decide` would report, ignoring which
     /// branch is taken (used by load balancers as an edit-distance metric).
     /// Deliberately bypasses the plan-cache hit/miss counters — placement
@@ -426,6 +533,27 @@ impl ModelRepository {
             let inner = self.inner.read();
             let plan = inner.plans.get(src)?.get(dst)?.clone();
             let model = inner.models.get(dst)?.clone();
+            (plan, model)
+        };
+        Some(crate::chunks::plan_chunks(&plan, &model, chunk_bytes))
+    }
+
+    /// Id-keyed [`ModelRepository::plan_chunks`] (used by the simulator's
+    /// store-state precomputation).
+    pub fn plan_chunks_by_id(
+        &self,
+        src: ModelId,
+        dst: ModelId,
+        chunk_bytes: u64,
+    ) -> Option<crate::chunks::PlanChunks> {
+        let (plan, model) = {
+            let inner = self.inner.read();
+            let n = inner.ids.len();
+            if src.index() >= n || dst.index() >= n {
+                return None;
+            }
+            let plan = inner.plans_by_id[src.index() * n + dst.index()].clone()?;
+            let model = inner.models.get(inner.ids.name(dst))?.clone();
             (plan, model)
         };
         Some(crate::chunks::plan_chunks(&plan, &model, chunk_bytes))
@@ -510,6 +638,7 @@ impl ModelRepository {
                 .or_default()
                 .insert(Arc::from(dst.as_str()), plan);
         }
+        inner.rebuild_id_index();
         ModelRepository {
             planner,
             inner: RwLock::new(inner),
@@ -661,6 +790,62 @@ mod tests {
         assert_eq!(repo.model_count(), 2);
         assert!(repo.plan("vgg11", "vgg16").is_some());
         assert!(repo.plan("vgg16", "vgg11").is_some());
+    }
+
+    #[test]
+    fn id_fast_path_agrees_with_string_path() {
+        let repo = repo_with(vec![
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::vgg::vgg19(),
+            optimus_zoo::resnet::resnet50(),
+            optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Tiny)),
+        ]);
+        let names = repo.model_names();
+        for src in &names {
+            let si = repo.model_id(src).expect("registered");
+            assert_eq!(repo.model_name_of(si).as_deref(), Some(src.as_str()));
+            for dst in &names {
+                let di = repo.model_id(dst).expect("registered");
+                let by_name = repo
+                    .decide(src, dst)
+                    .map(|d| (d.is_transform(), d.latency()));
+                let by_id = repo
+                    .decide_by_id(si, di)
+                    .map(|d| (d.is_transform(), d.latency()));
+                assert_eq!(by_name, by_id, "{src} -> {dst}");
+                assert_eq!(
+                    repo.transform_latency(src, dst),
+                    repo.transform_latency_by_id(si, di)
+                );
+                let chunk = 1 << 20;
+                assert_eq!(
+                    repo.plan_chunks(src, dst, chunk),
+                    repo.plan_chunks_by_id(si, di, chunk)
+                );
+            }
+        }
+        assert!(repo.model_id("missing").is_none());
+        assert!(repo.model_name_of(ModelId(999)).is_none());
+        assert!(repo.decide_by_id(ModelId(0), ModelId(999)).is_none());
+    }
+
+    #[test]
+    fn ids_stable_across_reregistration() {
+        let cost = CostModel::default();
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()]);
+        let before = repo.model_id("vgg16").unwrap();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        assert_eq!(repo.model_id("vgg16"), Some(before));
+        repo.register(optimus_zoo::vgg::vgg11(), &cost);
+        assert_eq!(
+            repo.model_id("vgg16"),
+            Some(before),
+            "old ids survive growth"
+        );
+        let d = repo
+            .decide_by_id(before, repo.model_id("vgg11").unwrap())
+            .unwrap();
+        assert!(d.is_transform());
     }
 
     #[test]

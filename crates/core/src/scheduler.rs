@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::cache::{ModelRepository, TransformDecision};
 use crate::metaop::TransformPlan;
+use optimus_model::ModelId;
 
 /// Idle-container identification timer (§4.2): reset on every routed
 /// request, idle once `threshold` seconds elapse without one.
@@ -97,6 +98,36 @@ pub fn choose_source<C>(
     best
 }
 
+/// Id-keyed [`choose_source`]: the simulator's per-event donor scan.
+///
+/// `idle` yields `(handle, interned model id)` pairs — `Copy` data, so the
+/// scan neither clones names nor hashes strings; each candidate costs two
+/// dense-array probes inside [`ModelRepository::decide_by_id`].
+pub fn choose_source_by_id<C>(
+    repo: &ModelRepository,
+    idle: impl IntoIterator<Item = (C, ModelId)>,
+    dst_model: ModelId,
+) -> Option<SourceChoice<C>> {
+    let mut best: Option<SourceChoice<C>> = None;
+    for (handle, src_model) in idle {
+        if src_model == dst_model {
+            // Same-model donors are warm starts, never transformations.
+            continue;
+        }
+        if let Some(TransformDecision::Transform(plan)) = repo.decide_by_id(src_model, dst_model) {
+            let latency = plan.cost.total();
+            if best.as_ref().is_none_or(|b| latency < b.latency) {
+                best = Some(SourceChoice {
+                    container: handle,
+                    plan,
+                    latency,
+                });
+            }
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +176,33 @@ mod tests {
             choose_source(&repo, vec![(1u32, "vgg16".to_string())], "vgg16").is_none(),
             "same-model donors are warm starts, not transformations"
         );
+    }
+
+    #[test]
+    fn choose_source_by_id_matches_string_path() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register(optimus_zoo::vgg::vgg16(), &cost);
+        repo.register(optimus_zoo::vgg::vgg19(), &cost);
+        repo.register(optimus_zoo::resnet::resnet50(), &cost);
+        let id = |n: &str| repo.model_id(n).expect("registered");
+        let by_id = choose_source_by_id(
+            &repo,
+            vec![(1u32, id("resnet50")), (2u32, id("vgg16"))],
+            id("vgg19"),
+        )
+        .expect("a donor must beat scratch load");
+        let by_name = choose_source(
+            &repo,
+            vec![(1u32, "resnet50".to_string()), (2u32, "vgg16".to_string())],
+            "vgg19",
+        )
+        .expect("a donor must beat scratch load");
+        assert_eq!(by_id.container, by_name.container);
+        assert_eq!(by_id.latency, by_name.latency);
+        // Same-model donors and empty donor sets yield no choice.
+        assert!(choose_source_by_id(&repo, Vec::<(u32, ModelId)>::new(), id("vgg16")).is_none());
+        assert!(choose_source_by_id(&repo, vec![(1u32, id("vgg16"))], id("vgg16")).is_none());
     }
 
     #[test]

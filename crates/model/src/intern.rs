@@ -1,0 +1,177 @@
+//! Interned identifiers for function and model names.
+//!
+//! The simulator and serving hot paths key almost everything by function
+//! (= model) name. Hashing and cloning `String`s on every event is pure
+//! overhead once the catalog is known, so names are interned once into
+//! dense `u32` ids and the hot paths carry those instead: comparisons
+//! become integer equality, maps become `Vec` indexing, and donor scans
+//! stop allocating.
+//!
+//! [`Interner`] is an append-only symbol table: `resolve` interns (and is
+//! the only `&mut` operation), `get`/`name` are read-only lookups, so a
+//! built table can be shared immutably across threads. Ids are dense
+//! indices assigned in first-resolve order and stay stable for the life
+//! of the table — they are *not* meaningful across different interners.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// A typed dense index handed out by an [`Interner`].
+pub trait InternKey: Copy {
+    /// Construct from a dense index.
+    fn from_index(index: usize) -> Self;
+    /// The dense index this key wraps.
+    fn index(self) -> usize;
+}
+
+macro_rules! intern_key {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            Eq,
+            Hash,
+            PartialOrd,
+            Ord,
+            serde::Serialize,
+            serde::Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl InternKey for $name {
+            fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("interner overflow: > u32::MAX names"))
+            }
+
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+intern_key! {
+    /// Interned serverless-function name (the sim/serving layer's key).
+    FunctionId
+}
+intern_key! {
+    /// Interned model name (the repository/plan-cache layer's key).
+    ModelId
+}
+
+/// Append-only symbol table mapping names to dense typed ids.
+#[derive(Debug, Clone)]
+pub struct Interner<K> {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+    _key: PhantomData<K>,
+}
+
+impl<K> Default for Interner<K> {
+    fn default() -> Self {
+        Interner {
+            names: Vec::new(),
+            index: HashMap::new(),
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: InternKey> Interner<K> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its id (existing id if already interned).
+    pub fn resolve(&mut self, name: &str) -> K {
+        if let Some(&id) = self.index.get(name) {
+            return K::from_index(id as usize);
+        }
+        let id = K::from_index(self.names.len());
+        self.names.push(name.into());
+        self.index.insert(name.into(), id.index() as u32);
+        id
+    }
+
+    /// Id of an already-interned name, without interning.
+    pub fn get(&self, name: &str) -> Option<K> {
+        self.index.get(name).map(|&id| K::from_index(id as usize))
+    }
+
+    /// The name behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not handed out by this interner.
+    pub fn name(&self, id: K) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (K::from_index(i), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_is_idempotent_and_dense() {
+        let mut t: Interner<FunctionId> = Interner::new();
+        let a = t.resolve("alpha");
+        let b = t.resolve("beta");
+        assert_eq!(a, FunctionId(0));
+        assert_eq!(b, FunctionId(1));
+        assert_eq!(t.resolve("alpha"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "alpha");
+        assert_eq!(t.name(b), "beta");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t: Interner<ModelId> = Interner::new();
+        assert!(t.get("vgg16").is_none());
+        let id = t.resolve("vgg16");
+        assert_eq!(t.get("vgg16"), Some(id));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t: Interner<FunctionId> = Interner::new();
+        for n in ["c", "a", "b"] {
+            t.resolve(n);
+        }
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_integers() {
+        let id = FunctionId(7);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: FunctionId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

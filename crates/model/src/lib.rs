@@ -37,6 +37,7 @@
 mod builder;
 mod error;
 mod graph;
+mod intern;
 mod op;
 mod shape;
 mod stats;
@@ -51,6 +52,7 @@ pub mod tensor;
 pub use builder::GraphBuilder;
 pub use error::ModelError;
 pub use graph::{Edge, ModelGraph, OpId};
+pub use intern::{FunctionId, InternKey, Interner, ModelId};
 pub use op::{Activation, OpAttrs, OpKind, Operation, Padding, PoolKind};
 pub use shape::TensorShape;
 pub use stats::{ModelStats, OpHistogram};

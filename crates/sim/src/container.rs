@@ -1,5 +1,6 @@
 //! Container lifecycle state.
 
+use optimus_model::FunctionId;
 use serde::{Deserialize, Serialize};
 
 /// Observable container state at a point in virtual time.
@@ -14,12 +15,14 @@ pub enum ContainerState {
 }
 
 /// One container on a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Container {
     /// Unique id within the simulation.
     pub id: u64,
-    /// Function (model name) currently served.
-    pub function: String,
+    /// Interned id of the function (model name) currently served; resolve
+    /// back to a name through the platform's
+    /// [`Interner`](optimus_model::Interner).
+    pub function: FunctionId,
     /// Virtual time until which the container is busy.
     pub busy_until: f64,
     /// Last time a request was routed to this container (idle-timer reset,
@@ -36,10 +39,10 @@ pub struct Container {
 impl Container {
     /// New container created at `now` for `function`, busy until
     /// `busy_until` (its first request's completion).
-    pub fn new(id: u64, function: impl Into<String>, now: f64, busy_until: f64) -> Self {
+    pub fn new(id: u64, function: FunctionId, now: f64, busy_until: f64) -> Self {
         Container {
             id,
-            function: function.into(),
+            function,
             busy_until,
             last_routed: now,
             mem_bytes: 0,
@@ -78,9 +81,11 @@ impl Container {
 mod tests {
     use super::*;
 
+    const F: FunctionId = FunctionId(0);
+
     #[test]
     fn state_transitions_over_time() {
-        let c = Container::new(1, "f", 0.0, 2.0);
+        let c = Container::new(1, F, 0.0, 2.0);
         assert_eq!(c.state(1.0, 60.0), ContainerState::Busy);
         assert_eq!(c.state(2.0, 60.0), ContainerState::Warm);
         assert_eq!(c.state(59.9, 60.0), ContainerState::Warm);
@@ -89,7 +94,7 @@ mod tests {
 
     #[test]
     fn routing_resets_idle_timer() {
-        let mut c = Container::new(1, "f", 0.0, 1.0);
+        let mut c = Container::new(1, F, 0.0, 1.0);
         c.route(100.0, 101.0);
         assert_eq!(c.state(120.0, 60.0), ContainerState::Warm);
         assert_eq!(c.state(160.0, 60.0), ContainerState::Idle);
@@ -97,11 +102,11 @@ mod tests {
 
     #[test]
     fn keep_alive_expiry() {
-        let c = Container::new(1, "f", 0.0, 2.0);
+        let c = Container::new(1, F, 0.0, 2.0);
         assert!(!c.expired(600.0, 600.0));
         assert!(c.expired(603.0, 600.0));
         // Busy containers never expire.
-        let busy = Container::new(2, "f", 0.0, 1e9);
+        let busy = Container::new(2, F, 0.0, 1e9);
         assert!(!busy.expired(1e6, 600.0));
     }
 }

@@ -1,14 +1,24 @@
 //! The platform simulator: gateway, nodes, containers, and the four
 //! container-management policies.
+//!
+//! ## Hot-path data layout
+//!
+//! The per-event loop never touches a `String`: function names are
+//! interned once at [`Platform::new`] into dense [`FunctionId`]s (see
+//! `optimus_model::Interner`), per-function data lives in a `Vec`
+//! indexed by id, containers carry ids, and donor selection runs on
+//! `Copy` `(container, id)` pairs through the repository's id-keyed
+//! fast paths. Reusable scratch buffers ([`RunState`]) make the steady
+//! state of [`Platform::run`] allocation-free.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use optimus_core::{scheduler::choose_source, ModelRepository, PlanChunks};
+use optimus_core::{scheduler::choose_source_by_id, ModelRepository, PlanChunks};
 use optimus_model::signature::OpSignature;
-use optimus_model::ModelGraph;
+use optimus_model::{FunctionId, InternKey, Interner, ModelGraph, ModelId};
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
-use optimus_store::{ChunkRef, NodeStore, StoreStats};
+use optimus_store::{ChunkIndex, ChunkRef, NodeStore, StoreStats};
 use optimus_telemetry::{RequestTrace, TelemetrySink};
 use optimus_workload::{demand_histogram, Trace};
 
@@ -17,16 +27,21 @@ use crate::container::{Container, ContainerState};
 use crate::metrics::{RequestRecord, SimReport, StartKind};
 use crate::policy::Policy;
 
-/// Per-function precomputed data.
+/// Per-function precomputed data, indexed by [`FunctionId`].
 struct FunctionData {
+    /// The repository's interned id of this function's model (function
+    /// and model ids are separate interner namespaces).
+    model_id: ModelId,
     load_cost: f64,
     compute_cost: f64,
     deserialize_cost: f64,
     /// Container memory footprint: model bytes + per-container overhead
     /// (added when a memory limit is configured).
     model_bytes: u64,
-    /// `(signature, structure+assign cost)` per op — Tetris sharing input.
-    op_costs: Vec<(OpSignature, f64)>,
+    /// `(interned signature, structure+assign cost)` per op — Tetris
+    /// sharing input. Signatures are interned to dense `u32`s at build so
+    /// the per-event residency check is an array probe, not a hash.
+    op_sigs: Vec<(u32, f64)>,
 }
 
 /// Precomputed chunkings shared by every node's store (only built when
@@ -34,14 +49,63 @@ struct FunctionData {
 struct StoreState {
     config: optimus_store::StoreConfig,
     /// Full chunk list per model — what a scratch load admits.
-    model_chunks: HashMap<String, Vec<ChunkRef>>,
-    /// `src → dst → plan split` for every cached plan: the payload chunks
-    /// a transformation fetches vs. the destination chunks it reuses or
-    /// synthesizes in place.
-    plan_chunks: HashMap<String, HashMap<String, PlanChunks>>,
+    model_chunks: ChunkIndex<FunctionId>,
+    /// `src → dst → plan split` for every cached plan, as a dense
+    /// function-count-strided table (`[src * n + dst]`): the payload
+    /// chunks a transformation fetches vs. the destination chunks it
+    /// reuses or synthesizes in place.
+    plan_chunks: Vec<Option<PlanChunks>>,
     /// Union of all cached plans' payload chunks, pinned on every node so
     /// LRU pressure never evicts the bytes cached plans write.
     pinned: Vec<ChunkRef>,
+}
+
+/// Reusable scratch buffers of one [`Platform::run`]: sized once, cleared
+/// (or generation-bumped) per event, so the event loop stays
+/// allocation-free after warm-up.
+struct RunState {
+    /// Donor candidates of the current event: `(container index, id)`.
+    donors: Vec<(usize, FunctionId)>,
+    /// Functions of containers the current event destroyed (for chunk
+    /// release).
+    evicted: Vec<FunctionId>,
+    /// Tetris residency marks: signature `s` is resident on the current
+    /// node iff `sig_mark[s] == sig_gen`. Bumping the generation clears
+    /// the whole set in O(1) instead of rebuilding a `HashSet` per event.
+    sig_mark: Vec<u64>,
+    sig_gen: u64,
+    /// Prewarm-schedule keys due at the current arrival.
+    due: Vec<(u64, FunctionId)>,
+}
+
+impl RunState {
+    fn new(sig_count: usize) -> Self {
+        RunState {
+            donors: Vec::new(),
+            evicted: Vec::new(),
+            sig_mark: vec![0; sig_count],
+            sig_gen: 0,
+            due: Vec::new(),
+        }
+    }
+}
+
+/// Internal request record carrying the interned function id; converted
+/// to the public string-keyed [`RequestRecord`] once at the end of a run.
+struct RawRecord {
+    function: FunctionId,
+    arrival: f64,
+    wait: f64,
+    init: f64,
+    load: f64,
+    compute: f64,
+    kind: StartKind,
+}
+
+impl RawRecord {
+    fn service_time(&self) -> f64 {
+        self.wait + self.init + self.load + self.compute
+    }
 }
 
 /// The simulated serverless ML inference platform.
@@ -50,7 +114,12 @@ pub struct Platform {
     policy: Policy,
     repo: Arc<ModelRepository>,
     profile: PlatformProfile,
-    functions: HashMap<String, FunctionData>,
+    /// Function-name symbol table; [`FunctionId`]s index `functions`.
+    interner: Interner<FunctionId>,
+    functions: Vec<FunctionData>,
+    /// Number of distinct interned op signatures (sizes the Tetris
+    /// residency-mark buffer).
+    sig_count: usize,
     /// Optional telemetry sink: every simulated request is exported as a
     /// [`RequestTrace`], the same schema and metric names the live
     /// gateway produces, so simulator runs and live serving are directly
@@ -72,47 +141,55 @@ impl Platform {
         assert!(config.capacity_per_node > 0, "need container capacity");
         let cost = CostModel::new(config.env);
         let profile = PlatformProfile::new(config.env);
-        let mut functions = HashMap::new();
-        for name in repo.model_names() {
-            let model = repo.model(&name).expect("listed model exists");
-            let op_costs = model
+        // `model_names` is sorted, so id assignment is deterministic.
+        let names = repo.model_names();
+        let mut interner: Interner<FunctionId> = Interner::new();
+        let mut functions = Vec::with_capacity(names.len());
+        let mut sig_ids: HashMap<OpSignature, u32> = HashMap::new();
+        for name in &names {
+            let model = repo.model(name).expect("listed model exists");
+            let op_sigs = model
                 .ops()
                 .map(|(_, op)| {
+                    let sig = OpSignature::of(op);
+                    let next = sig_ids.len() as u32;
+                    let sid = *sig_ids.entry(sig).or_insert(next);
                     (
-                        OpSignature::of(op),
+                        sid,
                         cost.structure_cost(&op.attrs) + cost.assign_cost(&op.attrs),
                     )
                 })
                 .collect();
-            functions.insert(
-                name.clone(),
-                FunctionData {
-                    load_cost: cost.model_load_cost(&model),
-                    compute_cost: profile.compute_cost(&model),
-                    deserialize_cost: cost.deserialize_cost(&model),
-                    model_bytes: model.byte_size() as u64,
-                    op_costs,
-                },
-            );
+            let fid = interner.resolve(name);
+            debug_assert_eq!(fid.index(), functions.len(), "dense id assignment");
+            functions.push(FunctionData {
+                model_id: repo.model_id(name).expect("registered model has an id"),
+                load_cost: cost.model_load_cost(&model),
+                compute_cost: profile.compute_cost(&model),
+                deserialize_cost: cost.deserialize_cost(&model),
+                model_bytes: model.byte_size() as u64,
+                op_sigs,
+            });
         }
+        let sig_count = sig_ids.len();
         let store = config.store.map(|sc| {
             sc.validate().expect("store config must be valid");
-            let mut model_chunks = HashMap::new();
-            let mut plan_chunks: HashMap<String, HashMap<String, PlanChunks>> = HashMap::new();
-            let names = repo.model_names();
-            for src in &names {
-                let model = repo.model(src).expect("listed model exists");
-                model_chunks.insert(
-                    src.clone(),
-                    optimus_store::model_chunks(&model, sc.chunk_bytes),
-                );
-                for dst in &names {
-                    if let Some(pc) = repo.plan_chunks(src, dst, sc.chunk_bytes) {
-                        plan_chunks
-                            .entry(src.clone())
-                            .or_default()
-                            .insert(dst.clone(), pc);
-                    }
+            let n = functions.len();
+            let mut model_chunks = ChunkIndex::new();
+            let mut plan_chunks: Vec<Option<PlanChunks>> = Vec::new();
+            plan_chunks.resize_with(n * n, || None);
+            for src in 0..n {
+                let sfid = FunctionId::from_index(src);
+                let model = repo
+                    .model(interner.name(sfid))
+                    .expect("listed model exists");
+                model_chunks.insert(sfid, optimus_store::model_chunks(&model, sc.chunk_bytes));
+                for dst in 0..n {
+                    plan_chunks[src * n + dst] = repo.plan_chunks_by_id(
+                        functions[src].model_id,
+                        functions[dst].model_id,
+                        sc.chunk_bytes,
+                    );
                 }
             }
             StoreState {
@@ -127,7 +204,9 @@ impl Platform {
             policy,
             repo,
             profile,
+            interner,
             functions,
+            sig_count,
             sink: None,
             store,
         }
@@ -191,7 +270,20 @@ impl Platform {
     /// Panics when the trace invokes a function not registered in the
     /// repository.
     pub fn run(&self, trace: &Trace) -> SimReport {
-        let placement = self.placement(trace);
+        // Resolve every invocation to an interned id once; the event loop
+        // below is string-free.
+        let fids = trace
+            .lookup_function_ids(&self.interner)
+            .unwrap_or_else(|name| panic!("function '{name}' not registered in the repository"));
+        // Function → node placement as a dense table indexed by id.
+        let mut placement = vec![usize::MAX; self.functions.len()];
+        for (name, node) in self.placement(trace) {
+            let fid = self
+                .interner
+                .get(&name)
+                .expect("placed function is registered");
+            placement[fid.index()] = node;
+        }
         let mut nodes: Vec<NodeState> = (0..self.config.nodes)
             .map(|_| {
                 let mut node = NodeState::default();
@@ -204,52 +296,71 @@ impl Platform {
             })
             .collect();
         let mut next_id: u64 = 0;
-        let mut records = Vec::with_capacity(trace.len());
+        let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
+        let mut state = RunState::new(self.sig_count);
         // Prewarming state: per-function arrival history and the pending
-        // proactive-transform schedule, kept time-ordered.
-        let mut history: HashMap<String, (usize, f64)> = HashMap::new(); // (count, last arrival)
-        let mut mean_gap: HashMap<String, f64> = HashMap::new();
-        let mut schedule: std::collections::BTreeMap<(u64, String), f64> =
+        // proactive-transform schedule, kept time-ordered. NaN marks "no
+        // gap observed yet".
+        let mut history: Vec<(usize, f64)> = vec![(0, 0.0); self.functions.len()];
+        let mut mean_gap: Vec<f64> = vec![f64::NAN; self.functions.len()];
+        let mut schedule: std::collections::BTreeMap<(u64, FunctionId), f64> =
             std::collections::BTreeMap::new();
         let mut prewarms = 0usize;
         let mut seq: u64 = 0;
-        for inv in &trace.invocations {
+        for (inv, &f) in trace.invocations.iter().zip(&fids) {
             // Execute due proactive transforms before this arrival.
             if self.config.prewarm.is_some() {
-                let due: Vec<(u64, String)> = schedule
-                    .iter()
-                    .filter(|(_, &t)| t <= inv.time)
-                    .map(|(k, _)| k.clone())
-                    .collect();
-                for key in due {
+                state.due.clear();
+                state.due.extend(
+                    schedule
+                        .iter()
+                        .filter(|(_, &t)| t <= inv.time)
+                        .map(|(&k, _)| k),
+                );
+                for i in 0..state.due.len() {
+                    let key = state.due[i];
                     let at = schedule.remove(&key).expect("key present");
-                    let f = &key.1;
-                    let node_idx = *placement.get(f).expect("placed function");
-                    if self.prewarm(&mut nodes[node_idx], at, f) {
+                    let node_idx = placement[key.1.index()];
+                    if self.prewarm(&mut nodes[node_idx], &mut state, at, key.1) {
                         prewarms += 1;
                     }
                 }
             }
-            let node_idx = *placement.get(&inv.function).expect("placed function");
-            let record = self.serve(&mut nodes[node_idx], &mut next_id, inv.time, &inv.function);
+            let node_idx = placement[f.index()];
+            let raw = self.serve(&mut nodes[node_idx], &mut state, &mut next_id, inv.time, f);
             if let Some(sink) = &self.sink {
-                sink.record(&trace_of(&record, node_idx));
+                sink.record(&trace_of(&raw, self.interner.name(f), node_idx));
             }
-            records.push(record);
+            // The one unavoidable allocation per request: the public
+            // record schema carries the function name as a `String`.
+            records.push(RequestRecord {
+                function: self.interner.name(raw.function).to_string(),
+                arrival: raw.arrival,
+                wait: raw.wait,
+                init: raw.init,
+                load: raw.load,
+                compute: raw.compute,
+                kind: raw.kind,
+            });
             // Update the predictor and schedule the next prewarm.
             if let Some(cfg) = self.config.prewarm {
-                let (count, last) = history.get(&inv.function).copied().unwrap_or((0, inv.time));
+                let (count, last) = history[f.index()];
                 if count > 0 {
                     let gap = inv.time - last;
-                    let m = mean_gap.entry(inv.function.clone()).or_insert(gap);
-                    *m = 0.7 * *m + 0.3 * gap;
+                    let m = &mut mean_gap[f.index()];
+                    *m = if m.is_nan() {
+                        gap
+                    } else {
+                        0.7 * *m + 0.3 * gap
+                    };
                 }
-                history.insert(inv.function.clone(), (count + 1, inv.time));
+                history[f.index()] = (count + 1, inv.time);
                 if count + 1 >= cfg.min_history {
-                    if let Some(&m) = mean_gap.get(&inv.function) {
+                    let m = mean_gap[f.index()];
+                    if !m.is_nan() {
                         let at = (inv.time + m - cfg.lead).max(inv.time);
                         seq += 1;
-                        schedule.insert((seq, inv.function.clone()), at);
+                        schedule.insert((seq, f), at);
                     }
                 }
             }
@@ -275,12 +386,12 @@ impl Platform {
     }
 
     /// Release the chunk references of containers that stopped holding the
-    /// named functions' models (keep-alive expiry or slot eviction).
-    fn store_release(&self, node: &mut NodeState, evicted: &[String]) {
+    /// given functions' models (keep-alive expiry or slot eviction).
+    fn store_release(&self, node: &mut NodeState, evicted: &[FunctionId]) {
         let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
             return;
         };
-        for f in evicted {
+        for &f in evicted {
             if let Some(chunks) = ss.model_chunks.get(f) {
                 store.release(chunks);
             }
@@ -288,28 +399,37 @@ impl Platform {
     }
 
     /// Evict keep-alive-expired containers, releasing their chunks.
-    fn evict_expired(&self, node: &mut NodeState, now: f64) {
-        let evicted = node.evict_expired(now, self.config.keep_alive);
-        self.store_release(node, &evicted);
+    fn evict_expired(&self, node: &mut NodeState, state: &mut RunState, now: f64) {
+        state.evicted.clear();
+        node.evict_expired(now, self.config.keep_alive, &mut state.evicted);
+        self.store_release(node, &state.evicted);
     }
 
     /// [`NodeState::free_slot`] plus chunk release for every container it
     /// destroyed (even when it ultimately fails for lack of a free victim).
-    fn free_slot(&self, node: &mut NodeState, needed: u64, now: f64) -> Option<()> {
-        let (ok, evicted) = node.free_slot(
+    fn free_slot(
+        &self,
+        node: &mut NodeState,
+        state: &mut RunState,
+        needed: u64,
+        now: f64,
+    ) -> Option<()> {
+        state.evicted.clear();
+        let ok = node.free_slot(
             self.config.capacity_per_node,
             self.config.memory,
             needed,
             now,
+            &mut state.evicted,
         );
-        self.store_release(node, &evicted);
+        self.store_release(node, &state.evicted);
         ok.then_some(())
     }
 
     /// A container starts holding `f` via a scratch load: admit the
     /// model's full chunk list and return the transport seconds for the
     /// bytes missing at each tier (0 without a store).
-    fn store_admit(&self, node: &mut NodeState, f: &str) -> f64 {
+    fn store_admit(&self, node: &mut NodeState, f: FunctionId) -> f64 {
         let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
             return 0.0;
         };
@@ -324,12 +444,19 @@ impl Platform {
     /// source content; a scratch repurpose admits the full model. The
     /// destination is admitted *before* the source is released, so chunks
     /// the two models share stay at container tier and cost nothing.
-    fn store_repurpose(&self, node: &mut NodeState, src: &str, dst: &str, transform: bool) -> f64 {
+    fn store_repurpose(
+        &self,
+        node: &mut NodeState,
+        src: FunctionId,
+        dst: FunctionId,
+        transform: bool,
+    ) -> f64 {
         let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
             return 0.0;
         };
+        let n = self.functions.len();
         let split = transform
-            .then(|| ss.plan_chunks.get(src).and_then(|per| per.get(dst)))
+            .then(|| ss.plan_chunks[src.index() * n + dst.index()].as_ref())
             .flatten();
         let seconds = match split {
             Some(pc) => {
@@ -353,31 +480,35 @@ impl Platform {
     /// was performed. Only donors past the idle threshold are used, and the
     /// safeguard still applies — prewarming never loads from scratch
     /// speculatively.
-    fn prewarm(&self, node: &mut NodeState, at: f64, f: &str) -> bool {
-        self.evict_expired(node, at);
+    fn prewarm(&self, node: &mut NodeState, state: &mut RunState, at: f64, f: FunctionId) -> bool {
+        self.evict_expired(node, state, at);
         if node.warm_free(f, at).is_some() {
             return false; // already warm
         }
-        let donors: Vec<(usize, String)> = node
-            .containers
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| {
-                c.function != f && c.state(at, self.config.idle_threshold) == ContainerState::Idle
-            })
-            .map(|(i, c)| (i, c.function.clone()))
-            .collect();
         let need = self.footprint(f);
-        let donors: Vec<(usize, String)> = donors
-            .into_iter()
-            .filter(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory))
-            .collect();
-        if let Some(choice) = choose_source(&self.repo, donors, f) {
+        state.donors.clear();
+        for (i, c) in node.containers.iter().enumerate() {
+            if c.function != f && c.state(at, self.config.idle_threshold) == ContainerState::Idle {
+                state.donors.push((i, c.function));
+            }
+        }
+        state
+            .donors
+            .retain(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory));
+        let choice = choose_source_by_id(
+            &self.repo,
+            state
+                .donors
+                .iter()
+                .map(|&(ci, src)| (ci, self.functions[src.index()].model_id)),
+            self.functions[f.index()].model_id,
+        );
+        if let Some(choice) = choice {
             let ci = choice.container;
-            let src = node.containers[ci].function.clone();
-            let transport = self.store_repurpose(node, &src, f, true);
+            let src = node.containers[ci].function;
+            let transport = self.store_repurpose(node, src, f, true);
             let c = &mut node.containers[ci];
-            c.function = f.into();
+            c.function = f;
             c.mem_bytes = need;
             // The container is busy while the proactive transform runs;
             // last_routed stays untouched so the container still reads as
@@ -390,37 +521,32 @@ impl Platform {
     }
 
     /// Container footprint of a function under the configured memory limit.
-    fn footprint(&self, f: &str) -> u64 {
-        let model = self.fdata(f).model_bytes;
+    fn footprint(&self, f: FunctionId) -> u64 {
+        let model = self.functions[f.index()].model_bytes;
         match &self.config.memory {
             Some(m) => model + m.container_overhead,
             None => 0,
         }
     }
 
-    fn fdata(&self, f: &str) -> &FunctionData {
-        self.functions
-            .get(f)
-            .unwrap_or_else(|| panic!("function '{f}' not registered in the repository"))
-    }
-
     fn serve(
         &self,
         node: &mut NodeState,
+        state: &mut RunState,
         next_id: &mut u64,
         arrival: f64,
-        f: &str,
-    ) -> RequestRecord {
-        self.evict_expired(node, arrival);
-        let compute = self.fdata(f).compute_cost;
+        f: FunctionId,
+    ) -> RawRecord {
+        self.evict_expired(node, state, arrival);
+        let compute = self.functions[f.index()].compute_cost;
         let mut now = arrival;
         loop {
             // 1. Warm start: a free container already holds the model.
             if let Some(ci) = node.warm_free(f, now) {
                 let c = &mut node.containers[ci];
                 c.route(now, now + compute);
-                return RequestRecord {
-                    function: f.into(),
+                return RawRecord {
+                    function: f,
                     arrival,
                     wait: now - arrival,
                     init: 0.0,
@@ -430,13 +556,13 @@ impl Platform {
                 };
             }
             // 2. Obtain a container by the policy.
-            if let Some((ci, init, load, kind)) = self.try_start(node, next_id, now, f) {
+            if let Some((ci, init, load, kind)) = self.try_start(node, state, next_id, now, f) {
                 let total = init + load + compute;
                 // try_start created/re-purposed the container at index
                 // `ci`; set its busy window.
                 node.containers[ci].busy_until = now + total;
-                return RequestRecord {
-                    function: f.into(),
+                return RawRecord {
+                    function: f,
                     arrival,
                     wait: now - arrival,
                     init,
@@ -462,16 +588,17 @@ impl Platform {
     fn try_start(
         &self,
         node: &mut NodeState,
+        state: &mut RunState,
         next_id: &mut u64,
         now: f64,
-        f: &str,
+        f: FunctionId,
     ) -> Option<(usize, f64, f64, StartKind)> {
-        let data = self.fdata(f);
+        let data = &self.functions[f.index()];
         let idle_thr = self.config.idle_threshold;
         match self.policy {
             Policy::OpenWhisk => {
                 let need = self.footprint(f);
-                self.free_slot(node, need, now)?;
+                self.free_slot(node, state, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
                 let transport = self.store_admit(node, f);
                 Some((
@@ -500,10 +627,10 @@ impl Platform {
                     })
                     .filter(|&ci| node.repurpose_fits(ci, need, self.config.memory));
                 if let Some(ci) = donor {
-                    let src = node.containers[ci].function.clone();
-                    let transport = self.store_repurpose(node, &src, f, false);
+                    let src = node.containers[ci].function;
+                    let transport = self.store_repurpose(node, src, f, false);
                     let c = &mut node.containers[ci];
-                    c.function = f.into();
+                    c.function = f;
                     c.mem_bytes = need;
                     c.route(now, now); // busy window set by caller
                     return Some((
@@ -513,7 +640,7 @@ impl Platform {
                         StartKind::Transform,
                     ));
                 }
-                self.free_slot(node, need, now)?;
+                self.free_slot(node, state, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
                 let transport = self.store_admit(node, f);
                 Some((
@@ -526,15 +653,22 @@ impl Platform {
             Policy::Tetris => {
                 // Tensor sharing: resident ops on the node are mapped, the
                 // rest load from scratch; the runtime address space maps
-                // from any existing container.
+                // from any existing container. Residency is marked before
+                // eviction, matching "maps from any existing container".
                 let need = self.footprint(f);
                 let had_containers = !node.containers.is_empty();
-                let resident = node.resident_signatures(&self.functions);
-                self.free_slot(node, need, now)?;
+                state.sig_gen += 1;
+                let gen = state.sig_gen;
+                for c in &node.containers {
+                    for &(sig, _) in &self.functions[c.function.index()].op_sigs {
+                        state.sig_mark[sig as usize] = gen;
+                    }
+                }
+                self.free_slot(node, state, need, now)?;
                 let mut load = data.deserialize_cost;
                 let mut shared = 0usize;
-                for (sig, cost) in &data.op_costs {
-                    if resident.contains(sig) {
+                for &(sig, cost) in &data.op_sigs {
+                    if state.sig_mark[sig as usize] == gen {
                         load += self.config.tetris_map_per_op;
                         shared += 1;
                     } else {
@@ -563,33 +697,40 @@ impl Platform {
                 // evict is also a donor candidate ("help rather than
                 // recycle"): transforming it strictly dominates destroying
                 // it and paying init + scratch load.
-                let mut donors: Vec<(usize, String)> = node
-                    .containers
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| {
-                        c.function != f && c.state(now, idle_thr) == ContainerState::Idle
-                    })
-                    .map(|(i, c)| (i, c.function.clone()))
-                    .collect();
+                state.donors.clear();
+                for (i, c) in node.containers.iter().enumerate() {
+                    if c.function != f && c.state(now, idle_thr) == ContainerState::Idle {
+                        state.donors.push((i, c.function));
+                    }
+                }
                 let need = self.footprint(f);
-                if donors.is_empty() {
+                if state.donors.is_empty() {
                     if let Some(ci) = node.eviction_victim(
                         self.config.capacity_per_node,
                         self.config.memory,
                         need,
                         now,
                     ) {
-                        donors.push((ci, node.containers[ci].function.clone()));
+                        state.donors.push((ci, node.containers[ci].function));
                     }
                 }
-                donors.retain(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory));
-                if let Some(choice) = choose_source(&self.repo, donors.clone(), f) {
+                state
+                    .donors
+                    .retain(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory));
+                let choice = choose_source_by_id(
+                    &self.repo,
+                    state
+                        .donors
+                        .iter()
+                        .map(|&(ci, src)| (ci, self.functions[src.index()].model_id)),
+                    data.model_id,
+                );
+                if let Some(choice) = choice {
                     let ci = choice.container;
-                    let src = node.containers[ci].function.clone();
-                    let transport = self.store_repurpose(node, &src, f, true);
+                    let src = node.containers[ci].function;
+                    let transport = self.store_repurpose(node, src, f, true);
                     let c = &mut node.containers[ci];
-                    c.function = f.into();
+                    c.function = f;
                     c.mem_bytes = need;
                     c.route(now, now);
                     return Some((
@@ -601,11 +742,10 @@ impl Platform {
                 }
                 // Safeguard path: an idle donor exists but no plan beats a
                 // scratch load — re-purpose Pagurus-style.
-                if let Some((ci, _)) = donors.first().cloned() {
-                    let src = node.containers[ci].function.clone();
-                    let transport = self.store_repurpose(node, &src, f, false);
+                if let Some(&(ci, src)) = state.donors.first() {
+                    let transport = self.store_repurpose(node, src, f, false);
                     let c = &mut node.containers[ci];
-                    c.function = f.into();
+                    c.function = f;
                     c.mem_bytes = need;
                     c.route(now, now);
                     return Some((
@@ -615,7 +755,7 @@ impl Platform {
                         StartKind::Transform,
                     ));
                 }
-                self.free_slot(node, need, now)?;
+                self.free_slot(node, state, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
                 let transport = self.store_admit(node, f);
                 Some((
@@ -629,16 +769,16 @@ impl Platform {
     }
 }
 
-/// A simulated [`RequestRecord`] as the shared telemetry schema.
+/// A simulated request as the shared telemetry schema.
 ///
 /// Simulated durations stand in for measured ones; `total` equals the
 /// service time because simulated requests have no unattributed
 /// wall-clock. Plan-cache outcomes are counted inside
 /// `ModelRepository::decide`, which the simulator shares with the live
 /// path, so they are not duplicated per trace here.
-fn trace_of(record: &RequestRecord, node: usize) -> RequestTrace {
+fn trace_of(record: &RawRecord, function: &str, node: usize) -> RequestTrace {
     RequestTrace {
-        function: record.function.clone(),
+        function: function.to_string(),
         node,
         kind: match record.kind {
             StartKind::Warm => optimus_telemetry::StartKind::Warm,
@@ -665,24 +805,23 @@ struct NodeState {
 }
 
 impl NodeState {
-    /// Drop keep-alive-expired containers; returns the functions whose
-    /// models they held so the caller can release their chunks.
-    fn evict_expired(&mut self, now: f64, keep_alive: f64) -> Vec<String> {
-        let mut evicted = Vec::new();
+    /// Drop keep-alive-expired containers; pushes the functions whose
+    /// models they held into `evicted` so the caller can release their
+    /// chunks.
+    fn evict_expired(&mut self, now: f64, keep_alive: f64, evicted: &mut Vec<FunctionId>) {
         self.containers.retain(|c| {
             if c.expired(now, keep_alive) {
-                evicted.push(c.function.clone());
+                evicted.push(c.function);
                 false
             } else {
                 true
             }
         });
-        evicted
     }
 
     /// Index of a free container already holding `f`, preferring the most
     /// recently used (deterministic tie-break by id).
-    fn warm_free(&self, f: &str, now: f64) -> Option<usize> {
+    fn warm_free(&self, f: FunctionId, now: f64) -> Option<usize> {
         self.containers
             .iter()
             .enumerate()
@@ -697,7 +836,7 @@ impl NodeState {
     }
 
     /// Longest-idle donor container of another function.
-    fn idle_donor(&self, f: &str, now: f64, idle_threshold: f64) -> Option<usize> {
+    fn idle_donor(&self, f: FunctionId, now: f64, idle_threshold: f64) -> Option<usize> {
         self.containers
             .iter()
             .enumerate()
@@ -773,51 +912,36 @@ impl NodeState {
     /// Ensure a new container of `needed` bytes fits: free capacity, or
     /// evict least-recently-routed non-busy containers until it does.
     /// Returns whether it now fits (false when the remaining containers
-    /// are all busy), plus the functions of every container destroyed —
-    /// even on failure, so the caller can release their chunks.
+    /// are all busy), and pushes the function of every container destroyed
+    /// into `evicted` — even on failure, so the caller can release their
+    /// chunks.
     fn free_slot(
         &mut self,
         capacity: usize,
         memory: Option<MemoryLimit>,
         needed: u64,
         now: f64,
-    ) -> (bool, Vec<String>) {
-        let mut evicted = Vec::new();
+        evicted: &mut Vec<FunctionId>,
+    ) -> bool {
         while !self.fits(capacity, memory, needed) {
             let Some(victim) = self.lru_free(now) else {
-                return (false, evicted);
+                return false;
             };
-            evicted.push(self.containers[victim].function.clone());
+            evicted.push(self.containers[victim].function);
             self.containers.swap_remove(victim);
         }
-        (true, evicted)
+        true
     }
 
     /// Create a new container for `f` with the given memory footprint;
     /// returns its index. `busy_until` is patched by the caller once
     /// init+load+compute are known.
-    fn spawn(&mut self, next_id: &mut u64, f: &str, now: f64, mem_bytes: u64) -> usize {
+    fn spawn(&mut self, next_id: &mut u64, f: FunctionId, now: f64, mem_bytes: u64) -> usize {
         let id = *next_id;
         *next_id += 1;
         let mut c = Container::new(id, f, now, now);
         c.mem_bytes = mem_bytes;
         self.containers.push(c);
         self.containers.len() - 1
-    }
-
-    /// All op signatures resident in this node's containers (Tetris).
-    fn resident_signatures(
-        &self,
-        functions: &HashMap<String, FunctionData>,
-    ) -> std::collections::HashSet<OpSignature> {
-        let mut set = std::collections::HashSet::new();
-        for c in &self.containers {
-            if let Some(data) = functions.get(&c.function) {
-                for (sig, _) in &data.op_costs {
-                    set.insert(sig.clone());
-                }
-            }
-        }
-        set
     }
 }

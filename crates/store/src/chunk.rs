@@ -9,8 +9,9 @@
 //! "fetch only the delta" fall out of plain set operations.
 
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
-use optimus_model::{ModelGraph, WeightSpec, Weights};
+use optimus_model::{InternKey, ModelGraph, WeightSpec, Weights};
 use serde::{Deserialize, Serialize};
 
 /// Default chunk size: 4 MiB, a common object-store part size.
@@ -92,6 +93,57 @@ pub fn model_chunks(model: &ModelGraph, chunk_bytes: u64) -> Vec<ChunkRef> {
         }
     }
     out
+}
+
+/// Per-model chunk lists keyed by a dense interned id
+/// (`optimus_model::FunctionId` / `ModelId`).
+///
+/// The hot-path replacement for `HashMap<String, Vec<ChunkRef>>`: a store
+/// admission/release looks its model's chunk list up by a `Vec` index
+/// instead of hashing the function name on every container event.
+#[derive(Debug, Clone)]
+pub struct ChunkIndex<K> {
+    lists: Vec<Option<Vec<ChunkRef>>>,
+    _key: PhantomData<K>,
+}
+
+impl<K> Default for ChunkIndex<K> {
+    fn default() -> Self {
+        ChunkIndex {
+            lists: Vec::new(),
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: InternKey> ChunkIndex<K> {
+    /// An empty index.
+    pub fn new() -> Self {
+        ChunkIndex::default()
+    }
+
+    /// Store the chunk list of `id` (replacing any previous list).
+    pub fn insert(&mut self, id: K, chunks: Vec<ChunkRef>) {
+        if id.index() >= self.lists.len() {
+            self.lists.resize_with(id.index() + 1, || None);
+        }
+        self.lists[id.index()] = Some(chunks);
+    }
+
+    /// The chunk list of `id`, if one was inserted.
+    pub fn get(&self, id: K) -> Option<&[ChunkRef]> {
+        self.lists.get(id.index())?.as_deref()
+    }
+
+    /// Number of ids with a stored chunk list.
+    pub fn len(&self) -> usize {
+        self.lists.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Whether no chunk lists are stored.
+    pub fn is_empty(&self) -> bool {
+        self.lists.iter().all(|l| l.is_none())
+    }
 }
 
 /// Catalog-level dedup accountant: tracks the *logical* bytes referenced
@@ -231,6 +283,23 @@ mod tests {
             model_chunks(&m, DEFAULT_CHUNK_BYTES),
             model_chunks(&back, DEFAULT_CHUNK_BYTES)
         );
+    }
+
+    #[test]
+    fn chunk_index_stores_by_dense_id() {
+        use optimus_model::FunctionId;
+        let mut idx: ChunkIndex<FunctionId> = ChunkIndex::new();
+        assert!(idx.is_empty());
+        let spec = WeightSpec::seeded([64, 64], 1);
+        let mut chunks = Vec::new();
+        chunk_spec(&spec, 4096, &mut chunks);
+        idx.insert(FunctionId(2), chunks.clone());
+        assert_eq!(idx.get(FunctionId(2)), Some(chunks.as_slice()));
+        assert!(idx.get(FunctionId(0)).is_none());
+        assert!(idx.get(FunctionId(9)).is_none());
+        assert_eq!(idx.len(), 1);
+        idx.insert(FunctionId(2), Vec::new());
+        assert_eq!(idx.get(FunctionId(2)), Some(&[][..]), "insert replaces");
     }
 
     #[test]

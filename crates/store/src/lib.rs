@@ -35,7 +35,8 @@ mod node;
 mod tier;
 
 pub use chunk::{
-    chunk_spec, model_chunks, weights_chunks, ChunkId, ChunkRef, ChunkSet, DEFAULT_CHUNK_BYTES,
+    chunk_spec, model_chunks, weights_chunks, ChunkId, ChunkIndex, ChunkRef, ChunkSet,
+    DEFAULT_CHUNK_BYTES,
 };
 pub use node::{FetchCost, NodeStore, StoreStats};
 pub use tier::{StoreConfig, Tier, TierParams};

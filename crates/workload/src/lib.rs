@@ -25,6 +25,10 @@ pub use azure::{AzureTraceGenerator, FunctionPattern};
 pub use poisson::{exponential_inter_arrival, PoissonGenerator};
 pub use trace::{demand_histogram, Invocation, Trace};
 
+// Re-exported so trace consumers can intern function names without
+// depending on `optimus-model` directly.
+pub use optimus_model::{FunctionId, Interner};
+
 /// The paper's three Poisson intensities (requests per second).
 pub mod rates {
     /// Infrequent workload: λ = 10⁻³·⁵ ≈ one request every ~53 minutes.

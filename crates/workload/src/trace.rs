@@ -1,5 +1,6 @@
 //! Trace data model.
 
+use optimus_model::{FunctionId, Interner};
 use serde::{Deserialize, Serialize};
 
 /// One function invocation.
@@ -55,6 +56,39 @@ impl Trace {
         names.sort();
         names.dedup();
         names
+    }
+
+    /// Interned view of the invocations: one [`FunctionId`] per
+    /// invocation, in trace order, interning any name `interner` has not
+    /// seen yet. Consumers that replay a trace repeatedly (the simulator's
+    /// event loop, sweep runners) resolve names to ids once here and run
+    /// string-free afterwards.
+    pub fn function_ids(&self, interner: &mut Interner<FunctionId>) -> Vec<FunctionId> {
+        self.invocations
+            .iter()
+            .map(|inv| interner.resolve(&inv.function))
+            .collect()
+    }
+
+    /// Like [`Trace::function_ids`] but read-only: fails on the first
+    /// invocation whose function is not already interned (e.g. a trace
+    /// naming a function the platform never registered).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown function name.
+    pub fn lookup_function_ids(
+        &self,
+        interner: &Interner<FunctionId>,
+    ) -> Result<Vec<FunctionId>, String> {
+        self.invocations
+            .iter()
+            .map(|inv| {
+                interner
+                    .get(&inv.function)
+                    .ok_or_else(|| inv.function.clone())
+            })
+            .collect()
     }
 
     /// Merge two traces (e.g. per-function sub-traces) preserving order.
@@ -137,6 +171,22 @@ mod tests {
         let back = Trace::from_json(&t.to_json()).unwrap();
         assert_eq!(t, back);
         assert!(Trace::from_json("nope").is_err());
+    }
+
+    #[test]
+    fn function_ids_parallel_the_invocations() {
+        let t = Trace::new(10.0, vec![inv(1.0, "b"), inv(2.0, "a"), inv(3.0, "b")]);
+        let mut interner = Interner::new();
+        let ids = t.function_ids(&mut interner);
+        assert_eq!(ids.len(), t.len());
+        assert_eq!(ids[0], ids[2], "same function, same id");
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(interner.name(ids[1]), "a");
+        // Read-only lookup agrees once everything is interned…
+        assert_eq!(t.lookup_function_ids(&interner).unwrap(), ids);
+        // …and reports the offending name otherwise.
+        let empty = Interner::new();
+        assert_eq!(t.lookup_function_ids(&empty), Err("b".to_string()));
     }
 
     #[test]

@@ -13,10 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== sweep byte-identity (sequential vs 2/8 threads) =="
+cargo test -q -p optimus-bench --test sweep_identity
+
+echo "== sim event-loop bench smoke (small config) =="
+cargo bench -p optimus-bench --bench sim_event_loop -- --small
+
 echo "== exp_plan_warmup (small CI config) =="
 cargo run --release -q -p optimus-bench --bin exp_plan_warmup -- --small
 
-echo "== exp_store (small CI config) =="
-cargo run --release -q -p optimus-bench --bin exp_store -- --small
+echo "== exp_store (small CI config, parallel sweep) =="
+cargo run --release -q -p optimus-bench --bin exp_store -- --small --threads 2
 
 echo "all checks passed"
