@@ -26,4 +26,6 @@ mod placement;
 
 pub use correlation::pearson;
 pub use kmedoids::{kmedoids, KMedoidsResult};
-pub use placement::{hash_placement, least_loaded_placement, FunctionPoint, SharingAwareBalancer};
+pub use placement::{
+    failover_node, hash_placement, least_loaded_placement, FunctionPoint, SharingAwareBalancer,
+};

@@ -168,6 +168,32 @@ pub fn least_loaded_placement(functions: &[FunctionPoint], nodes: usize) -> Vec<
     placement
 }
 
+/// Degraded-mode routing: pick a node for a request whose preferred node
+/// may be down. Returns `preferred` when it is healthy; otherwise the
+/// least-loaded healthy node (ties broken by the lower index, so the
+/// choice is deterministic); `None` when the whole fleet is unhealthy and
+/// the caller must queue or fail the request.
+pub fn failover_node(
+    preferred: usize,
+    nodes: usize,
+    mut healthy: impl FnMut(usize) -> bool,
+    mut load: impl FnMut(usize) -> f64,
+) -> Option<usize> {
+    if preferred < nodes && healthy(preferred) {
+        return Some(preferred);
+    }
+    (0..nodes)
+        .filter(|&n| healthy(n))
+        .map(|n| (n, load(n)))
+        .min_by(|(a_node, a_load), (b_node, b_load)| {
+            a_load
+                .partial_cmp(b_load)
+                .expect("finite load")
+                .then(a_node.cmp(b_node))
+        })
+        .map(|(n, _)| n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +291,25 @@ mod tests {
             .sum();
         let load1: f64 = 200.0 - load0;
         assert!((load0 - load1).abs() <= 40.0, "loads {load0} vs {load1}");
+    }
+
+    #[test]
+    fn failover_prefers_home_then_least_loaded_healthy() {
+        let loads = [5.0, 1.0, 3.0];
+        // Healthy home node wins regardless of load.
+        assert_eq!(
+            failover_node(0, 3, |_| true, |n| loads[n]),
+            Some(0),
+            "healthy preferred node is kept"
+        );
+        // Down home node falls over to the least-loaded healthy node.
+        assert_eq!(failover_node(0, 3, |n| n != 0, |n| loads[n]), Some(1));
+        // Equal loads break ties toward the lower index.
+        assert_eq!(failover_node(2, 3, |n| n != 2, |_| 0.0), Some(0));
+        // Whole fleet down: nothing to route to.
+        assert_eq!(failover_node(1, 3, |_| false, |n| loads[n]), None);
+        // Out-of-range preferred node still falls over safely.
+        assert_eq!(failover_node(9, 3, |_| true, |n| loads[n]), Some(1));
     }
 
     #[test]

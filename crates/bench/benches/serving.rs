@@ -29,6 +29,7 @@ fn serving_benches(c: &mut Criterion) {
         idle_threshold: 1e9, // never transform: pure warm path
         keep_alive: 1e9,
         store: None,
+        faults: None,
     })
     .register(tiny("warm", &[8]))
     .spawn();
@@ -46,6 +47,7 @@ fn serving_benches(c: &mut Criterion) {
         idle_threshold: 0.0,
         keep_alive: 1e9,
         store: None,
+        faults: None,
     })
     .register(tiny("a", &[8]))
     .register(tiny("b", &[16, 16]))

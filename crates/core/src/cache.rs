@@ -27,7 +27,7 @@
 //!    never a partial one.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -100,6 +100,96 @@ impl TransformDecision {
     }
 }
 
+/// Mutable state behind the [`OverrunGuard`] lock.
+#[derive(Default)]
+struct OverrunState {
+    /// EWMA of observed from-scratch load seconds per destination model —
+    /// the live baseline a transform's wall-clock is judged against.
+    load_ewma: HashMap<ModelId, f64>,
+    /// Consecutive budget overruns observed per `(src, dst)` plan.
+    overruns: HashMap<(ModelId, ModelId), u32>,
+    /// Plans demoted to scratch loading after too many overruns.
+    demoted: HashSet<(ModelId, ModelId)>,
+}
+
+/// Runtime escalation of the §6.3 safeguard: the *planned* cost model can
+/// be wrong under faults (stragglers, retries, contention), so the
+/// repository also watches the *measured* wall-clock of each applied
+/// plan. A plan whose execution repeatedly overruns `factor ×` the
+/// destination's observed scratch-load time is **demoted**: `decide`
+/// answers `LoadScratch` for that pair from then on (counted as a plan
+/// rejection), exactly as if the offline safeguard had rejected it.
+struct OverrunGuard {
+    /// A transform execution overruns when it takes longer than
+    /// `factor ×` the destination's observed scratch-load EWMA.
+    factor: f64,
+    /// Consecutive overruns tolerated before the pair is demoted.
+    max_overruns: u32,
+    state: RwLock<OverrunState>,
+    /// Fast-path flag: `false` means no pair was ever demoted, so
+    /// `decide` can skip the demotion probe entirely.
+    any_demoted: AtomicBool,
+}
+
+impl OverrunGuard {
+    fn new(factor: f64, max_overruns: u32) -> Self {
+        OverrunGuard {
+            factor,
+            max_overruns,
+            state: RwLock::new(OverrunState::default()),
+            any_demoted: AtomicBool::new(false),
+        }
+    }
+
+    /// Fold one observed scratch-load wall-clock into the baseline EWMA.
+    fn note_load(&self, dst: ModelId, seconds: f64) {
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return;
+        }
+        let mut state = self.state.write();
+        state
+            .load_ewma
+            .entry(dst)
+            .and_modify(|ewma| *ewma = 0.7 * *ewma + 0.3 * seconds)
+            .or_insert(seconds);
+    }
+
+    /// Judge one observed transform wall-clock; returns `true` when the
+    /// observation demoted (or had already demoted) the pair. Without a
+    /// load baseline for `dst` the observation is a no-op — the guard
+    /// never demotes on guesswork.
+    fn note_transform(&self, src: ModelId, dst: ModelId, seconds: f64) -> bool {
+        if !seconds.is_finite() || seconds < 0.0 {
+            return false;
+        }
+        let mut state = self.state.write();
+        if state.demoted.contains(&(src, dst)) {
+            return true;
+        }
+        let Some(&baseline) = state.load_ewma.get(&dst) else {
+            return false;
+        };
+        if seconds <= self.factor * baseline {
+            state.overruns.remove(&(src, dst));
+            return false;
+        }
+        let overruns = state.overruns.entry((src, dst)).or_insert(0);
+        *overruns += 1;
+        if *overruns >= self.max_overruns {
+            state.demoted.insert((src, dst));
+            self.any_demoted.store(true, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// Whether `src → dst` has been demoted. The common no-demotions case
+    /// is a single relaxed atomic load.
+    fn is_demoted(&self, src: ModelId, dst: ModelId) -> bool {
+        self.any_demoted.load(Ordering::Acquire) && self.state.read().demoted.contains(&(src, dst))
+    }
+}
+
 /// Global model repository with an offline-computed plan cache.
 ///
 /// Thread-safe: the simulator's gateway registers models once and many
@@ -111,6 +201,10 @@ pub struct ModelRepository {
     /// scratch-load cost are rejected in favour of loading (1.0 = paper's
     /// behaviour; lower values make the safeguard more conservative).
     safeguard_ratio: f64,
+    /// Measured-wall-clock escalation of the safeguard (see
+    /// [`OverrunGuard`]): plans that repeatedly overrun their budget at
+    /// execution time are demoted to scratch loading.
+    overrun: OverrunGuard,
     telemetry: RwLock<RepoTelemetry>,
 }
 
@@ -186,6 +280,7 @@ impl ModelRepository {
             planner,
             inner: RwLock::new(Inner::default()),
             safeguard_ratio: 1.0,
+            overrun: OverrunGuard::new(3.0, 2),
             telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
         }
     }
@@ -203,6 +298,35 @@ impl ModelRepository {
     pub fn with_safeguard_ratio(mut self, ratio: f64) -> Self {
         self.safeguard_ratio = ratio;
         self
+    }
+
+    /// Override the runtime overrun policy: a plan whose measured
+    /// execution exceeds `factor ×` the destination's observed
+    /// scratch-load time `max_overruns` consecutive times is demoted to
+    /// scratch loading (default: 3.0×, 2 overruns).
+    pub fn with_overrun_policy(mut self, factor: f64, max_overruns: u32) -> Self {
+        self.overrun = OverrunGuard::new(factor, max_overruns.max(1));
+        self
+    }
+
+    /// Report the measured wall-clock of a from-scratch load of `dst`,
+    /// feeding the baseline the overrun guard judges transforms against.
+    pub fn note_load_seconds(&self, dst: ModelId, seconds: f64) {
+        self.overrun.note_load(dst, seconds);
+    }
+
+    /// Report the measured wall-clock of an applied `src → dst`
+    /// transform. Returns `true` when the observation demoted (or the
+    /// guard had already demoted) the pair — the caller's signal to count
+    /// an overrun and expect `decide` to answer `LoadScratch` from now on.
+    pub fn note_transform_seconds(&self, src: ModelId, dst: ModelId, seconds: f64) -> bool {
+        self.overrun.note_transform(src, dst, seconds)
+    }
+
+    /// Whether the overrun guard has demoted `src → dst` to scratch
+    /// loading.
+    pub fn is_demoted(&self, src: ModelId, dst: ModelId) -> bool {
+        self.overrun.is_demoted(src, dst)
     }
 
     /// Register a model: stores it, profiles its scratch-load cost, and
@@ -440,7 +564,16 @@ impl ModelRepository {
         let plan = inner.plans.get(src).and_then(|per_src| per_src.get(dst));
         Some(match plan {
             Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
-                (TransformDecision::Transform(p.clone()), true)
+                let demoted = self.overrun.any_demoted.load(Ordering::Acquire)
+                    && match (inner.ids.get(src), inner.ids.get(dst)) {
+                        (Some(si), Some(di)) => self.overrun.is_demoted(si, di),
+                        _ => false,
+                    };
+                if demoted {
+                    (TransformDecision::LoadScratch { cost: load }, true)
+                } else {
+                    (TransformDecision::Transform(p.clone()), true)
+                }
             }
             Some(_) => (TransformDecision::LoadScratch { cost: load }, true),
             None => (TransformDecision::LoadScratch { cost: load }, false),
@@ -504,7 +637,11 @@ impl ModelRepository {
             .flatten();
         Some(match plan {
             Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
-                (TransformDecision::Transform(p.clone()), true)
+                if self.overrun.is_demoted(src, dst) {
+                    (TransformDecision::LoadScratch { cost: load }, true)
+                } else {
+                    (TransformDecision::Transform(p.clone()), true)
+                }
             }
             Some(_) => (TransformDecision::LoadScratch { cost: load }, true),
             None => (TransformDecision::LoadScratch { cost: load }, false),
@@ -643,6 +780,7 @@ impl ModelRepository {
             planner,
             inner: RwLock::new(inner),
             safeguard_ratio: 1.0,
+            overrun: OverrunGuard::new(3.0, 2),
             telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
         }
     }
@@ -697,6 +835,51 @@ mod tests {
         assert!(repo.decide("vgg16", "missing").is_none());
         assert!(repo.load_cost("missing").is_none());
         assert!(repo.model("missing").is_none());
+    }
+
+    #[test]
+    fn overrun_guard_demotes_after_repeated_overruns() {
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()])
+            .with_overrun_policy(3.0, 2);
+        let src = repo.model_id("vgg16").unwrap();
+        let dst = repo.model_id("vgg19").unwrap();
+        assert!(repo.decide_by_id(src, dst).unwrap().is_transform());
+
+        // No load baseline yet: overrun observations are a no-op.
+        assert!(!repo.note_transform_seconds(src, dst, 100.0));
+        assert!(!repo.is_demoted(src, dst));
+
+        repo.note_load_seconds(dst, 1.0);
+        // Within budget: nothing happens, even repeatedly.
+        assert!(!repo.note_transform_seconds(src, dst, 2.0));
+        // First overrun tolerated, second demotes.
+        assert!(!repo.note_transform_seconds(src, dst, 10.0));
+        assert!(repo.decide_by_id(src, dst).unwrap().is_transform());
+        assert!(repo.note_transform_seconds(src, dst, 10.0));
+        assert!(repo.is_demoted(src, dst));
+
+        // Both decide paths now answer LoadScratch for the demoted pair
+        // (counted as a plan rejection), while the reverse direction is
+        // untouched.
+        assert!(!repo.decide_by_id(src, dst).unwrap().is_transform());
+        assert!(!repo.decide("vgg16", "vgg19").unwrap().is_transform());
+        assert!(repo.decide_by_id(dst, src).unwrap().is_transform());
+        assert!(repo.decide("vgg19", "vgg16").unwrap().is_transform());
+    }
+
+    #[test]
+    fn overrun_guard_resets_streak_on_in_budget_execution() {
+        let repo = repo_with(vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()])
+            .with_overrun_policy(3.0, 2);
+        let src = repo.model_id("vgg16").unwrap();
+        let dst = repo.model_id("vgg19").unwrap();
+        repo.note_load_seconds(dst, 1.0);
+        // overrun, in-budget (streak resets), overrun: still not demoted.
+        assert!(!repo.note_transform_seconds(src, dst, 10.0));
+        assert!(!repo.note_transform_seconds(src, dst, 1.0));
+        assert!(!repo.note_transform_seconds(src, dst, 10.0));
+        assert!(!repo.is_demoted(src, dst));
+        assert!(repo.decide_by_id(src, dst).unwrap().is_transform());
     }
 
     #[test]

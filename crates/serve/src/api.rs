@@ -66,6 +66,9 @@ pub enum ServeError {
     UnknownModel(String),
     /// The forward pass failed (shape mismatch with the supplied input).
     Inference(String),
+    /// Every node that could serve the request is marked unhealthy (all
+    /// retries exhausted); clients should back off and try again.
+    Unavailable(String),
     /// The gateway is shutting down.
     Shutdown,
 }
@@ -75,6 +78,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownModel(m) => write!(f, "unknown model '{m}'"),
             ServeError::Inference(e) => write!(f, "inference failed: {e}"),
+            ServeError::Unavailable(e) => write!(f, "no healthy node: {e}"),
             ServeError::Shutdown => write!(f, "gateway is shut down"),
         }
     }
@@ -103,6 +107,14 @@ pub struct GatewayConfig {
     /// are exported at `GET /metrics` and `GET /store`. `None` disables
     /// the accounting entirely.
     pub store: Option<optimus_store::StoreConfig>,
+    /// Deterministic fault injection (`optimus-faults`): seeded
+    /// per-request draws for node crashes, container kills and transform
+    /// failures, plus the resilience machinery they exercise (health-aware
+    /// re-routing with bounded retries, safeguard escalation to cold
+    /// start, store/state cleanup on container death). `None` (the
+    /// default) disables the fault layer; a quiet spec (all rates zero)
+    /// injects nothing.
+    pub faults: Option<optimus_faults::FaultSpec>,
 }
 
 impl Default for GatewayConfig {
@@ -113,6 +125,7 @@ impl Default for GatewayConfig {
             idle_threshold: 0.05,
             keep_alive: 30.0,
             store: Some(optimus_store::StoreConfig::default()),
+            faults: None,
         }
     }
 }

@@ -1,21 +1,24 @@
 //! The gateway: request entry point and worker lifecycle management.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Sender};
+use optimus_balance::failover_node;
 use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_faults::{FaultInjector, FaultPlan, RequestFaults, RetryPolicy};
 use optimus_model::tensor::Tensor;
-use optimus_model::ModelGraph;
+use optimus_model::{InternKey, ModelGraph};
 use optimus_profile::CostModel;
 use optimus_store::StoreStats;
-use optimus_telemetry::{FanoutSink, MetricsRegistry, MetricsSink, TelemetrySink};
+use optimus_telemetry::{Counter, FanoutSink, Gauge, MetricsRegistry, MetricsSink, TelemetrySink};
 use parking_lot::Mutex;
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError};
-use crate::worker::{run_worker, WorkItem};
+use crate::worker::{run_worker, InferItem, WorkItem};
 
 /// Builder: register models, then [`GatewayBuilder::spawn`].
 pub struct GatewayBuilder {
@@ -73,7 +76,9 @@ impl GatewayBuilder {
     ///
     /// Functions are placed onto nodes round-robin in registration order;
     /// a production deployment would use `optimus-balance` here, which is
-    /// exercised by the simulator instead.
+    /// exercised by the simulator instead. The routing table is a dense
+    /// vector indexed by interned [`optimus_model::ModelId`] — the
+    /// client-facing name is resolved to an id exactly once per request.
     pub fn spawn(self) -> Gateway {
         self.repo.set_metrics_registry(&self.metrics);
         let mut sinks: Vec<Arc<dyn TelemetrySink>> =
@@ -97,16 +102,61 @@ impl GatewayBuilder {
             }));
             senders.push(tx);
         }
-        let placement = self
-            .names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.clone(), i % self.config.nodes))
+        // Dense id-indexed routing table (round-robin in registration
+        // order, later registrations of the same name win — the same
+        // placement the old name-keyed map produced).
+        let mut placement = vec![0usize; repo.model_count()];
+        for (i, name) in self.names.iter().enumerate() {
+            if let Some(id) = repo.model_id(name) {
+                placement[id.index()] = i % self.config.nodes;
+            }
+        }
+        let injector = self.config.faults.map(|spec| {
+            spec.validate().expect("fault spec must be valid");
+            FaultInjector::new(&FaultPlan::from_spec(spec))
+        });
+        let retry = self.config.faults.map(|s| s.retry).unwrap_or_default();
+        let recovery = Duration::from_secs_f64(
+            self.config
+                .faults
+                .map(|s| s.recovery_seconds)
+                .unwrap_or(30.0)
+                .max(0.0),
+        );
+        let now = Instant::now();
+        let node_healthy = (0..self.config.nodes)
+            .map(|n| {
+                let g = self
+                    .metrics
+                    .gauge("optimus_node_healthy", &[("node", &n.to_string())]);
+                g.set(1.0);
+                g
+            })
             .collect();
         Gateway {
             senders,
             handles,
             placement,
+            repo,
+            injector,
+            retry,
+            recovery,
+            seq: AtomicU64::new(0),
+            down_until: Mutex::new(vec![now; self.config.nodes]),
+            node_healthy,
+            injected_crashes: self
+                .metrics
+                .counter("optimus_faults_injected_total", &[("kind", "node_crash")]),
+            injected_kills: self.metrics.counter(
+                "optimus_faults_injected_total",
+                &[("kind", "container_kill")],
+            ),
+            injected_transform_failures: self.metrics.counter(
+                "optimus_faults_injected_total",
+                &[("kind", "transform_failure")],
+            ),
+            reroutes: self.metrics.counter("optimus_reroutes_total", &[]),
+            retries: self.metrics.counter("optimus_fault_retries_total", &[]),
             metrics: self.metrics,
             sink,
             store_stats,
@@ -121,7 +171,24 @@ impl GatewayBuilder {
 pub struct Gateway {
     senders: Vec<Sender<WorkItem>>,
     handles: Vec<JoinHandle<()>>,
-    placement: HashMap<String, usize>,
+    /// Node per model, indexed by `ModelId::index()`.
+    placement: Vec<usize>,
+    repo: Arc<ModelRepository>,
+    /// Seeded per-request fault draws (`None`: faults disabled).
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    /// How long a crashed node stays unhealthy.
+    recovery: Duration,
+    /// Monotone request counter — the deterministic fault-draw index.
+    seq: AtomicU64,
+    /// Per-node health: the instant until which the node is down.
+    down_until: Mutex<Vec<Instant>>,
+    node_healthy: Vec<Gauge>,
+    injected_crashes: Counter,
+    injected_kills: Counter,
+    injected_transform_failures: Counter,
+    reroutes: Counter,
+    retries: Counter,
     metrics: Arc<MetricsRegistry>,
     sink: Arc<dyn TelemetrySink>,
     /// Latest weight-store snapshot per node, published by workers after
@@ -149,34 +216,115 @@ impl Gateway {
 
     /// Run one inference synchronously.
     ///
+    /// With faults enabled, the request first pays its deterministic
+    /// fault draw: an injected node crash marks the home node unhealthy
+    /// (wiping its containers and volatile store tiers), routing then
+    /// fails over to a healthy node, and a node dying mid-request is
+    /// retried with exponential backoff up to the spec's retry budget.
+    ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] for unregistered models,
     /// [`ServeError::Inference`] when the input does not fit the model,
-    /// [`ServeError::Shutdown`] when the engine is stopping.
+    /// [`ServeError::Unavailable`] when every node is unhealthy and all
+    /// retries are exhausted, [`ServeError::Shutdown`] when the engine is
+    /// stopping.
     pub fn infer(&self, model: &str, input: Tensor) -> Result<InferenceResponse, ServeError> {
-        let node = *self
-            .placement
-            .get(model)
+        let model_id = self
+            .repo
+            .model_id(model)
+            .filter(|id| id.index() < self.placement.len())
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let (reply_tx, reply_rx) = bounded(1);
-        let item = WorkItem {
-            model: model.to_string(),
-            input,
-            enqueued: Instant::now(),
-            reply: reply_tx,
+        let home = self.placement[model_id.index()];
+        let fx = match &self.injector {
+            Some(inj) => inj.for_request(self.seq.fetch_add(1, Ordering::Relaxed)),
+            None => RequestFaults::none(),
         };
-        self.senders[node]
-            .send(item)
-            .map_err(|_| ServeError::Shutdown)?;
-        reply_rx.recv().map_err(|_| ServeError::Shutdown)?
+        if fx.node_crash {
+            self.injected_crashes.inc();
+            self.mark_down(home);
+            let _ = self.senders[home].send(WorkItem::Crash);
+        }
+        if fx.transform_failure {
+            self.injected_transform_failures.inc();
+        }
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_err = ServeError::Unavailable("no attempt made".to_string());
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.retries.inc();
+                let backoff = self.retry.backoff_before(attempt);
+                if backoff > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(backoff));
+                }
+            }
+            let healthy = self.healthy_nodes();
+            // The live gateway has no queue-depth signal (channels are
+            // unbounded), so degraded routing falls over to the
+            // lowest-indexed healthy node.
+            let Some(node) = failover_node(home, self.senders.len(), |n| healthy[n], |_| 0.0)
+            else {
+                last_err = ServeError::Unavailable(format!(
+                    "all {} nodes are marked down",
+                    self.senders.len()
+                ));
+                continue;
+            };
+            if node != home {
+                self.reroutes.inc();
+            }
+            if fx.container_kill && attempt == 0 {
+                self.injected_kills.inc();
+                let _ = self.senders[node].send(WorkItem::Kill);
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            let item = InferItem {
+                model_id,
+                input: input.clone(),
+                enqueued: Instant::now(),
+                fail_transform: fx.transform_failure && attempt == 0,
+                reply: reply_tx,
+            };
+            if self.senders[node].send(WorkItem::Infer(item)).is_err() {
+                return Err(ServeError::Shutdown);
+            }
+            match reply_rx.recv() {
+                Ok(result) => return result,
+                // The worker died mid-request: mark the node down and try
+                // a different one after backing off.
+                Err(_) => {
+                    self.mark_down(node);
+                    last_err = ServeError::Unavailable(format!("node {node} did not reply"));
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn mark_down(&self, node: usize) {
+        self.down_until.lock()[node] = Instant::now() + self.recovery;
+        self.node_healthy[node].set(0.0);
+    }
+
+    /// Current per-node health (true = accepting requests). Crashed nodes
+    /// recover after the fault spec's `recovery_seconds`; the
+    /// `optimus_node_healthy` gauges are refreshed as a side effect.
+    pub fn healthy_nodes(&self) -> Vec<bool> {
+        let now = Instant::now();
+        let down = self.down_until.lock();
+        down.iter()
+            .enumerate()
+            .map(|(n, &until)| {
+                let healthy = until <= now;
+                self.node_healthy[n].set(if healthy { 1.0 } else { 0.0 });
+                healthy
+            })
+            .collect()
     }
 
     /// Registered model names, sorted.
     pub fn models(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.placement.keys().cloned().collect();
-        v.sort();
-        v
+        self.repo.model_names()
     }
 
     /// The registry backing this gateway's telemetry (and its `/metrics`

@@ -23,20 +23,44 @@
 //!   "nodes": [{"node", "stats"}..]}` with per-tier resident bytes, chunk
 //!   hit/miss counts and the dedup ratio (`{"enabled": false}` when the
 //!   gateway runs without a store).
-//! - `GET /healthz` — liveness probe for load balancers; always
-//!   `{"status":"ok"}` while the server is accepting.
+//! - `GET /healthz` — liveness probe for load balancers:
+//!   `{"status":"ok","nodes":[true,..]}` with per-node health (crashed
+//!   nodes read `false` until they recover).
 //!
 //! One OS thread per connection; connections are `Connection: close`.
+//! Sockets carry read/write timeouts ([`HttpConfig`]) so a stalled or
+//! silent client cannot pin a connection thread forever: a read that
+//! times out gets a `408 Request Timeout` response.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use optimus_model::tensor::Tensor;
 
 use crate::gateway::Gateway;
+
+/// Socket-level configuration of the HTTP front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Read timeout per connection (headers + body). `None` waits
+    /// forever (the pre-timeout behaviour).
+    pub read_timeout: Option<Duration>,
+    /// Write timeout per connection (response flush).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
 
 /// A running HTTP front end.
 pub struct HttpServer {
@@ -46,12 +70,26 @@ pub struct HttpServer {
 }
 
 impl HttpServer {
-    /// Serve `gateway` on `127.0.0.1:port` (`port` 0 picks a free port).
+    /// Serve `gateway` on `127.0.0.1:port` (`port` 0 picks a free port)
+    /// with the default socket timeouts.
     ///
     /// # Errors
     ///
     /// Returns the bind error message when the port is unavailable.
     pub fn serve(gateway: Arc<Gateway>, port: u16) -> Result<HttpServer, String> {
+        HttpServer::serve_with(gateway, port, HttpConfig::default())
+    }
+
+    /// [`HttpServer::serve`] with explicit socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error message when the port is unavailable.
+    pub fn serve_with(
+        gateway: Arc<Gateway>,
+        port: u16,
+        config: HttpConfig,
+    ) -> Result<HttpServer, String> {
         let listener = TcpListener::bind(("127.0.0.1", port)).map_err(|e| e.to_string())?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
         listener.set_nonblocking(true).map_err(|e| e.to_string())?;
@@ -62,6 +100,8 @@ impl HttpServer {
             while !stop2.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        let _ = stream.set_read_timeout(config.read_timeout);
+                        let _ = stream.set_write_timeout(config.write_timeout);
                         let gw = gateway.clone();
                         workers.push(std::thread::spawn(move || handle_connection(stream, &gw)));
                     }
@@ -154,7 +194,14 @@ fn read_and_route(stream: TcpStream, gateway: &Gateway) -> Response {
     let mut reader = BufReader::new(stream);
     // Request line.
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
+    match reader.read_line(&mut request_line) {
+        Err(e) if is_timeout(&e) => {
+            return Response::error("408 Request Timeout", "timed out reading request line")
+        }
+        Err(_) => return Response::error("400 Bad Request", "empty or unreadable request line"),
+        Ok(_) => {}
+    }
+    if request_line.trim().is_empty() {
         return Response::error("400 Bad Request", "empty or unreadable request line");
     }
     let mut parts = request_line.split_whitespace();
@@ -183,14 +230,35 @@ fn read_and_route(stream: TcpStream, gateway: &Gateway) -> Response {
                     content_length = v;
                 }
             }
+            Err(e) if is_timeout(&e) => {
+                return Response::error("408 Request Timeout", "timed out reading headers")
+            }
             Err(_) => return Response::error("400 Bad Request", "unreadable headers"),
         }
     }
     let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
-    if content_length > 0 && reader.read_exact(&mut body).is_err() {
-        return Response::error("400 Bad Request", "body shorter than content-length");
+    if content_length > 0 {
+        match reader.read_exact(&mut body) {
+            Err(e) if is_timeout(&e) => {
+                return Response::error("408 Request Timeout", "timed out reading body")
+            }
+            Err(_) => {
+                return Response::error("400 Bad Request", "body shorter than content-length")
+            }
+            Ok(()) => {}
+        }
     }
     route(gateway, &method, &path, &body)
+}
+
+/// Whether an I/O error is the socket read/write timeout firing
+/// (`SO_RCVTIMEO` surfaces as `WouldBlock` on Unix, `TimedOut` on
+/// Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
@@ -215,7 +283,13 @@ fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
             Response::json("200 OK", gateway.metrics().snapshot_json().to_string())
         }
         ("GET", "/store") => Response::json("200 OK", store_response(gateway)),
-        ("GET", "/healthz") => Response::json("200 OK", "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/healthz") => {
+            let nodes = gateway.healthy_nodes();
+            Response::json(
+                "200 OK",
+                serde_json::json!({ "status": "ok", "nodes": nodes }).to_string(),
+            )
+        }
         _ => Response::error(
             "404 Not Found",
             "unknown endpoint (GET /models, /metrics, /stats, /store, /healthz; POST /infer)",
@@ -277,9 +351,13 @@ fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str
         None => vec![0.0; numel],
     };
     let input = Tensor::new(shape, data);
-    let resp = gateway
-        .infer(model, input)
-        .map_err(|e| ("422 Unprocessable Entity", e.to_string()))?;
+    let resp = gateway.infer(model, input).map_err(|e| {
+        let status = match &e {
+            crate::api::ServeError::Unavailable(_) => "503 Service Unavailable",
+            _ => "422 Unprocessable Entity",
+        };
+        (status, e.to_string())
+    })?;
     let preview: Vec<f32> = resp.output.data().iter().copied().take(16).collect();
     Ok(serde_json::json!({
         "model": resp.model,

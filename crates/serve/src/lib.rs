@@ -51,8 +51,12 @@ mod worker;
 
 pub use api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
 pub use gateway::{Gateway, GatewayBuilder};
-pub use http::HttpServer;
+pub use http::{HttpConfig, HttpServer};
 
 // Re-exported so serving deployments can configure and read the weight
 // store without depending on `optimus-store` directly.
 pub use optimus_store::{StoreConfig, StoreStats};
+
+// Re-exported so deployments can enable chaos testing without depending
+// on `optimus-faults` directly.
+pub use optimus_faults::{FaultSpec, RetryPolicy};

@@ -7,25 +7,44 @@ use std::time::Instant;
 use crossbeam::channel::{Receiver, Sender};
 use optimus_core::{execute_plan, ModelRepository, TransformDecision};
 use optimus_model::tensor::Tensor;
-use optimus_model::{infer, ModelGraph};
+use optimus_model::{infer, ModelGraph, ModelId};
 use optimus_store::{model_chunks, ChunkRef, NodeStore, StoreConfig, StoreStats, Tier};
 use optimus_telemetry::{Counter, Gauge, MetricsRegistry, Phase, Span, TelemetrySink};
 use parking_lot::Mutex;
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
 
-/// A request as delivered to a worker.
-pub(crate) struct WorkItem {
-    pub model: String,
+/// An inference request as delivered to a worker. Models are addressed by
+/// their interned [`ModelId`] — the gateway resolves the client-facing
+/// name exactly once; the worker's warm/donor matching is integer
+/// comparison, not string comparison.
+pub(crate) struct InferItem {
+    pub model_id: ModelId,
     pub input: Tensor,
     /// When the gateway accepted the request (queue-wait measurement).
     pub enqueued: Instant,
+    /// Injected transform failure (`optimus-faults`): the first attempted
+    /// in-place transformation for this request aborts and the safeguard
+    /// escalates to a cold start.
+    pub fail_transform: bool,
     pub reply: Sender<Result<InferenceResponse, ServeError>>,
+}
+
+/// One unit of work for a worker thread: an inference, or an injected
+/// fault event from the gateway's fault plan.
+pub(crate) enum WorkItem {
+    Infer(InferItem),
+    /// Node crash: all live containers die and the weight store loses its
+    /// volatile tiers ([`NodeStore::crash`]); durable disk state survives.
+    Crash,
+    /// Kill the least-recently-used container (OOM-killer analogue).
+    Kill,
 }
 
 /// A live container: a real model graph plus usage timestamps.
 struct LiveContainer {
     model: ModelGraph,
+    model_id: ModelId,
     last_used: Instant,
 }
 
@@ -38,8 +57,9 @@ pub(crate) struct WorkerStore {
     node_id: usize,
     store: NodeStore,
     chunk_bytes: u64,
-    /// Chunk lists are deterministic per registered model: compute once.
-    model_chunks: HashMap<String, Vec<ChunkRef>>,
+    /// Chunk lists are deterministic per registered model: compute once,
+    /// keyed by interned id.
+    model_chunks: HashMap<ModelId, Vec<ChunkRef>>,
     /// Resident-byte gauges for the three local tiers, warmest first:
     /// container, node memory, node disk.
     resident: [Gauge; 3],
@@ -85,28 +105,29 @@ impl WorkerStore {
         }
     }
 
-    fn chunks_of(&mut self, repo: &ModelRepository, name: &str) -> Vec<ChunkRef> {
-        if let Some(chunks) = self.model_chunks.get(name) {
+    fn chunks_of(&mut self, repo: &ModelRepository, id: ModelId) -> Vec<ChunkRef> {
+        if let Some(chunks) = self.model_chunks.get(&id) {
             return chunks.clone();
         }
         let chunks = repo
-            .model(name)
+            .model_name_of(id)
+            .and_then(|name| repo.model(&name))
             .map(|m| model_chunks(&m, self.chunk_bytes))
             .unwrap_or_default();
-        self.model_chunks.insert(name.to_string(), chunks.clone());
+        self.model_chunks.insert(id, chunks.clone());
         chunks
     }
 
     /// A cold start admits the full model.
-    fn admit_model(&mut self, repo: &ModelRepository, name: &str) {
-        let chunks = self.chunks_of(repo, name);
+    fn admit_model(&mut self, repo: &ModelRepository, id: ModelId) {
+        let chunks = self.chunks_of(repo, id);
         self.store.admit(&chunks);
     }
 
     /// A transformation fetches only the cached plan's payload delta; the
     /// rest of the destination is synthesized in place from the donor.
-    fn transform(&mut self, repo: &ModelRepository, src: &str, dst: &str) {
-        match repo.plan_chunks(src, dst, self.chunk_bytes) {
+    fn transform(&mut self, repo: &ModelRepository, src: ModelId, dst: ModelId) {
+        match repo.plan_chunks_by_id(src, dst, self.chunk_bytes) {
             Some(pc) => {
                 self.store.admit(&pc.fetched);
                 self.store.produce(&pc.reused);
@@ -120,9 +141,16 @@ impl WorkerStore {
     }
 
     /// Container eviction demotes its chunks instead of forgetting them.
-    fn release_model(&mut self, repo: &ModelRepository, name: &str) {
-        let chunks = self.chunks_of(repo, name);
+    fn release_model(&mut self, repo: &ModelRepository, id: ModelId) {
+        let chunks = self.chunks_of(repo, id);
         self.store.release(&chunks);
+    }
+
+    /// Node crash: volatile tiers are lost wholesale (refcounts zeroed,
+    /// container/memory-resident chunks forgotten, pinned chunks demoted
+    /// to remote placeholders); disk state survives the reboot.
+    fn crash(&mut self) {
+        self.store.crash();
     }
 
     /// Push current stats into the metrics registry and the shared
@@ -141,11 +169,25 @@ impl WorkerStore {
     }
 }
 
+/// Counters a worker bumps when the resilience machinery engages.
+struct FaultCounters {
+    /// Transformations that failed (injected or real) and escalated to a
+    /// cold start instead of surfacing an error to the client.
+    escalations: Counter,
+    /// Transform executions that blew their cost-model budget
+    /// ([`ModelRepository::note_transform_seconds`] demoted the pair).
+    overruns: Counter,
+    /// Containers destroyed by injected crash/kill events.
+    evictions: Counter,
+}
+
 /// Worker main loop: owns its containers; processes items until the
 /// channel closes. Every served request is measured by a telemetry
 /// [`Span`] and exported through `sink`; an `optimus_containers` gauge
 /// tracks pool occupancy and, when the store is enabled, per-tier
 /// residency gauges plus chunk hit/miss counters track the weight store.
+/// `Crash`/`Kill` items from the gateway's fault plan destroy container
+/// state (and volatile store tiers) in between requests.
 pub(crate) fn run_worker(
     node_id: usize,
     config: GatewayConfig,
@@ -157,6 +199,11 @@ pub(crate) fn run_worker(
 ) {
     let node = node_id.to_string();
     let containers_gauge = metrics.gauge("optimus_containers", &[("node", &node)]);
+    let counters = FaultCounters {
+        escalations: metrics.counter("optimus_safeguard_escalations_total", &[("node", &node)]),
+        overruns: metrics.counter("optimus_transform_overruns_total", &[("node", &node)]),
+        evictions: metrics.counter("optimus_fault_evictions_total", &[("node", &node)]),
+    };
     let mut store = config
         .store
         .map(|sc| WorkerStore::new(node_id, sc, &repo, &metrics, store_stats));
@@ -167,28 +214,64 @@ pub(crate) fn run_worker(
     }
     let mut containers: Vec<LiveContainer> = Vec::new();
     while let Ok(item) = rx.recv() {
-        let wait = item.enqueued.elapsed().as_secs_f64();
-        let mut span = Span::begin(item.model.clone(), node_id);
-        span.add(Phase::Wait, wait);
-        let result = serve(
-            node_id,
-            &config,
-            &repo,
-            &mut containers,
-            store.as_mut(),
-            &item,
-            wait,
-            &mut span,
-        );
-        if result.is_ok() {
-            sink.record(&span.finish());
+        match item {
+            WorkItem::Crash => {
+                counters.evictions.add(containers.len() as u64);
+                containers.clear();
+                if let Some(ws) = store.as_mut() {
+                    ws.crash();
+                    ws.publish();
+                }
+                containers_gauge.set(0.0);
+            }
+            WorkItem::Kill => {
+                if let Some(victim) = containers
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| c.last_used)
+                    .map(|(i, _)| i)
+                {
+                    let dead = containers.swap_remove(victim);
+                    counters.evictions.inc();
+                    if let Some(ws) = store.as_mut() {
+                        ws.release_model(&repo, dead.model_id);
+                        ws.publish();
+                    }
+                }
+                containers_gauge.set(containers.len() as f64);
+            }
+            WorkItem::Infer(item) => {
+                let wait = item.enqueued.elapsed().as_secs_f64();
+                // Telemetry labels resolve the interned id back to its
+                // name once per request, here at the edge.
+                let name = repo
+                    .model_name_of(item.model_id)
+                    .unwrap_or_else(|| format!("model#{}", item.model_id.0));
+                let mut span = Span::begin(name.clone(), node_id);
+                span.add(Phase::Wait, wait);
+                let result = serve(
+                    node_id,
+                    &config,
+                    &repo,
+                    &mut containers,
+                    store.as_mut(),
+                    &item,
+                    &name,
+                    wait,
+                    &mut span,
+                    &counters,
+                );
+                if result.is_ok() {
+                    sink.record(&span.finish());
+                }
+                containers_gauge.set(containers.len() as f64);
+                if let Some(ws) = store.as_mut() {
+                    ws.publish();
+                }
+                // The client may have given up; a dead reply channel is fine.
+                let _ = item.reply.send(result);
+            }
         }
-        containers_gauge.set(containers.len() as f64);
-        if let Some(ws) = store.as_mut() {
-            ws.publish();
-        }
-        // The client may have given up; a dead reply channel is fine.
-        let _ = item.reply.send(result);
     }
 }
 
@@ -199,9 +282,11 @@ fn serve(
     repo: &ModelRepository,
     containers: &mut Vec<LiveContainer>,
     mut store: Option<&mut WorkerStore>,
-    item: &WorkItem,
+    item: &InferItem,
+    name: &str,
     wait_seconds: f64,
     span: &mut Span,
+    counters: &FaultCounters,
 ) -> Result<InferenceResponse, ServeError> {
     let now = Instant::now();
     // Keep-alive eviction: expired containers release their chunks, which
@@ -210,17 +295,17 @@ fn serve(
     containers.retain(|c| {
         let keep = now.duration_since(c.last_used).as_secs_f64() <= config.keep_alive;
         if !keep {
-            expired.push(c.model.name().to_string());
+            expired.push(c.model_id);
         }
         keep
     });
     if let Some(ws) = store.as_deref_mut() {
-        for name in &expired {
-            ws.release_model(repo, name);
+        for &id in &expired {
+            ws.release_model(repo, id);
         }
     }
 
-    let obtained = obtain_container(config, repo, containers, store, &item.model)?;
+    let obtained = obtain_container(config, repo, containers, store, item, name, counters)?;
     span.set_kind(obtained.start.into());
     span.add(Phase::Load, obtained.startup_seconds);
     span.set_transform_steps(obtained.transform_steps);
@@ -235,7 +320,7 @@ fn serve(
     span.add(Phase::Compute, compute_seconds);
     containers[slot].last_used = Instant::now();
     Ok(InferenceResponse {
-        model: item.model.clone(),
+        model: name.to_string(),
         output,
         start: obtained.start,
         wait_seconds,
@@ -261,17 +346,25 @@ struct Obtained {
     plan_cache_hit: Option<bool>,
 }
 
-/// Get a container holding `model`, preferring warm, then transformation
-/// of an idle donor, then cold instantiation.
+/// Get a container holding the model, preferring warm, then
+/// transformation of an idle donor, then cold instantiation.
+///
+/// Safeguard under failure: when a transformation aborts — injected via
+/// [`InferItem::fail_transform`] or a real [`execute_plan`] error — the
+/// corrupt donor is destroyed (its chunks released) and the request
+/// escalates to a cold start instead of erroring back to the client.
 fn obtain_container(
     config: &GatewayConfig,
     repo: &ModelRepository,
     containers: &mut Vec<LiveContainer>,
     mut store: Option<&mut WorkerStore>,
-    model: &str,
+    item: &InferItem,
+    name: &str,
+    counters: &FaultCounters,
 ) -> Result<Obtained, ServeError> {
-    // Warm hit.
-    if let Some(i) = containers.iter().position(|c| c.model.name() == model) {
+    let model_id = item.model_id;
+    // Warm hit: integer comparison on interned ids.
+    if let Some(i) = containers.iter().position(|c| c.model_id == model_id) {
         return Ok(Obtained {
             slot: i,
             start: ServedStart::Warm,
@@ -281,8 +374,8 @@ fn obtain_container(
         });
     }
     let target = repo
-        .model(model)
-        .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        .model(name)
+        .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
     let now = Instant::now();
     // Idle donors, longest-idle first (§4.2).
     let mut donors: Vec<usize> = containers
@@ -294,34 +387,63 @@ fn obtain_container(
     donors.sort_by(|&a, &b| containers[a].last_used.cmp(&containers[b].last_used));
     let consulted_donors = !donors.is_empty();
     for i in donors {
-        let src_name = containers[i].model.name().to_string();
-        match repo.decide(&src_name, model) {
+        let src_id = containers[i].model_id;
+        match repo.decide_by_id(src_id, model_id) {
             Some(TransformDecision::Transform(plan)) => {
-                let t0 = Instant::now();
-                let report = execute_plan(&mut containers[i].model, &plan, &target)
-                    .map_err(|e| ServeError::Inference(format!("transform failed: {e}")))?;
-                // Cached plans reference the op-id space of the *registered*
-                // graphs (see `execute_plan`'s contract). The transformed
-                // graph is verified structurally identical to the target, so
-                // canonicalise its id space by adopting the registered graph
-                // — this keeps future cached plans applicable to this
-                // container.
-                containers[i].model = (*target).clone();
-                let startup = t0.elapsed().as_secs_f64();
-                containers[i].last_used = Instant::now();
-                if let Some(ws) = store.as_deref_mut() {
-                    // Admit the plan's fetched payload (only the delta
-                    // crosses a tier), synthesize the reused remainder in
-                    // place, release the donor's chunks.
-                    ws.transform(repo, &src_name, model);
+                if item.fail_transform {
+                    // Injected transform failure: the donor is corrupt
+                    // mid-plan. Destroy it, release its chunks, escalate
+                    // to a cold start (§6.3's safeguard under failure).
+                    containers.swap_remove(i);
+                    counters.escalations.inc();
+                    if let Some(ws) = store.as_deref_mut() {
+                        ws.release_model(repo, src_id);
+                    }
+                    break;
                 }
-                return Ok(Obtained {
-                    slot: i,
-                    start: ServedStart::Transformed,
-                    startup_seconds: startup,
-                    transform_steps: report.steps_applied,
-                    plan_cache_hit: Some(true),
-                });
+                let t0 = Instant::now();
+                match execute_plan(&mut containers[i].model, &plan, &target) {
+                    Ok(report) => {
+                        // Cached plans reference the op-id space of the
+                        // *registered* graphs (see `execute_plan`'s
+                        // contract). The transformed graph is verified
+                        // structurally identical to the target, so
+                        // canonicalise its id space by adopting the
+                        // registered graph — this keeps future cached
+                        // plans applicable to this container.
+                        containers[i].model = (*target).clone();
+                        containers[i].model_id = model_id;
+                        let startup = t0.elapsed().as_secs_f64();
+                        containers[i].last_used = Instant::now();
+                        if let Some(ws) = store.as_deref_mut() {
+                            // Admit the plan's fetched payload (only the
+                            // delta crosses a tier), synthesize the reused
+                            // remainder in place, release the donor's
+                            // chunks.
+                            ws.transform(repo, src_id, model_id);
+                        }
+                        if repo.note_transform_seconds(src_id, model_id, startup) {
+                            counters.overruns.inc();
+                        }
+                        return Ok(Obtained {
+                            slot: i,
+                            start: ServedStart::Transformed,
+                            startup_seconds: startup,
+                            transform_steps: report.steps_applied,
+                            plan_cache_hit: Some(true),
+                        });
+                    }
+                    Err(_) => {
+                        // The plan failed partway, leaving the donor in an
+                        // undefined state: destroy it and escalate to cold.
+                        containers.swap_remove(i);
+                        counters.escalations.inc();
+                        if let Some(ws) = store.as_deref_mut() {
+                            ws.release_model(repo, src_id);
+                        }
+                        break;
+                    }
+                }
             }
             // Safeguard picked loading, or the pair is unknown: try the
             // next donor — a cold start may still be cheaper overall.
@@ -337,21 +459,22 @@ fn obtain_container(
             .min_by_key(|(_, c)| c.last_used)
             .map(|(i, _)| i)
         {
-            let evicted = containers[victim].model.name().to_string();
-            containers.swap_remove(victim);
+            let evicted = containers.swap_remove(victim);
             if let Some(ws) = store.as_deref_mut() {
-                ws.release_model(repo, &evicted);
+                ws.release_model(repo, evicted.model_id);
             }
         }
     }
     containers.push(LiveContainer {
         model: (*target).clone(),
+        model_id,
         last_used: Instant::now(),
     });
     if let Some(ws) = store {
-        ws.admit_model(repo, model);
+        ws.admit_model(repo, model_id);
     }
     let startup = t0.elapsed().as_secs_f64();
+    repo.note_load_seconds(model_id, startup);
     Ok(Obtained {
         slot: containers.len() - 1,
         start: ServedStart::Cold,

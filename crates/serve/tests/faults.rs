@@ -1,0 +1,209 @@
+//! Resilience tests for the live gateway: injected faults must degrade
+//! service (cold starts, failover, retries) — never corrupt it.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use optimus_model::tensor::Tensor;
+use optimus_model::{Activation, GraphBuilder, ModelGraph};
+use optimus_serve::{
+    FaultSpec, Gateway, GatewayConfig, HttpConfig, HttpServer, RetryPolicy, ServeError, ServedStart,
+};
+use optimus_telemetry::MetricsRegistry;
+
+fn tiny(name: &str, ch: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let i = b.input([1, 3, 8, 8]);
+    let c = b.conv2d_after(i, 3, ch, (3, 3), (1, 1), 1);
+    let a = b.activation_after(c, Activation::Relu);
+    let g = b.global_avg_pool_after(a);
+    let f = b.flatten_after(g);
+    let _ = b.dense_after(f, ch, 4);
+    b.finish().unwrap()
+}
+
+fn config(nodes: usize, faults: FaultSpec) -> GatewayConfig {
+    GatewayConfig {
+        nodes,
+        capacity_per_node: 2,
+        idle_threshold: 0.0,
+        keep_alive: 60.0,
+        store: Some(optimus_store::StoreConfig::default()),
+        faults: Some(faults),
+    }
+}
+
+/// Every transformation aborts (rate 1.0): the safeguard escalates to a
+/// cold start and the client still gets a correct answer — never an
+/// error, never a half-transformed model.
+#[test]
+fn injected_transform_failure_escalates_to_cold() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let spec = FaultSpec {
+        transform_failure_rate: 1.0,
+        ..FaultSpec::off(5)
+    };
+    let gw = Gateway::builder(config(1, spec))
+        .metrics(registry.clone())
+        .register(tiny("m1", 4))
+        .register(tiny("m2", 8))
+        .spawn();
+    let r1 = gw.infer("m1", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r1.start, ServedStart::Cold);
+    // m2 would transform the idle m1 donor; the injected failure forces
+    // the escalation path instead.
+    let r2 = gw.infer("m2", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r2.start, ServedStart::Cold, "safeguard escalated");
+    assert_eq!(r2.transform_steps, 0);
+    assert_eq!(r2.model, "m2", "served the right model");
+    let escalations = registry
+        .counter("optimus_safeguard_escalations_total", &[("node", "0")])
+        .get();
+    assert!(escalations >= 1, "escalation must be counted");
+    let injected = registry
+        .counter(
+            "optimus_faults_injected_total",
+            &[("kind", "transform_failure")],
+        )
+        .get();
+    assert!(injected >= 2, "every request drew the fault");
+    gw.shutdown();
+}
+
+/// A crashed home node is marked unhealthy and requests fail over to the
+/// surviving node; the crash wipes the home node's containers and
+/// volatile store tiers.
+#[test]
+fn node_crash_fails_over_to_healthy_node() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let spec = FaultSpec {
+        node_crash_rate: 1.0,
+        recovery_seconds: 60.0,
+        ..FaultSpec::off(9)
+    };
+    let gw = Gateway::builder(config(2, spec))
+        .metrics(registry.clone())
+        .register(tiny("a", 4))
+        .spawn();
+    let r = gw.infer("a", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.node, 1, "home node 0 crashed; node 1 serves");
+    assert_eq!(gw.healthy_nodes(), vec![false, true]);
+    // The second request warm-hits the failover node.
+    let r = gw.infer("a", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.node, 1);
+    assert_eq!(r.start, ServedStart::Warm);
+    assert!(
+        registry.counter("optimus_reroutes_total", &[]).get() >= 2,
+        "both requests re-routed"
+    );
+    assert!(
+        registry
+            .counter("optimus_faults_injected_total", &[("kind", "node_crash")])
+            .get()
+            >= 1
+    );
+    gw.shutdown();
+}
+
+/// With a single node and a permanent crash, retries back off and then
+/// surface `Unavailable` instead of hanging forever.
+#[test]
+fn all_nodes_down_is_unavailable() {
+    let spec = FaultSpec {
+        node_crash_rate: 1.0,
+        recovery_seconds: 60.0,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff_seconds: 0.001,
+            backoff_multiplier: 2.0,
+        },
+        ..FaultSpec::off(3)
+    };
+    let gw = Gateway::builder(config(1, spec))
+        .register(tiny("a", 4))
+        .spawn();
+    let err = gw.infer("a", Tensor::zeros([1, 3, 8, 8])).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Unavailable(_)),
+        "expected Unavailable, got {err:?}"
+    );
+    assert_eq!(gw.healthy_nodes(), vec![false]);
+    gw.shutdown();
+}
+
+/// A quiet spec (all rates zero) must serve exactly like a fault-free
+/// gateway and inject nothing.
+#[test]
+fn quiet_fault_spec_serves_normally() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let gw = Gateway::builder(config(1, FaultSpec::off(1)))
+        .metrics(registry.clone())
+        .register(tiny("m1", 4))
+        .spawn();
+    let r = gw.infer("m1", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.start, ServedStart::Cold);
+    let r = gw.infer("m1", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.start, ServedStart::Warm);
+    for kind in ["node_crash", "container_kill", "transform_failure"] {
+        assert_eq!(
+            registry
+                .counter("optimus_faults_injected_total", &[("kind", kind)])
+                .get(),
+            0,
+            "{kind}"
+        );
+    }
+    assert_eq!(gw.healthy_nodes(), vec![true]);
+    gw.shutdown();
+}
+
+/// A client that stalls mid-request hits the socket read timeout and gets
+/// a `408`; a live client sees per-node health in `/healthz`.
+#[test]
+fn stalled_client_gets_408_and_healthz_reports_nodes() {
+    let gw = Arc::new(
+        Gateway::builder(GatewayConfig {
+            nodes: 1,
+            capacity_per_node: 2,
+            idle_threshold: 0.0,
+            keep_alive: 60.0,
+            store: None,
+            faults: None,
+        })
+        .register(tiny("m1", 4))
+        .spawn(),
+    );
+    let server = HttpServer::serve_with(
+        gw,
+        0,
+        HttpConfig {
+            read_timeout: Some(Duration::from_millis(200)),
+            write_timeout: Some(Duration::from_secs(5)),
+        },
+    )
+    .expect("binds");
+    let addr = server.addr();
+
+    // Stalled client: an unterminated request line, then silence.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream.write_all(b"GET /healthz HTTP").expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.contains("408"), "{response}");
+
+    // Healthy client: per-node health in the probe body.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .expect("writes");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.contains("200"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    let v: serde_json::Value = serde_json::from_str(body).expect("json");
+    assert_eq!(v["status"], "ok");
+    assert_eq!(v["nodes"], serde_json::json!([true]));
+    server.shutdown();
+}

@@ -26,6 +26,7 @@ fn start_server() -> (HttpServer, std::net::SocketAddr) {
             idle_threshold: 0.0,
             keep_alive: 60.0,
             store: Some(optimus_store::StoreConfig::default()),
+            faults: None,
         })
         .register(tiny("m1", 4))
         .register(tiny("m2", 8))

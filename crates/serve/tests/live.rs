@@ -28,6 +28,7 @@ fn single_node() -> GatewayConfig {
         idle_threshold: 0.0, // everything idles instantly (tests)
         keep_alive: 60.0,
         store: Some(optimus_store::StoreConfig::default()),
+        faults: None,
     }
 }
 
@@ -102,6 +103,7 @@ fn concurrent_clients_are_all_served() {
         idle_threshold: 0.0,
         keep_alive: 60.0,
         store: Some(optimus_store::StoreConfig::default()),
+        faults: None,
     };
     let gw = std::sync::Arc::new(
         Gateway::builder(config)
@@ -143,6 +145,7 @@ fn capacity_is_respected_via_lru_eviction() {
         idle_threshold: 1e9, // never idle: forces the eviction path
         keep_alive: 1e9,
         store: Some(optimus_store::StoreConfig::default()),
+        faults: None,
     };
     let gw = Gateway::builder(config)
         .register(tiny("x", &[4]))

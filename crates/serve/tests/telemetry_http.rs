@@ -31,6 +31,7 @@ fn start_server(registry: Arc<MetricsRegistry>) -> (HttpServer, std::net::Socket
             idle_threshold: 0.0,
             keep_alive: 60.0,
             store: Some(optimus_store::StoreConfig::default()),
+            faults: None,
         })
         .metrics(registry)
         .register(tiny("m1", 4))

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use optimus_faults::FaultPlan;
 use optimus_profile::Environment;
 use optimus_store::StoreConfig;
 use serde::{Deserialize, Serialize};
@@ -115,6 +116,14 @@ pub struct SimConfig {
     /// at each tier. `None` (the default) reproduces the byte-agnostic
     /// load model exactly.
     pub store: Option<StoreConfig>,
+    /// Optional deterministic fault injection (`optimus-faults`): seeded
+    /// per-request crash/kill/transform-failure/straggler draws plus an
+    /// explicit node-event schedule, with the resilience machinery
+    /// (safeguard escalation, retries, degraded re-routing) they force.
+    /// `None` (the default) disables the fault layer entirely; a quiet
+    /// plan (`fault rates = 0`) reproduces fault-free reports
+    /// byte-identically.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -132,6 +141,7 @@ impl Default for SimConfig {
             memory: None,
             prewarm: None,
             store: None,
+            faults: None,
         }
     }
 }

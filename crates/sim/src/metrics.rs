@@ -119,6 +119,11 @@ pub struct SimReport {
     /// `SimConfig::store` is set): per-tier resident bytes, chunk
     /// hit/miss counts, and the dedup ratio content addressing achieved.
     pub store: Option<optimus_store::StoreStats>,
+    /// Fault-injection summary (`None` unless `SimConfig::faults` is
+    /// set): counters for every injected fault class and resilience
+    /// response, plus the worst per-request margin over the cold-start
+    /// equivalent (≤ 0 means the §6.3 safeguard held on every request).
+    pub faults: Option<optimus_faults::FaultReport>,
 }
 
 impl SimReport {
@@ -312,6 +317,7 @@ mod tests {
         let report = SimReport {
             system: "test".into(),
             store: None,
+            faults: None,
             prewarms: 0,
             records: vec![
                 rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
@@ -338,6 +344,7 @@ mod tests {
         let report = SimReport {
             system: "t".into(),
             store: None,
+            faults: None,
             prewarms: 0,
             records: (1..=100)
                 .map(|i| rec(StartKind::Warm, 0.0, 0.0, 0.0, i as f64))
@@ -377,6 +384,7 @@ mod summary_tests {
         let report = SimReport {
             system: "t".into(),
             store: None,
+            faults: None,
             prewarms: 0,
             records: vec![
                 rec("a", StartKind::Cold, 2.0),
@@ -413,6 +421,7 @@ mod summary_tests {
         let report = SimReport {
             system: "t".into(),
             store: None,
+            faults: None,
             prewarms: 0,
             records,
         };
@@ -435,6 +444,7 @@ mod summary_tests {
         let report = SimReport {
             system: "t".into(),
             store: None,
+            faults: None,
             prewarms: 0,
             records: vec![rec("f", StartKind::Cold, 1.5)],
         };
@@ -465,6 +475,7 @@ mod slo_tests {
         let report = SimReport {
             system: "t".into(),
             store: None,
+            faults: None,
             records: vec![rec(0.5), rec(1.5), rec(2.5), rec(0.9)],
             prewarms: 0,
         };

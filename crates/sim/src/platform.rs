@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use optimus_core::{scheduler::choose_source_by_id, ModelRepository, PlanChunks};
+use optimus_faults::{FaultInjector, FaultKind, FaultReport, FaultStats, RequestFaults};
 use optimus_model::signature::OpSignature;
 use optimus_model::{FunctionId, InternKey, Interner, ModelGraph, ModelId};
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
@@ -88,6 +89,23 @@ impl RunState {
             due: Vec::new(),
         }
     }
+}
+
+/// Per-run fault-injection state (only built when `SimConfig::faults` is
+/// set, so the fault-free hot path carries no extra work).
+struct FaultCtx {
+    injector: FaultInjector,
+    stats: FaultStats,
+    /// Worst observed `(init + load) − cold_equivalent` over all
+    /// Optimus-served requests; `NEG_INFINITY` until the first audit.
+    max_over_cold: f64,
+    /// Per-node recovery deadline; a node is down while `now <
+    /// down_until[node]`.
+    down_until: Vec<f64>,
+    /// Transform work wasted before a mid-flight failure is detected,
+    /// clamped to `cold_init − repurpose_overhead` so an escalated
+    /// request can never exceed its cold-start equivalent.
+    abort: f64,
 }
 
 /// Internal request record carrying the interned function id; converted
@@ -298,6 +316,19 @@ impl Platform {
         let mut next_id: u64 = 0;
         let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
         let mut state = RunState::new(self.sig_count);
+        let mut faults = self.config.faults.as_ref().map(|plan| {
+            plan.validate().expect("fault plan must be valid");
+            FaultCtx {
+                injector: FaultInjector::new(plan),
+                stats: FaultStats::default(),
+                max_over_cold: f64::NEG_INFINITY,
+                down_until: vec![f64::NEG_INFINITY; self.config.nodes],
+                abort: plan
+                    .spec
+                    .transform_abort_seconds
+                    .min((self.profile.cold_init() - self.profile.repurpose_overhead).max(0.0)),
+            }
+        });
         // Prewarming state: per-function arrival history and the pending
         // proactive-transform schedule, kept time-ordered. NaN marks "no
         // gap observed yet".
@@ -307,7 +338,7 @@ impl Platform {
             std::collections::BTreeMap::new();
         let mut prewarms = 0usize;
         let mut seq: u64 = 0;
-        for (inv, &f) in trace.invocations.iter().zip(&fids) {
+        for (req_index, (inv, &f)) in trace.invocations.iter().zip(&fids).enumerate() {
             // Execute due proactive transforms before this arrival.
             if self.config.prewarm.is_some() {
                 state.due.clear();
@@ -321,13 +352,83 @@ impl Platform {
                     let key = state.due[i];
                     let at = schedule.remove(&key).expect("key present");
                     let node_idx = placement[key.1.index()];
+                    // A down node cannot run a proactive transform.
+                    if faults
+                        .as_ref()
+                        .is_some_and(|fc| fc.down_until[node_idx] > at)
+                    {
+                        continue;
+                    }
                     if self.prewarm(&mut nodes[node_idx], &mut state, at, key.1) {
                         prewarms += 1;
                     }
                 }
             }
-            let node_idx = placement[f.index()];
-            let raw = self.serve(&mut nodes[node_idx], &mut state, &mut next_id, inv.time, f);
+            let home = placement[f.index()];
+            let mut node_idx = home;
+            let mut start_at = inv.time;
+            let mut fx = RequestFaults::none();
+            if let Some(fc) = faults.as_mut() {
+                // Apply scheduled node-level events that have become due.
+                // `due` borrows the injector, so copy the (rare) events out
+                // before mutating node state through `fc` below.
+                let due: Vec<_> = fc.injector.due(inv.time).to_vec();
+                for ev in due {
+                    if ev.node >= nodes.len() {
+                        continue;
+                    }
+                    match ev.kind {
+                        FaultKind::NodeCrash => {
+                            Self::crash_node(&mut nodes[ev.node], fc, ev.node, ev.at);
+                        }
+                        FaultKind::ContainerKill => {
+                            if let Some(victim) = lru_any(&nodes[ev.node]) {
+                                self.kill_container(&mut nodes[ev.node], fc, victim);
+                            }
+                        }
+                    }
+                }
+                fx = fc.injector.for_request(req_index as u64);
+                if fx.node_crash {
+                    Self::crash_node(&mut nodes[home], fc, home, inv.time);
+                }
+                // Degraded-mode routing: skip down nodes; when the whole
+                // fleet is down, queue on the first node to recover.
+                let routed = optimus_balance::failover_node(
+                    home,
+                    self.config.nodes,
+                    |n| fc.down_until[n] <= inv.time,
+                    |n| nodes[n].containers.len() as f64,
+                );
+                match routed {
+                    Some(n) => node_idx = n,
+                    None => {
+                        let n = (0..self.config.nodes)
+                            .min_by(|&a, &b| {
+                                fc.down_until[a]
+                                    .partial_cmp(&fc.down_until[b])
+                                    .expect("finite deadline")
+                                    .then(a.cmp(&b))
+                            })
+                            .expect("nodes > 0");
+                        node_idx = n;
+                        start_at = fc.down_until[n];
+                    }
+                }
+                if node_idx != home {
+                    fc.stats.reroutes += 1;
+                }
+            }
+            let raw = self.serve(
+                &mut nodes[node_idx],
+                &mut state,
+                &mut next_id,
+                inv.time,
+                start_at,
+                f,
+                &fx,
+                faults.as_mut(),
+            );
             if let Some(sink) = &self.sink {
                 sink.record(&trace_of(&raw, self.interner.name(f), node_idx));
             }
@@ -377,12 +478,62 @@ impl Platform {
             }
             agg
         });
+        let faults = faults.map(|fc| FaultReport {
+            stats: fc.stats,
+            max_over_cold: if fc.max_over_cold.is_finite() {
+                fc.max_over_cold
+            } else {
+                0.0
+            },
+        });
         SimReport {
             system: self.policy.name().to_string(),
             records,
             prewarms,
             store,
+            faults,
         }
+    }
+
+    /// Crash a node at time `at`: every container is lost, the store's
+    /// volatile tiers are wiped, and the node stays down until
+    /// `at + recovery_seconds`. Idempotent while the node is already down.
+    fn crash_node(node: &mut NodeState, fc: &mut FaultCtx, node_idx: usize, at: f64) {
+        if fc.down_until[node_idx] > at {
+            return;
+        }
+        fc.down_until[node_idx] = at + fc.injector.spec().recovery_seconds;
+        fc.stats.node_crashes += 1;
+        fc.stats.crash_container_evictions += node.containers.len() as u64;
+        node.containers.clear();
+        if let Some(store) = node.store.as_mut() {
+            store.crash();
+        }
+    }
+
+    /// Kill one container (OOM-killer stand-in), releasing its model's
+    /// chunk references back into the store.
+    fn kill_container(&self, node: &mut NodeState, fc: &mut FaultCtx, victim: usize) {
+        let f = node.containers[victim].function;
+        node.containers.swap_remove(victim);
+        if let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) {
+            if let Some(chunks) = ss.model_chunks.get(f) {
+                store.release(chunks);
+            }
+        }
+        fc.stats.container_kills += 1;
+    }
+
+    /// Transport seconds of the dst-model bytes missing on the node right
+    /// now — the cold-start equivalent the safeguard audit compares
+    /// against (0 without a store).
+    fn store_estimate(&self, node: &NodeState, f: FunctionId) -> f64 {
+        let (Some(ss), Some(store)) = (&self.store, node.store.as_ref()) else {
+            return 0.0;
+        };
+        ss.model_chunks
+            .get(f)
+            .map_or(0.0, |chunks| store.estimate(chunks).seconds)
     }
 
     /// Release the chunk references of containers that stopped holding the
@@ -529,17 +680,29 @@ impl Platform {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn serve(
         &self,
         node: &mut NodeState,
         state: &mut RunState,
         next_id: &mut u64,
         arrival: f64,
+        start_at: f64,
         f: FunctionId,
+        fx: &RequestFaults,
+        mut faults: Option<&mut FaultCtx>,
     ) -> RawRecord {
-        self.evict_expired(node, state, arrival);
+        let mut now = start_at.max(arrival);
+        self.evict_expired(node, state, now);
+        // Injected container kill on the routed node: one warm container
+        // dies (chunks released) just before the request is served.
+        if fx.container_kill && !node.containers.is_empty() {
+            if let Some(fc) = faults.as_deref_mut() {
+                let victim = fx.victim_index(node.containers.len());
+                self.kill_container(node, fc, victim);
+            }
+        }
         let compute = self.functions[f.index()].compute_cost;
-        let mut now = arrival;
         loop {
             // 1. Warm start: a free container already holds the model.
             if let Some(ci) = node.warm_free(f, now) {
@@ -555,8 +718,31 @@ impl Platform {
                     kind: StartKind::Warm,
                 };
             }
+            // Snapshot the cold-start transport equivalent *before* the
+            // policy mutates store state, so the safeguard audit below
+            // compares against the same store the request actually saw.
+            let cold_est = if faults.is_some() && matches!(self.policy, Policy::Optimus) {
+                self.store_estimate(node, f)
+            } else {
+                0.0
+            };
             // 2. Obtain a container by the policy.
-            if let Some((ci, init, load, kind)) = self.try_start(node, state, next_id, now, f) {
+            if let Some((ci, init, load, kind)) =
+                self.try_start(node, state, next_id, now, f, fx, &mut faults)
+            {
+                // Safeguard-under-failure audit (§6.3): the startup this
+                // request actually paid must never exceed what a cold
+                // start of the same request would have paid under the
+                // same injected faults.
+                if let Some(fc) = faults.as_deref_mut() {
+                    if matches!(self.policy, Policy::Optimus) {
+                        let data = &self.functions[f.index()];
+                        let cold_equiv = self.profile.cold_init()
+                            + data.load_cost * fx.load_multiplier()
+                            + fx.transport_seconds(cold_est);
+                        fc.max_over_cold = fc.max_over_cold.max(init + load - cold_equiv);
+                    }
+                }
                 let total = init + load + compute;
                 // try_start created/re-purposed the container at index
                 // `ci`; set its busy window.
@@ -585,6 +771,12 @@ impl Platform {
     /// Try to obtain a container for `f` at `now`. On success the
     /// container exists in `node` with `function == f` and
     /// `last_routed == now`; returns `(container index, init, load, kind)`.
+    ///
+    /// Fault math is applied unconditionally through `fx`: with no faults
+    /// `fx` is the identity element ([`RequestFaults::none`]), whose
+    /// `×1.0`/`+0.0` arithmetic is bit-exact, so fault-free runs stay
+    /// byte-identical to a build without the fault layer.
+    #[allow(clippy::too_many_arguments)]
     fn try_start(
         &self,
         node: &mut NodeState,
@@ -592,6 +784,8 @@ impl Platform {
         next_id: &mut u64,
         now: f64,
         f: FunctionId,
+        fx: &RequestFaults,
+        faults: &mut Option<&mut FaultCtx>,
     ) -> Option<(usize, f64, f64, StartKind)> {
         let data = &self.functions[f.index()];
         let idle_thr = self.config.idle_threshold;
@@ -600,11 +794,12 @@ impl Platform {
                 let need = self.footprint(f);
                 self.free_slot(node, state, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
-                let transport = self.store_admit(node, f);
+                let transport = faulted_transport(self.store_admit(node, f), fx, faults);
+                note_load_faults(fx, faults);
                 Some((
                     ci,
                     self.profile.cold_init(),
-                    data.load_cost + transport,
+                    data.load_cost * fx.load_multiplier() + transport,
                     StartKind::Cold,
                 ))
             }
@@ -628,7 +823,9 @@ impl Platform {
                     .filter(|&ci| node.repurpose_fits(ci, need, self.config.memory));
                 if let Some(ci) = donor {
                     let src = node.containers[ci].function;
-                    let transport = self.store_repurpose(node, src, f, false);
+                    let transport =
+                        faulted_transport(self.store_repurpose(node, src, f, false), fx, faults);
+                    note_load_faults(fx, faults);
                     let c = &mut node.containers[ci];
                     c.function = f;
                     c.mem_bytes = need;
@@ -636,17 +833,18 @@ impl Platform {
                     return Some((
                         ci,
                         self.profile.repurpose_overhead,
-                        data.load_cost + transport,
+                        data.load_cost * fx.load_multiplier() + transport,
                         StartKind::Transform,
                     ));
                 }
                 self.free_slot(node, state, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
-                let transport = self.store_admit(node, f);
+                let transport = faulted_transport(self.store_admit(node, f), fx, faults);
+                note_load_faults(fx, faults);
                 Some((
                     ci,
                     self.profile.cold_init(),
-                    data.load_cost + transport,
+                    data.load_cost * fx.load_multiplier() + transport,
                     StartKind::Cold,
                 ))
             }
@@ -688,8 +886,9 @@ impl Platform {
                     (self.profile.cold_init(), StartKind::Cold)
                 };
                 let ci = node.spawn(next_id, f, now, need);
-                let transport = self.store_admit(node, f);
-                Some((ci, init, load + transport, kind))
+                let transport = faulted_transport(self.store_admit(node, f), fx, faults);
+                note_load_faults(fx, faults);
+                Some((ci, init, load * fx.load_multiplier() + transport, kind))
             }
             Policy::Optimus => {
                 // Cheapest idle donor via the cached plans + safeguard.
@@ -728,7 +927,35 @@ impl Platform {
                 if let Some(choice) = choice {
                     let ci = choice.container;
                     let src = node.containers[ci].function;
-                    let transport = self.store_repurpose(node, src, f, true);
+                    // Injected mid-flight transform failure: the safeguard
+                    // escalates to a from-scratch load into the same
+                    // donor, paying the (clamped) aborted-work cost on top
+                    // — never more than a cold start would have.
+                    if fx.transform_failure {
+                        let abort = faults.as_deref().map_or(0.0, |fc| fc.abort);
+                        if let Some(fc) = faults.as_deref_mut() {
+                            fc.stats.transform_failures += 1;
+                            fc.stats.safeguard_escalations += 1;
+                        }
+                        let transport = faulted_transport(
+                            self.store_repurpose(node, src, f, false),
+                            fx,
+                            faults,
+                        );
+                        note_load_faults(fx, faults);
+                        let c = &mut node.containers[ci];
+                        c.function = f;
+                        c.mem_bytes = need;
+                        c.route(now, now);
+                        return Some((
+                            ci,
+                            self.profile.repurpose_overhead,
+                            abort + data.load_cost * fx.load_multiplier() + transport,
+                            StartKind::Transform,
+                        ));
+                    }
+                    let transport =
+                        faulted_transport(self.store_repurpose(node, src, f, true), fx, faults);
                     let c = &mut node.containers[ci];
                     c.function = f;
                     c.mem_bytes = need;
@@ -743,7 +970,9 @@ impl Platform {
                 // Safeguard path: an idle donor exists but no plan beats a
                 // scratch load — re-purpose Pagurus-style.
                 if let Some(&(ci, src)) = state.donors.first() {
-                    let transport = self.store_repurpose(node, src, f, false);
+                    let transport =
+                        faulted_transport(self.store_repurpose(node, src, f, false), fx, faults);
+                    note_load_faults(fx, faults);
                     let c = &mut node.containers[ci];
                     c.function = f;
                     c.mem_bytes = need;
@@ -751,22 +980,63 @@ impl Platform {
                     return Some((
                         ci,
                         self.profile.repurpose_overhead,
-                        data.load_cost + transport,
+                        data.load_cost * fx.load_multiplier() + transport,
                         StartKind::Transform,
                     ));
                 }
                 self.free_slot(node, state, need, now)?;
                 let ci = node.spawn(next_id, f, now, need);
-                let transport = self.store_admit(node, f);
+                let transport = faulted_transport(self.store_admit(node, f), fx, faults);
+                note_load_faults(fx, faults);
                 Some((
                     ci,
                     self.profile.cold_init(),
-                    data.load_cost + transport,
+                    data.load_cost * fx.load_multiplier() + transport,
                     StartKind::Cold,
                 ))
             }
         }
     }
+}
+
+/// Apply the request's fetch faults to a transport latency and count what
+/// was injected. With `fx == RequestFaults::none()` this is the bit-exact
+/// identity on `base`, so the fault-free path is unperturbed.
+fn faulted_transport(base: f64, fx: &RequestFaults, faults: &mut Option<&mut FaultCtx>) -> f64 {
+    if base > 0.0 {
+        if let Some(fc) = faults.as_deref_mut() {
+            if fx.is_straggler() {
+                fc.stats.fetch_stragglers += 1;
+            }
+            fc.stats.fetch_retries += u64::from(fx.fetch_retries());
+        }
+    }
+    fx.transport_seconds(base)
+}
+
+/// Count the corrupt-checkpoint reloads a scratch load performed (the
+/// caller applies [`RequestFaults::load_multiplier`] to the load cost).
+fn note_load_faults(fx: &RequestFaults, faults: &mut Option<&mut FaultCtx>) {
+    if fx.load_reloads > 0 {
+        if let Some(fc) = faults.as_deref_mut() {
+            fc.stats.load_corruptions += u64::from(fx.load_reloads);
+        }
+    }
+}
+
+/// Least-recently-routed container of a node, busy or not — the
+/// deterministic victim of a scheduled container kill.
+fn lru_any(node: &NodeState) -> Option<usize> {
+    node.containers
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.last_routed
+                .partial_cmp(&b.last_routed)
+                .expect("finite")
+                .then(a.id.cmp(&b.id))
+        })
+        .map(|(i, _)| i)
 }
 
 /// A simulated request as the shared telemetry schema.

@@ -1,0 +1,214 @@
+//! Fault-injection tests: the §6.3 safeguard must hold under any seeded
+//! fault plan, and a quiet plan must be byte-identical to no plan at all.
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_faults::{FaultKind, FaultPlan, FaultSpec, ScheduledFault};
+use optimus_profile::CostModel;
+use optimus_sim::{PlacementStrategy, Platform, Policy, SimConfig};
+use optimus_store::StoreConfig;
+use optimus_workload::PoissonGenerator;
+use proptest::prelude::*;
+
+fn shared_repo() -> Arc<ModelRepository> {
+    static REPO: std::sync::OnceLock<Arc<ModelRepository>> = std::sync::OnceLock::new();
+    REPO.get_or_init(|| {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register_all(
+            vec![
+                optimus_zoo::vgg::vgg11(),
+                optimus_zoo::vgg::vgg16(),
+                optimus_zoo::resnet::resnet18(),
+                optimus_zoo::resnet::resnet50(),
+                optimus_zoo::bert::bert(optimus_zoo::BertConfig::new(optimus_zoo::BertSize::Mini)),
+            ],
+            &cost,
+        );
+        Arc::new(repo)
+    })
+    .clone()
+}
+
+fn base_config(nodes: usize) -> SimConfig {
+    SimConfig {
+        nodes,
+        capacity_per_node: 4,
+        placement: PlacementStrategy::Hash,
+        store: Some(StoreConfig::default()),
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole invariant: for ANY seeded fault plan, the startup
+    /// latency an Optimus-served request pays (with the safeguard) never
+    /// exceeds the cold-start latency of the same request under the same
+    /// injected faults.
+    #[test]
+    fn safeguard_never_exceeds_cold_start_under_faults(
+        seed in any::<u64>(),
+        rate_pct in 0u32..=40,
+        lambda in 0.002f64..0.02,
+    ) {
+        let repo = shared_repo();
+        let trace = PoissonGenerator::new(lambda, 4_000.0, seed ^ 0xABCD)
+            .generate(&repo.model_names());
+        let spec = FaultSpec::uniform(seed, f64::from(rate_pct) / 100.0);
+        let config = SimConfig {
+            faults: Some(FaultPlan::from_spec(spec)),
+            ..base_config(2)
+        };
+        let report = Platform::new(config, Policy::Optimus, repo.clone()).run(&trace);
+        prop_assert_eq!(report.len(), trace.len());
+        let faults = report.faults.expect("fault layer enabled");
+        prop_assert!(
+            faults.max_over_cold <= 1e-6,
+            "safeguard violated: worst margin over cold start = {} (stats: {:?})",
+            faults.max_over_cold,
+            faults.stats
+        );
+    }
+}
+
+/// A quiet fault plan (all rates zero, empty schedule) must reproduce the
+/// fault-free run byte-for-byte, for every policy — the identity-math
+/// contract that lets the fault layer live on the hot path.
+#[test]
+fn zero_rate_plan_is_byte_identical_to_no_plan() {
+    let repo = shared_repo();
+    let trace = PoissonGenerator::new(0.01, 6_000.0, 7).generate(&repo.model_names());
+    for policy in Policy::ALL {
+        let baseline = Platform::new(base_config(2), policy, repo.clone()).run(&trace);
+        let quiet = SimConfig {
+            faults: Some(FaultPlan::from_spec(FaultSpec::off(123))),
+            ..base_config(2)
+        };
+        let faulted = Platform::new(quiet, policy, repo.clone()).run(&trace);
+        assert_eq!(
+            serde_json::to_string(&baseline.records).unwrap(),
+            serde_json::to_string(&faulted.records).unwrap(),
+            "{policy:?}: quiet fault plan must not perturb records"
+        );
+        assert_eq!(baseline.store, faulted.store, "{policy:?}: store stats");
+        let report = faulted.faults.expect("fault layer enabled");
+        assert_eq!(
+            report.stats,
+            Default::default(),
+            "{policy:?}: no injections"
+        );
+        // The audit subtracts two different summation orders of the same
+        // terms, so the quiet margin is float-association noise, not 0.0.
+        assert!(
+            report.max_over_cold <= 1e-9,
+            "{policy:?}: nothing audited over, got {}",
+            report.max_over_cold
+        );
+    }
+}
+
+/// Same plan + same trace ⇒ byte-identical reports (the determinism the
+/// exp_chaos sweep asserts at scale).
+#[test]
+fn same_fault_plan_is_deterministic() {
+    let repo = shared_repo();
+    let trace = PoissonGenerator::new(0.01, 6_000.0, 11).generate(&repo.model_names());
+    let config = SimConfig {
+        faults: Some(FaultPlan::from_spec(FaultSpec::uniform(99, 0.2))),
+        ..base_config(2)
+    };
+    let a = Platform::new(config.clone(), Policy::Optimus, repo.clone()).run(&trace);
+    let b = Platform::new(config, Policy::Optimus, repo.clone()).run(&trace);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+    let stats = a.faults.expect("enabled").stats;
+    assert!(
+        stats.transform_failures > 0 || stats.fetch_stragglers > 0 || stats.container_kills > 0,
+        "a 20% fault rate over thousands of requests must inject something: {stats:?}"
+    );
+}
+
+/// A scheduled node crash forces re-routing to the healthy node and the
+/// run still serves every request.
+#[test]
+fn scheduled_crash_reroutes_and_recovers() {
+    let repo = shared_repo();
+    let trace = PoissonGenerator::new(0.02, 4_000.0, 3).generate(&repo.model_names());
+    let plan = FaultPlan {
+        spec: FaultSpec::off(1),
+        schedule: vec![
+            ScheduledFault {
+                at: 500.0,
+                node: 0,
+                kind: FaultKind::NodeCrash,
+            },
+            ScheduledFault {
+                at: 900.0,
+                node: 1,
+                kind: FaultKind::ContainerKill,
+            },
+        ],
+    };
+    let config = SimConfig {
+        faults: Some(plan),
+        ..base_config(2)
+    };
+    let report = Platform::new(config, Policy::Optimus, repo.clone()).run(&trace);
+    assert_eq!(report.len(), trace.len(), "every request is served");
+    let stats = report.faults.expect("enabled").stats;
+    assert_eq!(stats.node_crashes, 1);
+    assert_eq!(stats.container_kills, 1);
+    assert!(
+        stats.reroutes >= 1,
+        "arrivals during the outage must re-route: {stats:?}"
+    );
+    for r in &report.records {
+        assert!(r.wait >= 0.0 && r.wait.is_finite());
+    }
+}
+
+/// With a single node there is nowhere to fail over: requests arriving
+/// during the outage queue until the node recovers, and their wait time
+/// shows it.
+#[test]
+fn single_node_crash_queues_until_recovery() {
+    let repo = shared_repo();
+    let trace = PoissonGenerator::new(0.02, 2_000.0, 5).generate(&repo.model_names());
+    let mut spec = FaultSpec::off(1);
+    spec.recovery_seconds = 50.0;
+    let plan = FaultPlan {
+        spec,
+        schedule: vec![ScheduledFault {
+            at: 100.0,
+            node: 0,
+            kind: FaultKind::NodeCrash,
+        }],
+    };
+    let config = SimConfig {
+        faults: Some(plan),
+        ..base_config(1)
+    };
+    let report = Platform::new(config, Policy::Optimus, repo.clone()).run(&trace);
+    assert_eq!(report.len(), trace.len(), "every request is served");
+    let stats = report.faults.expect("enabled").stats;
+    assert_eq!(stats.node_crashes, 1);
+    assert_eq!(stats.reroutes, 0, "nowhere to re-route with one node");
+    // A request arriving inside the outage window waits out the recovery.
+    let queued = report
+        .records
+        .iter()
+        .any(|r| r.arrival > 100.0 && r.arrival < 150.0 && r.wait >= 150.0 - r.arrival - 1e-9);
+    let arrived_in_window = report
+        .records
+        .iter()
+        .any(|r| r.arrival > 100.0 && r.arrival < 150.0);
+    assert!(
+        queued || !arrived_in_window,
+        "requests during the outage must wait for recovery"
+    );
+}

@@ -309,6 +309,33 @@ impl NodeStore {
         self.enforce_capacity();
     }
 
+    /// The node loses power: every volatile tier is wiped. Containers are
+    /// gone, so all references drop to zero; chunks resident at
+    /// [`Tier::Container`] or [`Tier::NodeMemory`] are lost (pinned ones
+    /// survive as [`Tier::Remote`] placeholders — the pin declares the
+    /// plan working set, which recovery re-fetches). The disk cache and
+    /// cumulative counters survive the crash. Returns the volatile bytes
+    /// lost.
+    pub fn crash(&mut self) -> u64 {
+        let mut lost = 0;
+        self.chunks.retain(|_, e| {
+            e.refs = 0;
+            match e.tier {
+                Tier::Container | Tier::NodeMemory => {
+                    lost += e.bytes;
+                    if e.pinned {
+                        e.tier = Tier::Remote;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Tier::NodeDisk | Tier::Remote => true,
+            }
+        });
+        lost
+    }
+
     /// Demote LRU overflow: node memory over budget spills to disk, disk
     /// over budget forgets back to remote. Pinned and referenced chunks
     /// are exempt, so the budgets are soft under pinning pressure.
@@ -561,5 +588,48 @@ mod tests {
         assert_eq!(second.container_bytes, 0, "distinct seeds, no sharing");
         let s = store.stats();
         assert!((s.dedup_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_wipes_volatile_tiers_but_keeps_disk_and_pins() {
+        let mut store = NodeStore::new(test_config());
+        let live = chunks_of(60, 1024); // 4 KiB at Container
+        let warm = chunks_of(61, 1024); // 4 KiB demoted to NodeMemory
+        let cold = chunks_of(62, 4096); // 16 KiB, overflows memory to disk
+        let pinned = chunks_of(63, 1024); // 4 KiB pinned plan payload
+        store.admit(&live);
+        store.admit(&warm);
+        store.release(&warm);
+        store.admit(&cold);
+        store.release(&cold);
+        store.pin(&pinned);
+        store.admit(&pinned);
+        store.release(&pinned);
+        let before = store.stats();
+        assert!(before.disk_bytes > 0, "setup must spill to disk");
+
+        let lost = store.crash();
+        let after = store.stats();
+        assert_eq!(after.container_bytes, 0);
+        assert_eq!(after.memory_bytes, 0);
+        assert_eq!(
+            after.disk_bytes, before.disk_bytes,
+            "disk cache survives a crash"
+        );
+        assert_eq!(
+            lost,
+            before.container_bytes + before.memory_bytes,
+            "lost bytes account for every volatile tier"
+        );
+        // Pinned chunks survive as remote placeholders: re-admitting them
+        // fetches from remote but they are still marked pinned.
+        let refetch = store.admit(&pinned);
+        assert_eq!(refetch.remote_bytes, 4 * 1024);
+        assert_eq!(store.stats().pinned, 4);
+        // Disk-resident chunks are still a disk hit after the crash; only
+        // the portion that was volatile at crash time re-fetches remotely.
+        let disk_hit = store.admit(&cold);
+        assert!(disk_hit.disk_bytes > 0);
+        assert_eq!(disk_hit.disk_bytes + disk_hit.remote_bytes, 16 * 1024);
     }
 }

@@ -36,6 +36,13 @@
 //! | `optimus_placement_total` | counter | `strategy` |
 //! | `optimus_containers` | gauge | `node` |
 //! | `optimus_http_requests_total` | counter | `code` |
+//! | `optimus_faults_injected_total` | counter | `kind="node_crash\|container_kill\|transform_failure"` |
+//! | `optimus_safeguard_escalations_total` | counter | `node` |
+//! | `optimus_transform_overruns_total` | counter | `node` |
+//! | `optimus_fault_evictions_total` | counter | `node` |
+//! | `optimus_reroutes_total` | counter | — |
+//! | `optimus_fault_retries_total` | counter | — |
+//! | `optimus_node_healthy` | gauge | `node` |
 //!
 //! ```
 //! use optimus_telemetry::{MetricsSink, Span, Phase, StartKind, TelemetrySink};

@@ -25,4 +25,7 @@ cargo run --release -q -p optimus-bench --bin exp_plan_warmup -- --small
 echo "== exp_store (small CI config, parallel sweep) =="
 cargo run --release -q -p optimus-bench --bin exp_store -- --small --threads 2
 
+echo "== exp_chaos (small CI config, fault-injection sweep) =="
+cargo run --release -q -p optimus-bench --bin exp_chaos -- --small --threads 2
+
 echo "all checks passed"
