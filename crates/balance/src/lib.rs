@@ -27,5 +27,6 @@ mod placement;
 pub use correlation::pearson;
 pub use kmedoids::{kmedoids, KMedoidsResult};
 pub use placement::{
-    failover_node, hash_placement, least_loaded_placement, FunctionPoint, SharingAwareBalancer,
+    failover_node, hash_placement, least_loaded_placement, spill_node, FunctionPoint,
+    SharingAwareBalancer,
 };

@@ -194,6 +194,26 @@ pub fn failover_node(
         .map(|(n, _)| n)
 }
 
+/// Elastic-fleet routing: like [`failover_node`], but a *saturated* home
+/// node (all slots busy) spills to the least-loaded healthy unsaturated
+/// node instead of queueing — the overflow path that makes freshly warmed
+/// scale-out nodes absorb a flash crowd. Falls back to [`failover_node`]
+/// semantics (queue at home) when every healthy node is saturated;
+/// `None` when the whole fleet is unhealthy.
+pub fn spill_node(
+    preferred: usize,
+    nodes: usize,
+    mut healthy: impl FnMut(usize) -> bool,
+    mut saturated: impl FnMut(usize) -> bool,
+    mut load: impl FnMut(usize) -> f64,
+) -> Option<usize> {
+    if preferred < nodes && healthy(preferred) && !saturated(preferred) {
+        return Some(preferred);
+    }
+    failover_node(preferred, nodes, |n| healthy(n) && !saturated(n), &mut load)
+        .or_else(|| failover_node(preferred, nodes, healthy, load))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +330,27 @@ mod tests {
         assert_eq!(failover_node(1, 3, |_| false, |n| loads[n]), None);
         // Out-of-range preferred node still falls over safely.
         assert_eq!(failover_node(9, 3, |_| true, |n| loads[n]), Some(1));
+    }
+
+    #[test]
+    fn spill_routes_saturated_home_to_warm_extras() {
+        let loads = [8.0, 2.0, 0.0];
+        // Healthy unsaturated home keeps the request.
+        assert_eq!(spill_node(0, 3, |_| true, |_| false, |n| loads[n]), Some(0));
+        // Saturated home spills to the least-loaded unsaturated node.
+        assert_eq!(
+            spill_node(0, 3, |_| true, |n| n == 0, |n| loads[n]),
+            Some(2)
+        );
+        // Everything saturated: queue at home (failover semantics).
+        assert_eq!(spill_node(0, 3, |_| true, |_| true, |n| loads[n]), Some(0));
+        // Saturated home, only an unhealthy node free: spill skips it.
+        assert_eq!(
+            spill_node(0, 3, |n| n != 2, |n| n == 0, |n| loads[n]),
+            Some(1)
+        );
+        // Whole fleet unhealthy.
+        assert_eq!(spill_node(0, 3, |_| false, |_| false, |n| loads[n]), None);
     }
 
     #[test]

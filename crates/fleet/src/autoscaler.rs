@@ -1,0 +1,214 @@
+//! Hysteresis autoscaler over fleet slot pressure.
+
+use crate::config::FleetConfig;
+
+/// What the platform observed at one decision point: the concurrency and
+/// queue-depth signals the autoscaler reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSignals {
+    /// Nodes currently active and ready to serve.
+    pub active_nodes: usize,
+    /// Container slots with a running request across the active fleet.
+    pub busy_slots: usize,
+    /// Total container slots across the active fleet.
+    pub total_slots: usize,
+    /// Requests waiting on a slot (queue-depth proxy).
+    pub queued: usize,
+}
+
+impl FleetSignals {
+    /// Slot pressure in `[0, ∞)`: busy plus queued work over capacity
+    /// (1.0 when empty, so a zero-capacity fleet always reads saturated).
+    pub fn pressure(&self) -> f64 {
+        if self.total_slots == 0 {
+            1.0
+        } else {
+            (self.busy_slots + self.queued) as f64 / self.total_slots as f64
+        }
+    }
+}
+
+/// One autoscaler verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No change.
+    Hold,
+    /// Add this many nodes (capped to [`FleetConfig::max_nodes`]).
+    ScaleOut(usize),
+}
+
+/// Deterministic scale-out controller: pressure at or above the threshold
+/// sustained for [`FleetConfig::sustain_s`] seconds fires a
+/// [`ScaleDecision::ScaleOut`], at most once per
+/// [`FleetConfig::cooldown_s`]. Every decision is a pure function of
+/// `(config, observation history)` — no wall clock, no randomness — so
+/// simulation runs embed identically under any thread count.
+///
+/// Scale-in is not decided here: an idle extra node drains through the
+/// keep-alive machinery once [`Autoscaler::scale_in_ready`] says its idle
+/// window elapsed.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    config: FleetConfig,
+    /// Virtual time since which pressure has been continuously at or
+    /// above the threshold; `NAN` while below it.
+    pressure_since: f64,
+    /// Virtual time of the last scale-out.
+    last_scale: f64,
+}
+
+impl Autoscaler {
+    /// A fresh controller under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid
+    /// ([`FleetConfig::validate`]).
+    pub fn new(config: FleetConfig) -> Self {
+        config.validate().expect("fleet config must be valid");
+        Autoscaler {
+            config,
+            pressure_since: f64::NAN,
+            last_scale: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configuration this controller runs under.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Feed one observation at virtual time `now` (non-decreasing across
+    /// calls) and get the verdict.
+    pub fn observe(&mut self, now: f64, signals: &FleetSignals) -> ScaleDecision {
+        if signals.pressure() < self.config.scale_out_pressure {
+            self.pressure_since = f64::NAN;
+            return ScaleDecision::Hold;
+        }
+        if self.pressure_since.is_nan() {
+            self.pressure_since = now;
+        }
+        let sustained = now - self.pressure_since >= self.config.sustain_s;
+        let cooled = now - self.last_scale >= self.config.cooldown_s;
+        let headroom = self.config.max_nodes.saturating_sub(signals.active_nodes);
+        if sustained && cooled && headroom > 0 {
+            self.last_scale = now;
+            self.pressure_since = f64::NAN;
+            ScaleDecision::ScaleOut(self.config.step.min(headroom))
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+
+    /// Whether an extra node with no containers since `idle_since` may
+    /// drain at `now`.
+    pub fn scale_in_ready(&self, now: f64, idle_since: f64) -> bool {
+        now - idle_since >= self.config.scale_in_idle_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FleetConfig {
+        FleetConfig {
+            max_nodes: 6,
+            scale_out_pressure: 0.8,
+            sustain_s: 5.0,
+            cooldown_s: 30.0,
+            step: 2,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn hot(active: usize) -> FleetSignals {
+        FleetSignals {
+            active_nodes: active,
+            busy_slots: 9,
+            total_slots: 10,
+            queued: 3,
+        }
+    }
+
+    fn cold(active: usize) -> FleetSignals {
+        FleetSignals {
+            active_nodes: active,
+            busy_slots: 1,
+            total_slots: 10,
+            queued: 0,
+        }
+    }
+
+    #[test]
+    fn pressure_is_busy_plus_queued_over_slots() {
+        assert!((hot(2).pressure() - 1.2).abs() < 1e-12);
+        assert!((cold(2).pressure() - 0.1).abs() < 1e-12);
+        let empty = FleetSignals {
+            active_nodes: 0,
+            busy_slots: 0,
+            total_slots: 0,
+            queued: 0,
+        };
+        assert_eq!(empty.pressure(), 1.0, "no capacity reads saturated");
+    }
+
+    #[test]
+    fn spike_shorter_than_sustain_holds() {
+        let mut a = Autoscaler::new(config());
+        assert_eq!(a.observe(0.0, &hot(2)), ScaleDecision::Hold);
+        assert_eq!(a.observe(2.0, &hot(2)), ScaleDecision::Hold);
+        // Pressure dropped: the sustain window restarts.
+        assert_eq!(a.observe(4.0, &cold(2)), ScaleDecision::Hold);
+        assert_eq!(a.observe(6.0, &hot(2)), ScaleDecision::Hold);
+        assert_eq!(a.observe(10.0, &hot(2)), ScaleDecision::Hold);
+        assert_eq!(a.observe(11.0, &hot(2)), ScaleDecision::ScaleOut(2));
+    }
+
+    #[test]
+    fn cooldown_rate_limits_scale_outs() {
+        let mut a = Autoscaler::new(config());
+        assert_eq!(a.observe(0.0, &hot(2)), ScaleDecision::Hold);
+        assert_eq!(a.observe(5.0, &hot(2)), ScaleDecision::ScaleOut(2));
+        // Still hot, sustain elapses again, but the cooldown gates it.
+        assert_eq!(a.observe(6.0, &hot(4)), ScaleDecision::Hold);
+        assert_eq!(a.observe(12.0, &hot(4)), ScaleDecision::Hold);
+        assert_eq!(a.observe(35.0, &hot(4)), ScaleDecision::ScaleOut(2));
+    }
+
+    #[test]
+    fn scale_out_caps_at_max_nodes() {
+        let mut a = Autoscaler::new(config());
+        a.observe(0.0, &hot(5));
+        assert_eq!(
+            a.observe(5.0, &hot(5)),
+            ScaleDecision::ScaleOut(1),
+            "one slot of headroom left"
+        );
+        let mut b = Autoscaler::new(config());
+        b.observe(0.0, &hot(6));
+        assert_eq!(b.observe(5.0, &hot(6)), ScaleDecision::Hold, "at max");
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let run = || {
+            let mut a = Autoscaler::new(config());
+            (0..200)
+                .map(|i| {
+                    let t = i as f64 * 0.5;
+                    let s = if i % 7 < 5 { hot(3) } else { cold(3) };
+                    (t, a.observe(t, &s))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scale_in_waits_for_idle_window() {
+        let a = Autoscaler::new(config());
+        assert!(!a.scale_in_ready(10.0, 0.0));
+        assert!(a.scale_in_ready(300.0, 0.0));
+    }
+}

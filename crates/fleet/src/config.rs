@@ -1,0 +1,136 @@
+//! Elastic-fleet configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the elastic fleet: autoscaler thresholds and the
+/// provisioning/warming model of joining nodes.
+///
+/// The autoscaler is intentionally simple — a slot-pressure threshold
+/// with hysteresis and a cooldown — because every decision must be a pure
+/// function of observed simulation state for runs to stay byte-identical
+/// at any thread count. All times are virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Upper bound on concurrently active nodes (initial nodes included).
+    pub max_nodes: usize,
+    /// Scale out when `(busy slots + queued) / total slots` of the active
+    /// fleet is at or above this fraction, sustained for
+    /// [`FleetConfig::sustain_s`].
+    pub scale_out_pressure: f64,
+    /// Pressure must persist this long before a scale-out fires
+    /// (hysteresis against one-arrival spikes).
+    pub sustain_s: f64,
+    /// Minimum time between scale-out events.
+    pub cooldown_s: f64,
+    /// Nodes added per scale-out event.
+    pub step: usize,
+    /// An extra node with no containers drains after this many idle
+    /// seconds (scale-in rides the keep-alive machinery: containers must
+    /// have expired first, so this bounds the node's extra lifetime).
+    pub scale_in_idle_s: f64,
+    /// Sandbox/VM provisioning latency of a joining node, paid before any
+    /// weight transfer starts.
+    pub provision_s: f64,
+    /// Warm joining nodes peer-to-peer over the binomial multicast tree;
+    /// `false` makes every joiner fetch from the remote origin over its
+    /// shared egress link (the linear baseline `exp_scale_out` compares
+    /// against).
+    pub multicast: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            max_nodes: 8,
+            scale_out_pressure: 0.8,
+            sustain_s: 5.0,
+            cooldown_s: 60.0,
+            step: 2,
+            scale_in_idle_s: 300.0,
+            provision_s: 2.0,
+            multicast: true,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Check parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_nodes == 0 {
+            return Err("max_nodes must be positive".into());
+        }
+        if !(self.scale_out_pressure > 0.0 && self.scale_out_pressure <= 1.0) {
+            return Err("scale_out_pressure must be in (0, 1]".into());
+        }
+        if self.step == 0 {
+            return Err("step must be positive".into());
+        }
+        for (name, v) in [
+            ("sustain_s", self.sustain_s),
+            ("cooldown_s", self.cooldown_s),
+            ("scale_in_idle_s", self.scale_in_idle_s),
+            ("provision_s", self.provision_s),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        FleetConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let base = FleetConfig::default();
+        for bad in [
+            FleetConfig {
+                max_nodes: 0,
+                ..base
+            },
+            FleetConfig {
+                scale_out_pressure: 0.0,
+                ..base
+            },
+            FleetConfig {
+                scale_out_pressure: 1.5,
+                ..base
+            },
+            FleetConfig { step: 0, ..base },
+            FleetConfig {
+                sustain_s: -1.0,
+                ..base
+            },
+            FleetConfig {
+                cooldown_s: f64::NAN,
+                ..base
+            },
+            FleetConfig {
+                provision_s: f64::INFINITY,
+                ..base
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = FleetConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

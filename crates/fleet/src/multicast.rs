@@ -1,0 +1,281 @@
+//! Binomial peer-to-peer multicast planning over content-addressed
+//! chunks.
+//!
+//! Joining nodes are warmed from peers that already hold the hot model's
+//! chunk set, not from the remote origin: each round, every node holding
+//! the chunks forwards the full set to one cold node over the inter-node
+//! interconnect, so the warm set doubles per round and `N` joiners warm
+//! in `⌈log2⌉` rounds. When no peer holds the chunks yet, round 0 injects
+//! one copy from the remote origin and the tree grows from there.
+//!
+//! The planner is a pure function of its arguments — node indices in, a
+//! deterministic edge list out — which is what lets the simulator re-plan
+//! (re-root) mid-transfer after a crash without perturbing byte-identity.
+
+use optimus_store::TierParams;
+
+/// Where one transfer edge reads its bytes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerSource {
+    /// The remote model repository (origin injection).
+    Remote,
+    /// A peer node already holding the chunk set.
+    Peer(usize),
+}
+
+/// One edge of the transfer tree: `from` streams the chunk set to node
+/// `to` during `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferEdge {
+    /// Zero-based transfer round (edges of one round run in parallel over
+    /// disjoint node pairs).
+    pub round: usize,
+    /// Data source.
+    pub from: PeerSource,
+    /// Receiving node.
+    pub to: usize,
+    /// Bytes moved over this edge.
+    pub bytes: u64,
+}
+
+/// A planned multicast: the edge list plus its timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastPlan {
+    /// All transfer edges, in `(round, receiver)` order.
+    pub edges: Vec<TransferEdge>,
+    /// Wall-clock seconds of each round (a round ends when its slowest
+    /// edge finishes; edges within a round are disjoint and parallel).
+    pub round_seconds: Vec<f64>,
+    /// `(node, offset)` — seconds after the plan starts at which each
+    /// requested joiner holds the full chunk set (0 for joiners that were
+    /// already seeds). Sorted by offset, then node.
+    pub warm_at: Vec<(usize, f64)>,
+    /// Seconds until every joiner is warm (sum of `round_seconds`).
+    pub total_seconds: f64,
+    /// Bytes moved over peer-to-peer edges.
+    pub peer_bytes: u64,
+    /// Bytes injected from the remote origin.
+    pub remote_bytes: u64,
+}
+
+impl MulticastPlan {
+    /// Number of transfer rounds.
+    pub fn rounds(&self) -> usize {
+        self.round_seconds.len()
+    }
+
+    /// Total bytes delivered to `node` across its incoming edges.
+    pub fn delivered_to(&self, node: usize) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| e.to == node)
+            .map(|e| e.bytes)
+            .sum()
+    }
+}
+
+/// Plan warming `joiners` with a chunk set of `bytes` bytes from the
+/// nodes in `seeds` that already hold it.
+///
+/// `inter` prices each peer-to-peer edge, `remote` the origin injection
+/// used when `seeds` is empty (e.g. after a crash wiped every replica).
+/// Joiners already listed in `seeds` are warm at offset 0; duplicate
+/// joiners are planned once.
+pub fn plan_multicast(
+    seeds: &[usize],
+    joiners: &[usize],
+    bytes: u64,
+    inter: TierParams,
+    remote: TierParams,
+) -> MulticastPlan {
+    let mut warm: Vec<usize> = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        if !warm.contains(&s) {
+            warm.push(s);
+        }
+    }
+    let mut warm_at: Vec<(usize, f64)> = Vec::with_capacity(joiners.len());
+    let mut pending: Vec<usize> = Vec::with_capacity(joiners.len());
+    for &j in joiners {
+        if warm.contains(&j) {
+            warm_at.push((j, 0.0));
+        } else if !pending.contains(&j) {
+            pending.push(j);
+        }
+    }
+    let mut plan = MulticastPlan {
+        edges: Vec::new(),
+        round_seconds: Vec::new(),
+        warm_at,
+        total_seconds: 0.0,
+        peer_bytes: 0,
+        remote_bytes: 0,
+    };
+    let mut round = 0usize;
+    let mut elapsed = 0.0f64;
+    // No replica anywhere: round 0 injects one copy from the origin.
+    if warm.is_empty() && !pending.is_empty() {
+        let first = pending.remove(0);
+        plan.edges.push(TransferEdge {
+            round,
+            from: PeerSource::Remote,
+            to: first,
+            bytes,
+        });
+        plan.remote_bytes += bytes;
+        let dt = remote.transport_seconds(bytes);
+        plan.round_seconds.push(dt);
+        elapsed += dt;
+        plan.warm_at.push((first, elapsed));
+        warm.push(first);
+        round += 1;
+    }
+    // Binomial rounds: every warm node forwards to one pending node.
+    while !pending.is_empty() {
+        let senders = warm.len().min(pending.len());
+        let mut received = Vec::with_capacity(senders);
+        for &from in warm.iter().take(senders) {
+            let to = pending.remove(0);
+            plan.edges.push(TransferEdge {
+                round,
+                from: PeerSource::Peer(from),
+                to,
+                bytes,
+            });
+            plan.peer_bytes += bytes;
+            received.push(to);
+        }
+        let dt = inter.transport_seconds(bytes);
+        plan.round_seconds.push(dt);
+        elapsed += dt;
+        for to in received {
+            plan.warm_at.push((to, elapsed));
+            warm.push(to);
+        }
+        round += 1;
+    }
+    plan.total_seconds = elapsed;
+    plan.warm_at.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite offsets")
+            .then(a.0.cmp(&b.0))
+    });
+    plan
+}
+
+/// Time for `n` joiners to each fetch `bytes` from the remote origin over
+/// its shared egress link — the linear baseline multicast replaces. The
+/// per-fetch latency overlaps across joiners; the egress bandwidth does
+/// not.
+pub fn remote_only_seconds(n: usize, bytes: u64, remote: TierParams) -> f64 {
+    if n == 0 || bytes == 0 {
+        0.0
+    } else {
+        n as f64 * bytes as f64 / remote.bandwidth_bytes_per_s + remote.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inter() -> TierParams {
+        TierParams {
+            bandwidth_bytes_per_s: 2.5e9,
+            latency_s: 0.001,
+        }
+    }
+
+    fn remote() -> TierParams {
+        TierParams {
+            bandwidth_bytes_per_s: 100.0e6,
+            latency_s: 0.05,
+        }
+    }
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn seeded_tree_doubles_each_round() {
+        let joiners: Vec<usize> = (1..8).collect();
+        let plan = plan_multicast(&[0], &joiners, 100 * MB, inter(), remote());
+        // 1 seed, 7 joiners: warm counts 1 → 2 → 4 → 8, so 3 rounds.
+        assert_eq!(plan.rounds(), 3);
+        assert_eq!(plan.remote_bytes, 0, "a seed exists, no origin fetch");
+        assert_eq!(plan.peer_bytes, 7 * 100 * MB);
+        // Every joiner receives the full set exactly once.
+        for &j in &joiners {
+            assert_eq!(plan.delivered_to(j), 100 * MB);
+        }
+        assert_eq!(plan.delivered_to(0), 0, "the seed receives nothing");
+        // Rounds carry 1, 2, 4 edges.
+        let per_round: Vec<usize> = (0..3)
+            .map(|r| plan.edges.iter().filter(|e| e.round == r).count())
+            .collect();
+        assert_eq!(per_round, vec![1, 2, 4]);
+        assert!((plan.total_seconds - plan.round_seconds.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seedless_tree_injects_once_from_remote() {
+        let plan = plan_multicast(&[], &[3, 4, 5, 6], 10 * MB, inter(), remote());
+        assert_eq!(plan.remote_bytes, 10 * MB, "exactly one origin injection");
+        assert_eq!(plan.peer_bytes, 3 * 10 * MB);
+        assert_eq!(plan.edges[0].from, PeerSource::Remote);
+        assert_eq!(plan.edges[0].to, 3);
+        // Injection + binomial over the remaining 3: 1 + 2 = 3 rounds.
+        assert_eq!(plan.rounds(), 3);
+        assert!(plan.round_seconds[0] > plan.round_seconds[1]);
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_and_beat_remote_only() {
+        for n in 1..=64usize {
+            let joiners: Vec<usize> = (1..=n).collect();
+            let plan = plan_multicast(&[0], &joiners, 100 * MB, inter(), remote());
+            let bound = (n + 1).next_power_of_two().trailing_zeros() as usize;
+            assert!(
+                plan.rounds() <= bound,
+                "{n} joiners took {} rounds, bound {bound}",
+                plan.rounds()
+            );
+            let linear = remote_only_seconds(n, 100 * MB, remote());
+            assert!(
+                plan.total_seconds <= linear,
+                "multicast {:.3}s must not exceed remote-only {linear:.3}s at n={n}",
+                plan.total_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn joiners_already_seeded_are_warm_at_zero() {
+        let plan = plan_multicast(&[0, 1], &[1, 2, 2], 4 * MB, inter(), remote());
+        assert_eq!(plan.warm_at[0], (1, 0.0));
+        assert_eq!(plan.delivered_to(1), 0);
+        assert_eq!(plan.delivered_to(2), 4 * MB, "duplicates planned once");
+        assert_eq!(plan.rounds(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_empty_plans() {
+        let plan = plan_multicast(&[0], &[], 4 * MB, inter(), remote());
+        assert_eq!(plan.rounds(), 0);
+        assert_eq!(plan.total_seconds, 0.0);
+        assert!(plan.edges.is_empty());
+        assert_eq!(remote_only_seconds(0, 4 * MB, remote()), 0.0);
+        assert_eq!(remote_only_seconds(3, 0, remote()), 0.0);
+    }
+
+    #[test]
+    fn warm_at_offsets_are_cumulative_round_times() {
+        let plan = plan_multicast(&[0], &[1, 2, 3], 50 * MB, inter(), remote());
+        let r = inter().transport_seconds(50 * MB);
+        // Node 1 warm after round 1; nodes 2 and 3 after round 2.
+        assert!((plan.warm_at[0].1 - r).abs() < 1e-12);
+        assert_eq!(plan.warm_at[0].0, 1);
+        for &(node, at) in &plan.warm_at[1..] {
+            assert!((at - 2.0 * r).abs() < 1e-12, "node {node} at {at}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests of the multicast planner: for ANY seed/joiner sets the
+//! plan delivers exactly the chunk-set bytes to every cold joiner — the
+//! same payload the remote-only baseline would fetch — in at most
+//! ⌈log2⌉ rounds, never slower than the linear baseline.
+
+use optimus_fleet::{plan_multicast, remote_only_seconds, PeerSource};
+use optimus_store::TierParams;
+use proptest::prelude::*;
+
+fn inter() -> TierParams {
+    TierParams {
+        bandwidth_bytes_per_s: 2.5e9,
+        latency_s: 0.001,
+    }
+}
+
+fn remote() -> TierParams {
+    TierParams {
+        bandwidth_bytes_per_s: 100.0e6,
+        latency_s: 0.05,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte conservation: every joiner not already seeded receives the
+    /// full chunk set exactly once (never partial, never duplicated), and
+    /// the plan's total traffic equals what remote-only fetches would
+    /// move — multicast changes the bytes' *source*, not their amount.
+    #[test]
+    fn multicast_delivers_the_same_chunk_set_as_remote_only(
+        seeds in prop::collection::vec(0usize..24, 0..5),
+        joiners in prop::collection::vec(0usize..24, 0..12),
+        mib in 1u64..512,
+    ) {
+        let bytes = mib * 1024 * 1024;
+        let plan = plan_multicast(&seeds, &joiners, bytes, inter(), remote());
+        let mut cold: Vec<usize> = joiners
+            .iter()
+            .copied()
+            .filter(|j| !seeds.contains(j))
+            .collect();
+        cold.sort_unstable();
+        cold.dedup();
+        for &j in &cold {
+            prop_assert_eq!(
+                plan.delivered_to(j),
+                bytes,
+                "joiner {} must receive the full set exactly once",
+                j
+            );
+        }
+        for &s in &seeds {
+            prop_assert_eq!(plan.delivered_to(s), 0, "seed {} receives nothing", s);
+        }
+        // Total conservation against the linear baseline's payload.
+        prop_assert_eq!(
+            plan.peer_bytes + plan.remote_bytes,
+            cold.len() as u64 * bytes
+        );
+        // The origin is touched only when no replica exists anywhere.
+        let injections = plan
+            .edges
+            .iter()
+            .filter(|e| e.from == PeerSource::Remote)
+            .count();
+        if seeds.is_empty() && !cold.is_empty() {
+            prop_assert_eq!(injections, 1, "seedless tree injects exactly once");
+        } else {
+            prop_assert_eq!(injections, 0, "seeded tree never touches the origin");
+        }
+    }
+
+    /// The tree warms N joiners in at most ⌈log2(N+1)⌉ rounds (plus the
+    /// seedless injection round) and never takes longer than N serial
+    /// origin fetches.
+    #[test]
+    fn rounds_stay_logarithmic_and_never_lose_to_the_baseline(
+        n_seeds in 0usize..4,
+        n_joiners in 1usize..32,
+        mib in 1u64..512,
+    ) {
+        let bytes = mib * 1024 * 1024;
+        let seeds: Vec<usize> = (0..n_seeds).collect();
+        let joiners: Vec<usize> = (n_seeds..n_seeds + n_joiners).collect();
+        let plan = plan_multicast(&seeds, &joiners, bytes, inter(), remote());
+        let doubling = (n_joiners + n_seeds.max(1))
+            .next_power_of_two()
+            .trailing_zeros() as usize;
+        let bound = doubling + usize::from(n_seeds == 0);
+        prop_assert!(
+            plan.rounds() <= bound,
+            "{} joiners from {} seeds took {} rounds, bound {}",
+            n_joiners, n_seeds, plan.rounds(), bound
+        );
+        let linear = remote_only_seconds(n_joiners, bytes, remote());
+        prop_assert!(
+            plan.total_seconds <= linear + 1e-9,
+            "multicast {}s exceeds remote-only {}s",
+            plan.total_seconds, linear
+        );
+        // Pure function: the same inputs re-plan to the identical tree
+        // (what makes mid-transfer re-rooting deterministic).
+        let again = plan_multicast(&seeds, &joiners, bytes, inter(), remote());
+        prop_assert_eq!(plan, again);
+    }
+}

@@ -13,9 +13,9 @@ use optimus_faults::{FaultInjector, FaultPlan, RequestFaults, RetryPolicy};
 use optimus_model::tensor::Tensor;
 use optimus_model::{InternKey, ModelGraph};
 use optimus_profile::CostModel;
-use optimus_store::StoreStats;
+use optimus_store::{model_chunks, ChunkId, ChunkRef, StoreStats};
 use optimus_telemetry::{Counter, FanoutSink, Gauge, MetricsRegistry, MetricsSink, TelemetrySink};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError};
 use crate::worker::{run_worker, InferItem, WorkItem};
@@ -133,9 +133,12 @@ impl GatewayBuilder {
                 g
             })
             .collect();
+        let fleet_nodes = self.metrics.gauge("optimus_fleet_nodes", &[]);
+        fleet_nodes.set(self.config.nodes as f64);
         Gateway {
-            senders,
-            handles,
+            config: self.config,
+            workers: RwLock::new(senders.into_iter().map(Some).collect()),
+            handles: Mutex::new(handles),
             placement,
             repo,
             injector,
@@ -143,7 +146,7 @@ impl GatewayBuilder {
             recovery,
             seq: AtomicU64::new(0),
             down_until: Mutex::new(vec![now; self.config.nodes]),
-            node_healthy,
+            node_healthy: Mutex::new(node_healthy),
             injected_crashes: self
                 .metrics
                 .counter("optimus_faults_injected_total", &[("kind", "node_crash")]),
@@ -157,6 +160,20 @@ impl GatewayBuilder {
             ),
             reroutes: self.metrics.counter("optimus_reroutes_total", &[]),
             retries: self.metrics.counter("optimus_fault_retries_total", &[]),
+            fleet_nodes,
+            scale_outs: self
+                .metrics
+                .counter("optimus_fleet_scale_events_total", &[("direction", "out")]),
+            scale_ins: self
+                .metrics
+                .counter("optimus_fleet_scale_events_total", &[("direction", "in")]),
+            multicast_peer_bytes: self
+                .metrics
+                .counter("optimus_fleet_multicast_bytes_total", &[("source", "peer")]),
+            multicast_remote_bytes: self.metrics.counter(
+                "optimus_fleet_multicast_bytes_total",
+                &[("source", "remote")],
+            ),
             metrics: self.metrics,
             sink,
             store_stats,
@@ -169,8 +186,12 @@ impl GatewayBuilder {
 /// Cloning requests through the gateway is thread-safe; `shutdown` (or
 /// drop) stops the workers.
 pub struct Gateway {
-    senders: Vec<Sender<WorkItem>>,
-    handles: Vec<JoinHandle<()>>,
+    config: GatewayConfig,
+    /// Worker channels by node id; a drained slot is `None` (its worker
+    /// exits once the queue empties) and is never routed to again. Slots
+    /// are append-only so node ids stay stable across the fleet's life.
+    workers: RwLock<Vec<Option<Sender<WorkItem>>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
     /// Node per model, indexed by `ModelId::index()`.
     placement: Vec<usize>,
     repo: Arc<ModelRepository>,
@@ -183,12 +204,18 @@ pub struct Gateway {
     seq: AtomicU64,
     /// Per-node health: the instant until which the node is down.
     down_until: Mutex<Vec<Instant>>,
-    node_healthy: Vec<Gauge>,
+    node_healthy: Mutex<Vec<Gauge>>,
     injected_crashes: Counter,
     injected_kills: Counter,
     injected_transform_failures: Counter,
     reroutes: Counter,
     retries: Counter,
+    /// Live node count (`optimus_fleet_nodes`).
+    fleet_nodes: Gauge,
+    scale_outs: Counter,
+    scale_ins: Counter,
+    multicast_peer_bytes: Counter,
+    multicast_remote_bytes: Counter,
     metrics: Arc<MetricsRegistry>,
     sink: Arc<dyn TelemetrySink>,
     /// Latest weight-store snapshot per node, published by workers after
@@ -243,7 +270,9 @@ impl Gateway {
         if fx.node_crash {
             self.injected_crashes.inc();
             self.mark_down(home);
-            let _ = self.senders[home].send(WorkItem::Crash);
+            if let Some(Some(tx)) = self.workers.read().get(home) {
+                let _ = tx.send(WorkItem::Crash);
+            }
         }
         if fx.transform_failure {
             self.injected_transform_failures.inc();
@@ -258,24 +287,31 @@ impl Gateway {
                     std::thread::sleep(Duration::from_secs_f64(backoff));
                 }
             }
-            let healthy = self.healthy_nodes();
+            let workers = self.workers.read();
+            // Down or drained nodes are skipped; `workers` is read-locked
+            // so the fleet cannot change shape mid-decision.
+            let healthy: Vec<bool> = {
+                let now = Instant::now();
+                let down = self.down_until.lock();
+                (0..workers.len())
+                    .map(|n| workers[n].is_some() && down[n] <= now)
+                    .collect()
+            };
             // The live gateway has no queue-depth signal (channels are
             // unbounded), so degraded routing falls over to the
             // lowest-indexed healthy node.
-            let Some(node) = failover_node(home, self.senders.len(), |n| healthy[n], |_| 0.0)
-            else {
-                last_err = ServeError::Unavailable(format!(
-                    "all {} nodes are marked down",
-                    self.senders.len()
-                ));
+            let Some(node) = failover_node(home, workers.len(), |n| healthy[n], |_| 0.0) else {
+                last_err =
+                    ServeError::Unavailable(format!("all {} nodes are marked down", workers.len()));
                 continue;
             };
             if node != home {
                 self.reroutes.inc();
             }
+            let tx = workers[node].as_ref().expect("routed node is live");
             if fx.container_kill && attempt == 0 {
                 self.injected_kills.inc();
-                let _ = self.senders[node].send(WorkItem::Kill);
+                let _ = tx.send(WorkItem::Kill);
             }
             let (reply_tx, reply_rx) = bounded(1);
             let item = InferItem {
@@ -285,9 +321,10 @@ impl Gateway {
                 fail_transform: fx.transform_failure && attempt == 0,
                 reply: reply_tx,
             };
-            if self.senders[node].send(WorkItem::Infer(item)).is_err() {
+            if tx.send(WorkItem::Infer(item)).is_err() {
                 return Err(ServeError::Shutdown);
             }
+            drop(workers);
             match reply_rx.recv() {
                 Ok(result) => return result,
                 // The worker died mid-request: mark the node down and try
@@ -303,23 +340,111 @@ impl Gateway {
 
     fn mark_down(&self, node: usize) {
         self.down_until.lock()[node] = Instant::now() + self.recovery;
-        self.node_healthy[node].set(0.0);
+        self.node_healthy.lock()[node].set(0.0);
     }
 
     /// Current per-node health (true = accepting requests). Crashed nodes
-    /// recover after the fault spec's `recovery_seconds`; the
-    /// `optimus_node_healthy` gauges are refreshed as a side effect.
+    /// recover after the fault spec's `recovery_seconds`; drained nodes
+    /// stay false. The `optimus_node_healthy` gauges are refreshed as a
+    /// side effect.
     pub fn healthy_nodes(&self) -> Vec<bool> {
         let now = Instant::now();
+        let workers = self.workers.read();
         let down = self.down_until.lock();
+        let gauges = self.node_healthy.lock();
         down.iter()
             .enumerate()
             .map(|(n, &until)| {
-                let healthy = until <= now;
-                self.node_healthy[n].set(if healthy { 1.0 } else { 0.0 });
+                let healthy = until <= now && workers[n].is_some();
+                gauges[n].set(if healthy { 1.0 } else { 0.0 });
                 healthy
             })
             .collect()
+    }
+
+    /// Number of live (non-drained) worker nodes.
+    pub fn fleet_size(&self) -> usize {
+        self.workers.read().iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Elastically add a worker node to the serving fleet and return its
+    /// id. The node spawns with an empty container pool; when the weight
+    /// store is enabled, the registered catalog's chunk set is shipped to
+    /// it ahead of traffic (peer-sourced when live nodes hold replicas,
+    /// an origin fetch for a fresh fleet — mirroring the simulator's
+    /// multicast model), counted in
+    /// `optimus_fleet_multicast_bytes_total`. The node joins the
+    /// failover ring immediately.
+    pub fn register_node(&self) -> usize {
+        let mut workers = self.workers.write();
+        let node_id = workers.len();
+        let (tx, rx) = unbounded::<WorkItem>();
+        let repo = self.repo.clone();
+        let config = self.config;
+        let sink = self.sink.clone();
+        let metrics = self.metrics.clone();
+        let stats = self.store_stats.clone();
+        self.handles.lock().push(std::thread::spawn(move || {
+            run_worker(node_id, config, repo, rx, sink, metrics, stats)
+        }));
+        if let Some(sc) = self.config.store {
+            // Warm transfer: the full registered chunk set, deduplicated
+            // by content id so shared tensors ship once.
+            let mut seen: std::collections::HashSet<ChunkId> = std::collections::HashSet::new();
+            let mut chunks: Vec<ChunkRef> = Vec::new();
+            for name in self.repo.model_names() {
+                if let Some(m) = self.repo.model(&name) {
+                    for c in model_chunks(&m, sc.chunk_bytes) {
+                        if seen.insert(c.id) {
+                            chunks.push(c);
+                        }
+                    }
+                }
+            }
+            let bytes: u64 = chunks.iter().map(|c| c.bytes).sum();
+            if workers.iter().any(|w| w.is_some()) {
+                self.multicast_peer_bytes.add(bytes);
+            } else {
+                self.multicast_remote_bytes.add(bytes);
+            }
+            let _ = tx.send(WorkItem::Warm(chunks));
+        }
+        workers.push(Some(tx));
+        {
+            let mut down = self.down_until.lock();
+            down.push(Instant::now());
+            let g = self
+                .metrics
+                .gauge("optimus_node_healthy", &[("node", &node_id.to_string())]);
+            g.set(1.0);
+            self.node_healthy.lock().push(g);
+        }
+        self.scale_outs.inc();
+        self.fleet_nodes
+            .set(workers.iter().filter(|w| w.is_some()).count() as f64);
+        node_id
+    }
+
+    /// Drain an elastically added node: routing stops immediately and its
+    /// worker thread exits once queued work completes. The initial fleet
+    /// (ids below the configured node count) is the scaling floor and
+    /// cannot be drained. Returns whether the node was live.
+    pub fn drain_node(&self, node: usize) -> bool {
+        if node < self.config.nodes {
+            return false;
+        }
+        let mut workers = self.workers.write();
+        let Some(slot) = workers.get_mut(node) else {
+            return false;
+        };
+        if slot.take().is_none() {
+            return false;
+        }
+        self.node_healthy.lock()[node].set(0.0);
+        self.scale_ins.inc();
+        self.fleet_nodes
+            .set(workers.iter().filter(|w| w.is_some()).count() as f64);
+        true
     }
 
     /// Registered model names, sorted.
@@ -361,19 +486,15 @@ impl Gateway {
     }
 
     /// Stop the workers and wait for them to finish outstanding requests.
-    pub fn shutdown(mut self) {
-        self.senders.clear(); // closes the channels
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-        self.sink.flush();
+    pub fn shutdown(self) {
+        drop(self); // Drop closes the channels and joins the workers.
     }
 }
 
 impl Drop for Gateway {
     fn drop(&mut self) {
-        self.senders.clear();
-        for h in self.handles.drain(..) {
+        self.workers.write().clear(); // closes the channels
+        for h in self.handles.lock().drain(..) {
             let _ = h.join();
         }
         self.sink.flush();

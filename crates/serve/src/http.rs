@@ -24,8 +24,9 @@
 //!   hit/miss counts and the dedup ratio (`{"enabled": false}` when the
 //!   gateway runs without a store).
 //! - `GET /healthz` — liveness probe for load balancers:
-//!   `{"status":"ok","nodes":[true,..]}` with per-node health (crashed
-//!   nodes read `false` until they recover).
+//!   `{"status":"ok","fleet_nodes":N,"nodes":[true,..]}` with the live
+//!   fleet size and per-node health (crashed nodes read `false` until
+//!   they recover; drained nodes stay `false`).
 //!
 //! One OS thread per connection; connections are `Connection: close`.
 //! Sockets carry read/write timeouts ([`HttpConfig`]) so a stalled or
@@ -285,9 +286,11 @@ fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
         ("GET", "/store") => Response::json("200 OK", store_response(gateway)),
         ("GET", "/healthz") => {
             let nodes = gateway.healthy_nodes();
+            let fleet = gateway.fleet_size();
             Response::json(
                 "200 OK",
-                serde_json::json!({ "status": "ok", "nodes": nodes }).to_string(),
+                serde_json::json!({ "status": "ok", "fleet_nodes": fleet, "nodes": nodes })
+                    .to_string(),
             )
         }
         _ => Response::error(

@@ -39,6 +39,10 @@ pub(crate) enum WorkItem {
     Crash,
     /// Kill the least-recently-used container (OOM-killer analogue).
     Kill,
+    /// Fleet scale-out shipped these chunks to the joining node ahead of
+    /// traffic: place them at node memory ([`NodeStore::warm`]) so its
+    /// first requests hit locally instead of fetching from the origin.
+    Warm(Vec<ChunkRef>),
 }
 
 /// A live container: a real model graph plus usage timestamps.
@@ -153,6 +157,13 @@ impl WorkerStore {
         self.store.crash();
     }
 
+    /// A scale-out shipped `chunks` to this node: place them at node
+    /// memory without touching hit/miss accounting (the transfer is
+    /// proactive fleet traffic, not a request-driven fetch).
+    fn warm(&mut self, chunks: &[ChunkRef]) {
+        self.store.warm(chunks);
+    }
+
     /// Push current stats into the metrics registry and the shared
     /// per-node snapshot map read by `Gateway::store_stats`.
     fn publish(&mut self) {
@@ -223,6 +234,12 @@ pub(crate) fn run_worker(
                     ws.publish();
                 }
                 containers_gauge.set(0.0);
+            }
+            WorkItem::Warm(chunks) => {
+                if let Some(ws) = store.as_mut() {
+                    ws.warm(&chunks);
+                    ws.publish();
+                }
             }
             WorkItem::Kill => {
                 if let Some(victim) = containers

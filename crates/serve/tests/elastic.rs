@@ -1,0 +1,116 @@
+//! Elastic fleet tests for the live gateway: nodes register warm (the
+//! catalog chunk set is shipped ahead of traffic), join the failover
+//! ring, and drain back out — with the initial fleet as the floor.
+
+use std::time::{Duration, Instant};
+
+use optimus_model::tensor::Tensor;
+use optimus_model::{Activation, GraphBuilder, ModelGraph, PoolKind};
+use optimus_serve::{Gateway, GatewayConfig, ServedStart};
+
+fn tiny(name: &str, channels: &[usize]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let mut x = b.input([1, 3, 8, 8]);
+    let mut ch = 3;
+    for &c in channels {
+        x = b.conv2d_after(x, ch, c, (3, 3), (1, 1), 1);
+        x = b.activation_after(x, Activation::Relu);
+        ch = c;
+    }
+    let x = b.pool_after(x, PoolKind::Max, (2, 2), (2, 2));
+    let x = b.flatten_after(x);
+    let _ = b.dense_after(x, ch * 16, 4);
+    b.finish().unwrap()
+}
+
+fn single_node() -> GatewayConfig {
+    GatewayConfig {
+        nodes: 1,
+        capacity_per_node: 3,
+        idle_threshold: 0.0,
+        keep_alive: 60.0,
+        store: Some(optimus_store::StoreConfig::default()),
+        faults: None,
+    }
+}
+
+/// Poll until `pred` holds (worker threads apply warm transfers
+/// asynchronously) or a generous deadline expires.
+fn eventually(mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+#[test]
+fn registered_node_joins_warm_and_drains_back_out() {
+    let gw = Gateway::builder(single_node())
+        .register(tiny("m", &[4]))
+        .spawn();
+    assert_eq!(gw.fleet_size(), 1);
+    let r = gw.infer("m", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.start, ServedStart::Cold);
+
+    let id = gw.register_node();
+    assert_eq!(id, 1, "slots are append-only");
+    assert_eq!(gw.fleet_size(), 2);
+    assert_eq!(gw.healthy_nodes(), vec![true, true]);
+    // The warm transfer lands asynchronously: the catalog chunk set shows
+    // up resident at node memory without any request touching the node.
+    assert!(
+        eventually(|| {
+            gw.store_stats_by_node()
+                .iter()
+                .any(|&(n, s)| n == 1 && s.memory_bytes > 0 && s.misses == 0)
+        }),
+        "joiner never published a warm store: {:?}",
+        gw.store_stats_by_node()
+    );
+    // Node 0 held the only replica, so the transfer was peer-sourced.
+    let peer = gw
+        .metrics()
+        .counter("optimus_fleet_multicast_bytes_total", &[("source", "peer")]);
+    assert!(peer.get() > 0, "warm bytes counted as peer traffic");
+
+    assert!(!gw.drain_node(0), "the initial fleet is the scaling floor");
+    assert!(gw.drain_node(1), "extras drain");
+    assert!(!gw.drain_node(1), "already drained");
+    assert_eq!(gw.fleet_size(), 1);
+    assert_eq!(gw.healthy_nodes(), vec![true, false]);
+    // The shrunk fleet still serves.
+    let r = gw.infer("m", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r.start, ServedStart::Warm);
+    gw.shutdown();
+}
+
+#[test]
+fn fleet_gauges_track_scale_events() {
+    let gw = Gateway::builder(single_node())
+        .register(tiny("m", &[4]))
+        .spawn();
+    let nodes = gw.metrics().gauge("optimus_fleet_nodes", &[]);
+    let outs = gw
+        .metrics()
+        .counter("optimus_fleet_scale_events_total", &[("direction", "out")]);
+    let ins = gw
+        .metrics()
+        .counter("optimus_fleet_scale_events_total", &[("direction", "in")]);
+    assert_eq!(nodes.get(), 1.0);
+    let a = gw.register_node();
+    let b = gw.register_node();
+    assert_eq!((a, b), (1, 2));
+    assert_eq!(nodes.get(), 3.0);
+    assert_eq!(outs.get(), 2);
+    assert!(gw.drain_node(a));
+    assert_eq!(nodes.get(), 2.0);
+    assert_eq!(ins.get(), 1);
+    // Render sanity: the fleet family is exposed for scrapes.
+    let text = gw.metrics().render_prometheus();
+    assert!(text.contains("optimus_fleet_nodes"), "{text}");
+    gw.shutdown();
+}

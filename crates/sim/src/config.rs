@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use optimus_faults::FaultPlan;
+use optimus_fleet::FleetConfig;
 use optimus_profile::Environment;
 use optimus_store::StoreConfig;
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,13 @@ pub struct SimConfig {
     /// plan (`fault rates = 0`) reproduces fault-free reports
     /// byte-identically.
     pub faults: Option<FaultPlan>,
+    /// Optional elastic fleet (`optimus-fleet`): `nodes` becomes the
+    /// initial fleet, the autoscaler grows it up to
+    /// [`FleetConfig::max_nodes`] under sustained slot pressure, and
+    /// joining nodes are warmed by peer-to-peer chunk multicast (when the
+    /// store is enabled). `None` (the default) reproduces the static node
+    /// set byte-identically.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for SimConfig {
@@ -142,6 +150,7 @@ impl Default for SimConfig {
             prewarm: None,
             store: None,
             faults: None,
+            fleet: None,
         }
     }
 }

@@ -42,3 +42,7 @@ pub use policy::Policy;
 // Re-exported so simulation drivers can configure and read the weight
 // store without depending on `optimus-store` directly.
 pub use optimus_store::{StoreConfig, StoreStats, TierParams};
+
+// Re-exported so drivers can configure the elastic fleet and read its
+// report without depending on `optimus-fleet` directly.
+pub use optimus_fleet::{FleetConfig, FleetReport};

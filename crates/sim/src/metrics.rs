@@ -106,7 +106,7 @@ impl FunctionSummary {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Deserialize, Default)]
 pub struct SimReport {
     /// System name (policy).
     pub system: String,
@@ -124,6 +124,28 @@ pub struct SimReport {
     /// response, plus the worst per-request margin over the cold-start
     /// equivalent (≤ 0 means the §6.3 safeguard held on every request).
     pub faults: Option<optimus_faults::FaultReport>,
+    /// Elastic-fleet summary (`None` unless `SimConfig::fleet` is set):
+    /// scale events, nodes added/removed, multicast rounds/bytes, and the
+    /// worst time-to-all-warm across scale-out waves.
+    pub fleet: Option<optimus_fleet::FleetReport>,
+}
+
+// Hand-written so the `fleet` key is *omitted* (not `null`) when the
+// elastic fleet is disabled: committed experiment JSON from pre-fleet
+// binaries must stay byte-identical. The derive serializes every field.
+impl Serialize for SimReport {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("system", self.system.to_value());
+        m.insert("records", self.records.to_value());
+        m.insert("prewarms", self.prewarms.to_value());
+        m.insert("store", self.store.to_value());
+        m.insert("faults", self.faults.to_value());
+        if let Some(fleet) = &self.fleet {
+            m.insert("fleet", fleet.to_value());
+        }
+        serde::Value::Object(m)
+    }
 }
 
 impl SimReport {
@@ -318,6 +340,7 @@ mod tests {
             system: "test".into(),
             store: None,
             faults: None,
+            fleet: None,
             prewarms: 0,
             records: vec![
                 rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
@@ -345,6 +368,7 @@ mod tests {
             system: "t".into(),
             store: None,
             faults: None,
+            fleet: None,
             prewarms: 0,
             records: (1..=100)
                 .map(|i| rec(StartKind::Warm, 0.0, 0.0, 0.0, i as f64))
@@ -385,6 +409,7 @@ mod summary_tests {
             system: "t".into(),
             store: None,
             faults: None,
+            fleet: None,
             prewarms: 0,
             records: vec![
                 rec("a", StartKind::Cold, 2.0),
@@ -422,6 +447,7 @@ mod summary_tests {
             system: "t".into(),
             store: None,
             faults: None,
+            fleet: None,
             prewarms: 0,
             records,
         };
@@ -445,6 +471,7 @@ mod summary_tests {
             system: "t".into(),
             store: None,
             faults: None,
+            fleet: None,
             prewarms: 0,
             records: vec![rec("f", StartKind::Cold, 1.5)],
         };
@@ -476,6 +503,7 @@ mod slo_tests {
             system: "t".into(),
             store: None,
             faults: None,
+            fleet: None,
             records: vec![rec(0.5), rec(1.5), rec(2.5), rec(0.9)],
             prewarms: 0,
         };

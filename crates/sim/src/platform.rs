@@ -16,6 +16,9 @@ use std::sync::Arc;
 
 use optimus_core::{scheduler::choose_source_by_id, ModelRepository, PlanChunks};
 use optimus_faults::{FaultInjector, FaultKind, FaultReport, FaultStats, RequestFaults};
+use optimus_fleet::{
+    plan_multicast, remote_only_seconds, Autoscaler, FleetReport, FleetSignals, ScaleDecision,
+};
 use optimus_model::signature::OpSignature;
 use optimus_model::{FunctionId, InternKey, Interner, ModelGraph, ModelId};
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
@@ -106,6 +109,43 @@ struct FaultCtx {
     /// clamped to `cold_init − repurpose_overhead` so an escalated
     /// request can never exceed its cold-start equivalent.
     abort: f64,
+}
+
+/// One in-flight scale-out wave: joiners still provisioning/warming and
+/// the replica holders that can seed a re-planned transfer tree.
+struct Wave {
+    /// Hot function whose model the wave distributes.
+    f: FunctionId,
+    /// `(node, ready time)` of joiners not yet activated.
+    pending: Vec<(usize, f64)>,
+    /// Nodes holding the chunk set (seeds plus already-activated
+    /// joiners) — replan sources if a crash interrupts the tree.
+    sources: Vec<usize>,
+    /// Virtual time the wave was planned (time-to-all-warm origin).
+    started: f64,
+}
+
+/// Per-run elastic-fleet state (only built when `SimConfig::fleet` is
+/// set, so the static-fleet path carries no extra work and stays
+/// byte-identical).
+struct FleetRt {
+    autoscaler: Autoscaler,
+    /// Whether each node slot is claimed by the fleet (serving or
+    /// provisioning); unclaimed slots are available to the next
+    /// scale-out.
+    active: Vec<bool>,
+    /// Time each node can serve from: `NEG_INFINITY` for the initial
+    /// fleet, the provisioning+warming deadline for joiners, `INFINITY`
+    /// for unclaimed slots.
+    ready_at: Vec<f64>,
+    /// Completion time of the last request each node served (the
+    /// scale-in idle-window input).
+    last_busy: Vec<f64>,
+    waves: Vec<Wave>,
+    report: FleetReport,
+    /// Store statistics of scaled-in nodes, merged into the run total so
+    /// draining a node never loses its hit/miss history.
+    drained: StoreStats,
 }
 
 /// Internal request record carrying the interned function id; converted
@@ -302,17 +342,48 @@ impl Platform {
                 .expect("placed function is registered");
             placement[fid.index()] = node;
         }
-        let mut nodes: Vec<NodeState> = (0..self.config.nodes)
-            .map(|_| {
+        // With an elastic fleet the node table is sized to the scaling
+        // ceiling up front; slots past the initial fleet hold no store
+        // until a scale-out provisions them. `total_nodes == config.nodes`
+        // when the fleet is off, so the static path is untouched.
+        let total_nodes = self
+            .config
+            .fleet
+            .as_ref()
+            .map_or(self.config.nodes, |fc| fc.max_nodes.max(self.config.nodes));
+        let mut nodes: Vec<NodeState> = (0..total_nodes)
+            .map(|i| {
                 let mut node = NodeState::default();
-                if let Some(ss) = &self.store {
-                    let mut store = NodeStore::new(ss.config);
-                    store.pin(&ss.pinned);
-                    node.store = Some(store);
+                if i < self.config.nodes {
+                    if let Some(ss) = &self.store {
+                        let mut store = NodeStore::new(ss.config);
+                        store.pin(&ss.pinned);
+                        node.store = Some(store);
+                    }
                 }
                 node
             })
             .collect();
+        let mut fleet = self.config.fleet.as_ref().map(|fc| {
+            let mut active = vec![false; total_nodes];
+            let mut ready_at = vec![f64::INFINITY; total_nodes];
+            for n in 0..self.config.nodes {
+                active[n] = true;
+                ready_at[n] = f64::NEG_INFINITY;
+            }
+            FleetRt {
+                autoscaler: Autoscaler::new(*fc),
+                active,
+                ready_at,
+                last_busy: vec![f64::NEG_INFINITY; total_nodes],
+                waves: Vec::new(),
+                report: FleetReport {
+                    peak_nodes: self.config.nodes,
+                    ..FleetReport::default()
+                },
+                drained: StoreStats::default(),
+            }
+        });
         let mut next_id: u64 = 0;
         let mut records: Vec<RequestRecord> = Vec::with_capacity(trace.len());
         let mut state = RunState::new(self.sig_count);
@@ -322,7 +393,7 @@ impl Platform {
                 injector: FaultInjector::new(plan),
                 stats: FaultStats::default(),
                 max_over_cold: f64::NEG_INFINITY,
-                down_until: vec![f64::NEG_INFINITY; self.config.nodes],
+                down_until: vec![f64::NEG_INFINITY; total_nodes],
                 abort: plan
                     .spec
                     .transform_abort_seconds
@@ -380,6 +451,9 @@ impl Platform {
                     match ev.kind {
                         FaultKind::NodeCrash => {
                             Self::crash_node(&mut nodes[ev.node], fc, ev.node, ev.at);
+                            if let Some(fl) = fleet.as_mut() {
+                                self.fleet_on_crash(fl, &nodes, &fc.down_until, ev.node, ev.at);
+                            }
                         }
                         FaultKind::ContainerKill => {
                             if let Some(victim) = lru_any(&nodes[ev.node]) {
@@ -391,32 +465,96 @@ impl Platform {
                 fx = fc.injector.for_request(req_index as u64);
                 if fx.node_crash {
                     Self::crash_node(&mut nodes[home], fc, home, inv.time);
+                    if let Some(fl) = fleet.as_mut() {
+                        self.fleet_on_crash(fl, &nodes, &fc.down_until, home, inv.time);
+                    }
                 }
-                // Degraded-mode routing: skip down nodes; when the whole
-                // fleet is down, queue on the first node to recover.
-                let routed = optimus_balance::failover_node(
+                if fleet.is_none() {
+                    // Degraded-mode routing: skip down nodes; when the
+                    // whole fleet is down, queue on the first node to
+                    // recover.
+                    let routed = optimus_balance::failover_node(
+                        home,
+                        self.config.nodes,
+                        |n| fc.down_until[n] <= inv.time,
+                        |n| nodes[n].containers.len() as f64,
+                    );
+                    match routed {
+                        Some(n) => node_idx = n,
+                        None => {
+                            let n = (0..self.config.nodes)
+                                .min_by(|&a, &b| {
+                                    fc.down_until[a]
+                                        .partial_cmp(&fc.down_until[b])
+                                        .expect("finite deadline")
+                                        .then(a.cmp(&b))
+                                })
+                                .expect("nodes > 0");
+                            node_idx = n;
+                            start_at = fc.down_until[n];
+                        }
+                    }
+                    if node_idx != home {
+                        fc.stats.reroutes += 1;
+                    }
+                }
+            }
+            if let Some(fl) = fleet.as_mut() {
+                self.fleet_step(
+                    fl,
+                    &mut nodes,
+                    &mut state,
+                    faults.as_ref(),
+                    inv.time,
+                    f,
                     home,
-                    self.config.nodes,
-                    |n| fc.down_until[n] <= inv.time,
+                );
+                // Elastic routing: a saturated (or down) home spills onto
+                // the least-loaded warm node of the active fleet.
+                let home_down = faults
+                    .as_ref()
+                    .is_some_and(|fc| fc.down_until[home] > inv.time);
+                let routed = optimus_balance::spill_node(
+                    home,
+                    nodes.len(),
+                    |n| {
+                        fl.active[n]
+                            && fl.ready_at[n] <= inv.time
+                            && !faults
+                                .as_ref()
+                                .is_some_and(|fc| fc.down_until[n] > inv.time)
+                    },
+                    |n| {
+                        nodes[n].containers.len() >= self.config.capacity_per_node
+                            && !nodes[n].containers.iter().any(|c| c.busy_until <= inv.time)
+                    },
                     |n| nodes[n].containers.len() as f64,
                 );
                 match routed {
                     Some(n) => node_idx = n,
                     None => {
-                        let n = (0..self.config.nodes)
+                        // Every usable node is down: queue on the first
+                        // active node to recover (mirrors the static path).
+                        let fc = faults
+                            .as_ref()
+                            .expect("only faults can down the whole fleet");
+                        let n = (0..nodes.len())
+                            .filter(|&n| fl.active[n] && fl.ready_at[n] <= inv.time)
                             .min_by(|&a, &b| {
                                 fc.down_until[a]
                                     .partial_cmp(&fc.down_until[b])
                                     .expect("finite deadline")
                                     .then(a.cmp(&b))
                             })
-                            .expect("nodes > 0");
+                            .expect("the initial fleet is always active");
                         node_idx = n;
                         start_at = fc.down_until[n];
                     }
                 }
-                if node_idx != home {
-                    fc.stats.reroutes += 1;
+                if node_idx != home && home_down {
+                    if let Some(fc) = faults.as_mut() {
+                        fc.stats.reroutes += 1;
+                    }
                 }
             }
             let raw = self.serve(
@@ -429,6 +567,12 @@ impl Platform {
                 &fx,
                 faults.as_mut(),
             );
+            if let Some(fl) = fleet.as_mut() {
+                let done = raw.arrival + raw.service_time();
+                if done > fl.last_busy[node_idx] {
+                    fl.last_busy[node_idx] = done;
+                }
+            }
             if let Some(sink) = &self.sink {
                 sink.record(&trace_of(&raw, self.interner.name(f), node_idx));
             }
@@ -471,6 +615,9 @@ impl Platform {
         }
         let store = self.store.as_ref().map(|_| {
             let mut agg = StoreStats::default();
+            if let Some(fl) = &fleet {
+                agg.merge(&fl.drained);
+            }
             for node in &nodes {
                 if let Some(store) = &node.store {
                     agg.merge(&store.stats());
@@ -492,6 +639,7 @@ impl Platform {
             prewarms,
             store,
             faults,
+            fleet: fleet.map(|fl| fl.report),
         }
     }
 
@@ -509,6 +657,260 @@ impl Platform {
         if let Some(store) = node.store.as_mut() {
             store.crash();
         }
+    }
+
+    /// One elastic-fleet control step, run before routing each arrival:
+    /// activate joiners whose provisioning finished, drain idle extras,
+    /// and feed the autoscaler the current slot-pressure signals (scaling
+    /// out when it fires). Every decision is a pure function of observed
+    /// virtual-time state — no wall clock, no randomness — so runs stay
+    /// byte-identical under any thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn fleet_step(
+        &self,
+        fl: &mut FleetRt,
+        nodes: &mut [NodeState],
+        state: &mut RunState,
+        faults: Option<&FaultCtx>,
+        now: f64,
+        f: FunctionId,
+        home: usize,
+    ) {
+        // 1. Activate joiners whose provisioning + warm transfer is done:
+        //    provision the node store and place the wave's chunk set at
+        //    node memory (the bytes were priced by the transfer plan).
+        for w in 0..fl.waves.len() {
+            let mut i = 0;
+            while i < fl.waves[w].pending.len() {
+                let (n, ready) = fl.waves[w].pending[i];
+                if ready > now {
+                    i += 1;
+                    continue;
+                }
+                fl.waves[w].pending.swap_remove(i);
+                if let Some(ss) = &self.store {
+                    let mut store = NodeStore::new(ss.config);
+                    store.pin(&ss.pinned);
+                    if let Some(chunks) = ss.model_chunks.get(fl.waves[w].f) {
+                        store.warm(chunks);
+                    }
+                    nodes[n].store = Some(store);
+                }
+                fl.waves[w].sources.push(n);
+                fl.last_busy[n] = ready;
+                fl.report.nodes_added += 1;
+            }
+        }
+        fl.waves.retain(|w| !w.pending.is_empty());
+        // 2. Scale-in: an extra node whose idle window elapsed and whose
+        //    containers all aged out of keep-alive drains back out of the
+        //    fleet (its store statistics are preserved in `drained`).
+        for n in self.config.nodes..nodes.len() {
+            if !fl.active[n] || fl.ready_at[n] > now {
+                continue;
+            }
+            self.evict_expired(&mut nodes[n], state, now);
+            if nodes[n].containers.is_empty() && fl.autoscaler.scale_in_ready(now, fl.last_busy[n])
+            {
+                fl.active[n] = false;
+                fl.ready_at[n] = f64::INFINITY;
+                if let Some(store) = nodes[n].store.take() {
+                    fl.drained.merge(&store.stats());
+                }
+                fl.report.scale_ins += 1;
+                fl.report.nodes_removed += 1;
+            }
+        }
+        // 3. Autoscaler signals: busy slots over the ready fleet's
+        //    capacity, queue depth proxied by home-node saturation.
+        let mut ready_nodes = 0usize;
+        let mut busy = 0usize;
+        for (n, node) in nodes.iter().enumerate() {
+            if fl.active[n] && fl.ready_at[n] <= now {
+                ready_nodes += 1;
+                busy += node
+                    .containers
+                    .iter()
+                    .filter(|c| c.busy_until > now)
+                    .count();
+            }
+        }
+        let home_full = nodes[home].containers.len() >= self.config.capacity_per_node
+            && !nodes[home].containers.iter().any(|c| c.busy_until <= now);
+        let signals = FleetSignals {
+            active_nodes: fl.active.iter().filter(|&&a| a).count(),
+            busy_slots: busy,
+            total_slots: ready_nodes * self.config.capacity_per_node,
+            queued: usize::from(home_full),
+        };
+        if signals.active_nodes > fl.report.peak_nodes {
+            fl.report.peak_nodes = signals.active_nodes;
+        }
+        let ScaleDecision::ScaleOut(k) = fl.autoscaler.observe(now, &signals) else {
+            return;
+        };
+        // 4. Claim the lowest-index free slots and plan their warm-up;
+        //    the triggering function's model is the hot set to distribute.
+        let joiners: Vec<usize> = (self.config.nodes..nodes.len())
+            .filter(|&n| !fl.active[n] && !faults.is_some_and(|fc| fc.down_until[n] > now))
+            .take(k)
+            .collect();
+        if joiners.is_empty() {
+            return;
+        }
+        for &n in &joiners {
+            fl.active[n] = true;
+        }
+        fl.report.scale_outs += 1;
+        let base = now + fl.autoscaler.config().provision_s;
+        let bytes = self.functions[f.index()].model_bytes;
+        let mut pending: Vec<(usize, f64)> = Vec::with_capacity(joiners.len());
+        let mut sources: Vec<usize> = Vec::new();
+        let mut all_warm = fl.autoscaler.config().provision_s;
+        match &self.store {
+            Some(ss) if fl.autoscaler.config().multicast => {
+                // P2P multicast: seed from every ready node holding the
+                // full chunk set locally; joiners warm in O(log N) rounds
+                // over the interconnect.
+                let chunks = ss.model_chunks.get(f);
+                let seeds: Vec<usize> = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(n, node)| {
+                        fl.active[n]
+                            && fl.ready_at[n] <= now
+                            && !faults.is_some_and(|fc| fc.down_until[n] > now)
+                            && node
+                                .store
+                                .as_ref()
+                                .zip(chunks)
+                                .is_some_and(|(s, c)| s.estimate(c).remote_bytes == 0)
+                    })
+                    .map(|(n, _)| n)
+                    .collect();
+                let plan = plan_multicast(
+                    &seeds,
+                    &joiners,
+                    bytes,
+                    ss.config.interconnect,
+                    ss.config.remote,
+                );
+                for &(n, off) in &plan.warm_at {
+                    pending.push((n, base + off));
+                    fl.ready_at[n] = base + off;
+                }
+                fl.report.multicast_waves += 1;
+                fl.report.multicast_rounds += plan.rounds() as u64;
+                fl.report.multicast_bytes += plan.peer_bytes;
+                fl.report.remote_warm_bytes += plan.remote_bytes;
+                all_warm += plan.total_seconds;
+                sources = seeds;
+            }
+            Some(ss) => {
+                // Remote-only baseline: every joiner fetches the model
+                // from the origin over its shared egress link (linear).
+                for (i, &n) in joiners.iter().enumerate() {
+                    let ready = base + remote_only_seconds(i + 1, bytes, ss.config.remote);
+                    pending.push((n, ready));
+                    fl.ready_at[n] = ready;
+                }
+                fl.report.remote_warm_bytes += bytes * joiners.len() as u64;
+                all_warm += remote_only_seconds(joiners.len(), bytes, ss.config.remote);
+            }
+            None => {
+                // No store: joiners are ready after bare provisioning.
+                for &n in &joiners {
+                    pending.push((n, base));
+                    fl.ready_at[n] = base;
+                }
+            }
+        }
+        if all_warm > fl.report.time_to_all_warm {
+            fl.report.time_to_all_warm = all_warm;
+        }
+        fl.waves.push(Wave {
+            f,
+            pending,
+            sources,
+            started: now,
+        });
+    }
+
+    /// A node crashed: un-claim it from any in-flight wave and, when it
+    /// was seeding a multicast, re-root the transfer tree from the
+    /// surviving replica holders — requests keep flowing, only the plan
+    /// is redone (the planner being a pure function keeps this
+    /// deterministic).
+    fn fleet_on_crash(
+        &self,
+        fl: &mut FleetRt,
+        nodes: &[NodeState],
+        down_until: &[f64],
+        crashed: usize,
+        at: f64,
+    ) {
+        for w in 0..fl.waves.len() {
+            let was_pending = fl.waves[w].pending.iter().any(|&(n, _)| n == crashed);
+            if was_pending {
+                // The joiner died mid-provision: it never activates and
+                // its slot becomes claimable again once it recovers.
+                fl.waves[w].pending.retain(|&(n, _)| n != crashed);
+                fl.active[crashed] = false;
+                fl.ready_at[crashed] = f64::INFINITY;
+            }
+            let was_source = fl.waves[w].sources.contains(&crashed);
+            fl.waves[w].sources.retain(|&n| n != crashed);
+            if !was_source || fl.waves[w].pending.is_empty() {
+                continue;
+            }
+            let Some(ss) = &self.store else { continue };
+            if !fl.autoscaler.config().multicast {
+                continue;
+            }
+            // Re-root: replan the outstanding transfers from replicas
+            // that survived (falling back to one origin injection when
+            // the crash wiped every replica).
+            let bytes = self.functions[fl.waves[w].f.index()].model_bytes;
+            let chunks = ss.model_chunks.get(fl.waves[w].f);
+            let seeds: Vec<usize> = fl.waves[w]
+                .sources
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    down_until[n] <= at
+                        && nodes[n]
+                            .store
+                            .as_ref()
+                            .zip(chunks)
+                            .is_some_and(|(s, c)| s.estimate(c).remote_bytes == 0)
+                })
+                .collect();
+            let joiners: Vec<usize> = fl.waves[w].pending.iter().map(|&(n, _)| n).collect();
+            let plan = plan_multicast(
+                &seeds,
+                &joiners,
+                bytes,
+                ss.config.interconnect,
+                ss.config.remote,
+            );
+            for &(n, off) in &plan.warm_at {
+                for p in fl.waves[w].pending.iter_mut() {
+                    if p.0 == n {
+                        p.1 = at + off;
+                    }
+                }
+                fl.ready_at[n] = at + off;
+            }
+            fl.report.reroots += 1;
+            fl.report.multicast_rounds += plan.rounds() as u64;
+            fl.report.multicast_bytes += plan.peer_bytes;
+            fl.report.remote_warm_bytes += plan.remote_bytes;
+            let all_warm = at + plan.total_seconds - fl.waves[w].started;
+            if all_warm > fl.report.time_to_all_warm {
+                fl.report.time_to_all_warm = all_warm;
+            }
+        }
+        fl.waves.retain(|w| !w.pending.is_empty());
     }
 
     /// Kill one container (OOM-killer stand-in), releasing its model's

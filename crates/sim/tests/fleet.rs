@@ -1,0 +1,251 @@
+//! Elastic-fleet integration tests: flash crowds trigger scale-out,
+//! joiners warm over P2P chunk multicast with byte conservation against
+//! the remote-only baseline, crashed multicast roots re-root the tree
+//! without dropping requests, idle extras drain back out, and the
+//! `fleet: None` path stays byte-identical to the static simulator.
+
+use std::sync::Arc;
+
+use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_faults::{FaultKind, FaultPlan, FaultSpec, ScheduledFault};
+use optimus_profile::CostModel;
+use optimus_sim::{FleetConfig, PlacementStrategy, Platform, Policy, SimConfig, StoreConfig};
+use optimus_workload::{Invocation, Trace};
+
+fn repo_with(models: Vec<optimus_model::ModelGraph>) -> Arc<ModelRepository> {
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    let cost = CostModel::default();
+    for m in models {
+        repo.register(m, &cost);
+    }
+    Arc::new(repo)
+}
+
+/// A flash crowd: one request of `f` every `gap` seconds for `secs`.
+fn crowd(f: &str, gap: f64, secs: f64) -> Trace {
+    let n = (secs / gap) as usize;
+    Trace::new(
+        secs + 600.0,
+        (0..n)
+            .map(|i| Invocation {
+                time: i as f64 * gap,
+                function: f.to_string(),
+            })
+            .collect(),
+    )
+}
+
+/// A tight fleet: one initial node, two slots, fast trigger, one
+/// scale-out (huge cooldown) of up to three joiners.
+fn fleet() -> FleetConfig {
+    FleetConfig {
+        max_nodes: 4,
+        scale_out_pressure: 0.8,
+        sustain_s: 2.0,
+        cooldown_s: 1.0e6,
+        step: 3,
+        scale_in_idle_s: 1.0e6,
+        provision_s: 1.0,
+        multicast: true,
+    }
+}
+
+fn config(fleet: Option<FleetConfig>) -> SimConfig {
+    SimConfig {
+        nodes: 1,
+        capacity_per_node: 2,
+        placement: PlacementStrategy::Hash,
+        store: Some(StoreConfig::default()),
+        fleet,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn flash_crowd_scales_out_with_multicast_warming() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let trace = crowd("resnet18", 0.1, 60.0);
+    let report = Platform::new(config(Some(fleet())), Policy::Optimus, repo).run(&trace);
+    assert_eq!(report.len(), trace.len(), "every request is served");
+    let fl = report.fleet.expect("fleet layer enabled");
+    assert_eq!(fl.scale_outs, 1, "one sustained spike, one scale-out");
+    assert_eq!(fl.nodes_added, 3, "the full step joins");
+    assert_eq!(fl.peak_nodes, 4);
+    assert_eq!(fl.multicast_waves, 1);
+    assert_eq!(
+        fl.remote_warm_bytes, 0,
+        "the initial node seeds the tree; no origin fetch"
+    );
+    assert!(
+        fl.multicast_bytes > 0,
+        "joiners warmed over the interconnect"
+    );
+    // 1 seed, 3 joiners: warm set 1 → 2 → 4, so exactly 2 rounds — the
+    // O(log N) bound the subsystem exists for.
+    assert_eq!(fl.multicast_rounds, 2);
+    assert_eq!(fl.reroots, 0, "no faults, no re-roots");
+    assert!(fl.time_to_all_warm > 0.0 && fl.time_to_all_warm.is_finite());
+    for r in &report.records {
+        assert!(r.wait >= 0.0 && r.wait.is_finite());
+    }
+}
+
+#[test]
+fn multicast_conserves_bytes_and_beats_remote_only() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let trace = crowd("resnet18", 0.1, 60.0);
+    let run = |multicast: bool| {
+        let fc = FleetConfig {
+            multicast,
+            ..fleet()
+        };
+        Platform::new(config(Some(fc)), Policy::Optimus, repo.clone())
+            .run(&trace)
+            .fleet
+            .expect("fleet layer enabled")
+    };
+    let p2p = run(true);
+    let linear = run(false);
+    // Both runs fire the same single scale-out (the decision precedes any
+    // joiner readiness, so the observed state is identical up to it).
+    assert_eq!(p2p.scale_outs, 1);
+    assert_eq!(linear.scale_outs, 1);
+    assert_eq!(p2p.nodes_added, linear.nodes_added);
+    // Byte conservation: every joiner receives the full model exactly
+    // once either way — multicast only changes the *source* of the bytes.
+    assert_eq!(
+        p2p.multicast_bytes + p2p.remote_warm_bytes,
+        linear.remote_warm_bytes,
+        "same payload, different edges"
+    );
+    assert_eq!(linear.multicast_bytes, 0, "baseline never uses peers");
+    // And the tree is never slower than the linear origin fetches.
+    assert!(
+        p2p.time_to_all_warm <= linear.time_to_all_warm + 1e-9,
+        "multicast {} s must not exceed remote-only {} s",
+        p2p.time_to_all_warm,
+        linear.time_to_all_warm
+    );
+}
+
+#[test]
+fn root_crash_mid_transfer_reroots_and_serves_every_request() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let trace = crowd("resnet18", 0.1, 60.0);
+    // Long provisioning keeps the wave's transfers pending at t = 5.0,
+    // when the only seed (node 0) crashes: the re-rooted plan has no
+    // surviving replica and must fall back to one origin injection.
+    let fc = FleetConfig {
+        sustain_s: 1.0,
+        provision_s: 10.0,
+        ..fleet()
+    };
+    let plan = FaultPlan {
+        spec: FaultSpec::off(1),
+        schedule: vec![ScheduledFault {
+            at: 5.0,
+            node: 0,
+            kind: FaultKind::NodeCrash,
+        }],
+    };
+    let cfg = SimConfig {
+        faults: Some(plan),
+        ..config(Some(fc))
+    };
+    let report = Platform::new(cfg, Policy::Optimus, repo).run(&trace);
+    assert_eq!(report.len(), trace.len(), "no request is dropped");
+    let fl = report.fleet.expect("fleet layer enabled");
+    assert_eq!(fl.scale_outs, 1);
+    assert_eq!(fl.reroots, 1, "the crashed root forces one replan");
+    assert!(
+        fl.remote_warm_bytes > 0,
+        "no replica survived: the re-rooted tree injects from the origin"
+    );
+    assert_eq!(fl.nodes_added, 3, "survivors still finish warming");
+    let stats = report.faults.expect("fault layer enabled").stats;
+    assert_eq!(stats.node_crashes, 1);
+    for r in &report.records {
+        assert!(r.wait >= 0.0 && r.wait.is_finite());
+    }
+}
+
+#[test]
+fn idle_extras_drain_back_out() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    // A 60 s crowd, then sparse keep-alive traffic that drives the
+    // control loop (fleet decisions happen at arrivals) long after the
+    // extras' containers expired and their idle window elapsed.
+    let mut inv: Vec<Invocation> = (0..600)
+        .map(|i| Invocation {
+            time: i as f64 * 0.1,
+            function: "resnet18".to_string(),
+        })
+        .collect();
+    for t in [700.0, 1400.0, 2100.0, 2800.0] {
+        inv.push(Invocation {
+            time: t,
+            function: "resnet18".to_string(),
+        });
+    }
+    let trace = Trace::new(3_000.0, inv);
+    let fc = FleetConfig {
+        scale_in_idle_s: 120.0,
+        ..fleet()
+    };
+    let report = Platform::new(config(Some(fc)), Policy::Optimus, repo).run(&trace);
+    let fl = report.fleet.expect("fleet layer enabled");
+    assert_eq!(fl.scale_outs, 1);
+    assert!(
+        fl.scale_ins >= 1 && fl.nodes_removed >= 1,
+        "idle extras must drain: {fl:?}"
+    );
+    assert!(
+        fl.nodes_removed <= fl.nodes_added,
+        "cannot drain more than joined"
+    );
+}
+
+#[test]
+fn fleet_off_is_byte_identical_and_omits_the_report_key() {
+    let repo = repo_with(vec![optimus_zoo::resnet::resnet18()]);
+    let trace = crowd("resnet18", 5.0, 100.0);
+    let off = Platform::new(config(None), Policy::Optimus, repo.clone()).run(&trace);
+    let json = serde_json::to_string(&off).unwrap();
+    assert!(
+        !json.contains("\"fleet\""),
+        "a fleet-less report serializes exactly as before the fleet layer existed"
+    );
+    // A fleet with zero headroom can never scale: the run must reproduce
+    // the static path record-for-record.
+    let capped = FleetConfig {
+        max_nodes: 1,
+        ..fleet()
+    };
+    let on = Platform::new(config(Some(capped)), Policy::Optimus, repo).run(&trace);
+    let fl = on.fleet.expect("fleet layer enabled");
+    assert_eq!(fl.scale_outs, 0);
+    assert_eq!(fl.peak_nodes, 1);
+    assert_eq!(
+        serde_json::to_string(&off.records).unwrap(),
+        serde_json::to_string(&on.records).unwrap(),
+        "zero-headroom fleet must not perturb request records"
+    );
+    assert_eq!(off.store, on.store, "store stats identical");
+}
+
+#[test]
+fn fleet_runs_are_deterministic() {
+    let repo = repo_with(vec![
+        optimus_zoo::resnet::resnet18(),
+        optimus_zoo::vgg::vgg11(),
+    ]);
+    let trace = crowd("resnet18", 0.1, 60.0);
+    let run = || Platform::new(config(Some(fleet())), Policy::Optimus, repo.clone()).run(&trace);
+    let a = run();
+    let b = run();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "same config + trace ⇒ byte-identical reports"
+    );
+}

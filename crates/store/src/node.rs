@@ -264,6 +264,45 @@ impl NodeStore {
         self.enforce_capacity();
     }
 
+    /// A multicast (or prefetch) delivered `chunks` into the node's page
+    /// cache: place them at [`Tier::NodeMemory`] with no references — the
+    /// first container to admit them pays memory transport instead of the
+    /// remote fetch. Chunks already resident at a warmer-or-equal tier are
+    /// untouched (warming never demotes). Returns the bytes newly made
+    /// resident. Like [`NodeStore::produce`], this is not an admission:
+    /// the hit/miss and fetch counters track container loads only; the
+    /// transfer itself is priced by the caller's multicast plan.
+    pub fn warm(&mut self, chunks: &[ChunkRef]) -> u64 {
+        let mut delivered = 0;
+        for c in Self::uniq(chunks) {
+            self.clock += 1;
+            let clock = self.clock;
+            match self.chunks.get_mut(&c.id) {
+                Some(e) if e.tier >= Tier::NodeMemory => {}
+                Some(e) => {
+                    delivered += c.bytes;
+                    e.tier = Tier::NodeMemory;
+                    e.touch = clock;
+                }
+                None => {
+                    delivered += c.bytes;
+                    self.chunks.insert(
+                        c.id,
+                        ChunkEntry {
+                            bytes: c.bytes,
+                            tier: Tier::NodeMemory,
+                            refs: 0,
+                            pinned: false,
+                            touch: clock,
+                        },
+                    );
+                }
+            }
+        }
+        self.enforce_capacity();
+        delivered
+    }
+
     /// A container stops holding `chunks` (eviction or repurposing): drop
     /// one reference each; chunks nobody references demote to
     /// [`Tier::NodeMemory`] — keep-alive expiry keeps the bytes warm.
@@ -539,6 +578,36 @@ mod tests {
         store.admit(&other);
         store.release(&other);
         assert_eq!(store.estimate(&plan_set).remote_bytes, 4 * 1024);
+    }
+
+    #[test]
+    fn warm_places_chunks_in_node_memory_without_counting_admissions() {
+        let mut store = NodeStore::new(StoreConfig::default());
+        let chunks = chunks_of(70, 2048); // 8 KiB
+        let delivered = store.warm(&chunks);
+        assert_eq!(delivered, 8 * 1024);
+        let s = store.stats();
+        assert_eq!(s.memory_bytes, 8 * 1024);
+        assert_eq!(s.hits + s.misses, 0, "warming is not an admission");
+        assert_eq!(s.fetched_bytes, 0, "no origin fetch was charged");
+        // The first container load after warming is a full memory hit.
+        let cost = store.admit(&chunks);
+        assert_eq!(cost.memory_bytes, 8 * 1024);
+        assert_eq!(cost.remote_bytes, 0);
+        // Re-warming resident chunks delivers nothing new and never
+        // demotes container-resident state.
+        assert_eq!(store.warm(&chunks), 0);
+        assert_eq!(store.stats().container_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn warm_respects_memory_budget() {
+        let mut store = NodeStore::new(test_config()); // 8 KiB memory budget
+        let big = chunks_of(71, 4096); // 16 KiB
+        store.warm(&big);
+        let s = store.stats();
+        assert_eq!(s.memory_bytes, 8 * 1024, "LRU demotion still applies");
+        assert_eq!(s.disk_bytes, 8 * 1024);
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub struct StoreConfig {
     pub disk: TierParams,
     /// Node-memory transport (shared-memory mapping / page-cache copy).
     pub memory: TierParams,
+    /// Inter-node transport: one peer streaming chunks to another over
+    /// the datacenter interconnect (the per-edge cost of a multicast
+    /// transfer tree). Not a residency tier — chunks never *live* here —
+    /// but it must dominate `remote`, otherwise fetching from the origin
+    /// would beat peer-to-peer warming and the multicast premise breaks.
+    pub interconnect: TierParams,
 }
 
 impl Default for StoreConfig {
@@ -100,6 +106,11 @@ impl Default for StoreConfig {
             memory: TierParams {
                 bandwidth_bytes_per_s: 10.0e9,
                 latency_s: 0.0001,
+            },
+            // 25 GbE-class east-west link between nodes.
+            interconnect: TierParams {
+                bandwidth_bytes_per_s: 2.5e9,
+                latency_s: 0.001,
             },
         }
     }
@@ -123,16 +134,32 @@ impl StoreConfig {
             .map_or(0.0, |p| p.transport_seconds(bytes))
     }
 
-    /// Check the tier ordering invariant: each warmer tier must have
-    /// bandwidth ≥ and latency ≤ the colder one (so load latency decreases
-    /// monotonically with warmer residency).
+    /// Check the tier ordering invariant: every transport has positive
+    /// finite bandwidth and non-negative finite latency, each warmer tier
+    /// has bandwidth ≥ and latency ≤ the colder one (so load latency
+    /// decreases monotonically with warmer residency), and the inter-node
+    /// interconnect dominates the remote origin (so peer-to-peer warming
+    /// is never slower than fetching from the repository).
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated ordering.
+    /// Returns a description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.chunk_bytes == 0 {
             return Err("chunk_bytes must be positive".into());
+        }
+        for (name, p) in [
+            ("remote", self.remote),
+            ("disk", self.disk),
+            ("memory", self.memory),
+            ("interconnect", self.interconnect),
+        ] {
+            if !(p.bandwidth_bytes_per_s.is_finite() && p.bandwidth_bytes_per_s > 0.0) {
+                return Err(format!("{name} bandwidth must be positive and finite"));
+            }
+            if !(p.latency_s.is_finite() && p.latency_s >= 0.0) {
+                return Err(format!("{name} latency must be non-negative and finite"));
+            }
         }
         let chain = [
             ("remote", self.remote),
@@ -149,6 +176,13 @@ impl StoreConfig {
                     "{warm_name} tier must dominate {cold_name} tier (bandwidth up, latency down)"
                 ));
             }
+        }
+        if self.interconnect.bandwidth_bytes_per_s < self.remote.bandwidth_bytes_per_s
+            || self.interconnect.latency_s > self.remote.latency_s
+        {
+            return Err(
+                "interconnect must dominate remote tier (bandwidth up, latency down)".into(),
+            );
         }
         Ok(())
     }
@@ -187,6 +221,39 @@ mod tests {
             ..StoreConfig::default()
         };
         assert!(z.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_transports_are_rejected() {
+        let mut c = StoreConfig::default();
+        c.remote.bandwidth_bytes_per_s = 0.0;
+        assert!(c.validate().unwrap_err().contains("remote bandwidth"));
+        let mut c = StoreConfig::default();
+        c.interconnect.bandwidth_bytes_per_s = -1.0;
+        assert!(c.validate().unwrap_err().contains("interconnect bandwidth"));
+        let mut c = StoreConfig::default();
+        c.memory.bandwidth_bytes_per_s = f64::INFINITY;
+        assert!(c.validate().is_err());
+        let mut c = StoreConfig::default();
+        c.disk.latency_s = -0.5;
+        assert!(c.validate().unwrap_err().contains("disk latency"));
+        let mut c = StoreConfig::default();
+        c.interconnect.latency_s = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn interconnect_must_dominate_remote() {
+        let mut c = StoreConfig::default();
+        c.interconnect.bandwidth_bytes_per_s = c.remote.bandwidth_bytes_per_s / 2.0;
+        assert!(c.validate().unwrap_err().contains("interconnect"));
+        let mut c = StoreConfig::default();
+        c.interconnect.latency_s = c.remote.latency_s * 2.0;
+        assert!(c.validate().unwrap_err().contains("interconnect"));
+        // Equality is allowed: dominance is non-strict.
+        let mut c = StoreConfig::default();
+        c.interconnect = c.remote;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -28,4 +28,7 @@ cargo run --release -q -p optimus-bench --bin exp_store -- --small --threads 2
 echo "== exp_chaos (small CI config, fault-injection sweep) =="
 cargo run --release -q -p optimus-bench --bin exp_chaos -- --small --threads 2
 
+echo "== exp_scale_out (small CI config, elastic multicast sweep) =="
+cargo run --release -q -p optimus-bench --bin exp_scale_out -- --small --threads 2
+
 echo "all checks passed"
