@@ -30,6 +30,7 @@ fn serving_benches(c: &mut Criterion) {
         keep_alive: 1e9,
         store: None,
         faults: None,
+        serving: optimus_serve::ServingConfig::default(),
     })
     .register(tiny("warm", &[8]))
     .spawn();
@@ -48,6 +49,7 @@ fn serving_benches(c: &mut Criterion) {
         keep_alive: 1e9,
         store: None,
         faults: None,
+        serving: optimus_serve::ServingConfig::default(),
     })
     .register(tiny("a", &[8]))
     .register(tiny("b", &[16, 16]))

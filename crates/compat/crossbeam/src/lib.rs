@@ -93,9 +93,37 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel is full
+    /// (bounded only) or the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; the message is returned.
+        Full(T),
+        /// Receiver dropped; the message is returned.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned when receiving on a channel with no live sender.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout; senders are still live.
+        Timeout,
+        /// The channel is empty and every sender has dropped.
+        Disconnected,
+    }
 
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -144,6 +172,26 @@ pub mod channel {
                 Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
             }
         }
+
+        /// Send without blocking. On a full bounded channel the message
+        /// comes back as [`TrySendError::Full`] (admission control);
+        /// unbounded channels never report `Full`.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] when the receiver is gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(s) => s
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+                Tx::Bounded(s) => s.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+            }
+        }
     }
 
     /// Receiving half of a channel.
@@ -165,6 +213,20 @@ pub mod channel {
         /// Receive without blocking, `None` when empty or disconnected.
         pub fn try_recv(&self) -> Option<T> {
             self.rx.try_recv().ok()
+        }
+
+        /// Block for at most `timeout` waiting for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes with
+        /// senders still live, [`RecvTimeoutError::Disconnected`] when the
+        /// channel is empty and every sender has dropped.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
     }
 
@@ -216,6 +278,44 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), "reply");
         drop(rx);
         assert!(tx.send("nobody").is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        // The buffered message is lost with the receiver; further sends
+        // report the disconnect.
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
+        let (utx, urx) = channel::unbounded::<u32>();
+        utx.try_send(9).unwrap();
+        assert_eq!(urx.recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(1)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

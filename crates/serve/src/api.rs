@@ -57,6 +57,11 @@ pub struct InferenceResponse {
     pub node: usize,
     /// Number of meta-operator steps executed (0 unless transformed).
     pub transform_steps: usize,
+    /// Size of the same-model batch this request was served in (1 when it
+    /// was not batched). Requests for different models are never
+    /// co-batched, so this counts only requests that shared the container
+    /// acquisition.
+    pub batch_size: usize,
 }
 
 /// Serving errors.
@@ -69,6 +74,10 @@ pub enum ServeError {
     /// Every node that could serve the request is marked unhealthy (all
     /// retries exhausted); clients should back off and try again.
     Unavailable(String),
+    /// The routed node's admission queue is full
+    /// ([`ServingConfig::queue_depth`]); the request was rejected instead
+    /// of queueing unboundedly. HTTP clients see a `429`.
+    Overloaded(String),
     /// The gateway is shutting down.
     Shutdown,
 }
@@ -79,12 +88,67 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownModel(m) => write!(f, "unknown model '{m}'"),
             ServeError::Inference(e) => write!(f, "inference failed: {e}"),
             ServeError::Unavailable(e) => write!(f, "no healthy node: {e}"),
+            ServeError::Overloaded(e) => write!(f, "admission queue full: {e}"),
             ServeError::Shutdown => write!(f, "gateway is shut down"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Admission control and per-model request batching at the worker nodes.
+///
+/// Every node's inference queue is *bounded*: when `queue_depth` requests
+/// are already waiting, further submissions are rejected with
+/// [`ServeError::Overloaded`] (HTTP `429`) instead of growing an
+/// unbounded backlog — queueing delay stays bounded and overload is
+/// visible to clients immediately. Workers drain their queue in batches:
+/// after picking up a request they wait up to `max_batch_wait_us` for
+/// more, then serve all requests for the *same model* as one group —
+/// container acquisition, donor scan and store accounting are paid once
+/// per group, while each request keeps its own forward pass so responses
+/// are byte-identical whether or not they were batched. Requests for
+/// different models arriving in the same window are served as separate
+/// groups, never co-batched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingConfig {
+    /// Bounded per-node queue depth; `try_send` overflow is a `429`.
+    pub queue_depth: usize,
+    /// Largest batch a worker collects before serving (1 disables
+    /// batching).
+    pub max_batch: usize,
+    /// How long a worker waits for the batch to fill after the first
+    /// request arrives, in microseconds (0: drain only what is already
+    /// queued).
+    pub max_batch_wait_us: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            queue_depth: 256,
+            max_batch: 8,
+            max_batch_wait_us: 200,
+        }
+    }
+}
+
+impl ServingConfig {
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    ///
+    /// When `queue_depth` or `max_batch` is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be at least 1".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1 (1 disables batching)".into());
+        }
+        Ok(())
+    }
+}
 
 /// Gateway configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +179,9 @@ pub struct GatewayConfig {
     /// default) disables the fault layer; a quiet spec (all rates zero)
     /// injects nothing.
     pub faults: Option<optimus_faults::FaultSpec>,
+    /// Admission control (bounded queues + `429`) and per-model request
+    /// batching at the workers.
+    pub serving: ServingConfig,
 }
 
 impl Default for GatewayConfig {
@@ -126,6 +193,7 @@ impl Default for GatewayConfig {
             keep_alive: 30.0,
             store: Some(optimus_store::StoreConfig::default()),
             faults: None,
+            serving: ServingConfig::default(),
         }
     }
 }

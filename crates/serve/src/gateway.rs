@@ -6,19 +6,34 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, TrySendError};
 use optimus_balance::failover_node;
 use optimus_core::{GroupPlanner, ModelRepository};
 use optimus_faults::{FaultInjector, FaultPlan, RequestFaults, RetryPolicy};
 use optimus_model::tensor::Tensor;
-use optimus_model::{InternKey, ModelGraph};
+use optimus_model::{InternKey, ModelGraph, ModelId};
 use optimus_profile::CostModel;
 use optimus_store::{model_chunks, ChunkId, ChunkRef, StoreStats};
 use optimus_telemetry::{Counter, FanoutSink, Gauge, MetricsRegistry, MetricsSink, TelemetrySink};
 use parking_lot::{Mutex, RwLock};
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError};
-use crate::worker::{run_worker, InferItem, WorkItem};
+use crate::worker::{run_worker, ControlItem, InferItem};
+
+/// Channels and gauges of one live worker node.
+///
+/// Inference traffic rides the *bounded* `infer` channel — a full queue
+/// is an admission rejection ([`ServeError::Overloaded`], HTTP `429`),
+/// never an unbounded backlog. Fleet and fault events (crash, kill, warm
+/// transfer) ride the unbounded `ctrl` channel so they cannot be dropped
+/// by admission control.
+struct NodeHandle {
+    infer: crossbeam::channel::Sender<InferItem>,
+    ctrl: crossbeam::channel::Sender<ControlItem>,
+    /// `optimus_serve_queue_depth{node=..}`: incremented on enqueue; the
+    /// worker decrements as it drains batches.
+    depth: Gauge,
+}
 
 /// Builder: register models, then [`GatewayBuilder::spawn`].
 pub struct GatewayBuilder {
@@ -91,16 +106,16 @@ impl GatewayBuilder {
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for node_id in 0..self.config.nodes {
-            let (tx, rx) = unbounded::<WorkItem>();
-            let repo = repo.clone();
-            let config = self.config;
-            let sink = sink.clone();
-            let metrics = self.metrics.clone();
-            let stats = store_stats.clone();
-            handles.push(std::thread::spawn(move || {
-                run_worker(node_id, config, repo, rx, sink, metrics, stats)
-            }));
-            senders.push(tx);
+            let (node, handle) = spawn_node(
+                node_id,
+                self.config,
+                repo.clone(),
+                sink.clone(),
+                self.metrics.clone(),
+                store_stats.clone(),
+            );
+            handles.push(handle);
+            senders.push(node);
         }
         // Dense id-indexed routing table (round-robin in registration
         // order, later registrations of the same name win — the same
@@ -160,6 +175,7 @@ impl GatewayBuilder {
             ),
             reroutes: self.metrics.counter("optimus_reroutes_total", &[]),
             retries: self.metrics.counter("optimus_fault_retries_total", &[]),
+            rejected: self.metrics.counter("optimus_serve_rejected_total", &[]),
             fleet_nodes,
             scale_outs: self
                 .metrics
@@ -181,16 +197,48 @@ impl GatewayBuilder {
     }
 }
 
+/// Spawn one worker node: its bounded inference queue, unbounded control
+/// channel, queue-depth gauge and thread.
+fn spawn_node(
+    node_id: usize,
+    config: GatewayConfig,
+    repo: Arc<ModelRepository>,
+    sink: Arc<dyn TelemetrySink>,
+    metrics: Arc<MetricsRegistry>,
+    stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
+) -> (NodeHandle, JoinHandle<()>) {
+    let (infer_tx, infer_rx) = bounded::<InferItem>(config.serving.queue_depth);
+    let (ctrl_tx, ctrl_rx) = unbounded::<ControlItem>();
+    let depth = metrics.gauge(
+        "optimus_serve_queue_depth",
+        &[("node", &node_id.to_string())],
+    );
+    let handle = std::thread::spawn(move || {
+        run_worker(
+            node_id, config, repo, infer_rx, ctrl_rx, sink, metrics, stats,
+        )
+    });
+    (
+        NodeHandle {
+            infer: infer_tx,
+            ctrl: ctrl_tx,
+            depth,
+        },
+        handle,
+    )
+}
+
 /// Handle to a running serving engine.
 ///
 /// Cloning requests through the gateway is thread-safe; `shutdown` (or
 /// drop) stops the workers.
 pub struct Gateway {
     config: GatewayConfig,
-    /// Worker channels by node id; a drained slot is `None` (its worker
-    /// exits once the queue empties) and is never routed to again. Slots
-    /// are append-only so node ids stay stable across the fleet's life.
-    workers: RwLock<Vec<Option<Sender<WorkItem>>>>,
+    /// Worker node handles by node id; a drained slot is `None` (its
+    /// worker exits once the queue empties) and is never routed to again.
+    /// Slots are append-only so node ids stay stable across the fleet's
+    /// life.
+    workers: RwLock<Vec<Option<NodeHandle>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     /// Node per model, indexed by `ModelId::index()`.
     placement: Vec<usize>,
@@ -210,6 +258,10 @@ pub struct Gateway {
     injected_transform_failures: Counter,
     reroutes: Counter,
     retries: Counter,
+    /// Requests rejected by admission control
+    /// (`optimus_serve_rejected_total`): the routed node's bounded queue
+    /// was full.
+    rejected: Counter,
     /// Live node count (`optimus_fleet_nodes`).
     fleet_nodes: Gauge,
     scale_outs: Counter,
@@ -231,6 +283,10 @@ impl Gateway {
     pub fn builder(config: GatewayConfig) -> GatewayBuilder {
         assert!(config.nodes > 0, "need at least one node");
         assert!(config.capacity_per_node > 0, "need container capacity");
+        config
+            .serving
+            .validate()
+            .expect("serving config must be valid");
         GatewayBuilder {
             config,
             repo: ModelRepository::new(Box::new(GroupPlanner)),
@@ -257,26 +313,7 @@ impl Gateway {
     /// retries are exhausted, [`ServeError::Shutdown`] when the engine is
     /// stopping.
     pub fn infer(&self, model: &str, input: Tensor) -> Result<InferenceResponse, ServeError> {
-        let model_id = self
-            .repo
-            .model_id(model)
-            .filter(|id| id.index() < self.placement.len())
-            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let home = self.placement[model_id.index()];
-        let fx = match &self.injector {
-            Some(inj) => inj.for_request(self.seq.fetch_add(1, Ordering::Relaxed)),
-            None => RequestFaults::none(),
-        };
-        if fx.node_crash {
-            self.injected_crashes.inc();
-            self.mark_down(home);
-            if let Some(Some(tx)) = self.workers.read().get(home) {
-                let _ = tx.send(WorkItem::Crash);
-            }
-        }
-        if fx.transform_failure {
-            self.injected_transform_failures.inc();
-        }
+        let (model_id, fx) = self.admit(model)?;
         let max_attempts = self.retry.max_attempts.max(1);
         let mut last_err = ServeError::Unavailable("no attempt made".to_string());
         for attempt in 0..max_attempts {
@@ -287,55 +324,202 @@ impl Gateway {
                     std::thread::sleep(Duration::from_secs_f64(backoff));
                 }
             }
-            let workers = self.workers.read();
-            // Down or drained nodes are skipped; `workers` is read-locked
-            // so the fleet cannot change shape mid-decision.
-            let healthy: Vec<bool> = {
-                let now = Instant::now();
-                let down = self.down_until.lock();
-                (0..workers.len())
-                    .map(|n| workers[n].is_some() && down[n] <= now)
-                    .collect()
-            };
-            // The live gateway has no queue-depth signal (channels are
-            // unbounded), so degraded routing falls over to the
-            // lowest-indexed healthy node.
-            let Some(node) = failover_node(home, workers.len(), |n| healthy[n], |_| 0.0) else {
-                last_err =
-                    ServeError::Unavailable(format!("all {} nodes are marked down", workers.len()));
-                continue;
-            };
-            if node != home {
-                self.reroutes.inc();
-            }
-            let tx = workers[node].as_ref().expect("routed node is live");
-            if fx.container_kill && attempt == 0 {
-                self.injected_kills.inc();
-                let _ = tx.send(WorkItem::Kill);
-            }
-            let (reply_tx, reply_rx) = bounded(1);
-            let item = InferItem {
+            match self.enqueue_once(
                 model_id,
-                input: input.clone(),
-                enqueued: Instant::now(),
-                fail_transform: fx.transform_failure && attempt == 0,
-                reply: reply_tx,
-            };
-            if tx.send(WorkItem::Infer(item)).is_err() {
-                return Err(ServeError::Shutdown);
-            }
-            drop(workers);
-            match reply_rx.recv() {
-                Ok(result) => return result,
-                // The worker died mid-request: mark the node down and try
-                // a different one after backing off.
-                Err(_) => {
-                    self.mark_down(node);
-                    last_err = ServeError::Unavailable(format!("node {node} did not reply"));
-                }
+                &input,
+                fx.transform_failure && attempt == 0,
+                fx.container_kill && attempt == 0,
+            ) {
+                // Admission rejection is immediate: the client must back
+                // off, retrying the same full queue helps nobody.
+                Err(e @ ServeError::Overloaded(_)) => return Err(e),
+                Err(ServeError::Shutdown) => return Err(ServeError::Shutdown),
+                Err(e) => last_err = e,
+                Ok((node, reply_rx)) => match reply_rx.recv() {
+                    Ok(result) => return result,
+                    // The worker died mid-request: mark the node down and
+                    // try a different one after backing off.
+                    Err(_) => {
+                        self.mark_down(node);
+                        last_err = ServeError::Unavailable(format!("node {node} did not reply"));
+                    }
+                },
             }
         }
         Err(last_err)
+    }
+
+    /// Resolve the model, draw this request's deterministic faults and
+    /// apply the gateway-side ones (crash marks the home node down).
+    fn admit(&self, model: &str) -> Result<(ModelId, RequestFaults), ServeError> {
+        let model_id = self
+            .repo
+            .model_id(model)
+            .filter(|id| id.index() < self.placement.len())
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let fx = match &self.injector {
+            Some(inj) => inj.for_request(self.seq.fetch_add(1, Ordering::Relaxed)),
+            None => RequestFaults::none(),
+        };
+        if fx.node_crash {
+            let home = self.placement[model_id.index()];
+            self.injected_crashes.inc();
+            self.mark_down(home);
+            if let Some(Some(h)) = self.workers.read().get(home) {
+                let _ = h.ctrl.send(ControlItem::Crash);
+            }
+        }
+        if fx.transform_failure {
+            self.injected_transform_failures.inc();
+        }
+        Ok((model_id, fx))
+    }
+
+    /// Route one attempt and enqueue it on the routed node's bounded
+    /// queue. Returns the node id and the reply channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Unavailable`] when every node is down,
+    /// [`ServeError::Overloaded`] when the routed node's queue is full
+    /// (counted in `optimus_serve_rejected_total`),
+    /// [`ServeError::Shutdown`] when the engine is stopping.
+    fn enqueue_once(
+        &self,
+        model_id: ModelId,
+        input: &Tensor,
+        fail_transform: bool,
+        kill: bool,
+    ) -> Result<(usize, Receiver<Result<InferenceResponse, ServeError>>), ServeError> {
+        let home = self.placement[model_id.index()];
+        let workers = self.workers.read();
+        // Down or drained nodes are skipped; `workers` is read-locked so
+        // the fleet cannot change shape mid-decision.
+        let healthy: Vec<bool> = {
+            let now = Instant::now();
+            let down = self.down_until.lock();
+            (0..workers.len())
+                .map(|n| workers[n].is_some() && down[n] <= now)
+                .collect()
+        };
+        // Degraded routing falls over to the lowest-indexed healthy node;
+        // queue pressure on the home node is an admission rejection, not
+        // a reroute, so placement locality is preserved.
+        let Some(node) = failover_node(home, workers.len(), |n| healthy[n], |_| 0.0) else {
+            return Err(ServeError::Unavailable(format!(
+                "all {} nodes are marked down",
+                workers.len()
+            )));
+        };
+        if node != home {
+            self.reroutes.inc();
+        }
+        let handle = workers[node].as_ref().expect("routed node is live");
+        if kill {
+            self.injected_kills.inc();
+            let _ = handle.ctrl.send(ControlItem::Kill);
+        }
+        let (reply_tx, reply_rx) = bounded(1);
+        let item = InferItem {
+            model_id,
+            input: input.clone(),
+            enqueued: Instant::now(),
+            fail_transform,
+            reply: reply_tx,
+        };
+        match handle.infer.try_send(item) {
+            Ok(()) => {
+                handle.depth.add(1.0);
+                Ok((node, reply_rx))
+            }
+            Err(TrySendError::Full(_)) => {
+                self.rejected.inc();
+                Err(ServeError::Overloaded(format!(
+                    "node {node} queue is at its {}-request bound",
+                    self.config.serving.queue_depth
+                )))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Submit a request without blocking on its completion: the inference
+    /// is enqueued exactly like [`Gateway::infer`] (same fault draws, same
+    /// routing, same admission control) but the caller gets a
+    /// [`PendingInference`] to poll instead of the finished response — the
+    /// HTTP front end parks the connection on it so serving threads never
+    /// block on a worker queue.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Gateway::infer`]; [`ServeError::Overloaded`]
+    /// and [`ServeError::UnknownModel`] surface immediately.
+    pub fn submit(&self, model: &str, input: Tensor) -> Result<PendingInference, ServeError> {
+        let (model_id, fx) = self.admit(model)?;
+        let (node, rx) =
+            self.enqueue_once(model_id, &input, fx.transform_failure, fx.container_kill)?;
+        Ok(PendingInference {
+            model_id,
+            input,
+            attempt: 0,
+            state: PendingState::Waiting { node, rx },
+        })
+    }
+
+    /// Drive a [`PendingInference`] forward without blocking. Returns
+    /// `Some(result)` once the request finished (successfully or not);
+    /// `None` while it is still queued, executing, or backing off before
+    /// a retry. A worker that dies mid-request is marked down and the
+    /// request is re-routed with the same bounded retry budget as
+    /// [`Gateway::infer`], but the backoff is waited out across `poll`
+    /// calls instead of sleeping.
+    pub fn poll(&self, pending: &mut PendingInference) -> Option<InferenceResult> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        loop {
+            match &mut pending.state {
+                PendingState::Waiting { node, rx } => match rx.recv_timeout(Duration::ZERO) {
+                    Ok(result) => return Some(result),
+                    Err(RecvTimeoutError::Timeout) => return None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        let node = *node;
+                        self.mark_down(node);
+                        pending.attempt += 1;
+                        if pending.attempt >= max_attempts {
+                            return Some(Err(ServeError::Unavailable(format!(
+                                "node {node} did not reply"
+                            ))));
+                        }
+                        self.retries.inc();
+                        let backoff = self.retry.backoff_before(pending.attempt).max(0.0);
+                        pending.state = PendingState::Backoff {
+                            until: Instant::now() + Duration::from_secs_f64(backoff),
+                        };
+                    }
+                },
+                PendingState::Backoff { until } => {
+                    if Instant::now() < *until {
+                        return None;
+                    }
+                    match self.enqueue_once(pending.model_id, &pending.input, false, false) {
+                        Ok((node, rx)) => pending.state = PendingState::Waiting { node, rx },
+                        Err(e @ ServeError::Overloaded(_)) | Err(e @ ServeError::Shutdown) => {
+                            return Some(Err(e))
+                        }
+                        Err(e) => {
+                            pending.attempt += 1;
+                            if pending.attempt >= max_attempts {
+                                return Some(Err(e));
+                            }
+                            self.retries.inc();
+                            let backoff = self.retry.backoff_before(pending.attempt).max(0.0);
+                            pending.state = PendingState::Backoff {
+                                until: Instant::now() + Duration::from_secs_f64(backoff),
+                            };
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn mark_down(&self, node: usize) {
@@ -378,15 +562,15 @@ impl Gateway {
     pub fn register_node(&self) -> usize {
         let mut workers = self.workers.write();
         let node_id = workers.len();
-        let (tx, rx) = unbounded::<WorkItem>();
-        let repo = self.repo.clone();
-        let config = self.config;
-        let sink = self.sink.clone();
-        let metrics = self.metrics.clone();
-        let stats = self.store_stats.clone();
-        self.handles.lock().push(std::thread::spawn(move || {
-            run_worker(node_id, config, repo, rx, sink, metrics, stats)
-        }));
+        let (node, handle) = spawn_node(
+            node_id,
+            self.config,
+            self.repo.clone(),
+            self.sink.clone(),
+            self.metrics.clone(),
+            self.store_stats.clone(),
+        );
+        self.handles.lock().push(handle);
         if let Some(sc) = self.config.store {
             // Warm transfer: the full registered chunk set, deduplicated
             // by content id so shared tensors ship once.
@@ -407,9 +591,9 @@ impl Gateway {
             } else {
                 self.multicast_remote_bytes.add(bytes);
             }
-            let _ = tx.send(WorkItem::Warm(chunks));
+            let _ = node.ctrl.send(ControlItem::Warm(chunks));
         }
-        workers.push(Some(tx));
+        workers.push(Some(node));
         {
             let mut down = self.down_until.lock();
             down.push(Instant::now());
@@ -489,6 +673,31 @@ impl Gateway {
     pub fn shutdown(self) {
         drop(self); // Drop closes the channels and joins the workers.
     }
+}
+
+/// The outcome of one inference: the response, or a serving error.
+pub type InferenceResult = Result<InferenceResponse, ServeError>;
+
+/// An in-flight request created by [`Gateway::submit`] and driven by
+/// [`Gateway::poll`]. Holds the reply channel of the attempt currently
+/// enqueued (or the instant a retry backoff expires) plus everything
+/// needed to re-enqueue on another node if the serving worker dies.
+pub struct PendingInference {
+    model_id: ModelId,
+    input: Tensor,
+    /// Attempts consumed so far (bounded by the retry policy).
+    attempt: u32,
+    state: PendingState,
+}
+
+enum PendingState {
+    /// Enqueued on `node`; the worker replies on `rx`.
+    Waiting {
+        node: usize,
+        rx: Receiver<InferenceResult>,
+    },
+    /// Waiting out a retry backoff without blocking the caller.
+    Backoff { until: Instant },
 }
 
 impl Drop for Gateway {

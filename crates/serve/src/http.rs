@@ -1,9 +1,24 @@
-//! Minimal HTTP/1.1 front end for the gateway (§7: "Optimus API and
+//! HTTP/1.1 front end for the gateway (§7: "Optimus API and
 //! communication between clients and the gateway are implemented in REST
 //! API format … a Flask HTTP server that accepts client requests").
 //!
-//! Dependency-free: a small hand-rolled HTTP server over
-//! `std::net::TcpListener`, good for the prototype's request shapes.
+//! Dependency-free: a hand-rolled HTTP server over
+//! `std::net::TcpListener` with two front-end modes
+//! ([`HttpConfig::mode`]):
+//!
+//! - [`FrontendMode::Pooled`] (default) — the production serving core.
+//!   A few accept shards hand persistent keep-alive connections to a
+//!   poller thread; connections with readable bytes (or a finished
+//!   inference) are dispatched to a fixed pool of HTTP workers that
+//!   parse pipelined requests incrementally from a reusable
+//!   per-connection buffer ([`crate::parser`]). Workers *never block on
+//!   inference*: `POST /infer` goes through [`Gateway::submit`] and the
+//!   connection is parked on the pending reply, so `GET /healthz` and
+//!   `GET /metrics` stay responsive even when every worker queue is
+//!   saturated (admission control answers `429` immediately, and an
+//!   ops lane serves health endpoints past the connection budget).
+//! - [`FrontendMode::ThreadPerConn`] — the original one-OS-thread per
+//!   `Connection: close` exchange, kept as the load-generator baseline.
 //!
 //! Endpoints:
 //!
@@ -11,12 +26,13 @@
 //! - `POST /infer` — body `{"model": "<name>", "shape": [..], "data": [..]}`
 //!   (`data` optional; zeros are used when omitted). Responds
 //!   `{"model", "start", "wait_seconds", "startup_seconds",
-//!   "compute_seconds", "node", "transform_steps", "output_shape",
-//!   "output": [..first 16 values..]}`. Malformed payloads get a `400`
-//!   with a JSON error body — never a dropped connection.
+//!   "compute_seconds", "node", "transform_steps", "batch_size",
+//!   "output_shape", "output": [..first 16 values..]}`. Malformed
+//!   payloads get a `400` with a JSON error body — never a dropped
+//!   connection; a full admission queue gets a `429`.
 //! - `GET /metrics` — Prometheus text exposition of the gateway's
 //!   registry (request counters by start kind, phase histograms,
-//!   plan-cache counters, container gauges).
+//!   plan-cache counters, queue-depth/batch-size gauges).
 //! - `GET /stats` — the same registry as one JSON object (histograms as
 //!   `{count, sum, mean, p50, p95, p99}`).
 //! - `GET /store` — weight-store residency: `{"enabled", "total",
@@ -28,30 +44,65 @@
 //!   fleet size and per-node health (crashed nodes read `false` until
 //!   they recover; drained nodes stay `false`).
 //!
-//! One OS thread per connection; connections are `Connection: close`.
 //! Sockets carry read/write timeouts ([`HttpConfig`]) so a stalled or
-//! silent client cannot pin a connection thread forever: a read that
-//! times out gets a `408 Request Timeout` response.
+//! silent client cannot pin resources forever: a connection that goes
+//! quiet mid-request gets a `408 Request Timeout`; an idle keep-alive
+//! connection past [`HttpConfig::keep_alive_idle`] is closed silently.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use optimus_model::tensor::Tensor;
 
-use crate::gateway::Gateway;
+use crate::api::{InferenceResponse, ServeError};
+use crate::gateway::{Gateway, InferenceResult, PendingInference};
+use crate::parser::{parse_request, ParseOutcome, ParserLimits};
 
-/// Socket-level configuration of the HTTP front end.
+/// How the front end maps connections to OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendMode {
+    /// Sharded accept loops + poller + fixed worker pool over
+    /// keep-alive connections (the production path).
+    Pooled,
+    /// One OS thread per `Connection: close` exchange (the original
+    /// front end, kept as the load-generator baseline).
+    ThreadPerConn,
+}
+
+/// Configuration of the HTTP front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HttpConfig {
-    /// Read timeout per connection (headers + body). `None` waits
-    /// forever (the pre-timeout behaviour).
+    /// Read timeout per connection. In pooled mode this is the stall
+    /// deadline: a connection mid-request with no new bytes for this
+    /// long gets a `408`. `None` waits forever.
     pub read_timeout: Option<Duration>,
     /// Write timeout per connection (response flush).
     pub write_timeout: Option<Duration>,
+    /// Front-end threading model.
+    pub mode: FrontendMode,
+    /// Accept-loop shards feeding the pooled front end.
+    pub accept_shards: usize,
+    /// Fixed HTTP worker pool size (parsing + response writing; never
+    /// blocks on inference).
+    pub http_workers: usize,
+    /// Connection budget of the pooled front end; connections beyond it
+    /// are handed to the ops lane (health endpoints still answer,
+    /// `/infer` gets an immediate `503`).
+    pub max_connections: usize,
+    /// Largest allowed request head; beyond it the request is `431`.
+    pub max_header_bytes: usize,
+    /// Largest allowed `Content-Length`; beyond it the request is `413`
+    /// (decided from the header alone).
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection (between requests) is
+    /// retained before being closed silently.
+    pub keep_alive_idle: Duration,
 }
 
 impl Default for HttpConfig {
@@ -59,6 +110,13 @@ impl Default for HttpConfig {
         HttpConfig {
             read_timeout: Some(Duration::from_secs(10)),
             write_timeout: Some(Duration::from_secs(10)),
+            mode: FrontendMode::Pooled,
+            accept_shards: 2,
+            http_workers: 8,
+            max_connections: 1024,
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+            keep_alive_idle: Duration::from_secs(30),
         }
     }
 }
@@ -67,12 +125,12 @@ impl Default for HttpConfig {
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
     /// Serve `gateway` on `127.0.0.1:port` (`port` 0 picks a free port)
-    /// with the default socket timeouts.
+    /// with the default configuration (pooled keep-alive front end).
     ///
     /// # Errors
     ///
@@ -81,7 +139,7 @@ impl HttpServer {
         HttpServer::serve_with(gateway, port, HttpConfig::default())
     }
 
-    /// [`HttpServer::serve`] with explicit socket timeouts.
+    /// [`HttpServer::serve`] with an explicit configuration.
     ///
     /// # Errors
     ///
@@ -95,31 +153,23 @@ impl HttpServer {
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
         listener.set_nonblocking(true).map_err(|e| e.to_string())?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
-        let handle = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_read_timeout(config.read_timeout);
-                        let _ = stream.set_write_timeout(config.write_timeout);
-                        let gw = gateway.clone();
-                        workers.push(std::thread::spawn(move || handle_connection(stream, &gw)));
-                    }
-                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
+        let handles = match config.mode {
+            FrontendMode::ThreadPerConn => {
+                vec![spawn_legacy_acceptor(
+                    listener,
+                    gateway,
+                    config,
+                    stop.clone(),
+                )]
             }
-            for w in workers {
-                let _ = w.join();
+            FrontendMode::Pooled => {
+                spawn_pooled(listener, gateway, config, stop.clone()).map_err(|e| e.to_string())?
             }
-        });
+        };
         Ok(HttpServer {
             addr,
             stop,
-            handle: Some(handle),
+            handles,
         })
     }
 
@@ -128,10 +178,14 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting connections and join the acceptor thread.
+    /// Stop accepting connections and join the serving threads.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -139,10 +193,7 @@ impl HttpServer {
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.stop_and_join();
     }
 }
 
@@ -171,90 +222,9 @@ impl Response {
     }
 }
 
-fn handle_connection(stream: TcpStream, gateway: &Gateway) {
-    let peer = stream.try_clone();
-    let Ok(mut writer) = peer else { return };
-    let response = read_and_route(stream, gateway);
-    gateway
-        .metrics()
-        .counter("optimus_http_requests_total", &[("code", response.code())])
-        .inc();
-    let payload = format!(
-        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        response.status,
-        response.content_type,
-        response.body.len(),
-        response.body
-    );
-    let _ = writer.write_all(payload.as_bytes());
-}
-
-/// Parse the request and dispatch. Malformed requests produce a `400`
-/// response instead of a silently dropped connection.
-fn read_and_route(stream: TcpStream, gateway: &Gateway) -> Response {
-    let mut reader = BufReader::new(stream);
-    // Request line.
-    let mut request_line = String::new();
-    match reader.read_line(&mut request_line) {
-        Err(e) if is_timeout(&e) => {
-            return Response::error("408 Request Timeout", "timed out reading request line")
-        }
-        Err(_) => return Response::error("400 Bad Request", "empty or unreadable request line"),
-        Ok(_) => {}
-    }
-    if request_line.trim().is_empty() {
-        return Response::error("400 Bad Request", "empty or unreadable request line");
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || path.is_empty() {
-        return Response::error("400 Bad Request", "malformed request line");
-    }
-    // Headers (we only need Content-Length).
-    let mut content_length = 0usize;
-    loop {
-        let mut line = String::new();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let line = line.trim();
-                if line.is_empty() {
-                    break;
-                }
-                if let Some(v) = line
-                    .to_ascii_lowercase()
-                    .strip_prefix("content-length:")
-                    .map(str::trim)
-                    .and_then(|v| v.parse::<usize>().ok())
-                {
-                    content_length = v;
-                }
-            }
-            Err(e) if is_timeout(&e) => {
-                return Response::error("408 Request Timeout", "timed out reading headers")
-            }
-            Err(_) => return Response::error("400 Bad Request", "unreadable headers"),
-        }
-    }
-    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
-    if content_length > 0 {
-        match reader.read_exact(&mut body) {
-            Err(e) if is_timeout(&e) => {
-                return Response::error("408 Request Timeout", "timed out reading body")
-            }
-            Err(_) => {
-                return Response::error("400 Bad Request", "body shorter than content-length")
-            }
-            Ok(()) => {}
-        }
-    }
-    route(gateway, &method, &path, &body)
-}
-
-/// Whether an I/O error is the socket read/write timeout firing
+/// Whether an I/O error is a would-block / socket-timeout condition
 /// (`SO_RCVTIMEO` surfaces as `WouldBlock` on Unix, `TimedOut` on
-/// Windows).
+/// Windows; nonblocking sockets report `WouldBlock`).
 fn is_timeout(e: &std::io::Error) -> bool {
     matches!(
         e.kind(),
@@ -262,7 +232,457 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
-fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
+// ---------------------------------------------------------------------
+// Pooled front end: accept shards → poller → ready queue → worker pool.
+// ---------------------------------------------------------------------
+
+/// Pipelined requests a worker serves from one connection before
+/// yielding it back to the queue so other connections interleave.
+const REQUEST_BUDGET: usize = 32;
+
+/// One persistent client connection. Travels between the poller (while
+/// waiting for bytes or an inference reply) and HTTP workers (while
+/// parsing and responding); the buffer is reused across requests.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed received bytes (grows across fragmented reads, drained
+    /// per parsed request).
+    buf: Vec<u8>,
+    /// Last instant bytes arrived (stall/idle accounting).
+    last_activity: Instant,
+    /// In-flight inference this connection is parked on.
+    pending: Option<PendingInference>,
+    /// Finished inference outcome awaiting response serialization.
+    ready_result: Option<InferenceResult>,
+    /// Keep-alive flag of the request that produced `pending`.
+    keep_alive_after_reply: bool,
+    /// Poller verdict: the client stalled mid-request (`408` + close).
+    stalled: bool,
+    /// Requests completed on this connection (distinguishes a silent
+    /// new client, which deserves a `408`, from an idle keep-alive
+    /// connection, which is closed silently).
+    served: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::with_capacity(1024),
+            last_activity: Instant::now(),
+            pending: None,
+            ready_result: None,
+            keep_alive_after_reply: true,
+            stalled: false,
+            served: 0,
+        }
+    }
+}
+
+/// MPMC hand-off from the poller to the HTTP workers. The crossbeam
+/// shim's `Receiver` is single-consumer, so the multi-consumer ready
+/// queue is a mutex-protected deque with a condvar.
+struct ReadyQueue {
+    inner: std::sync::Mutex<VecDeque<Conn>>,
+    cv: std::sync::Condvar,
+}
+
+impl ReadyQueue {
+    fn new() -> ReadyQueue {
+        ReadyQueue {
+            inner: std::sync::Mutex::new(VecDeque::new()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: Conn) {
+        self.inner
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(conn);
+        self.cv.notify_one();
+    }
+
+    fn pop_timeout(&self, timeout: Duration) -> Option<Conn> {
+        let guard = self.inner.lock().expect("ready queue poisoned");
+        let (mut guard, _) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |q| q.is_empty())
+            .expect("ready queue poisoned");
+        guard.pop_front()
+    }
+}
+
+/// State shared by every pooled front-end thread.
+#[derive(Clone)]
+struct Shared {
+    gateway: Arc<Gateway>,
+    config: HttpConfig,
+    stop: Arc<AtomicBool>,
+    /// Connections handed (back) to the poller.
+    park_tx: Sender<Conn>,
+    ready: Arc<ReadyQueue>,
+    /// Live pooled connections (admission against `max_connections`).
+    conns: Arc<AtomicUsize>,
+}
+
+fn close_conn(conn: Conn, conns: &AtomicUsize) {
+    drop(conn);
+    conns.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn spawn_pooled(
+    listener: TcpListener,
+    gateway: Arc<Gateway>,
+    config: HttpConfig,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    let (park_tx, park_rx) = unbounded::<Conn>();
+    let (ops_tx, ops_rx) = unbounded::<TcpStream>();
+    let shared = Shared {
+        gateway,
+        config,
+        stop,
+        park_tx,
+        ready: Arc::new(ReadyQueue::new()),
+        conns: Arc::new(AtomicUsize::new(0)),
+    };
+    let mut handles = Vec::new();
+    for _ in 0..config.accept_shards.max(1) {
+        let shard = listener.try_clone()?;
+        let s = shared.clone();
+        let ops = ops_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            run_accept_shard(shard, &s, &ops)
+        }));
+    }
+    drop(ops_tx);
+    {
+        let s = shared.clone();
+        handles.push(std::thread::spawn(move || run_poller(&s, &park_rx)));
+    }
+    for _ in 0..config.http_workers.max(1) {
+        let s = shared.clone();
+        handles.push(std::thread::spawn(move || run_http_worker(&s)));
+    }
+    {
+        let s = shared.clone();
+        handles.push(std::thread::spawn(move || run_ops_lane(&s, &ops_rx)));
+    }
+    Ok(handles)
+}
+
+fn run_accept_shard(listener: TcpListener, shared: &Shared, ops_tx: &Sender<TcpStream>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(shared.config.read_timeout);
+                let _ = stream.set_write_timeout(shared.config.write_timeout);
+                if shared.conns.load(Ordering::Relaxed) >= shared.config.max_connections {
+                    // Past the connection budget, operators must still be
+                    // able to observe the gateway: the ops lane answers
+                    // health endpoints and 503s inference.
+                    let _ = ops_tx.send(stream);
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nonblocking(true);
+                if let Err(e) = shared.park_tx.send(Conn::new(stream)) {
+                    close_conn(e.0, &shared.conns);
+                }
+            }
+            Err(ref e) if is_timeout(e) => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+enum PollAction {
+    Keep,
+    Dispatch,
+    Close,
+}
+
+fn poll_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> PollAction {
+    if let Some(p) = conn.pending.as_mut() {
+        // Parked on an inference; the worker queue replies through the
+        // gateway. Readable pipelined bytes stay in the socket buffer
+        // until the reply is written (responses keep request order).
+        if let Some(result) = shared.gateway.poll(p) {
+            conn.pending = None;
+            conn.ready_result = Some(result);
+            return PollAction::Dispatch;
+        }
+        return PollAction::Keep;
+    }
+    let mut probe = [0u8; 1];
+    match conn.stream.peek(&mut probe) {
+        Ok(0) => PollAction::Close,
+        Ok(_) => PollAction::Dispatch,
+        Err(ref e) if is_timeout(e) => {
+            let quiet = now.saturating_duration_since(conn.last_activity);
+            if !conn.buf.is_empty() || conn.served == 0 {
+                // Mid-request (or never sent anything): the read timeout
+                // is the stall deadline, answered with a 408.
+                match shared.config.read_timeout {
+                    Some(limit) if quiet > limit => {
+                        conn.stalled = true;
+                        PollAction::Dispatch
+                    }
+                    _ => PollAction::Keep,
+                }
+            } else if quiet > shared.config.keep_alive_idle {
+                PollAction::Close
+            } else {
+                PollAction::Keep
+            }
+        }
+        Err(_) => PollAction::Close,
+    }
+}
+
+fn run_poller(shared: &Shared, park_rx: &Receiver<Conn>) {
+    let mut parked: Vec<Conn> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        while let Some(conn) = park_rx.try_recv() {
+            parked.push(conn);
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < parked.len() {
+            match poll_conn(&mut parked[i], shared, now) {
+                PollAction::Keep => i += 1,
+                PollAction::Dispatch => shared.ready.push(parked.swap_remove(i)),
+                PollAction::Close => close_conn(parked.swap_remove(i), &shared.conns),
+            }
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    for conn in parked.drain(..) {
+        close_conn(conn, &shared.conns);
+    }
+}
+
+fn run_http_worker(shared: &Shared) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let Some(mut conn) = shared.ready.pop_timeout(Duration::from_millis(25)) else {
+            continue;
+        };
+        match serve_conn(&mut conn, shared) {
+            Disposition::Park => {
+                if let Err(e) = shared.park_tx.send(conn) {
+                    close_conn(e.0, &shared.conns);
+                }
+            }
+            Disposition::Requeue => shared.ready.push(conn),
+            Disposition::Close => close_conn(conn, &shared.conns),
+        }
+    }
+}
+
+enum Disposition {
+    /// Hand back to the poller (waiting for bytes or an inference).
+    Park,
+    /// More parsed-but-unserved bytes remain; requeue for fairness.
+    Requeue,
+    /// Connection is finished (error, EOF, or `Connection: close`).
+    Close,
+}
+
+enum ReadState {
+    Progress,
+    WouldBlock,
+    Closed,
+}
+
+fn read_some(conn: &mut Conn) -> ReadState {
+    let mut tmp = [0u8; 4096];
+    match conn.stream.read(&mut tmp) {
+        Ok(0) => ReadState::Closed,
+        Ok(n) => {
+            conn.buf.extend_from_slice(&tmp[..n]);
+            conn.last_activity = Instant::now();
+            ReadState::Progress
+        }
+        Err(ref e) if is_timeout(e) => ReadState::WouldBlock,
+        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => ReadState::Progress,
+        Err(_) => ReadState::Closed,
+    }
+}
+
+/// Serialize `resp` with the right `Connection` header and write it.
+/// The socket is flipped to blocking for the write so the configured
+/// write timeout applies, then back to nonblocking for parking.
+fn write_response(
+    conn: &mut Conn,
+    resp: &Response,
+    keep_alive: bool,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    shared
+        .gateway
+        .metrics()
+        .counter("optimus_http_requests_total", &[("code", resp.code())])
+        .inc();
+    let payload = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        resp.status,
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        resp.body
+    );
+    conn.stream.set_nonblocking(false)?;
+    let result = conn.stream.write_all(payload.as_bytes());
+    let _ = conn.stream.set_nonblocking(true);
+    result
+}
+
+/// Drive one checked-out connection: flush a finished inference reply,
+/// then parse and serve pipelined requests until the socket runs dry,
+/// an inference parks it, or the request budget yields it.
+fn serve_conn(conn: &mut Conn, shared: &Shared) -> Disposition {
+    if conn.stalled {
+        let resp = Response::error("408 Request Timeout", "timed out mid-request");
+        let _ = write_response(conn, &resp, false, shared);
+        return Disposition::Close;
+    }
+    if let Some(result) = conn.ready_result.take() {
+        let keep = conn.keep_alive_after_reply;
+        let resp = render_infer_result(result);
+        conn.served += 1;
+        if write_response(conn, &resp, keep, shared).is_err() || !keep {
+            return Disposition::Close;
+        }
+    }
+    let limits = ParserLimits {
+        max_header_bytes: shared.config.max_header_bytes,
+        max_body_bytes: shared.config.max_body_bytes,
+    };
+    let mut budget = REQUEST_BUDGET;
+    loop {
+        match parse_request(&conn.buf, &limits) {
+            ParseOutcome::Incomplete => match read_some(conn) {
+                ReadState::Progress => continue,
+                ReadState::WouldBlock => return Disposition::Park,
+                ReadState::Closed => {
+                    // EOF mid-request (e.g. body shorter than the declared
+                    // content-length) still gets a JSON 400, not a silent
+                    // drop; EOF between requests is a normal close.
+                    if !conn.buf.is_empty() {
+                        let resp = Response::error(
+                            "400 Bad Request",
+                            "connection closed before the request completed",
+                        );
+                        let _ = write_response(conn, &resp, false, shared);
+                    }
+                    return Disposition::Close;
+                }
+            },
+            ParseOutcome::Error { status, message } => {
+                // Framing is broken; answer and drop the connection.
+                let _ = write_response(conn, &Response::error(status, message), false, shared);
+                return Disposition::Close;
+            }
+            ParseOutcome::Request { request, consumed } => {
+                conn.buf.drain(..consumed);
+                if request.method == "POST" && request.path == "/infer" {
+                    match submit_infer(&shared.gateway, &request.body) {
+                        Ok(pending) => {
+                            conn.pending = Some(pending);
+                            conn.keep_alive_after_reply = request.keep_alive;
+                            return Disposition::Park;
+                        }
+                        Err(resp) => {
+                            conn.served += 1;
+                            if write_response(conn, &resp, request.keep_alive, shared).is_err()
+                                || !request.keep_alive
+                            {
+                                return Disposition::Close;
+                            }
+                        }
+                    }
+                } else {
+                    let resp = route_get(&shared.gateway, &request.method, &request.path);
+                    conn.served += 1;
+                    if write_response(conn, &resp, request.keep_alive, shared).is_err()
+                        || !request.keep_alive
+                    {
+                        return Disposition::Close;
+                    }
+                }
+                budget -= 1;
+                if budget == 0 {
+                    return if conn.buf.is_empty() {
+                        Disposition::Park
+                    } else {
+                        Disposition::Requeue
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Overflow lane: connections past the pooled budget still get health
+/// endpoints (one blocking `Connection: close` exchange each), so an
+/// overloaded gateway remains observable; `/infer` is refused with 503.
+fn run_ops_lane(shared: &Shared, ops_rx: &Receiver<TcpStream>) {
+    loop {
+        match ops_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(stream) => serve_ops_connection(stream, shared),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn serve_ops_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let response = match read_one_request(stream) {
+        Err(resp) => resp,
+        Ok((method, path, _body)) => {
+            if method == "POST" && path == "/infer" {
+                Response::error(
+                    "503 Service Unavailable",
+                    "connection budget exhausted; inference admission is closed",
+                )
+            } else {
+                route_get(&shared.gateway, &method, &path)
+            }
+        }
+    };
+    shared
+        .gateway
+        .metrics()
+        .counter("optimus_http_requests_total", &[("code", response.code())])
+        .inc();
+    let _ = writer.write_all(render_close_response(&response).as_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Request routing shared by both front ends.
+// ---------------------------------------------------------------------
+
+fn serve_error_status(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Unavailable(_) | ServeError::Shutdown => "503 Service Unavailable",
+        ServeError::Overloaded(_) => "429 Too Many Requests",
+        _ => "422 Unprocessable Entity",
+    }
+}
+
+/// Serve the read-only endpoints (and 404 anything else).
+fn route_get(gateway: &Gateway, method: &str, path: &str) -> Response {
     match (method, path) {
         ("GET", "/models") => {
             let names = gateway.models();
@@ -271,10 +691,6 @@ fn route(gateway: &Gateway, method: &str, path: &str, body: &[u8]) -> Response {
                 serde_json::to_string(&names).expect("string array serializes"),
             )
         }
-        ("POST", "/infer") => match infer_request(gateway, body) {
-            Ok(json) => Response::json("200 OK", json),
-            Err((status, msg)) => Response::error(status, &msg),
-        },
         ("GET", "/metrics") => Response {
             status: "200 OK",
             content_type: "text/plain; version=0.0.4",
@@ -322,7 +738,8 @@ fn store_response(gateway: &Gateway) -> String {
     )
 }
 
-fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str, String)> {
+/// Decode an `/infer` body into its model name and input tensor.
+fn parse_infer_body(body: &[u8]) -> Result<(String, Tensor), (&'static str, String)> {
     let parsed: serde_json::Value = serde_json::from_slice(body)
         .map_err(|e| ("400 Bad Request", format!("malformed JSON: {e}")))?;
     let model = parsed["model"]
@@ -353,16 +770,23 @@ fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str
         }
         None => vec![0.0; numel],
     };
-    let input = Tensor::new(shape, data);
-    let resp = gateway.infer(model, input).map_err(|e| {
-        let status = match &e {
-            crate::api::ServeError::Unavailable(_) => "503 Service Unavailable",
-            _ => "422 Unprocessable Entity",
-        };
-        (status, e.to_string())
-    })?;
+    Ok((model.to_string(), Tensor::new(shape, data)))
+}
+
+/// Parse and enqueue an `/infer` request without waiting for the reply.
+fn submit_infer(gateway: &Gateway, body: &[u8]) -> Result<PendingInference, Response> {
+    let (model, input) = match parse_infer_body(body) {
+        Ok(parsed) => parsed,
+        Err((status, msg)) => return Err(Response::error(status, &msg)),
+    };
+    gateway
+        .submit(&model, input)
+        .map_err(|e| Response::error(serve_error_status(&e), &e.to_string()))
+}
+
+fn render_infer_ok(resp: &InferenceResponse) -> String {
     let preview: Vec<f32> = resp.output.data().iter().copied().take(16).collect();
-    Ok(serde_json::json!({
+    serde_json::json!({
         "model": resp.model,
         "start": resp.start.as_label(),
         "wait_seconds": resp.wait_seconds,
@@ -370,8 +794,167 @@ fn infer_request(gateway: &Gateway, body: &[u8]) -> Result<String, (&'static str
         "compute_seconds": resp.compute_seconds,
         "node": resp.node,
         "transform_steps": resp.transform_steps,
+        "batch_size": resp.batch_size,
         "output_shape": resp.output.shape().dims(),
         "output": preview,
     })
-    .to_string())
+    .to_string()
+}
+
+fn render_infer_result(result: InferenceResult) -> Response {
+    match result {
+        Ok(resp) => Response::json("200 OK", render_infer_ok(&resp)),
+        Err(e) => Response::error(serve_error_status(&e), &e.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy thread-per-connection front end (the load-generator baseline).
+// ---------------------------------------------------------------------
+
+fn spawn_legacy_acceptor(
+    listener: TcpListener,
+    gateway: Arc<Gateway>,
+    config: HttpConfig,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_read_timeout(config.read_timeout);
+                    let _ = stream.set_write_timeout(config.write_timeout);
+                    let gw = gateway.clone();
+                    workers.push(std::thread::spawn(move || handle_connection(stream, &gw)));
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+    })
+}
+
+fn render_close_response(response: &Response) -> String {
+    format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.content_type,
+        response.body.len(),
+        response.body
+    )
+}
+
+fn handle_connection(stream: TcpStream, gateway: &Gateway) {
+    let peer = stream.try_clone();
+    let Ok(mut writer) = peer else { return };
+    let response = match read_one_request(stream) {
+        Err(resp) => resp,
+        Ok((method, path, body)) => {
+            if method == "POST" && path == "/infer" {
+                match parse_infer_body(&body) {
+                    Err((status, msg)) => Response::error(status, &msg),
+                    Ok((model, input)) => match gateway.infer(&model, input) {
+                        Ok(resp) => Response::json("200 OK", render_infer_ok(&resp)),
+                        Err(e) => Response::error(serve_error_status(&e), &e.to_string()),
+                    },
+                }
+            } else {
+                route_get(gateway, &method, &path)
+            }
+        }
+    };
+    gateway
+        .metrics()
+        .counter("optimus_http_requests_total", &[("code", response.code())])
+        .inc();
+    let _ = writer.write_all(render_close_response(&response).as_bytes());
+}
+
+/// Read one blocking `Connection: close` style request (request line,
+/// headers, `Content-Length` body). Malformed or timed-out requests
+/// produce an error response instead of a silently dropped connection.
+fn read_one_request(stream: TcpStream) -> Result<(String, String, Vec<u8>), Response> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    match reader.read_line(&mut request_line) {
+        Err(e) if is_timeout(&e) => {
+            return Err(Response::error(
+                "408 Request Timeout",
+                "timed out reading request line",
+            ))
+        }
+        Err(_) => {
+            return Err(Response::error(
+                "400 Bad Request",
+                "empty or unreadable request line",
+            ))
+        }
+        Ok(_) => {}
+    }
+    if request_line.trim().is_empty() {
+        return Err(Response::error(
+            "400 Bad Request",
+            "empty or unreadable request line",
+        ));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(Response::error("400 Bad Request", "malformed request line"));
+    }
+    // Headers (we only need Content-Length).
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some(v) = line
+                    .to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::trim)
+                    .and_then(|v| v.parse::<usize>().ok())
+                {
+                    content_length = v;
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                return Err(Response::error(
+                    "408 Request Timeout",
+                    "timed out reading headers",
+                ))
+            }
+            Err(_) => return Err(Response::error("400 Bad Request", "unreadable headers")),
+        }
+    }
+    let mut body = vec![0u8; content_length.min(16 * 1024 * 1024)];
+    if content_length > 0 {
+        match reader.read_exact(&mut body) {
+            Err(e) if is_timeout(&e) => {
+                return Err(Response::error(
+                    "408 Request Timeout",
+                    "timed out reading body",
+                ))
+            }
+            Err(_) => {
+                return Err(Response::error(
+                    "400 Bad Request",
+                    "body shorter than content-length",
+                ))
+            }
+            Ok(()) => {}
+        }
+    }
+    Ok((method, path, body))
 }

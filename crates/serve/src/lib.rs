@@ -47,15 +47,20 @@
 mod api;
 mod gateway;
 pub mod http;
+pub mod parser;
 mod worker;
 
-pub use api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
-pub use gateway::{Gateway, GatewayBuilder};
-pub use http::{HttpConfig, HttpServer};
+pub use api::{GatewayConfig, InferenceResponse, ServeError, ServedStart, ServingConfig};
+pub use gateway::{Gateway, GatewayBuilder, InferenceResult, PendingInference};
+pub use http::{FrontendMode, HttpConfig, HttpServer};
 
 // Re-exported so serving deployments can configure and read the weight
 // store without depending on `optimus-store` directly.
 pub use optimus_store::{StoreConfig, StoreStats};
+
+// Re-exported so callers can hand [`GatewayBuilder::metrics`] a hermetic
+// registry without depending on `optimus-telemetry` directly.
+pub use optimus_telemetry::MetricsRegistry;
 
 // Re-exported so deployments can enable chaos testing without depending
 // on `optimus-faults` directly.

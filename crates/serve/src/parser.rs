@@ -1,0 +1,380 @@
+//! Incremental HTTP/1.1 request parser for the pooled front end.
+//!
+//! Operates on a connection's accumulated byte buffer: bytes arrive
+//! fragmented arbitrarily across `read()` calls (a request line split
+//! mid-token, a header split mid-name, a body trickling in), and the
+//! parser either produces one complete request with the number of bytes
+//! it consumed, asks for more bytes, or rejects the connection with a
+//! definite protocol error. It is pure — it never blocks and never
+//! reads — which makes it property-testable over every split of a
+//! request stream ([`parse_request`] on a prefix can only return
+//! [`ParseOutcome::Incomplete`] or the same outcome as the full buffer).
+//!
+//! Hard limits are enforced *before* buffering unboundedly: headers
+//! larger than [`ParserLimits::max_header_bytes`] are rejected with
+//! `431` even when the terminating blank line never arrives, and a
+//! `Content-Length` above [`ParserLimits::max_body_bytes`] is rejected
+//! with `413` from the header alone, before any body byte is read.
+
+/// Byte budgets enforced during parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserLimits {
+    /// Largest allowed request head (request line + headers + blank
+    /// line); beyond this the request is rejected with `431`.
+    pub max_header_bytes: usize,
+    /// Largest allowed `Content-Length`; beyond this the request is
+    /// rejected with `413` without waiting for the body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParserLimits {
+    fn default() -> Self {
+        ParserLimits {
+            max_header_bytes: 16 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// One fully received request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path.
+    pub path: String,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection persists after this exchange: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+/// Result of attempting to parse one request from the front of a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The buffer holds a prefix of a valid request; read more bytes.
+    Incomplete,
+    /// One complete request; the first `consumed` bytes of the buffer
+    /// belong to it (drain them before parsing the next pipelined
+    /// request).
+    Request {
+        request: ParsedRequest,
+        consumed: usize,
+    },
+    /// Protocol violation; respond with `status` and close the
+    /// connection (request framing can no longer be trusted).
+    Error {
+        status: &'static str,
+        message: &'static str,
+    },
+}
+
+fn proto_error(status: &'static str, message: &'static str) -> ParseOutcome {
+    ParseOutcome::Error { status, message }
+}
+
+/// Split the head (request line + header lines) off the buffer. Lines
+/// end at `\n` with an optional preceding `\r`, so both CRLF and bare-LF
+/// clients parse; the head ends at the first empty line. Returns the
+/// header lines and the body start offset, or `None` when the blank
+/// line has not arrived yet.
+fn split_head(buf: &[u8]) -> Option<(Vec<&[u8]>, usize)> {
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in buf.iter().enumerate() {
+        if b == b'\n' {
+            let mut line = &buf[start..i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.is_empty() {
+                return Some((lines, i + 1));
+            }
+            lines.push(line);
+            start = i + 1;
+        }
+    }
+    None
+}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// The parse is incremental-safe: for any split of a byte stream, the
+/// outcome on a prefix is either `Incomplete` or identical to the
+/// outcome on the full stream — partial reads can never change what a
+/// request means, only delay it.
+pub fn parse_request(buf: &[u8], limits: &ParserLimits) -> ParseOutcome {
+    let Some((lines, body_start)) = split_head(buf) else {
+        if buf.len() > limits.max_header_bytes {
+            return proto_error(
+                "431 Request Header Fields Too Large",
+                "request head exceeds the configured limit",
+            );
+        }
+        return ParseOutcome::Incomplete;
+    };
+    if body_start > limits.max_header_bytes {
+        return proto_error(
+            "431 Request Header Fields Too Large",
+            "request head exceeds the configured limit",
+        );
+    }
+    let Some(request_line) = lines.first() else {
+        return proto_error("400 Bad Request", "empty request line");
+    };
+    let Ok(request_line) = std::str::from_utf8(request_line) else {
+        return proto_error("400 Bad Request", "request line is not valid UTF-8");
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() {
+        return proto_error("400 Bad Request", "malformed request line");
+    }
+    // A missing version is tolerated (curl-piped-to-netcat style) and
+    // treated as HTTP/1.1.
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut keep_alive = !version.eq_ignore_ascii_case("HTTP/1.0");
+
+    let mut content_length: Option<usize> = None;
+    for line in &lines[1..] {
+        let Ok(line) = std::str::from_utf8(line) else {
+            return proto_error("400 Bad Request", "header line is not valid UTF-8");
+        };
+        let Some((name, value)) = line.split_once(':') else {
+            return proto_error("400 Bad Request", "header line without a colon");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let Ok(v) = value.parse::<usize>() else {
+                    return proto_error("400 Bad Request", "unparseable content-length");
+                };
+                // Duplicate Content-Length headers with conflicting
+                // values are a request-smuggling vector; reject them.
+                if content_length.is_some_and(|prev| prev != v) {
+                    return proto_error("400 Bad Request", "conflicting content-length headers");
+                }
+                content_length = Some(v);
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.split(',').any(|t| t.trim() == "close") {
+                    keep_alive = false;
+                } else if v.split(',').any(|t| t.trim() == "keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return proto_error(
+                    "501 Not Implemented",
+                    "transfer-encoding is not supported; use content-length",
+                );
+            }
+            _ => {}
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > limits.max_body_bytes {
+        // Decided from the header alone: the oversized body is never
+        // buffered.
+        return proto_error(
+            "413 Content Too Large",
+            "content-length exceeds the configured body limit",
+        );
+    }
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return ParseOutcome::Incomplete;
+    }
+    ParseOutcome::Request {
+        request: ParsedRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: buf[body_start..consumed].to_vec(),
+            keep_alive,
+        },
+        consumed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> ParserLimits {
+        ParserLimits {
+            max_header_bytes: 256,
+            max_body_bytes: 64,
+        }
+    }
+
+    fn whole(buf: &[u8]) -> ParseOutcome {
+        parse_request(buf, &limits())
+    }
+
+    #[test]
+    fn parses_a_complete_post() {
+        let raw = b"POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        match whole(raw) {
+            ParseOutcome::Request { request, consumed } => {
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/infer");
+                assert_eq!(request.body, b"abcd");
+                assert!(request.keep_alive);
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let close = b"GET /models HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let ParseOutcome::Request { request, .. } = whole(close) else {
+            panic!("close request must parse")
+        };
+        assert!(!request.keep_alive);
+        let old = b"GET /models HTTP/1.0\r\n\r\n";
+        let ParseOutcome::Request { request, .. } = whole(old) else {
+            panic!("HTTP/1.0 request must parse")
+        };
+        assert!(!request.keep_alive);
+        let revived = b"GET /models HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let ParseOutcome::Request { request, .. } = whole(revived) else {
+            panic!("keep-alive HTTP/1.0 request must parse")
+        };
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_parse() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        assert!(matches!(whole(raw), ParseOutcome::Request { .. }));
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_without_terminator() {
+        let raw = vec![b'A'; 300];
+        assert!(matches!(
+            whole(&raw),
+            ParseOutcome::Error { status, .. } if status.starts_with("431")
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413_from_the_header_alone() {
+        let raw = b"POST /infer HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+        assert!(matches!(
+            whole(raw),
+            ParseOutcome::Error { status, .. } if status.starts_with("413")
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let raw = b"POST /infer HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcd";
+        assert!(matches!(
+            whole(raw),
+            ParseOutcome::Error { status, .. } if status.starts_with("400")
+        ));
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected() {
+        let raw = b"POST /infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            whole(raw),
+            ParseOutcome::Error { status, .. } if status.starts_with("501")
+        ));
+    }
+
+    #[test]
+    fn every_split_point_is_incomplete_then_identical() {
+        // The incremental-safety contract: for every prefix of a valid
+        // request, the parser returns Incomplete (never a different
+        // request, never an error), and the full buffer parses to the
+        // same request as the unfragmented stream. This is the
+        // fuzz-style sweep over fragmented reads — a request split
+        // mid-header must not be misparsed.
+        let raw: &[u8] =
+            b"POST /infer HTTP/1.1\r\nHost: a\r\nContent-Length: 11\r\n\r\nhello world";
+        let ParseOutcome::Request {
+            request: expected, ..
+        } = whole(raw)
+        else {
+            panic!("canonical request must parse")
+        };
+        for split in 0..raw.len() {
+            match whole(&raw[..split]) {
+                ParseOutcome::Incomplete => {}
+                other => panic!("prefix of {split} bytes must be Incomplete, got {other:?}"),
+            }
+        }
+        let ParseOutcome::Request { request, consumed } = whole(raw) else {
+            panic!("full buffer must parse")
+        };
+        assert_eq!(request, expected);
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn pipelined_requests_consume_exactly_one_request() {
+        let first = b"GET /models HTTP/1.1\r\n\r\n".to_vec();
+        let mut buf = first.clone();
+        buf.extend_from_slice(b"POST /infer HTTP/1.1\r\nContent-Length: 2\r\n\r\nok");
+        let ParseOutcome::Request { request, consumed } = whole(&buf) else {
+            panic!("first pipelined request must parse")
+        };
+        assert_eq!(request.path, "/models");
+        assert_eq!(consumed, first.len());
+        let rest = &buf[consumed..];
+        let ParseOutcome::Request { request, consumed } = whole(rest) else {
+            panic!("second pipelined request must parse")
+        };
+        assert_eq!(request.path, "/infer");
+        assert_eq!(request.body, b"ok");
+        assert_eq!(consumed, rest.len());
+    }
+
+    #[test]
+    fn deterministic_multi_fragment_replay_matches_whole_parse() {
+        // Seeded LCG split replay: rebuild the stream from random-sized
+        // fragments and assert the parse flips from Incomplete to the
+        // canonical request exactly when the last byte lands.
+        let raw: &[u8] =
+            b"POST /infer HTTP/1.1\r\nHost: frag\r\nContent-Length: 16\r\n\r\n0123456789abcdef";
+        let ParseOutcome::Request {
+            request: expected, ..
+        } = whole(raw)
+        else {
+            panic!("canonical request must parse")
+        };
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        for _trial in 0..64 {
+            let mut buf: Vec<u8> = Vec::new();
+            let mut offset = 0usize;
+            while offset < raw.len() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let take = 1 + (seed >> 33) as usize % 7;
+                let end = (offset + take).min(raw.len());
+                buf.extend_from_slice(&raw[offset..end]);
+                offset = end;
+                match whole(&buf) {
+                    ParseOutcome::Incomplete => assert!(offset < raw.len()),
+                    ParseOutcome::Request { request, consumed } => {
+                        assert_eq!(offset, raw.len(), "must complete only on the last byte");
+                        assert_eq!(request, expected);
+                        assert_eq!(consumed, raw.len());
+                    }
+                    ParseOutcome::Error { status, .. } => {
+                        panic!("fragmented valid request parsed as error {status}")
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,15 +1,28 @@
 //! Worker node: a thread owning live containers.
+//!
+//! Work arrives on two channels. The *inference* channel is bounded
+//! ([`crate::ServingConfig::queue_depth`]) — the gateway's admission
+//! control rejects with a `429` instead of growing it — and is drained in
+//! per-model batches: after the first request the worker waits up to
+//! `max_batch_wait_us` for the batch to fill, then serves each model's
+//! group with one container acquisition (warm match, donor scan,
+//! transformation or cold start, store accounting) amortised across the
+//! group. Each request still runs its own forward pass, so responses are
+//! byte-identical whether or not they were batched. The *control*
+//! channel (crashes, kills, warm transfers) is unbounded and checked
+//! before every batch so fleet events are never dropped or stuck behind
+//! queued inference work.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use optimus_core::{execute_plan, ModelRepository, TransformDecision};
 use optimus_model::tensor::Tensor;
 use optimus_model::{infer, ModelGraph, ModelId};
 use optimus_store::{model_chunks, ChunkRef, NodeStore, StoreConfig, StoreStats, Tier};
-use optimus_telemetry::{Counter, Gauge, MetricsRegistry, Phase, Span, TelemetrySink};
+use optimus_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, Phase, Span, TelemetrySink};
 use parking_lot::Mutex;
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
@@ -30,10 +43,9 @@ pub(crate) struct InferItem {
     pub reply: Sender<Result<InferenceResponse, ServeError>>,
 }
 
-/// One unit of work for a worker thread: an inference, or an injected
-/// fault event from the gateway's fault plan.
-pub(crate) enum WorkItem {
-    Infer(InferItem),
+/// A fleet/fault event for a worker thread, delivered on the unbounded
+/// control channel so it can never be rejected by admission control.
+pub(crate) enum ControlItem {
     /// Node crash: all live containers die and the weight store loses its
     /// volatile tiers ([`NodeStore::crash`]); durable disk state survives.
     Crash,
@@ -192,56 +204,42 @@ struct FaultCounters {
     evictions: Counter,
 }
 
-/// Worker main loop: owns its containers; processes items until the
-/// channel closes. Every served request is measured by a telemetry
-/// [`Span`] and exported through `sink`; an `optimus_containers` gauge
-/// tracks pool occupancy and, when the store is enabled, per-tier
-/// residency gauges plus chunk hit/miss counters track the weight store.
-/// `Crash`/`Kill` items from the gateway's fault plan destroy container
-/// state (and volatile store tiers) in between requests.
-pub(crate) fn run_worker(
+/// Everything a worker turn needs besides the containers themselves.
+struct WorkerState {
     node_id: usize,
     config: GatewayConfig,
     repo: Arc<ModelRepository>,
-    rx: Receiver<WorkItem>,
     sink: Arc<dyn TelemetrySink>,
-    metrics: Arc<MetricsRegistry>,
-    store_stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
-) {
-    let node = node_id.to_string();
-    let containers_gauge = metrics.gauge("optimus_containers", &[("node", &node)]);
-    let counters = FaultCounters {
-        escalations: metrics.counter("optimus_safeguard_escalations_total", &[("node", &node)]),
-        overruns: metrics.counter("optimus_transform_overruns_total", &[("node", &node)]),
-        evictions: metrics.counter("optimus_fault_evictions_total", &[("node", &node)]),
-    };
-    let mut store = config
-        .store
-        .map(|sc| WorkerStore::new(node_id, sc, &repo, &metrics, store_stats));
-    // Publish the empty-store baseline so `/store` reports every node
-    // from the first request onward.
-    if let Some(ws) = store.as_mut() {
-        ws.publish();
-    }
-    let mut containers: Vec<LiveContainer> = Vec::new();
-    while let Ok(item) = rx.recv() {
+    containers_gauge: Gauge,
+    /// Live depth of this node's bounded admission queue
+    /// (`optimus_serve_queue_depth`): the gateway adds on enqueue, the
+    /// worker subtracts on dequeue.
+    depth_gauge: Gauge,
+    /// Size of every same-model group served (`optimus_serve_batch_size`).
+    batch_hist: Histogram,
+    counters: FaultCounters,
+    store: Option<WorkerStore>,
+}
+
+impl WorkerState {
+    fn handle_control(&mut self, item: ControlItem, containers: &mut Vec<LiveContainer>) {
         match item {
-            WorkItem::Crash => {
-                counters.evictions.add(containers.len() as u64);
+            ControlItem::Crash => {
+                self.counters.evictions.add(containers.len() as u64);
                 containers.clear();
-                if let Some(ws) = store.as_mut() {
+                if let Some(ws) = self.store.as_mut() {
                     ws.crash();
                     ws.publish();
                 }
-                containers_gauge.set(0.0);
+                self.containers_gauge.set(0.0);
             }
-            WorkItem::Warm(chunks) => {
-                if let Some(ws) = store.as_mut() {
+            ControlItem::Warm(chunks) => {
+                if let Some(ws) = self.store.as_mut() {
                     ws.warm(&chunks);
                     ws.publish();
                 }
             }
-            WorkItem::Kill => {
+            ControlItem::Kill => {
                 if let Some(victim) = containers
                     .iter()
                     .enumerate()
@@ -249,103 +247,219 @@ pub(crate) fn run_worker(
                     .map(|(i, _)| i)
                 {
                     let dead = containers.swap_remove(victim);
-                    counters.evictions.inc();
-                    if let Some(ws) = store.as_mut() {
-                        ws.release_model(&repo, dead.model_id);
+                    self.counters.evictions.inc();
+                    if let Some(ws) = self.store.as_mut() {
+                        ws.release_model(&self.repo, dead.model_id);
                         ws.publish();
                     }
                 }
-                containers_gauge.set(containers.len() as f64);
-            }
-            WorkItem::Infer(item) => {
-                let wait = item.enqueued.elapsed().as_secs_f64();
-                // Telemetry labels resolve the interned id back to its
-                // name once per request, here at the edge.
-                let name = repo
-                    .model_name_of(item.model_id)
-                    .unwrap_or_else(|| format!("model#{}", item.model_id.0));
-                let mut span = Span::begin(name.clone(), node_id);
-                span.add(Phase::Wait, wait);
-                let result = serve(
-                    node_id,
-                    &config,
-                    &repo,
-                    &mut containers,
-                    store.as_mut(),
-                    &item,
-                    &name,
-                    wait,
-                    &mut span,
-                    &counters,
-                );
-                if result.is_ok() {
-                    sink.record(&span.finish());
-                }
-                containers_gauge.set(containers.len() as f64);
-                if let Some(ws) = store.as_mut() {
-                    ws.publish();
-                }
-                // The client may have given up; a dead reply channel is fine.
-                let _ = item.reply.send(result);
+                self.containers_gauge.set(containers.len() as f64);
             }
         }
     }
 }
 
+/// Worker main loop: owns its containers; batches the bounded inference
+/// queue per model until it closes. Every served request is measured by a
+/// telemetry [`Span`] and exported through `sink`; an
+/// `optimus_containers` gauge tracks pool occupancy,
+/// `optimus_serve_queue_depth`/`optimus_serve_batch_size` track admission
+/// and batching, and, when the store is enabled, per-tier residency
+/// gauges plus chunk hit/miss counters track the weight store.
+/// `Crash`/`Kill` control items from the gateway's fault plan destroy
+/// container state (and volatile store tiers) in between batches.
 #[allow(clippy::too_many_arguments)]
-fn serve(
+pub(crate) fn run_worker(
     node_id: usize,
-    config: &GatewayConfig,
-    repo: &ModelRepository,
+    config: GatewayConfig,
+    repo: Arc<ModelRepository>,
+    infer_rx: Receiver<InferItem>,
+    ctrl_rx: Receiver<ControlItem>,
+    sink: Arc<dyn TelemetrySink>,
+    metrics: Arc<MetricsRegistry>,
+    store_stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
+) {
+    let node = node_id.to_string();
+    let mut state = WorkerState {
+        node_id,
+        config,
+        repo: repo.clone(),
+        sink,
+        containers_gauge: metrics.gauge("optimus_containers", &[("node", &node)]),
+        depth_gauge: metrics.gauge("optimus_serve_queue_depth", &[("node", &node)]),
+        batch_hist: metrics.histogram_with_bounds(
+            "optimus_serve_batch_size",
+            &[("node", &node)],
+            || vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+        ),
+        counters: FaultCounters {
+            escalations: metrics.counter("optimus_safeguard_escalations_total", &[("node", &node)]),
+            overruns: metrics.counter("optimus_transform_overruns_total", &[("node", &node)]),
+            evictions: metrics.counter("optimus_fault_evictions_total", &[("node", &node)]),
+        },
+        store: config
+            .store
+            .map(|sc| WorkerStore::new(node_id, sc, &repo, &metrics, store_stats)),
+    };
+    // Publish the empty-store baseline so `/store` reports every node
+    // from the first request onward.
+    if let Some(ws) = state.store.as_mut() {
+        ws.publish();
+    }
+    let mut containers: Vec<LiveContainer> = Vec::new();
+    let max_batch = config.serving.max_batch.max(1);
+    let window = Duration::from_micros(config.serving.max_batch_wait_us);
+    loop {
+        // Control events do not wait behind queued inference work.
+        while let Some(ev) = ctrl_rx.try_recv() {
+            state.handle_control(ev, &mut containers);
+        }
+        // Idle tick: wake periodically so control events (and shutdown)
+        // are noticed even when no requests arrive.
+        let first = match infer_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch = vec![first];
+        if max_batch > 1 {
+            let deadline = Instant::now() + window;
+            while batch.len() < max_batch {
+                // Drain what is already queued, then wait out the window.
+                if let Some(item) = infer_rx.try_recv() {
+                    batch.push(item);
+                    continue;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match infer_rx.recv_timeout(deadline - now) {
+                    Ok(item) => batch.push(item),
+                    Err(_) => break,
+                }
+            }
+        }
+        state.depth_gauge.add(-(batch.len() as f64));
+        // A fault event drawn alongside a request in this batch must land
+        // before the batch is served (single-channel FIFO equivalence).
+        while let Some(ev) = ctrl_rx.try_recv() {
+            state.handle_control(ev, &mut containers);
+        }
+        // Partition into per-model groups, preserving arrival order;
+        // different models arriving in one window are never co-batched.
+        let mut groups: Vec<(ModelId, Vec<InferItem>)> = Vec::new();
+        for item in batch {
+            match groups.iter_mut().find(|(id, _)| *id == item.model_id) {
+                Some((_, g)) => g.push(item),
+                None => groups.push((item.model_id, vec![item])),
+            }
+        }
+        for (model_id, group) in groups {
+            serve_group(&mut state, &mut containers, model_id, group);
+        }
+    }
+    // Late control events (e.g. a crash racing a drain) are dropped with
+    // the node.
+}
+
+/// Serve one same-model group: acquire the container once, then run each
+/// request's own forward pass. The first request pays (and reports) the
+/// acquisition — cold, transformed or warm — and the rest are warm hits
+/// on the container it produced, exactly as if they had arrived
+/// sequentially.
+fn serve_group(
+    state: &mut WorkerState,
     containers: &mut Vec<LiveContainer>,
-    mut store: Option<&mut WorkerStore>,
-    item: &InferItem,
-    name: &str,
-    wait_seconds: f64,
-    span: &mut Span,
-    counters: &FaultCounters,
-) -> Result<InferenceResponse, ServeError> {
-    let now = Instant::now();
+    model_id: ModelId,
+    group: Vec<InferItem>,
+) {
+    let batch_size = group.len();
+    state.batch_hist.observe(batch_size as f64);
+    // Telemetry labels resolve the interned id back to its name once per
+    // group, here at the edge.
+    let name = state
+        .repo
+        .model_name_of(model_id)
+        .unwrap_or_else(|| format!("model#{}", model_id.0));
     // Keep-alive eviction: expired containers release their chunks, which
     // demotes them to node memory rather than forgetting them.
+    let now = Instant::now();
     let mut expired = Vec::new();
     containers.retain(|c| {
-        let keep = now.duration_since(c.last_used).as_secs_f64() <= config.keep_alive;
+        let keep = now.duration_since(c.last_used).as_secs_f64() <= state.config.keep_alive;
         if !keep {
             expired.push(c.model_id);
         }
         keep
     });
-    if let Some(ws) = store.as_deref_mut() {
+    if let Some(ws) = state.store.as_mut() {
         for &id in &expired {
-            ws.release_model(repo, id);
+            ws.release_model(&state.repo, id);
         }
     }
-
-    let obtained = obtain_container(config, repo, containers, store, item, name, counters)?;
-    span.set_kind(obtained.start.into());
-    span.add(Phase::Load, obtained.startup_seconds);
-    span.set_transform_steps(obtained.transform_steps);
-    if let Some(hit) = obtained.plan_cache_hit {
-        span.set_plan_cache_hit(hit);
+    let mut acquired: Option<Obtained> = None;
+    for item in group {
+        let wait = item.enqueued.elapsed().as_secs_f64();
+        let mut span = Span::begin(name.clone(), state.node_id);
+        span.add(Phase::Wait, wait);
+        let obtained = match acquired.take() {
+            // Followers hit the container the group leader acquired.
+            Some(prev) => Ok(Obtained {
+                slot: prev.slot,
+                start: ServedStart::Warm,
+                startup_seconds: 0.0,
+                transform_steps: 0,
+                plan_cache_hit: None,
+            }),
+            None => obtain_container(
+                &state.config,
+                &state.repo,
+                containers,
+                state.store.as_mut(),
+                &item,
+                &name,
+                &state.counters,
+            ),
+        };
+        let result = obtained.and_then(|obtained| {
+            span.set_kind(obtained.start.into());
+            span.add(Phase::Load, obtained.startup_seconds);
+            span.set_transform_steps(obtained.transform_steps);
+            if let Some(hit) = obtained.plan_cache_hit {
+                span.set_plan_cache_hit(hit);
+            }
+            let slot = obtained.slot;
+            let t0 = Instant::now();
+            let output = infer::run(&containers[slot].model, item.input.clone())
+                .map_err(|e| ServeError::Inference(e.to_string()))?;
+            let compute_seconds = t0.elapsed().as_secs_f64();
+            span.add(Phase::Compute, compute_seconds);
+            containers[slot].last_used = Instant::now();
+            let response = InferenceResponse {
+                model: name.clone(),
+                output,
+                start: obtained.start,
+                wait_seconds: wait,
+                startup_seconds: obtained.startup_seconds,
+                compute_seconds,
+                node: state.node_id,
+                transform_steps: obtained.transform_steps,
+                batch_size,
+            };
+            acquired = Some(obtained);
+            Ok(response)
+        });
+        if result.is_ok() {
+            state.sink.record(&span.finish());
+        }
+        // The client may have given up; a dead reply channel is fine.
+        let _ = item.reply.send(result);
     }
-    let slot = obtained.slot;
-    let t0 = Instant::now();
-    let output = infer::run(&containers[slot].model, item.input.clone())
-        .map_err(|e| ServeError::Inference(e.to_string()))?;
-    let compute_seconds = t0.elapsed().as_secs_f64();
-    span.add(Phase::Compute, compute_seconds);
-    containers[slot].last_used = Instant::now();
-    Ok(InferenceResponse {
-        model: name.to_string(),
-        output,
-        start: obtained.start,
-        wait_seconds,
-        startup_seconds: obtained.startup_seconds,
-        compute_seconds,
-        node: node_id,
-        transform_steps: obtained.transform_steps,
-    })
+    state.containers_gauge.set(containers.len() as f64);
+    if let Some(ws) = state.store.as_mut() {
+        ws.publish();
+    }
 }
 
 /// How a container was obtained for one request.

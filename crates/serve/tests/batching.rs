@@ -1,0 +1,157 @@
+//! Batching edge cases for the worker-side per-model request batching:
+//! window expiry with a single request, mixed-model arrivals never
+//! co-batched, and byte-identical responses whether batched or not.
+
+use std::time::{Duration, Instant};
+
+use optimus_model::tensor::Tensor;
+use optimus_model::{Activation, GraphBuilder, ModelGraph};
+use optimus_serve::{
+    Gateway, GatewayConfig, InferenceResponse, InferenceResult, PendingInference, ServingConfig,
+};
+
+fn tiny(name: &str, out_ch: usize) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input([1, 3, 8, 8]);
+    let x = b.conv2d_after(x, 3, out_ch, (3, 3), (1, 1), 1);
+    let _ = b.activation_after(x, Activation::Relu);
+    b.finish().unwrap()
+}
+
+fn config(serving: ServingConfig) -> GatewayConfig {
+    GatewayConfig {
+        nodes: 1,
+        capacity_per_node: 4,
+        idle_threshold: 0.0,
+        keep_alive: 60.0,
+        store: None,
+        faults: None,
+        serving,
+    }
+}
+
+/// Poll a set of submitted requests round-robin until all complete.
+fn drain_all(gw: &Gateway, mut pending: Vec<PendingInference>) -> Vec<InferenceResult> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut done: Vec<Option<InferenceResult>> = (0..pending.len()).map(|_| None).collect();
+    while done.iter().any(Option::is_none) {
+        assert!(Instant::now() < deadline, "requests never completed");
+        for (i, p) in pending.iter_mut().enumerate() {
+            if done[i].is_none() {
+                if let Some(r) = gw.poll(p) {
+                    done[i] = Some(r);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    done.into_iter().map(|r| r.expect("checked")).collect()
+}
+
+#[test]
+fn single_request_is_served_when_the_batch_window_expires() {
+    // A generous window with no follow-up traffic: the worker must serve
+    // the lone request at window expiry as a batch of one, not wait for
+    // the batch to fill.
+    let gw = Gateway::builder(config(ServingConfig {
+        queue_depth: 64,
+        max_batch: 8,
+        max_batch_wait_us: 5_000,
+    }))
+    .register(tiny("m", 4))
+    .spawn();
+    let start = Instant::now();
+    let r = gw.infer("m", Tensor::zeros([1, 3, 8, 8])).expect("serves");
+    assert_eq!(r.batch_size, 1, "a lone request is a batch of one");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "window expiry must not stall the request"
+    );
+    gw.shutdown();
+}
+
+#[test]
+fn mixed_model_arrivals_are_never_co_batched() {
+    // Interleaved arrivals for two models on one node inside one batch
+    // window: groups are per-model, so no response may report a batch
+    // larger than its own model's request count, and every output must
+    // have its own model's shape.
+    let gw = Gateway::builder(config(ServingConfig {
+        queue_depth: 64,
+        max_batch: 16,
+        max_batch_wait_us: 200_000,
+    }))
+    .register(tiny("a", 4))
+    .register(tiny("b", 8))
+    .spawn();
+    let per_model = 6usize;
+    let mut pending = Vec::new();
+    for _ in 0..per_model {
+        pending.push(gw.submit("a", Tensor::zeros([1, 3, 8, 8])).expect("admits"));
+        pending.push(gw.submit("b", Tensor::zeros([1, 3, 8, 8])).expect("admits"));
+    }
+    let results = drain_all(&gw, pending);
+    for (i, r) in results.iter().enumerate() {
+        let r = r.as_ref().expect("all requests succeed");
+        let expect_ch = if i % 2 == 0 { 4 } else { 8 };
+        assert_eq!(
+            r.output.shape().dims(),
+            &[1, expect_ch, 8, 8],
+            "request {i} got another model's output"
+        );
+        assert!(
+            r.batch_size <= per_model,
+            "request {i} reports batch_size {} > its model's {} requests: \
+             models were co-batched",
+            r.batch_size,
+            per_model
+        );
+    }
+    gw.shutdown();
+}
+
+#[test]
+fn batched_and_unbatched_responses_are_byte_identical() {
+    let gw = Gateway::builder(config(ServingConfig {
+        queue_depth: 64,
+        max_batch: 8,
+        max_batch_wait_us: 200_000,
+    }))
+    .register(tiny("m", 4))
+    .spawn();
+    let input = || {
+        let numel = 3 * 8 * 8;
+        Tensor::new(
+            vec![1, 3, 8, 8],
+            (0..numel).map(|i| (i as f32) * 0.01 - 0.5).collect(),
+        )
+    };
+    // Baseline: a lone request (batch of one).
+    let solo = gw.infer("m", input()).expect("solo request serves");
+    assert_eq!(solo.batch_size, 1);
+    let solo_bits: Vec<u32> = solo.output.data().iter().map(|v| v.to_bits()).collect();
+
+    // Burst: submitted back-to-back so the worker's batch window groups
+    // them; each runs its own forward pass.
+    let burst: Vec<PendingInference> = (0..6)
+        .map(|_| gw.submit("m", input()).expect("admits"))
+        .collect();
+    let results: Vec<InferenceResponse> = drain_all(&gw, burst)
+        .into_iter()
+        .map(|r| r.expect("burst requests succeed"))
+        .collect();
+    assert!(
+        results.iter().any(|r| r.batch_size >= 2),
+        "burst of 6 within a 200ms window never batched: {:?}",
+        results.iter().map(|r| r.batch_size).collect::<Vec<_>>()
+    );
+    for (i, r) in results.iter().enumerate() {
+        let bits: Vec<u32> = r.output.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits, solo_bits,
+            "batched response {i} (batch_size {}) differs from the unbatched baseline",
+            r.batch_size
+        );
+    }
+    gw.shutdown();
+}

@@ -2,11 +2,13 @@
 //! catalog chunk set is shipped ahead of traffic), join the failover
 //! ring, and drain back out — with the initial fleet as the floor.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use optimus_model::tensor::Tensor;
 use optimus_model::{Activation, GraphBuilder, ModelGraph, PoolKind};
-use optimus_serve::{Gateway, GatewayConfig, ServedStart};
+use optimus_serve::{FaultSpec, Gateway, GatewayConfig, HttpServer, RetryPolicy, ServedStart};
 
 fn tiny(name: &str, channels: &[usize]) -> ModelGraph {
     let mut b = GraphBuilder::new(name);
@@ -31,6 +33,7 @@ fn single_node() -> GatewayConfig {
         keep_alive: 60.0,
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
+        serving: optimus_serve::ServingConfig::default(),
     }
 }
 
@@ -86,6 +89,149 @@ fn registered_node_joins_warm_and_drains_back_out() {
     let r = gw.infer("m", Tensor::zeros([1, 3, 8, 8])).unwrap();
     assert_eq!(r.start, ServedStart::Warm);
     gw.shutdown();
+}
+
+/// Regression for drain vs in-flight work: requests already queued on a
+/// node when it drains must complete (the worker finishes its queue
+/// before exiting), and later requests must be answered — rerouted or
+/// refused — never silently dropped.
+#[test]
+fn drain_finishes_queued_requests_and_never_drops_them() {
+    // Crash rate 1.0 with a long recovery: the home node (0) goes down on
+    // the first draw and every request fails over to the elastically
+    // registered node 1 — the node we then drain mid-backlog.
+    let spec = FaultSpec {
+        node_crash_rate: 1.0,
+        recovery_seconds: 60.0,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff_seconds: 0.001,
+            backoff_multiplier: 2.0,
+        },
+        ..FaultSpec::off(7)
+    };
+    let config = GatewayConfig {
+        faults: Some(spec),
+        ..single_node()
+    };
+    let gw = Gateway::builder(config)
+        // Isolated registry: the global scale-event counters are
+        // asserted exactly by `fleet_gauges_track_scale_events`.
+        .metrics(std::sync::Arc::new(
+            optimus_telemetry::MetricsRegistry::new(),
+        ))
+        .register(tiny("m", &[4]))
+        .spawn();
+    assert_eq!(gw.register_node(), 1);
+
+    // Build a backlog on node 1, then drain it while the queue is live.
+    let mut pending: Vec<_> = (0..12)
+        .map(|_| gw.submit("m", Tensor::zeros([1, 3, 8, 8])).expect("admits"))
+        .collect();
+    assert!(gw.drain_node(1), "the extra node drains");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut results = Vec::new();
+    while !pending.is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "queued requests on the drained node never completed"
+        );
+        pending.retain_mut(|p| match gw.poll(p) {
+            Some(r) => {
+                results.push(r);
+                false
+            }
+            None => true,
+        });
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for (i, r) in results.iter().enumerate() {
+        let r = r
+            .as_ref()
+            .unwrap_or_else(|e| panic!("request {i} queued before the drain was dropped: {e}"));
+        assert_eq!(r.node, 1, "request {i} was queued on the draining node");
+    }
+    // A request after the drain finds no healthy node (0 is crashed for
+    // 60s, 1 is drained): it must be *answered* with Unavailable — an
+    // explicit refusal, not a hang or a dropped reply.
+    let after = gw.infer("m", Tensor::zeros([1, 3, 8, 8]));
+    assert!(
+        matches!(after, Err(optimus_serve::ServeError::Unavailable(_))),
+        "post-drain request must be refused explicitly: {after:?}"
+    );
+    gw.shutdown();
+}
+
+/// Regression for drain vs persistent connections: a keep-alive client
+/// mid-stream across register/drain fleet events keeps its connection —
+/// every pipelined request is answered in order on the same socket.
+#[test]
+fn keep_alive_connection_survives_register_and_drain() {
+    let gw = std::sync::Arc::new(
+        Gateway::builder(single_node())
+            // Isolated registry: keep the global scale-event counters
+            // untouched for `fleet_gauges_track_scale_events`.
+            .metrics(std::sync::Arc::new(
+                optimus_telemetry::MetricsRegistry::new(),
+            ))
+            .register(tiny("m", &[4]))
+            .spawn(),
+    );
+    let server = HttpServer::serve(gw.clone(), 0).expect("binds");
+    let stream = TcpStream::connect(server.addr()).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = BufReader::new(stream);
+
+    let body = r#"{"model":"m","shape":[1,3,8,8]}"#;
+    let request = format!(
+        "POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut exchange = || {
+        writer.write_all(request.as_bytes()).expect("writes");
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("reads status");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reads header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                content_length = v;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("reads body");
+        assert!(status.contains("200"), "{status}");
+        serde_json::from_slice::<serde_json::Value>(&body).expect("json response")
+    };
+
+    let r1 = exchange();
+    assert_eq!(r1["model"], "m");
+    let id = gw.register_node();
+    let r2 = exchange();
+    assert_eq!(r2["model"], "m", "request mid scale-out answered");
+    assert!(gw.drain_node(id));
+    let r3 = exchange();
+    assert_eq!(
+        r3["model"], "m",
+        "request after drain answered on the same socket"
+    );
+    assert_eq!(gw.fleet_size(), 1);
+    server.shutdown();
 }
 
 #[test]

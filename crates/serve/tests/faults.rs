@@ -32,6 +32,7 @@ fn config(nodes: usize, faults: FaultSpec) -> GatewayConfig {
         keep_alive: 60.0,
         store: Some(optimus_store::StoreConfig::default()),
         faults: Some(faults),
+        serving: optimus_serve::ServingConfig::default(),
     }
 }
 
@@ -171,6 +172,7 @@ fn stalled_client_gets_408_and_healthz_reports_nodes() {
             keep_alive: 60.0,
             store: None,
             faults: None,
+            serving: optimus_serve::ServingConfig::default(),
         })
         .register(tiny("m1", 4))
         .spawn(),
@@ -181,6 +183,7 @@ fn stalled_client_gets_408_and_healthz_reports_nodes() {
         HttpConfig {
             read_timeout: Some(Duration::from_millis(200)),
             write_timeout: Some(Duration::from_secs(5)),
+            ..HttpConfig::default()
         },
     )
     .expect("binds");

@@ -27,6 +27,7 @@ fn start_server() -> (HttpServer, std::net::SocketAddr) {
             keep_alive: 60.0,
             store: Some(optimus_store::StoreConfig::default()),
             faults: None,
+            serving: optimus_serve::ServingConfig::default(),
         })
         .register(tiny("m1", 4))
         .register(tiny("m2", 8))

@@ -29,6 +29,7 @@ fn single_node() -> GatewayConfig {
         keep_alive: 60.0,
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
+        serving: optimus_serve::ServingConfig::default(),
     }
 }
 
@@ -104,6 +105,7 @@ fn concurrent_clients_are_all_served() {
         keep_alive: 60.0,
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
+        serving: optimus_serve::ServingConfig::default(),
     };
     let gw = std::sync::Arc::new(
         Gateway::builder(config)
@@ -146,6 +148,7 @@ fn capacity_is_respected_via_lru_eviction() {
         keep_alive: 1e9,
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
+        serving: optimus_serve::ServingConfig::default(),
     };
     let gw = Gateway::builder(config)
         .register(tiny("x", &[4]))

@@ -32,6 +32,7 @@ fn start_server(registry: Arc<MetricsRegistry>) -> (HttpServer, std::net::Socket
             keep_alive: 60.0,
             store: Some(optimus_store::StoreConfig::default()),
             faults: None,
+            serving: optimus_serve::ServingConfig::default(),
         })
         .metrics(registry)
         .register(tiny("m1", 4))

@@ -31,4 +31,7 @@ cargo run --release -q -p optimus-bench --bin exp_chaos -- --small --threads 2
 echo "== exp_scale_out (small CI config, elastic multicast sweep) =="
 cargo run --release -q -p optimus-bench --bin exp_scale_out -- --small --threads 2
 
+echo "== exp_serve_scale (small CI config, live serving front-end trajectory) =="
+cargo run --release -q -p optimus-bench --bin exp_serve_scale -- --small
+
 echo "all checks passed"
