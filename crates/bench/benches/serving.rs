@@ -31,6 +31,7 @@ fn serving_benches(c: &mut Criterion) {
         store: None,
         faults: None,
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     })
     .register(tiny("warm", &[8]))
     .spawn();
@@ -50,6 +51,7 @@ fn serving_benches(c: &mut Criterion) {
         store: None,
         faults: None,
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     })
     .register(tiny("a", &[8]))
     .register(tiny("b", &[16, 16]))

@@ -14,16 +14,21 @@ pub struct FleetSignals {
     pub total_slots: usize,
     /// Requests waiting on a slot (queue-depth proxy).
     pub queued: usize,
+    /// Arrivals the platform's predictor forecasts within its scale-out
+    /// horizon (0 when prediction is off — the purely reactive signal).
+    pub predicted: usize,
 }
 
 impl FleetSignals {
-    /// Slot pressure in `[0, ∞)`: busy plus queued work over capacity
-    /// (1.0 when empty, so a zero-capacity fleet always reads saturated).
+    /// Slot pressure in `[0, ∞)`: busy, queued, and predicted work over
+    /// capacity (1.0 when empty, so a zero-capacity fleet always reads
+    /// saturated). With `predicted == 0` this is the classic reactive
+    /// pressure bit-for-bit.
     pub fn pressure(&self) -> f64 {
         if self.total_slots == 0 {
             1.0
         } else {
-            (self.busy_slots + self.queued) as f64 / self.total_slots as f64
+            (self.busy_slots + self.queued + self.predicted) as f64 / self.total_slots as f64
         }
     }
 }
@@ -128,6 +133,7 @@ mod tests {
             busy_slots: 9,
             total_slots: 10,
             queued: 3,
+            predicted: 0,
         }
     }
 
@@ -137,6 +143,7 @@ mod tests {
             busy_slots: 1,
             total_slots: 10,
             queued: 0,
+            predicted: 0,
         }
     }
 
@@ -149,8 +156,22 @@ mod tests {
             busy_slots: 0,
             total_slots: 0,
             queued: 0,
+            predicted: 0,
         };
         assert_eq!(empty.pressure(), 1.0, "no capacity reads saturated");
+    }
+
+    #[test]
+    fn predicted_arrivals_raise_pressure() {
+        // A quiet fleet with forecast arrivals reads hot: the predictor
+        // can fire scale-out before the queue ever builds.
+        let mut s = cold(2);
+        assert!(s.pressure() < 0.8);
+        s.predicted = 8;
+        assert!((s.pressure() - 0.9).abs() < 1e-12);
+        let mut a = Autoscaler::new(config());
+        assert_eq!(a.observe(0.0, &s), ScaleDecision::Hold);
+        assert_eq!(a.observe(5.0, &s), ScaleDecision::ScaleOut(2));
     }
 
     #[test]

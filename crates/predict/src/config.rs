@@ -1,0 +1,188 @@
+//! Configuration for the prediction subsystem.
+//!
+//! `PredictConfig` is `Copy` (it rides inside the live gateway's `Copy`
+//! config) and fully serializable (it rides inside `SimConfig`). The
+//! **inert** configuration — adaptive keep-alive off, speculation off —
+//! observes arrivals but actuates nothing, and the simulator asserts it
+//! reproduces `predict: None` runs byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+/// Default two-sided confidence for the head/tail cutoffs.
+pub const DEFAULT_CONFIDENCE: f64 = 0.85;
+/// Arrivals required before the predictor trusts a function's histogram;
+/// below this every query falls back to the fixed-window baseline.
+pub const DEFAULT_MIN_HISTORY: u64 = 4;
+/// Default clamp floor for adaptive keep-alive windows (the classic
+/// Pagurus idle threshold).
+pub const DEFAULT_KEEP_ALIVE_FLOOR_S: f64 = 60.0;
+/// Default clamp ceiling for adaptive keep-alive windows (1 h).
+pub const DEFAULT_KEEP_ALIVE_CEILING_S: f64 = 3600.0;
+/// Default safety margin applied to the tail cutoff when deriving a
+/// keep-alive window: keep the container a bit past the predicted tail.
+pub const DEFAULT_WINDOW_MARGIN: f64 = 1.25;
+/// Default speculation lead: fire the transform this many seconds before
+/// the predicted band opens, so the container is warm when it does.
+pub const DEFAULT_SPEC_LEAD_S: f64 = 2.0;
+/// Default speculation aggressiveness (1.0 = risk-neutral expected-value
+/// gate; >1 speculates more, <1 less).
+pub const DEFAULT_SPEC_AGGRESSIVENESS: f64 = 1.0;
+
+/// Speculative-transformation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeculationConfig {
+    /// Seconds before the predicted band head at which to fire.
+    pub lead: f64,
+    /// Scales the perceived benefit in the expected-value gate. 1.0 is
+    /// risk-neutral; larger values speculate on weaker forecasts. The
+    /// hard budget gate (`spec_cost < cold_cost`) applies at *every*
+    /// aggressiveness, which is what bounds misprediction cost.
+    pub aggressiveness: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self {
+            lead: DEFAULT_SPEC_LEAD_S,
+            aggressiveness: DEFAULT_SPEC_AGGRESSIVENESS,
+        }
+    }
+}
+
+/// Top-level prediction config.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictConfig {
+    /// Arrivals required before forecasts/windows leave the baseline.
+    pub min_history: u64,
+    /// Two-sided confidence for head/tail cutoffs, in (0, 1).
+    pub confidence: f64,
+    /// Replace the global keep-alive constant with per-function windows.
+    pub adaptive_keep_alive: bool,
+    /// Clamp floor for adaptive windows (seconds).
+    pub keep_alive_floor: f64,
+    /// Clamp ceiling for adaptive windows (seconds).
+    pub keep_alive_ceiling: f64,
+    /// Multiplier on the tail cutoff when deriving a window.
+    pub window_margin: f64,
+    /// Speculative transformation; `None` disables it.
+    pub speculation: Option<SpeculationConfig>,
+}
+
+impl Default for PredictConfig {
+    fn default() -> Self {
+        Self {
+            min_history: DEFAULT_MIN_HISTORY,
+            confidence: DEFAULT_CONFIDENCE,
+            adaptive_keep_alive: true,
+            keep_alive_floor: DEFAULT_KEEP_ALIVE_FLOOR_S,
+            keep_alive_ceiling: DEFAULT_KEEP_ALIVE_CEILING_S,
+            window_margin: DEFAULT_WINDOW_MARGIN,
+            speculation: Some(SpeculationConfig::default()),
+        }
+    }
+}
+
+impl PredictConfig {
+    /// A config that observes arrivals but actuates nothing: keep-alive
+    /// stays the caller's fixed window and no speculation is issued. The
+    /// simulator asserts this reproduces `predict: None` byte-for-byte.
+    pub fn inert() -> Self {
+        Self {
+            adaptive_keep_alive: false,
+            speculation: None,
+            ..Self::default()
+        }
+    }
+
+    /// True when neither actuator is enabled.
+    pub fn is_inert(&self) -> bool {
+        !self.adaptive_keep_alive && self.speculation.is_none()
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(format!(
+                "confidence must be in (0,1), got {}",
+                self.confidence
+            ));
+        }
+        if self.keep_alive_floor.is_nan() || self.keep_alive_floor < 0.0 {
+            return Err(format!(
+                "keep_alive_floor must be >= 0, got {}",
+                self.keep_alive_floor
+            ));
+        }
+        if self.keep_alive_ceiling.is_nan() || self.keep_alive_ceiling < self.keep_alive_floor {
+            return Err(format!(
+                "keep_alive_ceiling {} < floor {}",
+                self.keep_alive_ceiling, self.keep_alive_floor
+            ));
+        }
+        if self.window_margin.is_nan() || self.window_margin < 1.0 {
+            return Err(format!(
+                "window_margin must be >= 1, got {}",
+                self.window_margin
+            ));
+        }
+        if let Some(s) = &self.speculation {
+            if s.lead.is_nan() || s.lead < 0.0 {
+                return Err(format!("speculation.lead must be >= 0, got {}", s.lead));
+            }
+            if s.aggressiveness.is_nan() || s.aggressiveness <= 0.0 {
+                return Err(format!(
+                    "speculation.aggressiveness must be > 0, got {}",
+                    s.aggressiveness
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        PredictConfig::default().validate().unwrap();
+        PredictConfig::inert().validate().unwrap();
+    }
+
+    #[test]
+    fn inert_means_no_actuators() {
+        let c = PredictConfig::inert();
+        assert!(c.is_inert());
+        assert!(!c.adaptive_keep_alive);
+        assert!(c.speculation.is_none());
+        assert!(!PredictConfig::default().is_inert());
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let base = PredictConfig::default();
+        let c = PredictConfig {
+            confidence: 1.0,
+            ..base
+        };
+        assert!(c.validate().is_err());
+        let c = PredictConfig {
+            keep_alive_ceiling: base.keep_alive_floor - 1.0,
+            ..base
+        };
+        assert!(c.validate().is_err());
+        let c = PredictConfig {
+            window_margin: 0.5,
+            ..base
+        };
+        assert!(c.validate().is_err());
+        let c = PredictConfig {
+            speculation: Some(SpeculationConfig {
+                lead: -1.0,
+                aggressiveness: 1.0,
+            }),
+            ..base
+        };
+        assert!(c.validate().is_err());
+    }
+}

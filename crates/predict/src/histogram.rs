@@ -1,0 +1,202 @@
+//! Log-bucketed inter-arrival histogram with quantile cutoffs.
+//!
+//! The bucket layout is fixed at compile time (geometric spacing over
+//! [`GAP_MIN_S`], [`GAP_MAX_S`]) so two histograms that saw the same gaps
+//! are bit-identical regardless of arrival order, and serialized state
+//! round-trips exactly. Quantiles interpolate geometrically inside a
+//! bucket and clamp to the observed min/max, so a histogram with a single
+//! sample answers every quantile with that sample — the degenerate case
+//! the adaptive keep-alive path leans on.
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest representable inter-arrival gap (1 ms). Gaps below this —
+/// including the zero gap of simultaneous arrivals — clamp up to it.
+pub const GAP_MIN_S: f64 = 1e-3;
+/// Largest representable gap (~11.6 days). Anything rarer is "never".
+pub const GAP_MAX_S: f64 = 1e6;
+/// Bucket count. 128 geometric buckets over [1 ms, 1e6 s] gives ~18%
+/// resolution per bucket (1e9 dynamic range ^ (1/128)), comfortably finer
+/// than the confidence bands consume.
+pub const GAP_BUCKETS: usize = 128;
+
+/// Histogram of inter-arrival gaps for one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterArrivalHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl Default for InterArrivalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InterArrivalHistogram {
+    pub fn new() -> Self {
+        // Empty-histogram sentinels are finite (JSON-representable);
+        // they are never consulted before the first observation.
+        Self {
+            counts: vec![0; GAP_BUCKETS],
+            total: 0,
+            min_seen: GAP_MAX_S,
+            max_seen: GAP_MIN_S,
+        }
+    }
+
+    fn bucket_of(gap: f64) -> usize {
+        let g = gap.clamp(GAP_MIN_S, GAP_MAX_S);
+        let span = (GAP_MAX_S / GAP_MIN_S).ln();
+        let idx = ((g / GAP_MIN_S).ln() / span * GAP_BUCKETS as f64) as usize;
+        idx.min(GAP_BUCKETS - 1)
+    }
+
+    /// Geometric lower bound of bucket `i`.
+    fn bucket_low(i: usize) -> f64 {
+        let span = (GAP_MAX_S / GAP_MIN_S).ln();
+        GAP_MIN_S * (span * i as f64 / GAP_BUCKETS as f64).exp()
+    }
+
+    /// Record one inter-arrival gap.
+    pub fn observe(&mut self, gap: f64) {
+        let g = gap.clamp(GAP_MIN_S, GAP_MAX_S);
+        self.counts[Self::bucket_of(g)] += 1;
+        self.total += 1;
+        if g < self.min_seen {
+            self.min_seen = g;
+        }
+        if g > self.max_seen {
+            self.max_seen = g;
+        }
+    }
+
+    /// Number of gaps observed.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Nearest-rank quantile with geometric interpolation inside the
+    /// bucket, clamped to the observed range. Returns `None` on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        // The first and last order statistics are known exactly.
+        if rank == 1 {
+            return Some(self.min_seen);
+        }
+        if rank == self.total {
+            return Some(self.max_seen);
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                // Interpolate geometrically: occupant `p` of `c` sits
+                // `(p-1)/(c-1)` of the way through the bucket (bucket
+                // midpoint when it has a single occupant), clamped to
+                // the observed range.
+                let p = rank - cum;
+                let frac = if c == 1 {
+                    0.5
+                } else {
+                    (p - 1) as f64 / (c - 1) as f64
+                };
+                let low = Self::bucket_low(i);
+                let high = Self::bucket_low(i + 1);
+                let v = low * (high / low).powf(frac);
+                return Some(v.clamp(self.min_seen, self.max_seen));
+            }
+            cum += c;
+        }
+        Some(self.max_seen)
+    }
+
+    /// Azure-style head cutoff: the gap below which the next arrival is
+    /// unlikely, at the given two-sided confidence. Pre-warm *at* the
+    /// head, keep warm *until* the tail.
+    pub fn head_cutoff(&self, confidence: f64) -> Option<f64> {
+        self.quantile((1.0 - confidence) / 2.0)
+    }
+
+    /// Azure-style tail cutoff: the gap above which the next arrival is
+    /// unlikely, at the given two-sided confidence.
+    pub fn tail_cutoff(&self, confidence: f64) -> Option<f64> {
+        self.quantile(1.0 - (1.0 - confidence) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = InterArrivalHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.head_cutoff(0.9), None);
+        assert_eq!(h.tail_cutoff(0.9), None);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_with_itself() {
+        let mut h = InterArrivalHistogram::new();
+        h.observe(42.0);
+        for q in [0.0, 0.05, 0.5, 0.95, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert_eq!(v, 42.0, "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = InterArrivalHistogram::new();
+        for i in 1..=1000u32 {
+            h.observe(f64::from(i) * 0.1);
+        }
+        let head = h.head_cutoff(0.9).unwrap();
+        let med = h.quantile(0.5).unwrap();
+        let tail = h.tail_cutoff(0.9).unwrap();
+        assert!(head <= med && med <= tail, "{head} {med} {tail}");
+        assert!(head >= 0.1 && tail <= 100.0);
+        // 5th/95th percentile of U(0.1, 100) land near 5 and 95.
+        assert!((3.0..8.0).contains(&head), "head {head}");
+        assert!((80.0..100.1).contains(&tail), "tail {tail}");
+    }
+
+    #[test]
+    fn gaps_clamp_to_representable_range() {
+        let mut h = InterArrivalHistogram::new();
+        h.observe(0.0);
+        h.observe(1e12);
+        assert_eq!(h.quantile(0.0).unwrap(), GAP_MIN_S);
+        assert_eq!(h.quantile(1.0).unwrap(), GAP_MAX_S);
+    }
+
+    #[test]
+    fn observation_order_does_not_matter() {
+        let gaps = [0.5, 3.0, 12.0, 0.9, 700.0, 0.5];
+        let mut a = InterArrivalHistogram::new();
+        let mut b = InterArrivalHistogram::new();
+        for g in gaps {
+            a.observe(g);
+        }
+        for g in gaps.iter().rev() {
+            b.observe(*g);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,438 @@
+//! The online per-function arrival predictor and its actuator queries.
+//!
+//! One [`Predictor`] serves a whole deployment: function indices are the
+//! caller's dense ids (the simulator's interned `FunctionId::index()`,
+//! the gateway's `ModelId::index()`). All state is plain counters and
+//! histograms — `Serialize`-able, `PartialEq`-comparable, and updated by
+//! pure arithmetic on the caller's clock, so simulation runs that feed
+//! it virtual time stay byte-reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::PredictConfig;
+use crate::histogram::InterArrivalHistogram;
+
+/// Per-function predictor state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FuncState {
+    hist: InterArrivalHistogram,
+    /// Time of the most recent arrival.
+    last: f64,
+    /// Total arrivals observed.
+    arrivals: u64,
+    /// Head/tail cutoffs at the configured confidence, recomputed on
+    /// each observation so the per-event queries below are O(1) instead
+    /// of a bucket walk (0.0 until the histogram has a sample).
+    head: f64,
+    tail: f64,
+    /// `arrivals` value at which a speculation was last issued; issuing
+    /// at most once per observed arrival keeps the actuator from
+    /// re-firing every tick inside one predicted band. Zero means
+    /// "never" (zero observed arrivals never forecast anything, so the
+    /// collision is harmless — and the sentinel survives JSON, unlike
+    /// `u64::MAX`).
+    spec_issued_at: u64,
+}
+
+impl FuncState {
+    fn new() -> Self {
+        Self {
+            hist: InterArrivalHistogram::new(),
+            last: 0.0,
+            arrivals: 0,
+            head: 0.0,
+            tail: 0.0,
+            spec_issued_at: 0,
+        }
+    }
+}
+
+/// A forecast window for a function's next arrival: the predictor expects
+/// it in `[last + head, last + tail]` with probability `confidence`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Forecast {
+    /// Time of the function's most recent arrival.
+    pub last: f64,
+    /// Head cutoff (gap quantile at `(1-c)/2`).
+    pub head: f64,
+    /// Tail cutoff (gap quantile at `1-(1-c)/2`).
+    pub tail: f64,
+    /// The two-sided confidence the cutoffs were taken at.
+    pub confidence: f64,
+}
+
+impl Forecast {
+    /// Earliest predicted arrival time.
+    pub fn band_open(&self) -> f64 {
+        self.last + self.head
+    }
+
+    /// Latest predicted arrival time.
+    pub fn band_close(&self) -> f64 {
+        self.last + self.tail
+    }
+}
+
+/// Inputs to the speculation cost gate, in seconds of latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecCandidate {
+    /// What the speculative transform costs: repurpose overhead + plan
+    /// latency + any chunk transport the plan fetches.
+    pub spec_cost: f64,
+    /// What a cold start of the target would cost: container init +
+    /// model load + cold transport. This is the budget a misprediction
+    /// must stay under.
+    pub cold_cost: f64,
+    /// Forecast confidence the candidate was derived from.
+    pub confidence: f64,
+}
+
+impl SpecCandidate {
+    /// The cost-model gate. Two conditions:
+    ///
+    /// 1. **Hard budget** — `spec_cost < cold_cost`: even a guaranteed
+    ///    misprediction wastes less than one cold start. Enforced at
+    ///    every aggressiveness; this is what bounds misprediction cost.
+    /// 2. **Expected value** — `c · (cold - spec) · aggr ≥ (1-c) · spec`:
+    ///    the confidence-weighted saving beats the miss-weighted waste,
+    ///    with `aggressiveness` scaling the perceived benefit.
+    pub fn admit(&self, aggressiveness: f64) -> bool {
+        self.spec_cost < self.cold_cost
+            && self.confidence * (self.cold_cost - self.spec_cost) * aggressiveness
+                >= (1.0 - self.confidence) * self.spec_cost
+    }
+
+    /// Signed budget slack: `spec_cost - cold_cost`. Negative for every
+    /// admitted candidate; reports track the max to machine-check it.
+    pub fn over_budget(&self) -> f64 {
+        self.spec_cost - self.cold_cost
+    }
+}
+
+/// Aggregate outcome counters for one run, reported next to the
+/// simulator's other subsystem reports (and mirrored as
+/// `optimus_predict_*` metrics by the live gateway).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictReport {
+    /// Arrivals fed to the predictor.
+    pub observed_arrivals: u64,
+    /// Speculative transforms actually executed.
+    pub speculations: u64,
+    /// Speculated containers that served a request while still warm.
+    pub spec_hits: u64,
+    /// Speculated containers evicted, repurposed, or killed unused.
+    pub spec_mispredictions: u64,
+    /// Speculation opportunities declined (gate refused, no donor, or
+    /// target already warm).
+    pub spec_skipped: u64,
+    /// Total seconds spent executing speculative transforms.
+    pub spec_cost_seconds: f64,
+    /// Modeled cold-start seconds avoided by speculation hits.
+    pub spec_saved_seconds: f64,
+    /// Max over executed speculations of `spec_cost - cold_cost`.
+    /// The cost-model gate keeps this < 0 (0.0 when nothing ran).
+    pub max_spec_over_budget: f64,
+    /// Sum of keep-alive windows applied at eviction decisions, for the
+    /// mean applied window.
+    pub window_seconds_sum: f64,
+    /// Number of window applications summed above.
+    pub window_samples: u64,
+}
+
+impl PredictReport {
+    /// Mean keep-alive window applied across eviction decisions.
+    pub fn mean_window(&self) -> f64 {
+        if self.window_samples == 0 {
+            0.0
+        } else {
+            self.window_seconds_sum / self.window_samples as f64
+        }
+    }
+
+    /// Fraction of executed speculations that were hit by a request.
+    pub fn hit_rate(&self) -> f64 {
+        if self.speculations == 0 {
+            0.0
+        } else {
+            self.spec_hits as f64 / self.speculations as f64
+        }
+    }
+}
+
+/// Online per-function arrival predictor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predictor {
+    config: PredictConfig,
+    funcs: Vec<FuncState>,
+}
+
+impl Predictor {
+    /// `functions` pre-sizes the per-function table; indices past it
+    /// grow the table on first observation.
+    pub fn new(config: PredictConfig, functions: usize) -> Self {
+        Self {
+            config,
+            funcs: (0..functions).map(|_| FuncState::new()).collect(),
+        }
+    }
+
+    pub fn config(&self) -> &PredictConfig {
+        &self.config
+    }
+
+    fn ensure(&mut self, f: usize) {
+        if f >= self.funcs.len() {
+            self.funcs.resize_with(f + 1, FuncState::new);
+        }
+    }
+
+    /// Record an arrival for function `f` at time `now` (caller's clock,
+    /// monotone per function).
+    pub fn observe(&mut self, f: usize, now: f64) {
+        self.ensure(f);
+        let c = self.config.confidence;
+        let st = &mut self.funcs[f];
+        if st.arrivals > 0 {
+            st.hist.observe((now - st.last).max(0.0));
+            st.head = st.hist.head_cutoff(c).expect("non-empty histogram");
+            st.tail = st.hist.tail_cutoff(c).expect("non-empty histogram");
+        }
+        st.last = now;
+        st.arrivals += 1;
+    }
+
+    /// Arrivals observed for `f`.
+    pub fn arrivals(&self, f: usize) -> u64 {
+        self.funcs.get(f).map_or(0, |s| s.arrivals)
+    }
+
+    /// Forecast the next arrival of `f`, or `None` below `min_history`
+    /// (callers then stay on their reactive baseline).
+    pub fn forecast(&self, f: usize) -> Option<Forecast> {
+        let st = self.funcs.get(f)?;
+        if st.arrivals < self.config.min_history || st.hist.is_empty() {
+            return None;
+        }
+        Some(Forecast {
+            last: st.last,
+            head: st.head,
+            tail: st.tail,
+            confidence: self.config.confidence,
+        })
+    }
+
+    /// The keep-alive window to apply to `f`'s idle containers.
+    ///
+    /// Returns `default` **exactly** (same bits, no arithmetic) when
+    /// adaptive keep-alive is off or the function is below `min_history`
+    /// — the empty-history fallback the property tests pin down.
+    pub fn keep_alive(&self, f: usize, default: f64) -> f64 {
+        if !self.config.adaptive_keep_alive {
+            return default;
+        }
+        let Some(fc) = self.forecast(f) else {
+            return default;
+        };
+        (fc.tail * self.config.window_margin)
+            .clamp(self.config.keep_alive_floor, self.config.keep_alive_ceiling)
+    }
+
+    /// Collect functions whose predicted arrival band is due at `now`:
+    /// `band_open - lead <= now <= band_close`, at most once per observed
+    /// arrival. `accept` filters candidates (placement, warm state);
+    /// only accepted functions are marked issued, so another node can
+    /// still claim a function this caller rejected. Accepted indices are
+    /// appended to `out` in ascending order (deterministic).
+    pub fn due_speculations(
+        &mut self,
+        now: f64,
+        mut accept: impl FnMut(usize) -> bool,
+        out: &mut Vec<usize>,
+    ) {
+        if self.config.speculation.is_none() {
+            return;
+        }
+        let lead = self.config.speculation.as_ref().map_or(0.0, |s| s.lead);
+        let min_history = self.config.min_history;
+        for f in 0..self.funcs.len() {
+            let st = &self.funcs[f];
+            if st.arrivals < min_history || st.hist.is_empty() || st.spec_issued_at == st.arrivals {
+                continue;
+            }
+            let open = st.last + st.head;
+            let close = st.last + st.tail;
+            if now + lead >= open && now <= close && accept(f) {
+                self.funcs[f].spec_issued_at = self.funcs[f].arrivals;
+                out.push(f);
+            }
+        }
+    }
+
+    /// Number of functions whose forecast band intersects
+    /// `[now, now + horizon]` — the predictive demand signal an
+    /// autoscaler can add to observed slot pressure.
+    pub fn predicted_arrivals(&self, now: f64, horizon: f64) -> usize {
+        self.funcs
+            .iter()
+            .filter(|st| {
+                st.arrivals >= self.config.min_history
+                    && !st.hist.is_empty()
+                    && st.last + st.head <= now + horizon
+                    && now <= st.last + st.tail
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpeculationConfig;
+
+    fn steady(predictor: &mut Predictor, f: usize, period: f64, n: u64) {
+        for i in 0..n {
+            predictor.observe(f, i as f64 * period);
+        }
+    }
+
+    #[test]
+    fn below_min_history_no_forecast_and_baseline_window() {
+        let cfg = PredictConfig::default();
+        let mut p = Predictor::new(cfg, 2);
+        steady(&mut p, 0, 10.0, cfg.min_history - 1);
+        assert!(p.forecast(0).is_none());
+        assert_eq!(p.keep_alive(0, 600.0), 600.0);
+        assert_eq!(p.keep_alive(1, 123.456), 123.456); // never seen at all
+    }
+
+    #[test]
+    fn steady_arrivals_forecast_the_period() {
+        let cfg = PredictConfig::default();
+        let mut p = Predictor::new(cfg, 1);
+        steady(&mut p, 0, 30.0, 50);
+        let fc = p.forecast(0).unwrap();
+        // All gaps are 30 s, so head == tail == 30 (within bucket width).
+        assert!((fc.head - 30.0).abs() < 1e-9, "head {}", fc.head);
+        assert!((fc.tail - 30.0).abs() < 1e-9, "tail {}", fc.tail);
+        assert_eq!(fc.band_open(), fc.last + fc.head);
+        // Window = tail * margin, clamped to the floor (30*1.25 < 60).
+        assert_eq!(p.keep_alive(0, 600.0), cfg.keep_alive_floor);
+    }
+
+    #[test]
+    fn window_clamps_to_ceiling() {
+        let cfg = PredictConfig {
+            keep_alive_ceiling: 100.0,
+            ..PredictConfig::default()
+        };
+        let mut p = Predictor::new(cfg, 1);
+        steady(&mut p, 0, 500.0, 20);
+        assert_eq!(p.keep_alive(0, 600.0), 100.0);
+    }
+
+    #[test]
+    fn due_speculations_fire_once_per_arrival() {
+        let cfg = PredictConfig {
+            speculation: Some(SpeculationConfig {
+                lead: 2.0,
+                aggressiveness: 1.0,
+            }),
+            ..PredictConfig::default()
+        };
+        let mut p = Predictor::new(cfg, 1);
+        steady(&mut p, 0, 30.0, 20);
+        // Last arrival at t=570; band opens ~600.
+        let mut due = Vec::new();
+        p.due_speculations(590.0, |_| true, &mut due);
+        assert!(due.is_empty(), "too early: {due:?}");
+        p.due_speculations(598.5, |_| true, &mut due);
+        assert_eq!(due, vec![0]);
+        due.clear();
+        p.due_speculations(599.0, |_| true, &mut due);
+        assert!(due.is_empty(), "must not re-fire: {due:?}");
+        // A new arrival re-arms it.
+        p.observe(0, 600.0);
+        p.due_speculations(628.5, |_| true, &mut due);
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn rejected_candidates_stay_armed() {
+        let mut p = Predictor::new(PredictConfig::default(), 1);
+        steady(&mut p, 0, 30.0, 20);
+        let mut due = Vec::new();
+        p.due_speculations(598.5, |_| false, &mut due);
+        assert!(due.is_empty());
+        p.due_speculations(598.5, |_| true, &mut due);
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn speculation_disabled_yields_nothing() {
+        let cfg = PredictConfig {
+            speculation: None,
+            ..PredictConfig::default()
+        };
+        let mut p = Predictor::new(cfg, 1);
+        steady(&mut p, 0, 30.0, 20);
+        let mut due = Vec::new();
+        p.due_speculations(598.5, |_| true, &mut due);
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn gate_admits_by_expected_value_and_enforces_budget() {
+        // Cheap transform vs expensive cold start: admitted.
+        let good = SpecCandidate {
+            spec_cost: 0.2,
+            cold_cost: 3.0,
+            confidence: 0.85,
+        };
+        assert!(good.admit(1.0));
+        assert!(good.over_budget() < 0.0);
+        // Transform costlier than the cold start: refused at any
+        // aggressiveness (hard budget).
+        let bad = SpecCandidate {
+            spec_cost: 4.0,
+            cold_cost: 3.0,
+            confidence: 0.99,
+        };
+        assert!(!bad.admit(1.0));
+        assert!(!bad.admit(1e9));
+        // Marginal candidate: low confidence refuses, high admits.
+        let marginal = SpecCandidate {
+            spec_cost: 1.0,
+            cold_cost: 1.5,
+            confidence: 0.5,
+        };
+        assert!(!marginal.admit(1.0));
+        let confident = SpecCandidate {
+            confidence: 0.9,
+            ..marginal
+        };
+        assert!(confident.admit(1.0));
+    }
+
+    #[test]
+    fn predicted_arrivals_counts_open_bands() {
+        let mut p = Predictor::new(PredictConfig::default(), 3);
+        steady(&mut p, 0, 30.0, 20); // last at 570, band ~[600, 600]
+        steady(&mut p, 1, 500.0, 20); // last at 9500, band ~[10000, 10000]
+        assert_eq!(p.predicted_arrivals(595.0, 10.0), 1);
+        assert_eq!(p.predicted_arrivals(9990.0, 20.0), 1);
+        assert_eq!(p.predicted_arrivals(5000.0, 10.0), 0);
+        // Function 2 has no history: never predicted.
+        assert_eq!(p.predicted_arrivals(0.0, 1e9), 2);
+    }
+
+    #[test]
+    fn predictor_state_roundtrips_through_json() {
+        let mut p = Predictor::new(PredictConfig::default(), 3);
+        steady(&mut p, 0, 7.5, 12);
+        steady(&mut p, 2, 90.0, 6);
+        let js = serde_json::to_string(&p).unwrap();
+        let back: Predictor = serde_json::from_str(&js).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(serde_json::to_string(&back).unwrap(), js);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests pinning the predictor's fallback contract: with no (or
+//! insufficient) history, every query degrades to exactly the fixed-window
+//! baseline — same bits, no arithmetic — so wiring an empty predictor into
+//! a system changes nothing.
+
+use optimus_predict::{PredictConfig, Predictor, SpeculationConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// An empty-history predictor returns the caller's fixed window
+    /// bit-exactly for every function index and every default, under any
+    /// valid config — including aggressive adaptive ones.
+    #[test]
+    fn empty_history_falls_back_to_fixed_window(
+        f in 0usize..64,
+        default_bits in any::<u32>(),
+        confidence in 0.5f64..0.99,
+        margin in 1.0f64..3.0,
+        adaptive in any::<bool>(),
+    ) {
+        // Build defaults from raw bits scaled into a plausible range so
+        // we exercise awkward mantissas, not just round numbers.
+        let default = 1.0 + f64::from(default_bits) / 1e6;
+        let cfg = PredictConfig {
+            confidence,
+            window_margin: margin,
+            adaptive_keep_alive: adaptive,
+            ..PredictConfig::default()
+        };
+        cfg.validate().unwrap();
+        let p = Predictor::new(cfg, 8);
+        prop_assert_eq!(p.forecast(f), None);
+        prop_assert_eq!(p.keep_alive(f, default).to_bits(), default.to_bits());
+    }
+
+    /// Below `min_history` the fallback still holds after real
+    /// observations, and no speculation is ever issued.
+    #[test]
+    fn below_min_history_is_still_the_baseline(
+        n in 0u64..8,
+        min_history in 1u64..16,
+        period in 0.1f64..1000.0,
+        default in 1.0f64..10_000.0,
+    ) {
+        prop_assume!(n < min_history);
+        let cfg = PredictConfig {
+            min_history,
+            speculation: Some(SpeculationConfig::default()),
+            ..PredictConfig::default()
+        };
+        let mut p = Predictor::new(cfg, 1);
+        for i in 0..n {
+            p.observe(0, i as f64 * period);
+        }
+        prop_assert_eq!(p.forecast(0), None);
+        prop_assert_eq!(p.keep_alive(0, default).to_bits(), default.to_bits());
+        let mut due = Vec::new();
+        p.due_speculations(n as f64 * period + 1e9, |_| true, &mut due);
+        prop_assert!(due.is_empty());
+    }
+
+    /// Once history exists, adaptive windows always respect the clamp.
+    #[test]
+    fn adaptive_windows_respect_floor_and_ceiling(
+        n in 4u64..64,
+        period in 0.001f64..100_000.0,
+        floor in 1.0f64..600.0,
+        extra in 1.0f64..3600.0,
+    ) {
+        let cfg = PredictConfig {
+            keep_alive_floor: floor,
+            keep_alive_ceiling: floor + extra,
+            ..PredictConfig::default()
+        };
+        let mut p = Predictor::new(cfg, 1);
+        for i in 0..n {
+            p.observe(0, i as f64 * period);
+        }
+        let w = p.keep_alive(0, 600.0);
+        prop_assert!(w >= floor && w <= floor + extra, "window {} outside clamp", w);
+    }
+}

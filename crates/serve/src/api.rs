@@ -182,6 +182,18 @@ pub struct GatewayConfig {
     /// Admission control (bounded queues + `429`) and per-model request
     /// batching at the workers.
     pub serving: ServingConfig,
+    /// Online arrival prediction (`optimus-predict`): the gateway feeds
+    /// every admitted request into a per-model inter-arrival predictor,
+    /// workers apply its adaptive keep-alive windows in place of the
+    /// global `keep_alive`, and — when speculation is configured — idle
+    /// workers transform a donor container into a forecast model *ahead*
+    /// of its predicted arrival, gated by the cost model so a
+    /// misprediction never wastes more than the cold start it tried to
+    /// avoid. Speculation runs only on idle ticks (an empty inference
+    /// queue), never ahead of real requests. `None` (the default)
+    /// disables the layer entirely; [`optimus_predict::PredictConfig::inert`]
+    /// observes arrivals without changing behavior.
+    pub predict: Option<optimus_predict::PredictConfig>,
 }
 
 impl Default for GatewayConfig {
@@ -194,6 +206,7 @@ impl Default for GatewayConfig {
             store: Some(optimus_store::StoreConfig::default()),
             faults: None,
             serving: ServingConfig::default(),
+            predict: None,
         }
     }
 }

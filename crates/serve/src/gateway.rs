@@ -18,6 +18,7 @@ use optimus_telemetry::{Counter, FanoutSink, Gauge, MetricsRegistry, MetricsSink
 use parking_lot::{Mutex, RwLock};
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError};
+use crate::predict::PredictShared;
 use crate::worker::{run_worker, ControlItem, InferItem};
 
 /// Channels and gauges of one live worker node.
@@ -87,6 +88,21 @@ impl GatewayBuilder {
         self
     }
 
+    /// Override the repository's runtime overrun policy
+    /// ([`ModelRepository::with_overrun_policy`]): a plan whose measured
+    /// execution exceeds `factor ×` the destination's observed
+    /// scratch-load wall-clock `max_overruns` consecutive times is
+    /// demoted to scratch loading. The in-process engine "loads" a model
+    /// by cloning its graph — microseconds, where the latency *model*
+    /// charges a disk fetch — so the default guard (3×, 2 strikes) can
+    /// demote every plan; deployments that want the safeguard to judge
+    /// the modeled cost only should widen the factor here. Call before
+    /// [`GatewayBuilder::register`].
+    pub fn overrun_policy(mut self, factor: f64, max_overruns: u32) -> Self {
+        self.repo = self.repo.with_overrun_policy(factor, max_overruns);
+        self
+    }
+
     /// Start the worker threads and return the gateway handle.
     ///
     /// Functions are placed onto nodes round-robin in registration order;
@@ -103,6 +119,33 @@ impl GatewayBuilder {
         let repo = Arc::new(self.repo);
         let store_stats: Arc<Mutex<HashMap<usize, StoreStats>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        // Dense id-indexed routing table (round-robin in registration
+        // order, later registrations of the same name win — the same
+        // placement the old name-keyed map produced). Computed before the
+        // workers spawn so they can check which models are theirs when
+        // deciding what to speculate on.
+        let mut placement = vec![0usize; repo.model_count()];
+        for (i, name) in self.names.iter().enumerate() {
+            if let Some(id) = repo.model_id(name) {
+                placement[id.index()] = i % self.config.nodes;
+            }
+        }
+        let placement = Arc::new(placement);
+        let predict = self.config.predict.map(|pc| {
+            pc.validate().expect("predict config must be valid");
+            let names: Vec<String> = (0..repo.model_count())
+                .map(|i| {
+                    repo.model_name_of(ModelId::from_index(i))
+                        .unwrap_or_else(|| format!("model#{i}"))
+                })
+                .collect();
+            Arc::new(PredictShared::new(
+                pc,
+                self.config.keep_alive,
+                &names,
+                &self.metrics,
+            ))
+        });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for node_id in 0..self.config.nodes {
@@ -113,18 +156,11 @@ impl GatewayBuilder {
                 sink.clone(),
                 self.metrics.clone(),
                 store_stats.clone(),
+                predict.clone(),
+                placement.clone(),
             );
             handles.push(handle);
             senders.push(node);
-        }
-        // Dense id-indexed routing table (round-robin in registration
-        // order, later registrations of the same name win — the same
-        // placement the old name-keyed map produced).
-        let mut placement = vec![0usize; repo.model_count()];
-        for (i, name) in self.names.iter().enumerate() {
-            if let Some(id) = repo.model_id(name) {
-                placement[id.index()] = i % self.config.nodes;
-            }
         }
         let injector = self.config.faults.map(|spec| {
             spec.validate().expect("fault spec must be valid");
@@ -193,12 +229,14 @@ impl GatewayBuilder {
             metrics: self.metrics,
             sink,
             store_stats,
+            predict,
         }
     }
 }
 
 /// Spawn one worker node: its bounded inference queue, unbounded control
 /// channel, queue-depth gauge and thread.
+#[allow(clippy::too_many_arguments)]
 fn spawn_node(
     node_id: usize,
     config: GatewayConfig,
@@ -206,6 +244,8 @@ fn spawn_node(
     sink: Arc<dyn TelemetrySink>,
     metrics: Arc<MetricsRegistry>,
     stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
+    predict: Option<Arc<PredictShared>>,
+    placement: Arc<Vec<usize>>,
 ) -> (NodeHandle, JoinHandle<()>) {
     let (infer_tx, infer_rx) = bounded::<InferItem>(config.serving.queue_depth);
     let (ctrl_tx, ctrl_rx) = unbounded::<ControlItem>();
@@ -215,7 +255,7 @@ fn spawn_node(
     );
     let handle = std::thread::spawn(move || {
         run_worker(
-            node_id, config, repo, infer_rx, ctrl_rx, sink, metrics, stats,
+            node_id, config, repo, infer_rx, ctrl_rx, sink, metrics, stats, predict, placement,
         )
     });
     (
@@ -240,8 +280,9 @@ pub struct Gateway {
     /// life.
     workers: RwLock<Vec<Option<NodeHandle>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Node per model, indexed by `ModelId::index()`.
-    placement: Vec<usize>,
+    /// Node per model, indexed by `ModelId::index()` (shared with the
+    /// workers, which consult it when choosing speculation targets).
+    placement: Arc<Vec<usize>>,
     repo: Arc<ModelRepository>,
     /// Seeded per-request fault draws (`None`: faults disabled).
     injector: Option<FaultInjector>,
@@ -273,6 +314,9 @@ pub struct Gateway {
     /// Latest weight-store snapshot per node, published by workers after
     /// every request (empty when the store is disabled).
     store_stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
+    /// Arrival predictor shared with the workers (`None`: prediction
+    /// off). The gateway feeds it every admitted request.
+    predict: Option<Arc<PredictShared>>,
 }
 
 impl Gateway {
@@ -357,6 +401,9 @@ impl Gateway {
             .model_id(model)
             .filter(|id| id.index() < self.placement.len())
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        if let Some(ps) = &self.predict {
+            ps.observe(model_id.index());
+        }
         let fx = match &self.injector {
             Some(inj) => inj.for_request(self.seq.fetch_add(1, Ordering::Relaxed)),
             None => RequestFaults::none(),
@@ -569,6 +616,8 @@ impl Gateway {
             self.sink.clone(),
             self.metrics.clone(),
             self.store_stats.clone(),
+            self.predict.clone(),
+            self.placement.clone(),
         );
         self.handles.lock().push(handle);
         if let Some(sc) = self.config.store {
@@ -634,6 +683,27 @@ impl Gateway {
     /// Registered model names, sorted.
     pub fn models(&self) -> Vec<String> {
         self.repo.model_names()
+    }
+
+    /// Number of models whose forecast arrival band intersects the next
+    /// `horizon_seconds` — the predictive demand signal an external
+    /// autoscaler can add to observed queue pressure before calling
+    /// [`Gateway::register_node`]. Always 0 with prediction off.
+    pub fn predicted_demand(&self, horizon_seconds: f64) -> usize {
+        self.predict
+            .as_ref()
+            .map_or(0, |ps| ps.predicted_demand(horizon_seconds))
+    }
+
+    /// The keep-alive window currently applied to `model`'s containers:
+    /// the configured global `keep_alive` until adaptive keep-alive has
+    /// enough history (or when prediction is off).
+    pub fn keep_alive_for(&self, model: &str) -> Option<f64> {
+        let id = self.repo.model_id(model)?;
+        Some(match &self.predict {
+            Some(ps) => ps.window(id.index()),
+            None => self.config.keep_alive,
+        })
     }
 
     /// The registry backing this gateway's telemetry (and its `/metrics`

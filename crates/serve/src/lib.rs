@@ -48,6 +48,7 @@ mod api;
 mod gateway;
 pub mod http;
 pub mod parser;
+mod predict;
 mod worker;
 
 pub use api::{GatewayConfig, InferenceResponse, ServeError, ServedStart, ServingConfig};
@@ -65,3 +66,8 @@ pub use optimus_telemetry::MetricsRegistry;
 // Re-exported so deployments can enable chaos testing without depending
 // on `optimus-faults` directly.
 pub use optimus_faults::{FaultSpec, RetryPolicy};
+
+// Re-exported so deployments can enable arrival prediction (adaptive
+// keep-alive + speculative transformation) without depending on
+// `optimus-predict` directly.
+pub use optimus_predict::{PredictConfig, SpeculationConfig};

@@ -1,0 +1,137 @@
+//! Live arrival prediction shared between the gateway and its workers.
+//!
+//! The gateway feeds every admitted request into an
+//! [`optimus_predict::Predictor`] on a virtual clock (seconds since
+//! spawn). Workers read the resulting per-model keep-alive windows
+//! lock-free on every eviction sweep, and — on idle ticks, with
+//! speculation configured — ask the predictor which forecast arrivals
+//! are due so they can transform an idle donor ahead of time. Outcomes
+//! are exported as the `optimus_predict_*` metric families on
+//! `/metrics` and `/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use optimus_predict::{PredictConfig, Predictor, SpeculationConfig};
+use optimus_telemetry::{Counter, Gauge, MetricsRegistry};
+use parking_lot::Mutex;
+
+/// Predictor state shared by the gateway (writer) and workers (readers
+/// and speculation actuators).
+pub(crate) struct PredictShared {
+    config: PredictConfig,
+    /// The fixed window adaptive keep-alive falls back to below
+    /// `min_history` (the gateway's `keep_alive`).
+    default_keep_alive: f64,
+    /// Virtual clock origin; the predictor sees seconds since spawn.
+    epoch: Instant,
+    predictor: Mutex<Predictor>,
+    /// Current keep-alive window per model, stored as `f64` bits so
+    /// workers read it without taking the predictor lock.
+    windows: Vec<AtomicU64>,
+    /// `optimus_predict_keep_alive_seconds{model=..}` mirrors `windows`.
+    window_gauges: Vec<Gauge>,
+    pub observed: Counter,
+    pub speculations: Counter,
+    pub spec_hits: Counter,
+    pub spec_mispredictions: Counter,
+    pub spec_skipped: Counter,
+}
+
+impl PredictShared {
+    /// `model_names` is dense by interned id index; the catalog is fixed
+    /// once the gateway spawns.
+    pub fn new(
+        config: PredictConfig,
+        default_keep_alive: f64,
+        model_names: &[String],
+        metrics: &MetricsRegistry,
+    ) -> Self {
+        let windows = model_names
+            .iter()
+            .map(|_| AtomicU64::new(default_keep_alive.to_bits()))
+            .collect();
+        let window_gauges: Vec<Gauge> = model_names
+            .iter()
+            .map(|name| metrics.gauge("optimus_predict_keep_alive_seconds", &[("model", name)]))
+            .collect();
+        for g in &window_gauges {
+            g.set(default_keep_alive);
+        }
+        PredictShared {
+            config,
+            default_keep_alive,
+            epoch: Instant::now(),
+            predictor: Mutex::new(Predictor::new(config, model_names.len())),
+            windows,
+            window_gauges,
+            observed: metrics.counter("optimus_predict_observed_total", &[]),
+            speculations: metrics.counter("optimus_predict_speculations_total", &[]),
+            spec_hits: metrics.counter("optimus_predict_spec_hits_total", &[]),
+            spec_mispredictions: metrics.counter("optimus_predict_spec_mispredictions_total", &[]),
+            spec_skipped: metrics.counter("optimus_predict_spec_skipped_total", &[]),
+        }
+    }
+
+    /// Seconds since the gateway spawned — the predictor's clock.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Record an admitted arrival for the model at dense index `idx` and
+    /// refresh its keep-alive window.
+    pub fn observe(&self, idx: usize) {
+        let now = self.now();
+        let window = {
+            let mut p = self.predictor.lock();
+            p.observe(idx, now);
+            p.keep_alive(idx, self.default_keep_alive)
+        };
+        if let Some(w) = self.windows.get(idx) {
+            w.store(window.to_bits(), Ordering::Relaxed);
+            self.window_gauges[idx].set(window);
+        }
+        self.observed.inc();
+    }
+
+    /// The keep-alive window currently applied to `idx`'s containers
+    /// (the gateway default until history accrues or when adaptive
+    /// keep-alive is off).
+    pub fn window(&self, idx: usize) -> f64 {
+        self.windows.get(idx).map_or(self.default_keep_alive, |w| {
+            f64::from_bits(w.load(Ordering::Relaxed))
+        })
+    }
+
+    /// The speculation knobs, `None` when speculation is off.
+    pub fn speculation(&self) -> Option<SpeculationConfig> {
+        self.config.speculation
+    }
+
+    /// Forecast confidence for `idx`, `None` below `min_history`.
+    pub fn confidence(&self, idx: usize) -> Option<f64> {
+        self.predictor.lock().forecast(idx).map(|f| f.confidence)
+    }
+
+    /// Models whose predicted arrival band is due now, filtered by
+    /// `accept` (placement + warm state); each fires at most once per
+    /// observed arrival, and rejected candidates stay armed for other
+    /// nodes.
+    pub fn due(&self, accept: impl FnMut(usize) -> bool) -> Vec<usize> {
+        let now = self.now();
+        let mut out = Vec::new();
+        self.predictor
+            .lock()
+            .due_speculations(now, accept, &mut out);
+        out
+    }
+
+    /// Number of models whose forecast band intersects
+    /// `[now, now + horizon]` — the predictive demand signal exposed to
+    /// autoscalers via `Gateway::predicted_demand`.
+    pub fn predicted_demand(&self, horizon: f64) -> usize {
+        self.predictor
+            .lock()
+            .predicted_arrivals(self.now(), horizon)
+    }
+}

@@ -20,12 +20,14 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use optimus_core::{execute_plan, ModelRepository, TransformDecision};
 use optimus_model::tensor::Tensor;
-use optimus_model::{infer, ModelGraph, ModelId};
+use optimus_model::{infer, InternKey, ModelGraph, ModelId};
+use optimus_predict::SpecCandidate;
 use optimus_store::{model_chunks, ChunkRef, NodeStore, StoreConfig, StoreStats, Tier};
 use optimus_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, Phase, Span, TelemetrySink};
 use parking_lot::Mutex;
 
 use crate::api::{GatewayConfig, InferenceResponse, ServeError, ServedStart};
+use crate::predict::PredictShared;
 
 /// An inference request as delivered to a worker. Models are addressed by
 /// their interned [`ModelId`] — the gateway resolves the client-facing
@@ -62,6 +64,11 @@ struct LiveContainer {
     model: ModelGraph,
     model_id: ModelId,
     last_used: Instant,
+    /// The container was produced by a speculative transform and has not
+    /// served a request since: its first warm hit is a prediction hit
+    /// (flag cleared); dying with the flag set is a misprediction.
+    /// Always `false` with prediction off.
+    speculated: bool,
 }
 
 /// Per-node weight-store accounting plus its telemetry handles.
@@ -219,13 +226,36 @@ struct WorkerState {
     batch_hist: Histogram,
     counters: FaultCounters,
     store: Option<WorkerStore>,
+    /// Arrival predictor shared with the gateway (`None`: prediction
+    /// off): adaptive keep-alive windows + speculation outcome counters.
+    predict: Option<Arc<PredictShared>>,
+    /// Node per model (by `ModelId::index()`): which models this node
+    /// would serve, hence which it may speculate on.
+    placement: Arc<Vec<usize>>,
 }
 
 impl WorkerState {
+    /// The keep-alive window for one container: the predictor's learned
+    /// per-model window, or the global config value with prediction off.
+    fn keep_alive_window(&self, id: ModelId) -> f64 {
+        match self.predict.as_ref() {
+            Some(ps) => ps.window(id.index()),
+            None => self.config.keep_alive,
+        }
+    }
+
+    /// Count a container dying with its speculation unconsumed.
+    fn note_dead_speculation(&self, speculated: bool) {
+        note_dead_spec(self.predict.as_deref(), speculated);
+    }
+
     fn handle_control(&mut self, item: ControlItem, containers: &mut Vec<LiveContainer>) {
         match item {
             ControlItem::Crash => {
                 self.counters.evictions.add(containers.len() as u64);
+                for c in containers.iter() {
+                    self.note_dead_speculation(c.speculated);
+                }
                 containers.clear();
                 if let Some(ws) = self.store.as_mut() {
                     ws.crash();
@@ -248,6 +278,7 @@ impl WorkerState {
                 {
                     let dead = containers.swap_remove(victim);
                     self.counters.evictions.inc();
+                    self.note_dead_speculation(dead.speculated);
                     if let Some(ws) = self.store.as_mut() {
                         ws.release_model(&self.repo, dead.model_id);
                         ws.publish();
@@ -278,6 +309,8 @@ pub(crate) fn run_worker(
     sink: Arc<dyn TelemetrySink>,
     metrics: Arc<MetricsRegistry>,
     store_stats: Arc<Mutex<HashMap<usize, StoreStats>>>,
+    predict: Option<Arc<PredictShared>>,
+    placement: Arc<Vec<usize>>,
 ) {
     let node = node_id.to_string();
     let mut state = WorkerState {
@@ -300,6 +333,8 @@ pub(crate) fn run_worker(
         store: config
             .store
             .map(|sc| WorkerStore::new(node_id, sc, &repo, &metrics, store_stats)),
+        predict,
+        placement,
     };
     // Publish the empty-store baseline so `/store` reports every node
     // from the first request onward.
@@ -315,10 +350,19 @@ pub(crate) fn run_worker(
             state.handle_control(ev, &mut containers);
         }
         // Idle tick: wake periodically so control events (and shutdown)
-        // are noticed even when no requests arrive.
+        // are noticed even when no requests arrive. With prediction on,
+        // an idle tick also runs maintenance: adaptive keep-alive sweeps
+        // and — because the inference queue is empty right now — any due
+        // speculative transforms, so speculation never delays a real
+        // request.
         let first = match infer_rx.recv_timeout(Duration::from_millis(20)) {
             Ok(item) => item,
-            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Timeout) => {
+                if state.predict.is_some() {
+                    idle_maintenance(&mut state, &mut containers);
+                }
+                continue;
+            }
             Err(RecvTimeoutError::Disconnected) => break,
         };
         let mut batch = vec![first];
@@ -384,20 +428,7 @@ fn serve_group(
         .unwrap_or_else(|| format!("model#{}", model_id.0));
     // Keep-alive eviction: expired containers release their chunks, which
     // demotes them to node memory rather than forgetting them.
-    let now = Instant::now();
-    let mut expired = Vec::new();
-    containers.retain(|c| {
-        let keep = now.duration_since(c.last_used).as_secs_f64() <= state.config.keep_alive;
-        if !keep {
-            expired.push(c.model_id);
-        }
-        keep
-    });
-    if let Some(ws) = state.store.as_mut() {
-        for &id in &expired {
-            ws.release_model(&state.repo, id);
-        }
-    }
+    sweep_expired(state, containers);
     let mut acquired: Option<Obtained> = None;
     for item in group {
         let wait = item.enqueued.elapsed().as_secs_f64();
@@ -420,6 +451,7 @@ fn serve_group(
                 &item,
                 &name,
                 &state.counters,
+                state.predict.as_deref(),
             ),
         };
         let result = obtained.and_then(|obtained| {
@@ -462,6 +494,176 @@ fn serve_group(
     }
 }
 
+/// Count a container dying with its speculation unconsumed (no-op with
+/// prediction off or an unspeculated container).
+fn note_dead_spec(predict: Option<&PredictShared>, speculated: bool) {
+    if speculated {
+        if let Some(ps) = predict {
+            ps.spec_mispredictions.inc();
+        }
+    }
+}
+
+/// Keep-alive sweep: evict containers idle past their window (the
+/// predictor's per-model window when prediction is on, the global
+/// `keep_alive` otherwise). Expired chunks are released (demoted, not
+/// forgotten); a speculated container expiring unconsumed counts as a
+/// misprediction.
+fn sweep_expired(state: &mut WorkerState, containers: &mut Vec<LiveContainer>) {
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    containers.retain(|c| {
+        let keep =
+            now.duration_since(c.last_used).as_secs_f64() <= state.keep_alive_window(c.model_id);
+        if !keep {
+            expired.push((c.model_id, c.speculated));
+        }
+        keep
+    });
+    for &(id, speculated) in &expired {
+        state.note_dead_speculation(speculated);
+        if let Some(ws) = state.store.as_mut() {
+            ws.release_model(&state.repo, id);
+        }
+    }
+}
+
+/// Idle-tick maintenance with prediction on: sweep adaptive keep-alive
+/// windows, then execute any due speculative transforms. Runs only when
+/// the inference queue has been empty for a full tick, so speculation
+/// work never preempts a real request.
+fn idle_maintenance(state: &mut WorkerState, containers: &mut Vec<LiveContainer>) {
+    let before = containers.len();
+    sweep_expired(state, containers);
+    if containers.len() != before {
+        state.containers_gauge.set(containers.len() as f64);
+        if let Some(ws) = state.store.as_mut() {
+            ws.publish();
+        }
+    }
+    let Some(ps) = state.predict.clone() else {
+        return;
+    };
+    if ps.speculation().is_none() {
+        return;
+    }
+    // Models placed on this node, not currently warm here, whose forecast
+    // arrival band is due — accepted only when an idle donor is actually
+    // available right now. Rejected candidates stay armed, so a later
+    // tick (or a model's own node) can still claim them.
+    let now = Instant::now();
+    let have_donor = containers.iter().any(|c| {
+        !c.speculated
+            && now.duration_since(c.last_used).as_secs_f64() >= state.config.idle_threshold
+    });
+    let due = ps.due(|idx| {
+        have_donor
+            && state.placement.get(idx) == Some(&state.node_id)
+            && !containers.iter().any(|c| c.model_id.index() == idx)
+    });
+    for idx in due {
+        speculate_one(state, containers, &ps, ModelId::from_index(idx));
+    }
+}
+
+/// Try to convert one idle donor into `dst` ahead of its predicted
+/// arrival. Mirrors the reactive transform path (donor scan, cached
+/// plan, store accounting) but is admitted by the [`SpecCandidate`]
+/// cost gate: the plan's estimated cost must undercut `dst`'s scratch
+/// load, so even a misprediction wastes less than one cold start.
+fn speculate_one(
+    state: &mut WorkerState,
+    containers: &mut Vec<LiveContainer>,
+    ps: &PredictShared,
+    dst: ModelId,
+) {
+    let Some(spec) = ps.speculation() else {
+        return;
+    };
+    let target_info = state.repo.model_name_of(dst).and_then(|name| {
+        let cold = state.repo.load_cost(&name)?;
+        let target = state.repo.model(&name)?;
+        Some((cold, target))
+    });
+    let (Some((cold_cost, target)), Some(confidence)) = (target_info, ps.confidence(dst.index()))
+    else {
+        ps.spec_skipped.inc();
+        return;
+    };
+    // Idle donors, longest-idle first — the same order the reactive
+    // path scans (§4.2). Containers already speculated for another model
+    // are reserved, not cannibalized.
+    let now = Instant::now();
+    let mut donors: Vec<usize> = containers
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            !c.speculated
+                && now.duration_since(c.last_used).as_secs_f64() >= state.config.idle_threshold
+        })
+        .map(|(i, _)| i)
+        .collect();
+    donors.sort_by(|&a, &b| containers[a].last_used.cmp(&containers[b].last_used));
+    for i in donors {
+        let src_id = containers[i].model_id;
+        let Some(TransformDecision::Transform(plan)) = state.repo.decide_by_id(src_id, dst) else {
+            continue;
+        };
+        let candidate = SpecCandidate {
+            spec_cost: plan.cost.total(),
+            cold_cost,
+            confidence,
+        };
+        if !candidate.admit(spec.aggressiveness) {
+            ps.spec_skipped.inc();
+            return;
+        }
+        // Repurposing a donor that was itself speculated consumes that
+        // earlier (wrong) guess.
+        state.note_dead_speculation(containers[i].speculated);
+        containers[i].speculated = false;
+        let t0 = Instant::now();
+        match execute_plan(&mut containers[i].model, &plan, &target) {
+            Ok(_) => {
+                containers[i].model = (*target).clone();
+                containers[i].model_id = dst;
+                containers[i].speculated = true;
+                // A fresh keep-alive lease, like any newly provisioned
+                // container: the guess must survive until the predicted
+                // arrival. A wrong guess is reserved (never donated) and
+                // dies at the keep-alive sweep as a misprediction.
+                containers[i].last_used = Instant::now();
+                let seconds = t0.elapsed().as_secs_f64();
+                if let Some(ws) = state.store.as_mut() {
+                    ws.transform(&state.repo, src_id, dst);
+                    ws.publish();
+                }
+                if state.repo.note_transform_seconds(src_id, dst, seconds) {
+                    state.counters.overruns.inc();
+                }
+                ps.speculations.inc();
+            }
+            Err(_) => {
+                // The plan failed partway: the donor is in an undefined
+                // state, destroy it (same safeguard as the reactive
+                // path). No cold-start escalation — nobody is waiting.
+                let dead = containers.swap_remove(i);
+                state.counters.escalations.inc();
+                state.note_dead_speculation(dead.speculated);
+                if let Some(ws) = state.store.as_mut() {
+                    ws.release_model(&state.repo, src_id);
+                    ws.publish();
+                }
+                state.containers_gauge.set(containers.len() as f64);
+                ps.spec_skipped.inc();
+            }
+        }
+        return;
+    }
+    // No idle donor with an applicable plan.
+    ps.spec_skipped.inc();
+}
+
 /// How a container was obtained for one request.
 struct Obtained {
     /// Index into the worker's container pool.
@@ -484,6 +686,7 @@ struct Obtained {
 /// [`InferItem::fail_transform`] or a real [`execute_plan`] error — the
 /// corrupt donor is destroyed (its chunks released) and the request
 /// escalates to a cold start instead of erroring back to the client.
+#[allow(clippy::too_many_arguments)]
 fn obtain_container(
     config: &GatewayConfig,
     repo: &ModelRepository,
@@ -492,10 +695,19 @@ fn obtain_container(
     item: &InferItem,
     name: &str,
     counters: &FaultCounters,
+    predict: Option<&PredictShared>,
 ) -> Result<Obtained, ServeError> {
     let model_id = item.model_id;
-    // Warm hit: integer comparison on interned ids.
+    // Warm hit: integer comparison on interned ids. A speculated
+    // container serving its first request is a prediction hit — this is
+    // the cold start speculation avoided.
     if let Some(i) = containers.iter().position(|c| c.model_id == model_id) {
+        if containers[i].speculated {
+            containers[i].speculated = false;
+            if let Some(ps) = predict {
+                ps.spec_hits.inc();
+            }
+        }
         return Ok(Obtained {
             slot: i,
             start: ServedStart::Warm,
@@ -508,11 +720,15 @@ fn obtain_container(
         .model(name)
         .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
     let now = Instant::now();
-    // Idle donors, longest-idle first (§4.2).
+    // Idle donors, longest-idle first (§4.2). Speculated containers are
+    // reserved for their predicted arrival and skipped — they can still
+    // be evicted under capacity pressure, so real work never starves.
     let mut donors: Vec<usize> = containers
         .iter()
         .enumerate()
-        .filter(|(_, c)| now.duration_since(c.last_used).as_secs_f64() >= config.idle_threshold)
+        .filter(|(_, c)| {
+            !c.speculated && now.duration_since(c.last_used).as_secs_f64() >= config.idle_threshold
+        })
         .map(|(i, _)| i)
         .collect();
     donors.sort_by(|&a, &b| containers[a].last_used.cmp(&containers[b].last_used));
@@ -525,7 +741,8 @@ fn obtain_container(
                     // Injected transform failure: the donor is corrupt
                     // mid-plan. Destroy it, release its chunks, escalate
                     // to a cold start (§6.3's safeguard under failure).
-                    containers.swap_remove(i);
+                    let dead = containers.swap_remove(i);
+                    note_dead_spec(predict, dead.speculated);
                     counters.escalations.inc();
                     if let Some(ws) = store.as_deref_mut() {
                         ws.release_model(repo, src_id);
@@ -533,6 +750,10 @@ fn obtain_container(
                     break;
                 }
                 let t0 = Instant::now();
+                // Repurposing a speculated donor consumes that earlier
+                // (wrong) guess.
+                note_dead_spec(predict, containers[i].speculated);
+                containers[i].speculated = false;
                 match execute_plan(&mut containers[i].model, &plan, &target) {
                     Ok(report) => {
                         // Cached plans reference the op-id space of the
@@ -569,6 +790,8 @@ fn obtain_container(
                         // undefined state: destroy it and escalate to cold.
                         containers.swap_remove(i);
                         counters.escalations.inc();
+                        // (Its speculation, if any, was already consumed
+                        // above.)
                         if let Some(ws) = store.as_deref_mut() {
                             ws.release_model(repo, src_id);
                         }
@@ -591,6 +814,7 @@ fn obtain_container(
             .map(|(i, _)| i)
         {
             let evicted = containers.swap_remove(victim);
+            note_dead_spec(predict, evicted.speculated);
             if let Some(ws) = store.as_deref_mut() {
                 ws.release_model(repo, evicted.model_id);
             }
@@ -600,6 +824,7 @@ fn obtain_container(
         model: (*target).clone(),
         model_id,
         last_used: Instant::now(),
+        speculated: false,
     });
     if let Some(ws) = store {
         ws.admit_model(repo, model_id);

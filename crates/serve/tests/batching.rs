@@ -27,6 +27,7 @@ fn config(serving: ServingConfig) -> GatewayConfig {
         store: None,
         faults: None,
         serving,
+        predict: None,
     }
 }
 

@@ -34,6 +34,7 @@ fn single_node() -> GatewayConfig {
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     }
 }
 

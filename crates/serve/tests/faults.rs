@@ -33,6 +33,7 @@ fn config(nodes: usize, faults: FaultSpec) -> GatewayConfig {
         store: Some(optimus_store::StoreConfig::default()),
         faults: Some(faults),
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     }
 }
 
@@ -173,6 +174,7 @@ fn stalled_client_gets_408_and_healthz_reports_nodes() {
             store: None,
             faults: None,
             serving: optimus_serve::ServingConfig::default(),
+            predict: None,
         })
         .register(tiny("m1", 4))
         .spawn(),

@@ -28,6 +28,7 @@ fn start_server() -> (HttpServer, std::net::SocketAddr) {
             store: Some(optimus_store::StoreConfig::default()),
             faults: None,
             serving: optimus_serve::ServingConfig::default(),
+            predict: None,
         })
         .register(tiny("m1", 4))
         .register(tiny("m2", 8))

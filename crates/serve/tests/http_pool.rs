@@ -30,6 +30,7 @@ fn gateway(serving: ServingConfig) -> Arc<Gateway> {
             store: None,
             faults: None,
             serving,
+            predict: None,
         })
         .register(tiny("m1", 4))
         .spawn(),

@@ -30,6 +30,7 @@ fn single_node() -> GatewayConfig {
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     }
 }
 
@@ -106,6 +107,7 @@ fn concurrent_clients_are_all_served() {
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     };
     let gw = std::sync::Arc::new(
         Gateway::builder(config)
@@ -149,6 +151,7 @@ fn capacity_is_respected_via_lru_eviction() {
         store: Some(optimus_store::StoreConfig::default()),
         faults: None,
         serving: optimus_serve::ServingConfig::default(),
+        predict: None,
     };
     let gw = Gateway::builder(config)
         .register(tiny("x", &[4]))

@@ -33,6 +33,7 @@ fn start_server(registry: Arc<MetricsRegistry>) -> (HttpServer, std::net::Socket
             store: Some(optimus_store::StoreConfig::default()),
             faults: None,
             serving: optimus_serve::ServingConfig::default(),
+            predict: None,
         })
         .metrics(registry)
         .register(tiny("m1", 4))

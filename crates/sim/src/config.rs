@@ -2,9 +2,20 @@
 
 use optimus_faults::FaultPlan;
 use optimus_fleet::FleetConfig;
+use optimus_predict::PredictConfig;
 use optimus_profile::Environment;
 use optimus_store::StoreConfig;
 use serde::{Deserialize, Serialize};
+
+/// The paper's global keep-alive window (§8.1 fixes 10 minutes for all
+/// systems). [`SimConfig::keep_alive`] defaults to this; the arrival
+/// predictor's adaptive windows override it per function.
+pub const DEFAULT_KEEP_ALIVE_S: f64 = 600.0;
+
+/// The idle threshold after which a container becomes a transformation
+/// donor (§4.2; 60 s like Pagurus). [`SimConfig::idle_threshold`]
+/// defaults to this.
+pub const DEFAULT_IDLE_THRESHOLD_S: f64 = 60.0;
 
 /// How the gateway assigns functions to nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,10 +100,12 @@ pub struct SimConfig {
     /// Maximum containers per node.
     pub capacity_per_node: usize,
     /// Keep-alive: a non-busy container is evicted after this many seconds
-    /// without use (§8.1 fixes 10 minutes for all systems).
+    /// without use (defaults to [`DEFAULT_KEEP_ALIVE_S`], the paper's
+    /// global 10-minute window).
     pub keep_alive: f64,
     /// Idle threshold: a container is a transformation donor after this
-    /// many seconds without a routed request (§4.2; 60 s like Pagurus).
+    /// many seconds without a routed request (defaults to
+    /// [`DEFAULT_IDLE_THRESHOLD_S`]).
     pub idle_threshold: f64,
     /// Hardware environment of every node.
     pub env: Environment,
@@ -132,6 +145,13 @@ pub struct SimConfig {
     /// store is enabled). `None` (the default) reproduces the static node
     /// set byte-identically.
     pub fleet: Option<FleetConfig>,
+    /// Optional online arrival prediction (`optimus-predict`):
+    /// per-function inter-arrival histograms drive adaptive keep-alive
+    /// windows (replacing the global `keep_alive` constant per function)
+    /// and cost-gated speculative transformations of idle donors toward
+    /// predicted-hot models. `None` (the default) reproduces the reactive
+    /// path byte-identically, as does [`PredictConfig::inert`].
+    pub predict: Option<PredictConfig>,
 }
 
 impl Default for SimConfig {
@@ -139,8 +159,8 @@ impl Default for SimConfig {
         SimConfig {
             nodes: 2,
             capacity_per_node: 12,
-            keep_alive: 600.0,
-            idle_threshold: 60.0,
+            keep_alive: DEFAULT_KEEP_ALIVE_S,
+            idle_threshold: DEFAULT_IDLE_THRESHOLD_S,
             env: Environment::Cpu,
             placement: PlacementStrategy::default(),
             demand_slot: 300.0,
@@ -151,6 +171,7 @@ impl Default for SimConfig {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
         }
     }
 }
@@ -165,8 +186,11 @@ mod tests {
         assert_eq!(c.nodes, 2, "paper uses two servers");
         assert_eq!(c.keep_alive, 600.0, "10-minute keep-alive for all systems");
         assert_eq!(c.idle_threshold, 60.0, "60 s idle threshold like Pagurus");
+        assert_eq!(c.keep_alive, DEFAULT_KEEP_ALIVE_S);
+        assert_eq!(c.idle_threshold, DEFAULT_IDLE_THRESHOLD_S);
         assert_eq!(c.env, Environment::Cpu);
         assert!(c.store.is_none(), "store off by default: legacy load model");
+        assert!(c.predict.is_none(), "prediction off by default: reactive");
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct Container {
     /// Allocation"): heterogeneous container sizes instead of homogeneous
     /// slots.
     pub mem_bytes: u64,
+    /// Whether this container was produced by a *speculative*
+    /// transformation that no request has used yet. Cleared on the first
+    /// warm hit (counted as a prediction hit); still set when the
+    /// container is evicted, repurposed, or killed (counted as a
+    /// misprediction). Always `false` when prediction is off.
+    pub speculated: bool,
 }
 
 impl Container {
@@ -46,6 +52,7 @@ impl Container {
             busy_until,
             last_routed: now,
             mem_bytes: 0,
+            speculated: false,
         }
     }
 

@@ -31,7 +31,10 @@ mod metrics;
 mod platform;
 mod policy;
 
-pub use config::{MemoryLimit, PlacementStrategy, PrewarmConfig, SimConfig};
+pub use config::{
+    MemoryLimit, PlacementStrategy, PrewarmConfig, SimConfig, DEFAULT_IDLE_THRESHOLD_S,
+    DEFAULT_KEEP_ALIVE_S,
+};
 pub use container::{Container, ContainerState};
 pub use metrics::{
     FunctionSummary, PhaseBreakdown, PhasePercentiles, RequestRecord, SimReport, StartKind,
@@ -46,3 +49,7 @@ pub use optimus_store::{StoreConfig, StoreStats, TierParams};
 // Re-exported so drivers can configure the elastic fleet and read its
 // report without depending on `optimus-fleet` directly.
 pub use optimus_fleet::{FleetConfig, FleetReport};
+
+// Re-exported so drivers can configure arrival prediction and read its
+// report without depending on `optimus-predict` directly.
+pub use optimus_predict::{PredictConfig, PredictReport, SpeculationConfig};

@@ -128,11 +128,16 @@ pub struct SimReport {
     /// scale events, nodes added/removed, multicast rounds/bytes, and the
     /// worst time-to-all-warm across scale-out waves.
     pub fleet: Option<optimus_fleet::FleetReport>,
+    /// Arrival-prediction summary (`None` unless `SimConfig::predict` is
+    /// set): speculation hit/misprediction counters, speculation cost and
+    /// saved seconds, and the adaptive keep-alive window statistics.
+    pub predict: Option<optimus_predict::PredictReport>,
 }
 
-// Hand-written so the `fleet` key is *omitted* (not `null`) when the
-// elastic fleet is disabled: committed experiment JSON from pre-fleet
-// binaries must stay byte-identical. The derive serializes every field.
+// Hand-written so the `fleet` and `predict` keys are *omitted* (not
+// `null`) when those subsystems are disabled: committed experiment JSON
+// from older binaries must stay byte-identical. The derive serializes
+// every field.
 impl Serialize for SimReport {
     fn to_value(&self) -> serde::Value {
         let mut m = serde::Map::new();
@@ -143,6 +148,9 @@ impl Serialize for SimReport {
         m.insert("faults", self.faults.to_value());
         if let Some(fleet) = &self.fleet {
             m.insert("fleet", fleet.to_value());
+        }
+        if let Some(predict) = &self.predict {
+            m.insert("predict", predict.to_value());
         }
         serde::Value::Object(m)
     }
@@ -341,6 +349,7 @@ mod tests {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
             prewarms: 0,
             records: vec![
                 rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
@@ -369,6 +378,7 @@ mod tests {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
             prewarms: 0,
             records: (1..=100)
                 .map(|i| rec(StartKind::Warm, 0.0, 0.0, 0.0, i as f64))
@@ -410,6 +420,7 @@ mod summary_tests {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
             prewarms: 0,
             records: vec![
                 rec("a", StartKind::Cold, 2.0),
@@ -448,6 +459,7 @@ mod summary_tests {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
             prewarms: 0,
             records,
         };
@@ -472,6 +484,7 @@ mod summary_tests {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
             prewarms: 0,
             records: vec![rec("f", StartKind::Cold, 1.5)],
         };
@@ -504,6 +517,7 @@ mod slo_tests {
             store: None,
             faults: None,
             fleet: None,
+            predict: None,
             records: vec![rec(0.5), rec(1.5), rec(2.5), rec(0.9)],
             prewarms: 0,
         };

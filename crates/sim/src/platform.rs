@@ -21,6 +21,7 @@ use optimus_fleet::{
 };
 use optimus_model::signature::OpSignature;
 use optimus_model::{FunctionId, InternKey, Interner, ModelGraph, ModelId};
+use optimus_predict::{PredictReport, Predictor, SpecCandidate};
 use optimus_profile::{CostModel, CostProvider, PlatformProfile};
 use optimus_store::{ChunkIndex, ChunkRef, NodeStore, StoreStats};
 use optimus_telemetry::{RequestTrace, TelemetrySink};
@@ -70,9 +71,10 @@ struct StoreState {
 struct RunState {
     /// Donor candidates of the current event: `(container index, id)`.
     donors: Vec<(usize, FunctionId)>,
-    /// Functions of containers the current event destroyed (for chunk
-    /// release).
-    evicted: Vec<FunctionId>,
+    /// Containers the current event destroyed, as `(function, was a
+    /// speculated container)` — for chunk release and misprediction
+    /// accounting.
+    evicted: Vec<(FunctionId, bool)>,
     /// Tetris residency marks: signature `s` is resident on the current
     /// node iff `sig_mark[s] == sig_gen`. Bumping the generation clears
     /// the whole set in O(1) instead of rebuilding a `HashSet` per event.
@@ -80,6 +82,9 @@ struct RunState {
     sig_gen: u64,
     /// Prewarm-schedule keys due at the current arrival.
     due: Vec<(u64, FunctionId)>,
+    /// Function indices whose speculative transform is due at the current
+    /// arrival.
+    spec_due: Vec<usize>,
 }
 
 impl RunState {
@@ -90,6 +95,7 @@ impl RunState {
             sig_mark: vec![0; sig_count],
             sig_gen: 0,
             due: Vec::new(),
+            spec_due: Vec::new(),
         }
     }
 }
@@ -146,6 +152,38 @@ struct FleetRt {
     /// Store statistics of scaled-in nodes, merged into the run total so
     /// draining a node never loses its hit/miss history.
     drained: StoreStats,
+}
+
+/// Per-run arrival-prediction state (only built when `SimConfig::predict`
+/// is set, so the reactive path carries no extra work and stays
+/// byte-identical).
+struct PredictRt {
+    predictor: Predictor,
+    /// Per-function keep-alive windows. Initialized to (and, under an
+    /// inert config or before any history, bit-exactly equal to)
+    /// `config.keep_alive`; refreshed after each arrival from the
+    /// predictor's tail cutoff.
+    windows: Vec<f64>,
+    report: PredictReport,
+}
+
+/// Count containers destroyed while still flagged speculated: each one is
+/// a speculation that never served a request — a misprediction.
+fn note_evicted_speculations(evicted: &[(FunctionId, bool)], predict: &mut Option<&mut PredictRt>) {
+    if let Some(pr) = predict.as_deref_mut() {
+        pr.report.spec_mispredictions += evicted.iter().filter(|&&(_, spec)| spec).count() as u64;
+    }
+}
+
+/// A donor container is being retargeted to another function before any
+/// request used it: if it was speculated, that speculation missed.
+fn note_retarget(c: &mut Container, predict: &mut Option<&mut PredictRt>) {
+    if c.speculated {
+        c.speculated = false;
+        if let Some(pr) = predict.as_deref_mut() {
+            pr.report.spec_mispredictions += 1;
+        }
+    }
 }
 
 /// Internal request record carrying the interned function id; converted
@@ -400,6 +438,14 @@ impl Platform {
                     .min((self.profile.cold_init() - self.profile.repurpose_overhead).max(0.0)),
             }
         });
+        let mut predict = self.config.predict.map(|pc| {
+            pc.validate().expect("predict config must be valid");
+            PredictRt {
+                predictor: Predictor::new(pc, self.functions.len()),
+                windows: vec![self.config.keep_alive; self.functions.len()],
+                report: PredictReport::default(),
+            }
+        });
         // Prewarming state: per-function arrival history and the pending
         // proactive-transform schedule, kept time-ordered. NaN marks "no
         // gap observed yet".
@@ -430,8 +476,36 @@ impl Platform {
                     {
                         continue;
                     }
-                    if self.prewarm(&mut nodes[node_idx], &mut state, at, key.1) {
+                    let mut p = predict.as_mut();
+                    if self.prewarm(&mut nodes[node_idx], &mut state, at, key.1, &mut p) {
                         prewarms += 1;
+                    }
+                }
+            }
+            // Execute due speculative transforms before this arrival. The
+            // arriving function itself is left to the reactive path (its
+            // band stays armed), so speculation only ever runs *ahead* of
+            // a predicted arrival.
+            if let Some(pr) = predict.as_mut() {
+                if pr.predictor.config().speculation.is_some() {
+                    state.spec_due.clear();
+                    pr.predictor.due_speculations(
+                        inv.time,
+                        |c| c != f.index(),
+                        &mut state.spec_due,
+                    );
+                    for i in 0..state.spec_due.len() {
+                        let tf = FunctionId::from_index(state.spec_due[i]);
+                        let node_idx = placement[tf.index()];
+                        // A down node cannot run a speculative transform.
+                        if faults
+                            .as_ref()
+                            .is_some_and(|fc| fc.down_until[node_idx] > inv.time)
+                        {
+                            pr.report.spec_skipped += 1;
+                            continue;
+                        }
+                        self.speculate(&mut nodes[node_idx], &mut state, pr, inv.time, tf);
                     }
                 }
             }
@@ -450,21 +524,24 @@ impl Platform {
                     }
                     match ev.kind {
                         FaultKind::NodeCrash => {
-                            Self::crash_node(&mut nodes[ev.node], fc, ev.node, ev.at);
+                            let mut p = predict.as_mut();
+                            Self::crash_node(&mut nodes[ev.node], fc, ev.node, ev.at, &mut p);
                             if let Some(fl) = fleet.as_mut() {
                                 self.fleet_on_crash(fl, &nodes, &fc.down_until, ev.node, ev.at);
                             }
                         }
                         FaultKind::ContainerKill => {
                             if let Some(victim) = lru_any(&nodes[ev.node]) {
-                                self.kill_container(&mut nodes[ev.node], fc, victim);
+                                let mut p = predict.as_mut();
+                                self.kill_container(&mut nodes[ev.node], fc, victim, &mut p);
                             }
                         }
                     }
                 }
                 fx = fc.injector.for_request(req_index as u64);
                 if fx.node_crash {
-                    Self::crash_node(&mut nodes[home], fc, home, inv.time);
+                    let mut p = predict.as_mut();
+                    Self::crash_node(&mut nodes[home], fc, home, inv.time, &mut p);
                     if let Some(fl) = fleet.as_mut() {
                         self.fleet_on_crash(fl, &nodes, &fc.down_until, home, inv.time);
                     }
@@ -500,6 +577,7 @@ impl Platform {
                 }
             }
             if let Some(fl) = fleet.as_mut() {
+                let mut p = predict.as_mut();
                 self.fleet_step(
                     fl,
                     &mut nodes,
@@ -508,6 +586,7 @@ impl Platform {
                     inv.time,
                     f,
                     home,
+                    &mut p,
                 );
                 // Elastic routing: a saturated (or down) home spills onto
                 // the least-loaded warm node of the active fleet.
@@ -566,6 +645,7 @@ impl Platform {
                 f,
                 &fx,
                 faults.as_mut(),
+                predict.as_mut(),
             );
             if let Some(fl) = fleet.as_mut() {
                 let done = raw.arrival + raw.service_time();
@@ -587,7 +667,17 @@ impl Platform {
                 compute: raw.compute,
                 kind: raw.kind,
             });
-            // Update the predictor and schedule the next prewarm.
+            // Feed the arrival predictor and refresh the function's
+            // adaptive keep-alive window.
+            if let Some(pr) = predict.as_mut() {
+                pr.predictor.observe(f.index(), inv.time);
+                pr.report.observed_arrivals += 1;
+                let w = pr.predictor.keep_alive(f.index(), self.config.keep_alive);
+                pr.windows[f.index()] = w;
+                pr.report.window_seconds_sum += w;
+                pr.report.window_samples += 1;
+            }
+            // Update the prewarm predictor and schedule the next prewarm.
             if let Some(cfg) = self.config.prewarm {
                 let (count, last) = history[f.index()];
                 if count > 0 {
@@ -640,19 +730,30 @@ impl Platform {
             store,
             faults,
             fleet: fleet.map(|fl| fl.report),
+            predict: predict.map(|pr| pr.report),
         }
     }
 
     /// Crash a node at time `at`: every container is lost, the store's
     /// volatile tiers are wiped, and the node stays down until
     /// `at + recovery_seconds`. Idempotent while the node is already down.
-    fn crash_node(node: &mut NodeState, fc: &mut FaultCtx, node_idx: usize, at: f64) {
+    fn crash_node(
+        node: &mut NodeState,
+        fc: &mut FaultCtx,
+        node_idx: usize,
+        at: f64,
+        predict: &mut Option<&mut PredictRt>,
+    ) {
         if fc.down_until[node_idx] > at {
             return;
         }
         fc.down_until[node_idx] = at + fc.injector.spec().recovery_seconds;
         fc.stats.node_crashes += 1;
         fc.stats.crash_container_evictions += node.containers.len() as u64;
+        if let Some(pr) = predict.as_deref_mut() {
+            pr.report.spec_mispredictions +=
+                node.containers.iter().filter(|c| c.speculated).count() as u64;
+        }
         node.containers.clear();
         if let Some(store) = node.store.as_mut() {
             store.crash();
@@ -675,6 +776,7 @@ impl Platform {
         now: f64,
         f: FunctionId,
         home: usize,
+        predict: &mut Option<&mut PredictRt>,
     ) {
         // 1. Activate joiners whose provisioning + warm transfer is done:
         //    provision the node store and place the wave's chunk set at
@@ -709,7 +811,7 @@ impl Platform {
             if !fl.active[n] || fl.ready_at[n] > now {
                 continue;
             }
-            self.evict_expired(&mut nodes[n], state, now);
+            self.evict_expired(&mut nodes[n], state, now, predict);
             if nodes[n].containers.is_empty() && fl.autoscaler.scale_in_ready(now, fl.last_busy[n])
             {
                 fl.active[n] = false;
@@ -737,11 +839,20 @@ impl Platform {
         }
         let home_full = nodes[home].containers.len() >= self.config.capacity_per_node
             && !nodes[home].containers.iter().any(|c| c.busy_until <= now);
+        // Predictive scale-out signal: arrivals the predictor forecasts
+        // within the provisioning horizon count as demand, so the fleet
+        // can grow *before* the queue builds. 0 with prediction off —
+        // the reactive pressure bit-for-bit.
+        let predicted = predict.as_deref().map_or(0, |pr| {
+            pr.predictor
+                .predicted_arrivals(now, fl.autoscaler.config().provision_s)
+        });
         let signals = FleetSignals {
             active_nodes: fl.active.iter().filter(|&&a| a).count(),
             busy_slots: busy,
             total_slots: ready_nodes * self.config.capacity_per_node,
             queued: usize::from(home_full),
+            predicted,
         };
         if signals.active_nodes > fl.report.peak_nodes {
             fl.report.peak_nodes = signals.active_nodes;
@@ -915,8 +1026,19 @@ impl Platform {
 
     /// Kill one container (OOM-killer stand-in), releasing its model's
     /// chunk references back into the store.
-    fn kill_container(&self, node: &mut NodeState, fc: &mut FaultCtx, victim: usize) {
+    fn kill_container(
+        &self,
+        node: &mut NodeState,
+        fc: &mut FaultCtx,
+        victim: usize,
+        predict: &mut Option<&mut PredictRt>,
+    ) {
         let f = node.containers[victim].function;
+        if node.containers[victim].speculated {
+            if let Some(pr) = predict.as_deref_mut() {
+                pr.report.spec_mispredictions += 1;
+            }
+        }
         node.containers.swap_remove(victim);
         if let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) {
             if let Some(chunks) = ss.model_chunks.get(f) {
@@ -940,21 +1062,35 @@ impl Platform {
 
     /// Release the chunk references of containers that stopped holding the
     /// given functions' models (keep-alive expiry or slot eviction).
-    fn store_release(&self, node: &mut NodeState, evicted: &[FunctionId]) {
+    fn store_release(&self, node: &mut NodeState, evicted: &[(FunctionId, bool)]) {
         let (Some(ss), Some(store)) = (&self.store, node.store.as_mut()) else {
             return;
         };
-        for &f in evicted {
+        for &(f, _) in evicted {
             if let Some(chunks) = ss.model_chunks.get(f) {
                 store.release(chunks);
             }
         }
     }
 
-    /// Evict keep-alive-expired containers, releasing their chunks.
-    fn evict_expired(&self, node: &mut NodeState, state: &mut RunState, now: f64) {
+    /// Evict keep-alive-expired containers, releasing their chunks. With
+    /// prediction on, each container is judged against its function's
+    /// adaptive window (bit-identical to the global constant until the
+    /// predictor has history) and destroyed speculated containers count
+    /// as mispredictions.
+    fn evict_expired(
+        &self,
+        node: &mut NodeState,
+        state: &mut RunState,
+        now: f64,
+        predict: &mut Option<&mut PredictRt>,
+    ) {
         state.evicted.clear();
-        node.evict_expired(now, self.config.keep_alive, &mut state.evicted);
+        match predict.as_deref() {
+            Some(pr) => node.evict_expired_windows(now, &pr.windows, &mut state.evicted),
+            None => node.evict_expired(now, self.config.keep_alive, &mut state.evicted),
+        }
+        note_evicted_speculations(&state.evicted, predict);
         self.store_release(node, &state.evicted);
     }
 
@@ -966,6 +1102,7 @@ impl Platform {
         state: &mut RunState,
         needed: u64,
         now: f64,
+        predict: &mut Option<&mut PredictRt>,
     ) -> Option<()> {
         state.evicted.clear();
         let ok = node.free_slot(
@@ -975,6 +1112,7 @@ impl Platform {
             now,
             &mut state.evicted,
         );
+        note_evicted_speculations(&state.evicted, predict);
         self.store_release(node, &state.evicted);
         ok.then_some(())
     }
@@ -1028,13 +1166,39 @@ impl Platform {
         seconds
     }
 
+    /// Read-only preview of [`Platform::store_repurpose`] with a cached
+    /// plan: the transport seconds the payload fetch would pay right now
+    /// (0 without a store). The speculation cost gate prices a candidate
+    /// with this before any store state is mutated; because nothing moves
+    /// between the estimate and the admit, the executed cost equals it.
+    fn store_repurpose_estimate(&self, node: &NodeState, src: FunctionId, dst: FunctionId) -> f64 {
+        let (Some(ss), Some(store)) = (&self.store, node.store.as_ref()) else {
+            return 0.0;
+        };
+        let n = self.functions.len();
+        match ss.plan_chunks[src.index() * n + dst.index()].as_ref() {
+            Some(pc) => store.estimate(&pc.fetched).seconds,
+            None => ss
+                .model_chunks
+                .get(dst)
+                .map_or(0.0, |chunks| store.estimate(chunks).seconds),
+        }
+    }
+
     /// Proactively transform an idle donor into `f` at time `at` so the
     /// predicted next request warm-starts. Returns whether a transformation
     /// was performed. Only donors past the idle threshold are used, and the
     /// safeguard still applies — prewarming never loads from scratch
     /// speculatively.
-    fn prewarm(&self, node: &mut NodeState, state: &mut RunState, at: f64, f: FunctionId) -> bool {
-        self.evict_expired(node, state, at);
+    fn prewarm(
+        &self,
+        node: &mut NodeState,
+        state: &mut RunState,
+        at: f64,
+        f: FunctionId,
+        predict: &mut Option<&mut PredictRt>,
+    ) -> bool {
+        self.evict_expired(node, state, at, predict);
         if node.warm_free(f, at).is_some() {
             return false; // already warm
         }
@@ -1061,6 +1225,7 @@ impl Platform {
             let src = node.containers[ci].function;
             let transport = self.store_repurpose(node, src, f, true);
             let c = &mut node.containers[ci];
+            note_retarget(c, predict);
             c.function = f;
             c.mem_bytes = need;
             // The container is busy while the proactive transform runs;
@@ -1070,6 +1235,95 @@ impl Platform {
             true
         } else {
             false
+        }
+    }
+
+    /// Execute one speculative transformation for predicted-hot `f` at
+    /// time `at`: convert the cheapest idle donor toward it, but only
+    /// when the cost-model gate admits the candidate — the speculation
+    /// must be cheaper than the cold start it would replace (the hard
+    /// budget bounding any misprediction), and its confidence-weighted
+    /// expected saving must beat the expected misprediction waste.
+    fn speculate(
+        &self,
+        node: &mut NodeState,
+        state: &mut RunState,
+        pr: &mut PredictRt,
+        at: f64,
+        f: FunctionId,
+    ) {
+        let cfg = *pr.predictor.config();
+        let Some(spec) = cfg.speculation else { return };
+        let Some(forecast) = pr.predictor.forecast(f.index()) else {
+            pr.report.spec_skipped += 1;
+            return;
+        };
+        {
+            let mut p = Some(&mut *pr);
+            self.evict_expired(node, state, at, &mut p);
+        }
+        if node.warm_free(f, at).is_some() {
+            pr.report.spec_skipped += 1; // already warm: nothing to gain
+            return;
+        }
+        let need = self.footprint(f);
+        state.donors.clear();
+        for (i, c) in node.containers.iter().enumerate() {
+            if c.function != f && c.state(at, self.config.idle_threshold) == ContainerState::Idle {
+                state.donors.push((i, c.function));
+            }
+        }
+        state
+            .donors
+            .retain(|&(ci, _)| node.repurpose_fits(ci, need, self.config.memory));
+        let data = &self.functions[f.index()];
+        let choice = choose_source_by_id(
+            &self.repo,
+            state
+                .donors
+                .iter()
+                .map(|&(ci, src)| (ci, self.functions[src.index()].model_id)),
+            data.model_id,
+        );
+        let Some(choice) = choice else {
+            pr.report.spec_skipped += 1; // no idle donor with a plan
+            return;
+        };
+        let ci = choice.container;
+        let src = node.containers[ci].function;
+        let candidate = SpecCandidate {
+            spec_cost: self.profile.repurpose_overhead
+                + choice.latency
+                + self.store_repurpose_estimate(node, src, f),
+            cold_cost: self.profile.cold_init() + data.load_cost + self.store_estimate(node, f),
+            confidence: forecast.confidence,
+        };
+        if !candidate.admit(spec.aggressiveness) {
+            pr.report.spec_skipped += 1;
+            return;
+        }
+        let transport = self.store_repurpose(node, src, f, true);
+        let c = &mut node.containers[ci];
+        if c.speculated {
+            // The donor was itself an unused speculation for another
+            // function: that earlier guess missed.
+            pr.report.spec_mispredictions += 1;
+        }
+        c.function = f;
+        c.mem_bytes = need;
+        // Busy while the speculative transform runs; last_routed stays
+        // untouched so a wrong guess leaves the container donatable.
+        let cost = self.profile.repurpose_overhead + choice.latency + transport;
+        c.busy_until = at + cost;
+        c.speculated = true;
+        pr.report.speculations += 1;
+        pr.report.spec_cost_seconds += cost;
+        // Executed cost vs. the cold start replaced: the gate guarantees
+        // this stays negative, and the first sample seeds the maximum so
+        // the default 0.0 never masks a (negative) true worst case.
+        let over = cost - candidate.cold_cost;
+        if pr.report.speculations == 1 || over > pr.report.max_spec_over_budget {
+            pr.report.max_spec_over_budget = over;
         }
     }
 
@@ -1093,15 +1347,16 @@ impl Platform {
         f: FunctionId,
         fx: &RequestFaults,
         mut faults: Option<&mut FaultCtx>,
+        mut predict: Option<&mut PredictRt>,
     ) -> RawRecord {
         let mut now = start_at.max(arrival);
-        self.evict_expired(node, state, now);
+        self.evict_expired(node, state, now, &mut predict);
         // Injected container kill on the routed node: one warm container
         // dies (chunks released) just before the request is served.
         if fx.container_kill && !node.containers.is_empty() {
             if let Some(fc) = faults.as_deref_mut() {
                 let victim = fx.victim_index(node.containers.len());
-                self.kill_container(node, fc, victim);
+                self.kill_container(node, fc, victim, &mut predict);
             }
         }
         let compute = self.functions[f.index()].compute_cost;
@@ -1109,6 +1364,16 @@ impl Platform {
             // 1. Warm start: a free container already holds the model.
             if let Some(ci) = node.warm_free(f, now) {
                 let c = &mut node.containers[ci];
+                if c.speculated {
+                    // A speculative transform paid off: this request warm-
+                    // starts instead of paying init + load.
+                    c.speculated = false;
+                    if let Some(pr) = predict.as_deref_mut() {
+                        let data = &self.functions[f.index()];
+                        pr.report.spec_hits += 1;
+                        pr.report.spec_saved_seconds += self.profile.cold_init() + data.load_cost;
+                    }
+                }
                 c.route(now, now + compute);
                 return RawRecord {
                     function: f,
@@ -1130,7 +1395,7 @@ impl Platform {
             };
             // 2. Obtain a container by the policy.
             if let Some((ci, init, load, kind)) =
-                self.try_start(node, state, next_id, now, f, fx, &mut faults)
+                self.try_start(node, state, next_id, now, f, fx, &mut faults, &mut predict)
             {
                 // Safeguard-under-failure audit (§6.3): the startup this
                 // request actually paid must never exceed what a cold
@@ -1188,13 +1453,14 @@ impl Platform {
         f: FunctionId,
         fx: &RequestFaults,
         faults: &mut Option<&mut FaultCtx>,
+        predict: &mut Option<&mut PredictRt>,
     ) -> Option<(usize, f64, f64, StartKind)> {
         let data = &self.functions[f.index()];
         let idle_thr = self.config.idle_threshold;
         match self.policy {
             Policy::OpenWhisk => {
                 let need = self.footprint(f);
-                self.free_slot(node, state, need, now)?;
+                self.free_slot(node, state, need, now, predict)?;
                 let ci = node.spawn(next_id, f, now, need);
                 let transport = faulted_transport(self.store_admit(node, f), fx, faults);
                 note_load_faults(fx, faults);
@@ -1229,6 +1495,7 @@ impl Platform {
                         faulted_transport(self.store_repurpose(node, src, f, false), fx, faults);
                     note_load_faults(fx, faults);
                     let c = &mut node.containers[ci];
+                    note_retarget(c, predict);
                     c.function = f;
                     c.mem_bytes = need;
                     c.route(now, now); // busy window set by caller
@@ -1239,7 +1506,7 @@ impl Platform {
                         StartKind::Transform,
                     ));
                 }
-                self.free_slot(node, state, need, now)?;
+                self.free_slot(node, state, need, now, predict)?;
                 let ci = node.spawn(next_id, f, now, need);
                 let transport = faulted_transport(self.store_admit(node, f), fx, faults);
                 note_load_faults(fx, faults);
@@ -1264,7 +1531,7 @@ impl Platform {
                         state.sig_mark[sig as usize] = gen;
                     }
                 }
-                self.free_slot(node, state, need, now)?;
+                self.free_slot(node, state, need, now, predict)?;
                 let mut load = data.deserialize_cost;
                 let mut shared = 0usize;
                 for &(sig, cost) in &data.op_sigs {
@@ -1346,6 +1613,7 @@ impl Platform {
                         );
                         note_load_faults(fx, faults);
                         let c = &mut node.containers[ci];
+                        note_retarget(c, predict);
                         c.function = f;
                         c.mem_bytes = need;
                         c.route(now, now);
@@ -1359,6 +1627,7 @@ impl Platform {
                     let transport =
                         faulted_transport(self.store_repurpose(node, src, f, true), fx, faults);
                     let c = &mut node.containers[ci];
+                    note_retarget(c, predict);
                     c.function = f;
                     c.mem_bytes = need;
                     c.route(now, now);
@@ -1376,6 +1645,7 @@ impl Platform {
                         faulted_transport(self.store_repurpose(node, src, f, false), fx, faults);
                     note_load_faults(fx, faults);
                     let c = &mut node.containers[ci];
+                    note_retarget(c, predict);
                     c.function = f;
                     c.mem_bytes = need;
                     c.route(now, now);
@@ -1386,7 +1656,7 @@ impl Platform {
                         StartKind::Transform,
                     ));
                 }
-                self.free_slot(node, state, need, now)?;
+                self.free_slot(node, state, need, now, predict)?;
                 let ci = node.spawn(next_id, f, now, need);
                 let transport = faulted_transport(self.store_admit(node, f), fx, faults);
                 note_load_faults(fx, faults);
@@ -1477,13 +1747,32 @@ struct NodeState {
 }
 
 impl NodeState {
-    /// Drop keep-alive-expired containers; pushes the functions whose
-    /// models they held into `evicted` so the caller can release their
-    /// chunks.
-    fn evict_expired(&mut self, now: f64, keep_alive: f64, evicted: &mut Vec<FunctionId>) {
+    /// Drop keep-alive-expired containers; pushes `(function, speculated)`
+    /// of each destroyed container into `evicted` so the caller can
+    /// release chunks and account mispredictions.
+    fn evict_expired(&mut self, now: f64, keep_alive: f64, evicted: &mut Vec<(FunctionId, bool)>) {
         self.containers.retain(|c| {
             if c.expired(now, keep_alive) {
-                evicted.push(c.function);
+                evicted.push((c.function, c.speculated));
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Like [`NodeState::evict_expired`] but with a per-function
+    /// keep-alive window table (the arrival predictor's adaptive
+    /// windows).
+    fn evict_expired_windows(
+        &mut self,
+        now: f64,
+        windows: &[f64],
+        evicted: &mut Vec<(FunctionId, bool)>,
+    ) {
+        self.containers.retain(|c| {
+            if c.expired(now, windows[c.function.index()]) {
+                evicted.push((c.function, c.speculated));
                 false
             } else {
                 true
@@ -1593,13 +1882,14 @@ impl NodeState {
         memory: Option<MemoryLimit>,
         needed: u64,
         now: f64,
-        evicted: &mut Vec<FunctionId>,
+        evicted: &mut Vec<(FunctionId, bool)>,
     ) -> bool {
         while !self.fits(capacity, memory, needed) {
             let Some(victim) = self.lru_free(now) else {
                 return false;
             };
-            evicted.push(self.containers[victim].function);
+            let c = &self.containers[victim];
+            evicted.push((c.function, c.speculated));
             self.containers.swap_remove(victim);
         }
         true

@@ -1,0 +1,223 @@
+//! Diurnal + bursty synthetic arrivals — the predictor's stress trace.
+//!
+//! The Azure generator mixes function *populations* (steady, periodic,
+//! bursty); this family instead makes **every** function's rate strongly
+//! time-varying, which is exactly the regime where a fixed keep-alive
+//! window loses: it idles containers through the daily trough (memory
+//! waste) and evicts them right before the burst returns (cold starts).
+//!
+//! Each function's instantaneous rate is
+//!
+//! ```text
+//! rate(t) = base_rate · (1 + amplitude · sin(2π·(t/period + phase_f)))
+//!           · (burst_multiplier  if t inside a burst episode else 1)
+//! ```
+//!
+//! with a per-function phase (functions peak at different times of day)
+//! and seeded alternating-renewal burst episodes (exponential gap/length).
+//! Arrivals are drawn by thinning a homogeneous Poisson process at the
+//! peak rate, so the trace is deterministic from `(seed, function index)`
+//! alone: adding functions never perturbs existing streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::poisson::exponential_inter_arrival;
+use crate::trace::{Invocation, Trace};
+
+/// Sinusoidal-rate arrivals with seeded burst episodes, per function.
+#[derive(Debug, Clone)]
+pub struct DiurnalBurstGenerator {
+    /// Trace duration in seconds.
+    pub duration: f64,
+    /// RNG seed (same seed ⇒ same trace).
+    pub seed: u64,
+    /// Mean baseline arrival rate per function (requests/second).
+    pub base_rate: f64,
+    /// Period of the sinusoidal modulation (default 24 h).
+    pub period: f64,
+    /// Strength of the sinusoidal modulation in `[0, 1)`.
+    pub amplitude: f64,
+    /// Rate multiplier inside a burst episode (≥ 1).
+    pub burst_multiplier: f64,
+    /// Mean burst episode length in seconds.
+    pub burst_len: f64,
+    /// Mean gap between burst episodes in seconds.
+    pub burst_gap: f64,
+}
+
+impl DiurnalBurstGenerator {
+    /// Generator with bursty-day defaults: 24 h sine at amplitude 0.8,
+    /// 10× bursts averaging 2 min every ~20 min.
+    pub fn new(duration: f64, seed: u64, base_rate: f64) -> Self {
+        assert!(duration > 0.0, "duration must be positive");
+        assert!(base_rate > 0.0, "base_rate must be positive");
+        DiurnalBurstGenerator {
+            duration,
+            seed,
+            base_rate,
+            period: 86_400.0,
+            amplitude: 0.8,
+            burst_multiplier: 10.0,
+            burst_len: 120.0,
+            burst_gap: 1_200.0,
+        }
+    }
+
+    /// Sinusoidal multiplier for a function with phase `phase` at `t`.
+    fn sinusoid(&self, t: f64, phase: f64) -> f64 {
+        1.0 + self.amplitude * (2.0 * std::f64::consts::PI * (t / self.period + phase)).sin()
+    }
+
+    /// Seeded alternating-renewal burst episodes `[start, end)` covering
+    /// `[0, duration)` for one function stream.
+    fn burst_episodes(&self, rng: &mut StdRng) -> Vec<(f64, f64)> {
+        let mut episodes = Vec::new();
+        let mut t = 0.0;
+        while t < self.duration {
+            let gap: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+            t += exponential_inter_arrival(1.0 / self.burst_gap, gap);
+            if t >= self.duration {
+                break;
+            }
+            let len: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+            let end = (t + exponential_inter_arrival(1.0 / self.burst_len, len)).min(self.duration);
+            episodes.push((t, end));
+            t = end;
+        }
+        episodes
+    }
+
+    /// Instantaneous rate multiplier (relative to `base_rate`) at `t`.
+    fn multiplier(&self, t: f64, phase: f64, episodes: &[(f64, f64)], cursor: &mut usize) -> f64 {
+        while *cursor < episodes.len() && episodes[*cursor].1 <= t {
+            *cursor += 1;
+        }
+        let bursting = episodes.get(*cursor).is_some_and(|&(s, e)| s <= t && t < e);
+        self.sinusoid(t, phase) * if bursting { self.burst_multiplier } else { 1.0 }
+    }
+
+    /// Generate a trace over the given function names.
+    pub fn generate(&self, functions: &[String]) -> Trace {
+        let mut invocations = Vec::new();
+        let peak = (1.0 + self.amplitude) * self.burst_multiplier;
+        for (fi, f) in functions.iter().enumerate() {
+            // Independent stream per function, derived from the base seed
+            // so adding functions does not perturb existing streams.
+            let mut rng =
+                StdRng::seed_from_u64(self.seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let phase: f64 = rng.gen_range(0.0..1.0);
+            let episodes = self.burst_episodes(&mut rng);
+            let mut cursor = 0usize;
+            // Thinned non-homogeneous Poisson at the joint peak rate.
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..=1.0);
+                t += exponential_inter_arrival(self.base_rate * peak, u);
+                if t >= self.duration {
+                    break;
+                }
+                let accept: f64 = rng.gen_range(0.0..1.0);
+                if accept * peak <= self.multiplier(t, phase, &episodes, &mut cursor) {
+                    invocations.push(Invocation {
+                        time: t,
+                        function: f.clone(),
+                    });
+                }
+            }
+        }
+        Trace::new(self.duration, invocations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("f{i}")).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = DiurnalBurstGenerator::new(20_000.0, 11, 0.01);
+        assert_eq!(g.generate(&names(3)), g.generate(&names(3)));
+        let other = DiurnalBurstGenerator::new(20_000.0, 12, 0.01).generate(&names(3));
+        assert_ne!(g.generate(&names(3)), other);
+    }
+
+    #[test]
+    fn adding_functions_preserves_existing_streams() {
+        let g = DiurnalBurstGenerator::new(50_000.0, 9, 0.005);
+        let t3 = g.generate(&names(3));
+        let t4 = g.generate(&names(4));
+        let only_f0 = |t: &Trace| -> Vec<f64> {
+            t.invocations
+                .iter()
+                .filter(|i| i.function == "f0")
+                .map(|i| i.time)
+                .collect()
+        };
+        assert_eq!(only_f0(&t3), only_f0(&t4));
+    }
+
+    #[test]
+    fn invocations_sorted_and_within_duration() {
+        let trace = DiurnalBurstGenerator::new(10_000.0, 3, 0.02).generate(&names(5));
+        assert!(trace.invocations.iter().all(|i| i.time < 10_000.0));
+        assert!(trace.invocations.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn mean_rate_reflects_base_and_bursts() {
+        // Expected long-run multiplier: sine averages to 1, bursts add
+        // len/(len+gap) fraction of time at burst_multiplier.
+        let g = DiurnalBurstGenerator::new(400_000.0, 21, 0.01);
+        let trace = g.generate(&names(1));
+        let empirical = trace.len() as f64 / g.duration;
+        let burst_frac = g.burst_len / (g.burst_len + g.burst_gap);
+        let expected = g.base_rate * (1.0 + burst_frac * (g.burst_multiplier - 1.0));
+        let rel = (empirical - expected).abs() / expected;
+        assert!(
+            rel < 0.15,
+            "empirical {empirical:.5} vs expected {expected:.5}"
+        );
+    }
+
+    #[test]
+    fn bursts_make_the_trace_bursty() {
+        // Max windowed rate must dwarf the mean: a burst at 10× the
+        // sinusoid should push some 60 s window far above average.
+        let g = DiurnalBurstGenerator::new(100_000.0, 5, 0.01);
+        let trace = g.generate(&names(1));
+        let window = 60.0;
+        let mut counts = vec![0u32; (g.duration / window) as usize + 1];
+        for inv in &trace.invocations {
+            counts[(inv.time / window) as usize] += 1;
+        }
+        let mean = trace.len() as f64 / counts.len() as f64;
+        let max = f64::from(*counts.iter().max().unwrap());
+        assert!(
+            max > 4.0 * mean,
+            "max window {max} vs mean {mean:.2} — no bursts?"
+        );
+    }
+
+    #[test]
+    fn diurnal_trough_and_peak_differ() {
+        // With amplitude 0.8 and bursts off, the busiest sixth of the
+        // period must see several times the arrivals of the quietest.
+        let mut g = DiurnalBurstGenerator::new(86_400.0 * 4.0, 17, 0.02);
+        g.burst_multiplier = 1.0;
+        let trace = g.generate(&names(1));
+        let bins = 6usize;
+        let mut counts = vec![0u64; bins];
+        for inv in &trace.invocations {
+            let pos = (inv.time % g.period) / g.period;
+            counts[((pos * bins as f64) as usize).min(bins - 1)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max > 2.0 * min, "phase bins {counts:?} look flat");
+    }
+}

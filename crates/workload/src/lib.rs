@@ -1,6 +1,6 @@
 //! # optimus-workload — request-arrival generators (§8.1)
 //!
-//! Two workload sources drive the paper's end-to-end evaluation:
+//! Workload sources:
 //!
 //! - **Poisson**: independent Poisson arrivals per function with
 //!   λ ∈ {10⁻³·⁵, 10⁻²·⁵, 10⁻²} requests/second, the paper's infrequent /
@@ -12,16 +12,22 @@
 //!   heavy-tailed per-function rates, and a mixture of steady, periodic
 //!   (timer-triggered) and bursty functions with diurnal modulation.
 //!   DESIGN.md records this substitution.
+//! - **Diurnal/bursty**: every function's rate is strongly time-varying
+//!   (sinusoidal base rate + seeded burst episodes) — the stress trace
+//!   for the arrival predictor, where fixed keep-alive windows are at
+//!   their worst. See [`diurnal::DiurnalBurstGenerator`].
 //!
 //! All generators are seeded and deterministic.
 
 pub mod analysis;
 pub mod azure;
+mod diurnal;
 mod poisson;
 mod trace;
 
 pub use analysis::{analyze_trace, FunctionStats, PatternClass};
 pub use azure::{AzureTraceGenerator, FunctionPattern};
+pub use diurnal::DiurnalBurstGenerator;
 pub use poisson::{exponential_inter_arrival, PoissonGenerator};
 pub use trace::{demand_histogram, Invocation, Trace};
 

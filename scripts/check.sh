@@ -34,4 +34,7 @@ cargo run --release -q -p optimus-bench --bin exp_scale_out -- --small --threads
 echo "== exp_serve_scale (small CI config, live serving front-end trajectory) =="
 cargo run --release -q -p optimus-bench --bin exp_serve_scale -- --small
 
+echo "== exp_prewarm_predict (small CI config, arrival-prediction sweep) =="
+cargo run --release -q -p optimus-bench --bin exp_prewarm_predict -- --small --threads 2
+
 echo "all checks passed"
