@@ -1,0 +1,153 @@
+//! Criterion microbench of the request-time decide path against the
+//! sharded plan cache: single-thread `decide_by_id` latency per catalog
+//! size, plus a manual contended pass (all cores hammering decides) that
+//! compares the machine-sized shard count with the `with_shards(1)`
+//! single-map baseline.
+//!
+//! The contended numbers are written to `results/bench_decide.json` so
+//! the decide path's perf trajectory is tracked across PRs. On boxes with
+//! few cores the sharded/single-map ratio is mostly noise (read locks
+//! barely contend with two readers); the sharding's real payoff —
+//! readers never stalling behind a bulk registration — is asserted in
+//! `optimus-core`'s `sharded_cache` tests. Run with `--small` for a CI
+//! smoke that trims catalog sizes and skips the JSON update.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optimus_core::{GroupPlanner, ModelRepository, PlanScope};
+use optimus_model::ModelId;
+use optimus_profile::CostModel;
+
+/// Deterministic splitmix64 stream for pair sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// An `n`-model NASBench catalog registered with window-4 planning (the
+/// same registration mode `exp_catalog_scale` uses at 10k models).
+fn registered(n: usize, cost: &CostModel) -> ModelRepository {
+    let space = optimus_zoo::NASBENCH_SPACE_SIZE;
+    let models = (0..n as u64)
+        .map(|i| optimus_zoo::nasbench::nasbench_model_sized(i % space, 1, i / space))
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let repo = ModelRepository::new(Box::new(GroupPlanner));
+    repo.register_all_scoped(models, cost, threads, PlanScope::Window(4), None);
+    repo
+}
+
+fn ids(repo: &ModelRepository, n: usize) -> Vec<ModelId> {
+    (0..n)
+        .map(|i| {
+            repo.model_id(&format!(
+                "nasbench-{:05}",
+                i as u64 % optimus_zoo::NASBENCH_SPACE_SIZE
+            ))
+            .expect("registered model resolves")
+        })
+        .collect()
+}
+
+/// Contended decide throughput (ops/s): every available core draws random
+/// pairs and calls `decide_by_id` as fast as it can. One warmup round,
+/// then best of three (thread spin-up and cold caches land in neither).
+fn contended_ops(repo: &ModelRepository, ids: &[ModelId], iters: usize) -> f64 {
+    let readers = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
+    let round = |iters: usize| {
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for r in 0..readers {
+                s.spawn(move || {
+                    let mut rng = Rng(0xBEEF ^ r as u64);
+                    for _ in 0..iters {
+                        let (src, dst) = (ids[rng.below(ids.len())], ids[rng.below(ids.len())]);
+                        criterion::black_box(repo.decide_by_id(src, dst));
+                    }
+                });
+            }
+        });
+        (readers * iters) as f64 / t0.elapsed().as_secs_f64()
+    };
+    round(iters / 4);
+    (0..3).map(|_| round(iters)).fold(0.0, f64::max)
+}
+
+fn save_bench_json(entry: serde_json::Value) {
+    // Benches run with cwd = the package dir; anchor at the workspace root.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join("bench_decide.json");
+    if !path.parent().is_some_and(std::path::Path::is_dir) {
+        return;
+    }
+    let pretty = serde_json::to_string_pretty(&entry).unwrap();
+    if let Err(e) = std::fs::write(&path, pretty) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn decide_path(c: &mut Criterion) {
+    let small = std::env::args().any(|a| a == "--small");
+    let cost = CostModel::default();
+    let sizes: Vec<usize> = if small {
+        vec![50, 200]
+    } else {
+        vec![100, 1_000, 10_000]
+    };
+    let iters = if small { 20_000 } else { 200_000 };
+
+    let mut group = c.benchmark_group("decide_path");
+    group.throughput(Throughput::Elements(1));
+    let mut catalogs = Vec::new();
+    for &n in &sizes {
+        let mut repo = registered(n, &cost);
+        let ids = ids(&repo, n);
+        group.bench_with_input(BenchmarkId::new("decide_by_id", n), &(), |b, ()| {
+            let mut rng = Rng(0xC0FF_EE00 ^ n as u64);
+            b.iter(|| {
+                let (src, dst) = (ids[rng.below(n)], ids[rng.below(n)]);
+                repo.decide_by_id(src, dst)
+            })
+        });
+        // Rebuild both configurations through `with_shards` so they get
+        // identical (freshly compacted) stripe storage — otherwise the
+        // comparison measures registration-time allocation locality, not
+        // the striping itself.
+        let default_shards = repo.shard_count();
+        repo = repo.with_shards(default_shards);
+        let sharded_ops = contended_ops(&repo, &ids, iters);
+        repo = repo.with_shards(1);
+        let flat_ops = contended_ops(&repo, &ids, iters);
+        catalogs.push(serde_json::json!({
+            "catalog": n,
+            "shards": default_shards,
+            "contended_ops_per_s_sharded": sharded_ops,
+            "contended_ops_per_s_single_map": flat_ops,
+            "sharded_vs_single_map": sharded_ops / flat_ops,
+        }));
+    }
+    group.finish();
+    if !small {
+        save_bench_json(serde_json::json!({
+            "readers": std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            "window": 4,
+            "catalogs": catalogs,
+        }));
+    }
+}
+
+criterion_group!(benches, decide_path);
+criterion_main!(benches);

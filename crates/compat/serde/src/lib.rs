@@ -525,12 +525,19 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
             }
             _ => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..])
+                // Bulk-consume the run up to the next quote or escape,
+                // validating UTF-8 once per run — not once per scalar
+                // over the whole remaining input, which made parsing
+                // quadratic in document size. Scanning bytewise is safe:
+                // UTF-8 continuation bytes are ≥ 0x80 and can never alias
+                // `"` or `\`.
+                let start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&b[start..*pos])
                     .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
-                let ch = rest.chars().next().expect("non-empty");
-                out.push(ch);
-                *pos += ch.len_utf8();
+                out.push_str(run);
             }
         }
     }

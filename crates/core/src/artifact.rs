@@ -1,0 +1,314 @@
+//! Content-addressed, versioned persistence of the plan cache.
+//!
+//! A [`PlanArtifact`] is the durable form of a repository's plan cache:
+//! every cached plan keyed by the **content hashes** of its source and
+//! destination graphs ([`ModelGraph::content_hash`]) instead of their
+//! names. Content addressing makes the artifact portable — a restarted
+//! gateway, a fleet joiner, or a sibling catalog that registers the same
+//! graphs under different names all warm-load the same plans — and makes
+//! staleness detection free: edit a model and its hash (hence its cache
+//! key) changes, so the stale plan simply never matches.
+//!
+//! Artifacts are double-stamped, following the `SNAPSHOT_VERSION` pattern
+//! in [`crate::persist`]:
+//!
+//! - [`PLAN_ARTIFACT_VERSION`] guards the serialized *format*;
+//! - [`optimus_profile::COST_MODEL_VERSION`] guards the *semantics* — a
+//!   plan computed against one cost calibration must not be replayed
+//!   against another, so a calibration bump invalidates every persisted
+//!   plan at load time ([`PlanArtifactError::CostModelMismatch`]).
+//!
+//! Both stamps are probed on the raw JSON value tree **before** the full
+//! structure is deserialized, so incompatible artifacts fail with a typed
+//! error rather than a confusing field-level parse failure.
+//!
+//! For transport, an artifact's serialized bytes chunk like any other
+//! store payload ([`PlanArtifact::chunks_for_bytes`] →
+//! [`optimus_store::blob_chunks`]), so fleet joiners receive the plan
+//! cache through the same multicast path as model weights.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use optimus_profile::COST_MODEL_VERSION;
+use optimus_store::ChunkRef;
+use serde::{Deserialize, Serialize};
+
+use crate::metaop::TransformPlan;
+
+/// Current artifact schema version. Bump on any incompatible change to
+/// [`PlanArtifact`] (or to the serialized form of [`TransformPlan`]).
+pub const PLAN_ARTIFACT_VERSION: u32 = 1;
+
+/// Why a persisted plan artifact could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanArtifactError {
+    /// The input is not valid JSON, or not an artifact-shaped object.
+    Malformed(String),
+    /// The artifact was written with a different schema version.
+    /// `found == 0` means the input predates version stamping.
+    UnsupportedVersion {
+        /// Version recorded in the artifact (0 if absent).
+        found: u64,
+        /// Version this build reads ([`PLAN_ARTIFACT_VERSION`]).
+        expected: u32,
+    },
+    /// The artifact's plans were computed against a different cost-model
+    /// calibration; replaying them would warm the cache with costs the
+    /// safeguard no longer agrees with.
+    CostModelMismatch {
+        /// Cost-model version recorded in the artifact (0 if absent).
+        found: u64,
+        /// Version this build plans with
+        /// ([`optimus_profile::COST_MODEL_VERSION`]).
+        expected: u32,
+    },
+}
+
+impl fmt::Display for PlanArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanArtifactError::Malformed(e) => write!(f, "malformed plan artifact: {e}"),
+            PlanArtifactError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported plan artifact version {found} (this build reads version {expected})"
+            ),
+            PlanArtifactError::CostModelMismatch { found, expected } => write!(
+                f,
+                "plan artifact computed against cost model version {found} \
+                 (this build plans with version {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanArtifactError {}
+
+/// One persisted plan, keyed by the content hashes of its endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanArtifactEntry {
+    /// [`ModelGraph::content_hash`](optimus_model::ModelGraph::content_hash)
+    /// of the source graph.
+    pub src_hash: u64,
+    /// Content hash of the destination graph.
+    pub dst_hash: u64,
+    /// The cached plan. Its `src_model`/`dst_model` names are those of the
+    /// exporting repository; importers rebind them to local names on hit.
+    pub plan: TransformPlan,
+}
+
+/// Serializable, content-addressed snapshot of a plan cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanArtifact {
+    /// Schema version ([`PLAN_ARTIFACT_VERSION`] when written by this
+    /// build).
+    pub version: u32,
+    /// Cost-model calibration the plans were computed against
+    /// ([`optimus_profile::COST_MODEL_VERSION`]).
+    pub cost_model: u32,
+    /// Persisted plans, sorted by `(src_hash, dst_hash)` so equal plan
+    /// sets serialize to identical bytes.
+    pub entries: Vec<PlanArtifactEntry>,
+}
+
+impl PlanArtifact {
+    /// An artifact holding no plans, stamped with this build's versions.
+    pub fn empty() -> PlanArtifact {
+        PlanArtifact {
+            version: PLAN_ARTIFACT_VERSION,
+            cost_model: COST_MODEL_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of persisted plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the artifact holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plan artifact serialization cannot fail")
+    }
+
+    /// Deserialize from JSON, checking both version stamps first.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanArtifactError::Malformed`] on invalid JSON or a non-object
+    /// root; [`PlanArtifactError::UnsupportedVersion`] when the `version`
+    /// stamp is missing or differs from [`PLAN_ARTIFACT_VERSION`];
+    /// [`PlanArtifactError::CostModelMismatch`] when the plans were
+    /// computed against a different cost calibration. Both stamps are
+    /// probed on the raw value tree before the struct layout is parsed.
+    pub fn from_json(json: &str) -> Result<PlanArtifact, PlanArtifactError> {
+        let value: serde_json::Value =
+            serde_json::from_str(json).map_err(|e| PlanArtifactError::Malformed(e.to_string()))?;
+        if value.as_object().is_none() {
+            return Err(PlanArtifactError::Malformed(
+                "plan artifact root is not an object".to_string(),
+            ));
+        }
+        let found = value.get("version").and_then(|v| v.as_u64()).unwrap_or(0);
+        if found != u64::from(PLAN_ARTIFACT_VERSION) {
+            return Err(PlanArtifactError::UnsupportedVersion {
+                found,
+                expected: PLAN_ARTIFACT_VERSION,
+            });
+        }
+        let cost_model = value
+            .get("cost_model")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        if cost_model != u64::from(COST_MODEL_VERSION) {
+            return Err(PlanArtifactError::CostModelMismatch {
+                found: cost_model,
+                expected: COST_MODEL_VERSION,
+            });
+        }
+        serde_json::from_str(json).map_err(|e| PlanArtifactError::Malformed(e.to_string()))
+    }
+
+    /// Index the entries by cache key for O(1) warm-load probes.
+    pub fn index(&self) -> HashMap<(u64, u64), Arc<TransformPlan>> {
+        self.entries
+            .iter()
+            .map(|e| ((e.src_hash, e.dst_hash), Arc::new(e.plan.clone())))
+            .collect()
+    }
+
+    /// Chunk references of this artifact's serialized bytes (serializes
+    /// internally; when the caller already holds the bytes — e.g. to also
+    /// write them to disk — use [`PlanArtifact::chunks_for_bytes`]).
+    pub fn chunks(&self, chunk_bytes: u64) -> Vec<ChunkRef> {
+        PlanArtifact::chunks_for_bytes(self.to_json().as_bytes(), chunk_bytes)
+    }
+
+    /// Chunk references of a serialized artifact, content-addressed by a
+    /// fingerprint of the bytes. Distinct from weight chunks by
+    /// construction ([`optimus_store::blob_chunks`] mixes its own tag),
+    /// so pinning an artifact never aliases a tensor.
+    pub fn chunks_for_bytes(bytes: &[u8], chunk_bytes: u64) -> Vec<ChunkRef> {
+        optimus_store::blob_chunks(fingerprint(bytes), bytes.len() as u64, chunk_bytes)
+    }
+}
+
+/// FNV-1a-with-avalanche fingerprint of a byte string (the same mixer as
+/// the model crate's content hash, over raw bytes).
+fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut acc: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut mix = |v: u64| {
+        acc ^= v;
+        acc = acc.wrapping_mul(0x1000_0000_01B3);
+        acc ^= acc >> 29;
+    };
+    mix(0x4152_5446); // "ARTF"
+    mix(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        mix(u64::from_le_bytes(word));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ModelRepository;
+    use crate::planner::GroupPlanner;
+    use optimus_profile::CostModel;
+
+    fn sample_artifact() -> PlanArtifact {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register_all(
+            vec![optimus_zoo::vgg::vgg16(), optimus_zoo::vgg::vgg19()],
+            &cost,
+        );
+        repo.export_plan_artifact()
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let art = sample_artifact();
+        assert_eq!(art.version, PLAN_ARTIFACT_VERSION);
+        assert_eq!(art.cost_model, COST_MODEL_VERSION);
+        assert_eq!(art.len(), 2, "two directed plans");
+        let back = PlanArtifact::from_json(&art.to_json()).unwrap();
+        assert_eq!(back.len(), art.len());
+        for (a, b) in art.entries.iter().zip(&back.entries) {
+            assert_eq!((a.src_hash, a.dst_hash), (b.src_hash, b.dst_hash));
+            assert_eq!(a.plan.cost, b.plan.cost);
+        }
+    }
+
+    #[test]
+    fn bumped_version_is_rejected_before_deserialization() {
+        // The payload below matches the current layout exactly except for
+        // the stamp, so a field-level parse would have succeeded — the
+        // probe must fire first.
+        let mut art = sample_artifact();
+        art.version = PLAN_ARTIFACT_VERSION + 1;
+        match PlanArtifact::from_json(&art.to_json()) {
+            Err(PlanArtifactError::UnsupportedVersion { found, expected }) => {
+                assert_eq!(found, u64::from(PLAN_ARTIFACT_VERSION) + 1);
+                assert_eq!(expected, PLAN_ARTIFACT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // Unstamped input reports version 0.
+        match PlanArtifact::from_json("{\"entries\":[]}") {
+            Err(PlanArtifactError::UnsupportedVersion { found: 0, .. }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_model_mismatch_is_a_typed_error() {
+        let mut art = sample_artifact();
+        art.cost_model = COST_MODEL_VERSION + 7;
+        match PlanArtifact::from_json(&art.to_json()) {
+            Err(PlanArtifactError::CostModelMismatch { found, expected }) => {
+                assert_eq!(found, u64::from(COST_MODEL_VERSION) + 7);
+                assert_eq!(expected, COST_MODEL_VERSION);
+            }
+            other => panic!("expected CostModelMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(matches!(
+            PlanArtifact::from_json("{nope"),
+            Err(PlanArtifactError::Malformed(_))
+        ));
+        assert!(matches!(
+            PlanArtifact::from_json("[]"),
+            Err(PlanArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn chunks_cover_the_serialized_bytes() {
+        let art = sample_artifact();
+        let json = art.to_json();
+        let chunks = PlanArtifact::chunks_for_bytes(json.as_bytes(), 4096);
+        assert_eq!(
+            chunks.iter().map(|c| c.bytes).sum::<u64>(),
+            json.len() as u64
+        );
+        assert_eq!(chunks, art.chunks(4096), "convenience form agrees");
+        // Different payloads never share chunk ids.
+        let other = PlanArtifact::empty();
+        let oc = other.chunks(4096);
+        assert!(oc.is_empty() || chunks.iter().all(|c| c.id != oc[0].id));
+        assert!(PlanArtifact::chunks_for_bytes(b"", 4096).is_empty());
+    }
+}

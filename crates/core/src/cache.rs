@@ -7,45 +7,81 @@
 //! scratch-load cost, falling back to a plain load whenever transformation
 //! would not help, so worst-case performance equals a traditional platform.
 //!
+//! # Sharded decide path
+//!
+//! The request-hot [`ModelRepository::decide_by_id`] never touches the
+//! string-keyed catalog maps: everything a decision needs — the
+//! destination's scratch-load cost, its model graph, and the map of plans
+//! *into* it keyed by source [`ModelId`] — lives in a **lock-striped
+//! shard** selected by `dst.index() & (shards - 1)`. A decision takes one
+//! shard read lock; a registration installing into other shards contends
+//! with none of it, and even installs into the *same* shard hold its
+//! write lock only for the final flush (planning runs lock-free). Memory
+//! is proportional to the number of cached plans (per-destination hash
+//! maps), not to N² — the dense id×id plan matrix this replaces would be
+//! 800 MB of `Option` pointers at a 10k-model catalog.
+//!
+//! The name-keyed [`ModelRepository::decide`] resolves ids through the
+//! interner and delegates to `decide_by_id`, so there is exactly one
+//! lookup implementation.
+//!
 //! # Registration concurrency
 //!
-//! The O(N²) pairwise planning sweep never runs under the repository lock.
-//! Every registration — single [`ModelRepository::register`] or bulk
+//! The pairwise planning sweep never runs under a repository lock. Every
+//! registration — single [`ModelRepository::register`] or bulk
 //! [`ModelRepository::register_all`] — follows a snapshot → fan-out →
 //! install pipeline:
 //!
 //! 1. **Snapshot**: a brief read lock captures the existing models (Arc
 //!    clones) together with their *generation* counters.
 //! 2. **Fan-out**: all pairwise plans are computed lock-free, optionally
-//!    across a scoped worker pool (`crossbeam::thread::scope`).
-//! 3. **Install**: a short write lock re-checks every snapshotted
-//!    generation; if any model was re-registered (or a new one appeared)
-//!    in the meantime, the batch is re-planned from a fresh snapshot so a
-//!    stale plan is never published. Models, load costs, and the entire
-//!    plan batch are installed in one critical section, so concurrent
-//!    `decide()` readers observe either the old or the new plan set —
-//!    never a partial one.
+//!    across a scoped worker pool (`crossbeam::thread::scope`). When a
+//!    persisted [`PlanArtifact`] is supplied, each pair first probes it
+//!    by `(src content hash, dst content hash)` — a hit skips the
+//!    planner entirely (the warm-load path).
+//! 3. **Install**: an installer mutex serializes installs; a short write
+//!    lock on the catalog re-checks every snapshotted generation (a
+//!    concurrent re-registration forces a re-plan from a fresh snapshot,
+//!    so a stale plan is never published), then the affected shards are
+//!    flushed one write lock at a time.
+//!
+//! # Catalog-scale registration
+//!
+//! All-pairs planning is O(N²) — the right default for product catalogs,
+//! infeasible at 10k+ models. [`PlanScope::Window`] bounds the sweep to
+//! each batch model's `w` nearest neighbours in batch order (O(N·w)),
+//! which is how the `exp_catalog_scale` experiment registers the full
+//! NASBench-201 slice; pairs outside the window simply have no cached
+//! plan, so the safeguard serves them with a scratch load, exactly like
+//! any other unplanned pair.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use optimus_model::{InternKey, Interner, ModelGraph, ModelId};
 use optimus_profile::CostProvider;
 use optimus_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
+use crate::artifact::{PlanArtifact, PlanArtifactEntry, PLAN_ARTIFACT_VERSION};
 use crate::metaop::TransformPlan;
 use crate::planner::Planner;
+
+/// Source id the name path uses when the source model is unknown: no plan
+/// map contains it, so the decision is an honest cache miss.
+const UNKNOWN_SRC: ModelId = ModelId(u32::MAX);
 
 /// Pre-resolved telemetry handles of one repository.
 ///
 /// `optimus_plan_cache_total{result=...}` counts the §4.4 Module 3
 /// outcomes (`hit` = cached plan applied, `reject` = plan exists but the
 /// safeguard chose loading, `miss` = no plan cached);
-/// `optimus_planning_seconds` is the per-plan planning latency;
-/// `optimus_plan_warmup_seconds` is the wall-clock of one whole
+/// `optimus_plan_cache_warm_total{result=...}` counts artifact warm-load
+/// probes during registration (`hit` = persisted plan reused, `miss` =
+/// pair re-planned); `optimus_planning_seconds` is the per-plan planning
+/// latency; `optimus_plan_warmup_seconds` is the wall-clock of one whole
 /// registration batch (snapshot → fan-out → install);
 /// `optimus_plan_warmup_threads` is the worker-pool width of the most
 /// recent batch.
@@ -53,6 +89,8 @@ struct RepoTelemetry {
     plan_hit: Counter,
     plan_reject: Counter,
     plan_miss: Counter,
+    warm_hit: Counter,
+    warm_miss: Counter,
     planning: Histogram,
     warmup: Histogram,
     warmup_threads: Gauge,
@@ -62,10 +100,14 @@ impl RepoTelemetry {
     fn resolve(registry: &MetricsRegistry) -> RepoTelemetry {
         let outcome =
             |result: &str| registry.counter("optimus_plan_cache_total", &[("result", result)]);
+        let warm =
+            |result: &str| registry.counter("optimus_plan_cache_warm_total", &[("result", result)]);
         RepoTelemetry {
             plan_hit: outcome("hit"),
             plan_reject: outcome("reject"),
             plan_miss: outcome("miss"),
+            warm_hit: warm("hit"),
+            warm_miss: warm("miss"),
             planning: registry.histogram("optimus_planning_seconds", &[]),
             warmup: registry.histogram("optimus_plan_warmup_seconds", &[]),
             warmup_threads: registry.gauge("optimus_plan_warmup_threads", &[]),
@@ -98,6 +140,20 @@ impl TransformDecision {
     pub fn is_transform(&self) -> bool {
         matches!(self, TransformDecision::Transform(_))
     }
+}
+
+/// How far a registration batch's pairwise planning sweep reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanScope {
+    /// Plan every directed same-paradigm pair — new↔existing and new↔new
+    /// (the paper's O(N²) registration-time sweep).
+    AllPairs,
+    /// Plan each batch model only against its `w` predecessors in batch
+    /// order (both directions): O(N·w) work, the catalog-scale bulk-load
+    /// mode. Pairs outside the window (including every pair against the
+    /// pre-existing catalog) stay unplanned and fall back to the
+    /// safeguard's scratch load.
+    Window(usize),
 }
 
 /// Mutable state behind the [`OverrunGuard`] lock.
@@ -190,6 +246,59 @@ impl OverrunGuard {
     }
 }
 
+/// One lock stripe of the decide path, owning every id whose index maps
+/// to it (`id.index() & (shards - 1)`). Slot `id.index() >> shard_bits`
+/// within the stripe holds everything a `decide(…, dst=id)` needs, so a
+/// decision is exactly one shard read lock.
+#[derive(Default)]
+struct Shard {
+    /// Scratch-load cost per slot (`NAN` = not registered).
+    load_costs: Vec<f64>,
+    /// Model graph per slot (feeds `plan_chunks_by_id`).
+    models: Vec<Option<Arc<ModelGraph>>>,
+    /// Plans *into* the slot's model, keyed by source [`ModelId`]. Memory
+    /// is proportional to cached plans, never to catalog².
+    plans_in: Vec<HashMap<ModelId, Arc<TransformPlan>>>,
+}
+
+impl Shard {
+    fn ensure(&mut self, slot: usize) {
+        if slot >= self.load_costs.len() {
+            self.load_costs.resize(slot + 1, f64::NAN);
+            self.models.resize(slot + 1, None);
+            self.plans_in.resize_with(slot + 1, HashMap::new);
+        }
+    }
+
+    fn apply(&mut self, op: FlushOp) {
+        match op {
+            FlushOp::Model { slot, load, model } => {
+                self.ensure(slot);
+                self.load_costs[slot] = load;
+                self.models[slot] = Some(model);
+            }
+            FlushOp::Plan { slot, src, plan } => {
+                self.ensure(slot);
+                self.plans_in[slot].insert(src, plan);
+            }
+        }
+    }
+}
+
+/// One buffered shard mutation of an install's flush phase.
+enum FlushOp {
+    Model {
+        slot: usize,
+        load: f64,
+        model: Arc<ModelGraph>,
+    },
+    Plan {
+        slot: usize,
+        src: ModelId,
+        plan: Arc<TransformPlan>,
+    },
+}
+
 /// Global model repository with an offline-computed plan cache.
 ///
 /// Thread-safe: the simulator's gateway registers models once and many
@@ -197,6 +306,19 @@ impl OverrunGuard {
 pub struct ModelRepository {
     planner: Box<dyn Planner + Send + Sync>,
     inner: RwLock<Inner>,
+    /// Name ↔ id table, in its own lock so id resolution never contends
+    /// with catalog installs.
+    ids: RwLock<Interner<ModelId>>,
+    /// Lock stripes of the decide path; length is a power of two.
+    shards: Box<[RwLock<Shard>]>,
+    /// `log2(shards.len())` — slot within a shard is `index >> shard_bits`.
+    shard_bits: u32,
+    /// Serializes install+flush phases so shard state can never lag a
+    /// *later* install's flush (planning still runs concurrently).
+    install: Mutex<()>,
+    /// Times the planner was actually invoked (artifact warm-load hits
+    /// don't count) — the "restarted node never re-plans" machine check.
+    planner_calls: AtomicU64,
     /// Plans whose transformation latency exceeds `safeguard_ratio` × the
     /// scratch-load cost are rejected in favour of loading (1.0 = paper's
     /// behaviour; lower values make the safeguard more conservative).
@@ -208,12 +330,9 @@ pub struct ModelRepository {
     telemetry: RwLock<RepoTelemetry>,
 }
 
-/// Repository state behind the lock.
-///
-/// Plans are a two-level map `src → dst → plan` keyed by `Arc<str>`, so
-/// the request-hot `decide()` path looks plans up with plain `&str`
-/// borrows — no per-request `String` allocations — while inserts share
-/// the interned name Arcs.
+/// Catalog state behind the (cold-path) lock: the string-keyed source of
+/// truth for persistence, snapshots, and name-based getters. The decide
+/// hot path reads the [`Shard`]s instead.
 #[derive(Default)]
 struct Inner {
     models: HashMap<Arc<str>, Arc<ModelGraph>>,
@@ -223,62 +342,102 @@ struct Inner {
     /// (re-)registered. The install phase uses it to detect that a model
     /// snapshotted for planning was re-registered concurrently.
     generations: HashMap<Arc<str>, u64>,
-    /// Interned-id fast-path index over the string-keyed maps above:
-    /// append-only name↔[`ModelId`] table plus dense per-id load costs and
-    /// an id×id plan matrix, rebuilt inside every install critical section
-    /// so it is always consistent with the maps. Ids are stable across
-    /// re-registrations (the interner never forgets a name) but are only
-    /// meaningful within this repository instance.
-    ids: Interner<ModelId>,
-    /// Scratch-load cost per [`ModelId`] (`NAN` = not registered).
-    load_costs_by_id: Vec<f64>,
-    /// Dense plan matrix `[src.index() * n + dst.index()]`, `n = ids.len()`.
-    plans_by_id: Vec<Option<Arc<TransformPlan>>>,
+    /// Content hash per model ([`ModelGraph::content_hash`]) — the
+    /// plan-artifact cache key halves.
+    hashes: HashMap<Arc<str>, u64>,
 }
 
-impl Inner {
-    /// Rebuild the id-keyed index from the string-keyed maps. Called with
-    /// the write lock held, immediately after any mutation of
-    /// `models`/`load_costs`/`plans`.
-    fn rebuild_id_index(&mut self) {
-        let mut names: Vec<&Arc<str>> = self.models.keys().collect();
-        names.sort();
-        for name in names {
-            self.ids.resolve(name);
-        }
-        let n = self.ids.len();
-        self.load_costs_by_id = vec![f64::NAN; n];
-        self.plans_by_id = vec![None; n * n];
-        for (name, &cost) in &self.load_costs {
-            if let Some(id) = self.ids.get(name) {
-                self.load_costs_by_id[id.index()] = cost;
-            }
-        }
-        for (src, per_src) in &self.plans {
-            let Some(si) = self.ids.get(src) else {
-                continue;
-            };
-            for (dst, plan) in per_src {
-                if let Some(di) = self.ids.get(dst) {
-                    self.plans_by_id[si.index() * n + di.index()] = Some(plan.clone());
-                }
-            }
-        }
-    }
+/// A model being installed by the current batch.
+struct NewModel {
+    name: Arc<str>,
+    model: Arc<ModelGraph>,
+    hash: u64,
+    load: f64,
+}
+
+/// A pre-existing model snapshotted for planning.
+struct ExistingModel {
+    name: Arc<str>,
+    model: Arc<ModelGraph>,
+    hash: u64,
+    generation: u64,
 }
 
 /// One directed planning job of a registration batch.
 struct PlanTask {
     src: Arc<ModelGraph>,
     dst: Arc<ModelGraph>,
+    src_hash: u64,
+    dst_hash: u64,
+}
+
+/// Shard count sized to the machine: enough stripes that concurrent
+/// decide readers rarely collide, small enough that an install's flush
+/// stays cheap.
+fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism().map_or(8, std::num::NonZero::get);
+    (cores * 2).next_power_of_two().clamp(8, 128)
+}
+
+/// Build a fresh stripe set from the catalog (restore and re-shard paths).
+fn build_shards(
+    count: usize,
+    shard_bits: u32,
+    inner: &Inner,
+    ids: &Interner<ModelId>,
+) -> Box<[RwLock<Shard>]> {
+    let mask = count - 1;
+    let mut shards: Vec<Shard> = (0..count).map(|_| Shard::default()).collect();
+    for (name, model) in &inner.models {
+        let id = ids.get(name).expect("registered name is interned");
+        let slot = id.index() >> shard_bits;
+        let shard = &mut shards[id.index() & mask];
+        shard.ensure(slot);
+        shard.load_costs[slot] = inner.load_costs.get(name).copied().unwrap_or(f64::NAN);
+        shard.models[slot] = Some(model.clone());
+    }
+    for (src, per_src) in &inner.plans {
+        let Some(si) = ids.get(src) else {
+            continue;
+        };
+        for (dst, plan) in per_src {
+            let Some(di) = ids.get(dst) else {
+                continue;
+            };
+            let slot = di.index() >> shard_bits;
+            let shard = &mut shards[di.index() & mask];
+            shard.ensure(slot);
+            shard.plans_in[slot].insert(si, plan.clone());
+        }
+    }
+    shards.into_iter().map(RwLock::new).collect()
+}
+
+/// Reuse a warm-loaded plan for a task, rebinding the endpoint names when
+/// the exporting repository knew the graphs under different ones.
+fn rebind(hit: &Arc<TransformPlan>, src: &ModelGraph, dst: &ModelGraph) -> Arc<TransformPlan> {
+    if hit.src_model == src.name() && hit.dst_model == dst.name() {
+        return hit.clone();
+    }
+    let mut plan = (**hit).clone();
+    plan.src_model = src.name().to_string();
+    plan.dst_model = dst.name().to_string();
+    Arc::new(plan)
 }
 
 impl ModelRepository {
-    /// Repository using the given planner (production: [`crate::GroupPlanner`]).
+    /// Repository using the given planner (production: [`crate::GroupPlanner`]),
+    /// with a machine-sized shard count.
     pub fn new(planner: Box<dyn Planner + Send + Sync>) -> Self {
+        let count = default_shard_count();
         ModelRepository {
             planner,
             inner: RwLock::new(Inner::default()),
+            ids: RwLock::new(Interner::new()),
+            shards: (0..count).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_bits: count.trailing_zeros(),
+            install: Mutex::new(()),
+            planner_calls: AtomicU64::new(0),
             safeguard_ratio: 1.0,
             overrun: OverrunGuard::new(3.0, 2),
             telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
@@ -298,6 +457,34 @@ impl ModelRepository {
     pub fn with_safeguard_ratio(mut self, ratio: f64) -> Self {
         self.safeguard_ratio = ratio;
         self
+    }
+
+    /// Override the decide-path stripe count (rounded up to a power of
+    /// two; `1` = the single-map baseline). Rebuilds the stripes from the
+    /// catalog, so it is safe after registrations too — but it takes
+    /// `self` by value, so only before the repository is shared.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        self.shard_bits = count.trailing_zeros();
+        self.shards = build_shards(
+            count,
+            self.shard_bits,
+            self.inner.get_mut(),
+            self.ids.get_mut(),
+        );
+        self
+    }
+
+    /// Number of decide-path lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Times the planner has actually been invoked by this repository.
+    /// Artifact warm-load hits bypass the planner and do not count — a
+    /// node restarted against a complete artifact reports 0.
+    pub fn planner_invocations(&self) -> u64 {
+        self.planner_calls.load(Ordering::Relaxed)
     }
 
     /// Override the runtime overrun policy: a plan whose measured
@@ -339,7 +526,7 @@ impl ModelRepository {
     /// Registering the same name twice replaces the model and recomputes
     /// its plans.
     pub fn register(&self, model: ModelGraph, cost: &(dyn CostProvider + Sync)) {
-        self.register_batch(vec![model], cost, 1);
+        self.register_batch(vec![model], cost, 1, PlanScope::AllPairs, None);
     }
 
     /// Bulk-register a whole catalog, fanning the O(N²) pairwise planning
@@ -352,7 +539,7 @@ impl ModelRepository {
     /// name the last one wins, matching sequential re-registration.
     pub fn register_all(&self, models: Vec<ModelGraph>, cost: &(dyn CostProvider + Sync)) {
         let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        self.register_batch(models, cost, threads);
+        self.register_batch(models, cost, threads, PlanScope::AllPairs, None);
     }
 
     /// [`ModelRepository::register_all`] with an explicit worker count
@@ -364,7 +551,36 @@ impl ModelRepository {
         cost: &(dyn CostProvider + Sync),
         threads: usize,
     ) {
-        self.register_batch(models, cost, threads.max(1));
+        self.register_batch(models, cost, threads.max(1), PlanScope::AllPairs, None);
+    }
+
+    /// [`ModelRepository::register_all`] warm-loading from a persisted
+    /// [`PlanArtifact`]: pairs whose `(src content hash, dst content
+    /// hash)` key hits the artifact reuse the persisted plan without
+    /// invoking the planner. The restart/fleet-join path.
+    pub fn register_all_with_artifact(
+        &self,
+        models: Vec<ModelGraph>,
+        cost: &(dyn CostProvider + Sync),
+        artifact: &PlanArtifact,
+    ) {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        self.register_batch(models, cost, threads, PlanScope::AllPairs, Some(artifact));
+    }
+
+    /// Fully explicit bulk registration: worker count, planning scope
+    /// (see [`PlanScope`]), and an optional warm-load artifact. The
+    /// catalog-scale entry point — `exp_catalog_scale` registers 10k+
+    /// models with `PlanScope::Window`.
+    pub fn register_all_scoped(
+        &self,
+        models: Vec<ModelGraph>,
+        cost: &(dyn CostProvider + Sync),
+        threads: usize,
+        scope: PlanScope,
+        artifact: Option<&PlanArtifact>,
+    ) {
+        self.register_batch(models, cost, threads.max(1), scope, artifact);
     }
 
     /// The snapshot → fan-out → install pipeline shared by all
@@ -374,49 +590,69 @@ impl ModelRepository {
         models: Vec<ModelGraph>,
         cost: &(dyn CostProvider + Sync),
         threads: usize,
+        scope: PlanScope,
+        artifact: Option<&PlanArtifact>,
     ) {
         if models.is_empty() {
             return;
         }
         let t0 = Instant::now();
-        // Dedupe by name, last occurrence wins (sequential semantics).
-        let mut new: Vec<(Arc<str>, Arc<ModelGraph>)> = Vec::with_capacity(models.len());
+        // Dedupe by name, last occurrence wins (sequential semantics);
+        // first-seen position defines the Window neighbourhood order.
+        let mut order: Vec<Arc<str>> = Vec::with_capacity(models.len());
+        let mut by_name: HashMap<Arc<str>, Arc<ModelGraph>> = HashMap::with_capacity(models.len());
         for model in models {
             let name: Arc<str> = Arc::from(model.name());
-            new.retain(|(n, _)| *n != name);
-            new.push((name, Arc::new(model)));
+            if by_name.insert(name.clone(), Arc::new(model)).is_none() {
+                order.push(name);
+            }
         }
-        let new_names: HashSet<Arc<str>> = new.iter().map(|(n, _)| n.clone()).collect();
-        let new_load_costs: Vec<f64> = new.iter().map(|(_, m)| cost.model_load_cost(m)).collect();
+        let new: Vec<NewModel> = order
+            .into_iter()
+            .map(|name| {
+                let model = by_name[&name].clone();
+                NewModel {
+                    hash: model.content_hash(),
+                    load: cost.model_load_cost(&model),
+                    name,
+                    model,
+                }
+            })
+            .collect();
+        let warm_index = artifact.map(|a| a.index());
         loop {
             // 1. Snapshot the existing catalog under a brief read lock.
-            let existing: Vec<(Arc<str>, Arc<ModelGraph>, u64)> = {
+            let existing: Vec<ExistingModel> = {
                 let inner = self.inner.read();
                 inner
                     .models
                     .iter()
-                    .filter(|(name, _)| !new_names.contains(*name))
-                    .map(|(name, model)| {
-                        let gen = inner.generations.get(name).copied().unwrap_or(0);
-                        (name.clone(), model.clone(), gen)
+                    .filter(|(name, _)| !by_name.contains_key(*name))
+                    .map(|(name, model)| ExistingModel {
+                        name: name.clone(),
+                        model: model.clone(),
+                        hash: inner.hashes.get(name).copied().unwrap_or(0),
+                        generation: inner.generations.get(name).copied().unwrap_or(0),
                     })
                     .collect()
             };
             // 2. Fan the pairwise sweep out, lock-free.
-            let tasks = self.build_tasks(&new, &existing);
-            let planned = self.execute_tasks(&tasks, cost, threads);
-            // 3. Install everything in one short write-lock critical
-            //    section, re-checking the snapshot generations first.
+            let tasks = self.build_tasks(&new, &existing, scope);
+            let planned = self.execute_tasks(&tasks, cost, threads, warm_index.as_ref());
+            // 3. Install: catalog maps first (one short write lock,
+            //    re-checking the snapshot generations), then flush the
+            //    affected shards. The installer mutex spans both so a
+            //    later install can never be overtaken by our flush.
+            let _installer = self.install.lock();
             let mut inner = self.inner.write();
-            let snapshot_names: HashSet<&Arc<str>> =
-                existing.iter().map(|(name, _, _)| name).collect();
+            let snapshot_names: HashSet<&Arc<str>> = existing.iter().map(|e| &e.name).collect();
             let stale = existing
                 .iter()
-                .any(|(name, _, gen)| inner.generations.get(name).copied().unwrap_or(0) != *gen)
+                .any(|e| inner.generations.get(&e.name).copied().unwrap_or(0) != e.generation)
                 || inner
                     .models
                     .keys()
-                    .any(|name| !new_names.contains(name) && !snapshot_names.contains(name));
+                    .any(|name| !by_name.contains_key(name) && !snapshot_names.contains(name));
             if stale {
                 // A concurrent registration changed the catalog while we
                 // planned; our batch may reference stale graphs or miss
@@ -424,17 +660,68 @@ impl ModelRepository {
                 drop(inner);
                 continue;
             }
-            for ((name, model), load) in new.iter().zip(&new_load_costs) {
-                inner.models.insert(name.clone(), model.clone());
-                inner.load_costs.insert(name.clone(), *load);
-                *inner.generations.entry(name.clone()).or_insert(0) += 1;
+            for m in &new {
+                inner.models.insert(m.name.clone(), m.model.clone());
+                inner.load_costs.insert(m.name.clone(), m.load);
+                inner.hashes.insert(m.name.clone(), m.hash);
+                *inner.generations.entry(m.name.clone()).or_insert(0) += 1;
             }
-            for (task, plan) in tasks.iter().zip(planned) {
+            for (task, plan) in tasks.iter().zip(&planned) {
                 let src: Arc<str> = Arc::from(task.src.name());
                 let dst: Arc<str> = Arc::from(task.dst.name());
-                inner.plans.entry(src).or_default().insert(dst, plan);
+                inner
+                    .plans
+                    .entry(src)
+                    .or_default()
+                    .insert(dst, plan.clone());
             }
-            inner.rebuild_id_index();
+            // Intern new names in sorted order so id assignment is
+            // deterministic regardless of batch order, then buffer the
+            // flush per shard while the tables are consistent.
+            let mut ids = self.ids.write();
+            let mut sorted_new: Vec<&NewModel> = new.iter().collect();
+            sorted_new.sort_by(|a, b| a.name.cmp(&b.name));
+            for m in sorted_new {
+                ids.resolve(&m.name);
+            }
+            let mask = self.shards.len() - 1;
+            let mut per_shard: Vec<Vec<FlushOp>> =
+                (0..self.shards.len()).map(|_| Vec::new()).collect();
+            for m in &new {
+                let id = ids.get(&m.name).expect("just interned");
+                per_shard[id.index() & mask].push(FlushOp::Model {
+                    slot: id.index() >> self.shard_bits,
+                    load: m.load,
+                    model: m.model.clone(),
+                });
+            }
+            for (task, plan) in tasks.iter().zip(&planned) {
+                let si = ids
+                    .get(task.src.name())
+                    .expect("task endpoints are interned");
+                let di = ids
+                    .get(task.dst.name())
+                    .expect("task endpoints are interned");
+                per_shard[di.index() & mask].push(FlushOp::Plan {
+                    slot: di.index() >> self.shard_bits,
+                    src: si,
+                    plan: plan.clone(),
+                });
+            }
+            drop(ids);
+            drop(inner);
+            // 4. Flush, one shard write lock at a time: a concurrent
+            //    decide contends with at most one stripe's batch, never
+            //    with the whole install.
+            for (shard, ops) in self.shards.iter().zip(per_shard) {
+                if ops.is_empty() {
+                    continue;
+                }
+                let mut shard = shard.write();
+                for op in ops {
+                    shard.apply(op);
+                }
+            }
             break;
         }
         let telemetry = self.telemetry.read();
@@ -442,37 +729,52 @@ impl ModelRepository {
         telemetry.warmup_threads.set(threads as f64);
     }
 
-    /// All directed planning jobs of a batch: new↔existing pairs plus
-    /// new↔new pairs, skipping cross-paradigm pairs (CNN↔transformer plans
-    /// always lose to scratch loading, §8.2 — the safeguard picks loading
-    /// without a cached plan).
+    /// All directed planning jobs of a batch under `scope`, skipping
+    /// cross-paradigm pairs (CNN↔transformer plans always lose to scratch
+    /// loading, §8.2 — the safeguard picks loading without a cached plan).
     fn build_tasks(
         &self,
-        new: &[(Arc<str>, Arc<ModelGraph>)],
-        existing: &[(Arc<str>, Arc<ModelGraph>, u64)],
+        new: &[NewModel],
+        existing: &[ExistingModel],
+        scope: PlanScope,
     ) -> Vec<PlanTask> {
         let mut tasks = Vec::new();
-        let mut push_pair = |a: &Arc<ModelGraph>, b: &Arc<ModelGraph>| {
-            if a.family().is_transformer() != b.family().is_transformer() {
+        let mut push_pair = |a: (&Arc<ModelGraph>, u64), b: (&Arc<ModelGraph>, u64)| {
+            if a.0.family().is_transformer() != b.0.family().is_transformer() {
                 return;
             }
             tasks.push(PlanTask {
-                src: a.clone(),
-                dst: b.clone(),
+                src: a.0.clone(),
+                dst: b.0.clone(),
+                src_hash: a.1,
+                dst_hash: b.1,
             });
             tasks.push(PlanTask {
-                src: b.clone(),
-                dst: a.clone(),
+                src: b.0.clone(),
+                dst: a.0.clone(),
+                src_hash: b.1,
+                dst_hash: a.1,
             });
         };
-        for (_, model) in new {
-            for (_, other, _) in existing {
-                push_pair(other, model);
+        match scope {
+            PlanScope::AllPairs => {
+                for m in new {
+                    for e in existing {
+                        push_pair((&e.model, e.hash), (&m.model, m.hash));
+                    }
+                }
+                for (i, a) in new.iter().enumerate() {
+                    for b in new.iter().skip(i + 1) {
+                        push_pair((&a.model, a.hash), (&b.model, b.hash));
+                    }
+                }
             }
-        }
-        for (i, (_, a)) in new.iter().enumerate() {
-            for (_, b) in new.iter().skip(i + 1) {
-                push_pair(a, b);
+            PlanScope::Window(w) => {
+                for (i, b) in new.iter().enumerate() {
+                    for a in new.iter().take(i).skip(i.saturating_sub(w)) {
+                        push_pair((&a.model, a.hash), (&b.model, b.hash));
+                    }
+                }
             }
         }
         tasks
@@ -480,17 +782,35 @@ impl ModelRepository {
 
     /// Compute every task's plan: inline for a single worker, otherwise on
     /// a scoped pool pulling tasks off a shared atomic cursor (dynamic
-    /// load balancing — plan sizes vary wildly across model pairs).
+    /// load balancing — plan sizes vary wildly across model pairs). With a
+    /// warm index, each task first probes the persisted artifact by
+    /// content-hash key; hits bypass the planner entirely.
     fn execute_tasks(
         &self,
         tasks: &[PlanTask],
         cost: &(dyn CostProvider + Sync),
         threads: usize,
+        warm: Option<&HashMap<(u64, u64), Arc<TransformPlan>>>,
     ) -> Vec<Arc<TransformPlan>> {
-        let planning = self.telemetry.read().planning.clone();
+        let (planning, warm_hit, warm_miss) = {
+            let telemetry = self.telemetry.read();
+            (
+                telemetry.planning.clone(),
+                telemetry.warm_hit.clone(),
+                telemetry.warm_miss.clone(),
+            )
+        };
         let plan_one = |task: &PlanTask| -> Arc<TransformPlan> {
+            if let Some(index) = warm {
+                if let Some(hit) = index.get(&(task.src_hash, task.dst_hash)) {
+                    warm_hit.inc();
+                    return rebind(hit, &task.src, &task.dst);
+                }
+                warm_miss.inc();
+            }
             let t = Instant::now();
             let plan = self.planner.plan(&task.src, &task.dst, cost);
+            self.planner_calls.fetch_add(1, Ordering::Relaxed);
             planning.observe(t.elapsed().as_secs_f64());
             Arc::new(plan)
         };
@@ -499,8 +819,8 @@ impl ModelRepository {
             return tasks.iter().map(plan_one).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Arc<TransformPlan>>>> =
-            tasks.iter().map(|_| Mutex::new(None)).collect();
+        let results: Vec<std::sync::Mutex<Option<Arc<TransformPlan>>>> =
+            tasks.iter().map(|_| std::sync::Mutex::new(None)).collect();
         crossbeam::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|_| loop {
@@ -539,45 +859,25 @@ impl ModelRepository {
         inner.plans.get(src)?.get(dst).cloned()
     }
 
+    /// Resolve a `(src, dst)` name pair to ids: `None` when the
+    /// destination is unregistered, the [`UNKNOWN_SRC`] sentinel when
+    /// only the source is (an honest plan miss downstream).
+    fn resolve_pair(&self, src: &str, dst: &str) -> Option<(ModelId, ModelId)> {
+        let ids = self.ids.read();
+        let di = ids.get(dst)?;
+        Some((ids.get(src).unwrap_or(UNKNOWN_SRC), di))
+    }
+
     /// The §4.4 Module 3 decision: serve `dst` from a container currently
     /// holding `src` — transform if the cached plan beats the scratch load
     /// (safeguard), otherwise load from scratch.
     ///
-    /// Returns `None` when `dst` is not registered.
+    /// Returns `None` when `dst` is not registered. Delegates to
+    /// [`ModelRepository::decide_by_id`] — the name path is id resolution
+    /// plus the one sharded lookup implementation.
     pub fn decide(&self, src: &str, dst: &str) -> Option<TransformDecision> {
-        let (decision, cached) = self.decide_uncounted(src, dst)?;
-        let telemetry = self.telemetry.read();
-        match (&decision, cached) {
-            (TransformDecision::Transform(_), _) => telemetry.plan_hit.inc(),
-            (TransformDecision::LoadScratch { .. }, true) => telemetry.plan_reject.inc(),
-            (TransformDecision::LoadScratch { .. }, false) => telemetry.plan_miss.inc(),
-        }
-        Some(decision)
-    }
-
-    /// The decision plus whether a plan was cached for the pair, without
-    /// touching the plan-cache counters. Allocation-free: the plan map is
-    /// probed with the borrowed `&str` keys directly.
-    fn decide_uncounted(&self, src: &str, dst: &str) -> Option<(TransformDecision, bool)> {
-        let inner = self.inner.read();
-        let load = *inner.load_costs.get(dst)?;
-        let plan = inner.plans.get(src).and_then(|per_src| per_src.get(dst));
-        Some(match plan {
-            Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
-                let demoted = self.overrun.any_demoted.load(Ordering::Acquire)
-                    && match (inner.ids.get(src), inner.ids.get(dst)) {
-                        (Some(si), Some(di)) => self.overrun.is_demoted(si, di),
-                        _ => false,
-                    };
-                if demoted {
-                    (TransformDecision::LoadScratch { cost: load }, true)
-                } else {
-                    (TransformDecision::Transform(p.clone()), true)
-                }
-            }
-            Some(_) => (TransformDecision::LoadScratch { cost: load }, true),
-            None => (TransformDecision::LoadScratch { cost: load }, false),
-        })
+        let (si, di) = self.resolve_pair(src, dst)?;
+        self.decide_by_id(si, di)
     }
 
     /// Interned id of a registered model (`None` if the name is unknown).
@@ -586,20 +886,19 @@ impl ModelRepository {
     /// against this repository instance; they feed the `*_by_id` fast
     /// paths the simulator's per-event loop runs on.
     pub fn model_id(&self, name: &str) -> Option<ModelId> {
-        self.inner.read().ids.get(name)
+        self.ids.read().get(name)
     }
 
     /// Name behind an interned id (`None` for an id this repository never
     /// handed out).
     pub fn model_name_of(&self, id: ModelId) -> Option<String> {
-        let inner = self.inner.read();
-        (id.index() < inner.ids.len()).then(|| inner.ids.name(id).to_string())
+        let ids = self.ids.read();
+        (id.index() < ids.len()).then(|| ids.name(id).to_string())
     }
 
     /// Id-keyed [`ModelRepository::decide`]: same decision and the same
-    /// plan-cache telemetry, but the lookup is two dense-array probes
-    /// instead of two string hashes — the per-donor cost of the
-    /// simulator's donor scan.
+    /// plan-cache telemetry, but the lookup is one shard read lock and
+    /// two slot probes — the per-donor cost of the simulator's donor scan.
     pub fn decide_by_id(&self, src: ModelId, dst: ModelId) -> Option<TransformDecision> {
         let (decision, cached) = self.decide_uncounted_by_id(src, dst)?;
         let telemetry = self.telemetry.read();
@@ -623,18 +922,13 @@ impl ModelRepository {
         src: ModelId,
         dst: ModelId,
     ) -> Option<(TransformDecision, bool)> {
-        let inner = self.inner.read();
-        let n = inner.ids.len();
-        if dst.index() >= n {
-            return None;
-        }
-        let load = inner.load_costs_by_id[dst.index()];
+        let shard = self.shards[dst.index() & (self.shards.len() - 1)].read();
+        let slot = dst.index() >> self.shard_bits;
+        let load = *shard.load_costs.get(slot)?;
         if load.is_nan() {
             return None;
         }
-        let plan = (src.index() < n)
-            .then(|| inner.plans_by_id[src.index() * n + dst.index()].as_ref())
-            .flatten();
+        let plan = shard.plans_in[slot].get(&src);
         Some(match plan {
             Some(p) if p.cost.total() <= load * self.safeguard_ratio => {
                 if self.overrun.is_demoted(src, dst) {
@@ -653,7 +947,8 @@ impl ModelRepository {
     /// Deliberately bypasses the plan-cache hit/miss counters — placement
     /// probes are not request-time cache lookups.
     pub fn transform_latency(&self, src: &str, dst: &str) -> Option<f64> {
-        self.decide_uncounted(src, dst).map(|(d, _)| d.latency())
+        let (si, di) = self.resolve_pair(src, dst)?;
+        self.transform_latency_by_id(si, di)
     }
 
     /// Chunk split of the cached `src → dst` plan (see
@@ -666,13 +961,8 @@ impl ModelRepository {
         dst: &str,
         chunk_bytes: u64,
     ) -> Option<crate::chunks::PlanChunks> {
-        let (plan, model) = {
-            let inner = self.inner.read();
-            let plan = inner.plans.get(src)?.get(dst)?.clone();
-            let model = inner.models.get(dst)?.clone();
-            (plan, model)
-        };
-        Some(crate::chunks::plan_chunks(&plan, &model, chunk_bytes))
+        let (si, di) = self.resolve_pair(src, dst)?;
+        self.plan_chunks_by_id(si, di, chunk_bytes)
     }
 
     /// Id-keyed [`ModelRepository::plan_chunks`] (used by the simulator's
@@ -684,13 +974,10 @@ impl ModelRepository {
         chunk_bytes: u64,
     ) -> Option<crate::chunks::PlanChunks> {
         let (plan, model) = {
-            let inner = self.inner.read();
-            let n = inner.ids.len();
-            if src.index() >= n || dst.index() >= n {
-                return None;
-            }
-            let plan = inner.plans_by_id[src.index() * n + dst.index()].clone()?;
-            let model = inner.models.get(inner.ids.name(dst))?.clone();
+            let shard = self.shards[dst.index() & (self.shards.len() - 1)].read();
+            let slot = dst.index() >> self.shard_bits;
+            let plan = shard.plans_in.get(slot)?.get(&src)?.clone();
+            let model = shard.models.get(slot)?.clone()?;
             (plan, model)
         };
         Some(crate::chunks::plan_chunks(&plan, &model, chunk_bytes))
@@ -710,6 +997,43 @@ impl ModelRepository {
                 .collect()
         };
         crate::chunks::plans_referenced_chunks(plans.iter().map(|p| p.as_ref()), chunk_bytes)
+    }
+
+    /// Export the plan cache as a content-addressed, version-stamped
+    /// [`PlanArtifact`]: every cached plan keyed by its endpoints'
+    /// [`ModelGraph::content_hash`], sorted for byte-determinism. The
+    /// inverse of [`ModelRepository::register_all_with_artifact`].
+    pub fn export_plan_artifact(&self) -> PlanArtifact {
+        let inner = self.inner.read();
+        let mut entries: Vec<PlanArtifactEntry> = Vec::new();
+        for (src, per_src) in &inner.plans {
+            let Some(&src_hash) = inner.hashes.get(src) else {
+                continue;
+            };
+            for (dst, plan) in per_src {
+                let Some(&dst_hash) = inner.hashes.get(dst) else {
+                    continue;
+                };
+                entries.push(PlanArtifactEntry {
+                    src_hash,
+                    dst_hash,
+                    plan: (**plan).clone(),
+                });
+            }
+        }
+        entries.sort_by(|a, b| {
+            (a.src_hash, a.dst_hash, &a.plan.src_model, &a.plan.dst_model).cmp(&(
+                b.src_hash,
+                b.dst_hash,
+                &b.plan.src_model,
+                &b.plan.dst_model,
+            ))
+        });
+        PlanArtifact {
+            version: PLAN_ARTIFACT_VERSION,
+            cost_model: optimus_profile::COST_MODEL_VERSION,
+            entries,
+        }
     }
 
     /// Names of all registered models, sorted.
@@ -763,6 +1087,7 @@ impl ModelRepository {
         for (name, model) in models {
             let name: Arc<str> = Arc::from(name.as_str());
             inner.generations.insert(name.clone(), 1);
+            inner.hashes.insert(name.clone(), model.content_hash());
             inner.models.insert(name, model);
         }
         for (name, cost) in load_costs {
@@ -775,10 +1100,23 @@ impl ModelRepository {
                 .or_default()
                 .insert(Arc::from(dst.as_str()), plan);
         }
-        inner.rebuild_id_index();
+        let mut ids = Interner::new();
+        let mut names: Vec<&Arc<str>> = inner.models.keys().collect();
+        names.sort();
+        for name in names {
+            ids.resolve(name);
+        }
+        let count = default_shard_count();
+        let shard_bits = count.trailing_zeros();
+        let shards = build_shards(count, shard_bits, &inner, &ids);
         ModelRepository {
             planner,
             inner: RwLock::new(inner),
+            ids: RwLock::new(ids),
+            shards,
+            shard_bits,
+            install: Mutex::new(()),
+            planner_calls: AtomicU64::new(0),
             safeguard_ratio: 1.0,
             overrun: OverrunGuard::new(3.0, 2),
             telemetry: RwLock::new(RepoTelemetry::resolve(&optimus_telemetry::global())),
@@ -1040,5 +1378,150 @@ mod tests {
         let after = repo.plan("vgg16", "vgg19").unwrap();
         assert_eq!(before.cost, after.cost, "same graph, same plan");
         assert_eq!(repo.model_count(), 2);
+    }
+
+    #[test]
+    fn shard_count_is_configurable_and_decisions_agree() {
+        let models = || {
+            vec![
+                optimus_zoo::vgg::vgg11(),
+                optimus_zoo::vgg::vgg16(),
+                optimus_zoo::vgg::vgg19(),
+                optimus_zoo::resnet::resnet18(),
+            ]
+        };
+        let cost = CostModel::default();
+        let baseline = ModelRepository::new(Box::new(GroupPlanner)).with_shards(1);
+        assert_eq!(baseline.shard_count(), 1);
+        baseline.register_all_with_threads(models(), &cost, 2);
+        for shards in [2, 8, 64] {
+            let repo = ModelRepository::new(Box::new(GroupPlanner)).with_shards(shards);
+            assert_eq!(repo.shard_count(), shards);
+            repo.register_all_with_threads(models(), &cost, 2);
+            for src in baseline.model_names() {
+                for dst in baseline.model_names() {
+                    let a = baseline
+                        .decide(&src, &dst)
+                        .map(|d| (d.is_transform(), d.latency().to_bits()));
+                    let b = repo
+                        .decide(&src, &dst)
+                        .map(|d| (d.is_transform(), d.latency().to_bits()));
+                    assert_eq!(a, b, "{src} -> {dst} at {shards} shards");
+                }
+            }
+        }
+        // Re-sharding after registration rebuilds the stripes correctly.
+        let reshard = {
+            let repo = ModelRepository::new(Box::new(GroupPlanner)).with_shards(1);
+            repo.register_all_with_threads(models(), &cost, 2);
+            repo.with_shards(16)
+        };
+        assert!(reshard.decide("vgg11", "vgg16").unwrap().is_transform());
+    }
+
+    #[test]
+    fn window_scope_bounds_planning() {
+        let cost = CostModel::default();
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let models = vec![
+            optimus_zoo::vgg::vgg11(),
+            optimus_zoo::vgg::vgg13(),
+            optimus_zoo::vgg::vgg16(),
+            optimus_zoo::vgg::vgg19(),
+        ];
+        repo.register_all_scoped(models, &cost, 2, PlanScope::Window(1), None);
+        assert_eq!(repo.model_count(), 4);
+        // Adjacent pairs (batch order) are planned, both directions…
+        assert!(repo.plan("vgg11", "vgg13").is_some());
+        assert!(repo.plan("vgg13", "vgg11").is_some());
+        assert!(repo.plan("vgg16", "vgg19").is_some());
+        // …pairs outside the window are not, and decide still serves them
+        // (scratch load).
+        assert!(repo.plan("vgg11", "vgg19").is_none());
+        let d = repo.decide("vgg11", "vgg19").unwrap();
+        assert!(!d.is_transform());
+    }
+
+    #[test]
+    fn artifact_roundtrip_skips_the_planner() {
+        let models = || vec![optimus_zoo::vgg::vgg11(), optimus_zoo::vgg::vgg16()];
+        let cost = CostModel::default();
+        let cold = ModelRepository::new(Box::new(GroupPlanner));
+        cold.register_all_with_threads(models(), &cost, 2);
+        assert_eq!(cold.planner_invocations(), 2, "two directed pairs planned");
+        let artifact = cold.export_plan_artifact();
+        assert_eq!(artifact.len(), 2);
+
+        // A "restarted node": fresh repository, same catalog, warm-loaded
+        // plans — the planner is never invoked.
+        let warm = ModelRepository::new(Box::new(GroupPlanner));
+        warm.register_all_with_artifact(models(), &cost, &artifact);
+        assert_eq!(warm.planner_invocations(), 0, "artifact covered all pairs");
+        let d = warm.decide("vgg11", "vgg16").unwrap();
+        assert!(d.is_transform(), "warm-loaded plan serves transforms");
+        assert_eq!(
+            d.latency(),
+            cold.decide("vgg11", "vgg16").unwrap().latency(),
+            "persisted plan is the plan"
+        );
+    }
+
+    #[test]
+    fn artifact_warm_load_counts_hits_and_misses() {
+        let registry = optimus_telemetry::MetricsRegistry::new();
+        let cost = CostModel::default();
+        let cold = ModelRepository::new(Box::new(GroupPlanner));
+        cold.register_all_with_threads(
+            vec![optimus_zoo::vgg::vgg11(), optimus_zoo::vgg::vgg16()],
+            &cost,
+            2,
+        );
+        let artifact = cold.export_plan_artifact();
+
+        // Warm-load a catalog with one extra model: the persisted pairs
+        // hit, the four directions touching vgg19 miss and re-plan.
+        let warm = ModelRepository::new(Box::new(GroupPlanner));
+        warm.set_metrics_registry(&registry);
+        warm.register_all_with_artifact(
+            vec![
+                optimus_zoo::vgg::vgg11(),
+                optimus_zoo::vgg::vgg16(),
+                optimus_zoo::vgg::vgg19(),
+            ],
+            &cost,
+            &artifact,
+        );
+        let hits = registry.counter("optimus_plan_cache_warm_total", &[("result", "hit")]);
+        let misses = registry.counter("optimus_plan_cache_warm_total", &[("result", "miss")]);
+        assert_eq!(hits.get(), 2);
+        assert_eq!(misses.get(), 4);
+        assert_eq!(warm.planner_invocations(), 4);
+        assert!(warm.decide("vgg11", "vgg19").unwrap().is_transform());
+    }
+
+    #[test]
+    fn artifact_rebinds_names_by_content() {
+        // The same graph registered under a different name still hits the
+        // content-addressed cache; the reused plan carries local names.
+        let cost = CostModel::default();
+        let cold = ModelRepository::new(Box::new(GroupPlanner));
+        cold.register_all_with_threads(
+            vec![optimus_zoo::vgg::vgg11(), optimus_zoo::vgg::vgg16()],
+            &cost,
+            2,
+        );
+        let artifact = cold.export_plan_artifact();
+
+        let mut renamed_a = optimus_zoo::vgg::vgg11();
+        renamed_a.set_name("model-a");
+        let mut renamed_b = optimus_zoo::vgg::vgg16();
+        renamed_b.set_name("model-b");
+        let warm = ModelRepository::new(Box::new(GroupPlanner));
+        warm.register_all_with_artifact(vec![renamed_a, renamed_b], &cost, &artifact);
+        assert_eq!(warm.planner_invocations(), 0);
+        let plan = warm.plan("model-a", "model-b").unwrap();
+        assert_eq!(plan.src_model, "model-a");
+        assert_eq!(plan.dst_model, "model-b");
+        assert!(warm.decide("model-a", "model-b").unwrap().is_transform());
     }
 }

@@ -54,6 +54,7 @@
 //! }
 //! ```
 
+mod artifact;
 mod cache;
 mod chunks;
 mod executor;
@@ -64,7 +65,8 @@ mod persist;
 mod planner;
 pub mod scheduler;
 
-pub use cache::{ModelRepository, TransformDecision};
+pub use artifact::{PlanArtifact, PlanArtifactEntry, PlanArtifactError, PLAN_ARTIFACT_VERSION};
+pub use cache::{ModelRepository, PlanScope, TransformDecision};
 pub use chunks::{plan_chunks, plans_referenced_chunks, PlanChunks};
 pub use executor::{execute_plan, ExecutionReport};
 pub use matrix::CostMatrix;

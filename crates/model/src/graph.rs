@@ -356,6 +356,48 @@ impl ModelGraph {
         Some((descriptors, edges))
     }
 
+    /// Stable content hash of the graph: family, every operation (id,
+    /// name, attributes, weight content id) and every edge — everything
+    /// **except the model name**, so two differently-named deployments of
+    /// the same architecture+weights hash identically.
+    ///
+    /// The hash is a pure function of graph content (never of host
+    /// state), stable across processes and serialize/deserialize round
+    /// trips — the basis of content-addressed plan-cache keys: a cached
+    /// transformation plan references concrete [`OpId`]s, so it is valid
+    /// for exactly the graphs whose content hash matches the pair it was
+    /// planned for.
+    pub fn content_hash(&self) -> u64 {
+        fn mix(acc: &mut u64, v: u64) {
+            // FNV-1a-with-avalanche, as in the weight content hashes.
+            *acc ^= v;
+            *acc = acc.wrapping_mul(0x1000_0000_01B3);
+            *acc ^= *acc >> 29;
+        }
+        fn mix_str(acc: &mut u64, s: &str) {
+            mix(acc, s.len() as u64);
+            for b in s.as_bytes() {
+                mix(acc, u64::from(*b));
+            }
+        }
+        let mut acc: u64 = 0xCBF2_9CE4_8422_2325;
+        mix(&mut acc, 0x4752_4150); // "GRAP"
+        mix_str(&mut acc, &format!("{:?}", self.family));
+        mix(&mut acc, self.ops.len() as u64);
+        for (id, op) in &self.ops {
+            mix(&mut acc, u64::from(id.0));
+            mix_str(&mut acc, &op.name);
+            mix_str(&mut acc, &format!("{:?}", op.attrs));
+            mix(&mut acc, op.weights.as_ref().map_or(0, |w| w.id().0));
+        }
+        mix(&mut acc, self.edges.len() as u64);
+        for e in &self.edges {
+            mix(&mut acc, u64::from(e.from.0));
+            mix(&mut acc, u64::from(e.to.0));
+        }
+        acc
+    }
+
     /// Group op ids by kind, preserving id order within each group.
     ///
     /// This is step (1) of the paper's Module 2⁺ group-based planner.
@@ -570,5 +612,46 @@ mod tests {
         assert_eq!(g.param_count(), 8 * 3 * 9 + 8);
         assert_eq!(g.byte_size(), g.param_count() * 4);
         assert_eq!(g.weighted_op_count(), 1);
+    }
+
+    #[test]
+    fn content_hash_ignores_name_but_tracks_content() {
+        let build = |name: &str, seed: u64| {
+            let mut g = ModelGraph::new(name, ModelFamily::Custom);
+            let i = g.add_op(input());
+            g.append_after(
+                i,
+                "c1",
+                OpAttrs::Conv2d {
+                    in_channels: 3,
+                    out_channels: 8,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: crate::Padding::Same,
+                    groups: 1,
+                    bias: true,
+                },
+                seed,
+            )
+            .unwrap();
+            g
+        };
+        let a = build("a", 7);
+        // Renaming does not change the content identity…
+        assert_eq!(a.content_hash(), build("b", 7).content_hash());
+        // …but different weights or structure do.
+        assert_ne!(a.content_hash(), build("a", 8).content_hash());
+        let mut c = build("a", 7);
+        let out = c.outputs()[0];
+        c.append_after(
+            out,
+            "relu",
+            OpAttrs::Activation {
+                kind: crate::Activation::Relu,
+            },
+            0,
+        )
+        .unwrap();
+        assert_ne!(a.content_hash(), c.content_hash());
     }
 }

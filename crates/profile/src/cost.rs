@@ -5,6 +5,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::env::Environment;
 
+/// Version of the calibrated cost model.
+///
+/// Persisted plan artifacts embed this number: a plan computed against one
+/// calibration must not be replayed against another, so loaders reject
+/// artifacts whose cost-model version differs (the same contract as
+/// `SNAPSHOT_VERSION` for repository snapshots). Bump whenever
+/// [`CostParams`] defaults or the cost formulas change.
+pub const COST_MODEL_VERSION: u32 = 1;
+
 /// Cost interface consumed by the planner and the simulator.
 ///
 /// All costs are in seconds of simulated latency. Implementations must be

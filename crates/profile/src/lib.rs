@@ -35,7 +35,7 @@ mod env;
 mod online;
 mod profiler;
 
-pub use cost::{CostModel, CostParams, CostProvider, LoadBreakdown};
+pub use cost::{CostModel, CostParams, CostProvider, LoadBreakdown, COST_MODEL_VERSION};
 pub use env::{Environment, PlatformProfile};
 pub use online::{ObservationKind, OnlineCostModel};
 pub use profiler::{MetaOpProfile, OpKindProfile, Profiler};

@@ -1,6 +1,7 @@
 //! The gateway: request entry point and worker lifecycle management.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -8,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, TrySendError};
 use optimus_balance::failover_node;
-use optimus_core::{GroupPlanner, ModelRepository};
+use optimus_core::{GroupPlanner, ModelRepository, PlanArtifact};
 use optimus_faults::{FaultInjector, FaultPlan, RequestFaults, RetryPolicy};
 use optimus_model::tensor::Tensor;
 use optimus_model::{InternKey, ModelGraph, ModelId};
@@ -44,9 +45,25 @@ pub struct GatewayBuilder {
     names: Vec<String>,
     metrics: Arc<MetricsRegistry>,
     extra_sinks: Vec<Arc<dyn TelemetrySink>>,
+    plan_cache_path: Option<PathBuf>,
 }
 
 impl GatewayBuilder {
+    /// Persist the plan cache at `path` as a content-addressed
+    /// [`PlanArtifact`], and warm-load from it on startup:
+    /// [`GatewayBuilder::register_all`] probes the artifact by `(src
+    /// content hash, dst content hash)` before invoking the planner, so a
+    /// restarted gateway registers its catalog in seconds instead of
+    /// re-planning O(N²) pairs. Incompatible artifacts (format version,
+    /// cost-model calibration) are ignored and the catalog is re-planned
+    /// cold; the file is rewritten after every bulk registration.
+    /// Warm-load wall-clock lands in `optimus_plan_cache_load_seconds`,
+    /// per-pair outcomes in `optimus_plan_cache_warm_total{result=...}`.
+    pub fn plan_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.plan_cache_path = Some(path.into());
+        self
+    }
+
     /// Register a model; plans against previously registered models are
     /// computed and cached immediately (§4.4 Module 3).
     pub fn register(self, model: ModelGraph) -> Self {
@@ -65,7 +82,34 @@ impl GatewayBuilder {
     pub fn register_all(self, models: Vec<ModelGraph>) -> Self {
         let mut names = self.names;
         names.extend(models.iter().map(|m| m.name().to_string()));
-        self.repo.register_all(models, &self.cost);
+        let warm = self
+            .plan_cache_path
+            .as_deref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .and_then(|json| PlanArtifact::from_json(&json).ok());
+        match warm {
+            Some(artifact) => {
+                let t0 = Instant::now();
+                self.repo
+                    .register_all_with_artifact(models, &self.cost, &artifact);
+                self.metrics
+                    .histogram("optimus_plan_cache_load_seconds", &[])
+                    .observe(t0.elapsed().as_secs_f64());
+            }
+            None => self.repo.register_all(models, &self.cost),
+        }
+        if let Some(path) = self.plan_cache_path.as_deref() {
+            // Best-effort persistence: a full disk must not stop serving.
+            // Write-then-rename so a crash mid-write leaves the old
+            // artifact intact instead of a truncated one.
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let tmp = path.with_extension("tmp");
+            if std::fs::write(&tmp, self.repo.export_plan_artifact().to_json()).is_ok() {
+                let _ = std::fs::rename(&tmp, path);
+            }
+        }
         GatewayBuilder { names, ..self }
     }
 
@@ -338,6 +382,7 @@ impl Gateway {
             names: Vec::new(),
             metrics: optimus_telemetry::global(),
             extra_sinks: Vec::new(),
+            plan_cache_path: None,
         }
     }
 
@@ -631,6 +676,18 @@ impl Gateway {
                         if seen.insert(c.id) {
                             chunks.push(c);
                         }
+                    }
+                }
+            }
+            // The persisted plan cache rides the same warm transfer: the
+            // joiner receives the artifact's content-addressed chunks
+            // alongside the catalog's weights, so it can serve its first
+            // transform without re-planning.
+            let artifact = self.repo.export_plan_artifact();
+            if !artifact.is_empty() {
+                for c in artifact.chunks(sc.chunk_bytes) {
+                    if seen.insert(c.id) {
+                        chunks.push(c);
                     }
                 }
             }

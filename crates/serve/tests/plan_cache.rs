@@ -1,0 +1,207 @@
+//! Persistent plan-cache tests for the live gateway: a gateway pointed at
+//! a plan-cache path persists its planned artifact on registration, a
+//! restarted gateway warm-loads it (serving its first transform without
+//! ever invoking the planner), and elastically joining nodes receive the
+//! artifact's chunks alongside the catalog weights.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use optimus_core::PlanArtifact;
+use optimus_model::tensor::Tensor;
+use optimus_model::{Activation, GraphBuilder, ModelGraph, PoolKind};
+use optimus_serve::{Gateway, GatewayConfig, ServedStart};
+use optimus_telemetry::MetricsRegistry;
+
+fn tiny(name: &str, channels: &[usize]) -> ModelGraph {
+    let mut b = GraphBuilder::new(name);
+    let mut x = b.input([1, 3, 8, 8]);
+    let mut ch = 3;
+    for &c in channels {
+        x = b.conv2d_after(x, ch, c, (3, 3), (1, 1), 1);
+        x = b.activation_after(x, Activation::Relu);
+        ch = c;
+    }
+    let x = b.pool_after(x, PoolKind::Max, (2, 2), (2, 2));
+    let x = b.flatten_after(x);
+    let _ = b.dense_after(x, ch * 16, 4);
+    b.finish().unwrap()
+}
+
+fn single_node() -> GatewayConfig {
+    GatewayConfig {
+        nodes: 1,
+        capacity_per_node: 3,
+        idle_threshold: 0.0,
+        keep_alive: 60.0,
+        store: Some(optimus_store::StoreConfig::default()),
+        faults: None,
+        serving: optimus_serve::ServingConfig::default(),
+        predict: None,
+    }
+}
+
+/// A unique scratch path under the system temp dir; the file does not
+/// exist yet.
+fn scratch_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "optimus-serve-plan-cache-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("plans.json")
+}
+
+/// Poll until `pred` holds (worker threads apply warm transfers
+/// asynchronously) or a generous deadline expires.
+fn eventually(mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    pred()
+}
+
+#[test]
+fn restart_warm_loads_persisted_plans_and_skips_the_planner() {
+    let path = scratch_path("restart");
+    let models = || vec![tiny("small", &[4]), tiny("large", &[4, 8])];
+
+    // Cold run: no artifact on disk, so registration invokes the planner
+    // and persists the result.
+    let cold_metrics = Arc::new(MetricsRegistry::new());
+    let gw = Gateway::builder(single_node())
+        .metrics(cold_metrics.clone())
+        .plan_cache_path(&path)
+        .register_all(models())
+        .spawn();
+    assert!(path.exists(), "registration persists the plan artifact");
+    let artifact = PlanArtifact::from_json(&std::fs::read_to_string(&path).unwrap())
+        .expect("the persisted artifact round-trips");
+    assert_eq!(artifact.len(), 2, "both directions of the pair are cached");
+    assert!(
+        cold_metrics
+            .histogram("optimus_planning_seconds", &[])
+            .count()
+            > 0,
+        "cold registration planned from scratch"
+    );
+    assert_eq!(
+        cold_metrics
+            .histogram("optimus_plan_cache_load_seconds", &[])
+            .count(),
+        0,
+        "nothing to warm-load on the first run"
+    );
+    gw.shutdown();
+
+    // Restart against the same path: every plan comes out of the artifact
+    // and the planner never runs — including for the first live transform.
+    let warm_metrics = Arc::new(MetricsRegistry::new());
+    let gw = Gateway::builder(single_node())
+        .metrics(warm_metrics.clone())
+        .plan_cache_path(&path)
+        .register_all(models())
+        .spawn();
+    let hit = warm_metrics.counter("optimus_plan_cache_warm_total", &[("result", "hit")]);
+    let miss = warm_metrics.counter("optimus_plan_cache_warm_total", &[("result", "miss")]);
+    assert_eq!(hit.get(), 2, "both cached plans warm-load");
+    assert_eq!(miss.get(), 0);
+    assert_eq!(
+        warm_metrics
+            .histogram("optimus_plan_cache_load_seconds", &[])
+            .count(),
+        1,
+        "the warm load is timed once"
+    );
+    let planning = warm_metrics.histogram("optimus_planning_seconds", &[]);
+    assert_eq!(planning.count(), 0, "warm registration never plans");
+
+    let r1 = gw.infer("small", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(r1.start, ServedStart::Cold);
+    let r2 = gw.infer("large", Tensor::zeros([1, 3, 8, 8])).unwrap();
+    assert_eq!(
+        r2.start,
+        ServedStart::Transformed,
+        "the restarted node serves its first transform from the warm cache"
+    );
+    assert_eq!(
+        planning.count(),
+        0,
+        "serving the first transform did not invoke the planner"
+    );
+    gw.shutdown();
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn corrupt_artifact_falls_back_to_cold_planning_and_is_rewritten() {
+    let path = scratch_path("corrupt");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, "{\"version\": 999}").unwrap();
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let gw = Gateway::builder(single_node())
+        .metrics(metrics.clone())
+        .plan_cache_path(&path)
+        .register_all(vec![tiny("small", &[4]), tiny("large", &[4, 8])])
+        .spawn();
+    // The incompatible artifact is ignored, not trusted: registration
+    // plans from scratch and no warm hit/miss is counted.
+    assert!(
+        metrics.histogram("optimus_planning_seconds", &[]).count() > 0,
+        "incompatible artifact forces cold planning"
+    );
+    let hit = metrics.counter("optimus_plan_cache_warm_total", &[("result", "hit")]);
+    let miss = metrics.counter("optimus_plan_cache_warm_total", &[("result", "miss")]);
+    assert_eq!((hit.get(), miss.get()), (0, 0));
+    assert_eq!(
+        metrics
+            .histogram("optimus_plan_cache_load_seconds", &[])
+            .count(),
+        0
+    );
+    // The stale file is replaced with a loadable artifact.
+    let artifact = PlanArtifact::from_json(&std::fs::read_to_string(&path).unwrap())
+        .expect("the rewritten artifact is valid");
+    assert_eq!(artifact.len(), 2);
+    gw.shutdown();
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}
+
+#[test]
+fn joiner_warm_transfer_ships_plan_artifact_chunks() {
+    let metrics = Arc::new(MetricsRegistry::new());
+    let gw = Gateway::builder(single_node())
+        .metrics(metrics.clone())
+        .register_all(vec![tiny("small", &[4]), tiny("large", &[4, 8])])
+        .spawn();
+
+    // What the catalog weights alone would occupy on the joiner.
+    let sc = optimus_store::StoreConfig::default();
+    let mut seen = std::collections::HashSet::new();
+    let mut weight_bytes = 0u64;
+    for m in [tiny("small", &[4]), tiny("large", &[4, 8])] {
+        for c in optimus_store::model_chunks(&m, sc.chunk_bytes) {
+            if seen.insert(c.id) {
+                weight_bytes += c.bytes;
+            }
+        }
+    }
+
+    let id = gw.register_node();
+    assert!(
+        eventually(|| {
+            gw.store_stats_by_node()
+                .iter()
+                .any(|&(n, s)| n == id && s.memory_bytes > weight_bytes)
+        }),
+        "joiner memory never exceeded the weights-only footprint: {:?} (weights = {weight_bytes})",
+        gw.store_stats_by_node()
+    );
+    gw.shutdown();
+}

@@ -145,6 +145,15 @@ pub struct SimConfig {
     /// store is enabled). `None` (the default) reproduces the static node
     /// set byte-identically.
     pub fleet: Option<FleetConfig>,
+    /// Model the persisted plan cache (`optimus-core`'s `PlanArtifact`)
+    /// as store transport: initial nodes boot with the artifact's
+    /// content-addressed chunks resident (the gateway warm-loads the
+    /// artifact at startup), and elastically joining nodes receive the
+    /// artifact bytes alongside the hot model's chunks during warm-up —
+    /// multicast or remote, priced like any other transfer. Requires
+    /// `store`; `false` (the default) reproduces the weights-only
+    /// transfer model byte-identically.
+    pub plan_warm: bool,
     /// Optional online arrival prediction (`optimus-predict`):
     /// per-function inter-arrival histograms drive adaptive keep-alive
     /// windows (replacing the global `keep_alive` constant per function)
@@ -171,6 +180,7 @@ impl Default for SimConfig {
             store: None,
             faults: None,
             fleet: None,
+            plan_warm: false,
             predict: None,
         }
     }

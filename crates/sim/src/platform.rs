@@ -63,6 +63,19 @@ struct StoreState {
     /// Union of all cached plans' payload chunks, pinned on every node so
     /// LRU pressure never evicts the bytes cached plans write.
     pinned: Vec<ChunkRef>,
+    /// The persisted plan-cache artifact's content-addressed chunks
+    /// (`SimConfig::plan_warm`): resident on initial nodes at boot and
+    /// shipped to fleet joiners alongside the hot model's weights. Empty
+    /// when `plan_warm` is off — every use degenerates to a no-op.
+    artifact_chunks: Vec<ChunkRef>,
+}
+
+impl StoreState {
+    /// Bytes a joiner must additionally receive to warm-load the
+    /// persisted plan cache.
+    fn artifact_bytes(&self) -> u64 {
+        self.artifact_chunks.iter().map(|c| c.bytes).sum()
+    }
 }
 
 /// Reusable scratch buffers of one [`Platform::run`]: sized once, cleared
@@ -288,11 +301,17 @@ impl Platform {
                     );
                 }
             }
+            let artifact_chunks = if config.plan_warm {
+                repo.export_plan_artifact().chunks(sc.chunk_bytes)
+            } else {
+                Vec::new()
+            };
             StoreState {
                 config: sc,
                 model_chunks,
                 plan_chunks,
                 pinned: repo.plan_referenced_chunks(sc.chunk_bytes),
+                artifact_chunks,
             }
         });
         Platform {
@@ -396,6 +415,10 @@ impl Platform {
                     if let Some(ss) = &self.store {
                         let mut store = NodeStore::new(ss.config);
                         store.pin(&ss.pinned);
+                        // Boot-time warm load of the persisted plan cache
+                        // (empty unless `plan_warm`): the artifact is
+                        // already on node disk/memory, not re-planned.
+                        store.warm(&ss.artifact_chunks);
                         node.store = Some(store);
                     }
                 }
@@ -796,6 +819,9 @@ impl Platform {
                     if let Some(chunks) = ss.model_chunks.get(fl.waves[w].f) {
                         store.warm(chunks);
                     }
+                    // The plan-cache artifact rode the same transfer
+                    // (empty unless `plan_warm`).
+                    store.warm(&ss.artifact_chunks);
                     nodes[n].store = Some(store);
                 }
                 fl.waves[w].sources.push(n);
@@ -874,7 +900,10 @@ impl Platform {
         }
         fl.report.scale_outs += 1;
         let base = now + fl.autoscaler.config().provision_s;
-        let bytes = self.functions[f.index()].model_bytes;
+        // Joiners receive the persisted plan cache alongside the hot
+        // model's weights (0 extra bytes unless `plan_warm`).
+        let bytes = self.functions[f.index()].model_bytes
+            + self.store.as_ref().map_or(0, |ss| ss.artifact_bytes());
         let mut pending: Vec<(usize, f64)> = Vec::with_capacity(joiners.len());
         let mut sources: Vec<usize> = Vec::new();
         let mut all_warm = fl.autoscaler.config().provision_s;
@@ -981,7 +1010,7 @@ impl Platform {
             // Re-root: replan the outstanding transfers from replicas
             // that survived (falling back to one origin injection when
             // the crash wiped every replica).
-            let bytes = self.functions[fl.waves[w].f.index()].model_bytes;
+            let bytes = self.functions[fl.waves[w].f.index()].model_bytes + ss.artifact_bytes();
             let chunks = ss.model_chunks.get(fl.waves[w].f);
             let seeds: Vec<usize> = fl.waves[w]
                 .sources

@@ -249,3 +249,44 @@ fn fleet_runs_are_deterministic() {
         "same config + trace ⇒ byte-identical reports"
     );
 }
+
+#[test]
+fn plan_warm_ships_artifact_bytes_to_every_joiner() {
+    // Two registered models ⇒ a non-empty plan cache to persist.
+    let repo = repo_with(vec![
+        optimus_zoo::resnet::resnet18(),
+        optimus_zoo::vgg::vgg11(),
+    ]);
+    let sc = StoreConfig::default();
+    let artifact_bytes: u64 = repo
+        .export_plan_artifact()
+        .chunks(sc.chunk_bytes)
+        .iter()
+        .map(|c| c.bytes)
+        .sum();
+    assert!(artifact_bytes > 0, "the catalog has cached plans");
+
+    let trace = crowd("resnet18", 0.1, 60.0);
+    let run = |plan_warm: bool| {
+        let cfg = SimConfig {
+            plan_warm,
+            ..config(Some(fleet()))
+        };
+        Platform::new(cfg, Policy::Optimus, repo.clone())
+            .run(&trace)
+            .fleet
+            .expect("fleet layer enabled")
+    };
+    let base = run(false);
+    let warm = run(true);
+    assert_eq!(base.scale_outs, warm.scale_outs);
+    assert_eq!(base.nodes_added, warm.nodes_added);
+    // Each joiner receives the persisted plan cache exactly once, on top
+    // of the model weights — multicast or origin, the payload grows by
+    // the artifact size per joiner.
+    assert_eq!(
+        warm.multicast_bytes + warm.remote_warm_bytes,
+        base.multicast_bytes + base.remote_warm_bytes + warm.nodes_added * artifact_bytes,
+        "joiner warm-up carries the plan artifact alongside the weights"
+    );
+}

@@ -72,6 +72,30 @@ pub fn chunk_spec(spec: &WeightSpec, chunk_bytes: u64, out: &mut Vec<ChunkRef>) 
     }
 }
 
+/// Chunk references of an opaque byte blob (e.g. a serialized plan
+/// artifact), addressed by the blob's content fingerprint.
+///
+/// Blob chunk ids mix a distinct tag, so an artifact payload can never
+/// alias a weight chunk even if their fingerprints collide.
+pub fn blob_chunks(fingerprint: u64, total_bytes: u64, chunk_bytes: u64) -> Vec<ChunkRef> {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    let mut out = Vec::new();
+    if total_bytes == 0 {
+        return out;
+    }
+    let mut fp = fingerprint;
+    mix(&mut fp, 0x424C_4F42); // "BLOB"
+    let n = total_bytes.div_ceil(chunk_bytes);
+    for j in 0..n {
+        let len = chunk_bytes.min(total_bytes - j * chunk_bytes);
+        out.push(ChunkRef {
+            id: chunk_id(fp, j, len),
+            bytes: len,
+        });
+    }
+    out
+}
+
 /// Chunk references of a whole weight set, in tensor order.
 pub fn weights_chunks(weights: &Weights, chunk_bytes: u64) -> Vec<ChunkRef> {
     let mut out = Vec::new();

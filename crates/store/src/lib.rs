@@ -35,7 +35,7 @@ mod node;
 mod tier;
 
 pub use chunk::{
-    chunk_spec, model_chunks, weights_chunks, ChunkId, ChunkIndex, ChunkRef, ChunkSet,
+    blob_chunks, chunk_spec, model_chunks, weights_chunks, ChunkId, ChunkIndex, ChunkRef, ChunkSet,
     DEFAULT_CHUNK_BYTES,
 };
 pub use node::{FetchCost, NodeStore, StoreStats};

@@ -37,4 +37,10 @@ cargo run --release -q -p optimus-bench --bin exp_serve_scale -- --small
 echo "== exp_prewarm_predict (small CI config, arrival-prediction sweep) =="
 cargo run --release -q -p optimus-bench --bin exp_prewarm_predict -- --small --threads 2
 
+echo "== exp_catalog_scale (small CI config, sharded plan-cache checks) =="
+cargo run --release -q -p optimus-bench --bin exp_catalog_scale -- --small
+
+echo "== decide-path bench smoke (small config) =="
+cargo bench -p optimus-bench --bench decide_path -- --small
+
 echo "all checks passed"

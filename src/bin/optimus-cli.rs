@@ -14,7 +14,10 @@
 //!                                          generate a workload trace JSON
 //! optimus-cli analyze [--functions N] [--duration S]
 //!                                          workload pattern analysis
-//! optimus-cli serve <m1,m2,...> [--port P]  start the live HTTP gateway
+//! optimus-cli serve <m1,m2,...> [--port P] [--plan-cache <path>]
+//!                                          start the live HTTP gateway;
+//!                                          --plan-cache warm-loads and
+//!                                          persists the plan artifact
 //! optimus-cli simulate <m1,m2,...> [opts]  run the platform simulator
 //!     opts: --policy <openwhisk|pagurus|tetris|optimus> (default optimus)
 //!           --workload <poisson|azure>                  (default azure)
@@ -71,7 +74,9 @@ fn main() -> ExitCode {
         },
         Some("serve") => match args.get(1) {
             Some(models) => cmd_serve(models, &args[2..]),
-            None => Err("usage: optimus-cli serve <m1,m2,...> [--port P]".into()),
+            None => {
+                Err("usage: optimus-cli serve <m1,m2,...> [--port P] [--plan-cache <path>]".into())
+            }
         },
         _ => {
             eprintln!("{}", USAGE);
@@ -439,12 +444,23 @@ fn cmd_serve(models_csv: &str, opts: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --port: {e}")))
         .transpose()?
         .unwrap_or(8080);
-    let builder = optimus::serve::Gateway::builder(optimus::serve::GatewayConfig::default());
+    let plan_cache = opts
+        .iter()
+        .position(|a| a == "--plan-cache")
+        .and_then(|i| opts.get(i + 1))
+        .cloned();
+    let mut builder = optimus::serve::Gateway::builder(optimus::serve::GatewayConfig::default());
+    if let Some(path) = &plan_cache {
+        builder = builder.plan_cache_path(path);
+    }
     let models = models_csv
         .split(',')
         .map(|name| build(name.trim()))
         .collect::<Result<Vec<_>, _>>()?;
     let gateway = std::sync::Arc::new(builder.register_all(models).spawn());
+    if let Some(path) = &plan_cache {
+        println!("plan cache: {path} (warm-loaded if present, persisted on registration)");
+    }
     let server = optimus::serve::HttpServer::serve(gateway, port).map_err(|e| e.to_string())?;
     println!("Optimus gateway listening on http://{}", server.addr());
     println!("  GET  /models");
