@@ -175,6 +175,49 @@ impl PlanArtifact {
         serde_json::from_str(json).map_err(|e| PlanArtifactError::Malformed(e.to_string()))
     }
 
+    /// Merge `other`'s plans into this artifact, keeping this artifact's
+    /// entry wherever both hold the same `(src_hash, dst_hash)` key. The
+    /// incremental-persistence primitive: a freshly exported artifact
+    /// merges the on-disk one *into itself*, so single-model `register`
+    /// rewrites keep every previously persisted plan while newer plans
+    /// win. Returns the number of entries adopted from `other`; a version
+    /// or cost-model mismatch adopts nothing (stale plans must not leak
+    /// back in through the merge path).
+    pub fn merge_from(&mut self, other: &PlanArtifact) -> usize {
+        if other.version != self.version || other.cost_model != self.cost_model {
+            return 0;
+        }
+        let have: std::collections::HashSet<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|e| (e.src_hash, e.dst_hash))
+            .collect();
+        let mut adopted = 0;
+        for e in &other.entries {
+            if !have.contains(&(e.src_hash, e.dst_hash)) {
+                self.entries.push(e.clone());
+                adopted += 1;
+            }
+        }
+        if adopted > 0 {
+            self.entries.sort_by_key(|e| (e.src_hash, e.dst_hash));
+        }
+        adopted
+    }
+
+    /// Drop every entry whose source *or* destination hash is no longer in
+    /// `live` (the registered catalog's content hashes), returning the
+    /// number of entries collected. This is what keeps the on-disk file
+    /// from growing monotonically as models churn through the catalog:
+    /// without GC, each merge-rewrite cycle re-adopts plans for models
+    /// that were dropped long ago.
+    pub fn gc(&mut self, live: &std::collections::HashSet<u64>) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| live.contains(&e.src_hash) && live.contains(&e.dst_hash));
+        before - self.entries.len()
+    }
+
     /// Index the entries by cache key for O(1) warm-load probes.
     pub fn index(&self) -> HashMap<(u64, u64), Arc<TransformPlan>> {
         self.entries
@@ -293,6 +336,89 @@ mod tests {
             PlanArtifact::from_json("[]"),
             Err(PlanArtifactError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn merge_keeps_own_entries_and_adopts_missing_ones() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register_all(
+            vec![
+                optimus_zoo::vgg::vgg11(),
+                optimus_zoo::vgg::vgg16(),
+                optimus_zoo::vgg::vgg19(),
+            ],
+            &cost,
+        );
+        let full = repo.export_plan_artifact(); // 6 directed plans
+        let pair = sample_artifact(); // vgg16 ↔ vgg19 (2 plans)
+
+        let mut merged = pair.clone();
+        let adopted = merged.merge_from(&full);
+        assert_eq!(adopted, full.len() - pair.len());
+        assert_eq!(merged.len(), full.len());
+        // Sorted order restored: key-for-key identical to a full export
+        // (plan *timings* are wall-clock and may differ between runs).
+        for (m, f) in merged.entries.iter().zip(&full.entries) {
+            assert_eq!((m.src_hash, m.dst_hash), (f.src_hash, f.dst_hash));
+            assert_eq!(m.plan.cost, f.plan.cost);
+        }
+        // Self-merge and re-merge adopt nothing.
+        assert_eq!(merged.merge_from(&full), 0);
+    }
+
+    #[test]
+    fn merge_rejects_version_and_cost_mismatches() {
+        let mut dst = PlanArtifact::empty();
+        let mut stale = sample_artifact();
+        stale.cost_model = COST_MODEL_VERSION + 1;
+        assert_eq!(dst.merge_from(&stale), 0, "stale cost model adopted");
+        stale.cost_model = COST_MODEL_VERSION;
+        stale.version = PLAN_ARTIFACT_VERSION + 1;
+        assert_eq!(dst.merge_from(&stale), 0, "wrong schema version adopted");
+        assert!(dst.is_empty());
+    }
+
+    #[test]
+    fn gc_drops_entries_leaving_the_catalog() {
+        let repo = ModelRepository::new(Box::new(GroupPlanner));
+        let cost = CostModel::default();
+        repo.register_all(
+            vec![
+                optimus_zoo::vgg::vgg11(),
+                optimus_zoo::vgg::vgg16(),
+                optimus_zoo::vgg::vgg19(),
+            ],
+            &cost,
+        );
+        let mut art = repo.export_plan_artifact();
+        assert_eq!(art.len(), 6);
+
+        // Live catalog without vgg19: the four plans touching it go.
+        let survivors = ModelRepository::new(Box::new(GroupPlanner));
+        survivors.register_all(
+            vec![optimus_zoo::vgg::vgg11(), optimus_zoo::vgg::vgg16()],
+            &cost,
+        );
+        let live = survivors.catalog_hashes();
+        assert_eq!(art.gc(&live), 4);
+        assert_eq!(art.len(), 2);
+        for e in &art.entries {
+            assert!(live.contains(&e.src_hash) && live.contains(&e.dst_hash));
+        }
+        // GC against the full catalog is a no-op.
+        assert_eq!(art.gc(&repo.catalog_hashes()), 0);
+    }
+
+    #[test]
+    fn single_register_with_artifact_replays_persisted_plans() {
+        let cost = CostModel::default();
+        let art = sample_artifact();
+        let warm = ModelRepository::new(Box::new(GroupPlanner));
+        warm.register_with_artifact(optimus_zoo::vgg::vgg16(), &cost, &art);
+        warm.register_with_artifact(optimus_zoo::vgg::vgg19(), &cost, &art);
+        assert_eq!(warm.planner_invocations(), 0, "artifact covered all pairs");
+        assert!(warm.decide("vgg16", "vgg19").unwrap().is_transform());
     }
 
     #[test]

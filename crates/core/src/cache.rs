@@ -529,6 +529,21 @@ impl ModelRepository {
         self.register_batch(vec![model], cost, 1, PlanScope::AllPairs, None);
     }
 
+    /// [`ModelRepository::register`] warm-loading from a persisted
+    /// [`PlanArtifact`]: pairs touching the new model whose content-hash
+    /// key hits the artifact reuse the persisted plan without invoking
+    /// the planner. The incremental-catalog-growth path — a gateway that
+    /// registers models one at a time replays plans exactly like the
+    /// bulk restart path does.
+    pub fn register_with_artifact(
+        &self,
+        model: ModelGraph,
+        cost: &(dyn CostProvider + Sync),
+        artifact: &PlanArtifact,
+    ) {
+        self.register_batch(vec![model], cost, 1, PlanScope::AllPairs, Some(artifact));
+    }
+
     /// Bulk-register a whole catalog, fanning the O(N²) pairwise planning
     /// sweep across a scoped worker pool sized to the machine
     /// ([`std::thread::available_parallelism`]).
@@ -1034,6 +1049,13 @@ impl ModelRepository {
             cost_model: optimus_profile::COST_MODEL_VERSION,
             entries,
         }
+    }
+
+    /// Content hashes of every registered model — the liveness set for
+    /// [`PlanArtifact::gc`]: an artifact entry whose endpoints are both in
+    /// this set belongs to the current catalog.
+    pub fn catalog_hashes(&self) -> std::collections::HashSet<u64> {
+        self.inner.read().hashes.values().copied().collect()
     }
 
     /// Names of all registered models, sorted.

@@ -1,0 +1,250 @@
+//! KV-cache meta-operators: carrying attention state across a transform.
+//!
+//! When a transformation retargets a warm decoder container to a sibling
+//! model, the weight side is handled by [`MetaOp`](crate::MetaOp) plans —
+//! but a decoder container also holds *state*: the KV cache of any
+//! in-flight or recently-served context. These meta-operators are the
+//! state-side counterpart (the `resize_kv_cache` / attention-layout stages
+//! of TensorRT-LLM's auto-deploy pipeline, see SNIPPETS.md): they describe
+//! how many cached positions survive the transform verbatim, which merely
+//! change head layout (a zero-copy re-split of `d_model`), which reserved
+//! positions must be freshly materialized for the destination window, and
+//! which live positions must be dropped.
+//!
+//! They are deliberately **not** part of [`TransformPlan`] — plans are
+//! persisted in the versioned [`PlanArtifact`](crate::PlanArtifact) and
+//! KV state is ephemeral per-container, so folding state steps into the
+//! artifact would bump `PLAN_ARTIFACT_VERSION` for no durable benefit.
+//! A [`KvPlan`] is computed on demand from two [`KvCacheSpec`]s; the
+//! byte-accounting invariant mirrors [`plan_chunks`](crate::plan_chunks):
+//! `carried_bytes + materialized_bytes == dst.byte_size()`.
+
+use optimus_model::{KvCache, KvCacheSpec};
+use serde::{Deserialize, Serialize};
+
+/// One KV-cache state meta-operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvMetaOp {
+    /// Carry `positions` cached rows into the destination verbatim.
+    Carry {
+        /// Live context positions surviving the transform.
+        positions: usize,
+    },
+    /// Re-split carried rows from `from_heads` to `to_heads` attention
+    /// heads. Valid only between row-compatible specs (same `d_model`),
+    /// where it is a zero-copy view change.
+    ReshapeHeads {
+        /// Source head count.
+        from_heads: usize,
+        /// Destination head count.
+        to_heads: usize,
+    },
+    /// Resize the reserved context window from `from` to `to` positions
+    /// (the `resize_kv_cache` stage): growing materializes fresh rows,
+    /// shrinking trims reserved-but-empty ones.
+    ResizeContext {
+        /// Source context length.
+        from: usize,
+        /// Destination context length.
+        to: usize,
+    },
+    /// Drop `positions` live rows that cannot survive (row-incompatible
+    /// layouts, or live state beyond the destination window).
+    Drop {
+        /// Live context positions discarded.
+        positions: usize,
+    },
+}
+
+impl KvMetaOp {
+    /// Short kind name (for reports and breakdowns).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            KvMetaOp::Carry { .. } => "carry",
+            KvMetaOp::ReshapeHeads { .. } => "reshape_heads",
+            KvMetaOp::ResizeContext { .. } => "resize_context",
+            KvMetaOp::Drop { .. } => "drop",
+        }
+    }
+}
+
+/// A state-transformation plan between two KV-cache shapes.
+///
+/// Invariants (checked by `debug_assert` on construction and by the
+/// `kv_props` proptests):
+///
+/// - `carried_bytes + materialized_bytes == KvCacheSpec::byte_size(dst)` —
+///   the destination reservation is fully accounted, exactly like the
+///   fetched/reused chunk partition of [`plan_chunks`](crate::plan_chunks);
+/// - `carried_bytes + dropped_bytes == src.live_bytes()` — every live
+///   source byte is either carried or dropped, never both;
+/// - a same-spec transform is the identity: no resize/reshape/drop steps,
+///   and `apply` returns the source cache unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvPlan {
+    /// Destination cache shape.
+    pub dst: KvCacheSpec,
+    /// Ordered state meta-operators.
+    pub steps: Vec<KvMetaOp>,
+    /// Live context positions carried across.
+    pub carried: usize,
+    /// Bytes of live state carried across verbatim.
+    pub carried_bytes: u64,
+    /// Bytes of the destination reservation that must be freshly
+    /// materialized (not present in the source cache).
+    pub materialized_bytes: u64,
+    /// Bytes of live source state dropped by the transform.
+    pub dropped_bytes: u64,
+}
+
+impl KvPlan {
+    /// Whether this plan changes nothing (same-spec transform): no state
+    /// dropped and no resize/reshape steps. `materialized_bytes` may still
+    /// be positive — it then counts the reserved-but-empty remainder of
+    /// the (unchanged) context window.
+    pub fn is_identity(&self) -> bool {
+        self.dropped_bytes == 0
+            && self
+                .steps
+                .iter()
+                .all(|s| matches!(s, KvMetaOp::Carry { .. }))
+    }
+
+    /// Apply the plan to the cache it was computed from, yielding the
+    /// destination-shaped cache with the carried fill level.
+    pub fn apply(&self, src: &KvCache) -> KvCache {
+        debug_assert!(self.carried <= src.filled);
+        KvCache::filled(self.dst, self.carried)
+    }
+}
+
+/// Plan the KV-cache state transformation from a (possibly filled) source
+/// cache to the destination spec. Total — any pair of shapes yields a
+/// plan; incompatible layouts simply carry nothing.
+pub fn plan_kv_transform(src: &KvCache, dst: &KvCacheSpec) -> KvPlan {
+    let compatible = src.spec.row_compatible(dst);
+    let carried = if compatible {
+        src.filled.min(dst.context)
+    } else {
+        0
+    };
+    let dropped = src.filled - carried;
+
+    let mut steps = Vec::new();
+    if carried > 0 {
+        steps.push(KvMetaOp::Carry { positions: carried });
+    }
+    if compatible && src.spec.heads != dst.heads {
+        steps.push(KvMetaOp::ReshapeHeads {
+            from_heads: src.spec.heads,
+            to_heads: dst.heads,
+        });
+    }
+    if src.spec != *dst {
+        steps.push(KvMetaOp::ResizeContext {
+            from: src.spec.context,
+            to: dst.context,
+        });
+    }
+    if dropped > 0 {
+        steps.push(KvMetaOp::Drop { positions: dropped });
+    }
+
+    let carried_bytes = dst.bytes_at(carried);
+    let plan = KvPlan {
+        dst: *dst,
+        steps,
+        carried,
+        carried_bytes,
+        materialized_bytes: dst.byte_size() - carried_bytes,
+        dropped_bytes: src.live_bytes() - src.spec.bytes_at(carried),
+    };
+    debug_assert_eq!(
+        plan.carried_bytes + plan.materialized_bytes,
+        dst.byte_size()
+    );
+    debug_assert_eq!(plan.carried_bytes + plan.dropped_bytes, src.live_bytes());
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(layers: usize, heads: usize, head_dim: usize, context: usize) -> KvCacheSpec {
+        KvCacheSpec::new(layers, heads, head_dim, context)
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let s = spec(4, 8, 64, 1024);
+        let cache = KvCache::filled(s, 300);
+        let plan = plan_kv_transform(&cache, &s);
+        assert!(plan.is_identity());
+        assert_eq!(plan.carried, 300);
+        assert_eq!(plan.dropped_bytes, 0);
+        assert_eq!(plan.apply(&cache), cache);
+    }
+
+    #[test]
+    fn context_growth_carries_all_live_state() {
+        let cache = KvCache::filled(spec(4, 8, 64, 1024), 1000);
+        let dst = spec(4, 8, 64, 4096);
+        let plan = plan_kv_transform(&cache, &dst);
+        assert_eq!(plan.carried, 1000);
+        assert_eq!(plan.carried_bytes, cache.live_bytes());
+        assert_eq!(
+            plan.carried_bytes + plan.materialized_bytes,
+            dst.byte_size()
+        );
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            KvMetaOp::ResizeContext {
+                from: 1024,
+                to: 4096
+            }
+        )));
+        assert_eq!(plan.apply(&cache).filled, 1000);
+    }
+
+    #[test]
+    fn context_shrink_drops_overflow() {
+        let cache = KvCache::filled(spec(2, 4, 32, 2048), 1500);
+        let dst = spec(2, 4, 32, 1024);
+        let plan = plan_kv_transform(&cache, &dst);
+        assert_eq!(plan.carried, 1024);
+        assert_eq!(plan.dropped_bytes, dst.bytes_at(1500 - 1024));
+        assert!(plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, KvMetaOp::Drop { positions: 476 })));
+    }
+
+    #[test]
+    fn head_resplit_is_carried_not_dropped() {
+        // Same d_model re-split across twice the heads: zero-copy carry.
+        let cache = KvCache::filled(spec(4, 8, 64, 1024), 512);
+        let dst = spec(4, 16, 32, 1024);
+        let plan = plan_kv_transform(&cache, &dst);
+        assert_eq!(plan.carried, 512);
+        assert_eq!(plan.dropped_bytes, 0);
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            KvMetaOp::ReshapeHeads {
+                from_heads: 8,
+                to_heads: 16
+            }
+        )));
+    }
+
+    #[test]
+    fn incompatible_layouts_carry_nothing() {
+        let cache = KvCache::filled(spec(4, 8, 64, 1024), 512);
+        let dst = spec(8, 8, 64, 1024); // different layer count
+        let plan = plan_kv_transform(&cache, &dst);
+        assert_eq!(plan.carried, 0);
+        assert_eq!(plan.carried_bytes, 0);
+        assert_eq!(plan.materialized_bytes, dst.byte_size());
+        assert_eq!(plan.dropped_bytes, cache.live_bytes());
+    }
+}

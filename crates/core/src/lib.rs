@@ -58,6 +58,7 @@ mod artifact;
 mod cache;
 mod chunks;
 mod executor;
+mod kv;
 mod matrix;
 mod metaop;
 mod munkres;
@@ -69,6 +70,7 @@ pub use artifact::{PlanArtifact, PlanArtifactEntry, PlanArtifactError, PLAN_ARTI
 pub use cache::{ModelRepository, PlanScope, TransformDecision};
 pub use chunks::{plan_chunks, plans_referenced_chunks, PlanChunks};
 pub use executor::{execute_plan, ExecutionReport};
+pub use kv::{plan_kv_transform, KvMetaOp, KvPlan};
 pub use matrix::CostMatrix;
 pub use metaop::{MetaOp, PlanCost, TransformPlan};
 pub use munkres::{solve_assignment, solve_assignment_flat, MunkresScratch};

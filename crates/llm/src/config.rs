@@ -1,0 +1,170 @@
+//! LLM workload configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the token-level decode workload.
+///
+/// The cost model is iteration-structured: decoding one token for a batch
+/// of `b` sequences costs
+///
+/// ```text
+/// iter(b) = token_base_s                      // kernel-launch floor
+///         + model_bytes / token_bytes_per_s   // one weight sweep, SHARED
+///         + b · token_per_seq_s               // per-sequence attention/FFN
+/// ```
+///
+/// The middle term is why continuous batching matters for multi-GB
+/// decoders: autoregressive decoding is memory-bandwidth-bound, every
+/// iteration streams the entire weight tensor once *regardless of batch
+/// size*, so a request that joins a running batch amortizes the sweep
+/// instead of paying it alone. A sequence's first iteration additionally
+/// pays `prefill_tokens · prefill_token_s` (prompt processing is
+/// compute-bound and per-sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LlmConfig {
+    /// Maximum sequences decoding concurrently in one container.
+    pub max_batch: usize,
+    /// Prompt length in tokens (prefill work per admitted sequence).
+    pub prefill_tokens: usize,
+    /// Minimum output length drawn per request.
+    pub min_decode_tokens: usize,
+    /// Maximum output length drawn per request (inclusive).
+    pub max_decode_tokens: usize,
+    /// Seed for the per-request output-length draw.
+    pub seed: u64,
+    /// Fixed per-iteration overhead in seconds.
+    pub token_base_s: f64,
+    /// Weight-streaming bandwidth in bytes/s: each iteration reads the
+    /// model once at this rate, shared across the whole batch.
+    pub token_bytes_per_s: f64,
+    /// Per-sequence per-iteration compute in seconds.
+    pub token_per_seq_s: f64,
+    /// Per-prompt-token prefill compute in seconds (applies once, to the
+    /// sequence's first iteration).
+    pub prefill_token_s: f64,
+}
+
+impl Default for LlmConfig {
+    fn default() -> Self {
+        LlmConfig {
+            max_batch: 8,
+            prefill_tokens: 512,
+            min_decode_tokens: 32,
+            max_decode_tokens: 128,
+            seed: 42,
+            // ~A100-class numbers: 10 µs launch floor, 1.5 TB/s effective
+            // weight bandwidth, 100 µs/seq of batched per-token compute,
+            // 20 µs per prompt token of prefill.
+            token_base_s: 1e-5,
+            token_bytes_per_s: 1.5e12,
+            token_per_seq_s: 1e-4,
+            prefill_token_s: 2e-5,
+        }
+    }
+}
+
+impl LlmConfig {
+    /// Validate invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".to_string());
+        }
+        if self.min_decode_tokens == 0 {
+            return Err("min_decode_tokens must be at least 1".to_string());
+        }
+        if self.max_decode_tokens < self.min_decode_tokens {
+            return Err(format!(
+                "max_decode_tokens {} < min_decode_tokens {}",
+                self.max_decode_tokens, self.min_decode_tokens
+            ));
+        }
+        for (name, v) in [
+            ("token_base_s", self.token_base_s),
+            ("token_bytes_per_s", self.token_bytes_per_s),
+            ("token_per_seq_s", self.token_per_seq_s),
+            ("prefill_token_s", self.prefill_token_s),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic output length for the request with this arrival
+    /// index: a splitmix64 draw in `min..=max`, so the same seed always
+    /// yields the same decode-loop lengths at any thread count.
+    pub fn decode_tokens(&self, index: u64) -> usize {
+        let span = (self.max_decode_tokens - self.min_decode_tokens + 1) as u64;
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        self.min_decode_tokens + (z % span) as usize
+    }
+
+    /// One decode iteration's wall-clock for a batch of `batch` sequences
+    /// of which `prefilling` are running their admission iteration.
+    pub fn iter_seconds(&self, model_bytes: u64, batch: usize, prefilling: usize) -> f64 {
+        self.token_base_s
+            + model_bytes as f64 / self.token_bytes_per_s
+            + batch as f64 * self.token_per_seq_s
+            + prefilling as f64 * self.prefill_tokens as f64 * self.prefill_token_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(LlmConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn decode_tokens_are_deterministic_and_in_range() {
+        let cfg = LlmConfig::default();
+        for i in 0..1000 {
+            let n = cfg.decode_tokens(i);
+            assert!(n >= cfg.min_decode_tokens && n <= cfg.max_decode_tokens);
+            assert_eq!(n, cfg.decode_tokens(i), "same index, same draw");
+        }
+        // The draw actually spreads over the range.
+        let distinct: std::collections::HashSet<_> =
+            (0..1000).map(|i| cfg.decode_tokens(i)).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn weight_sweep_is_shared_across_the_batch() {
+        let cfg = LlmConfig::default();
+        let bytes = 13_400_000_000; // ~6.7B fp16
+        let solo = cfg.iter_seconds(bytes, 1, 0);
+        let eight = cfg.iter_seconds(bytes, 8, 0);
+        // Eight sequences cost nowhere near eight solo iterations.
+        assert!(eight < 2.0 * solo, "eight {eight} vs solo {solo}");
+        // Per-token throughput improves with batching.
+        assert!(eight / 8.0 < solo);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = LlmConfig {
+            max_batch: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = LlmConfig::default();
+        c.max_decode_tokens = c.min_decode_tokens - 1;
+        assert!(c.validate().is_err());
+        let c = LlmConfig {
+            token_bytes_per_s: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

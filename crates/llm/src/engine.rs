@@ -1,0 +1,374 @@
+//! Iteration-level continuous batching over virtual time.
+//!
+//! A decode loop is a sequence of fixed-membership iterations: while the
+//! batch composition is constant, every iteration takes the same time
+//! ([`LlmConfig::iter_seconds`]), so the loop advances analytically —
+//! no per-token event queue. New sequences join at the next iteration
+//! boundary (Orca-style iteration-level scheduling): the engine commits
+//! the in-flight iteration with its old membership, admits the joiner,
+//! and re-projects every live sequence's first-token and finish times
+//! under the grown batch. The caller patches its records with the
+//! returned [`Patch`]es — times quoted earlier assumed the smaller batch
+//! and are now stale.
+//!
+//! Everything is deterministic f64 arithmetic over virtual time; the same
+//! admission sequence always produces bit-identical projections.
+
+use std::collections::HashMap;
+
+use crate::config::LlmConfig;
+
+/// One live sequence of a container's decode batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Seq {
+    /// Caller's request key (the simulator's record index).
+    req: u64,
+    /// Output tokens still to emit (each iteration emits one).
+    remaining: usize,
+    /// Whether the next iteration is this sequence's admission iteration
+    /// (and therefore pays the prefill surcharge).
+    prefilling: bool,
+    /// Committed first-token time, once the admission iteration is done.
+    first_token: Option<f64>,
+}
+
+/// Decode state of one container: the committed iteration boundary plus
+/// the live batch.
+#[derive(Debug, Clone, PartialEq)]
+struct DecodeState {
+    /// Last committed iteration boundary (virtual seconds).
+    t: f64,
+    /// Weight bytes streamed per iteration.
+    model_bytes: u64,
+    /// Live batch.
+    seqs: Vec<Seq>,
+}
+
+impl DecodeState {
+    fn prefilling(&self) -> usize {
+        self.seqs.iter().filter(|s| s.prefilling).count()
+    }
+}
+
+/// What a newly admitted sequence was quoted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission {
+    /// Iteration boundary the sequence joined at (its queueing delay
+    /// inside the container is `admitted_at - arrival`).
+    pub admitted_at: f64,
+    /// Projected first-token time (end of the prefill iteration).
+    pub first_token: f64,
+    /// Projected last-token time of this sequence.
+    pub finish: f64,
+    /// Projected last-token time across the whole batch — the
+    /// container's new `busy_until`.
+    pub batch_busy_until: f64,
+    /// Batch size right after admission.
+    pub batch_size: usize,
+}
+
+/// A revised projection for a previously admitted sequence, produced when
+/// a later join slowed its iterations down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Patch {
+    /// The sequence's request key.
+    pub req: u64,
+    /// Revised first-token time (unchanged if already committed).
+    pub first_token: f64,
+    /// Revised last-token time.
+    pub finish: f64,
+}
+
+/// The token-level scheduler: per-container decode batches advancing over
+/// virtual time with iteration-boundary admission.
+#[derive(Debug, Clone, Default)]
+pub struct TokenEngine {
+    cfg: LlmConfig,
+    states: HashMap<u64, DecodeState>,
+}
+
+impl TokenEngine {
+    /// Engine with the given workload configuration.
+    pub fn new(cfg: LlmConfig) -> Self {
+        TokenEngine {
+            cfg,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &LlmConfig {
+        &self.cfg
+    }
+
+    /// Commit every iteration of `container` ending at or before `to`.
+    fn advance(state: &mut DecodeState, cfg: &LlmConfig, to: f64) {
+        while !state.seqs.is_empty() {
+            let it = cfg.iter_seconds(state.model_bytes, state.seqs.len(), state.prefilling());
+            let end = state.t + it;
+            if end > to {
+                break;
+            }
+            Self::commit_iteration(state, end);
+        }
+    }
+
+    /// Apply one iteration ending at `end`: every sequence emits a token.
+    fn commit_iteration(state: &mut DecodeState, end: f64) {
+        for s in &mut state.seqs {
+            s.prefilling = false;
+            if s.first_token.is_none() {
+                s.first_token = Some(end);
+            }
+            s.remaining -= 1;
+        }
+        state.seqs.retain(|s| s.remaining > 0);
+        state.t = end;
+    }
+
+    /// Run a cloned state to empty, yielding `(req, first_token, finish)`
+    /// for every live sequence — exact, assuming no further joins.
+    fn project(state: &DecodeState, cfg: &LlmConfig) -> Vec<(u64, f64, f64)> {
+        let mut sim = state.clone();
+        let mut done: Vec<(u64, f64, f64)> = Vec::new();
+        while !sim.seqs.is_empty() {
+            let it = cfg.iter_seconds(sim.model_bytes, sim.seqs.len(), sim.prefilling());
+            let end = sim.t + it;
+            let before = sim.seqs.clone();
+            Self::commit_iteration(&mut sim, end);
+            for s in &before {
+                if s.remaining == 1 {
+                    let ft = s.first_token.unwrap_or(end);
+                    done.push((s.req, ft, end));
+                }
+            }
+        }
+        done
+    }
+
+    /// The live batch size of `container` at `now`, if one more sequence
+    /// may join it (advances past completed iterations first). `None`
+    /// when the container runs no decode batch or the batch is full.
+    pub fn joinable(&mut self, container: u64, now: f64) -> Option<usize> {
+        let state = self.states.get_mut(&container)?;
+        Self::advance(state, &self.cfg, now);
+        if state.seqs.is_empty() {
+            self.states.remove(&container);
+            return None;
+        }
+        let n = state.seqs.len();
+        (n < self.cfg.max_batch).then_some(n)
+    }
+
+    /// Start a fresh decode batch on `container` at `start` (a cold or
+    /// warm-but-idle container: any previous batch has drained). The
+    /// sequence emits `tokens` output tokens.
+    pub fn begin(
+        &mut self,
+        container: u64,
+        model_bytes: u64,
+        start: f64,
+        req: u64,
+        tokens: usize,
+    ) -> Admission {
+        self.states.insert(
+            container,
+            DecodeState {
+                t: start,
+                model_bytes,
+                seqs: Vec::new(),
+            },
+        );
+        let (adm, patches) = self.admit_at(container, start, req, tokens);
+        debug_assert!(patches.is_empty());
+        adm
+    }
+
+    /// Join `container`'s running batch at the next iteration boundary
+    /// after `now`. The caller must have checked [`TokenEngine::joinable`].
+    /// Returns the admission quote plus revised projections for every
+    /// other live sequence.
+    pub fn join(
+        &mut self,
+        container: u64,
+        now: f64,
+        req: u64,
+        tokens: usize,
+    ) -> (Admission, Vec<Patch>) {
+        let state = self.states.get_mut(&container).expect("joinable batch");
+        Self::advance(state, &self.cfg, now);
+        // The join boundary: the end of the in-flight iteration — or `now`
+        // (resp. the batch's future start) when no iteration is running.
+        let boundary = if state.seqs.is_empty() || state.t >= now {
+            state.t.max(now)
+        } else {
+            let it = self
+                .cfg
+                .iter_seconds(state.model_bytes, state.seqs.len(), state.prefilling());
+            state.t + it
+        };
+        self.admit_at(container, boundary, req, tokens)
+    }
+
+    /// Shared admission tail: commit up to `boundary`, push the sequence,
+    /// re-project the grown batch.
+    fn admit_at(
+        &mut self,
+        container: u64,
+        boundary: f64,
+        req: u64,
+        tokens: usize,
+    ) -> (Admission, Vec<Patch>) {
+        let state = self.states.get_mut(&container).expect("decode state");
+        Self::advance(state, &self.cfg, boundary);
+        if state.seqs.is_empty() {
+            state.t = state.t.max(boundary);
+        }
+        debug_assert!(tokens > 0, "a decode loop emits at least one token");
+        state.seqs.push(Seq {
+            req,
+            remaining: tokens,
+            prefilling: true,
+            first_token: None,
+        });
+        let batch_size = state.seqs.len();
+        let projected = Self::project(state, &self.cfg);
+        let batch_busy_until = projected
+            .iter()
+            .map(|&(_, _, f)| f)
+            .fold(boundary, f64::max);
+        let mut admission = None;
+        let mut patches = Vec::new();
+        for (r, ft, fin) in projected {
+            if r == req {
+                admission = Some(Admission {
+                    admitted_at: boundary,
+                    first_token: ft,
+                    finish: fin,
+                    batch_busy_until,
+                    batch_size,
+                });
+            } else {
+                patches.push(Patch {
+                    req: r,
+                    first_token: ft,
+                    finish: fin,
+                });
+            }
+        }
+        (admission.expect("admitted sequence projects"), patches)
+    }
+
+    /// Drop `container`'s decode state (the container was killed or
+    /// repurposed to a non-LLM function).
+    pub fn forget(&mut self, container: u64) {
+        self.states.remove(&container);
+    }
+
+    /// Number of containers with live decode state.
+    pub fn active_containers(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LlmConfig {
+        LlmConfig {
+            max_batch: 4,
+            prefill_tokens: 100,
+            min_decode_tokens: 4,
+            max_decode_tokens: 4,
+            seed: 1,
+            token_base_s: 0.001,
+            token_bytes_per_s: 1e9,
+            token_per_seq_s: 0.001,
+            prefill_token_s: 0.0001,
+        }
+    }
+
+    #[test]
+    fn solo_decode_times_are_analytic() {
+        let c = cfg();
+        let mut e = TokenEngine::new(c);
+        // model 1e9 B → 1 s sweep; batch 1 → iter = 0.001 + 1.0 + 0.001
+        // = 1.002 s; prefill adds 100 × 0.0001 = 0.01 s to iteration 1.
+        let adm = e.begin(7, 1_000_000_000, 10.0, 0, 4);
+        assert_eq!(adm.admitted_at, 10.0);
+        assert!((adm.first_token - (10.0 + 1.012)).abs() < 1e-9);
+        assert!((adm.finish - (10.0 + 1.012 + 3.0 * 1.002)).abs() < 1e-9);
+        assert_eq!(adm.batch_busy_until, adm.finish);
+        assert_eq!(adm.batch_size, 1);
+    }
+
+    #[test]
+    fn join_waits_for_the_iteration_boundary_and_patches() {
+        let c = cfg();
+        let mut e = TokenEngine::new(c);
+        let first = e.begin(1, 1_000_000_000, 0.0, 0, 4);
+        // Join mid-first-iteration (t = 0.5; iteration 1 ends at 1.012).
+        assert_eq!(e.joinable(1, 0.5), Some(1));
+        let (second, patches) = e.join(1, 0.5, 1, 4);
+        assert!((second.admitted_at - 1.012).abs() < 1e-9);
+        assert_eq!(second.batch_size, 2);
+        // The first sequence's remaining iterations slowed down.
+        assert_eq!(patches.len(), 1);
+        assert_eq!(patches[0].req, 0);
+        assert!(patches[0].finish > first.finish);
+        // Its committed first token is NOT rewritten.
+        assert!((patches[0].first_token - first.first_token).abs() < 1e-9);
+        // Batched iterations beat two sequential solo loops.
+        let sequential = 2.0 * (first.finish - first.admitted_at);
+        assert!(second.batch_busy_until < sequential);
+    }
+
+    #[test]
+    fn batch_cap_blocks_joins() {
+        let c = cfg();
+        let mut e = TokenEngine::new(c);
+        e.begin(1, 1000, 0.0, 0, 4);
+        for r in 1..4 {
+            assert!(e.joinable(1, 0.0).is_some());
+            e.join(1, 0.0, r, 4);
+        }
+        assert_eq!(e.joinable(1, 0.0), None, "batch full");
+    }
+
+    #[test]
+    fn drained_batches_are_not_joinable() {
+        let c = cfg();
+        let mut e = TokenEngine::new(c);
+        let adm = e.begin(1, 1000, 0.0, 0, 4);
+        assert!(e.joinable(1, adm.finish - 1e-6).is_some());
+        assert_eq!(e.joinable(1, adm.finish + 1e-6), None, "loop drained");
+        assert_eq!(e.active_containers(), 0, "state reclaimed");
+    }
+
+    #[test]
+    fn same_boundary_joins_share_the_prefill_iteration() {
+        let c = cfg();
+        let mut e = TokenEngine::new(c);
+        // Batch starts in the future (cold load finishing at t = 5).
+        e.begin(1, 1_000_000_000, 5.0, 0, 4);
+        // A request arriving during the load joins the FIRST iteration.
+        let (adm, _) = e.join(1, 2.0, 1, 4);
+        assert_eq!(adm.admitted_at, 5.0);
+        // Both prefill in iteration 1: iter = 0.001 + 1.0 + 2·0.001 +
+        // 2·0.01 = 1.023; identical first token for both.
+        assert!((adm.first_token - 6.023).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projections_are_deterministic() {
+        let run = || {
+            let mut e = TokenEngine::new(cfg());
+            let a = e.begin(1, 123_456_789, 0.0, 0, 4);
+            let (b, p) = e.join(1, 0.4, 1, 3);
+            let (c, q) = e.join(1, 0.9, 2, 2);
+            (a, b, c, p, q)
+        };
+        assert_eq!(run(), run());
+    }
+}

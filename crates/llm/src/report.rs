@@ -1,0 +1,90 @@
+//! Aggregated token-level serving statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one simulation's decode workload, attached to the sim
+/// report under the `llm` key (omitted entirely when the workload is
+/// disabled, keeping legacy output byte-identical).
+///
+/// Time-to-first-token (TTFT) is the LLM-serving latency metric that
+/// replaces service time: arrival → the end of the request's prefill
+/// iteration, *after* all continuous-batching repricings — a join that
+/// slows earlier sequences down is charged to their TTFT, not hidden.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LlmReport {
+    /// Decode loops served.
+    pub requests: u64,
+    /// Requests that joined a running batch at an iteration boundary
+    /// (the continuous-batching hit rate is `joins / requests`).
+    pub joins: u64,
+    /// Output tokens emitted across all loops.
+    pub tokens: u64,
+    /// Largest batch any iteration ran.
+    pub peak_batch: u64,
+    /// Mean time-to-first-token in seconds.
+    pub ttft_mean: f64,
+    /// Median TTFT.
+    pub ttft_p50: f64,
+    /// 95th-percentile TTFT.
+    pub ttft_p95: f64,
+    /// 99th-percentile TTFT.
+    pub ttft_p99: f64,
+    /// Worst TTFT.
+    pub ttft_max: f64,
+}
+
+impl LlmReport {
+    /// Build the summary from final (post-patching) per-request TTFTs.
+    pub fn summarize(
+        requests: u64,
+        joins: u64,
+        tokens: u64,
+        peak_batch: u64,
+        ttfts: &[f64],
+    ) -> Self {
+        let mean = if ttfts.is_empty() {
+            0.0
+        } else {
+            ttfts.iter().sum::<f64>() / ttfts.len() as f64
+        };
+        LlmReport {
+            requests,
+            joins,
+            tokens,
+            peak_batch,
+            ttft_mean: mean,
+            ttft_p50: optimus_telemetry::exact_percentile(ttfts, 50.0),
+            ttft_p95: optimus_telemetry::exact_percentile(ttfts, 95.0),
+            ttft_p99: optimus_telemetry::exact_percentile(ttfts, 99.0),
+            ttft_max: optimus_telemetry::exact_percentile(ttfts, 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let ttfts: Vec<f64> = (1..=200).map(|i| i as f64 / 100.0).collect();
+        let r = LlmReport::summarize(200, 60, 12_000, 8, &ttfts);
+        assert!(r.ttft_p50 <= r.ttft_p95);
+        assert!(r.ttft_p95 <= r.ttft_p99);
+        assert!(r.ttft_p99 <= r.ttft_max);
+        assert_eq!(r.ttft_max, 2.0);
+        assert!((r.ttft_mean - 1.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_workload_summarizes_to_zeros() {
+        assert_eq!(LlmReport::summarize(0, 0, 0, 0, &[]), LlmReport::default());
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = LlmReport::summarize(10, 3, 640, 4, &[0.5, 1.0, 1.5]);
+        let back: LlmReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

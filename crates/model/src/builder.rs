@@ -61,6 +61,17 @@ impl GraphBuilder {
         self
     }
 
+    /// Derive the weight seed stream from `group` instead of the model
+    /// name. Models built in the same group (with the same variant salt)
+    /// produce identical tensor content op-for-op wherever their shapes
+    /// agree — the weight sharing between size/context siblings that
+    /// inter-model transformation exploits. By default the group is the
+    /// model name, i.e. no cross-model sharing.
+    pub fn seed_group(mut self, group: impl AsRef<[u8]>) -> Self {
+        self.seed_base = fnv1a(group.as_ref());
+        self
+    }
+
     fn next_seed(&mut self) -> u64 {
         self.op_counter += 1;
         self.seed_base

@@ -1,0 +1,188 @@
+//! KV-cache state of decoder-style (causal-attention) models.
+//!
+//! A GPT-style decoder serving a request is not stateless between tokens:
+//! every attention layer keeps the keys and values of all previously
+//! processed positions — the **KV cache** — so decoding token `t+1` costs
+//! one position of attention instead of re-running the whole prefix. For
+//! inter-function transformation this matters because a transform between
+//! decoder siblings (same weights modulo context length / head layout)
+//! can *carry* the attention state across instead of dropping it, the
+//! same way it carries weight tensors (per the `resize_kv_cache` stage in
+//! TensorRT-LLM's auto-deploy pipeline; see SNIPPETS.md).
+//!
+//! [`KvCacheSpec`] is the shape side: `layers × 2 (K and V) × heads ×
+//! context × head_dim` elements. [`KvCache`] adds the dynamic fill level
+//! (how many positions hold live state). The meta-operators that move a
+//! cache between sibling shapes live in `optimus-core::kv`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::ModelGraph;
+use crate::op::OpAttrs;
+
+/// Bytes per cached element (fp16 activations, the serving default).
+pub const KV_ELEMENT_BYTES: u64 = 2;
+
+/// Shape of a decoder's KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KvCacheSpec {
+    /// Attention layers holding a K and a V tensor each.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Per-head dimension (`d_model / heads`).
+    pub head_dim: usize,
+    /// Maximum context length (cached positions).
+    pub context: usize,
+    /// Bytes per element (see [`KV_ELEMENT_BYTES`]).
+    pub element_bytes: u64,
+}
+
+impl KvCacheSpec {
+    /// Spec with the serving-default element width.
+    pub fn new(layers: usize, heads: usize, head_dim: usize, context: usize) -> Self {
+        KvCacheSpec {
+            layers,
+            heads,
+            head_dim,
+            context,
+            element_bytes: KV_ELEMENT_BYTES,
+        }
+    }
+
+    /// Derive the KV-cache spec of a decoder graph: one (K, V) pair per
+    /// attention layer, head layout from the `Query` projections, context
+    /// from the positional embedding. Returns `None` for graphs without
+    /// attention (CNNs) or without a positional embedding.
+    pub fn of_model(model: &ModelGraph) -> Option<KvCacheSpec> {
+        let mut layers = 0usize;
+        let mut heads = 0usize;
+        let mut hidden = 0usize;
+        let mut context = 0usize;
+        for (_, op) in model.ops() {
+            match op.attrs {
+                OpAttrs::Query {
+                    hidden: h,
+                    heads: n,
+                } => {
+                    layers += 1;
+                    heads = n;
+                    hidden = h;
+                }
+                OpAttrs::PosEmbedding { max_len, .. } => context = context.max(max_len),
+                _ => {}
+            }
+        }
+        if layers == 0 || heads == 0 || context == 0 || !hidden.is_multiple_of(heads) {
+            return None;
+        }
+        Some(KvCacheSpec::new(layers, heads, hidden / heads, context))
+    }
+
+    /// `d_model` implied by the head layout.
+    pub fn hidden(&self) -> usize {
+        self.heads * self.head_dim
+    }
+
+    /// Cached elements at full context: `layers × 2 × heads × context ×
+    /// head_dim` (K and V).
+    pub fn element_count(&self) -> u64 {
+        2 * self.layers as u64 * self.heads as u64 * self.context as u64 * self.head_dim as u64
+    }
+
+    /// Total cache bytes at full context.
+    pub fn byte_size(&self) -> u64 {
+        self.element_count() * self.element_bytes
+    }
+
+    /// Bytes held by `positions` filled context slots (≤ full context).
+    pub fn bytes_at(&self, positions: usize) -> u64 {
+        let p = positions.min(self.context) as u64;
+        2 * self.layers as u64 * self.heads as u64 * p * self.head_dim as u64 * self.element_bytes
+    }
+
+    /// Whether a per-position state row is layout-compatible with
+    /// `other`'s (same layers and same `d_model` split): exactly the
+    /// pairs whose caches a transform can carry without recomputation.
+    pub fn row_compatible(&self, other: &KvCacheSpec) -> bool {
+        self.layers == other.layers
+            && self.hidden() == other.hidden()
+            && self.element_bytes == other.element_bytes
+    }
+}
+
+/// A KV cache instance: a spec plus its fill level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KvCache {
+    /// Shape of the cache.
+    pub spec: KvCacheSpec,
+    /// Context positions currently holding live state (≤ `spec.context`).
+    pub filled: usize,
+}
+
+impl KvCache {
+    /// Empty cache of the given shape.
+    pub fn empty(spec: KvCacheSpec) -> Self {
+        KvCache { spec, filled: 0 }
+    }
+
+    /// Cache with `filled` live positions (clamped to the context).
+    pub fn filled(spec: KvCacheSpec, filled: usize) -> Self {
+        KvCache {
+            spec,
+            filled: filled.min(spec.context),
+        }
+    }
+
+    /// Bytes of live state.
+    pub fn live_bytes(&self) -> u64 {
+        self.spec.bytes_at(self.filled)
+    }
+
+    /// Bytes reserved for the full context window.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.spec.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_counts_k_and_v() {
+        let spec = KvCacheSpec::new(2, 4, 8, 16);
+        // 2 layers × 2 (K,V) × 4 heads × 16 ctx × 8 dim × 2 B.
+        assert_eq!(spec.element_count(), 2 * 2 * 4 * 16 * 8);
+        assert_eq!(spec.byte_size(), spec.element_count() * KV_ELEMENT_BYTES);
+        assert_eq!(spec.hidden(), 32);
+    }
+
+    #[test]
+    fn bytes_at_clamps_to_context() {
+        let spec = KvCacheSpec::new(1, 2, 4, 8);
+        assert_eq!(spec.bytes_at(0), 0);
+        assert_eq!(spec.bytes_at(8), spec.byte_size());
+        assert_eq!(spec.bytes_at(100), spec.byte_size());
+        assert_eq!(spec.bytes_at(4) * 2, spec.byte_size());
+    }
+
+    #[test]
+    fn row_compatibility_is_head_layout_invariant() {
+        let a = KvCacheSpec::new(4, 8, 64, 1024);
+        let b = KvCacheSpec::new(4, 16, 32, 2048); // same d_model, re-split
+        let c = KvCacheSpec::new(4, 8, 32, 1024); // smaller d_model
+        assert!(a.row_compatible(&b));
+        assert!(!a.row_compatible(&c));
+    }
+
+    #[test]
+    fn cache_tracks_fill_level() {
+        let spec = KvCacheSpec::new(2, 2, 4, 8);
+        let c = KvCache::filled(spec, 3);
+        assert_eq!(c.live_bytes(), spec.bytes_at(3));
+        assert!(c.live_bytes() < c.reserved_bytes());
+        assert_eq!(KvCache::empty(spec).live_bytes(), 0);
+        assert_eq!(KvCache::filled(spec, 99).filled, 8);
+    }
+}

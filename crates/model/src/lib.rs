@@ -38,6 +38,7 @@ mod builder;
 mod error;
 mod graph;
 mod intern;
+mod kv;
 mod op;
 mod shape;
 mod stats;
@@ -53,6 +54,7 @@ pub use builder::GraphBuilder;
 pub use error::ModelError;
 pub use graph::{Edge, ModelGraph, OpId};
 pub use intern::{FunctionId, InternKey, Interner, ModelId};
+pub use kv::{KvCache, KvCacheSpec, KV_ELEMENT_BYTES};
 pub use op::{Activation, OpAttrs, OpKind, Operation, Padding, PoolKind};
 pub use shape::TensorShape;
 pub use stats::{ModelStats, OpHistogram};
@@ -78,6 +80,8 @@ pub enum ModelFamily {
     Inception,
     /// BERT transformer encoders.
     Bert,
+    /// GPT-style causal decoder transformers.
+    Gpt,
     /// NAS-Bench-201 cell-search-space models.
     NasBench,
     /// Anything else (hand-built or test models).
@@ -91,7 +95,7 @@ impl ModelFamily {
     /// cost more than loading from scratch, so the safeguard rejects them;
     /// this predicate lets schedulers short-circuit that case.
     pub fn is_transformer(self) -> bool {
-        matches!(self, ModelFamily::Bert)
+        matches!(self, ModelFamily::Bert | ModelFamily::Gpt)
     }
 
     /// Human-readable family name.
@@ -104,6 +108,7 @@ impl ModelFamily {
             ModelFamily::Xception => "Xception",
             ModelFamily::Inception => "Inception",
             ModelFamily::Bert => "BERT",
+            ModelFamily::Gpt => "GPT",
             ModelFamily::NasBench => "NASBench",
             ModelFamily::Custom => "Custom",
         }

@@ -180,6 +180,14 @@ impl Predictor {
         &self.config
     }
 
+    /// Number of per-function slots currently tracked. Equals the
+    /// `functions` the predictor was created with unless observations
+    /// grew the table past it — a restored snapshot is only compatible
+    /// with a catalog of the same size.
+    pub fn functions(&self) -> usize {
+        self.funcs.len()
+    }
+
     fn ensure(&mut self, f: usize) {
         if f >= self.funcs.len() {
             self.funcs.resize_with(f + 1, FuncState::new);

@@ -64,6 +64,38 @@ pub struct InferenceResponse {
     pub batch_size: usize,
 }
 
+/// A completed decode loop (`Gateway::submit_decode` /
+/// `Gateway::poll_decode`).
+///
+/// The live engine executes the *prefill* forward pass for real — it
+/// rides the ordinary submit/poll machinery, so admission control,
+/// routing, faults, retries, transformation and store accounting are all
+/// identical to single-shot inference — and prices the remaining decode
+/// iterations with the same [`optimus_llm::LlmConfig`] cost model the
+/// simulator uses, at the batch size the prefill was actually served in.
+#[derive(Debug, Clone)]
+pub struct DecodeResponse {
+    /// The measured prefill pass (first token). Its wait/startup/compute
+    /// breakdown and start kind are exactly an [`InferenceResponse`]'s.
+    pub prefill: InferenceResponse,
+    /// Output tokens of this decode loop (deterministic per-request draw,
+    /// [`optimus_llm::LlmConfig::decode_tokens`]).
+    pub tokens: u64,
+    /// Time-to-first-token: the measured wait + startup + prefill
+    /// compute, in seconds.
+    pub ttft_seconds: f64,
+    /// Modeled wall-clock of the remaining `tokens - 1` decode
+    /// iterations, in seconds.
+    pub decode_seconds: f64,
+}
+
+impl DecodeResponse {
+    /// TTFT plus the modeled decode tail: arrival → last token.
+    pub fn total_seconds(&self) -> f64 {
+        self.ttft_seconds + self.decode_seconds
+    }
+}
+
 /// Serving errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {

@@ -11,14 +11,16 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, TrySend
 use optimus_balance::failover_node;
 use optimus_core::{GroupPlanner, ModelRepository, PlanArtifact};
 use optimus_faults::{FaultInjector, FaultPlan, RequestFaults, RetryPolicy};
+use optimus_llm::LlmConfig;
 use optimus_model::tensor::Tensor;
 use optimus_model::{InternKey, ModelGraph, ModelId};
+use optimus_predict::Predictor;
 use optimus_profile::CostModel;
 use optimus_store::{model_chunks, ChunkId, ChunkRef, StoreStats};
 use optimus_telemetry::{Counter, FanoutSink, Gauge, MetricsRegistry, MetricsSink, TelemetrySink};
 use parking_lot::{Mutex, RwLock};
 
-use crate::api::{GatewayConfig, InferenceResponse, ServeError};
+use crate::api::{DecodeResponse, GatewayConfig, InferenceResponse, ServeError};
 use crate::predict::PredictShared;
 use crate::worker::{run_worker, ControlItem, InferItem};
 
@@ -46,6 +48,8 @@ pub struct GatewayBuilder {
     metrics: Arc<MetricsRegistry>,
     extra_sinks: Vec<Arc<dyn TelemetrySink>>,
     plan_cache_path: Option<PathBuf>,
+    predict_state_path: Option<PathBuf>,
+    llm: LlmConfig,
 }
 
 impl GatewayBuilder {
@@ -64,13 +68,100 @@ impl GatewayBuilder {
         self
     }
 
+    /// Persist `optimus-predict` state at `path`: the predictor snapshot
+    /// (learned inter-arrival histograms and adaptive keep-alive state)
+    /// is written on gateway shutdown and restored on the next spawn, so
+    /// windows learned over hours of traffic survive a restart instead
+    /// of re-warming from the global default. Snapshots carry their
+    /// `PredictConfig`; one taken under different knobs or a different
+    /// catalog size is ignored and prediction starts cold. No-op unless
+    /// [`GatewayConfig::predict`] is set.
+    pub fn predict_state_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.predict_state_path = Some(path.into());
+        self
+    }
+
+    /// Override the token-level decode cost model used by
+    /// [`Gateway::submit_decode`] (iteration pricing, output-length
+    /// distribution). The default [`LlmConfig`] matches the simulator's.
+    ///
+    /// # Panics
+    ///
+    /// When the config fails [`LlmConfig::validate`].
+    pub fn llm_config(mut self, config: LlmConfig) -> Self {
+        config.validate().expect("llm config must be valid");
+        self.llm = config;
+        self
+    }
+
+    /// The on-disk artifact at `plan_cache_path`, if present and
+    /// compatible.
+    fn load_plan_artifact(&self) -> Option<PlanArtifact> {
+        let path = self.plan_cache_path.as_deref()?;
+        let json = std::fs::read_to_string(path).ok()?;
+        PlanArtifact::from_json(&json).ok()
+    }
+
+    /// Rewrite the plan-cache file from the repository's current plan
+    /// cache. Entries already on disk that this process has not
+    /// (re-)planned yet are kept ([`PlanArtifact::merge_from`]) —
+    /// incremental registrations must not erase plans whose partner
+    /// model simply has not been registered *yet*. Garbage collection
+    /// against the catalog runs only with `gc` set, i.e. from
+    /// [`GatewayBuilder::spawn`] once the catalog is final: entries
+    /// whose (src, dst) hashes no longer appear in the registered
+    /// catalog are dropped ([`PlanArtifact::gc`]), so the file cannot
+    /// grow monotonically across deployments that rotate their
+    /// catalogs. Best-effort: a full disk must not stop serving, and
+    /// write-then-rename keeps a crash mid-write from truncating the
+    /// old artifact.
+    fn persist_plan_artifact(&self, gc: bool) {
+        let Some(path) = self.plan_cache_path.as_deref() else {
+            return;
+        };
+        let mut artifact = self.repo.export_plan_artifact();
+        if let Some(disk) = self.load_plan_artifact() {
+            artifact.merge_from(&disk);
+        }
+        if gc {
+            let dropped = artifact.gc(&self.repo.catalog_hashes());
+            if dropped > 0 {
+                self.metrics
+                    .counter("optimus_plan_cache_gc_entries_total", &[])
+                    .add(dropped as u64);
+            }
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, artifact.to_json()).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+
     /// Register a model; plans against previously registered models are
-    /// computed and cached immediately (§4.4 Module 3).
-    pub fn register(self, model: ModelGraph) -> Self {
-        let mut names = self.names;
-        names.push(model.name().to_string());
-        self.repo.register(model, &self.cost);
-        GatewayBuilder { names, ..self }
+    /// computed and cached immediately (§4.4 Module 3). With
+    /// [`GatewayBuilder::plan_cache_path`] set, the persisted artifact is
+    /// probed for each (src, dst) pair before invoking the planner and
+    /// rewritten afterwards — single-model registrations persist exactly
+    /// like [`GatewayBuilder::register_all`], so a catalog grown one
+    /// model at a time also survives restarts.
+    pub fn register(mut self, model: ModelGraph) -> Self {
+        self.names.push(model.name().to_string());
+        match self.load_plan_artifact() {
+            Some(artifact) => {
+                let t0 = Instant::now();
+                self.repo
+                    .register_with_artifact(model, &self.cost, &artifact);
+                self.metrics
+                    .histogram("optimus_plan_cache_load_seconds", &[])
+                    .observe(t0.elapsed().as_secs_f64());
+            }
+            None => self.repo.register(model, &self.cost),
+        }
+        self.persist_plan_artifact(false);
+        self
     }
 
     /// Register a whole catalog at once, fanning the offline pairwise
@@ -79,15 +170,10 @@ impl GatewayBuilder {
     /// cache as chained [`GatewayBuilder::register`] calls, but the
     /// full-catalog warmup scales with available cores and the repository
     /// lock is held only to snapshot and install.
-    pub fn register_all(self, models: Vec<ModelGraph>) -> Self {
-        let mut names = self.names;
-        names.extend(models.iter().map(|m| m.name().to_string()));
-        let warm = self
-            .plan_cache_path
-            .as_deref()
-            .and_then(|p| std::fs::read_to_string(p).ok())
-            .and_then(|json| PlanArtifact::from_json(&json).ok());
-        match warm {
+    pub fn register_all(mut self, models: Vec<ModelGraph>) -> Self {
+        self.names
+            .extend(models.iter().map(|m| m.name().to_string()));
+        match self.load_plan_artifact() {
             Some(artifact) => {
                 let t0 = Instant::now();
                 self.repo
@@ -98,19 +184,8 @@ impl GatewayBuilder {
             }
             None => self.repo.register_all(models, &self.cost),
         }
-        if let Some(path) = self.plan_cache_path.as_deref() {
-            // Best-effort persistence: a full disk must not stop serving.
-            // Write-then-rename so a crash mid-write leaves the old
-            // artifact intact instead of a truncated one.
-            if let Some(parent) = path.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            let tmp = path.with_extension("tmp");
-            if std::fs::write(&tmp, self.repo.export_plan_artifact().to_json()).is_ok() {
-                let _ = std::fs::rename(&tmp, path);
-            }
-        }
-        GatewayBuilder { names, ..self }
+        self.persist_plan_artifact(false);
+        self
     }
 
     /// Record all telemetry (request counters, phase histograms, plan-cache
@@ -156,6 +231,10 @@ impl GatewayBuilder {
     /// client-facing name is resolved to an id exactly once per request.
     pub fn spawn(self) -> Gateway {
         self.repo.set_metrics_registry(&self.metrics);
+        // The catalog is final now: drop persisted plans whose endpoints
+        // are no longer registered (counted in
+        // `optimus_plan_cache_gc_entries_total`).
+        self.persist_plan_artifact(true);
         let mut sinks: Vec<Arc<dyn TelemetrySink>> =
             vec![Arc::new(MetricsSink::new(self.metrics.clone()))];
         sinks.extend(self.extra_sinks);
@@ -183,11 +262,22 @@ impl GatewayBuilder {
                         .unwrap_or_else(|| format!("model#{i}"))
                 })
                 .collect();
+            // Restore the previous process's predictor snapshot, if one
+            // was persisted and still matches: a snapshot taken under
+            // different knobs or a different catalog size is ignored and
+            // prediction starts cold.
+            let restored = self
+                .predict_state_path
+                .as_deref()
+                .and_then(|p| std::fs::read_to_string(p).ok())
+                .and_then(|json| serde_json::from_str::<Predictor>(&json).ok())
+                .filter(|p| p.config() == &pc && p.functions() == names.len());
             Arc::new(PredictShared::new(
                 pc,
                 self.config.keep_alive,
                 &names,
                 &self.metrics,
+                restored,
             ))
         });
         let mut senders = Vec::new();
@@ -274,6 +364,9 @@ impl GatewayBuilder {
             sink,
             store_stats,
             predict,
+            predict_state_path: self.predict_state_path,
+            llm: self.llm,
+            decode_seq: AtomicU64::new(0),
         }
     }
 }
@@ -361,6 +454,16 @@ pub struct Gateway {
     /// Arrival predictor shared with the workers (`None`: prediction
     /// off). The gateway feeds it every admitted request.
     predict: Option<Arc<PredictShared>>,
+    /// Where the predictor snapshot is persisted on shutdown (`None`:
+    /// state is not persisted).
+    predict_state_path: Option<PathBuf>,
+    /// Token-level decode cost model applied by
+    /// [`Gateway::submit_decode`].
+    llm: LlmConfig,
+    /// Monotone decode counter — the deterministic output-length draw
+    /// index ([`LlmConfig::decode_tokens`]), separate from `seq` so
+    /// decode traffic does not perturb fault draws.
+    decode_seq: AtomicU64,
 }
 
 impl Gateway {
@@ -383,6 +486,8 @@ impl Gateway {
             metrics: optimus_telemetry::global(),
             extra_sinks: Vec::new(),
             plan_cache_path: None,
+            predict_state_path: None,
+            llm: LlmConfig::default(),
         }
     }
 
@@ -614,6 +719,60 @@ impl Gateway {
         }
     }
 
+    /// Submit a decode loop: token-level LLM serving behind the existing
+    /// submit/poll machinery. The request is admitted, routed and served
+    /// exactly like [`Gateway::submit`] — the real forward pass it runs
+    /// is the loop's *prefill* — while the output length is drawn
+    /// deterministically from the [`LlmConfig`]
+    /// ([`GatewayBuilder::llm_config`]) and the decode tail is priced by
+    /// the same iteration cost model the simulator uses. Poll the result
+    /// with [`Gateway::poll_decode`].
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`Gateway::submit`].
+    pub fn submit_decode(&self, model: &str, input: Tensor) -> Result<PendingDecode, ServeError> {
+        let model_bytes = self
+            .repo
+            .model(model)
+            .map(|m| m.byte_size() as u64)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let tokens = self
+            .llm
+            .decode_tokens(self.decode_seq.fetch_add(1, Ordering::Relaxed));
+        let inner = self.submit(model, input)?;
+        Ok(PendingDecode {
+            inner,
+            tokens,
+            model_bytes,
+        })
+    }
+
+    /// Drive a [`PendingDecode`] forward without blocking, with the same
+    /// retry semantics as [`Gateway::poll`]. Once the prefill finishes,
+    /// the decode tail is priced at the batch size the prefill was
+    /// actually served in (a same-model batch shares each iteration's
+    /// weight sweep, capped at the config's `max_batch`).
+    pub fn poll_decode(
+        &self,
+        pending: &mut PendingDecode,
+    ) -> Option<Result<DecodeResponse, ServeError>> {
+        let result = self.poll(&mut pending.inner)?;
+        Some(result.map(|prefill| {
+            let batch = prefill.batch_size.clamp(1, self.llm.max_batch);
+            let ttft = prefill.wait_seconds + prefill.startup_seconds + prefill.compute_seconds;
+            let decode_iters = pending.tokens.saturating_sub(1);
+            let decode_seconds =
+                decode_iters as f64 * self.llm.iter_seconds(pending.model_bytes, batch, 0);
+            DecodeResponse {
+                prefill,
+                tokens: pending.tokens as u64,
+                ttft_seconds: ttft,
+                decode_seconds,
+            }
+        }))
+    }
+
     fn mark_down(&self, node: usize) {
         self.down_until.lock()[node] = Instant::now() + self.recovery;
         self.node_healthy.lock()[node].set(0.0);
@@ -827,6 +986,19 @@ enum PendingState {
     Backoff { until: Instant },
 }
 
+/// An in-flight decode loop created by [`Gateway::submit_decode`] and
+/// driven by [`Gateway::poll_decode`]: the prefill rides an ordinary
+/// [`PendingInference`], plus the already-drawn output length and the
+/// model size the decode tail is priced from.
+pub struct PendingDecode {
+    inner: PendingInference,
+    /// Output tokens drawn for this loop at submission.
+    tokens: usize,
+    /// Registered model weight bytes (each decode iteration streams them
+    /// once).
+    model_bytes: u64,
+}
+
 impl Drop for Gateway {
     fn drop(&mut self) {
         self.workers.write().clear(); // closes the channels
@@ -834,5 +1006,20 @@ impl Drop for Gateway {
             let _ = h.join();
         }
         self.sink.flush();
+        // Persist the predictor snapshot after the workers have joined,
+        // so it includes every admitted request. Best-effort, with the
+        // same write-then-rename discipline as the plan cache.
+        if let (Some(path), Some(ps)) = (self.predict_state_path.as_deref(), &self.predict) {
+            let json = ps.export_json();
+            if !json.is_empty() {
+                if let Some(parent) = path.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                let tmp = path.with_extension("tmp");
+                if std::fs::write(&tmp, json).is_ok() {
+                    let _ = std::fs::rename(&tmp, path);
+                }
+            }
+        }
     }
 }

@@ -51,8 +51,10 @@ pub mod parser;
 mod predict;
 mod worker;
 
-pub use api::{GatewayConfig, InferenceResponse, ServeError, ServedStart, ServingConfig};
-pub use gateway::{Gateway, GatewayBuilder, InferenceResult, PendingInference};
+pub use api::{
+    DecodeResponse, GatewayConfig, InferenceResponse, ServeError, ServedStart, ServingConfig,
+};
+pub use gateway::{Gateway, GatewayBuilder, InferenceResult, PendingDecode, PendingInference};
 pub use http::{FrontendMode, HttpConfig, HttpServer};
 
 // Re-exported so serving deployments can configure and read the weight
@@ -71,3 +73,8 @@ pub use optimus_faults::{FaultSpec, RetryPolicy};
 // keep-alive + speculative transformation) without depending on
 // `optimus-predict` directly.
 pub use optimus_predict::{PredictConfig, SpeculationConfig};
+
+// Re-exported so deployments can tune the token-level decode cost model
+// ([`GatewayBuilder::llm_config`]) without depending on `optimus-llm`
+// directly.
+pub use optimus_llm::LlmConfig;

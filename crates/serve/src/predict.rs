@@ -40,29 +40,37 @@ pub(crate) struct PredictShared {
 
 impl PredictShared {
     /// `model_names` is dense by interned id index; the catalog is fixed
-    /// once the gateway spawns.
+    /// once the gateway spawns. `restored` seeds the predictor with a
+    /// snapshot from a previous process (see
+    /// `GatewayBuilder::predict_state_path`): learned inter-arrival
+    /// histograms apply immediately, so the adaptive keep-alive windows
+    /// computed from them do too — the caller must have checked the
+    /// snapshot against the current config and catalog size.
     pub fn new(
         config: PredictConfig,
         default_keep_alive: f64,
         model_names: &[String],
         metrics: &MetricsRegistry,
+        restored: Option<Predictor>,
     ) -> Self {
-        let windows = model_names
+        let predictor = restored.unwrap_or_else(|| Predictor::new(config, model_names.len()));
+        let windows: Vec<AtomicU64> = model_names
             .iter()
-            .map(|_| AtomicU64::new(default_keep_alive.to_bits()))
+            .enumerate()
+            .map(|(idx, _)| AtomicU64::new(predictor.keep_alive(idx, default_keep_alive).to_bits()))
             .collect();
         let window_gauges: Vec<Gauge> = model_names
             .iter()
             .map(|name| metrics.gauge("optimus_predict_keep_alive_seconds", &[("model", name)]))
             .collect();
-        for g in &window_gauges {
-            g.set(default_keep_alive);
+        for (g, w) in window_gauges.iter().zip(&windows) {
+            g.set(f64::from_bits(w.load(Ordering::Relaxed)));
         }
         PredictShared {
             config,
             default_keep_alive,
             epoch: Instant::now(),
-            predictor: Mutex::new(Predictor::new(config, model_names.len())),
+            predictor: Mutex::new(predictor),
             windows,
             window_gauges,
             observed: metrics.counter("optimus_predict_observed_total", &[]),
@@ -133,5 +141,15 @@ impl PredictShared {
         self.predictor
             .lock()
             .predicted_arrivals(self.now(), horizon)
+    }
+
+    /// Serialize the current predictor state for persistence. The
+    /// snapshot carries its own `PredictConfig`, so a future process can
+    /// reject it if the knobs changed. Last-arrival instants are in this
+    /// process's virtual clock; on restore they read as "long ago", which
+    /// only delays the first speculation — the learned histograms (the
+    /// expensive part) carry over intact.
+    pub fn export_json(&self) -> String {
+        serde_json::to_string(&*self.predictor.lock()).unwrap_or_default()
     }
 }

@@ -2,6 +2,7 @@
 
 use optimus_faults::FaultPlan;
 use optimus_fleet::FleetConfig;
+use optimus_llm::LlmConfig;
 use optimus_predict::PredictConfig;
 use optimus_profile::Environment;
 use optimus_store::StoreConfig;
@@ -161,6 +162,14 @@ pub struct SimConfig {
     /// predicted-hot models. `None` (the default) reproduces the reactive
     /// path byte-identically, as does [`PredictConfig::inert`].
     pub predict: Option<PredictConfig>,
+    /// Optional token-level LLM serving (`optimus-llm`): every request
+    /// becomes a decode loop (one prefill iteration plus a seeded number
+    /// of decode iterations) scheduled with iteration-level continuous
+    /// batching — arrivals join a running batch at the next iteration
+    /// boundary instead of waiting for the loop to drain. `None` (the
+    /// default) reproduces the single-forward-pass serving model
+    /// byte-identically.
+    pub llm: Option<LlmConfig>,
 }
 
 impl Default for SimConfig {
@@ -182,6 +191,7 @@ impl Default for SimConfig {
             fleet: None,
             plan_warm: false,
             predict: None,
+            llm: None,
         }
     }
 }

@@ -53,3 +53,7 @@ pub use optimus_fleet::{FleetConfig, FleetReport};
 // Re-exported so drivers can configure arrival prediction and read its
 // report without depending on `optimus-predict` directly.
 pub use optimus_predict::{PredictConfig, PredictReport, SpeculationConfig};
+
+// Re-exported so drivers can configure token-level LLM serving and read
+// its report without depending on `optimus-llm` directly.
+pub use optimus_llm::{LlmConfig, LlmReport};

@@ -132,6 +132,11 @@ pub struct SimReport {
     /// set): speculation hit/misprediction counters, speculation cost and
     /// saved seconds, and the adaptive keep-alive window statistics.
     pub predict: Option<optimus_predict::PredictReport>,
+    /// Token-level LLM serving summary (`None` unless `SimConfig::llm`
+    /// is set): decode-loop counts, continuous-batching joins, and the
+    /// time-to-first-token distribution that replaces service time as
+    /// the latency metric for decode workloads.
+    pub llm: Option<optimus_llm::LlmReport>,
 }
 
 // Hand-written so the `fleet` and `predict` keys are *omitted* (not
@@ -151,6 +156,9 @@ impl Serialize for SimReport {
         }
         if let Some(predict) = &self.predict {
             m.insert("predict", predict.to_value());
+        }
+        if let Some(llm) = &self.llm {
+            m.insert("llm", llm.to_value());
         }
         serde::Value::Object(m)
     }
@@ -350,6 +358,7 @@ mod tests {
             faults: None,
             fleet: None,
             predict: None,
+            llm: None,
             prewarms: 0,
             records: vec![
                 rec(StartKind::Warm, 0.0, 0.0, 0.0, 1.0),
@@ -379,6 +388,7 @@ mod tests {
             faults: None,
             fleet: None,
             predict: None,
+            llm: None,
             prewarms: 0,
             records: (1..=100)
                 .map(|i| rec(StartKind::Warm, 0.0, 0.0, 0.0, i as f64))
@@ -421,6 +431,7 @@ mod summary_tests {
             faults: None,
             fleet: None,
             predict: None,
+            llm: None,
             prewarms: 0,
             records: vec![
                 rec("a", StartKind::Cold, 2.0),
@@ -460,6 +471,7 @@ mod summary_tests {
             faults: None,
             fleet: None,
             predict: None,
+            llm: None,
             prewarms: 0,
             records,
         };
@@ -485,6 +497,7 @@ mod summary_tests {
             faults: None,
             fleet: None,
             predict: None,
+            llm: None,
             prewarms: 0,
             records: vec![rec("f", StartKind::Cold, 1.5)],
         };
@@ -518,6 +531,7 @@ mod slo_tests {
             faults: None,
             fleet: None,
             predict: None,
+            llm: None,
             records: vec![rec(0.5), rec(1.5), rec(2.5), rec(0.9)],
             prewarms: 0,
         };

@@ -19,6 +19,7 @@ use optimus_faults::{FaultInjector, FaultKind, FaultReport, FaultStats, RequestF
 use optimus_fleet::{
     plan_multicast, remote_only_seconds, Autoscaler, FleetReport, FleetSignals, ScaleDecision,
 };
+use optimus_llm::{LlmReport, Patch as LlmPatch, TokenEngine};
 use optimus_model::signature::OpSignature;
 use optimus_model::{FunctionId, InternKey, Interner, ModelGraph, ModelId};
 use optimus_predict::{PredictReport, Predictor, SpecCandidate};
@@ -178,6 +179,34 @@ struct PredictRt {
     /// predictor's tail cutoff.
     windows: Vec<f64>,
     report: PredictReport,
+}
+
+/// Token-level serving state (present when `SimConfig::llm` is set):
+/// the continuous-batching engine plus the accounting the final
+/// [`LlmReport`] summarizes. Patches produced by a join (revised finish
+/// and first-token times for sequences already recorded) are drained
+/// into `records` after each arrival — record indices are the engine's
+/// request keys.
+struct LlmRt {
+    engine: TokenEngine,
+    /// Re-projections pending application to already-pushed records.
+    pending: Vec<LlmPatch>,
+    /// Final time-to-first-token per record index (patched in place).
+    ttfts: Vec<f64>,
+    requests: u64,
+    joins: u64,
+    tokens: u64,
+    peak_batch: u64,
+}
+
+impl LlmRt {
+    fn note(&mut self, adm: &optimus_llm::Admission, arrival: f64, tokens: usize, joined: bool) {
+        self.ttfts.push(adm.first_token - arrival);
+        self.requests += 1;
+        self.tokens += tokens as u64;
+        self.joins += u64::from(joined);
+        self.peak_batch = self.peak_batch.max(adm.batch_size as u64);
+    }
 }
 
 /// Count containers destroyed while still flagged speculated: each one is
@@ -469,6 +498,18 @@ impl Platform {
                 report: PredictReport::default(),
             }
         });
+        let mut llm = self.config.llm.map(|lc| {
+            lc.validate().expect("llm config must be valid");
+            LlmRt {
+                engine: TokenEngine::new(lc),
+                pending: Vec::new(),
+                ttfts: Vec::with_capacity(trace.len()),
+                requests: 0,
+                joins: 0,
+                tokens: 0,
+                peak_batch: 0,
+            }
+        });
         // Prewarming state: per-function arrival history and the pending
         // proactive-transform schedule, kept time-ordered. NaN marks "no
         // gap observed yet".
@@ -669,6 +710,8 @@ impl Platform {
                 &fx,
                 faults.as_mut(),
                 predict.as_mut(),
+                llm.as_mut(),
+                req_index as u64,
             );
             if let Some(fl) = fleet.as_mut() {
                 let done = raw.arrival + raw.service_time();
@@ -690,6 +733,19 @@ impl Platform {
                 compute: raw.compute,
                 kind: raw.kind,
             });
+            // Apply continuous-batching re-projections: a join slows the
+            // iterations of sequences quoted under the smaller batch, so
+            // their recorded decode time (and, if still prefilling, their
+            // first token) moves. `admitted_at == arrival + wait` is
+            // already in the record, so the patch needs no side table.
+            if let Some(lr) = llm.as_mut() {
+                for p in lr.pending.drain(..) {
+                    let idx = p.req as usize;
+                    let r = &mut records[idx];
+                    r.compute = p.finish - (r.arrival + r.wait);
+                    lr.ttfts[idx] = p.first_token - r.arrival;
+                }
+            }
             // Feed the arrival predictor and refresh the function's
             // adaptive keep-alive window.
             if let Some(pr) = predict.as_mut() {
@@ -754,6 +810,9 @@ impl Platform {
             faults,
             fleet: fleet.map(|fl| fl.report),
             predict: predict.map(|pr| pr.report),
+            llm: llm.map(|lr| {
+                LlmReport::summarize(lr.requests, lr.joins, lr.tokens, lr.peak_batch, &lr.ttfts)
+            }),
         }
     }
 
@@ -1377,6 +1436,8 @@ impl Platform {
         fx: &RequestFaults,
         mut faults: Option<&mut FaultCtx>,
         mut predict: Option<&mut PredictRt>,
+        mut llm: Option<&mut LlmRt>,
+        req: u64,
     ) -> RawRecord {
         let mut now = start_at.max(arrival);
         self.evict_expired(node, state, now, &mut predict);
@@ -1403,6 +1464,26 @@ impl Platform {
                         pr.report.spec_saved_seconds += self.profile.cold_init() + data.load_cost;
                     }
                 }
+                if let Some(lr) = llm.as_deref_mut() {
+                    // Token-level serving: the warm container starts a
+                    // fresh decode loop immediately (no init, no load).
+                    let id = c.id;
+                    let n = lr.engine.config().decode_tokens(req);
+                    let bytes = self.functions[f.index()].model_bytes;
+                    let adm = lr.engine.begin(id, bytes, now, req, n);
+                    lr.note(&adm, arrival, n, false);
+                    let c = &mut node.containers[ci];
+                    c.route(now, adm.batch_busy_until);
+                    return RawRecord {
+                        function: f,
+                        arrival,
+                        wait: now - arrival,
+                        init: 0.0,
+                        load: 0.0,
+                        compute: adm.finish - adm.admitted_at,
+                        kind: StartKind::Warm,
+                    };
+                }
                 c.route(now, now + compute);
                 return RawRecord {
                     function: f,
@@ -1413,6 +1494,44 @@ impl Platform {
                     compute,
                     kind: StartKind::Warm,
                 };
+            }
+            // 1b. Continuous batching: no free container, but a *busy*
+            // container decoding this same model admits new sequences at
+            // its next iteration boundary (Orca-style iteration-level
+            // scheduling) — the request shares the per-iteration weight
+            // sweep instead of waiting for the loop to drain or paying a
+            // cold start. Deterministic pick: the smallest live batch,
+            // ties to the lowest container index.
+            if let Some(lr) = llm.as_deref_mut() {
+                let mut best: Option<(usize, usize)> = None;
+                for ci in 0..node.containers.len() {
+                    let c = node.containers[ci];
+                    if c.function == f {
+                        if let Some(b) = lr.engine.joinable(c.id, now) {
+                            if best.is_none_or(|(bb, _)| b < bb) {
+                                best = Some((b, ci));
+                            }
+                        }
+                    }
+                }
+                if let Some((_, ci)) = best {
+                    let id = node.containers[ci].id;
+                    let n = lr.engine.config().decode_tokens(req);
+                    let (adm, patches) = lr.engine.join(id, now, req, n);
+                    lr.pending.extend(patches);
+                    lr.note(&adm, arrival, n, true);
+                    let c = &mut node.containers[ci];
+                    c.route(now, adm.batch_busy_until);
+                    return RawRecord {
+                        function: f,
+                        arrival,
+                        wait: adm.admitted_at - arrival,
+                        init: 0.0,
+                        load: 0.0,
+                        compute: adm.finish - adm.admitted_at,
+                        kind: StartKind::Warm,
+                    };
+                }
             }
             // Snapshot the cold-start transport equivalent *before* the
             // policy mutates store state, so the safeguard audit below
@@ -1438,6 +1557,28 @@ impl Platform {
                             + fx.transport_seconds(cold_est);
                         fc.max_over_cold = fc.max_over_cold.max(init + load - cold_equiv);
                     }
+                }
+                if let Some(lr) = llm.as_deref_mut() {
+                    // The decode loop starts once init + load finish. A
+                    // later arrival may still join its first iteration —
+                    // `begin` registers the batch at the future start, so
+                    // joiners during the load share the prefill sweep.
+                    let exec_start = now + init + load;
+                    let id = node.containers[ci].id;
+                    let n = lr.engine.config().decode_tokens(req);
+                    let bytes = self.functions[f.index()].model_bytes;
+                    let adm = lr.engine.begin(id, bytes, exec_start, req, n);
+                    lr.note(&adm, arrival, n, false);
+                    node.containers[ci].busy_until = adm.batch_busy_until;
+                    return RawRecord {
+                        function: f,
+                        arrival,
+                        wait: now - arrival,
+                        init,
+                        load,
+                        compute: adm.finish - exec_start,
+                        kind,
+                    };
                 }
                 let total = init + load + compute;
                 // try_start created/re-purposed the container at index

@@ -1,0 +1,308 @@
+//! GPT-style causal decoder transformers (Radford et al., Brown et al.).
+//!
+//! The LLM workload family: tied-embedding decoders from 125M to 6.7B
+//! parameters, following the published GPT-2/GPT-3 layer/width grid. Two
+//! axes produce siblings that share most weights — the size ladder (wider
+//! or deeper models reuse the narrower sibling's matching blocks the same
+//! way the paper's §5.2 BERT cases do) and the **context-length axis**,
+//! where `gpt-6.7b-c2048` and `gpt-6.7b-c4096` differ *only* in the
+//! positional-embedding table: the ideal transformation pair for a
+//! multi-GB model, since everything but one table is reusable.
+//!
+//! The graph mirrors `bert.rs`'s §5.2 decomposition (Q/K/V/O projections,
+//! weight-free Logit/Attend, layer-norms, two FC layers per block) with a
+//! GPT twist: embeddings are **tied** — exactly one `Embedding` table is
+//! shared between input lookup and LM head, so the head itself is a
+//! weight-free `Softmax` over the final layer-norm (this is why GPT-2's
+//! 124M "small" has no second vocab-sized matrix).
+
+use optimus_model::{
+    Activation, GraphBuilder, KvCacheSpec, ModelFamily, ModelGraph, OpAttrs, OpId,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// BPE vocabulary size shared by the whole family (GPT-2's tokenizer).
+pub const GPT_VOCAB: usize = 50_257;
+
+/// Published GPT-2/GPT-3 sizes: (layers, hidden, heads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GptSize {
+    /// 12 layers, 768 hidden, 12 heads (GPT-2 small, ~125M).
+    G125M,
+    /// 24 layers, 1024 hidden, 16 heads (GPT-2 medium, ~350M).
+    G350M,
+    /// 24 layers, 1536 hidden, 16 heads (GPT-2 large, ~760M).
+    G760M,
+    /// 24 layers, 2048 hidden, 32 heads (GPT-3 XL, ~1.3B).
+    G1_3B,
+    /// 32 layers, 2560 hidden, 32 heads (GPT-3 2.7B).
+    G2_7B,
+    /// 32 layers, 4096 hidden, 32 heads (GPT-3 6.7B).
+    G6_7B,
+}
+
+impl GptSize {
+    /// `(layers, hidden, heads)` of this size.
+    pub fn dims(self) -> (usize, usize, usize) {
+        match self {
+            GptSize::G125M => (12, 768, 12),
+            GptSize::G350M => (24, 1024, 16),
+            GptSize::G760M => (24, 1536, 16),
+            GptSize::G1_3B => (24, 2048, 32),
+            GptSize::G2_7B => (32, 2560, 32),
+            GptSize::G6_7B => (32, 4096, 32),
+        }
+    }
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GptSize::G125M => "125m",
+            GptSize::G350M => "350m",
+            GptSize::G760M => "760m",
+            GptSize::G1_3B => "1.3b",
+            GptSize::G2_7B => "2.7b",
+            GptSize::G6_7B => "6.7b",
+        }
+    }
+
+    /// The full size ladder, smallest first.
+    pub fn all() -> [GptSize; 6] {
+        [
+            GptSize::G125M,
+            GptSize::G350M,
+            GptSize::G760M,
+            GptSize::G1_3B,
+            GptSize::G2_7B,
+            GptSize::G6_7B,
+        ]
+    }
+}
+
+/// Full GPT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GptConfig {
+    /// Model size (layer/width/head grid).
+    pub size: GptSize,
+    /// Context length: the positional-embedding table rows and the KV
+    /// cache's maximum positions. The transformation axis: context
+    /// siblings differ only in this one table.
+    pub context: usize,
+    /// Weight-variant salt (same structure, different weights).
+    pub variant: u64,
+}
+
+impl GptConfig {
+    /// Standard config: given size at a 1024-token context window.
+    pub fn new(size: GptSize) -> Self {
+        GptConfig {
+            size,
+            context: 1024,
+            variant: 0,
+        }
+    }
+
+    /// Set the context length.
+    pub fn context(mut self, context: usize) -> Self {
+        self.context = context;
+        self
+    }
+
+    /// Set the weight variant salt.
+    pub fn variant(mut self, variant: u64) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Canonical model name, e.g. `gpt-6.7b-c2048`.
+    pub fn name(&self) -> String {
+        let mut n = format!("gpt-{}-c{}", self.size.name(), self.context);
+        if self.variant != 0 {
+            n.push_str(&format!("-v{}", self.variant));
+        }
+        n
+    }
+
+    /// KV-cache shape this config's decoder maintains while serving.
+    pub fn kv_spec(&self) -> KvCacheSpec {
+        let (layers, hidden, heads) = self.size.dims();
+        KvCacheSpec::new(layers, heads, hidden / heads, self.context)
+    }
+}
+
+/// One pre-norm decoder block: causal self-attention plus the two-layer
+/// feed-forward, with residual connections. Structurally this reuses the
+/// §5.2 attention decomposition (so the planner matches GPT blocks
+/// against each other exactly as it matches BERT blocks); causality is a
+/// masking detail inside the weight-free `Logit`, not a graph change.
+fn decoder_block(b: &mut GraphBuilder, x: OpId, hidden: usize, heads: usize, i: usize) -> OpId {
+    let q = b.after(x, format!("blk{i}.q"), OpAttrs::Query { hidden, heads });
+    let k = b.after(x, format!("blk{i}.k"), OpAttrs::Key { hidden, heads });
+    let v = b.after(x, format!("blk{i}.v"), OpAttrs::Value { hidden, heads });
+    let l = b.merge(&[q, k], format!("blk{i}.logit"), OpAttrs::Logit { heads });
+    let sm = b.after(l, format!("blk{i}.softmax"), OpAttrs::Softmax);
+    let at = b.merge(
+        &[sm, v],
+        format!("blk{i}.attend"),
+        OpAttrs::Attend { heads },
+    );
+    let o = b.after(at, format!("blk{i}.out"), OpAttrs::AttnOutput { hidden });
+    let res1 = b.add_of(&[x, o]);
+    let ln1 = b.layernorm_after(res1, hidden);
+    let ff1 = b.dense_after(ln1, hidden, 4 * hidden);
+    let gelu = b.activation_after(ff1, Activation::Gelu);
+    let ff2 = b.dense_after(gelu, 4 * hidden, hidden);
+    let res2 = b.add_of(&[ln1, ff2]);
+    b.layernorm_after(res2, hidden)
+}
+
+/// Build a GPT decoder from a configuration.
+pub fn gpt(config: GptConfig) -> ModelGraph {
+    let (layers, hidden, heads) = config.size.dims();
+    // All configs of one size draw from the same weight seed group, so
+    // context siblings hold byte-identical tensors everywhere their
+    // shapes agree — the promise the transformation pairs rely on. The
+    // variant salt still yields distinct-weight structural twins.
+    let mut b = GraphBuilder::new(config.name())
+        .family(ModelFamily::Gpt)
+        .seed_group(format!("gpt-{}", config.size.name()))
+        .weight_variant(config.variant);
+    let ids = b.input([1, config.context]);
+    // Tied token embedding: the single vocab-sized table in the graph.
+    let emb = b.after(
+        ids,
+        "embedding",
+        OpAttrs::Embedding {
+            vocab: GPT_VOCAB,
+            hidden,
+        },
+    );
+    let pos = b.after(
+        emb,
+        "pos_embedding",
+        OpAttrs::PosEmbedding {
+            max_len: config.context,
+            hidden,
+        },
+    );
+    let mut x = pos;
+    for i in 0..layers {
+        x = decoder_block(&mut b, x, hidden, heads, i);
+    }
+    let lnf = b.layernorm_after(x, hidden);
+    // LM head: logits come from the tied embedding table, so the head
+    // carries no weights of its own — just the output distribution.
+    let _ = b.after(lnf, "lm_head", OpAttrs::Softmax);
+    b.finish().expect("gpt builder produces valid graphs")
+}
+
+/// The decoder zoo: the full size ladder at the default 1024-token
+/// context, plus long-context siblings of the two largest sizes — the
+/// pairs `exp_llm_transform` transforms between.
+pub fn gpt_zoo() -> Vec<ModelGraph> {
+    let mut zoo: Vec<ModelGraph> = GptSize::all()
+        .into_iter()
+        .map(|s| gpt(GptConfig::new(s)))
+        .collect();
+    for size in [GptSize::G2_7B, GptSize::G6_7B] {
+        zoo.push(gpt(GptConfig::new(size).context(2048)));
+        zoo.push(gpt(GptConfig::new(size).context(4096)));
+    }
+    zoo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_params_match_published() {
+        // GPT-2 small with tied embeddings: ~124M parameters.
+        let p = gpt(GptConfig::new(GptSize::G125M)).param_count() as f64 / 1e6;
+        assert!((p - 124.0).abs() / 124.0 < 0.05, "params {p:.1}M");
+    }
+
+    #[test]
+    fn six_point_seven_b_params_match_published() {
+        // GPT-3 6.7B: 12·L·h² dominates (6.44B) plus the tied embedding.
+        let p = gpt(GptConfig::new(GptSize::G6_7B).context(2048)).param_count() as f64 / 1e9;
+        assert!((p - 6.7).abs() / 6.7 < 0.05, "params {p:.2}B");
+    }
+
+    #[test]
+    fn embeddings_are_tied() {
+        let g = gpt(GptConfig::new(GptSize::G125M));
+        let hist = optimus_model::OpHistogram::of(&g);
+        // Exactly one vocab-sized table; the LM head is weight-free.
+        assert_eq!(hist.count(optimus_model::OpKind::Embedding), 1);
+        assert_eq!(hist.count(optimus_model::OpKind::PosEmbedding), 1);
+    }
+
+    #[test]
+    fn kv_spec_derived_from_graph_matches_config() {
+        for size in GptSize::all() {
+            let cfg = GptConfig::new(size).context(2048);
+            let spec = KvCacheSpec::of_model(&gpt(cfg)).expect("decoder has a KV cache");
+            assert_eq!(spec, cfg.kv_spec(), "{}", cfg.name());
+            let (layers, hidden, heads) = size.dims();
+            assert_eq!(spec.layers, layers);
+            assert_eq!(spec.heads, heads);
+            assert_eq!(spec.hidden(), hidden);
+            assert_eq!(spec.context, 2048);
+        }
+    }
+
+    #[test]
+    fn context_siblings_differ_only_in_pos_embedding() {
+        let short = gpt(GptConfig::new(GptSize::G6_7B).context(2048));
+        let long = gpt(GptConfig::new(GptSize::G6_7B).context(4096));
+        assert_eq!(short.op_count(), long.op_count());
+        let diff = long.param_count() - short.param_count();
+        assert_eq!(diff, (4096 - 2048) * 4096);
+        // Sharing is by *content*, not just by count: every op except the
+        // positional table holds byte-identical weights in both siblings.
+        for ((sid, sop), (lid, lop)) in short.ops().zip(long.ops()) {
+            assert_eq!(sid, lid);
+            if matches!(sop.attrs, OpAttrs::PosEmbedding { .. }) {
+                assert_ne!(
+                    sop.weights.as_ref().map(optimus_model::Weights::id),
+                    lop.weights.as_ref().map(optimus_model::Weights::id),
+                    "the positional table is the one real delta"
+                );
+            } else {
+                assert_eq!(
+                    sop.weights.as_ref().map(optimus_model::Weights::id),
+                    lop.weights.as_ref().map(optimus_model::Weights::id),
+                    "op {sid:?} must share content across the context axis"
+                );
+            }
+        }
+        // The shared fraction is what makes transformation worthwhile:
+        // > 99.8% of the 7B sibling's parameters already exist in the
+        // resident one.
+        let shared = 1.0 - diff as f64 / long.param_count() as f64;
+        assert!(shared > 0.998, "shared fraction {shared:.4}");
+    }
+
+    #[test]
+    fn zoo_models_are_distinct_valid_gpt_decoders() {
+        let zoo = gpt_zoo();
+        assert_eq!(zoo.len(), 10);
+        let names: std::collections::HashSet<_> =
+            zoo.iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names.len(), 10);
+        for m in &zoo {
+            assert!(m.validate().is_ok(), "{} invalid", m.name());
+            assert_eq!(m.family(), ModelFamily::Gpt);
+            assert!(m.family().is_transformer());
+        }
+    }
+
+    #[test]
+    fn names_are_canonical() {
+        let cfg = GptConfig::new(GptSize::G2_7B).context(4096);
+        assert_eq!(cfg.name(), "gpt-2.7b-c4096");
+        assert_eq!(gpt(cfg).name(), "gpt-2.7b-c4096");
+    }
+}

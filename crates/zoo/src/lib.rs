@@ -21,6 +21,7 @@ pub mod bert;
 pub mod catalog;
 pub mod densenet;
 pub mod efficientnet;
+pub mod gpt;
 pub mod inception;
 pub mod mobilenet;
 pub mod nasbench;
@@ -34,6 +35,7 @@ pub mod xception;
 
 pub use bert::{bert, BertConfig, BertSize, BertTask, BertVocab};
 pub use catalog::{catalog, find, imgclsmob_catalog, ModelEntry};
+pub use gpt::{gpt, gpt_zoo, GptConfig, GptSize, GPT_VOCAB};
 pub use nasbench::{nasbench_model, CellOp, CellSpec, NASBENCH_SPACE_SIZE};
 
 /// Default image-classification input: ImageNet-style 224×224 RGB.

@@ -40,6 +40,9 @@ cargo run --release -q -p optimus-bench --bin exp_prewarm_predict -- --small --t
 echo "== exp_catalog_scale (small CI config, sharded plan-cache checks) =="
 cargo run --release -q -p optimus-bench --bin exp_catalog_scale -- --small
 
+echo "== exp_llm_transform (small CI config, decoder transformation checks) =="
+cargo run --release -q -p optimus-bench --bin exp_llm_transform -- --small --threads 2
+
 echo "== decide-path bench smoke (small config) =="
 cargo bench -p optimus-bench --bench decide_path -- --small
 
