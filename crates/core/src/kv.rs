@@ -140,7 +140,7 @@ pub fn plan_kv_transform(src: &KvCache, dst: &KvCacheSpec) -> KvPlan {
             to_heads: dst.heads,
         });
     }
-    if src.spec != *dst {
+    if compatible && src.spec.context != dst.context {
         steps.push(KvMetaOp::ResizeContext {
             from: src.spec.context,
             to: dst.context,
@@ -235,6 +235,12 @@ mod tests {
                 to_heads: 16
             }
         )));
+        // The context window is unchanged: no degenerate resize step
+        // (from == to) rides along in the report.
+        assert!(!plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, KvMetaOp::ResizeContext { .. })));
     }
 
     #[test]
@@ -246,5 +252,11 @@ mod tests {
         assert_eq!(plan.carried_bytes, 0);
         assert_eq!(plan.materialized_bytes, dst.byte_size());
         assert_eq!(plan.dropped_bytes, cache.live_bytes());
+        // Nothing crosses an incompatible layout boundary, so no
+        // resize/reshape operator pretends otherwise.
+        assert!(plan
+            .steps
+            .iter()
+            .all(|s| matches!(s, KvMetaOp::Drop { .. })));
     }
 }

@@ -116,12 +116,22 @@ impl GatewayBuilder {
     /// write-then-rename keeps a crash mid-write from truncating the
     /// old artifact.
     fn persist_plan_artifact(&self, gc: bool) {
+        let disk = self.load_plan_artifact();
+        self.persist_plan_artifact_with(disk.as_ref(), gc);
+    }
+
+    /// [`GatewayBuilder::persist_plan_artifact`] with the on-disk
+    /// artifact already in hand — register paths load it once and reuse
+    /// the same copy for both plan probing and the merge-on-write,
+    /// instead of re-reading the (potentially O(catalog²)-entry) file
+    /// from disk a second time per registration.
+    fn persist_plan_artifact_with(&self, disk: Option<&PlanArtifact>, gc: bool) {
         let Some(path) = self.plan_cache_path.as_deref() else {
             return;
         };
         let mut artifact = self.repo.export_plan_artifact();
-        if let Some(disk) = self.load_plan_artifact() {
-            artifact.merge_from(&disk);
+        if let Some(disk) = disk {
+            artifact.merge_from(disk);
         }
         if gc {
             let dropped = artifact.gc(&self.repo.catalog_hashes());
@@ -149,18 +159,19 @@ impl GatewayBuilder {
     /// model at a time also survives restarts.
     pub fn register(mut self, model: ModelGraph) -> Self {
         self.names.push(model.name().to_string());
-        match self.load_plan_artifact() {
+        let disk = self.load_plan_artifact();
+        match &disk {
             Some(artifact) => {
                 let t0 = Instant::now();
                 self.repo
-                    .register_with_artifact(model, &self.cost, &artifact);
+                    .register_with_artifact(model, &self.cost, artifact);
                 self.metrics
                     .histogram("optimus_plan_cache_load_seconds", &[])
                     .observe(t0.elapsed().as_secs_f64());
             }
             None => self.repo.register(model, &self.cost),
         }
-        self.persist_plan_artifact(false);
+        self.persist_plan_artifact_with(disk.as_ref(), false);
         self
     }
 
@@ -173,18 +184,19 @@ impl GatewayBuilder {
     pub fn register_all(mut self, models: Vec<ModelGraph>) -> Self {
         self.names
             .extend(models.iter().map(|m| m.name().to_string()));
-        match self.load_plan_artifact() {
+        let disk = self.load_plan_artifact();
+        match &disk {
             Some(artifact) => {
                 let t0 = Instant::now();
                 self.repo
-                    .register_all_with_artifact(models, &self.cost, &artifact);
+                    .register_all_with_artifact(models, &self.cost, artifact);
                 self.metrics
                     .histogram("optimus_plan_cache_load_seconds", &[])
                     .observe(t0.elapsed().as_secs_f64());
             }
             None => self.repo.register_all(models, &self.cost),
         }
-        self.persist_plan_artifact(false);
+        self.persist_plan_artifact_with(disk.as_ref(), false);
         self
     }
 
@@ -737,10 +749,14 @@ impl Gateway {
             .model(model)
             .map(|m| m.byte_size() as u64)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let inner = self.submit(model, input)?;
+        // Draw the output length only once the submit has been accepted:
+        // a transient rejection (e.g. queue-full) must not consume a
+        // sequence number, or it would shift every later request's
+        // deterministic length draw and break run-to-run reproducibility.
         let tokens = self
             .llm
             .decode_tokens(self.decode_seq.fetch_add(1, Ordering::Relaxed));
-        let inner = self.submit(model, input)?;
         Ok(PendingDecode {
             inner,
             tokens,

@@ -736,13 +736,15 @@ impl Platform {
             // Apply continuous-batching re-projections: a join slows the
             // iterations of sequences quoted under the smaller batch, so
             // their recorded decode time (and, if still prefilling, their
-            // first token) moves. `admitted_at == arrival + wait` is
-            // already in the record, so the patch needs no side table.
+            // first token) moves. The decode loop starts once init + load
+            // finish — `arrival + wait + init + load` is already in the
+            // record (init and load are zero for warm starts and joins),
+            // so the patch needs no side table.
             if let Some(lr) = llm.as_mut() {
                 for p in lr.pending.drain(..) {
                     let idx = p.req as usize;
                     let r = &mut records[idx];
-                    r.compute = p.finish - (r.arrival + r.wait);
+                    r.compute = p.finish - (r.arrival + r.wait + r.init + r.load);
                     lr.ttfts[idx] = p.first_token - r.arrival;
                 }
             }

@@ -118,6 +118,47 @@ fn batching_beats_serial_decode_loops() {
 }
 
 #[test]
+fn patched_cold_record_does_not_recharge_startup_in_compute() {
+    let model = gpt(GptConfig::new(GptSize::G125M));
+    let name = model.name().to_string();
+    let repo = repo_with(vec![model]);
+    // Fixed output length: every sequence decodes the same token count,
+    // so two sequences admitted into the same batch at the same boundary
+    // project the same absolute finish time.
+    let lc = LlmConfig {
+        min_decode_tokens: 16,
+        max_decode_tokens: 16,
+        ..LlmConfig::default()
+    };
+    // The second request arrives while the first is still paying
+    // init + load, so it joins the prefill batch the cold start
+    // registered at its future decode start — the join re-projects
+    // (patches) the cold record.
+    let trace = burst_trace(&name, 0.01, 2);
+    let report = Platform::new(config(Some(lc)), Policy::Optimus, repo).run(&trace);
+    assert_eq!(report.llm.as_ref().unwrap().joins, 1, "joiner during load");
+    let cold = &report.records[0];
+    let join = &report.records[1];
+    assert!(
+        cold.init + cold.load > 0.0,
+        "first request pays a cold start"
+    );
+    assert_eq!(join.init + join.load, 0.0, "joiner pays no startup");
+    // Both sequences decode the same batch, same boundary, same token
+    // count: their engine-projected absolute finish times are equal. The
+    // cold record's patched compute must therefore satisfy
+    // arrival + wait + init + load + compute == finish — i.e. the patch
+    // must not re-charge init + load inside compute.
+    let cold_finish = cold.arrival + cold.service_time();
+    let join_finish = join.arrival + join.service_time();
+    assert!(
+        (cold_finish - join_finish).abs() < 1e-9,
+        "patched cold record ends when its batch says it does: \
+         cold {cold_finish} vs joiner {join_finish}"
+    );
+}
+
+#[test]
 fn llm_runs_are_deterministic() {
     let run = || {
         let model = gpt(GptConfig::new(GptSize::G125M));
